@@ -1,0 +1,168 @@
+//! Graphviz (DOT) rendering of word and tree automata.
+//!
+//! The decision procedures of the paper build automata whose alphabets are
+//! structured values (rule instances, partially mapped conjunctive
+//! queries), so the renderers take a caller-supplied labelling function
+//! instead of requiring `Display`.  The output is plain `digraph` text that
+//! can be piped into `dot -Tsvg` to inspect the automata produced by the
+//! `nonrec-equivalence` constructions.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::tree::TreeAutomaton;
+use crate::word::ops::Dfa;
+use crate::word::Nfa;
+
+fn escape(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render an NFA as a DOT digraph.  `label` turns an alphabet symbol into
+/// the edge label.
+pub fn nfa_to_dot<A: Ord + Clone>(nfa: &Nfa<A>, label: impl Fn(&A) -> String) -> String {
+    let mut out = String::from("digraph nfa {\n  rankdir=LR;\n  node [shape=circle];\n");
+    for state in 0..nfa.state_count() {
+        let mut attrs: Vec<String> = Vec::new();
+        if nfa.accepting().contains(&state) {
+            attrs.push("shape=doublecircle".to_string());
+        }
+        if nfa.initial().contains(&state) {
+            attrs.push("style=bold".to_string());
+            let _ = writeln!(out, "  start{state} [shape=point, label=\"\"];");
+            let _ = writeln!(out, "  start{state} -> s{state};");
+        }
+        let _ = writeln!(out, "  s{state} [label=\"{state}\"{}];", render_attrs(&attrs));
+    }
+    for (from, symbol, to) in nfa.transitions() {
+        let _ = writeln!(
+            out,
+            "  s{from} -> s{to} [label=\"{}\"];",
+            escape(&label(symbol))
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a DFA as a DOT digraph.
+pub fn dfa_to_dot<A: Ord + Clone>(dfa: &Dfa<A>, label: impl Fn(&A) -> String) -> String {
+    let mut out = String::from("digraph dfa {\n  rankdir=LR;\n  node [shape=circle];\n");
+    let _ = writeln!(out, "  start [shape=point, label=\"\"];");
+    let _ = writeln!(out, "  start -> s0;");
+    for state in 0..dfa.state_count {
+        let shape = if dfa.accepting.contains(&state) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let _ = writeln!(out, "  s{state} [label=\"{state}\", shape={shape}];");
+    }
+    for ((from, symbol), to) in &dfa.transitions {
+        let _ = writeln!(
+            out,
+            "  s{from} -> s{to} [label=\"{}\"];",
+            escape(&label(symbol))
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a top-down tree automaton as a DOT digraph.  Every transition
+/// `(state, label, (c1, …, ck))` becomes a box node connected to its source
+/// state and, with ordinal-labelled edges, to its child states — the usual
+/// rendering of a hypergraph.
+pub fn tree_automaton_to_dot<L: Ord + Clone>(
+    automaton: &TreeAutomaton<L>,
+    label: impl Fn(&L) -> String,
+) -> String {
+    let mut out = String::from("digraph tree_automaton {\n  node [shape=circle];\n");
+    let initial: &BTreeSet<usize> = automaton.initial();
+    for state in 0..automaton.state_count() {
+        let style = if initial.contains(&state) {
+            ", style=bold"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  s{state} [label=\"{state}\"{style}];");
+    }
+    for (index, (state, tree_label, tuple)) in automaton.transitions().enumerate() {
+        let _ = writeln!(
+            out,
+            "  t{index} [shape=box, label=\"{}\"];",
+            escape(&label(tree_label))
+        );
+        let _ = writeln!(out, "  s{state} -> t{index};");
+        for (position, child) in tuple.iter().enumerate() {
+            let _ = writeln!(out, "  t{index} -> s{child} [label=\"{position}\"];");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn render_attrs(attrs: &[String]) -> String {
+    if attrs.is_empty() {
+        String::new()
+    } else {
+        format!(", {}", attrs.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::ops::determinize;
+
+    fn sample_nfa() -> Nfa<char> {
+        let mut nfa = Nfa::new(2);
+        nfa.add_initial(0);
+        nfa.add_accepting(1);
+        nfa.add_transition(0, 'a', 1);
+        nfa.add_transition(1, 'b', 0);
+        nfa
+    }
+
+    #[test]
+    fn nfa_dot_mentions_every_state_and_transition() {
+        let dot = nfa_to_dot(&sample_nfa(), |c| c.to_string());
+        assert!(dot.starts_with("digraph nfa {"));
+        assert!(dot.contains("s0 ->"));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("[label=\"a\"]"));
+        assert!(dot.contains("[label=\"b\"]"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dfa_dot_marks_the_initial_state() {
+        let alphabet = ['a', 'b'].into_iter().collect();
+        let dfa = determinize(&sample_nfa(), &alphabet);
+        let dot = dfa_to_dot(&dfa, |c| c.to_string());
+        assert!(dot.contains("start -> s0;"));
+        assert_eq!(dot.matches("doublecircle").count(), dfa.accepting.len());
+    }
+
+    #[test]
+    fn tree_dot_renders_transitions_as_boxes() {
+        let mut automaton = TreeAutomaton::new(1);
+        automaton.add_initial(0);
+        automaton.add_transition(0, 'a', vec![0, 0]);
+        automaton.add_transition(0, 'b', vec![]);
+        let dot = tree_automaton_to_dot(&automaton, |c| c.to_string());
+        assert_eq!(dot.matches("shape=box").count(), 2);
+        assert!(dot.contains("t0 -> s0 [label=\"0\"]"));
+        assert!(dot.contains("t0 -> s0 [label=\"1\"]"));
+    }
+
+    #[test]
+    fn labels_with_quotes_are_escaped() {
+        let mut nfa: Nfa<String> = Nfa::new(1);
+        nfa.add_initial(0);
+        nfa.add_accepting(0);
+        nfa.add_transition(0, "say \"hi\"".to_string(), 0);
+        let dot = nfa_to_dot(&nfa, |s| s.clone());
+        assert!(dot.contains("say \\\"hi\\\""));
+    }
+}

@@ -1,0 +1,440 @@
+//! Containment of tree-automata languages (Proposition 4.6), with witness
+//! extraction.
+//!
+//! `T(A1) ⊆ T(A2)` iff `T(A1) ∩ complement(T(A2))` is empty.  The
+//! materialised route (determinize `A2`, complement, product, emptiness) is
+//! available in [`contained_in_via_complement`] and is used for
+//! cross-checking and for the ablation bench, but the primary algorithm is
+//! an **on-the-fly bottom-up subset construction**:
+//!
+//! explore pairs `(s, S)` where `s` is an `A1` state and
+//! `S = { q ∈ states(A2) | the same witness subtree admits a run from q }`.
+//! A pair is derivable if some transition `(c1, …, ck) ∈ δ1(s, a)` has all
+//! its children derivable with subset annotations `S1, …, Sk`, and then
+//! `S = { q | ∃ (q1, …, qk) ∈ δ2(q, a), qi ∈ Si }`.  A derivable pair with
+//! `s` initial in `A1` and `S` containing no initial state of `A2`
+//! corresponds to a tree accepted by `A1` and rejected by `A2`.
+//!
+//! The optional **antichain optimisation** keeps, for each `s`, only the
+//! ⊆-minimal subsets `S`: the subset computation is monotone, so smaller
+//! subsets derive smaller subsets and dominate larger ones both for
+//! violation detection and for propagation.  This is the standard antichain
+//! technique for automata inclusion and is one of the ablations called out
+//! in DESIGN.md.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::emptiness::is_empty;
+use super::ops::{complement, intersection, BottomUpDeterministic};
+use super::{State, Tree, TreeAutomaton};
+
+/// Options for the containment check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ContainmentOptions {
+    /// Keep only ⊆-minimal right-hand subsets per left state.
+    pub antichain: bool,
+    /// Safety valve: abort (conservatively reporting `Unknown`) after this
+    /// many derived pairs.  `None` = no limit.
+    pub max_pairs: Option<usize>,
+}
+
+impl Default for ContainmentOptions {
+    fn default() -> Self {
+        ContainmentOptions {
+            antichain: true,
+            max_pairs: None,
+        }
+    }
+}
+
+/// The outcome of a tree-language containment check.
+#[derive(Clone, Debug)]
+pub enum TreeContainment<L> {
+    /// `T(A1) ⊆ T(A2)`.
+    Contained {
+        /// Number of `(state, subset)` pairs derived.
+        explored: usize,
+    },
+    /// Not contained, with a witness tree in `T(A1) \ T(A2)`.
+    NotContained {
+        /// A tree accepted by `A1` and rejected by `A2`.
+        witness: Tree<L>,
+        /// Number of `(state, subset)` pairs derived.
+        explored: usize,
+    },
+    /// The pair limit was reached before an answer was found.
+    Unknown {
+        /// Number of `(state, subset)` pairs derived before giving up.
+        explored: usize,
+    },
+}
+
+impl<L> TreeContainment<L> {
+    /// Is the answer "contained"?
+    pub fn is_contained(&self) -> bool {
+        matches!(self, TreeContainment::Contained { .. })
+    }
+
+    /// Is the answer "not contained"?
+    pub fn is_not_contained(&self) -> bool {
+        matches!(self, TreeContainment::NotContained { .. })
+    }
+
+    /// Number of explored pairs (the effective product size).
+    pub fn explored(&self) -> usize {
+        match self {
+            TreeContainment::Contained { explored }
+            | TreeContainment::NotContained { explored, .. }
+            | TreeContainment::Unknown { explored } => *explored,
+        }
+    }
+
+    /// The witness tree, if the answer is "not contained".
+    pub fn witness(&self) -> Option<&Tree<L>> {
+        match self {
+            TreeContainment::NotContained { witness, .. } => Some(witness),
+            _ => None,
+        }
+    }
+}
+
+/// Decide whether `T(a) ⊆ T(b)` with default options.
+pub fn contained_in<L: Ord + Clone>(a: &TreeAutomaton<L>, b: &TreeAutomaton<L>) -> TreeContainment<L> {
+    contained_in_with(a, b, ContainmentOptions::default())
+}
+
+/// Decide whether `T(a) ⊆ T(b)`.
+pub fn contained_in_with<L: Ord + Clone>(
+    a: &TreeAutomaton<L>,
+    b: &TreeAutomaton<L>,
+    options: ContainmentOptions,
+) -> TreeContainment<L> {
+    // Derived pairs, with the witness tree that produced them.
+    // For each A1 state keep the list of derived (subset, witness) entries.
+    let mut derived: BTreeMap<State, Vec<(BTreeSet<State>, Tree<L>)>> = BTreeMap::new();
+    let mut total_pairs = 0usize;
+
+    // Group A1 transitions by state for the saturation loop, and index A2
+    // transitions by label for subset propagation.
+    let a_transitions: Vec<(State, &L, &Vec<State>)> = a.transitions().collect();
+    let mut b_by_label: BTreeMap<&L, Vec<(State, &Vec<State>)>> = BTreeMap::new();
+    for (q, label, tuple) in b.transitions() {
+        b_by_label.entry(label).or_default().push((q, tuple));
+    }
+
+    // Compute the A2-subset reached on label `label` from child subsets.
+    let propagate = |label: &L, child_subsets: &[&BTreeSet<State>]| -> BTreeSet<State> {
+        let mut out = BTreeSet::new();
+        if let Some(entries) = b_by_label.get(label) {
+            for (q, tuple) in entries {
+                if tuple.len() == child_subsets.len()
+                    && tuple
+                        .iter()
+                        .zip(child_subsets)
+                        .all(|(c, subset)| subset.contains(c))
+                {
+                    out.insert(*q);
+                }
+            }
+        }
+        out
+    };
+
+    // Insert a pair, honouring the antichain option.  Returns true if the
+    // pair was actually added (i.e. it is new and not dominated).
+    let insert = |derived: &mut BTreeMap<State, Vec<(BTreeSet<State>, Tree<L>)>>,
+                  state: State,
+                  subset: BTreeSet<State>,
+                  witness: Tree<L>,
+                  antichain: bool|
+     -> bool {
+        let entry = derived.entry(state).or_default();
+        if antichain {
+            if entry.iter().any(|(existing, _)| existing.is_subset(&subset)) {
+                return false; // dominated by an existing smaller subset
+            }
+            entry.retain(|(existing, _)| !subset.is_subset(existing));
+        } else if entry.iter().any(|(existing, _)| *existing == subset) {
+            return false;
+        }
+        entry.push((subset, witness));
+        true
+    };
+
+    // Saturate.  A worklist of states whose pair set changed would be more
+    // efficient; plain rounds keep the code simple and are fast enough for
+    // the automaton sizes produced by the decision procedures (the benches
+    // measure this).
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &(s, label, tuple) in &a_transitions {
+            // Enumerate combinations of already-derived child pairs.
+            if tuple.is_empty() {
+                let subset = propagate(label, &[]);
+                let witness = Tree::leaf(label.clone());
+                if insert(&mut derived, s, subset, witness, options.antichain) {
+                    changed = true;
+                    total_pairs += 1;
+                }
+                continue;
+            }
+            // Snapshot the candidate lists to avoid borrowing issues.
+            let child_candidates: Vec<Vec<(BTreeSet<State>, Tree<L>)>> = tuple
+                .iter()
+                .map(|c| derived.get(c).cloned().unwrap_or_default())
+                .collect();
+            if child_candidates.iter().any(|c| c.is_empty()) {
+                continue;
+            }
+            let mut combo = vec![0usize; tuple.len()];
+            loop {
+                let child_subsets: Vec<&BTreeSet<State>> = combo
+                    .iter()
+                    .zip(&child_candidates)
+                    .map(|(&i, cands)| &cands[i].0)
+                    .collect();
+                let subset = propagate(label, &child_subsets);
+                let witness = Tree::node(
+                    label.clone(),
+                    combo
+                        .iter()
+                        .zip(&child_candidates)
+                        .map(|(&i, cands)| cands[i].1.clone())
+                        .collect(),
+                );
+                if insert(&mut derived, s, subset, witness, options.antichain) {
+                    changed = true;
+                    total_pairs += 1;
+                }
+                if let Some(limit) = options.max_pairs {
+                    if total_pairs >= limit {
+                        return TreeContainment::Unknown {
+                            explored: total_pairs,
+                        };
+                    }
+                }
+                // Odometer over candidate indices.
+                let mut carry = true;
+                for (slot, cands) in combo.iter_mut().zip(&child_candidates) {
+                    if carry {
+                        *slot += 1;
+                        if *slot == cands.len() {
+                            *slot = 0;
+                        } else {
+                            carry = false;
+                        }
+                    }
+                }
+                if carry {
+                    break;
+                }
+            }
+        }
+
+        // Check for a violation after each round so witnesses stay small.
+        for &s in a.initial() {
+            if let Some(entries) = derived.get(&s) {
+                for (subset, witness) in entries {
+                    if !subset.iter().any(|q| b.initial().contains(q)) {
+                        return TreeContainment::NotContained {
+                            witness: witness.clone(),
+                            explored: total_pairs,
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    TreeContainment::Contained {
+        explored: total_pairs,
+    }
+}
+
+/// Are the two tree languages equal?
+pub fn equivalent<L: Ord + Clone>(a: &TreeAutomaton<L>, b: &TreeAutomaton<L>) -> bool {
+    contained_in(a, b).is_contained() && contained_in(b, a).is_contained()
+}
+
+/// The materialised containment check: `T(a) ∩ complement(T(b)) = ∅`, with
+/// the complement built explicitly over the union of the two ranked
+/// alphabets.  Exponential in `b`; used for cross-checks and ablations.
+pub fn contained_in_via_complement<L: Ord + Clone>(
+    a: &TreeAutomaton<L>,
+    b: &TreeAutomaton<L>,
+) -> bool {
+    // The complement must be taken over an alphabet covering every label and
+    // arity that `a` can produce, otherwise trees using those labels would
+    // be missed.
+    let mut alphabet = b.ranked_alphabet();
+    for (label, arities) in a.ranked_alphabet() {
+        alphabet.entry(label).or_default().extend(arities);
+    }
+    let comp: BottomUpDeterministic<L> = complement(b, &alphabet);
+    // Intersect `a` with the complement by re-encoding the complement as a
+    // (deterministic, bottom-up) top-down automaton: state q of `comp`
+    // becomes a state; the root states are the accepting ones.
+    let mut comp_td = TreeAutomaton::new(comp.state_count);
+    for &s in &comp.accepting {
+        comp_td.add_initial(s);
+    }
+    for ((label, children), target) in &comp.transitions {
+        comp_td.add_transition(*target, label.clone(), children.clone());
+    }
+    let product = intersection(a, &comp_td);
+    is_empty(&product)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Binary 'a'-nodes over 'b' leaves.
+    fn ab_trees() -> TreeAutomaton<char> {
+        let mut t = TreeAutomaton::new(1);
+        t.add_initial(0);
+        t.add_transition(0, 'a', vec![0, 0]);
+        t.add_transition(0, 'b', vec![]);
+        t
+    }
+
+    /// ab-trees of height at most `h`.
+    fn ab_trees_of_height(h: usize) -> TreeAutomaton<char> {
+        // state i accepts trees of height ≤ h - i … simpler: state i accepts
+        // trees of height ≤ i + 1 with 0-based depth budget; initial = h-1.
+        let mut t = TreeAutomaton::new(h);
+        t.add_initial(h - 1);
+        for i in 0..h {
+            t.add_transition(i, 'b', vec![]);
+            if i > 0 {
+                t.add_transition(i, 'a', vec![i - 1, i - 1]);
+            }
+        }
+        t
+    }
+
+    /// ab-trees containing at least one 'c' leaf.
+    fn ab_trees_with_c() -> TreeAutomaton<char> {
+        let mut t = TreeAutomaton::new(2);
+        t.add_initial(0);
+        t.add_transition(0, 'c', vec![]);
+        t.add_transition(0, 'a', vec![0, 1]);
+        t.add_transition(0, 'a', vec![1, 0]);
+        t.add_transition(1, 'a', vec![1, 1]);
+        t.add_transition(1, 'b', vec![]);
+        t.add_transition(1, 'c', vec![]);
+        t
+    }
+
+    #[test]
+    fn bounded_height_is_contained_in_unbounded() {
+        let r = contained_in(&ab_trees_of_height(3), &ab_trees());
+        assert!(r.is_contained());
+        assert!(r.explored() > 0);
+    }
+
+    #[test]
+    fn unbounded_is_not_contained_in_bounded_and_witness_is_valid() {
+        let bounded = ab_trees_of_height(2);
+        let r = contained_in(&ab_trees(), &bounded);
+        match &r {
+            TreeContainment::NotContained { witness, .. } => {
+                assert!(ab_trees().accepts(witness));
+                assert!(!bounded.accepts(witness));
+                assert!(witness.height() > 2);
+            }
+            _ => panic!("expected non-containment"),
+        }
+    }
+
+    #[test]
+    fn language_with_c_is_not_contained_in_pure_ab() {
+        let r = contained_in(&ab_trees_with_c(), &ab_trees());
+        assert!(r.is_not_contained());
+        let w = r.witness().unwrap();
+        assert!(ab_trees_with_c().accepts(w));
+        assert!(!ab_trees().accepts(w));
+    }
+
+    #[test]
+    fn pure_ab_is_not_contained_in_with_c_either() {
+        // ab-trees without any c are rejected by ab_trees_with_c.
+        let r = contained_in(&ab_trees(), &ab_trees_with_c());
+        assert!(r.is_not_contained());
+    }
+
+    #[test]
+    fn reflexive_containment_and_equivalence() {
+        assert!(contained_in(&ab_trees(), &ab_trees()).is_contained());
+        assert!(equivalent(&ab_trees(), &ab_trees()));
+        assert!(!equivalent(&ab_trees(), &ab_trees_of_height(2)));
+    }
+
+    #[test]
+    fn empty_language_is_contained_in_everything() {
+        let empty = TreeAutomaton::<char>::new(1);
+        assert!(contained_in(&empty, &ab_trees()).is_contained());
+        assert!(contained_in(&ab_trees(), &empty).is_not_contained());
+    }
+
+    #[test]
+    fn antichain_and_full_mode_agree() {
+        let pairs = [
+            (ab_trees(), ab_trees_with_c()),
+            (ab_trees_with_c(), ab_trees()),
+            (ab_trees_of_height(3), ab_trees()),
+            (ab_trees(), ab_trees_of_height(4)),
+        ];
+        for (a, b) in &pairs {
+            let with = contained_in_with(
+                a,
+                b,
+                ContainmentOptions {
+                    antichain: true,
+                    max_pairs: None,
+                },
+            );
+            let without = contained_in_with(
+                a,
+                b,
+                ContainmentOptions {
+                    antichain: false,
+                    max_pairs: None,
+                },
+            );
+            assert_eq!(with.is_contained(), without.is_contained());
+            // The antichain never explores more pairs than the full mode.
+            assert!(with.explored() <= without.explored());
+        }
+    }
+
+    #[test]
+    fn on_the_fly_agrees_with_materialised_complement() {
+        let pairs = [
+            (ab_trees(), ab_trees_with_c()),
+            (ab_trees_with_c(), ab_trees()),
+            (ab_trees_of_height(2), ab_trees()),
+            (ab_trees(), ab_trees()),
+        ];
+        for (a, b) in &pairs {
+            assert_eq!(
+                contained_in(a, b).is_contained(),
+                contained_in_via_complement(a, b)
+            );
+        }
+    }
+
+    #[test]
+    fn pair_limit_reports_unknown() {
+        let r = contained_in_with(
+            &ab_trees(),
+            &ab_trees_with_c(),
+            ContainmentOptions {
+                antichain: true,
+                max_pairs: Some(1),
+            },
+        );
+        assert!(matches!(r, TreeContainment::Unknown { .. }) || r.is_not_contained());
+    }
+}

@@ -1,0 +1,199 @@
+//! Emptiness of tree automata (Proposition 4.5) with witness extraction.
+//!
+//! The paper's `accept(A)` fixpoint: the least set of states containing
+//! every state `s` for which some transition `(s1, …, sk) ∈ δ(s, a)` has all
+//! its child states already in the set (the base case is `k = 0`, i.e. leaf
+//! transitions).  `T(A)` is nonempty iff an initial state is in `accept(A)`.
+//! The computation is a single bottom-up pass, polynomial (in fact, with the
+//! counter trick below, linear) in the size of the automaton.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use super::{State, Tree, TreeAutomaton};
+
+/// The result of the emptiness fixpoint.
+#[derive(Clone, Debug)]
+pub struct AcceptSet<L> {
+    /// For each state in `accept(A)`, a minimal-height witness subtree
+    /// accepted from that state.
+    pub witness: BTreeMap<State, Tree<L>>,
+}
+
+impl<L> AcceptSet<L> {
+    /// Is the state productive (in `accept(A)`)?
+    pub fn contains(&self, state: State) -> bool {
+        self.witness.contains_key(&state)
+    }
+
+    /// Number of productive states.
+    pub fn len(&self) -> usize {
+        self.witness.len()
+    }
+
+    /// True if no state is productive.
+    pub fn is_empty(&self) -> bool {
+        self.witness.is_empty()
+    }
+}
+
+/// Compute `accept(A)` together with a witness tree for every productive
+/// state.
+///
+/// Worklist algorithm: each transition keeps a counter of child states not
+/// yet known productive; when it hits zero the source state becomes
+/// productive.  Each transition is touched at most once per child, so the
+/// running time is linear in the total size of the transition table
+/// (cf. the remark after Proposition 4.5 about linear-time emptiness).
+pub fn accept_set<L: Ord + Clone>(automaton: &TreeAutomaton<L>) -> AcceptSet<L> {
+    // Index transitions and group them by the states they are waiting on.
+    struct Pending<'a, L> {
+        state: State,
+        label: &'a L,
+        tuple: &'a Vec<State>,
+        missing: usize,
+    }
+
+    let all: Vec<(State, &L, &Vec<State>)> = automaton.transitions().collect();
+    let mut pending: Vec<Pending<'_, L>> = Vec::with_capacity(all.len());
+    let mut waiting_on: BTreeMap<State, Vec<usize>> = BTreeMap::new();
+    for (index, &(state, label, tuple)) in all.iter().enumerate() {
+        let distinct_children: std::collections::BTreeSet<State> = tuple.iter().copied().collect();
+        pending.push(Pending {
+            state,
+            label,
+            tuple,
+            missing: distinct_children.len(),
+        });
+        for &child in &distinct_children {
+            waiting_on.entry(child).or_default().push(index);
+        }
+    }
+
+    let mut witness: BTreeMap<State, Tree<L>> = BTreeMap::new();
+    let mut queue: VecDeque<State> = VecDeque::new();
+
+    // Seed with leaf transitions (no children).
+    for p in &pending {
+        if p.missing == 0 && !witness.contains_key(&p.state) {
+            witness.insert(p.state, Tree::leaf(p.label.clone()));
+            queue.push_back(p.state);
+        }
+    }
+
+    while let Some(ready) = queue.pop_front() {
+        let Some(indices) = waiting_on.get(&ready) else {
+            continue;
+        };
+        for &index in indices {
+            let p = &mut pending[index];
+            if p.missing == 0 {
+                continue; // already fired
+            }
+            p.missing -= 1;
+            if p.missing == 0 && !witness.contains_key(&p.state) {
+                let children: Vec<Tree<L>> = p
+                    .tuple
+                    .iter()
+                    .map(|c| witness[c].clone())
+                    .collect();
+                witness.insert(p.state, Tree::node(p.label.clone(), children));
+                queue.push_back(p.state);
+            }
+        }
+    }
+
+    AcceptSet { witness }
+}
+
+/// Is the tree language of the automaton empty?
+pub fn is_empty<L: Ord + Clone>(automaton: &TreeAutomaton<L>) -> bool {
+    find_witness(automaton).is_none()
+}
+
+/// Find a tree accepted by the automaton, if any.
+pub fn find_witness<L: Ord + Clone>(automaton: &TreeAutomaton<L>) -> Option<Tree<L>> {
+    let accept = accept_set(automaton);
+    automaton
+        .initial()
+        .iter()
+        .filter_map(|s| accept.witness.get(s))
+        .min_by_key(|t| t.size())
+        .cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab_trees() -> TreeAutomaton<char> {
+        let mut t = TreeAutomaton::new(1);
+        t.add_initial(0);
+        t.add_transition(0, 'a', vec![0, 0]);
+        t.add_transition(0, 'b', vec![]);
+        t
+    }
+
+    #[test]
+    fn nonempty_automaton_yields_an_accepted_witness() {
+        let auto = ab_trees();
+        assert!(!is_empty(&auto));
+        let w = find_witness(&auto).unwrap();
+        assert!(auto.accepts(&w));
+        assert_eq!(w.size(), 1, "minimal witness is the single leaf 'b'");
+    }
+
+    #[test]
+    fn automaton_without_leaf_transitions_is_empty() {
+        let mut auto = TreeAutomaton::<char>::new(1);
+        auto.add_initial(0);
+        auto.add_transition(0, 'a', vec![0, 0]);
+        assert!(is_empty(&auto));
+        assert!(find_witness(&auto).is_none());
+    }
+
+    #[test]
+    fn productive_but_not_initial_states_do_not_make_it_nonempty() {
+        let mut auto = TreeAutomaton::<char>::new(2);
+        auto.add_initial(0);
+        auto.add_transition(1, 'b', vec![]);
+        // State 1 is productive but not initial; state 0 has no transitions.
+        let accept = accept_set(&auto);
+        assert!(accept.contains(1));
+        assert!(!accept.contains(0));
+        assert!(is_empty(&auto));
+    }
+
+    #[test]
+    fn witness_requires_productive_children() {
+        // Root needs a child state that is only productive through a chain.
+        let mut auto = TreeAutomaton::<char>::new(3);
+        auto.add_initial(0);
+        auto.add_transition(0, 'a', vec![1]);
+        auto.add_transition(1, 'a', vec![2]);
+        auto.add_transition(2, 'c', vec![]);
+        let w = find_witness(&auto).unwrap();
+        assert_eq!(w.size(), 3);
+        assert!(auto.accepts(&w));
+        assert_eq!(accept_set(&auto).len(), 3);
+    }
+
+    #[test]
+    fn repeated_child_states_are_counted_once() {
+        // Transition 0 --a--> (1, 1): state 0 becomes productive as soon as
+        // state 1 does, not after two separate notifications.
+        let mut auto = TreeAutomaton::<char>::new(2);
+        auto.add_initial(0);
+        auto.add_transition(0, 'a', vec![1, 1]);
+        auto.add_transition(1, 'b', vec![]);
+        assert!(!is_empty(&auto));
+        assert_eq!(find_witness(&auto).unwrap().size(), 3);
+    }
+
+    #[test]
+    fn accept_set_len_and_emptiness_flags() {
+        let auto = ab_trees();
+        let accept = accept_set(&auto);
+        assert_eq!(accept.len(), 1);
+        assert!(!accept.is_empty());
+    }
+}

@@ -1,0 +1,352 @@
+//! Nondeterministic automata on finite labeled trees (Section 4.2).
+//!
+//! A tree automaton here is the paper's tuple `(Σ, S, S0, δ, F)` with one
+//! representational change: instead of a set `F` of accepting states and the
+//! leaf condition "there is a tuple `(s1, …, sl) ∈ δ(r(x), π(x))` with
+//! `{s1, …, sl} ⊆ F`", we allow the **empty tuple** in `δ` and say a leaf is
+//! accepted when `() ∈ δ(r(x), π(x))`.  The two formulations are equivalent
+//! (replace every all-accepting tuple by the empty tuple); the empty-tuple
+//! convention makes products and determinization uniform, because the leaf
+//! case is just the arity-0 case.
+//!
+//! States are dense `usize` indices.  Labels are generic; the
+//! `nonrec-equivalence` crate instantiates them with proof-tree node labels
+//! (IDB atom + rule instance over `var(Π)`).
+
+pub mod containment;
+pub mod emptiness;
+pub mod ops;
+pub mod reduce;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A state of a tree automaton (dense index).
+pub type State = usize;
+
+/// A finite labeled ordered tree.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tree<L> {
+    /// The node label.
+    pub label: L,
+    /// The children, in order (empty for leaves).
+    pub children: Vec<Tree<L>>,
+}
+
+impl<L> Tree<L> {
+    /// A leaf node.
+    pub fn leaf(label: L) -> Self {
+        Tree {
+            label,
+            children: Vec::new(),
+        }
+    }
+
+    /// An internal node.
+    pub fn node(label: L, children: Vec<Tree<L>>) -> Self {
+        Tree { label, children }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(Tree::size).sum::<usize>()
+    }
+
+    /// Height of the tree (a single node has height 1).
+    pub fn height(&self) -> usize {
+        1 + self.children.iter().map(Tree::height).max().unwrap_or(0)
+    }
+
+    /// Iterate over all node labels (pre-order).
+    pub fn labels(&self) -> Vec<&L> {
+        let mut out = Vec::with_capacity(self.size());
+        let mut stack = vec![self];
+        while let Some(node) = stack.pop() {
+            out.push(&node.label);
+            for child in node.children.iter().rev() {
+                stack.push(child);
+            }
+        }
+        out
+    }
+
+    /// Map the labels of the tree.
+    pub fn map<M>(&self, f: &impl Fn(&L) -> M) -> Tree<M> {
+        Tree {
+            label: f(&self.label),
+            children: self.children.iter().map(|c| c.map(f)).collect(),
+        }
+    }
+}
+
+impl<L: fmt::Display> Tree<L> {
+    /// Render the tree with two-space indentation, one node per line.
+    pub fn render(&self) -> String {
+        fn go<L: fmt::Display>(node: &Tree<L>, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&node.label.to_string());
+            out.push('\n');
+            for child in &node.children {
+                go(child, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        go(self, 0, &mut out);
+        out
+    }
+}
+
+impl<L: fmt::Display> fmt::Display for Tree<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl<L: fmt::Debug> fmt::Debug for Tree<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go<L: fmt::Debug>(
+            node: &Tree<L>,
+            depth: usize,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            writeln!(f, "{}{:?}", "  ".repeat(depth), node.label)?;
+            for child in &node.children {
+                go(child, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        go(self, 0, f)
+    }
+}
+
+/// A nondeterministic top-down tree automaton.
+#[derive(Clone, PartialEq, Eq)]
+pub struct TreeAutomaton<L: Ord + Clone> {
+    state_count: usize,
+    initial: BTreeSet<State>,
+    /// `transitions[s][label]` is the set of allowed child-state tuples when
+    /// a node labeled `label` is assigned state `s`.  The empty tuple means
+    /// the node may be a leaf.
+    transitions: BTreeMap<State, BTreeMap<L, BTreeSet<Vec<State>>>>,
+}
+
+impl<L: Ord + Clone> TreeAutomaton<L> {
+    /// Create an automaton with `state_count` states and no transitions.
+    pub fn new(state_count: usize) -> Self {
+        TreeAutomaton {
+            state_count,
+            initial: BTreeSet::new(),
+            transitions: BTreeMap::new(),
+        }
+    }
+
+    /// Add a fresh state and return its index.
+    pub fn add_state(&mut self) -> State {
+        self.state_count += 1;
+        self.state_count - 1
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.state_count
+    }
+
+    /// Number of transitions (state, label, tuple) entries.
+    pub fn transition_count(&self) -> usize {
+        self.transitions
+            .values()
+            .flat_map(|m| m.values())
+            .map(|tuples| tuples.len())
+            .sum()
+    }
+
+    /// Mark a state as initial (allowed at the root).
+    pub fn add_initial(&mut self, state: State) {
+        debug_assert!(state < self.state_count);
+        self.initial.insert(state);
+    }
+
+    /// The initial states.
+    pub fn initial(&self) -> &BTreeSet<State> {
+        &self.initial
+    }
+
+    /// Add a transition: a node in state `state` with label `label` may have
+    /// children in states `children` (empty = the node may be a leaf).
+    pub fn add_transition(&mut self, state: State, label: L, children: Vec<State>) {
+        debug_assert!(state < self.state_count);
+        debug_assert!(children.iter().all(|&c| c < self.state_count));
+        self.transitions
+            .entry(state)
+            .or_default()
+            .entry(label)
+            .or_default()
+            .insert(children);
+    }
+
+    /// The allowed child tuples for `(state, label)`.
+    pub fn tuples(&self, state: State, label: &L) -> impl Iterator<Item = &Vec<State>> + '_ {
+        self.transitions
+            .get(&state)
+            .and_then(|m| m.get(label))
+            .into_iter()
+            .flat_map(|tuples| tuples.iter())
+    }
+
+    /// Iterate over all transitions as `(state, label, tuple)`.
+    pub fn transitions(&self) -> impl Iterator<Item = (State, &L, &Vec<State>)> + '_ {
+        self.transitions.iter().flat_map(|(&s, by_label)| {
+            by_label
+                .iter()
+                .flat_map(move |(label, tuples)| tuples.iter().map(move |t| (s, label, t)))
+        })
+    }
+
+    /// The set of labels that occur in transitions, with the arities they
+    /// are used at (a label may be used at several arities).
+    pub fn ranked_alphabet(&self) -> BTreeMap<L, BTreeSet<usize>> {
+        let mut out: BTreeMap<L, BTreeSet<usize>> = BTreeMap::new();
+        for (_, label, tuple) in self.transitions() {
+            out.entry(label.clone()).or_default().insert(tuple.len());
+        }
+        out
+    }
+
+    /// The set of states `s` such that the subtree rooted at `node` admits a
+    /// locally consistent run when the root is labeled `s`.
+    pub fn admissible_states(&self, node: &Tree<L>) -> BTreeSet<State> {
+        let child_sets: Vec<BTreeSet<State>> = node
+            .children
+            .iter()
+            .map(|c| self.admissible_states(c))
+            .collect();
+        let mut out = BTreeSet::new();
+        for s in 0..self.state_count {
+            let found = self.tuples(s, &node.label).any(|tuple| {
+                tuple.len() == node.children.len()
+                    && tuple
+                        .iter()
+                        .zip(&child_sets)
+                        .all(|(&child_state, set)| set.contains(&child_state))
+            });
+            if found {
+                out.insert(s);
+            }
+        }
+        out
+    }
+
+    /// Does the automaton accept the tree?
+    pub fn accepts(&self, tree: &Tree<L>) -> bool {
+        self.admissible_states(tree)
+            .iter()
+            .any(|s| self.initial.contains(s))
+    }
+}
+
+impl<L: Ord + Clone + fmt::Debug> fmt::Debug for TreeAutomaton<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "TreeAutomaton {{ states: {}, initial: {:?} }}",
+            self.state_count, self.initial
+        )?;
+        for (s, label, tuple) in self.transitions() {
+            writeln!(f, "  {s} --{label:?}--> {tuple:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Automaton over labels {'a', 'b'} accepting trees in which every leaf
+    /// is labeled 'b' and every internal node 'a' with exactly two children.
+    fn ab_trees() -> TreeAutomaton<char> {
+        let mut t = TreeAutomaton::new(1);
+        t.add_initial(0);
+        t.add_transition(0, 'a', vec![0, 0]);
+        t.add_transition(0, 'b', vec![]);
+        t
+    }
+
+    fn b() -> Tree<char> {
+        Tree::leaf('b')
+    }
+
+    #[test]
+    fn tree_size_and_height() {
+        let t = Tree::node('a', vec![b(), Tree::node('a', vec![b(), b()])]);
+        assert_eq!(t.size(), 5);
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.labels().len(), 5);
+    }
+
+    #[test]
+    fn accepts_balanced_ab_trees() {
+        let auto = ab_trees();
+        assert!(auto.accepts(&b()));
+        assert!(auto.accepts(&Tree::node('a', vec![b(), b()])));
+        assert!(auto.accepts(&Tree::node('a', vec![b(), Tree::node('a', vec![b(), b()])])));
+    }
+
+    #[test]
+    fn rejects_malformed_trees() {
+        let auto = ab_trees();
+        // 'a' as a leaf: not allowed.
+        assert!(!auto.accepts(&Tree::leaf('a')));
+        // 'a' with one child: not allowed.
+        assert!(!auto.accepts(&Tree::node('a', vec![b()])));
+        // 'b' with children: not allowed.
+        assert!(!auto.accepts(&Tree::node('b', vec![b(), b()])));
+        // Unknown label.
+        assert!(!auto.accepts(&Tree::leaf('c')));
+    }
+
+    #[test]
+    fn admissible_states_are_computed_bottom_up() {
+        let mut auto = TreeAutomaton::new(2);
+        auto.add_initial(0);
+        auto.add_transition(0, 'a', vec![1, 1]);
+        auto.add_transition(1, 'b', vec![]);
+        let good = Tree::node('a', vec![b(), b()]);
+        assert_eq!(auto.admissible_states(&good), BTreeSet::from([0]));
+        assert_eq!(auto.admissible_states(&b()), BTreeSet::from([1]));
+        // 1 is not initial, so a bare leaf is rejected even though it has an
+        // admissible state.
+        assert!(!auto.accepts(&b()));
+    }
+
+    #[test]
+    fn ranked_alphabet_reports_arities() {
+        let auto = ab_trees();
+        let ranked = auto.ranked_alphabet();
+        assert_eq!(ranked[&'a'], BTreeSet::from([2]));
+        assert_eq!(ranked[&'b'], BTreeSet::from([0]));
+    }
+
+    #[test]
+    fn render_is_indented() {
+        let t = Tree::node('a', vec![b(), b()]);
+        let text = t.render();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.lines().nth(1).unwrap().starts_with("  "));
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let t = Tree::node('a', vec![b(), b()]);
+        let mapped = t.map(&|c| format!("{c}!"));
+        assert_eq!(mapped.size(), 3);
+        assert_eq!(mapped.label, "a!");
+    }
+
+    #[test]
+    fn transition_count_counts_tuples() {
+        let auto = ab_trees();
+        assert_eq!(auto.transition_count(), 2);
+        assert_eq!(auto.state_count(), 1);
+    }
+}

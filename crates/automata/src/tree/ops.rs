@@ -1,0 +1,377 @@
+//! Boolean operations on tree automata (Proposition 4.4).
+//!
+//! Union and intersection are polynomial; complementation goes through
+//! bottom-up determinization (subset construction) over an explicit ranked
+//! alphabet and may be exponential — that blowup is exactly what drives the
+//! EXPTIME bound for tree-automata containment (Proposition 4.6), and the
+//! doubly exponential bound of Theorem 5.12 when the input automaton is
+//! itself exponential in the Datalog program.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use super::{State, Tree, TreeAutomaton};
+
+/// Union: `T(result) = T(a) ∪ T(b)` (disjoint union).
+pub fn union<L: Ord + Clone>(a: &TreeAutomaton<L>, b: &TreeAutomaton<L>) -> TreeAutomaton<L> {
+    let offset = a.state_count();
+    let mut out = TreeAutomaton::new(offset + b.state_count());
+    for &s in a.initial() {
+        out.add_initial(s);
+    }
+    for (s, label, tuple) in a.transitions() {
+        out.add_transition(s, label.clone(), tuple.clone());
+    }
+    for &s in b.initial() {
+        out.add_initial(s + offset);
+    }
+    for (s, label, tuple) in b.transitions() {
+        out.add_transition(
+            s + offset,
+            label.clone(),
+            tuple.iter().map(|&c| c + offset).collect(),
+        );
+    }
+    out
+}
+
+/// Intersection: `T(result) = T(a) ∩ T(b)` (product construction restricted
+/// to pairs reachable top-down from initial pairs).
+pub fn intersection<L: Ord + Clone>(
+    a: &TreeAutomaton<L>,
+    b: &TreeAutomaton<L>,
+) -> TreeAutomaton<L> {
+    let mut index: BTreeMap<(State, State), State> = BTreeMap::new();
+    let mut out = TreeAutomaton::new(0);
+    let mut queue: VecDeque<(State, State)> = VecDeque::new();
+
+    for &sa in a.initial() {
+        for &sb in b.initial() {
+            let id = out.add_state();
+            index.insert((sa, sb), id);
+            out.add_initial(id);
+            queue.push_back((sa, sb));
+        }
+    }
+
+    // Pre-index b's transitions by (state, label, arity) to pair tuples of
+    // equal length.
+    while let Some((sa, sb)) = queue.pop_front() {
+        let id = index[&(sa, sb)];
+        // Collect a's transitions from sa grouped by label.
+        let a_by_label: BTreeMap<&L, Vec<&Vec<State>>> = {
+            let mut m: BTreeMap<&L, Vec<&Vec<State>>> = BTreeMap::new();
+            for (s, label, tuple) in a.transitions() {
+                if s == sa {
+                    m.entry(label).or_default().push(tuple);
+                }
+            }
+            m
+        };
+        for (label, a_tuples) in a_by_label {
+            let b_tuples: Vec<&Vec<State>> = b.tuples(sb, label).collect();
+            if b_tuples.is_empty() {
+                continue;
+            }
+            for ta in &a_tuples {
+                for tb in &b_tuples {
+                    if ta.len() != tb.len() {
+                        continue;
+                    }
+                    let mut children = Vec::with_capacity(ta.len());
+                    for (&ca, &cb) in ta.iter().zip(tb.iter()) {
+                        let child_id = *index.entry((ca, cb)).or_insert_with(|| {
+                            queue.push_back((ca, cb));
+                            out.add_state()
+                        });
+                        children.push(child_id);
+                    }
+                    out.add_transition(id, label.clone(), children);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A bottom-up deterministic tree automaton over an explicit ranked
+/// alphabet, produced by [`determinize`].
+///
+/// `transitions[(label, child_states)] = state` — reading the tree bottom-up
+/// assigns a unique state to every node; the tree is accepted when the root
+/// state is in `accepting`.
+#[derive(Clone, Debug)]
+pub struct BottomUpDeterministic<L: Ord + Clone> {
+    /// Number of subset-states.
+    pub state_count: usize,
+    /// Accepting subset-states (those containing an initial state of the
+    /// original automaton — or, after complementation, those not containing
+    /// one).
+    pub accepting: BTreeSet<State>,
+    /// Deterministic bottom-up transition table.
+    pub transitions: BTreeMap<(L, Vec<State>), State>,
+    /// The ranked alphabet the automaton is complete over.
+    pub alphabet: BTreeMap<L, BTreeSet<usize>>,
+}
+
+impl<L: Ord + Clone> BottomUpDeterministic<L> {
+    /// Run the deterministic automaton bottom-up on a tree.  Returns `None`
+    /// if the tree uses a label/arity outside the ranked alphabet.
+    pub fn run(&self, tree: &Tree<L>) -> Option<State> {
+        let child_states: Option<Vec<State>> =
+            tree.children.iter().map(|c| self.run(c)).collect();
+        self.transitions
+            .get(&(tree.label.clone(), child_states?))
+            .copied()
+    }
+
+    /// Does the automaton accept the tree?
+    pub fn accepts(&self, tree: &Tree<L>) -> bool {
+        self.run(tree).is_some_and(|s| self.accepting.contains(&s))
+    }
+}
+
+/// Determinize a (top-down nondeterministic) tree automaton into a complete
+/// bottom-up deterministic automaton over the given ranked alphabet.
+///
+/// Subset construction: the state reached at a node is the set of original
+/// states from which the subtree admits a run.  Exponential in the worst
+/// case ([MF71] for words; the same holds for trees).
+pub fn determinize<L: Ord + Clone>(
+    automaton: &TreeAutomaton<L>,
+    alphabet: &BTreeMap<L, BTreeSet<usize>>,
+) -> BottomUpDeterministic<L> {
+    // Enumerate reachable subsets bottom-up.
+    let mut subset_index: BTreeMap<BTreeSet<State>, State> = BTreeMap::new();
+    let mut subsets: Vec<BTreeSet<State>> = Vec::new();
+    let mut transitions: BTreeMap<(L, Vec<State>), State> = BTreeMap::new();
+
+    let intern = |subset: BTreeSet<State>,
+                      subsets: &mut Vec<BTreeSet<State>>,
+                      subset_index: &mut BTreeMap<BTreeSet<State>, State>|
+     -> (State, bool) {
+        if let Some(&id) = subset_index.get(&subset) {
+            (id, false)
+        } else {
+            let id = subsets.len();
+            subset_index.insert(subset.clone(), id);
+            subsets.push(subset);
+            (id, true)
+        }
+    };
+
+    // The target subset for label `l` and child subsets `S1..Sk`:
+    // { s | ∃ (c1..ck) ∈ δ(s, l) with ci ∈ Si }.
+    let compute_target = |label: &L, child_subsets: &[&BTreeSet<State>]| -> BTreeSet<State> {
+        let mut target = BTreeSet::new();
+        for s in 0..automaton.state_count() {
+            let ok = automaton.tuples(s, label).any(|tuple| {
+                tuple.len() == child_subsets.len()
+                    && tuple
+                        .iter()
+                        .zip(child_subsets)
+                        .all(|(c, subset)| subset.contains(c))
+            });
+            if ok {
+                target.insert(s);
+            }
+        }
+        target
+    };
+
+    // Fixpoint: keep combining known subsets under every label/arity until
+    // no new subset appears.  (The empty subset is also a valid state and is
+    // created on demand, keeping the automaton complete.)
+    let mut changed = true;
+    // Seed with arity-0 (leaf) targets.
+    for (label, arities) in alphabet {
+        if arities.contains(&0) {
+            let target = compute_target(label, &[]);
+            let (id, _) = intern(target, &mut subsets, &mut subset_index);
+            transitions.insert((label.clone(), Vec::new()), id);
+        }
+    }
+    while changed {
+        changed = false;
+        let current: Vec<BTreeSet<State>> = subsets.clone();
+        for (label, arities) in alphabet {
+            for &arity in arities {
+                if arity == 0 || current.is_empty() {
+                    continue;
+                }
+                // All combinations of `arity` known subsets.
+                let mut combo = vec![0usize; arity];
+                loop {
+                    let child_ids: Vec<State> = combo.clone();
+                    if !transitions.contains_key(&(label.clone(), child_ids.clone())) {
+                        let child_refs: Vec<&BTreeSet<State>> =
+                            combo.iter().map(|&i| &current[i]).collect();
+                        let target = compute_target(label, &child_refs);
+                        let (id, is_new) = intern(target, &mut subsets, &mut subset_index);
+                        transitions.insert((label.clone(), child_ids), id);
+                        if is_new {
+                            changed = true;
+                        }
+                    }
+                    // Advance odometer over `current` (not over any subsets
+                    // added this round; those are picked up next round).
+                    let mut carry = true;
+                    for slot in combo.iter_mut() {
+                        if carry {
+                            *slot += 1;
+                            if *slot == current.len() {
+                                *slot = 0;
+                            } else {
+                                carry = false;
+                            }
+                        }
+                    }
+                    if carry {
+                        break;
+                    }
+                }
+            }
+        }
+        if subsets.len() > current.len() {
+            changed = true;
+        }
+    }
+
+    let accepting = subsets
+        .iter()
+        .enumerate()
+        .filter(|(_, subset)| subset.iter().any(|s| automaton.initial().contains(s)))
+        .map(|(i, _)| i)
+        .collect();
+
+    BottomUpDeterministic {
+        state_count: subsets.len(),
+        accepting,
+        transitions,
+        alphabet: alphabet.clone(),
+    }
+}
+
+/// Complement of the tree language with respect to all trees over the given
+/// ranked alphabet.
+pub fn complement<L: Ord + Clone>(
+    automaton: &TreeAutomaton<L>,
+    alphabet: &BTreeMap<L, BTreeSet<usize>>,
+) -> BottomUpDeterministic<L> {
+    let mut det = determinize(automaton, alphabet);
+    det.accepting = (0..det.state_count)
+        .filter(|s| !det.accepting.contains(s))
+        .collect();
+    det
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Binary 'a'-nodes over 'b' leaves.
+    fn ab_trees() -> TreeAutomaton<char> {
+        let mut t = TreeAutomaton::new(1);
+        t.add_initial(0);
+        t.add_transition(0, 'a', vec![0, 0]);
+        t.add_transition(0, 'b', vec![]);
+        t
+    }
+
+    /// Same shape but requires at least one 'c' leaf somewhere.
+    fn ab_trees_with_c() -> TreeAutomaton<char> {
+        // state 0 = "contains c", state 1 = "any ab-or-c tree".
+        let mut t = TreeAutomaton::new(2);
+        t.add_initial(0);
+        t.add_transition(0, 'c', vec![]);
+        t.add_transition(0, 'a', vec![0, 1]);
+        t.add_transition(0, 'a', vec![1, 0]);
+        t.add_transition(1, 'a', vec![1, 1]);
+        t.add_transition(1, 'b', vec![]);
+        t.add_transition(1, 'c', vec![]);
+        t
+    }
+
+    fn leaf(c: char) -> Tree<char> {
+        Tree::leaf(c)
+    }
+
+    fn sample_trees() -> Vec<Tree<char>> {
+        vec![
+            leaf('b'),
+            leaf('c'),
+            Tree::node('a', vec![leaf('b'), leaf('b')]),
+            Tree::node('a', vec![leaf('b'), leaf('c')]),
+            Tree::node('a', vec![leaf('c'), Tree::node('a', vec![leaf('b'), leaf('b')])]),
+            Tree::node('a', vec![leaf('b')]),
+        ]
+    }
+
+    fn full_alphabet() -> BTreeMap<char, BTreeSet<usize>> {
+        BTreeMap::from([
+            ('a', BTreeSet::from([1, 2])),
+            ('b', BTreeSet::from([0])),
+            ('c', BTreeSet::from([0])),
+        ])
+    }
+
+    #[test]
+    fn union_accepts_either() {
+        let u = union(&ab_trees(), &ab_trees_with_c());
+        for t in sample_trees() {
+            let expected = ab_trees().accepts(&t) || ab_trees_with_c().accepts(&t);
+            assert_eq!(u.accepts(&t), expected, "tree:\n{t}");
+        }
+    }
+
+    #[test]
+    fn intersection_accepts_both() {
+        let i = intersection(&ab_trees(), &ab_trees_with_c());
+        for t in sample_trees() {
+            let expected = ab_trees().accepts(&t) && ab_trees_with_c().accepts(&t);
+            assert_eq!(i.accepts(&t), expected, "tree:\n{t}");
+        }
+        // Sanity: the intersection is empty because ab_trees has no 'c'.
+        assert!(crate::tree::emptiness::is_empty(&i));
+    }
+
+    #[test]
+    fn determinization_preserves_the_language() {
+        let det = determinize(&ab_trees_with_c(), &full_alphabet());
+        for t in sample_trees() {
+            assert_eq!(det.accepts(&t), ab_trees_with_c().accepts(&t), "tree:\n{t}");
+        }
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let comp = complement(&ab_trees(), &full_alphabet());
+        for t in sample_trees() {
+            assert_eq!(comp.accepts(&t), !ab_trees().accepts(&t), "tree:\n{t}");
+        }
+    }
+
+    #[test]
+    fn determinized_automaton_rejects_out_of_alphabet_trees() {
+        let det = determinize(&ab_trees(), &full_alphabet());
+        let weird = Tree::node('z', vec![leaf('b')]);
+        assert!(!det.accepts(&weird));
+        assert!(det.run(&weird).is_none());
+    }
+
+    #[test]
+    fn intersection_of_identical_automata_is_the_same_language() {
+        let i = intersection(&ab_trees(), &ab_trees());
+        for t in sample_trees() {
+            assert_eq!(i.accepts(&t), ab_trees().accepts(&t));
+        }
+    }
+
+    #[test]
+    fn union_with_empty_automaton_is_identity() {
+        let empty = TreeAutomaton::<char>::new(0);
+        let u = union(&ab_trees(), &empty);
+        for t in sample_trees() {
+            assert_eq!(u.accepts(&t), ab_trees().accepts(&t));
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Reduction (trimming) of tree automata.
+//!
+//! A state of a top-down tree automaton is *useful* when it is both
+//! **productive** (it accepts at least one tree — the `accept(A)` fixpoint
+//! of Proposition 4.5) and **reachable** (some partial run starting at an
+//! initial state can assign it to a node).  Dropping useless states and the
+//! transitions that mention them preserves the tree language and can shrink
+//! the automata produced by the Section 5 constructions considerably; the
+//! `automata` bench uses this as an ablation for the containment check.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use super::emptiness::accept_set;
+use super::{State, TreeAutomaton};
+
+/// Statistics reported by [`reduce_with_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReduceStats {
+    /// States of the input automaton.
+    pub states_before: usize,
+    /// States kept (reachable and productive).
+    pub states_after: usize,
+    /// Transitions of the input automaton.
+    pub transitions_before: usize,
+    /// Transitions kept.
+    pub transitions_after: usize,
+}
+
+/// The reachable-and-productive states of the automaton.
+pub fn useful_states<L: Ord + Clone>(automaton: &TreeAutomaton<L>) -> BTreeSet<State> {
+    let productive = accept_set(automaton);
+
+    // Top-down reachability restricted to transitions whose child tuples are
+    // entirely productive (other transitions can never be part of an
+    // accepting run).
+    let mut reachable: BTreeSet<State> = automaton
+        .initial()
+        .iter()
+        .copied()
+        .filter(|&s| productive.contains(s))
+        .collect();
+    let mut queue: VecDeque<State> = reachable.iter().copied().collect();
+    // Group transitions by source state once.
+    let mut by_source: BTreeMap<State, Vec<&Vec<State>>> = BTreeMap::new();
+    for (state, _, tuple) in automaton.transitions() {
+        by_source.entry(state).or_default().push(tuple);
+    }
+    while let Some(state) = queue.pop_front() {
+        let Some(tuples) = by_source.get(&state) else {
+            continue;
+        };
+        for tuple in tuples {
+            if !tuple.iter().all(|&c| productive.contains(c)) {
+                continue;
+            }
+            for &child in tuple.iter() {
+                if reachable.insert(child) {
+                    queue.push_back(child);
+                }
+            }
+        }
+    }
+    reachable
+}
+
+/// Remove useless states (and every transition mentioning one), renumbering
+/// the remaining states densely.  The tree language is unchanged.
+pub fn reduce<L: Ord + Clone>(automaton: &TreeAutomaton<L>) -> TreeAutomaton<L> {
+    reduce_with_stats(automaton).0
+}
+
+/// [`reduce`], also reporting before/after sizes.
+pub fn reduce_with_stats<L: Ord + Clone>(
+    automaton: &TreeAutomaton<L>,
+) -> (TreeAutomaton<L>, ReduceStats) {
+    let useful = useful_states(automaton);
+    let renumber: BTreeMap<State, State> = useful
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, new))
+        .collect();
+
+    let mut out = TreeAutomaton::new(useful.len());
+    for &s in automaton.initial() {
+        if let Some(&new) = renumber.get(&s) {
+            out.add_initial(new);
+        }
+    }
+    let mut kept_transitions = 0usize;
+    for (state, label, tuple) in automaton.transitions() {
+        let Some(&new_state) = renumber.get(&state) else {
+            continue;
+        };
+        let Some(children) = tuple
+            .iter()
+            .map(|c| renumber.get(c).copied())
+            .collect::<Option<Vec<State>>>()
+        else {
+            continue;
+        };
+        out.add_transition(new_state, label.clone(), children);
+        kept_transitions += 1;
+    }
+    let stats = ReduceStats {
+        states_before: automaton.state_count(),
+        states_after: useful.len(),
+        transitions_before: automaton.transition_count(),
+        transitions_after: kept_transitions,
+    };
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::containment::equivalent;
+    use crate::tree::emptiness::{find_witness, is_empty};
+    use crate::tree::Tree;
+
+    /// Binary 'a' trees over 'b' leaves, with a useless branch: state 1 is
+    /// reachable but not productive (no leaf transition), state 2 is
+    /// productive but unreachable.
+    fn noisy_binary_trees() -> TreeAutomaton<char> {
+        let mut automaton = TreeAutomaton::new(4);
+        automaton.add_initial(0);
+        automaton.add_transition(0, 'a', vec![0, 0]);
+        automaton.add_transition(0, 'b', vec![]);
+        // Dead branch.
+        automaton.add_transition(0, 'a', vec![1, 0]);
+        automaton.add_transition(1, 'a', vec![1, 1]);
+        // Unreachable productive state.
+        automaton.add_transition(2, 'b', vec![]);
+        // Completely disconnected state 3 (no transitions at all).
+        automaton
+    }
+
+    #[test]
+    fn reduce_removes_dead_and_unreachable_states() {
+        let automaton = noisy_binary_trees();
+        let (reduced, stats) = reduce_with_stats(&automaton);
+        assert_eq!(stats.states_before, 4);
+        assert_eq!(stats.states_after, 1);
+        assert_eq!(stats.transitions_before, 5);
+        assert_eq!(stats.transitions_after, 2);
+        assert!(equivalent(&automaton, &reduced));
+    }
+
+    #[test]
+    fn reduce_preserves_acceptance_of_sample_trees() {
+        let automaton = noisy_binary_trees();
+        let reduced = reduce(&automaton);
+        let leaf = Tree::leaf('b');
+        let node = |children| Tree::node('a', children);
+        for tree in [
+            leaf.clone(),
+            node(vec![leaf.clone(), leaf.clone()]),
+            node(vec![node(vec![leaf.clone(), leaf.clone()]), leaf.clone()]),
+            Tree::leaf('a'),
+            node(vec![leaf.clone()]),
+        ] {
+            assert_eq!(automaton.accepts(&tree), reduced.accepts(&tree));
+        }
+    }
+
+    #[test]
+    fn reduce_of_empty_language_yields_the_empty_automaton() {
+        let mut automaton: TreeAutomaton<char> = TreeAutomaton::new(2);
+        automaton.add_initial(0);
+        // State 0 only rewrites to itself: no finite tree is accepted.
+        automaton.add_transition(0, 'a', vec![0]);
+        assert!(is_empty(&automaton));
+        let reduced = reduce(&automaton);
+        assert_eq!(reduced.state_count(), 0);
+        assert_eq!(reduced.transition_count(), 0);
+        assert!(is_empty(&reduced));
+    }
+
+    #[test]
+    fn useful_states_are_exactly_those_on_accepting_runs() {
+        let automaton = noisy_binary_trees();
+        let useful = useful_states(&automaton);
+        assert_eq!(useful, BTreeSet::from([0]));
+    }
+
+    #[test]
+    fn reduction_keeps_a_witness_available() {
+        let automaton = noisy_binary_trees();
+        let reduced = reduce(&automaton);
+        let witness = find_witness(&reduced).expect("nonempty language");
+        assert!(automaton.accepts(&witness));
+    }
+}

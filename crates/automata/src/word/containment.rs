@@ -1,0 +1,220 @@
+//! Language containment for word automata (Proposition 4.3).
+//!
+//! `L(A1) ⊆ L(A2)` iff `L(A1) ∩ complement(L(A2))` is empty.  Rather than
+//! materialising the (possibly exponential) complement, the check runs the
+//! subset construction of `A2` *on the fly*, synchronised with `A1`:
+//! explore pairs `(q, S)` where `q` is an `A1` state and `S` the set of `A2`
+//! states reachable on the same input.  A pair with `q` accepting and `S`
+//! containing no accepting state witnesses a word in `L(A1) \ L(A2)`.
+//!
+//! This is the PSPACE algorithm behind the EXPSPACE upper bound for linear
+//! programs (Theorem 5.12); the worst case is still exponential in `A2`, but
+//! the benches show it rarely is on the paper's program families.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use super::{Nfa, State};
+
+/// The outcome of a containment check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WordContainment<A> {
+    /// `L(A1) ⊆ L(A2)`.
+    Contained {
+        /// Number of `(state, subset)` pairs explored — the effective size
+        /// of the on-the-fly product, reported for the benches.
+        explored: usize,
+    },
+    /// Not contained; a shortest witness word in `L(A1) \ L(A2)`.
+    NotContained {
+        /// A word accepted by `A1` but not by `A2`.
+        witness: Vec<A>,
+        /// Number of `(state, subset)` pairs explored.
+        explored: usize,
+    },
+}
+
+impl<A> WordContainment<A> {
+    /// Is the answer "contained"?
+    pub fn is_contained(&self) -> bool {
+        matches!(self, WordContainment::Contained { .. })
+    }
+
+    /// Number of explored product states.
+    pub fn explored(&self) -> usize {
+        match self {
+            WordContainment::Contained { explored } | WordContainment::NotContained { explored, .. } => {
+                *explored
+            }
+        }
+    }
+}
+
+/// Decide whether `L(a) ⊆ L(b)`.
+pub fn contained_in<A: Ord + Clone>(a: &Nfa<A>, b: &Nfa<A>) -> WordContainment<A> {
+    // Node of the search: (A1 state, set of A2 states).
+    type Key = (State, BTreeSet<State>);
+    let b_initial: BTreeSet<State> = b.initial().clone();
+
+    let mut visited: BTreeMap<Key, Option<(Key, A)>> = BTreeMap::new();
+    let mut queue: VecDeque<Key> = VecDeque::new();
+    for &qa in a.initial() {
+        let key = (qa, b_initial.clone());
+        if visited.insert(key.clone(), None).is_none() {
+            queue.push_back(key);
+        }
+    }
+
+    let mut violation: Option<Key> = visited
+        .keys()
+        .find(|(qa, sb)| a.is_accepting(*qa) && !sb.iter().any(|&s| b.is_accepting(s)))
+        .cloned();
+
+    while violation.is_none() {
+        let Some(key) = queue.pop_front() else {
+            break;
+        };
+        let (qa, ref sb) = key;
+        // Explore every symbol with at least one A1 successor.
+        let symbols: BTreeSet<A> = a
+            .alphabet()
+            .into_iter()
+            .filter(|sym| a.successors(qa, sym).next().is_some())
+            .collect();
+        for symbol in symbols {
+            let next_sb: BTreeSet<State> = sb
+                .iter()
+                .flat_map(|&s| b.successors(s, &symbol))
+                .collect();
+            for ta in a.successors(qa, &symbol).collect::<Vec<_>>() {
+                let next_key = (ta, next_sb.clone());
+                if let std::collections::btree_map::Entry::Vacant(e) = visited.entry(next_key.clone()) {
+                    e.insert(Some((key.clone(), symbol.clone())));
+                    if a.is_accepting(ta) && !next_sb.iter().any(|&s| b.is_accepting(s)) {
+                        violation = Some(next_key.clone());
+                    }
+                    queue.push_back(next_key);
+                }
+                if violation.is_some() {
+                    break;
+                }
+            }
+            if violation.is_some() {
+                break;
+            }
+        }
+    }
+
+    let explored = visited.len();
+    match violation {
+        None => WordContainment::Contained { explored },
+        Some(mut key) => {
+            let mut witness = Vec::new();
+            while let Some(Some((prev, symbol))) = visited.get(&key) {
+                witness.push(symbol.clone());
+                key = prev.clone();
+            }
+            witness.reverse();
+            WordContainment::NotContained { witness, explored }
+        }
+    }
+}
+
+/// Are the two languages equal?
+pub fn equivalent<A: Ord + Clone>(a: &Nfa<A>, b: &Nfa<A>) -> bool {
+    contained_in(a, b).is_contained() && contained_in(b, a).is_contained()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Automaton for `a^n` with n ≥ min.
+    fn at_least(min: usize) -> Nfa<char> {
+        let mut n = Nfa::new(min + 1);
+        n.add_initial(0);
+        n.add_accepting(min);
+        for i in 0..min {
+            n.add_transition(i, 'a', i + 1);
+        }
+        n.add_transition(min, 'a', min);
+        n
+    }
+
+    #[test]
+    fn longer_requirements_are_contained_in_shorter() {
+        let r = contained_in(&at_least(3), &at_least(1));
+        assert!(r.is_contained());
+        assert!(r.explored() > 0);
+        assert!(!contained_in(&at_least(1), &at_least(3)).is_contained());
+    }
+
+    #[test]
+    fn witness_is_shortest_and_valid() {
+        let a = at_least(1);
+        let b = at_least(3);
+        match contained_in(&a, &b) {
+            WordContainment::NotContained { witness, .. } => {
+                assert!(a.accepts(&witness));
+                assert!(!b.accepts(&witness));
+                assert_eq!(witness.len(), 1, "shortest separating word is `a`");
+            }
+            WordContainment::Contained { .. } => panic!("expected non-containment"),
+        }
+    }
+
+    #[test]
+    fn every_language_contains_the_empty_automaton() {
+        let empty = Nfa::<char>::new(1);
+        assert!(contained_in(&empty, &at_least(2)).is_contained());
+        assert!(!contained_in(&at_least(2), &empty).is_contained());
+    }
+
+    #[test]
+    fn containment_agrees_with_complement_construction() {
+        use crate::word::ops::{complement, intersection};
+        let alphabet: BTreeSet<char> = BTreeSet::from(['a']);
+        for (x, y) in [(1usize, 2usize), (2, 1), (2, 2), (0, 3)] {
+            let a = at_least(x);
+            let b = at_least(y);
+            let direct = contained_in(&a, &b).is_contained();
+            let via_complement = intersection(&a, &complement(&b, &alphabet)).is_empty();
+            assert_eq!(direct, via_complement, "x={x}, y={y}");
+        }
+    }
+
+    #[test]
+    fn equivalence_is_symmetric_containment() {
+        assert!(equivalent(&at_least(2), &at_least(2)));
+        assert!(!equivalent(&at_least(2), &at_least(3)));
+    }
+
+    #[test]
+    fn different_alphabet_symbols_are_counterexamples() {
+        // a* vs b*: the word "a" separates them.
+        let mut a_star = Nfa::new(1);
+        a_star.add_initial(0);
+        a_star.add_accepting(0);
+        a_star.add_transition(0, 'a', 0);
+        let mut b_star = Nfa::new(1);
+        b_star.add_initial(0);
+        b_star.add_accepting(0);
+        b_star.add_transition(0, 'b', 0);
+        match contained_in(&a_star, &b_star) {
+            WordContainment::NotContained { witness, .. } => assert_eq!(witness, vec!['a']),
+            _ => panic!("expected non-containment"),
+        }
+    }
+
+    #[test]
+    fn initial_accepting_violation_is_detected_immediately() {
+        // A1 accepts ε, A2 does not.
+        let mut a = Nfa::<char>::new(1);
+        a.add_initial(0);
+        a.add_accepting(0);
+        let b = at_least(1);
+        match contained_in(&a, &b) {
+            WordContainment::NotContained { witness, .. } => assert!(witness.is_empty()),
+            _ => panic!("expected non-containment"),
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! DFA minimization and NFA trimming.
+//!
+//! The containment procedures of the paper never need canonical minimal
+//! automata — the upper bounds go through the subset construction directly —
+//! but trimming and minimization are the standard engineering levers for
+//! keeping the intermediate automata small, and the `automata` bench uses
+//! them as an ablation: containment on raw versus trimmed/minimized inputs.
+//!
+//! * [`trim`] removes states of an [`Nfa`] that are unreachable from the
+//!   initial states or cannot reach an accepting state.
+//! * [`minimize`] computes the minimal DFA equivalent to a [`Dfa`] by
+//!   Moore's partition refinement (restricted to reachable states first).
+//! * [`minimal_dfa`] is the composition `determinize ∘ minimize`.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use super::ops::{determinize, Dfa};
+use super::{Nfa, State};
+
+/// Remove states that are unreachable from an initial state or from which
+/// no accepting state is reachable, renumbering the remaining states
+/// densely.  The language is preserved.
+pub fn trim<A: Ord + Clone>(nfa: &Nfa<A>) -> Nfa<A> {
+    // Forward reachability.
+    let forward = nfa.reachable_states();
+    // Backward reachability (co-reachability) over reversed edges.
+    let mut reverse: BTreeMap<State, Vec<State>> = BTreeMap::new();
+    for (from, _, to) in nfa.transitions() {
+        reverse.entry(to).or_default().push(from);
+    }
+    let mut backward: BTreeSet<State> = nfa.accepting().clone();
+    let mut queue: VecDeque<State> = backward.iter().copied().collect();
+    while let Some(state) = queue.pop_front() {
+        if let Some(predecessors) = reverse.get(&state) {
+            for &p in predecessors {
+                if backward.insert(p) {
+                    queue.push_back(p);
+                }
+            }
+        }
+    }
+
+    let keep: Vec<State> = (0..nfa.state_count())
+        .filter(|s| forward.contains(s) && backward.contains(s))
+        .collect();
+    let renumber: BTreeMap<State, State> =
+        keep.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+
+    let mut out = Nfa::new(keep.len());
+    for &s in nfa.initial() {
+        if let Some(&new) = renumber.get(&s) {
+            out.add_initial(new);
+        }
+    }
+    for &s in nfa.accepting() {
+        if let Some(&new) = renumber.get(&s) {
+            out.add_accepting(new);
+        }
+    }
+    for (from, symbol, to) in nfa.transitions() {
+        if let (Some(&f), Some(&t)) = (renumber.get(&from), renumber.get(&to)) {
+            out.add_transition(f, symbol.clone(), t);
+        }
+    }
+    out
+}
+
+/// The minimal DFA equivalent to `dfa`, computed by Moore's partition
+/// refinement over the states reachable from the initial state.  The result
+/// is total over the same alphabet; its initial state is 0.
+pub fn minimize<A: Ord + Clone>(dfa: &Dfa<A>) -> Dfa<A> {
+    // Restrict to reachable states.
+    let mut reachable: BTreeSet<State> = BTreeSet::from([0]);
+    let mut queue = VecDeque::from([0]);
+    while let Some(state) = queue.pop_front() {
+        for symbol in &dfa.alphabet {
+            if let Some(&next) = dfa.transitions.get(&(state, symbol.clone())) {
+                if reachable.insert(next) {
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+
+    // Initial partition: accepting vs. non-accepting.
+    let mut block_of: BTreeMap<State, usize> = reachable
+        .iter()
+        .map(|&s| (s, usize::from(dfa.accepting.contains(&s))))
+        .collect();
+    loop {
+        let old_block_count = block_of.values().collect::<BTreeSet<_>>().len();
+        // Signature of a state: its block plus the blocks of its successors
+        // per alphabet symbol; states with equal signatures form the blocks
+        // of the refined partition.
+        let mut signatures: BTreeMap<State, (usize, Vec<usize>)> = BTreeMap::new();
+        for &s in &reachable {
+            let row: Vec<usize> = dfa
+                .alphabet
+                .iter()
+                .map(|a| block_of[&dfa.transitions[&(s, a.clone())]])
+                .collect();
+            signatures.insert(s, (block_of[&s], row));
+        }
+        let mut signature_ids: BTreeMap<&(usize, Vec<usize>), usize> = BTreeMap::new();
+        let mut next_block: BTreeMap<State, usize> = BTreeMap::new();
+        for &s in &reachable {
+            let signature = &signatures[&s];
+            let fresh = signature_ids.len();
+            let id = *signature_ids.entry(signature).or_insert(fresh);
+            next_block.insert(s, id);
+        }
+        // Refinement is monotone, so the partition is stable exactly when
+        // the number of blocks stops growing.
+        let stable = signature_ids.len() == old_block_count;
+        block_of = next_block;
+        if stable {
+            break;
+        }
+    }
+
+    // Rebuild the quotient automaton, forcing the block of the old initial
+    // state to be state 0.
+    let initial_block = block_of[&0];
+    let block_count = block_of.values().collect::<BTreeSet<_>>().len();
+    let rename = |block: usize| -> State {
+        if block == initial_block {
+            0
+        } else if block < initial_block {
+            block + 1
+        } else {
+            block
+        }
+    };
+    let mut transitions = BTreeMap::new();
+    let mut accepting = BTreeSet::new();
+    for &s in &reachable {
+        let from = rename(block_of[&s]);
+        if dfa.accepting.contains(&s) {
+            accepting.insert(from);
+        }
+        for symbol in &dfa.alphabet {
+            let to = rename(block_of[&dfa.transitions[&(s, symbol.clone())]]);
+            transitions.insert((from, symbol.clone()), to);
+        }
+    }
+    Dfa {
+        state_count: block_count,
+        accepting,
+        transitions,
+        alphabet: dfa.alphabet.clone(),
+    }
+}
+
+/// The minimal DFA for the language of `nfa` over the given alphabet.
+pub fn minimal_dfa<A: Ord + Clone>(nfa: &Nfa<A>, alphabet: &BTreeSet<A>) -> Dfa<A> {
+    minimize(&determinize(nfa, alphabet))
+}
+
+/// Convert a DFA back into an NFA (for feeding the result of minimization
+/// into the NFA-based operations such as union or containment).
+pub fn dfa_to_nfa<A: Ord + Clone>(dfa: &Dfa<A>) -> Nfa<A> {
+    let mut out = Nfa::new(dfa.state_count);
+    out.add_initial(0);
+    for &s in &dfa.accepting {
+        out.add_accepting(s);
+    }
+    for ((from, symbol), to) in &dfa.transitions {
+        out.add_transition(*from, symbol.clone(), *to);
+    }
+    out
+}
+
+/// Are two DFAs over the same alphabet language-equivalent?  Decided by a
+/// product walk from the pair of initial states.
+pub fn dfa_equivalent<A: Ord + Clone>(a: &Dfa<A>, b: &Dfa<A>) -> bool {
+    if a.alphabet != b.alphabet {
+        return false;
+    }
+    let mut seen: BTreeSet<(State, State)> = BTreeSet::new();
+    let mut queue = VecDeque::from([(0, 0)]);
+    while let Some((sa, sb)) = queue.pop_front() {
+        if !seen.insert((sa, sb)) {
+            continue;
+        }
+        if a.accepting.contains(&sa) != b.accepting.contains(&sb) {
+            return false;
+        }
+        for symbol in &a.alphabet {
+            let ta = a.transitions[&(sa, symbol.clone())];
+            let tb = b.transitions[&(sb, symbol.clone())];
+            queue.push_back((ta, tb));
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::containment::equivalent;
+
+    /// `(ab)*` with a redundant unreachable state and a dead state.
+    fn noisy_even_ab() -> Nfa<char> {
+        let mut nfa = Nfa::new(5);
+        nfa.add_initial(0);
+        nfa.add_accepting(0);
+        nfa.add_transition(0, 'a', 1);
+        nfa.add_transition(1, 'b', 0);
+        // Dead state: reachable but cannot reach acceptance.
+        nfa.add_transition(1, 'a', 2);
+        nfa.add_transition(2, 'a', 2);
+        // Unreachable state 3 → 4.
+        nfa.add_transition(3, 'b', 4);
+        nfa
+    }
+
+    #[test]
+    fn trim_removes_dead_and_unreachable_states() {
+        let nfa = noisy_even_ab();
+        let trimmed = trim(&nfa);
+        assert_eq!(trimmed.state_count(), 2);
+        assert!(equivalent(&nfa, &trimmed));
+        assert!(trimmed.accepts(&[]));
+        assert!(trimmed.accepts(&['a', 'b']));
+        assert!(!trimmed.accepts(&['a']));
+    }
+
+    #[test]
+    fn trim_of_empty_language_is_the_empty_automaton() {
+        let mut nfa: Nfa<char> = Nfa::new(3);
+        nfa.add_initial(0);
+        nfa.add_transition(0, 'a', 1);
+        // No accepting states at all.
+        let trimmed = trim(&nfa);
+        assert_eq!(trimmed.state_count(), 0);
+        assert!(trimmed.is_empty());
+    }
+
+    #[test]
+    fn minimization_merges_equivalent_states() {
+        // Two redundant copies of the same accepting loop.
+        let mut nfa = Nfa::new(4);
+        nfa.add_initial(0);
+        nfa.add_transition(0, 'a', 1);
+        nfa.add_transition(0, 'b', 2);
+        nfa.add_accepting(1);
+        nfa.add_accepting(2);
+        nfa.add_transition(1, 'a', 1);
+        nfa.add_transition(2, 'a', 2);
+        let alphabet: BTreeSet<char> = ['a', 'b'].into_iter().collect();
+        let dfa = determinize(&nfa, &alphabet);
+        let minimal = minimize(&dfa);
+        assert!(minimal.state_count < dfa.state_count);
+        // 3 states suffice: start, the accepting loop, the reject sink.
+        assert_eq!(minimal.state_count, 3);
+        assert!(dfa_equivalent(&dfa, &minimal));
+        for word in [&[][..], &['a'][..], &['b'][..], &['a', 'a'][..], &['b', 'b'][..]] {
+            assert_eq!(dfa.accepts(word), minimal.accepts(word));
+        }
+    }
+
+    #[test]
+    fn minimal_dfa_of_equivalent_nfas_has_the_same_size() {
+        let alphabet: BTreeSet<char> = ['a', 'b'].into_iter().collect();
+        // Two syntactically different automata for "words ending in ab".
+        let mut first = Nfa::new(3);
+        first.add_initial(0);
+        first.add_transition(0, 'a', 0);
+        first.add_transition(0, 'b', 0);
+        first.add_transition(0, 'a', 1);
+        first.add_transition(1, 'b', 2);
+        first.add_accepting(2);
+        // A padded, renumbered copy of the same language (states 0–2 are
+        // never used).
+        let mut second = Nfa::new(6);
+        second.add_initial(3);
+        second.add_transition(3, 'a', 3);
+        second.add_transition(3, 'b', 3);
+        second.add_transition(3, 'a', 4);
+        second.add_transition(4, 'b', 5);
+        second.add_accepting(5);
+        assert!(equivalent(&first, &second));
+        let m1 = minimal_dfa(&first, &alphabet);
+        let m2 = minimal_dfa(&second, &alphabet);
+        assert_eq!(m1.state_count, m2.state_count);
+        assert!(dfa_equivalent(&m1, &m2));
+    }
+
+    #[test]
+    fn dfa_to_nfa_round_trip_preserves_the_language() {
+        let nfa = noisy_even_ab();
+        let alphabet: BTreeSet<char> = ['a', 'b'].into_iter().collect();
+        let round_trip = dfa_to_nfa(&minimal_dfa(&nfa, &alphabet));
+        assert!(equivalent(&nfa, &round_trip));
+    }
+
+    #[test]
+    fn minimization_is_idempotent() {
+        let nfa = noisy_even_ab();
+        let alphabet: BTreeSet<char> = ['a', 'b'].into_iter().collect();
+        let once = minimal_dfa(&nfa, &alphabet);
+        let twice = minimize(&once);
+        assert_eq!(once.state_count, twice.state_count);
+        assert!(dfa_equivalent(&once, &twice));
+    }
+}

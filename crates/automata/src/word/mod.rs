@@ -1,0 +1,307 @@
+//! Nondeterministic finite automata on words (Section 4.1 of the paper).
+//!
+//! States are dense `usize` indices; the alphabet is generic over any
+//! ordered, hashable symbol type.  The decision procedures for *linear*
+//! Datalog programs represent proof "trees" (which are paths for linear
+//! programs) as words over rule-instance labels and reduce containment to
+//! word-automata containment (Proposition 4.3), which this module provides.
+
+pub mod containment;
+pub mod minimize;
+pub mod ops;
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// A state of an automaton (dense index).
+pub type State = usize;
+
+/// A nondeterministic finite automaton over alphabet `A`.
+///
+/// This mirrors the tuple `(Σ, S, S0, δ, F)` of Section 4.1: `Σ` is implicit
+/// in the transition map (any symbol may be used), `S = {0, …, states-1}`,
+/// `S0` is [`Nfa::initial`], `δ` is [`Nfa::transitions`], `F` is
+/// [`Nfa::accepting`].
+#[derive(Clone, PartialEq, Eq)]
+pub struct Nfa<A: Ord + Clone> {
+    state_count: usize,
+    initial: BTreeSet<State>,
+    accepting: BTreeSet<State>,
+    transitions: BTreeMap<State, BTreeMap<A, BTreeSet<State>>>,
+}
+
+impl<A: Ord + Clone> Nfa<A> {
+    /// Create an automaton with `state_count` states and no transitions.
+    pub fn new(state_count: usize) -> Self {
+        Nfa {
+            state_count,
+            initial: BTreeSet::new(),
+            accepting: BTreeSet::new(),
+            transitions: BTreeMap::new(),
+        }
+    }
+
+    /// Add a fresh state and return its index.
+    pub fn add_state(&mut self) -> State {
+        self.state_count += 1;
+        self.state_count - 1
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.state_count
+    }
+
+    /// Number of transitions (state, symbol, state) triples.
+    pub fn transition_count(&self) -> usize {
+        self.transitions
+            .values()
+            .flat_map(|m| m.values())
+            .map(|targets| targets.len())
+            .sum()
+    }
+
+    /// Mark a state as initial.
+    pub fn add_initial(&mut self, state: State) {
+        debug_assert!(state < self.state_count);
+        self.initial.insert(state);
+    }
+
+    /// Mark a state as accepting.
+    pub fn add_accepting(&mut self, state: State) {
+        debug_assert!(state < self.state_count);
+        self.accepting.insert(state);
+    }
+
+    /// Add a transition `from --symbol--> to`.
+    pub fn add_transition(&mut self, from: State, symbol: A, to: State) {
+        debug_assert!(from < self.state_count && to < self.state_count);
+        self.transitions
+            .entry(from)
+            .or_default()
+            .entry(symbol)
+            .or_default()
+            .insert(to);
+    }
+
+    /// The initial states.
+    pub fn initial(&self) -> &BTreeSet<State> {
+        &self.initial
+    }
+
+    /// The accepting states.
+    pub fn accepting(&self) -> &BTreeSet<State> {
+        &self.accepting
+    }
+
+    /// Is `state` accepting?
+    pub fn is_accepting(&self, state: State) -> bool {
+        self.accepting.contains(&state)
+    }
+
+    /// The successors of `state` on `symbol`.
+    pub fn successors(&self, state: State, symbol: &A) -> impl Iterator<Item = State> + '_ {
+        self.transitions
+            .get(&state)
+            .and_then(|m| m.get(symbol))
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
+    /// All symbols that label at least one transition (the effective
+    /// alphabet).
+    pub fn alphabet(&self) -> BTreeSet<A> {
+        self.transitions
+            .values()
+            .flat_map(|m| m.keys().cloned())
+            .collect()
+    }
+
+    /// Iterate over all transitions as `(from, symbol, to)`.
+    pub fn transitions(&self) -> impl Iterator<Item = (State, &A, State)> + '_ {
+        self.transitions.iter().flat_map(|(&from, by_symbol)| {
+            by_symbol.iter().flat_map(move |(symbol, targets)| {
+                targets.iter().map(move |&to| (from, symbol, to))
+            })
+        })
+    }
+
+    /// Does the automaton accept the given word?
+    pub fn accepts(&self, word: &[A]) -> bool {
+        let mut current: BTreeSet<State> = self.initial.clone();
+        for symbol in word {
+            let mut next = BTreeSet::new();
+            for &state in &current {
+                next.extend(self.successors(state, symbol));
+            }
+            current = next;
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current.iter().any(|s| self.accepting.contains(s))
+    }
+
+    /// Is the language of the automaton empty?
+    ///
+    /// Proposition 4.2: nonemptiness is graph reachability from an initial
+    /// state to an accepting state.
+    pub fn is_empty(&self) -> bool {
+        self.find_word().is_none()
+    }
+
+    /// Find a (shortest) word in the language, if any.
+    pub fn find_word(&self) -> Option<Vec<A>> {
+        // BFS over states, remembering the symbol and predecessor used.
+        let mut visited: BTreeMap<State, Option<(State, A)>> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        for &s in &self.initial {
+            visited.entry(s).or_insert(None);
+            queue.push_back(s);
+        }
+        let mut reached_accepting = self
+            .initial
+            .iter()
+            .copied()
+            .find(|s| self.accepting.contains(s));
+        while reached_accepting.is_none() {
+            let Some(state) = queue.pop_front() else {
+                break;
+            };
+            if let Some(by_symbol) = self.transitions.get(&state) {
+                for (symbol, targets) in by_symbol {
+                    for &to in targets {
+                        if let std::collections::btree_map::Entry::Vacant(e) = visited.entry(to) {
+                            e.insert(Some((state, symbol.clone())));
+                            if self.accepting.contains(&to) {
+                                reached_accepting = Some(to);
+                            }
+                            queue.push_back(to);
+                        }
+                    }
+                    if reached_accepting.is_some() {
+                        break;
+                    }
+                }
+            }
+        }
+        let mut current = reached_accepting?;
+        let mut word = Vec::new();
+        while let Some(Some((prev, symbol))) = visited.get(&current) {
+            word.push(symbol.clone());
+            current = *prev;
+        }
+        word.reverse();
+        Some(word)
+    }
+
+    /// The set of states reachable from the initial states.
+    pub fn reachable_states(&self) -> BTreeSet<State> {
+        let mut seen: BTreeSet<State> = self.initial.clone();
+        let mut queue: VecDeque<State> = self.initial.iter().copied().collect();
+        while let Some(state) = queue.pop_front() {
+            if let Some(by_symbol) = self.transitions.get(&state) {
+                for targets in by_symbol.values() {
+                    for &to in targets {
+                        if seen.insert(to) {
+                            queue.push_back(to);
+                        }
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+impl<A: Ord + Clone + fmt::Debug> fmt::Debug for Nfa<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Nfa {{ states: {}, initial: {:?}, accepting: {:?} }}",
+            self.state_count, self.initial, self.accepting
+        )?;
+        for (from, symbol, to) in self.transitions() {
+            writeln!(f, "  {from} --{symbol:?}--> {to}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An automaton accepting words over {a, b} containing "ab".
+    fn contains_ab() -> Nfa<char> {
+        let mut n = Nfa::new(3);
+        n.add_initial(0);
+        n.add_accepting(2);
+        for c in ['a', 'b'] {
+            n.add_transition(0, c, 0);
+            n.add_transition(2, c, 2);
+        }
+        n.add_transition(0, 'a', 1);
+        n.add_transition(1, 'b', 2);
+        n
+    }
+
+    #[test]
+    fn accepts_and_rejects() {
+        let n = contains_ab();
+        assert!(n.accepts(&['a', 'b']));
+        assert!(n.accepts(&['b', 'a', 'a', 'b', 'a']));
+        assert!(!n.accepts(&['b', 'a']));
+        assert!(!n.accepts(&[]));
+    }
+
+    #[test]
+    fn emptiness_and_witness() {
+        let n = contains_ab();
+        assert!(!n.is_empty());
+        let w = n.find_word().unwrap();
+        assert!(n.accepts(&w));
+        assert_eq!(w.len(), 2, "shortest witness should be `ab`");
+
+        // An automaton with unreachable accepting state is empty.
+        let mut empty = Nfa::<char>::new(2);
+        empty.add_initial(0);
+        empty.add_accepting(1);
+        assert!(empty.is_empty());
+        assert!(empty.find_word().is_none());
+    }
+
+    #[test]
+    fn empty_word_acceptance() {
+        let mut n = Nfa::<char>::new(1);
+        n.add_initial(0);
+        n.add_accepting(0);
+        assert!(n.accepts(&[]));
+        assert_eq!(n.find_word().unwrap(), Vec::<char>::new());
+    }
+
+    #[test]
+    fn alphabet_and_counts() {
+        let n = contains_ab();
+        assert_eq!(n.alphabet(), BTreeSet::from(['a', 'b']));
+        assert_eq!(n.state_count(), 3);
+        assert_eq!(n.transition_count(), 6);
+    }
+
+    #[test]
+    fn reachable_states_ignores_unreachable() {
+        let mut n = contains_ab();
+        let dead = n.add_state();
+        n.add_transition(dead, 'a', dead);
+        assert!(!n.reachable_states().contains(&dead));
+        assert_eq!(n.reachable_states().len(), 3);
+    }
+
+    #[test]
+    fn successors_enumeration() {
+        let n = contains_ab();
+        let succ: BTreeSet<State> = n.successors(0, &'a').collect();
+        assert_eq!(succ, BTreeSet::from([0, 1]));
+        assert_eq!(n.successors(1, &'a').count(), 0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Boolean operations on word automata (Proposition 4.1).
+//!
+//! Union and intersection are polynomial (disjoint union / product);
+//! complementation goes through the subset construction and may be
+//! exponential, exactly as the paper notes ([MF71]).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use super::{Nfa, State};
+
+/// A deterministic finite automaton produced by [`determinize`].
+///
+/// States are dense indices; state 0 is the initial state (the subset
+/// construction has a single initial state).
+#[derive(Clone, Debug)]
+pub struct Dfa<A: Ord + Clone> {
+    /// Number of states.
+    pub state_count: usize,
+    /// The accepting states.
+    pub accepting: BTreeSet<State>,
+    /// Total transition function over the given alphabet.
+    pub transitions: BTreeMap<(State, A), State>,
+    /// The alphabet the DFA is total over.
+    pub alphabet: BTreeSet<A>,
+}
+
+impl<A: Ord + Clone> Dfa<A> {
+    /// Does the DFA accept the word?  Symbols outside the construction
+    /// alphabet lead to implicit rejection.
+    pub fn accepts(&self, word: &[A]) -> bool {
+        let mut state = 0;
+        for symbol in word {
+            match self.transitions.get(&(state, symbol.clone())) {
+                Some(&next) => state = next,
+                None => return false,
+            }
+        }
+        self.accepting.contains(&state)
+    }
+}
+
+/// Union: `L(result) = L(a) ∪ L(b)` (disjoint union of the automata).
+pub fn union<A: Ord + Clone>(a: &Nfa<A>, b: &Nfa<A>) -> Nfa<A> {
+    let offset = a.state_count();
+    let mut out = Nfa::new(offset + b.state_count());
+    for &s in a.initial() {
+        out.add_initial(s);
+    }
+    for &s in a.accepting() {
+        out.add_accepting(s);
+    }
+    for (from, symbol, to) in a.transitions() {
+        out.add_transition(from, symbol.clone(), to);
+    }
+    for &s in b.initial() {
+        out.add_initial(s + offset);
+    }
+    for &s in b.accepting() {
+        out.add_accepting(s + offset);
+    }
+    for (from, symbol, to) in b.transitions() {
+        out.add_transition(from + offset, symbol.clone(), to + offset);
+    }
+    out
+}
+
+/// Intersection: `L(result) = L(a) ∩ L(b)` (product construction, restricted
+/// to reachable product states).
+pub fn intersection<A: Ord + Clone>(a: &Nfa<A>, b: &Nfa<A>) -> Nfa<A> {
+    let mut index: BTreeMap<(State, State), State> = BTreeMap::new();
+    let mut out = Nfa::new(0);
+    let mut queue = VecDeque::new();
+    for &sa in a.initial() {
+        for &sb in b.initial() {
+            let id = out.add_state();
+            index.insert((sa, sb), id);
+            out.add_initial(id);
+            queue.push_back((sa, sb));
+        }
+    }
+    while let Some((sa, sb)) = queue.pop_front() {
+        let id = index[&(sa, sb)];
+        if a.is_accepting(sa) && b.is_accepting(sb) {
+            out.add_accepting(id);
+        }
+        // Join on symbols present in both states' outgoing maps.
+        let symbols: BTreeSet<A> = a
+            .alphabet()
+            .into_iter()
+            .filter(|sym| a.successors(sa, sym).next().is_some())
+            .collect();
+        for symbol in symbols {
+            let targets_b: Vec<State> = b.successors(sb, &symbol).collect();
+            if targets_b.is_empty() {
+                continue;
+            }
+            for ta in a.successors(sa, &symbol).collect::<Vec<_>>() {
+                for &tb in &targets_b {
+                    let next_id = *index.entry((ta, tb)).or_insert_with(|| {
+                        queue.push_back((ta, tb));
+                        out.add_state()
+                    });
+                    out.add_transition(id, symbol.clone(), next_id);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Determinize an NFA over the given alphabet (subset construction,
+/// reachable subsets only).  The alphabet must include every symbol of any
+/// word you intend to test; symbols outside it are rejected by the DFA.
+pub fn determinize<A: Ord + Clone>(nfa: &Nfa<A>, alphabet: &BTreeSet<A>) -> Dfa<A> {
+    let mut index: BTreeMap<BTreeSet<State>, State> = BTreeMap::new();
+    let initial: BTreeSet<State> = nfa.initial().clone();
+    index.insert(initial.clone(), 0);
+    let mut worklist = VecDeque::from([initial]);
+    let mut transitions = BTreeMap::new();
+    let mut accepting = BTreeSet::new();
+    let mut state_count = 1;
+
+    while let Some(subset) = worklist.pop_front() {
+        let id = index[&subset];
+        if subset.iter().any(|&s| nfa.is_accepting(s)) {
+            accepting.insert(id);
+        }
+        for symbol in alphabet {
+            let mut next: BTreeSet<State> = BTreeSet::new();
+            for &s in &subset {
+                next.extend(nfa.successors(s, symbol));
+            }
+            let next_id = *index.entry(next.clone()).or_insert_with(|| {
+                worklist.push_back(next);
+                state_count += 1;
+                state_count - 1
+            });
+            transitions.insert((id, symbol.clone()), next_id);
+        }
+    }
+    Dfa {
+        state_count,
+        accepting,
+        transitions,
+        alphabet: alphabet.clone(),
+    }
+}
+
+/// Complement with respect to `alphabet`*: `L(result) = alphabet* − L(nfa)`.
+pub fn complement<A: Ord + Clone>(nfa: &Nfa<A>, alphabet: &BTreeSet<A>) -> Nfa<A> {
+    let dfa = determinize(nfa, alphabet);
+    let mut out = Nfa::new(dfa.state_count);
+    out.add_initial(0);
+    for s in 0..dfa.state_count {
+        if !dfa.accepting.contains(&s) {
+            out.add_accepting(s);
+        }
+    }
+    for ((from, symbol), to) in &dfa.transitions {
+        out.add_transition(*from, symbol.clone(), *to);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Words over {a,b} with an even number of `a`s.
+    fn even_a() -> Nfa<char> {
+        let mut n = Nfa::new(2);
+        n.add_initial(0);
+        n.add_accepting(0);
+        n.add_transition(0, 'a', 1);
+        n.add_transition(1, 'a', 0);
+        n.add_transition(0, 'b', 0);
+        n.add_transition(1, 'b', 1);
+        n
+    }
+
+    /// Words ending in `b`.
+    fn ends_b() -> Nfa<char> {
+        let mut n = Nfa::new(2);
+        n.add_initial(0);
+        n.add_accepting(1);
+        for c in ['a', 'b'] {
+            n.add_transition(0, c, 0);
+            n.add_transition(1, c, 0);
+        }
+        n.add_transition(0, 'b', 1);
+        n.add_transition(1, 'b', 1);
+        n
+    }
+
+    fn words(max_len: usize) -> Vec<Vec<char>> {
+        let mut out = vec![vec![]];
+        let mut frontier = vec![vec![]];
+        for _ in 0..max_len {
+            let mut next = Vec::new();
+            for w in &frontier {
+                for c in ['a', 'b'] {
+                    let mut w2 = w.clone();
+                    w2.push(c);
+                    out.push(w2.clone());
+                    next.push(w2);
+                }
+            }
+            frontier = next;
+        }
+        out
+    }
+
+    #[test]
+    fn union_accepts_either_language() {
+        let u = union(&even_a(), &ends_b());
+        for w in words(5) {
+            let expected = even_a().accepts(&w) || ends_b().accepts(&w);
+            assert_eq!(u.accepts(&w), expected, "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn intersection_accepts_both_languages() {
+        let i = intersection(&even_a(), &ends_b());
+        for w in words(5) {
+            let expected = even_a().accepts(&w) && ends_b().accepts(&w);
+            assert_eq!(i.accepts(&w), expected, "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn determinization_preserves_the_language() {
+        let alphabet = BTreeSet::from(['a', 'b']);
+        let d = determinize(&ends_b(), &alphabet);
+        for w in words(5) {
+            assert_eq!(d.accepts(&w), ends_b().accepts(&w), "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let alphabet = BTreeSet::from(['a', 'b']);
+        let c = complement(&even_a(), &alphabet);
+        for w in words(5) {
+            assert_eq!(c.accepts(&w), !even_a().accepts(&w), "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn complement_of_complement_is_the_original_language() {
+        let alphabet = BTreeSet::from(['a', 'b']);
+        let cc = complement(&complement(&ends_b(), &alphabet), &alphabet);
+        for w in words(4) {
+            assert_eq!(cc.accepts(&w), ends_b().accepts(&w));
+        }
+    }
+
+    #[test]
+    fn intersection_with_complement_is_empty() {
+        let alphabet = BTreeSet::from(['a', 'b']);
+        let i = intersection(&even_a(), &complement(&even_a(), &alphabet));
+        assert!(i.is_empty());
+    }
+
+    #[test]
+    fn product_of_disjoint_languages_is_empty() {
+        // "only a's, odd length ≥1, no b" vs "only b's, at least one b".
+        let mut only_a = Nfa::new(1);
+        only_a.add_initial(0);
+        only_a.add_accepting(0);
+        only_a.add_transition(0, 'a', 0);
+        let mut only_b = Nfa::new(2);
+        only_b.add_initial(0);
+        only_b.add_accepting(1);
+        only_b.add_transition(0, 'b', 1);
+        only_b.add_transition(1, 'b', 1);
+        let product = intersection(&only_a, &only_b);
+        // Intersection = {ε}? only_a accepts ε, only_b does not → empty.
+        assert!(product.is_empty());
+    }
+}

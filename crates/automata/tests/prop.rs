@@ -1,0 +1,237 @@
+//! Property-based tests for the automata substrate: random NFAs and tree
+//! automata are generated from proptest strategies and the boolean
+//! operations, trimming, determinization, and minimization are checked
+//! against each other on sampled inputs.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use automata::tree::reduce::reduce;
+use automata::tree::{Tree, TreeAutomaton};
+use automata::word::containment::{contained_in, equivalent};
+use automata::word::minimize::{dfa_to_nfa, minimal_dfa, minimize, trim};
+use automata::word::ops::{complement, determinize, intersection, union};
+use automata::word::Nfa;
+
+const SIGMA: [char; 2] = ['a', 'b'];
+
+fn alphabet() -> BTreeSet<char> {
+    SIGMA.iter().copied().collect()
+}
+
+/// A strategy for small random NFAs over {a, b}.
+fn nfa_strategy() -> impl Strategy<Value = Nfa<char>> {
+    let states = 1usize..6;
+    states.prop_flat_map(|n| {
+        let transitions = proptest::collection::vec(
+            (0..n, prop::sample::select(&SIGMA[..]), 0..n),
+            0..(3 * n),
+        );
+        let initial = proptest::collection::btree_set(0..n, 1..=n.min(2));
+        let accepting = proptest::collection::btree_set(0..n, 0..=n);
+        (Just(n), transitions, initial, accepting).prop_map(|(n, ts, init, acc)| {
+            let mut nfa = Nfa::new(n);
+            for s in init {
+                nfa.add_initial(s);
+            }
+            for s in acc {
+                nfa.add_accepting(s);
+            }
+            for (from, symbol, to) in ts {
+                nfa.add_transition(from, symbol, to);
+            }
+            nfa
+        })
+    })
+}
+
+/// All words over {a, b} of length at most `max_len`.
+fn short_words(max_len: usize) -> Vec<Vec<char>> {
+    let mut out = vec![Vec::new()];
+    let mut frontier = vec![Vec::new()];
+    for _ in 0..max_len {
+        let mut next = Vec::new();
+        for word in &frontier {
+            for &c in &SIGMA {
+                let mut extended = word.clone();
+                extended.push(c);
+                out.push(extended.clone());
+                next.push(extended);
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Trimming never changes the language.
+    #[test]
+    fn trim_preserves_the_language(nfa in nfa_strategy()) {
+        let trimmed = trim(&nfa);
+        prop_assert!(trimmed.state_count() <= nfa.state_count());
+        prop_assert!(equivalent(&nfa, &trimmed));
+    }
+
+    /// The minimal DFA accepts exactly the words the NFA accepts, and
+    /// minimization is idempotent.
+    #[test]
+    fn minimal_dfa_agrees_with_the_nfa_on_short_words(nfa in nfa_strategy()) {
+        let dfa = minimal_dfa(&nfa, &alphabet());
+        for word in short_words(5) {
+            prop_assert_eq!(nfa.accepts(&word), dfa.accepts(&word), "word {:?}", word);
+        }
+        let again = minimize(&dfa);
+        prop_assert_eq!(again.state_count, dfa.state_count);
+    }
+
+    /// The minimal DFA is never larger than the subset-construction DFA.
+    #[test]
+    fn minimization_never_grows_the_automaton(nfa in nfa_strategy()) {
+        let dfa = determinize(&nfa, &alphabet());
+        let minimal = minimize(&dfa);
+        prop_assert!(minimal.state_count <= dfa.state_count);
+        prop_assert!(equivalent(&dfa_to_nfa(&dfa), &dfa_to_nfa(&minimal)));
+    }
+
+    /// Complement really is complement (checked on short words), and the
+    /// double complement is the original language.
+    #[test]
+    fn complement_is_an_involution(nfa in nfa_strategy()) {
+        let sigma = alphabet();
+        let co = complement(&nfa, &sigma);
+        for word in short_words(4) {
+            prop_assert_eq!(nfa.accepts(&word), !co.accepts(&word), "word {:?}", word);
+        }
+        let co_co = complement(&co, &sigma);
+        prop_assert!(equivalent(&nfa, &co_co));
+    }
+
+    /// Union and intersection behave like the boolean operations they claim
+    /// to be (Proposition 4.1), checked on short words.
+    #[test]
+    fn union_and_intersection_are_boolean(a in nfa_strategy(), b in nfa_strategy()) {
+        let u = union(&a, &b);
+        let i = intersection(&a, &b);
+        for word in short_words(4) {
+            prop_assert_eq!(u.accepts(&word), a.accepts(&word) || b.accepts(&word));
+            prop_assert_eq!(i.accepts(&word), a.accepts(&word) && b.accepts(&word));
+        }
+    }
+
+    /// Containment of A in A ∪ B always holds, and containment agrees with
+    /// word-level inclusion when it reports a counterexample.
+    #[test]
+    fn containment_in_the_union_holds(a in nfa_strategy(), b in nfa_strategy()) {
+        let u = union(&a, &b);
+        prop_assert!(contained_in(&a, &u).is_contained());
+        match contained_in(&a, &b) {
+            result if result.is_contained() => {
+                for word in short_words(4) {
+                    if a.accepts(&word) {
+                        prop_assert!(b.accepts(&word));
+                    }
+                }
+            }
+            result => {
+                // The reported witness is accepted by a but not by b.
+                if let automata::word::containment::WordContainment::NotContained { witness, .. } = result {
+                    prop_assert!(a.accepts(&witness));
+                    prop_assert!(!b.accepts(&witness));
+                }
+            }
+        }
+    }
+}
+
+/// A strategy for small tree automata over a binary label 'a' and leaf
+/// labels 'b', 'c'.
+fn tree_automaton_strategy() -> impl Strategy<Value = TreeAutomaton<char>> {
+    let states = 1usize..5;
+    states.prop_flat_map(|n| {
+        let binary = proptest::collection::vec((0..n, 0..n, 0..n), 0..(2 * n));
+        let leaves = proptest::collection::vec((0..n, prop::sample::select(&['b', 'c'][..])), 0..(2 * n));
+        let initial = proptest::collection::btree_set(0..n, 1..=n.min(2));
+        (Just(n), binary, leaves, initial).prop_map(|(n, bin, leaves, init)| {
+            let mut automaton = TreeAutomaton::new(n);
+            for s in init {
+                automaton.add_initial(s);
+            }
+            for (s, l, r) in bin {
+                automaton.add_transition(s, 'a', vec![l, r]);
+            }
+            for (s, label) in leaves {
+                automaton.add_transition(s, label, vec![]);
+            }
+            automaton
+        })
+    })
+}
+
+/// All trees over binary 'a' and leaves {b, c} of height at most 3.
+fn small_trees() -> Vec<Tree<char>> {
+    let leaves = vec![Tree::leaf('b'), Tree::leaf('c')];
+    let mut current = leaves.clone();
+    let mut all = leaves;
+    for _ in 0..2 {
+        let mut next = Vec::new();
+        for left in &all {
+            for right in &all {
+                next.push(Tree::node('a', vec![left.clone(), right.clone()]));
+            }
+        }
+        all.extend(next.clone());
+        current = next;
+        if all.len() > 300 {
+            break;
+        }
+    }
+    let _ = current;
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Reduction (useless-state removal) never changes acceptance.
+    #[test]
+    fn tree_reduction_preserves_acceptance(automaton in tree_automaton_strategy()) {
+        let reduced = reduce(&automaton);
+        prop_assert!(reduced.state_count() <= automaton.state_count());
+        for tree in small_trees().into_iter().take(60) {
+            prop_assert_eq!(automaton.accepts(&tree), reduced.accepts(&tree));
+        }
+    }
+
+    /// Tree-automata union and intersection are boolean on sampled trees
+    /// (Proposition 4.4).
+    #[test]
+    fn tree_union_and_intersection_are_boolean(
+        a in tree_automaton_strategy(),
+        b in tree_automaton_strategy(),
+    ) {
+        let u = automata::tree::ops::union(&a, &b);
+        let i = automata::tree::ops::intersection(&a, &b);
+        for tree in small_trees().into_iter().take(40) {
+            prop_assert_eq!(u.accepts(&tree), a.accepts(&tree) || b.accepts(&tree));
+            prop_assert_eq!(i.accepts(&tree), a.accepts(&tree) && b.accepts(&tree));
+        }
+    }
+
+    /// Emptiness agrees with the witness extractor: a witness exists iff the
+    /// language is nonempty, and the witness is indeed accepted.
+    #[test]
+    fn tree_emptiness_agrees_with_witness_extraction(automaton in tree_automaton_strategy()) {
+        use automata::tree::emptiness::{find_witness, is_empty};
+        match find_witness(&automaton) {
+            Some(witness) => {
+                prop_assert!(!is_empty(&automaton));
+                prop_assert!(automaton.accepts(&witness));
+            }
+            None => prop_assert!(is_empty(&automaton)),
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Experiment E13: the automata substrate (Propositions 4.2–4.6).  Shapes
+//! to reproduce: tree-automata emptiness is linear in the automaton,
+//! containment is exponential in the right-hand automaton in the worst case
+//! but far cheaper with the antichain optimisation (the DESIGN.md ablation).
+
+use bench::report_shape;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use automata::tree::containment::{contained_in_with, ContainmentOptions};
+use automata::tree::emptiness::is_empty;
+use automata::tree::TreeAutomaton;
+use automata::word::containment::contained_in as word_contained_in;
+use automata::word::Nfa;
+
+/// Trees of binary 'a' nodes over 'b' leaves of height ≤ h.
+fn bounded_height(h: usize) -> TreeAutomaton<char> {
+    let mut t = TreeAutomaton::new(h);
+    t.add_initial(h - 1);
+    for i in 0..h {
+        t.add_transition(i, 'b', vec![]);
+        if i > 0 {
+            t.add_transition(i, 'a', vec![i - 1, i - 1]);
+        }
+    }
+    t
+}
+
+/// Unbounded ab-trees.
+fn all_ab_trees() -> TreeAutomaton<char> {
+    let mut t = TreeAutomaton::new(1);
+    t.add_initial(0);
+    t.add_transition(0, 'a', vec![0, 0]);
+    t.add_transition(0, 'b', vec![]);
+    t
+}
+
+/// Word automaton for a^{≥ n}.
+fn at_least(n: usize) -> Nfa<char> {
+    let mut a = Nfa::new(n + 1);
+    a.add_initial(0);
+    a.add_accepting(n);
+    for i in 0..n {
+        a.add_transition(i, 'a', i + 1);
+    }
+    a.add_transition(n, 'a', n);
+    a
+}
+
+fn bench_automata(c: &mut Criterion) {
+    let mut group = c.benchmark_group("automata");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+
+    for h in [4usize, 8, 16, 32] {
+        let automaton = bounded_height(h);
+        report_shape(
+            "E13_tree_emptiness",
+            h,
+            &[("transitions", automaton.transition_count().to_string())],
+        );
+        group.bench_function(format!("tree_emptiness_h{h}"), |b| {
+            b.iter(|| black_box(is_empty(black_box(&automaton))))
+        });
+    }
+
+    for h in [2usize, 4, 6] {
+        let bounded = bounded_height(h);
+        let all = all_ab_trees();
+        for (name, antichain) in [("antichain", true), ("exhaustive", false)] {
+            let options = ContainmentOptions {
+                antichain,
+                max_pairs: None,
+            };
+            let result = contained_in_with(&bounded, &all, options);
+            report_shape(
+                "E13_tree_containment",
+                h,
+                &[
+                    ("variant", name.to_string()),
+                    ("explored", result.explored().to_string()),
+                ],
+            );
+            group.bench_function(format!("tree_containment_{name}_h{h}"), |b| {
+                b.iter(|| black_box(contained_in_with(black_box(&bounded), black_box(&all), options)))
+            });
+        }
+    }
+
+    for n in [8usize, 16, 32] {
+        let small = at_least(n);
+        let large = at_least(n / 2);
+        group.bench_function(format!("word_containment_n{n}"), |b| {
+            b.iter(|| black_box(word_contained_in(black_box(&small), black_box(&large))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_automata);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Experiment E13/E14 substrate bench: conjunctive-query containment
+//! (Theorem 2.2) and UCQ containment (Theorem 2.3) on the path/star
+//! families.  Conjunctive-query containment is NP-complete in general; the
+//! path and star families show the easy and the foldable cases.
+
+use bench::report_shape;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cq::containment::{cq_contained_in, ucq_contained_in};
+use cq::generate::{boolean_path_query, bounded_path_ucq, star_query};
+use cq::minimize::minimize_cq;
+
+fn bench_cq_containment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cq_containment");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for n in [4usize, 8, 12, 16] {
+        let long = boolean_path_query("e", n);
+        let short = boolean_path_query("e", n / 2);
+        report_shape(
+            "cq_containment_path",
+            n,
+            &[("long_atoms", long.body.len().to_string())],
+        );
+        group.bench_function(format!("boolean_path_{n}_in_{}", n / 2), |b| {
+            b.iter(|| black_box(cq_contained_in(black_box(&long), black_box(&short))))
+        });
+    }
+    for n in [3usize, 5, 7] {
+        let star = star_query("e", n);
+        group.bench_function(format!("minimize_star_{n}"), |b| {
+            b.iter(|| black_box(minimize_cq(black_box(&star))))
+        });
+    }
+    for n in [3usize, 6, 9] {
+        let small = bounded_path_ucq("e", n);
+        let large = bounded_path_ucq("e", n + 1);
+        group.bench_function(format!("ucq_bounded_paths_{n}"), |b| {
+            b.iter(|| black_box(ucq_contained_in(black_box(&small), black_box(&large))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cq_containment);
+criterion_main!(benches);

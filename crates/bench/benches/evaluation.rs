@@ -1,0 +1,49 @@
+//! Experiment E14 ablation: naive vs. semi-naive bottom-up evaluation of the
+//! Datalog substrate on transitive-closure workloads (chains and cycles).
+//! The shape: semi-naive does asymptotically fewer join probes.
+
+use bench::report_shape;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use datalog::eval::{evaluate_with, EvalOptions, Strategy};
+use datalog::generate::{chain_database, cycle_database, transitive_closure};
+
+fn bench_evaluation(c: &mut Criterion) {
+    let program = transitive_closure("e", "e");
+    let mut group = c.benchmark_group("evaluation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+
+    for n in [8usize, 16, 32] {
+        for (db_name, db) in [("chain", chain_database("e", n)), ("cycle", cycle_database("e", n))] {
+            for (strategy_name, strategy) in
+                [("naive", Strategy::Naive), ("semi_naive", Strategy::SemiNaive)]
+            {
+                let options = EvalOptions {
+                    strategy,
+                    ..Default::default()
+                };
+                let result = evaluate_with(&program, &db, options);
+                report_shape(
+                    "E14_evaluation",
+                    n,
+                    &[
+                        ("db", db_name.to_string()),
+                        ("strategy", strategy_name.to_string()),
+                        ("probes", result.stats.probes.to_string()),
+                        ("facts", result.stats.derived_facts.to_string()),
+                    ],
+                );
+                group.bench_function(format!("{db_name}_{strategy_name}_{n}"), |b| {
+                    b.iter(|| black_box(evaluate_with(black_box(&program), black_box(&db), options)))
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluation);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Experiment E6: the linear-program fast path of Theorem 5.12.  The same
+//! semantic question (is reachability contained in bounded-length paths?)
+//! is decided for the linear transitive-closure program via word automata
+//! and for the nonlinear (doubling) program via tree automata; the shape to
+//! reproduce is that the linear path explores far fewer product states.
+
+use bench::report_shape;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cq::generate::bounded_path_ucq_binary;
+use datalog::atom::Pred;
+use datalog::generate::{transitive_closure, transitive_closure_nonlinear};
+use nonrec_equivalence::containment::{datalog_contained_in_ucq_with, DecisionOptions};
+
+fn bench_linear_vs_nonlinear(c: &mut Criterion) {
+    let goal = Pred::new("p");
+    let linear = transitive_closure("e", "e");
+    let nonlinear = transitive_closure_nonlinear("e");
+
+    let mut group = c.benchmark_group("linear_vs_nonlinear");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for k in [1usize, 2, 3] {
+        let ucq = bounded_path_ucq_binary("e", k);
+        for (name, program, allow_word) in [
+            ("linear_word", &linear, true),
+            ("linear_tree", &linear, false),
+            ("nonlinear_tree", &nonlinear, false),
+        ] {
+            let options = DecisionOptions {
+                allow_word_path: allow_word,
+                ..Default::default()
+            };
+            let result = datalog_contained_in_ucq_with(program, goal, &ucq, options).unwrap();
+            report_shape(
+                "E6_linear_vs_nonlinear",
+                k,
+                &[
+                    ("variant", name.to_string()),
+                    ("path", format!("{:?}", result.stats.path)),
+                    ("explored", result.stats.explored.to_string()),
+                    ("contained", result.contained.to_string()),
+                ],
+            );
+            group.bench_function(format!("{name}_k{k}"), |b| {
+                b.iter(|| {
+                    black_box(datalog_contained_in_ucq_with(
+                        black_box(program),
+                        goal,
+                        black_box(&ucq),
+                        options,
+                    ))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_linear_vs_nonlinear);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Experiment E7: the Section 5.3 lower-bound gadget.  The instances cannot
+//! be pushed through the containment decision (that is the point of a
+//! hardness gadget), so the bench measures what *can* be measured: the size
+//! of the generated program and query union as a function of the address
+//! width n (linear, as the paper requires for the reduction to be a
+//! polynomial-time reduction), and the cost of validating a computation
+//! trace database against the error queries.
+
+use bench::report_shape;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cq::eval::evaluate_ucq;
+use datalog::eval::evaluate;
+use datalog::stats::ProgramStats;
+use tmenc::encode::{encode_machine, goal, trace_database};
+use tmenc::tm::trivially_accepting_machine;
+
+fn bench_tm_encoding(c: &mut Criterion) {
+    let tm = trivially_accepting_machine();
+    let mut group = c.benchmark_group("tm_encoding");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+
+    for n in [1usize, 2, 3, 4, 5] {
+        let enc = encode_machine(&tm, n);
+        let stats = ProgramStats::of(&enc.program);
+        report_shape(
+            "E7_gadget_size",
+            n,
+            &[
+                ("rules", stats.rules.to_string()),
+                ("program_size", stats.size.to_string()),
+                ("queries", enc.queries.len().to_string()),
+                ("query_size", enc.queries.size().to_string()),
+                ("linear", stats.linear.to_string()),
+            ],
+        );
+        group.bench_function(format!("generate_n{n}"), |b| {
+            b.iter(|| black_box(encode_machine(black_box(&tm), n)))
+        });
+    }
+
+    for n in [1usize, 2] {
+        let enc = encode_machine(&tm, n);
+        let trace = tm.trace_empty_tape(1 << n, 64);
+        let db = trace_database(&tm, n, &trace);
+        report_shape(
+            "E7_trace_validation",
+            n,
+            &[
+                ("db_facts", db.len().to_string()),
+                (
+                    "goal_derived",
+                    (!evaluate(&enc.program, &db).relation(goal()).is_empty()).to_string(),
+                ),
+                ("errors", evaluate_ucq(&enc.queries, &db).len().to_string()),
+            ],
+        );
+        group.bench_function(format!("validate_trace_n{n}"), |b| {
+            b.iter(|| {
+                let derived = evaluate(&enc.program, &db);
+                let errors = evaluate_ucq(&enc.queries, &db);
+                black_box((derived.stats.derived_facts, errors.len()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tm_encoding);
+criterion_main!(benches);

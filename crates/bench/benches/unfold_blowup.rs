@@ -1,0 +1,95 @@
+//! Experiments E8, E9, E10: the succinctness of nonrecursive programs
+//! (Examples 6.1, 6.2, 6.3, 6.6).  The shape to reproduce: `dist_n` unfolds
+//! to ONE disjunct of size Θ(2^n); `word_n` unfolds to 2^n disjuncts of size
+//! Θ(n); `equal_n` and `dist≤_n` sit in between.  This exponential gap is
+//! what lifts Theorem 5.12 (2EXPTIME) to Theorem 6.4 (3EXPTIME).
+
+use bench::report_shape;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use datalog::atom::Pred;
+use datalog::generate::{dist_le_program, dist_program, equal_program, word_program};
+use nonrec_equivalence::unfold::unfold_with_stats;
+
+fn bench_unfold_blowup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unfold_blowup");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+
+    for n in [2usize, 4, 6, 8, 10] {
+        let program = dist_program(n);
+        let goal = Pred::new(&format!("dist{n}"));
+        let (_, stats) = unfold_with_stats(&program, goal, usize::MAX).unwrap();
+        report_shape(
+            "E8_dist_unfold",
+            n,
+            &[
+                ("disjuncts", stats.disjuncts.to_string()),
+                ("max_disjunct_size", stats.max_disjunct_size.to_string()),
+                ("total_size", stats.total_size.to_string()),
+            ],
+        );
+        group.bench_function(format!("dist_{n}"), |b| {
+            b.iter(|| black_box(unfold_with_stats(black_box(&program), goal, usize::MAX)))
+        });
+    }
+
+    for n in [2usize, 4, 6, 8, 10] {
+        let program = word_program(n);
+        let goal = Pred::new(&format!("word{n}"));
+        let (_, stats) = unfold_with_stats(&program, goal, usize::MAX).unwrap();
+        report_shape(
+            "E10_word_unfold",
+            n,
+            &[
+                ("disjuncts", stats.disjuncts.to_string()),
+                ("max_disjunct_size", stats.max_disjunct_size.to_string()),
+                ("total_size", stats.total_size.to_string()),
+            ],
+        );
+        group.bench_function(format!("word_{n}"), |b| {
+            b.iter(|| black_box(unfold_with_stats(black_box(&program), goal, usize::MAX)))
+        });
+    }
+
+    for n in [1usize, 2, 3, 4] {
+        let program = dist_le_program(n);
+        let goal = Pred::new(&format!("dist{n}"));
+        let (_, stats) = unfold_with_stats(&program, goal, usize::MAX).unwrap();
+        report_shape(
+            "E9_dist_le_unfold",
+            n,
+            &[
+                ("disjuncts", stats.disjuncts.to_string()),
+                ("max_disjunct_size", stats.max_disjunct_size.to_string()),
+            ],
+        );
+        group.bench_function(format!("dist_le_{n}"), |b| {
+            b.iter(|| black_box(unfold_with_stats(black_box(&program), goal, usize::MAX)))
+        });
+    }
+
+    for n in [1usize, 2, 3] {
+        let program = equal_program(n);
+        let goal = Pred::new(&format!("equal{n}"));
+        let (_, stats) = unfold_with_stats(&program, goal, usize::MAX).unwrap();
+        report_shape(
+            "E9_equal_unfold",
+            n,
+            &[
+                ("disjuncts", stats.disjuncts.to_string()),
+                ("max_disjunct_size", stats.max_disjunct_size.to_string()),
+            ],
+        );
+        group.bench_function(format!("equal_{n}"), |b| {
+            b.iter(|| black_box(unfold_with_stats(black_box(&program), goal, usize::MAX)))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_unfold_blowup);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench target corresponds to one experiment id of DESIGN.md §5 and
+//! prints, next to the Criterion timings, the *shape* quantities the paper's
+//! theorems predict (automaton sizes, unfolding sizes, explored product
+//! states), so that EXPERIMENTS.md can relate measurements to bounds.
+
+/// Format a labelled measurement row in a stable, grep-friendly way.
+///
+/// The bench output files (`bench_output.txt`) are post-processed by eye;
+/// a fixed `[shape]` prefix makes the relevant rows easy to extract.
+pub fn report_shape(experiment: &str, parameter: usize, fields: &[(&str, String)]) {
+    let rendered: Vec<String> = fields
+        .iter()
+        .map(|(key, value)| format!("{key}={value}"))
+        .collect();
+    eprintln!("[shape] {experiment} n={parameter} {}", rendered.join(" "));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_shape_does_not_panic() {
+        super::report_shape("smoke", 1, &[("value", "42".to_string())]);
+    }
+}

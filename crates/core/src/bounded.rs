@@ -1,0 +1,113 @@
+//! Bounded-unfolding tools.
+//!
+//! The paper's motivating optimisation (Example 1.1) is recursion
+//! elimination: replace a recursive program by a nonrecursive one when the
+//! two are equivalent.  Whether *some* equivalent nonrecursive program
+//! exists (boundedness) is undecidable [GMSV93], but two practically useful
+//! variants are decidable with the machinery of this crate:
+//!
+//! * Is Π equivalent to its own depth-`k` unfolding, for a given `k`?
+//!   ([`bounded_at_depth`])  If yes, the depth-`k` unfolding is an
+//!   equivalent union of conjunctive queries, i.e. an explicit nonrecursive
+//!   form of Π.
+//! * Find the least such `k` below a cutoff, if any ([`find_bound`]).
+
+use cq::Ucq;
+use datalog::atom::Pred;
+use datalog::program::Program;
+
+use crate::containment::{datalog_contained_in_ucq, DecisionError};
+use crate::unfold::expansions_up_to_depth;
+
+/// The outcome of a boundedness-at-k check.
+#[derive(Debug)]
+pub struct BoundedResult {
+    /// Is Π equivalent to its depth-`k` unfolding?
+    pub bounded: bool,
+    /// The depth-`k` unfolding that was compared against.
+    pub unfolding: Ucq,
+}
+
+/// Is the program equivalent to its depth-`k` unfolding?
+///
+/// The unfolding is contained in the program by construction, so only the
+/// direction Π ⊆ unfolding needs to be decided (Theorem 5.12 machinery).
+pub fn bounded_at_depth(
+    program: &Program,
+    goal: Pred,
+    depth: usize,
+) -> Result<BoundedResult, DecisionError> {
+    let unfolding = expansions_up_to_depth(program, goal, depth);
+    let result = datalog_contained_in_ucq(program, goal, &unfolding)?;
+    Ok(BoundedResult {
+        bounded: result.contained,
+        unfolding,
+    })
+}
+
+/// Find the least depth `k ≤ max_depth` at which the program is equivalent
+/// to its unfolding, if any.
+pub fn find_bound(
+    program: &Program,
+    goal: Pred,
+    max_depth: usize,
+) -> Result<Option<(usize, Ucq)>, DecisionError> {
+    for depth in 1..=max_depth {
+        let result = bounded_at_depth(program, goal, depth)?;
+        if result.bounded {
+            return Ok(Some((depth, result.unfolding)));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog::parser::parse_program;
+
+    #[test]
+    fn example_1_1_pi1_is_bounded_at_depth_two() {
+        let program = parse_program(
+            "buys(X, Y) :- likes(X, Y).\n\
+             buys(X, Y) :- trendy(X), buys(Z, Y).",
+        )
+        .unwrap();
+        let result = bounded_at_depth(&program, Pred::new("buys"), 2).unwrap();
+        assert!(result.bounded, "Π₁ collapses at depth 2 (Example 1.1)");
+        assert_eq!(result.unfolding.len(), 2);
+        // Depth 1 is not enough: only the likes-rule expansion is present.
+        assert!(!bounded_at_depth(&program, Pred::new("buys"), 1).unwrap().bounded);
+        // find_bound reports 2 as the least bound.
+        let (k, ucq) = find_bound(&program, Pred::new("buys"), 4).unwrap().unwrap();
+        assert_eq!(k, 2);
+        assert_eq!(ucq.len(), 2);
+    }
+
+    #[test]
+    fn example_1_1_pi2_is_not_bounded_at_small_depths() {
+        let program = parse_program(
+            "buys(X, Y) :- likes(X, Y).\n\
+             buys(X, Y) :- knows(X, Z), buys(Z, Y).",
+        )
+        .unwrap();
+        assert!(find_bound(&program, Pred::new("buys"), 3).unwrap().is_none());
+    }
+
+    #[test]
+    fn transitive_closure_is_unbounded_at_small_depths() {
+        let tc = parse_program(
+            "p(X, Y) :- e(X, Z), p(Z, Y).\n\
+             p(X, Y) :- e(X, Y).",
+        )
+        .unwrap();
+        assert!(find_bound(&tc, Pred::new("p"), 3).unwrap().is_none());
+    }
+
+    #[test]
+    fn trivially_nonrecursive_program_is_bounded_at_depth_one() {
+        let p = parse_program("r(X, Y) :- e(X, Y).").unwrap();
+        let result = bounded_at_depth(&p, Pred::new("r"), 1).unwrap();
+        assert!(result.bounded);
+    }
+}

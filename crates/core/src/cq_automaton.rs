@@ -1,0 +1,511 @@
+//! The conjunctive-query automaton `A_θ(Q, Π)` of Proposition 5.10.
+//!
+//! `T(A_θ(Q, Π))` is the set of proof trees τ ∈ ptrees(Q, Π) that admit a
+//! *strong containment mapping* from θ (Definition 5.4): a containment
+//! mapping that sends distinguished occurrences to distinguished occurrences
+//! and occurrences of the same θ-variable to *connected* occurrences of the
+//! same variable in τ.
+//!
+//! A state is a triple `(α, β, M)`:
+//!
+//! * α — the IDB atom (over `var(Π)`) expected as the goal of the node,
+//! * β — the set of θ-atoms that still have to be mapped at or below the
+//!   node,
+//! * M — a partial mapping from θ-variables to terms over `var(Π)`,
+//!   recording images already committed higher up the tree.
+//!
+//! Reading a label `(α, ρ)`, the automaton nondeterministically maps some of
+//! β's atoms into ρ's (EDB) body atoms and distributes the rest among the
+//! children (the IDB atoms of ρ), subject to the paper's side conditions:
+//! a θ-variable shared between two children must already have an image and
+//! that image must occur in both child goals; a θ-variable with an image
+//! that is passed to a child must have its image occur in that child's goal.
+//! These conditions are what make the induced mapping *strong* (connected
+//! occurrences).  Leaf transitions require the remaining β to map entirely
+//! into the body of an all-EDB rule instance.
+//!
+//! To keep the reachable state space small we additionally project M onto
+//! the variables of the atoms that are still pending — dropped bindings can
+//! never be consulted again, so the projection does not change the language.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use automata::tree::TreeAutomaton;
+use cq::ConjunctiveQuery;
+use datalog::atom::{Atom, Pred};
+use datalog::substitution::Substitution;
+use datalog::term::{Term, Var};
+
+use crate::labels::{LabelContext, ProofLabel};
+use crate::ptrees_automaton::AutomatonStats;
+
+/// A constructed `A_θ(Q, Π)` automaton.
+pub struct CqAutomaton {
+    /// The underlying tree automaton, over the same label alphabet as the
+    /// proof-tree automaton built from the same [`LabelContext`].
+    pub automaton: TreeAutomaton<ProofLabel>,
+    /// Number of interned `(α, β, M)` states.
+    pub states: usize,
+}
+
+/// Internal state key: (goal atom, remaining θ-atom indices, mapping).
+type StateKey = (Atom, Vec<usize>, Vec<(Var, Term)>);
+
+impl CqAutomaton {
+    /// Build `A_θ(goal, Π)` for the conjunctive query `theta`, sharing the
+    /// label context (and hence alphabet) of the proof-tree automaton.
+    pub fn build(context: &LabelContext, goal: Pred, theta: &ConjunctiveQuery) -> Self {
+        let mut automaton = TreeAutomaton::new(0);
+        let mut state_of: BTreeMap<StateKey, usize> = BTreeMap::new();
+        let mut queue: VecDeque<StateKey> = VecDeque::new();
+
+        let intern = |key: StateKey,
+                          automaton: &mut TreeAutomaton<ProofLabel>,
+                          state_of: &mut BTreeMap<StateKey, usize>,
+                          queue: &mut VecDeque<StateKey>|
+         -> usize {
+            if let Some(&id) = state_of.get(&key) {
+                return id;
+            }
+            let id = automaton.add_state();
+            state_of.insert(key.clone(), id);
+            queue.push_back(key);
+            id
+        };
+
+        // Start states: (Q(s), θ, M_{θ,s}) for every goal atom Q(s), where
+        // M_{θ,s} maps the i-th distinguished term of θ to the i-th term of
+        // s — provided that binding is consistent (repeated distinguished
+        // variables need equal images; constants in θ's head can never map
+        // to a proof-tree variable).
+        let all_atoms: Vec<usize> = (0..theta.body.len()).collect();
+        for goal_atom in context.goal_atoms(goal) {
+            if goal_atom.arity() != theta.head.arity() {
+                continue;
+            }
+            let mut mapping: BTreeMap<Var, Term> = BTreeMap::new();
+            let mut consistent = true;
+            for (&theta_term, &goal_term) in theta.head.terms.iter().zip(&goal_atom.terms) {
+                match theta_term {
+                    Term::Const(_) => {
+                        // Proof trees are over variables of var(Π); a head
+                        // constant can never be matched.
+                        consistent = false;
+                        break;
+                    }
+                    Term::Var(v) => match mapping.get(&v) {
+                        Some(&existing) if existing != goal_term => {
+                            consistent = false;
+                            break;
+                        }
+                        _ => {
+                            mapping.insert(v, goal_term);
+                        }
+                    },
+                }
+            }
+            if !consistent {
+                continue;
+            }
+            let key = make_key(goal_atom, &all_atoms, &mapping, theta);
+            let id = intern(key, &mut automaton, &mut state_of, &mut queue);
+            automaton.add_initial(id);
+        }
+
+        // Saturate transitions.
+        while let Some(key) = queue.pop_front() {
+            let state = state_of[&key];
+            let (atom, remaining, mapping_vec) = key;
+            let mapping: BTreeMap<Var, Term> = mapping_vec.into_iter().collect();
+            for label in context.labels_for(&atom) {
+                let idb_children: Vec<Atom> = context
+                    .idb_body_atoms(&label.instance)
+                    .into_iter()
+                    .map(|(_, a)| a.clone())
+                    .collect();
+                let edb_atoms: Vec<Atom> = context
+                    .edb_body_atoms(&label.instance)
+                    .into_iter()
+                    .cloned()
+                    .collect();
+
+                if idb_children.is_empty() {
+                    // Leaf transition: every remaining θ-atom must map into
+                    // the EDB body, consistently with M.
+                    let source: Vec<Atom> =
+                        remaining.iter().map(|&i| theta.body[i].clone()).collect();
+                    let seed: Substitution =
+                        mapping.iter().map(|(&v, &t)| (v, t)).collect();
+                    if cq::homomorphism::homomorphism_exists(&source, &edb_atoms, &seed) {
+                        automaton.add_transition(state, label, Vec::new());
+                    }
+                    continue;
+                }
+
+                // Internal transition: enumerate assignments of the
+                // remaining θ-atoms to "map now" or "defer to child j".
+                enumerate_transitions(
+                    theta,
+                    &remaining,
+                    &mapping,
+                    &edb_atoms,
+                    &idb_children,
+                    &mut |child_sets: &[BTreeSet<usize>], extended: &BTreeMap<Var, Term>| {
+                        let children: Vec<usize> = idb_children
+                            .iter()
+                            .zip(child_sets)
+                            .map(|(child_atom, beta)| {
+                                let beta_vec: Vec<usize> = beta.iter().copied().collect();
+                                let key =
+                                    make_key(child_atom.clone(), &beta_vec, extended, theta);
+                                intern(key, &mut automaton, &mut state_of, &mut queue)
+                            })
+                            .collect();
+                        automaton.add_transition(state, label.clone(), children);
+                    },
+                );
+            }
+        }
+
+        CqAutomaton {
+            states: state_of.len(),
+            automaton,
+        }
+    }
+
+    /// Size statistics.
+    pub fn stats(&self) -> AutomatonStats {
+        AutomatonStats {
+            states: self.automaton.state_count(),
+            transitions: self.automaton.transition_count(),
+        }
+    }
+}
+
+/// Build a state key, projecting the mapping onto the variables of the
+/// pending atoms.
+fn make_key(
+    atom: Atom,
+    remaining: &[usize],
+    mapping: &BTreeMap<Var, Term>,
+    theta: &ConjunctiveQuery,
+) -> StateKey {
+    let relevant: BTreeSet<Var> = remaining
+        .iter()
+        .flat_map(|&i| theta.body[i].variables())
+        .collect();
+    let projected: Vec<(Var, Term)> = mapping
+        .iter()
+        .filter(|(v, _)| relevant.contains(v))
+        .map(|(&v, &t)| (v, t))
+        .collect();
+    let mut remaining = remaining.to_vec();
+    remaining.sort_unstable();
+    (atom, remaining, projected)
+}
+
+/// Enumerate all valid transitions from a state with pending atoms
+/// `remaining`, mapping `mapping`, for a rule instance with EDB body
+/// `edb_atoms` and IDB children `idb_children`.  For each valid choice,
+/// `emit` is called with the per-child pending sets and the extended
+/// mapping M′.
+fn enumerate_transitions(
+    theta: &ConjunctiveQuery,
+    remaining: &[usize],
+    mapping: &BTreeMap<Var, Term>,
+    edb_atoms: &[Atom],
+    idb_children: &[Atom],
+    emit: &mut dyn FnMut(&[BTreeSet<usize>], &BTreeMap<Var, Term>),
+) {
+    // Step 1: choose, for each pending atom, either an EDB body atom to map
+    // onto now (extending the binding) or a child to defer to.
+    #[derive(Clone)]
+    struct Choice {
+        child_sets: Vec<BTreeSet<usize>>,
+        binding: BTreeMap<Var, Term>,
+    }
+
+    let mut partial = vec![Choice {
+        child_sets: vec![BTreeSet::new(); idb_children.len()],
+        binding: mapping.clone(),
+    }];
+
+    for &atom_index in remaining {
+        let theta_atom = &theta.body[atom_index];
+        let mut next: Vec<Choice> = Vec::new();
+        for choice in &partial {
+            // Option A: map now onto some EDB atom of the rule body.
+            for body_atom in edb_atoms {
+                if let Some(binding) = try_map_atom(theta_atom, body_atom, &choice.binding) {
+                    let mut updated = choice.clone();
+                    updated.binding = binding;
+                    next.push(updated);
+                }
+            }
+            // Option B: defer to child j.
+            for j in 0..idb_children.len() {
+                let mut updated = choice.clone();
+                updated.child_sets[j].insert(atom_index);
+                next.push(updated);
+            }
+        }
+        partial = next;
+        if partial.is_empty() {
+            return;
+        }
+    }
+
+    // Step 2: for each assignment, enforce the connectedness side
+    // conditions and extend the mapping with forced shared-variable images.
+    for choice in partial {
+        // Collect, for every deferred variable, the set of children it is
+        // deferred to.
+        let mut deferred_vars: BTreeMap<Var, BTreeSet<usize>> = BTreeMap::new();
+        for (j, beta_j) in choice.child_sets.iter().enumerate() {
+            for &atom_index in beta_j {
+                for v in theta.body[atom_index].variables() {
+                    deferred_vars.entry(v).or_default().insert(j);
+                }
+            }
+        }
+        // Terms occurring in each child's goal atom.
+        let child_goal_terms: Vec<BTreeSet<Term>> = idb_children
+            .iter()
+            .map(|a| a.terms.iter().copied().collect())
+            .collect();
+
+        // Variables with an existing image must have that image in every
+        // child goal they are deferred to (condition 4).
+        let mut ok = true;
+        let mut forced: Vec<(Var, Vec<Term>)> = Vec::new();
+        for (v, children) in &deferred_vars {
+            match choice.binding.get(v) {
+                Some(&image) => {
+                    if !children.iter().all(|&j| child_goal_terms[j].contains(&image)) {
+                        ok = false;
+                        break;
+                    }
+                }
+                None => {
+                    if children.len() >= 2 {
+                        // Condition 3: the variable must get an image common
+                        // to all the child goals it is shared between.
+                        let mut candidates: Option<BTreeSet<Term>> = None;
+                        for &j in children {
+                            candidates = Some(match candidates {
+                                None => child_goal_terms[j].clone(),
+                                Some(prev) => prev
+                                    .intersection(&child_goal_terms[j])
+                                    .copied()
+                                    .collect(),
+                            });
+                        }
+                        let candidates = candidates.unwrap_or_default();
+                        if candidates.is_empty() {
+                            ok = false;
+                            break;
+                        }
+                        forced.push((*v, candidates.into_iter().collect()));
+                    }
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+
+        // Step 3: branch over the forced shared-variable images.
+        let mut assignments = vec![choice.binding.clone()];
+        for (v, candidates) in &forced {
+            let mut next = Vec::new();
+            for base in &assignments {
+                for &candidate in candidates {
+                    let mut extended = base.clone();
+                    extended.insert(*v, candidate);
+                    next.push(extended);
+                }
+            }
+            assignments = next;
+        }
+        for extended in assignments {
+            emit(&choice.child_sets, &extended);
+        }
+    }
+}
+
+/// Try to map a θ-atom onto a body atom, extending `binding`.  Returns the
+/// extended binding, or `None` on mismatch.
+fn try_map_atom(
+    theta_atom: &Atom,
+    body_atom: &Atom,
+    binding: &BTreeMap<Var, Term>,
+) -> Option<BTreeMap<Var, Term>> {
+    if theta_atom.pred != body_atom.pred || theta_atom.terms.len() != body_atom.terms.len() {
+        return None;
+    }
+    let mut extended = binding.clone();
+    for (&theta_term, &body_term) in theta_atom.terms.iter().zip(&body_atom.terms) {
+        match theta_term {
+            Term::Const(c) => {
+                if Term::Const(c) != body_term {
+                    return None;
+                }
+            }
+            Term::Var(v) => match extended.get(&v) {
+                Some(&existing) => {
+                    if existing != body_term {
+                        return None;
+                    }
+                }
+                None => {
+                    extended.insert(v, body_term);
+                }
+            },
+        }
+    }
+    Some(extended)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::canonical_atom;
+    use automata::tree::emptiness::{find_witness, is_empty};
+    use automata::tree::Tree;
+    use datalog::generate::transitive_closure;
+
+    use crate::ptrees_automaton::PtreesAutomaton;
+
+    fn tc_setup() -> (PtreesAutomaton, LabelContext) {
+        let program = transitive_closure("e", "ep");
+        let ptrees = PtreesAutomaton::build(&program, Pred::new("p"));
+        let context = ptrees.context.clone();
+        (ptrees, context)
+    }
+
+    /// A depth-k "path" proof tree over distinct variables where possible.
+    fn tc_path_tree(context: &LabelContext, depth: usize) -> Tree<ProofLabel> {
+        // Root goal p(x1, x2); each recursive step routes through x3/x1
+        // alternately; the last node uses the exit rule.
+        fn build(context: &LabelContext, goal: Atom, depth: usize) -> Tree<ProofLabel> {
+            if depth == 1 {
+                let label = context
+                    .labels_for(&goal)
+                    .into_iter()
+                    .find(|l| l.rule_index == 1)
+                    .unwrap();
+                return Tree::leaf(label);
+            }
+            // Pick the recursive instance whose middle variable differs from
+            // both goal variables when possible.
+            let labels = context.labels_for(&goal);
+            let label = labels
+                .into_iter()
+                .filter(|l| l.rule_index == 0)
+                .max_by_key(|l| {
+                    let mid = l.instance.body[0].terms[1];
+                    usize::from(mid != goal.terms[0] && mid != goal.terms[1])
+                })
+                .unwrap();
+            let child_goal = label.instance.body[1].clone();
+            let child = build(context, child_goal, depth - 1);
+            Tree::node(label, vec![child])
+        }
+        build(context, canonical_atom("p", &[1, 2]), depth)
+    }
+
+    #[test]
+    fn single_edge_query_accepts_only_depth_one_proof_trees() {
+        let (_, context) = tc_setup();
+        // θ: p ⊆ "single e'-edge from X to Y"?  Only the depth-1 proof trees
+        // (exit rule at the root) admit a strong containment mapping.
+        let theta = ConjunctiveQuery::parse("q(X, Y) :- ep(X, Y).").unwrap();
+        let a_theta = CqAutomaton::build(&context, Pred::new("p"), &theta);
+        assert!(!is_empty(&a_theta.automaton));
+
+        let depth1 = tc_path_tree(&context, 1);
+        let depth2 = tc_path_tree(&context, 2);
+        assert!(a_theta.automaton.accepts(&depth1));
+        assert!(!a_theta.automaton.accepts(&depth2));
+    }
+
+    #[test]
+    fn boolean_edge_query_accepts_all_proof_trees() {
+        let (ptrees, context) = tc_setup();
+        // θ: Boolean "there is an e'-edge somewhere".  Every proof tree ends
+        // with an exit rule, so every proof tree is accepted.
+        let theta = ConjunctiveQuery::parse("q(X, Y) :- ep(U, V).").unwrap();
+        let a_theta = CqAutomaton::build(&context, Pred::new("p"), &theta);
+        for depth in 1..=3 {
+            let tree = tc_path_tree(&context, depth);
+            assert!(ptrees.automaton.accepts(&tree), "ptrees rejects depth {depth}");
+            assert!(a_theta.automaton.accepts(&tree), "A_θ rejects depth {depth}");
+        }
+    }
+
+    #[test]
+    fn two_step_query_rejects_depth_one_and_accepts_depth_two() {
+        let (_, context) = tc_setup();
+        // θ(X, Y) :- e(X, Z), ep(Z, Y): exactly the expansion of depth 2.
+        let theta = ConjunctiveQuery::parse("q(X, Y) :- e(X, Z), ep(Z, Y).").unwrap();
+        let a_theta = CqAutomaton::build(&context, Pred::new("p"), &theta);
+        assert!(!a_theta.automaton.accepts(&tc_path_tree(&context, 1)));
+        assert!(a_theta.automaton.accepts(&tc_path_tree(&context, 2)));
+        assert!(!a_theta.automaton.accepts(&tc_path_tree(&context, 3)));
+    }
+
+    #[test]
+    fn connectedness_condition_rejects_variable_reuse_across_disconnected_occurrences() {
+        let (_, context) = tc_setup();
+        // θ(X, Y) :- e(X, W), ep(W, Y) is fine, but
+        // θ'(X, Y) :- e(X, X): requires the root's two distinguished
+        // variables to coincide; only diagonal-rooted proof trees could
+        // satisfy it, and the depth-1 tree rooted at p(x1, x2) must be
+        // rejected.
+        let theta = ConjunctiveQuery::parse("q(X, Y) :- ep(X, X).").unwrap();
+        let a_theta = CqAutomaton::build(&context, Pred::new("p"), &theta);
+        let depth1 = tc_path_tree(&context, 1); // root p(x1, x2)
+        assert!(!a_theta.automaton.accepts(&depth1));
+        // A diagonal proof tree p(x1, x1) :- ep(x1, x1) is accepted.
+        let diag_goal = canonical_atom("p", &[1, 1]);
+        let diag_label = context
+            .labels_for(&diag_goal)
+            .into_iter()
+            .find(|l| l.rule_index == 1)
+            .unwrap();
+        assert!(a_theta.automaton.accepts(&Tree::leaf(diag_label)));
+    }
+
+    #[test]
+    fn unsatisfiable_query_yields_empty_automaton() {
+        let (_, context) = tc_setup();
+        // θ mentions a predicate that no rule body contains.
+        let theta = ConjunctiveQuery::parse("q(X, Y) :- missing(X, Y).").unwrap();
+        let a_theta = CqAutomaton::build(&context, Pred::new("p"), &theta);
+        assert!(is_empty(&a_theta.automaton));
+    }
+
+    #[test]
+    fn witness_trees_are_accepted_by_the_ptrees_automaton() {
+        let (ptrees, context) = tc_setup();
+        let theta = ConjunctiveQuery::parse("q(X, Y) :- e(X, Z), ep(Z, Y).").unwrap();
+        let a_theta = CqAutomaton::build(&context, Pred::new("p"), &theta);
+        let witness = find_witness(&a_theta.automaton).unwrap();
+        assert!(ptrees.automaton.accepts(&witness));
+        assert!(crate::proof_tree::is_valid_proof_tree(
+            context.program(),
+            &witness
+        ));
+    }
+
+    #[test]
+    fn stats_are_reported() {
+        let (_, context) = tc_setup();
+        let theta = ConjunctiveQuery::parse("q(X, Y) :- ep(X, Y).").unwrap();
+        let a_theta = CqAutomaton::build(&context, Pred::new("p"), &theta);
+        let stats = a_theta.stats();
+        assert!(stats.states > 0);
+        assert!(stats.transitions > 0);
+        assert_eq!(a_theta.states, stats.states);
+    }
+}

@@ -1,0 +1,95 @@
+//! Containment of (unions of) conjunctive queries in a Datalog program.
+//!
+//! This is the *other* direction of the equivalence problem — the one the
+//! paper's introduction notes was already known to be decidable (it is
+//! EXPTIME-complete in general and NP-complete for bounded arity
+//! [CK86, CLM81, Sa88b]).  The classical algorithm is the canonical-database
+//! (frozen query) method: `θ ⊆ Π(Q)` iff evaluating Π on the canonical
+//! database of θ derives the frozen head tuple of θ.
+
+use cq::canonical::canonical_database;
+use cq::{ConjunctiveQuery, Ucq};
+use datalog::atom::Pred;
+use datalog::eval::{evaluate_with, EvalOptions};
+use datalog::program::Program;
+
+/// Is the conjunctive query contained in the Datalog program's goal
+/// predicate?
+pub fn cq_contained_in_datalog(theta: &ConjunctiveQuery, program: &Program, goal: Pred) -> bool {
+    let frozen = canonical_database(theta);
+    let result = evaluate_with(program, &frozen.database, EvalOptions::default());
+    result.relation(goal).contains(&frozen.head_tuple)
+}
+
+/// Is every disjunct of the union contained in the program (i.e. is the
+/// union contained in the program)?
+pub fn ucq_contained_in_datalog(ucq: &Ucq, program: &Program, goal: Pred) -> bool {
+    ucq.disjuncts
+        .iter()
+        .all(|theta| cq_contained_in_datalog(theta, program, goal))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog::generate::transitive_closure;
+    use datalog::parser::parse_program;
+
+    fn tc() -> datalog::Program {
+        transitive_closure("e", "e")
+    }
+
+    #[test]
+    fn path_queries_are_contained_in_transitive_closure() {
+        for n in 1..=5 {
+            let q = cq::generate::path_query("e", n);
+            assert!(
+                cq_contained_in_datalog(&q, &tc(), Pred::new("p")),
+                "path of length {n} must be contained in TC"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_predicate_queries_are_not_contained() {
+        let q = ConjunctiveQuery::parse("q(X, Y) :- f(X, Y).").unwrap();
+        assert!(!cq_contained_in_datalog(&q, &tc(), Pred::new("p")));
+    }
+
+    #[test]
+    fn disconnected_query_is_not_contained() {
+        // Two separate edges do not witness a path between the endpoints.
+        let q = ConjunctiveQuery::parse("q(X, Y) :- e(X, A), e(B, Y).").unwrap();
+        assert!(!cq_contained_in_datalog(&q, &tc(), Pred::new("p")));
+    }
+
+    #[test]
+    fn ucq_containment_requires_every_disjunct() {
+        let ok = Ucq::parse("q(X, Y) :- e(X, Y).\nq(X, Y) :- e(X, Z), e(Z, Y).").unwrap();
+        let mixed = Ucq::parse("q(X, Y) :- e(X, Y).\nq(X, Y) :- f(X, Y).").unwrap();
+        assert!(ucq_contained_in_datalog(&ok, &tc(), Pred::new("p")));
+        assert!(!ucq_contained_in_datalog(&mixed, &tc(), Pred::new("p")));
+    }
+
+    #[test]
+    fn repeated_head_variables_freeze_correctly() {
+        // q(X, X) :- e(X, X): a self-loop, which TC derives as p(a, a).
+        let q = ConjunctiveQuery::parse("q(X, X) :- e(X, X).").unwrap();
+        assert!(cq_contained_in_datalog(&q, &tc(), Pred::new("p")));
+    }
+
+    #[test]
+    fn containment_respects_nonrecursive_comparison_programs() {
+        // Θ = single edge is contained in the nonrecursive "edge or 2-path"
+        // program.
+        let program = parse_program(
+            "r(X, Y) :- e(X, Y).\n\
+             r(X, Y) :- e(X, Z), e(Z, Y).",
+        )
+        .unwrap();
+        let q = ConjunctiveQuery::parse("q(X, Y) :- e(X, Y).").unwrap();
+        assert!(cq_contained_in_datalog(&q, &program, Pred::new("r")));
+        let three = cq::generate::path_query("e", 3);
+        assert!(!cq_contained_in_datalog(&three, &program, Pred::new("r")));
+    }
+}

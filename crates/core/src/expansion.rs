@@ -1,0 +1,282 @@
+//! Expansion trees and unfolding expansion trees (Section 2.3, Figure 1).
+//!
+//! An expansion tree's nodes are labeled `(α, ρ)` where ρ is a rule instance
+//! with head α and the children are labeled by the IDB atoms of ρ's body.
+//! An *unfolding* expansion tree (Definition 2.4) additionally uses globally
+//! fresh variables for every unfolding step: body variables of ρ either
+//! occur in α or occur nowhere above.
+//!
+//! This module enumerates unfolding expansion trees up to a given height
+//! (used by Figure 1, the boundedness tools, and the differential tests) and
+//! converts them to their conjunctive queries.  The bounded-variable cousins
+//! of these trees — proof trees — live in [`crate::proof_tree`].
+
+use automata::tree::Tree;
+use cq::ConjunctiveQuery;
+use datalog::atom::{Atom, Pred};
+use datalog::program::Program;
+use datalog::rule::Rule;
+
+use crate::labels::ProofLabel;
+use crate::unify::Unifier;
+
+/// An expansion tree: same node representation as a proof tree, but without
+/// the `var(Π)` restriction.
+pub type ExpansionTree = Tree<ProofLabel>;
+
+/// Enumerate all unfolding expansion trees of height at most `max_height`
+/// for the goal predicate.  The root atom of each tree is the head of a rule
+/// of the program (Definition 2.4(a)), with that rule's own variable names.
+///
+/// The number of trees grows exponentially with the height; keep
+/// `max_height` small (the tests and figures use ≤ 4).
+pub fn unfolding_trees(program: &Program, goal: Pred, max_height: usize) -> Vec<ExpansionTree> {
+    let idb = program.idb_predicates();
+    let mut out = Vec::new();
+    for (rule_index, rule) in program.rules_for(goal) {
+        // The root uses the rule's head as written (fresh per Definition
+        // 2.4: nothing occurs above the root).
+        let mut trees = Vec::new();
+        build(
+            program,
+            &idb,
+            rule_index,
+            rule.clone(),
+            max_height,
+            &mut trees,
+        );
+        out.extend(trees);
+    }
+    out
+}
+
+/// Recursively build all unfolding trees rooted at an instance of
+/// `rule` (already renamed as desired), of height at most `budget`.
+fn build(
+    program: &Program,
+    idb: &std::collections::BTreeSet<Pred>,
+    rule_index: usize,
+    instance: Rule,
+    budget: usize,
+    out: &mut Vec<ExpansionTree>,
+) {
+    if budget == 0 {
+        return;
+    }
+    let idb_atoms: Vec<Atom> = instance
+        .body
+        .iter()
+        .filter(|a| idb.contains(&a.pred))
+        .cloned()
+        .collect();
+    if idb_atoms.is_empty() {
+        out.push(Tree::leaf(ProofLabel {
+            rule_index,
+            instance,
+        }));
+        return;
+    }
+    // For every IDB atom, enumerate the subtrees obtainable by unfolding it
+    // with a fresh copy of a rule; then take the cross product.
+    let mut options: Vec<Vec<(ExpansionTree, Unifier)>> = Vec::new();
+    for atom in &idb_atoms {
+        let mut atom_options = Vec::new();
+        for (child_rule_index, child_rule) in program.rules_for(atom.pred) {
+            let (fresh, _) = child_rule.freshen("f");
+            let mut unifier = Unifier::new();
+            if !unifier.unify_atoms(&fresh.head, atom) {
+                continue;
+            }
+            let unified = unifier.apply_rule(&fresh);
+            let mut subtrees = Vec::new();
+            build(
+                program,
+                idb,
+                child_rule_index,
+                unified,
+                budget - 1,
+                &mut subtrees,
+            );
+            for subtree in subtrees {
+                atom_options.push((subtree, unifier.clone()));
+            }
+        }
+        options.push(atom_options);
+    }
+    if options.iter().any(|o| o.is_empty()) {
+        return;
+    }
+    // Cross product of child choices.
+    let mut combo = vec![0usize; options.len()];
+    loop {
+        let children: Vec<ExpansionTree> = combo
+            .iter()
+            .zip(&options)
+            .map(|(&i, opts)| opts[i].0.clone())
+            .collect();
+        out.push(Tree::node(
+            ProofLabel {
+                rule_index,
+                instance: instance.clone(),
+            },
+            children,
+        ));
+        let mut carry = true;
+        for (slot, opts) in combo.iter_mut().zip(&options) {
+            if carry {
+                *slot += 1;
+                if *slot == opts.len() {
+                    *slot = 0;
+                } else {
+                    carry = false;
+                }
+            }
+        }
+        if carry {
+            break;
+        }
+    }
+}
+
+/// The conjunctive query of an expansion tree whose variables are already
+/// globally distinct per unfolding step (an unfolding expansion tree): the
+/// head is the root's goal atom and the body collects every EDB atom of
+/// every rule instance in the tree.
+pub fn expansion_query(program: &Program, tree: &ExpansionTree) -> ConjunctiveQuery {
+    let idb = program.idb_predicates();
+    let mut body = Vec::new();
+    collect_edb(&idb, tree, &mut body);
+    ConjunctiveQuery::new(tree.label.instance.head.clone(), body)
+}
+
+fn collect_edb(
+    idb: &std::collections::BTreeSet<Pred>,
+    tree: &ExpansionTree,
+    out: &mut Vec<Atom>,
+) {
+    for atom in &tree.label.instance.body {
+        if !idb.contains(&atom.pred) {
+            out.push(atom.clone());
+        }
+    }
+    for child in &tree.children {
+        collect_edb(idb, child, out);
+    }
+}
+
+/// The expansion tree of Figure 1(a): the transitive-closure program's
+/// depth-2 expansion tree in which the variable `X` is *reused* in the child
+/// (so it is an expansion tree but not an unfolding expansion tree).
+/// Returned together with the Figure 1(b) unfolding expansion tree, which
+/// uses a fresh variable `W` instead.
+pub fn figure1_trees(program: &Program) -> (ExpansionTree, ExpansionTree) {
+    // Figure 1 is specific to the transitive-closure program
+    //   r1: p(X, Y) :- e(X, Z), p(Z, Y).
+    //   r0: p(X, Y) :- e'(X, Y).
+    let recursive = program.rules()[0].clone();
+    let exit_pred = program.rules()[1].body[0].pred;
+
+    let parse = |s: &str| datalog::parser::parse_rule(s).unwrap();
+    // Figure 1(a): the child instance reuses the variable X.
+    let reused_child = parse(&format!("p(Z, Y) :- {}(Z, X).", exit_pred.name()));
+    // Figure 1(b): a fresh variable W is used instead of X.
+    let fresh_child = parse(&format!("p(Z, Y) :- {}(Z, W).", exit_pred.name()));
+
+    let expansion = Tree::node(
+        ProofLabel {
+            rule_index: 0,
+            instance: recursive.clone(),
+        },
+        vec![Tree::leaf(ProofLabel {
+            rule_index: 1,
+            instance: reused_child,
+        })],
+    );
+    let unfolding = Tree::node(
+        ProofLabel {
+            rule_index: 0,
+            instance: recursive,
+        },
+        vec![Tree::leaf(ProofLabel {
+            rule_index: 1,
+            instance: fresh_child,
+        })],
+    );
+    (expansion, unfolding)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::containment::cq_contained_in;
+    use datalog::generate::transitive_closure;
+
+    fn tc() -> Program {
+        transitive_closure("e", "ep")
+    }
+
+    #[test]
+    fn unfolding_trees_of_height_two_for_tc() {
+        let trees = unfolding_trees(&tc(), Pred::new("p"), 2);
+        // Height ≤ 2: the bare exit rule (height 1) and the recursive rule
+        // over an exit-rule child (height 2).
+        assert_eq!(trees.len(), 2);
+        let heights: std::collections::BTreeSet<usize> =
+            trees.iter().map(|t| t.height()).collect();
+        assert_eq!(heights, std::collections::BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn unfolding_tree_queries_are_paths() {
+        let program = tc();
+        let trees = unfolding_trees(&program, Pred::new("p"), 3);
+        for tree in &trees {
+            let q = expansion_query(&program, tree);
+            // Height-h tree ⇒ h body atoms (h−1 edges + 1 exit edge) forming
+            // a path, i.e. h+1 distinct variables.
+            assert_eq!(q.body.len(), tree.height());
+            assert_eq!(q.variables().len(), tree.height() + 1);
+        }
+    }
+
+    #[test]
+    fn fresh_variables_never_clash_across_unfolding_steps() {
+        let program = tc();
+        let trees = unfolding_trees(&program, Pred::new("p"), 4);
+        let deepest = trees.iter().max_by_key(|t| t.height()).unwrap();
+        let q = expansion_query(&program, deepest);
+        // A path of length 4 has 5 distinct variables; any accidental
+        // variable reuse would produce fewer.
+        assert_eq!(q.variables().len(), 5);
+    }
+
+    #[test]
+    fn figure1_expansion_vs_unfolding_tree() {
+        let program = tc();
+        let (expansion, unfolding) = figure1_trees(&program);
+        assert_eq!(expansion.size(), 2);
+        assert_eq!(unfolding.size(), 2);
+        // The expansion tree reuses X: its query has 3 distinct variables
+        // (X, Y, Z); the unfolding tree has 4 (X, Y, Z, W).
+        let eq = expansion_query(&program, &expansion);
+        let uq = expansion_query(&program, &unfolding);
+        assert_eq!(eq.variables().len(), 3);
+        assert_eq!(uq.variables().len(), 4);
+        // Every expansion tree, viewed as a conjunctive query, is contained
+        // in an unfolding expansion tree (Section 2.3).
+        assert!(cq_contained_in(&eq, &uq));
+        assert!(!cq_contained_in(&uq, &eq));
+    }
+
+    #[test]
+    fn goal_without_rules_yields_no_trees() {
+        let trees = unfolding_trees(&tc(), Pred::new("nonexistent"), 3);
+        assert!(trees.is_empty());
+    }
+
+    #[test]
+    fn zero_height_budget_yields_no_trees() {
+        let trees = unfolding_trees(&tc(), Pred::new("p"), 0);
+        assert!(trees.is_empty());
+    }
+}

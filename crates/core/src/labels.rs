@@ -1,0 +1,315 @@
+//! The proof-tree label alphabet.
+//!
+//! Section 5.1: a proof tree for a program Π is an expansion tree all of
+//! whose variables come from the bounded set `var(Π) = {x1, …, x_varnum(Π)}`.
+//! Its node labels are pairs `(α, ρ)` of an IDB atom α over `var(Π)` and a
+//! rule instance ρ over `var(Π)` whose head is α.  Since the atom is
+//! determined by the rule instance, our label type stores the rule index and
+//! the instance; the head atom doubles as the automaton state.
+//!
+//! This module enumerates, for a given goal atom, all rule instances over
+//! `var(Π)` whose head equals that atom — the transitions of the
+//! proof-tree automaton of Proposition 5.9 and of the conjunctive-query
+//! automata of Proposition 5.10 are indexed by exactly these labels.
+
+use std::fmt;
+
+use datalog::atom::{Atom, Pred};
+use datalog::program::Program;
+use datalog::rule::Rule;
+use datalog::substitution::Substitution;
+use datalog::term::{Term, Var};
+
+use serde::{Deserialize, Serialize};
+
+/// A proof-tree node label: an instance over `var(Π)` of a program rule.
+///
+/// The label's atom (the paper's α) is `instance.head`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProofLabel {
+    /// Index of the originating rule in the program.
+    pub rule_index: usize,
+    /// The rule instance (all variables in `var(Π)`).
+    pub instance: Rule,
+}
+
+impl ProofLabel {
+    /// The IDB atom labelling the node (the head of the rule instance).
+    pub fn atom(&self) -> &Atom {
+        &self.instance.head
+    }
+}
+
+impl fmt::Display for ProofLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, r{}: {}⟩", self.instance.head, self.rule_index, self.instance)
+    }
+}
+
+impl fmt::Debug for ProofLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Build an atom `pred(x_{i1}, …, x_{ik})` over the canonical proof-tree
+/// variables.  Note that the textual parser would read `x1` as a *constant*
+/// (lowercase identifier), so goal atoms over `var(Π)` must be constructed
+/// programmatically — this helper is the way to do it.
+pub fn canonical_atom(pred: &str, indices: &[usize]) -> Atom {
+    Atom::new(
+        Pred::new(pred),
+        indices
+            .iter()
+            .map(|&i| Term::Var(Var::canonical(i)))
+            .collect(),
+    )
+}
+
+/// The label-enumeration context for a program: its `var(Π)` set, IDB
+/// predicates, and rules.
+#[derive(Clone)]
+pub struct LabelContext {
+    program: Program,
+    variables: Vec<Var>,
+    idb: std::collections::BTreeSet<Pred>,
+}
+
+impl LabelContext {
+    /// Build a context for the program.
+    pub fn new(program: &Program) -> Self {
+        LabelContext {
+            variables: program.var_set(),
+            idb: program.idb_predicates(),
+            program: program.clone(),
+        }
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The bounded variable set `var(Π)`.
+    pub fn variables(&self) -> &[Var] {
+        &self.variables
+    }
+
+    /// Is the predicate an IDB predicate of the program?
+    pub fn is_idb(&self, pred: Pred) -> bool {
+        self.idb.contains(&pred)
+    }
+
+    /// The IDB atoms in the body of a rule instance, with their positions.
+    pub fn idb_body_atoms<'a>(&'a self, instance: &'a Rule) -> Vec<(usize, &'a Atom)> {
+        instance
+            .body
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| self.is_idb(a.pred))
+            .collect()
+    }
+
+    /// The EDB atoms in the body of a rule instance.
+    pub fn edb_body_atoms<'a>(&'a self, instance: &'a Rule) -> Vec<&'a Atom> {
+        instance
+            .body
+            .iter()
+            .filter(|a| !self.is_idb(a.pred))
+            .collect()
+    }
+
+    /// All atoms `goal(s)` with `s` a tuple over `var(Π)` — the start states
+    /// of the proof-tree automaton (Proposition 5.9).
+    pub fn goal_atoms(&self, goal: Pred) -> Vec<Atom> {
+        let arity = self.program.arity_of(goal).unwrap_or(0);
+        let mut out = Vec::new();
+        let mut tuple = vec![0usize; arity];
+        loop {
+            out.push(Atom::new(
+                goal,
+                tuple.iter().map(|&i| Term::Var(self.variables[i])).collect(),
+            ));
+            if arity == 0 {
+                break;
+            }
+            let mut carry = true;
+            for slot in tuple.iter_mut() {
+                if carry {
+                    *slot += 1;
+                    if *slot == self.variables.len() {
+                        *slot = 0;
+                    } else {
+                        carry = false;
+                    }
+                }
+            }
+            if carry {
+                break;
+            }
+        }
+        out
+    }
+
+    /// All rule instances over `var(Π)` whose head equals `atom`, paired
+    /// with their rule index.  These are exactly the labels that may appear
+    /// at a proof-tree node whose goal is `atom`.
+    pub fn labels_for(&self, atom: &Atom) -> Vec<ProofLabel> {
+        let mut out = Vec::new();
+        for (rule_index, rule) in self.program.rules().iter().enumerate() {
+            if rule.head.pred != atom.pred || rule.head.arity() != atom.arity() {
+                continue;
+            }
+            // Unify the rule head with the atom (one-way: head variables are
+            // bound to the atom's terms).
+            let mut head_binding = Substitution::new();
+            if !head_binding.match_atom(&rule.head, atom) {
+                continue;
+            }
+            // The remaining rule variables range over all of var(Π).
+            let free: Vec<Var> = rule
+                .variables()
+                .into_iter()
+                .filter(|v| head_binding.get(*v).is_none())
+                .collect();
+            let mut assignment = vec![0usize; free.len()];
+            loop {
+                let mut subst = head_binding.clone();
+                for (v, &i) in free.iter().zip(&assignment) {
+                    subst.bind_var(*v, Term::Var(self.variables[i]));
+                }
+                out.push(ProofLabel {
+                    rule_index,
+                    instance: rule.apply(&subst),
+                });
+                if free.is_empty() {
+                    break;
+                }
+                let mut carry = true;
+                for slot in assignment.iter_mut() {
+                    if carry {
+                        *slot += 1;
+                        if *slot == self.variables.len() {
+                            *slot = 0;
+                        } else {
+                            carry = false;
+                        }
+                    }
+                }
+                if carry {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Count how many labels exist in total (over all head atoms of all IDB
+    /// predicates) — the alphabet-size statistic reported by the benches.
+    /// This enumerates lazily per head atom and may be expensive for large
+    /// `var(Π)`; callers that only need the reachable part should count
+    /// through the automaton instead.
+    pub fn total_label_estimate(&self) -> u128 {
+        let m = self.variables.len() as u128;
+        let mut total: u128 = 0;
+        for rule in self.program.rules() {
+            let vars = rule.variables().len() as u32;
+            total = total.saturating_add(m.saturating_pow(vars));
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog::generate::transitive_closure;
+    use datalog::parser::parse_program;
+
+    fn tc() -> Program {
+        transitive_closure("e", "ep")
+    }
+
+    #[test]
+    fn goal_atoms_enumerate_all_tuples_over_var_pi() {
+        let ctx = LabelContext::new(&tc());
+        // varnum(TC) = 6, goal arity 2 → 36 start atoms.
+        let atoms = ctx.goal_atoms(Pred::new("p"));
+        assert_eq!(atoms.len(), 36);
+        assert!(atoms.iter().all(|a| a.pred == Pred::new("p") && a.arity() == 2));
+        // Includes the repeated-variable atom p(x1, x1).
+        assert!(atoms.iter().any(|a| a.terms[0] == a.terms[1]));
+    }
+
+    #[test]
+    fn zero_ary_goal_has_one_goal_atom() {
+        let p = parse_program("c :- bit(X), start(X). bit(X) :- e(X).").unwrap();
+        let ctx = LabelContext::new(&p);
+        assert_eq!(ctx.goal_atoms(Pred::new("c")).len(), 1);
+    }
+
+    #[test]
+    fn labels_for_tc_goal_atom() {
+        let ctx = LabelContext::new(&tc());
+        let goal = canonical_atom("p", &[1, 2]);
+        let labels = ctx.labels_for(&goal);
+        // Recursive rule: Z free over 6 variables → 6 instances;
+        // exit rule: no free variables → 1 instance.
+        assert_eq!(labels.len(), 7);
+        assert!(labels.iter().all(|l| l.instance.head == goal));
+        // Exactly one label per rule_index 1 (the exit rule).
+        assert_eq!(labels.iter().filter(|l| l.rule_index == 1).count(), 1);
+    }
+
+    #[test]
+    fn labels_for_repeated_variable_head() {
+        let ctx = LabelContext::new(&tc());
+        let goal = canonical_atom("p", &[1, 1]);
+        let labels = ctx.labels_for(&goal);
+        assert_eq!(labels.len(), 7);
+        for l in &labels {
+            assert_eq!(l.instance.head, goal);
+        }
+    }
+
+    #[test]
+    fn head_unification_can_fail_for_incompatible_rules() {
+        // Rule with repeated head variable only matches diagonal atoms.
+        let p = parse_program("q(X, X) :- e(X). q(X, Y) :- f(X, Y).").unwrap();
+        let ctx = LabelContext::new(&p);
+        let diag = canonical_atom("q", &[1, 1]);
+        let off = canonical_atom("q", &[1, 2]);
+        assert_eq!(ctx.labels_for(&diag).len(), 2);
+        assert_eq!(ctx.labels_for(&off).len(), 1);
+    }
+
+    #[test]
+    fn idb_and_edb_body_atoms_are_separated() {
+        let ctx = LabelContext::new(&tc());
+        let goal = canonical_atom("p", &[1, 2]);
+        let label = ctx
+            .labels_for(&goal)
+            .into_iter()
+            .find(|l| l.rule_index == 0)
+            .unwrap();
+        assert_eq!(ctx.idb_body_atoms(&label.instance).len(), 1);
+        assert_eq!(ctx.edb_body_atoms(&label.instance).len(), 1);
+    }
+
+    #[test]
+    fn label_display_mentions_rule_and_head() {
+        let ctx = LabelContext::new(&tc());
+        let goal = canonical_atom("p", &[1, 2]);
+        let label = &ctx.labels_for(&goal)[0];
+        let text = label.to_string();
+        assert!(text.contains("p(x1, x2)"));
+        assert!(text.contains(":-"));
+    }
+
+    #[test]
+    fn total_label_estimate_is_exponential_in_rule_variables() {
+        let ctx = LabelContext::new(&tc());
+        // 6 variables; recursive rule has 3 vars (216), exit rule 2 (36).
+        assert_eq!(ctx.total_label_estimate(), 216 + 36);
+    }
+}

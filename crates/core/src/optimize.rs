@@ -1,0 +1,480 @@
+//! Source-to-source Datalog program optimisation.
+//!
+//! The paper motivates the containment machinery with query optimisation
+//! ("determining equivalence of queries is one of the most fundamental
+//! optimization problems", §1); this module packages the classical
+//! semantics-preserving rewrites that the containment substrate makes
+//! possible:
+//!
+//! * [`remove_unreachable_rules`] — drop rules for predicates the goal does
+//!   not depend on.
+//! * [`minimize_rule_bodies`] — minimise every rule body as a conjunctive
+//!   query (remove redundant subgoals; cf. the cores of [`cq::minimize`]).
+//! * [`remove_subsumed_rules`] — drop a rule when another rule for the same
+//!   predicate subsumes it (there is a containment mapping into it), so the
+//!   subsumed rule can never contribute new facts.
+//! * [`inline_nonrecursive_predicates`] — resolve away non-recursive
+//!   intermediate predicates, trading rule count for rule size (the inverse
+//!   of the succinctness phenomenon of Examples 6.1–6.3).
+//! * [`eliminate_recursion`] — Example 1.1 as a transformation: when the
+//!   program is equivalent to its depth-`k` unfolding (decided by
+//!   [`crate::bounded`]), return that unfolding as a nonrecursive program.
+//!
+//! Every rewrite preserves `Q_Π(D)` for the goal predicate on every
+//! database; the tests check this differentially against bottom-up
+//! evaluation on random instances.
+
+use std::collections::BTreeSet;
+
+use cq::containment::cq_contained_in;
+use cq::minimize::minimize_cq;
+use cq::ConjunctiveQuery;
+use datalog::atom::{Atom, Pred};
+use datalog::program::Program;
+use datalog::rule::Rule;
+
+use crate::bounded::find_bound;
+use crate::containment::DecisionError;
+use crate::unify::Unifier;
+
+/// Options for the composite [`optimize`] pass.
+#[derive(Clone, Copy, Debug)]
+pub struct OptimizeOptions {
+    /// Run [`minimize_rule_bodies`].
+    pub minimize_bodies: bool,
+    /// Run [`remove_subsumed_rules`].
+    pub remove_subsumed: bool,
+    /// Run [`inline_nonrecursive_predicates`].
+    pub inline_nonrecursive: bool,
+    /// Abort inlining when the program would grow beyond this many rules.
+    pub inline_rule_limit: usize,
+}
+
+impl Default for OptimizeOptions {
+    fn default() -> Self {
+        OptimizeOptions {
+            minimize_bodies: true,
+            remove_subsumed: true,
+            inline_nonrecursive: false,
+            inline_rule_limit: 256,
+        }
+    }
+}
+
+/// Size accounting for an optimisation pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptimizeReport {
+    /// Rules before.
+    pub rules_before: usize,
+    /// Rules after.
+    pub rules_after: usize,
+    /// Total atom count before.
+    pub atoms_before: usize,
+    /// Total atom count after.
+    pub atoms_after: usize,
+}
+
+/// Run the configured pipeline: unreachable-rule removal, body minimisation,
+/// subsumed-rule removal, optional inlining of non-recursive predicates.
+pub fn optimize(
+    program: &Program,
+    goal: Pred,
+    options: OptimizeOptions,
+) -> (Program, OptimizeReport) {
+    let mut report = OptimizeReport {
+        rules_before: program.len(),
+        atoms_before: program.atom_count(),
+        ..OptimizeReport::default()
+    };
+    let mut current = remove_unreachable_rules(program, goal);
+    if options.minimize_bodies {
+        current = minimize_rule_bodies(&current);
+    }
+    if options.remove_subsumed {
+        current = remove_subsumed_rules(&current);
+    }
+    if options.inline_nonrecursive {
+        current = inline_nonrecursive_predicates(&current, goal, options.inline_rule_limit);
+    }
+    report.rules_after = current.len();
+    report.atoms_after = current.atom_count();
+    (current, report)
+}
+
+/// Keep only the rules of predicates the goal (transitively) depends on.
+pub fn remove_unreachable_rules(program: &Program, goal: Pred) -> Program {
+    let mut needed: BTreeSet<Pred> = BTreeSet::from([goal]);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for rule in program.rules() {
+            if !needed.contains(&rule.head_pred()) {
+                continue;
+            }
+            for atom in &rule.body {
+                if needed.insert(atom.pred) {
+                    changed = true;
+                }
+            }
+        }
+    }
+    Program::new(
+        program
+            .rules()
+            .iter()
+            .filter(|r| needed.contains(&r.head_pred()))
+            .cloned()
+            .collect(),
+    )
+}
+
+/// Minimise every rule body as a conjunctive query over its (EDB and IDB)
+/// body predicates.  Sound for recursive programs because a rule application
+/// treats every body predicate as a fixed relation.
+pub fn minimize_rule_bodies(program: &Program) -> Program {
+    Program::new(
+        program
+            .rules()
+            .iter()
+            .map(|rule| minimize_cq(&ConjunctiveQuery::from_rule(rule)).to_rule())
+            .collect(),
+    )
+}
+
+/// Remove rules that are subsumed by another rule for the same predicate:
+/// if there is a containment mapping from rule `r'` into rule `r` (both read
+/// as conjunctive queries), every fact `r` derives is also derived by `r'`,
+/// so `r` can be dropped.  Mutually subsuming (equivalent) rules keep their
+/// first representative.
+pub fn remove_subsumed_rules(program: &Program) -> Program {
+    let queries: Vec<ConjunctiveQuery> = program
+        .rules()
+        .iter()
+        .map(|r| ConjunctiveQuery::from_rule(r).canonicalize_names())
+        .collect();
+    let mut keep = vec![true; queries.len()];
+    for i in 0..queries.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..queries.len() {
+            if i == j || !keep[j] || queries[i].name() != queries[j].name() {
+                continue;
+            }
+            // Drop rule i if it is contained in rule j; on equivalence keep
+            // the smaller index.
+            if cq_contained_in(&queries[i], &queries[j]) {
+                let mutual = cq_contained_in(&queries[j], &queries[i]);
+                if !mutual || j < i {
+                    keep[i] = false;
+                    break;
+                }
+            }
+        }
+    }
+    Program::new(
+        program
+            .rules()
+            .iter()
+            .zip(&keep)
+            .filter(|(_, &k)| k)
+            .map(|(r, _)| r.clone())
+            .collect(),
+    )
+}
+
+/// Resolve one body atom of `rule` against a defining rule of its predicate.
+/// Returns `None` when the heads do not unify.
+fn resolve_body_atom(rule: &Rule, index: usize, definition: &Rule, fresh: usize) -> Option<Rule> {
+    let (definition, _) = definition.freshen(&format!("inl{fresh}_"));
+    let mut unifier = Unifier::new();
+    if !unifier.unify_atoms(&definition.head, &rule.body[index]) {
+        return None;
+    }
+    let mut body: Vec<Atom> = Vec::with_capacity(rule.body.len() + definition.body.len() - 1);
+    body.extend_from_slice(&rule.body[..index]);
+    body.extend(definition.body.iter().cloned());
+    body.extend_from_slice(&rule.body[index + 1..]);
+    Some(Rule::new(
+        unifier.apply_atom(&rule.head),
+        body.iter().map(|a| unifier.apply_atom(a)).collect(),
+    ))
+}
+
+/// Inline away every non-recursive IDB predicate other than the goal,
+/// resolving each occurrence against all of its defining rules.  Stops (and
+/// returns the program built so far) when the result would exceed
+/// `rule_limit` rules.
+pub fn inline_nonrecursive_predicates(
+    program: &Program,
+    goal: Pred,
+    rule_limit: usize,
+) -> Program {
+    let mut current = program.clone();
+    let mut fresh = 0usize;
+    loop {
+        let graph = current.dependency_graph();
+        // A predicate is inlinable when it is IDB, not the goal, not
+        // involved in any recursion, and actually used in some body.
+        let candidate = current.idb_predicates().into_iter().find(|&p| {
+            p != goal
+                && !graph.is_recursive_pred(p)
+                && current
+                    .rules()
+                    .iter()
+                    .any(|r| r.body.iter().any(|a| a.pred == p))
+        });
+        let Some(target) = candidate else {
+            return current;
+        };
+        let definitions: Vec<Rule> = current
+            .rules_for(target)
+            .map(|(_, r)| r.clone())
+            .collect();
+        let mut next: Vec<Rule> = Vec::new();
+        for rule in current.rules() {
+            if rule.head_pred() == target {
+                continue; // the definitions themselves disappear
+            }
+            // Resolve occurrences of `target` one at a time (a rule may
+            // mention it several times).
+            let mut pending = vec![rule.clone()];
+            loop {
+                let Some(position) = pending
+                    .first()
+                    .and_then(|r| r.body.iter().position(|a| a.pred == target))
+                else {
+                    break;
+                };
+                let mut resolved = Vec::new();
+                for r in &pending {
+                    for definition in &definitions {
+                        fresh += 1;
+                        if let Some(new_rule) = resolve_body_atom(r, position, definition, fresh) {
+                            resolved.push(new_rule);
+                        }
+                    }
+                }
+                pending = resolved;
+                if pending.is_empty() {
+                    break;
+                }
+            }
+            next.extend(pending);
+            if next.len() > rule_limit {
+                return current;
+            }
+        }
+        current = Program::new(next);
+    }
+}
+
+/// Recursion elimination (Example 1.1 as a transformation): if the program
+/// is equivalent to its depth-`k` unfolding for some `k ≤ max_depth`,
+/// return that unfolding as a nonrecursive program with the same goal
+/// predicate; otherwise return `Ok(None)`.
+pub fn eliminate_recursion(
+    program: &Program,
+    goal: Pred,
+    max_depth: usize,
+) -> Result<Option<Program>, DecisionError> {
+    let Some((_, unfolding)) = find_bound(program, goal, max_depth)? else {
+        return Ok(None);
+    };
+    let rules: Vec<Rule> = unfolding.disjuncts.iter().map(|d| d.to_rule()).collect();
+    let nonrecursive = Program::new(rules);
+    debug_assert!(nonrecursive.is_nonrecursive());
+    Ok(Some(nonrecursive))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog::eval::evaluate;
+    use datalog::generate::{
+        chain_database, random_database, random_program, transitive_closure,
+        RandomDatabaseConfig, RandomProgramConfig,
+    };
+    use datalog::parser::parse_program;
+
+    fn goal_answers(program: &Program, goal: Pred, db: &datalog::database::Database) -> BTreeSet<Vec<datalog::term::Constant>> {
+        evaluate(program, db).relation(goal).iter().cloned().collect()
+    }
+
+    #[test]
+    fn unreachable_rules_are_removed() {
+        let program = parse_program(
+            "p(X, Y) :- e(X, Y).\n\
+             p(X, Y) :- e(X, Z), p(Z, Y).\n\
+             junk(X) :- other(X).\n\
+             more_junk(X) :- junk(X).",
+        )
+        .unwrap();
+        let cleaned = remove_unreachable_rules(&program, Pred::new("p"));
+        assert_eq!(cleaned.len(), 2);
+        assert!(cleaned.rules().iter().all(|r| r.head_pred() == Pred::new("p")));
+    }
+
+    #[test]
+    fn redundant_subgoals_are_removed_from_rule_bodies() {
+        // The second e-atom is a homomorphic image of the first.
+        let program = parse_program("p(X, Y) :- e(X, Y), e(X, W).").unwrap();
+        let minimized = minimize_rule_bodies(&program);
+        assert_eq!(minimized.rules()[0].body.len(), 1);
+        // Semantics preserved on a sample database.
+        let db = chain_database("e", 4);
+        assert_eq!(
+            goal_answers(&program, Pred::new("p"), &db),
+            goal_answers(&minimized, Pred::new("p"), &db)
+        );
+    }
+
+    #[test]
+    fn subsumed_rules_are_removed() {
+        // The second rule is an instance of the first (more constrained), so
+        // it never derives anything new.
+        let program = parse_program(
+            "p(X, Y) :- e(X, Y).\n\
+             p(X, X) :- e(X, X).\n\
+             p(X, Y) :- e(X, Y), f(Y).",
+        )
+        .unwrap();
+        let slim = remove_subsumed_rules(&program);
+        assert_eq!(slim.len(), 1);
+        assert_eq!(slim.rules()[0].body.len(), 1);
+    }
+
+    #[test]
+    fn equivalent_duplicate_rules_keep_one_copy() {
+        let program = parse_program(
+            "p(X, Y) :- e(X, Z), e(Z, Y).\n\
+             p(A, B) :- e(A, C), e(C, B).",
+        )
+        .unwrap();
+        let slim = remove_subsumed_rules(&program);
+        assert_eq!(slim.len(), 1);
+    }
+
+    #[test]
+    fn recursive_rules_are_never_subsumed_incorrectly() {
+        let tc = transitive_closure("e", "e");
+        let slim = remove_subsumed_rules(&tc);
+        assert_eq!(slim.len(), tc.len(), "neither TC rule subsumes the other");
+    }
+
+    #[test]
+    fn inlining_eliminates_intermediate_predicates() {
+        let program = parse_program(
+            "p(X, Y) :- hop(X, Z), hop(Z, Y).\n\
+             hop(X, Y) :- e(X, Y).\n\
+             hop(X, Y) :- f(X, Y).",
+        )
+        .unwrap();
+        let inlined = inline_nonrecursive_predicates(&program, Pred::new("p"), 64);
+        // hop is gone; p now has 2 × 2 = 4 rules over e/f directly.
+        assert!(!inlined.idb_predicates().contains(&Pred::new("hop")));
+        assert_eq!(inlined.len(), 4);
+        let db = {
+            let mut db = chain_database("e", 5);
+            db.absorb(&chain_database("f", 5));
+            db
+        };
+        assert_eq!(
+            goal_answers(&program, Pred::new("p"), &db),
+            goal_answers(&inlined, Pred::new("p"), &db)
+        );
+    }
+
+    #[test]
+    fn inlining_respects_the_rule_limit_and_recursion() {
+        let tc = transitive_closure("e", "e");
+        // The only IDB predicate is recursive, so nothing changes.
+        let same = inline_nonrecursive_predicates(&tc, Pred::new("p"), 64);
+        assert_eq!(same.len(), tc.len());
+        // A tiny limit aborts the transformation and returns the input.
+        let program = parse_program(
+            "p(X, Y) :- hop(X, Z), hop(Z, Y).\n\
+             hop(X, Y) :- e(X, Y).\n\
+             hop(X, Y) :- f(X, Y).\n\
+             hop(X, Y) :- g(X, Y).",
+        )
+        .unwrap();
+        let aborted = inline_nonrecursive_predicates(&program, Pred::new("p"), 2);
+        assert_eq!(aborted.len(), program.len());
+    }
+
+    #[test]
+    fn recursion_elimination_reproduces_example_1_1() {
+        let bounded = parse_program(
+            "buys(X, Y) :- likes(X, Y).\n\
+             buys(X, Y) :- trendy(X), buys(Z, Y).",
+        )
+        .unwrap();
+        let nonrec = eliminate_recursion(&bounded, Pred::new("buys"), 3)
+            .unwrap()
+            .expect("Π₁ of Example 1.1 is bounded");
+        assert!(nonrec.is_nonrecursive());
+        assert_eq!(nonrec.len(), 2);
+
+        let unbounded = parse_program(
+            "buys(X, Y) :- likes(X, Y).\n\
+             buys(X, Y) :- knows(X, Z), buys(Z, Y).",
+        )
+        .unwrap();
+        assert!(eliminate_recursion(&unbounded, Pred::new("buys"), 3)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn full_pipeline_preserves_semantics_on_random_programs() {
+        let program_config = RandomProgramConfig {
+            edb_predicates: 2,
+            idb_predicates: 2,
+            rules: 5,
+            max_body_atoms: 3,
+            max_variables: 4,
+            idb_probability: 0.35,
+        };
+        let db_config = RandomDatabaseConfig {
+            domain_size: 4,
+            relations: vec![("e0".into(), 2, 7), ("e1".into(), 2, 7)],
+        };
+        let goal = Pred::new("q0");
+        for seed in 0..40u64 {
+            let program = random_program(&program_config, seed);
+            let (optimized, report) = optimize(
+                &program,
+                goal,
+                OptimizeOptions {
+                    inline_nonrecursive: true,
+                    ..OptimizeOptions::default()
+                },
+            );
+            assert!(report.rules_after <= report.rules_before + 64);
+            for db_seed in 0..3u64 {
+                let db = random_database(&db_config, seed * 17 + db_seed);
+                assert_eq!(
+                    goal_answers(&program, goal, &db),
+                    goal_answers(&optimized, goal, &db),
+                    "optimisation changed the goal relation (seed {seed}, db {db_seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_accounts_for_removed_rules_and_atoms() {
+        let program = parse_program(
+            "p(X, Y) :- e(X, Y), e(X, Y).\n\
+             p(X, Y) :- e(X, Y).\n\
+             junk(X) :- e(X, X).",
+        )
+        .unwrap();
+        let (optimized, report) = optimize(&program, Pred::new("p"), OptimizeOptions::default());
+        assert_eq!(report.rules_before, 3);
+        assert_eq!(report.rules_after, 1);
+        assert!(report.atoms_after < report.atoms_before);
+        assert_eq!(optimized.len(), 1);
+    }
+}

@@ -1,0 +1,470 @@
+//! Proof trees (Section 5.1): expansion trees over the bounded variable set
+//! `var(Π)`, the connectedness relation on variable occurrences
+//! (Definition 5.2), distinguished occurrences, and the conversion from a
+//! proof tree back to the expansion (conjunctive query) it represents.
+//!
+//! A proof tree is represented as an [`automata::tree::Tree`] whose labels
+//! are [`ProofLabel`]s, so the automata constructions of Propositions 5.9
+//! and 5.10 can consume it directly.  This module adds the Datalog-side
+//! semantics.
+
+use std::collections::BTreeMap;
+
+use automata::tree::Tree;
+use cq::ConjunctiveQuery;
+use datalog::atom::Atom;
+use datalog::program::Program;
+use datalog::term::{Term, Var};
+
+use crate::labels::{LabelContext, ProofLabel};
+
+/// A proof tree: a tree of rule instances over `var(Π)`.
+pub type ProofTree = Tree<ProofLabel>;
+
+/// Identifies one occurrence of a variable inside a proof tree:
+/// which node, which atom of the node's rule instance (the head is atom
+/// index 0, body atom `i` is index `i + 1`), and which argument position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Occurrence {
+    /// Node index in pre-order.
+    pub node: usize,
+    /// 0 = the head atom of the rule instance, `i + 1` = body atom `i`.
+    pub atom: usize,
+    /// Argument position within the atom.
+    pub position: usize,
+}
+
+/// A proof tree flattened into indexed nodes, with the occurrence-level
+/// connectedness analysis of Definition 5.2.
+pub struct ProofTreeAnalysis {
+    /// The nodes in pre-order; `parents[i]` is the parent of node `i`
+    /// (`None` for the root).
+    pub labels: Vec<ProofLabel>,
+    /// Parent indices.
+    pub parents: Vec<Option<usize>>,
+    /// For every occurrence, the representative occurrence of its
+    /// connectedness class.
+    class_of: BTreeMap<Occurrence, Occurrence>,
+    /// The variable of each occurrence.
+    var_of: BTreeMap<Occurrence, Var>,
+    /// Classes that contain an occurrence in the root's goal atom
+    /// (distinguished classes), mapped to the root-atom positions they touch.
+    distinguished: BTreeMap<Occurrence, Vec<usize>>,
+}
+
+impl ProofTreeAnalysis {
+    /// Analyse a proof tree.
+    pub fn new(tree: &ProofTree) -> Self {
+        // Flatten the tree in pre-order.
+        let mut labels = Vec::new();
+        let mut parents = Vec::new();
+        fn flatten(
+            node: &ProofTree,
+            parent: Option<usize>,
+            labels: &mut Vec<ProofLabel>,
+            parents: &mut Vec<Option<usize>>,
+        ) {
+            let index = labels.len();
+            labels.push(node.label.clone());
+            parents.push(parent);
+            for child in &node.children {
+                flatten(child, Some(index), labels, parents);
+            }
+        }
+        flatten(tree, None, &mut labels, &mut parents);
+
+        // Collect occurrences per node, grouped by variable.
+        let mut occurrences: Vec<Occurrence> = Vec::new();
+        let mut var_of: BTreeMap<Occurrence, Var> = BTreeMap::new();
+        let mut node_var_occurrences: Vec<BTreeMap<Var, Vec<Occurrence>>> =
+            vec![BTreeMap::new(); labels.len()];
+        for (node, label) in labels.iter().enumerate() {
+            let atoms: Vec<&Atom> = std::iter::once(&label.instance.head)
+                .chain(label.instance.body.iter())
+                .collect();
+            for (atom_index, atom) in atoms.iter().enumerate() {
+                for (position, term) in atom.terms.iter().enumerate() {
+                    if let Term::Var(v) = term {
+                        let occ = Occurrence {
+                            node,
+                            atom: atom_index,
+                            position,
+                        };
+                        occurrences.push(occ);
+                        var_of.insert(occ, *v);
+                        node_var_occurrences[node].entry(*v).or_default().push(occ);
+                    }
+                }
+            }
+        }
+
+        // Union-find over occurrences.
+        let index_of: BTreeMap<Occurrence, usize> = occurrences
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| (o, i))
+            .collect();
+        let mut uf: Vec<usize> = (0..occurrences.len()).collect();
+        fn find(uf: &mut Vec<usize>, mut i: usize) -> usize {
+            while uf[i] != i {
+                uf[i] = uf[uf[i]];
+                i = uf[i];
+            }
+            i
+        }
+        let union = |uf: &mut Vec<usize>, a: usize, b: usize| {
+            let ra = find(uf, a);
+            let rb = find(uf, b);
+            if ra != rb {
+                uf[ra] = rb;
+            }
+        };
+
+        // (1) All occurrences of the same variable within one node are
+        // connected (the connecting path is the node itself).
+        for per_node in &node_var_occurrences {
+            for occs in per_node.values() {
+                for window in occs.windows(2) {
+                    union(&mut uf, index_of[&window[0]], index_of[&window[1]]);
+                }
+            }
+        }
+        // (2) Parent/child: occurrences of v in the parent and in the child
+        // are connected iff v occurs in the *child's goal atom* (the lowest
+        // common ancestor is the parent, which Definition 5.2 exempts).
+        for (node, parent) in parents.iter().enumerate() {
+            let Some(parent) = parent else { continue };
+            for (v, child_occs) in &node_var_occurrences[node] {
+                let child_goal_has_v = labels[node]
+                    .instance
+                    .head
+                    .variables()
+                    .any(|hv| hv == *v);
+                if !child_goal_has_v {
+                    continue;
+                }
+                if let Some(parent_occs) = node_var_occurrences[*parent].get(v) {
+                    union(&mut uf, index_of[&child_occs[0]], index_of[&parent_occs[0]]);
+                }
+            }
+        }
+
+        // Freeze classes.
+        let mut class_of: BTreeMap<Occurrence, Occurrence> = BTreeMap::new();
+        for (i, &occ) in occurrences.iter().enumerate() {
+            let root = find(&mut uf, i);
+            class_of.insert(occ, occurrences[root]);
+        }
+
+        // Distinguished classes: classes containing an occurrence in the
+        // root node's goal atom.
+        let mut distinguished: BTreeMap<Occurrence, Vec<usize>> = BTreeMap::new();
+        if let Some(root_label) = labels.first() {
+            for (position, term) in root_label.instance.head.terms.iter().enumerate() {
+                if term.is_var() {
+                    let occ = Occurrence {
+                        node: 0,
+                        atom: 0,
+                        position,
+                    };
+                    let class = class_of[&occ];
+                    distinguished.entry(class).or_default().push(position);
+                }
+            }
+        }
+
+        ProofTreeAnalysis {
+            labels,
+            parents,
+            class_of,
+            var_of,
+            distinguished,
+        }
+    }
+
+    /// The representative of the connectedness class of an occurrence.
+    pub fn class(&self, occ: Occurrence) -> Option<Occurrence> {
+        self.class_of.get(&occ).copied()
+    }
+
+    /// Are two occurrences connected (Definition 5.2)?
+    pub fn connected(&self, a: Occurrence, b: Occurrence) -> bool {
+        match (self.class_of.get(&a), self.class_of.get(&b)) {
+            (Some(ca), Some(cb)) => ca == cb && self.var_of[&a] == self.var_of[&b],
+            _ => false,
+        }
+    }
+
+    /// Is the occurrence distinguished (connected to an occurrence of the
+    /// same variable in the root's goal atom)?
+    pub fn is_distinguished(&self, occ: Occurrence) -> bool {
+        self.class_of
+            .get(&occ)
+            .is_some_and(|c| self.distinguished.contains_key(c))
+    }
+
+    /// Number of distinct connectedness classes.
+    pub fn class_count(&self) -> usize {
+        let mut reps: Vec<Occurrence> = self.class_of.values().copied().collect();
+        reps.sort();
+        reps.dedup();
+        reps.len()
+    }
+
+    /// The fresh variable used for a class when converting to an expansion.
+    fn class_variable(&self, class: Occurrence) -> Var {
+        // Root-goal classes keep the root variable's name so the expansion's
+        // head reads naturally; other classes get a name derived from the
+        // class representative.
+        if self.distinguished.contains_key(&class) {
+            self.var_of[&class]
+        } else {
+            Var::new(&format!(
+                "v_{}_{}_{}",
+                class.node, class.atom, class.position
+            ))
+        }
+    }
+
+    /// The expansion (conjunctive query) represented by the proof tree: the
+    /// conjunction of all EDB atoms of all rule instances, with each
+    /// connectedness class renamed to a distinct variable and the root goal
+    /// atom as the head (Proposition 5.5's renaming Δ).
+    pub fn to_expansion(&self, context: &LabelContext) -> ConjunctiveQuery {
+        let rename_atom = |node: usize, atom_index: usize, atom: &Atom| -> Atom {
+            Atom::new(
+                atom.pred,
+                atom.terms
+                    .iter()
+                    .enumerate()
+                    .map(|(position, term)| match term {
+                        Term::Const(c) => Term::Const(*c),
+                        Term::Var(_) => {
+                            let occ = Occurrence {
+                                node,
+                                atom: atom_index,
+                                position,
+                            };
+                            Term::Var(self.class_variable(self.class_of[&occ]))
+                        }
+                    })
+                    .collect(),
+            )
+        };
+
+        let head = rename_atom(0, 0, &self.labels[0].instance.head);
+        let mut body = Vec::new();
+        for (node, label) in self.labels.iter().enumerate() {
+            for (body_index, atom) in label.instance.body.iter().enumerate() {
+                if !context.is_idb(atom.pred) {
+                    body.push(rename_atom(node, body_index + 1, atom));
+                }
+            }
+        }
+        ConjunctiveQuery::new(head, body)
+    }
+}
+
+/// Check that a tree of labels is a structurally valid proof tree for the
+/// program: every node's children correspond exactly (in order) to the IDB
+/// atoms of its rule instance, every rule instance is an instance of the
+/// indexed program rule, and all variables come from `var(Π)`.
+pub fn is_valid_proof_tree(program: &Program, tree: &ProofTree) -> bool {
+    let context = LabelContext::new(program);
+    fn check(context: &LabelContext, node: &ProofTree) -> bool {
+        let label = &node.label;
+        // The rule index must exist and the instance must match its shape.
+        let Some(rule) = context.program().rules().get(label.rule_index) else {
+            return false;
+        };
+        if rule.head.pred != label.instance.head.pred
+            || rule.body.len() != label.instance.body.len()
+            || rule
+                .body
+                .iter()
+                .zip(&label.instance.body)
+                .any(|(a, b)| a.pred != b.pred || a.arity() != b.arity())
+        {
+            return false;
+        }
+        // Instance variables must come from var(Π).
+        let allowed: std::collections::BTreeSet<Var> =
+            context.variables().iter().copied().collect();
+        if !label.instance.variables().iter().all(|v| allowed.contains(v)) {
+            return false;
+        }
+        // Children must match the IDB body atoms in order.
+        let idb_atoms = context.idb_body_atoms(&label.instance);
+        if idb_atoms.len() != node.children.len() {
+            return false;
+        }
+        for ((_, expected), child) in idb_atoms.iter().zip(&node.children) {
+            if child.label.instance.head != **expected {
+                return false;
+            }
+        }
+        node.children.iter().all(|c| check(context, c))
+    }
+    check(&context, tree)
+}
+
+/// Render a proof tree in the style of the paper's Figure 2: one node per
+/// line, indented, showing the goal atom and the rule instance.
+pub fn render_proof_tree(tree: &ProofTree) -> String {
+    tree.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::canonical_atom;
+    use datalog::generate::transitive_closure;
+
+    /// The proof tree of the paper's Figure 2(b):
+    ///
+    /// ```text
+    /// ⟨p(X, Y), p(X, Y) :- e(X, Z), p(Z, Y)⟩
+    ///   ⟨p(Z, Y), p(Z, Y) :- e(Z, X), p(X, Y)⟩      (reuses X!)
+    ///     ⟨p(X, Y), p(X, Y) :- e'(X, Y)⟩
+    /// ```
+    ///
+    /// We express it over `var(Π) = {x1, …, x6}` with X = x1, Y = x2, Z = x3.
+    fn figure2_proof_tree(program: &Program) -> ProofTree {
+        let ctx = LabelContext::new(program);
+        let root_goal = canonical_atom("p", &[1, 2]);
+        let mid_goal = canonical_atom("p", &[3, 2]);
+
+        let root_label = ctx
+            .labels_for(&root_goal)
+            .into_iter()
+            .find(|l| l.rule_index == 0 && l.instance.body[0] == canonical_atom("e", &[1, 3]))
+            .unwrap();
+        // Middle node: p(x3, x2) :- e(x3, x1), p(x1, x2) — reuses x1.
+        let mid_label = ctx
+            .labels_for(&mid_goal)
+            .into_iter()
+            .find(|l| l.rule_index == 0 && l.instance.body[0] == canonical_atom("e", &[3, 1]))
+            .unwrap();
+        let leaf_label = ctx
+            .labels_for(&root_goal)
+            .into_iter()
+            .find(|l| l.rule_index == 1)
+            .unwrap();
+
+        Tree::node(
+            root_label,
+            vec![Tree::node(mid_label, vec![Tree::leaf(leaf_label)])],
+        )
+    }
+
+    use datalog::program::Program;
+
+    #[test]
+    fn figure2_tree_is_a_valid_proof_tree() {
+        let program = transitive_closure("e", "ep");
+        let tree = figure2_proof_tree(&program);
+        assert!(is_valid_proof_tree(&program, &tree));
+        assert_eq!(tree.size(), 3);
+    }
+
+    #[test]
+    fn invalid_trees_are_rejected() {
+        let program = transitive_closure("e", "ep");
+        let ctx = LabelContext::new(&program);
+        let root_goal = canonical_atom("p", &[1, 2]);
+        let recursive = ctx
+            .labels_for(&root_goal)
+            .into_iter()
+            .find(|l| l.rule_index == 0)
+            .unwrap();
+        // A recursive node with no children is not a valid proof tree.
+        assert!(!is_valid_proof_tree(&program, &Tree::leaf(recursive.clone())));
+        // A child whose goal does not match the parent's IDB body atom.
+        let wrong_child = ctx
+            .labels_for(&canonical_atom("p", &[5, 5]))
+            .into_iter()
+            .find(|l| l.rule_index == 1)
+            .unwrap();
+        assert!(!is_valid_proof_tree(
+            &program,
+            &Tree::node(recursive, vec![Tree::leaf(wrong_child)])
+        ));
+    }
+
+    #[test]
+    fn example_5_3_connectedness() {
+        // "The occurrences of the variable Y in the root and in the interior
+        //  node are connected.  Both occurrences of Y are distinguished.
+        //  The occurrences of the variable X in the root and in the leaf are
+        //  not connected.  The occurrence of X in the root is distinguished,
+        //  but the occurrence of X in the leaf is not."
+        let program = transitive_closure("e", "ep");
+        let tree = figure2_proof_tree(&program);
+        let analysis = ProofTreeAnalysis::new(&tree);
+
+        // Y = x2.  Root head position 1 and middle-node head position 1.
+        let y_root = Occurrence { node: 0, atom: 0, position: 1 };
+        let y_mid = Occurrence { node: 1, atom: 0, position: 1 };
+        assert!(analysis.connected(y_root, y_mid));
+        assert!(analysis.is_distinguished(y_root));
+        assert!(analysis.is_distinguished(y_mid));
+
+        // X = x1.  Root head position 0; leaf head position 0 (the leaf's
+        // goal is p(x1, x2), whose x1 is a *reused* variable).
+        let x_root = Occurrence { node: 0, atom: 0, position: 0 };
+        let x_leaf = Occurrence { node: 2, atom: 0, position: 0 };
+        assert!(!analysis.connected(x_root, x_leaf));
+        assert!(analysis.is_distinguished(x_root));
+        assert!(!analysis.is_distinguished(x_leaf));
+    }
+
+    #[test]
+    fn expansion_of_figure2_tree_is_the_three_step_path() {
+        let program = transitive_closure("e", "ep");
+        let ctx = LabelContext::new(&program);
+        let tree = figure2_proof_tree(&program);
+        let analysis = ProofTreeAnalysis::new(&tree);
+        let expansion = analysis.to_expansion(&ctx);
+        // The expansion is q(x1, x2) :- e(x1, x3), e(x3, W), ep(W, x2) for a
+        // fresh W: three EDB atoms forming a path from x1 to x2.
+        assert_eq!(expansion.body.len(), 3);
+        assert_eq!(expansion.arity(), 2);
+        // It must be a connected path: evaluate it on its own canonical
+        // database and check the head tuple is derivable.
+        let frozen = cq::canonical::canonical_database(&expansion);
+        let answers = cq::eval::evaluate_cq(&expansion, &frozen.database);
+        assert!(answers.contains(&frozen.head_tuple));
+        // And the reused x1 in the leaf must NOT be identified with the root
+        // x1: the body has 4 distinct variables (x1, x3, fresh, x2).
+        assert_eq!(expansion.variables().len(), 4);
+    }
+
+    #[test]
+    fn class_count_matches_variable_structure() {
+        let program = transitive_closure("e", "ep");
+        let tree = figure2_proof_tree(&program);
+        let analysis = ProofTreeAnalysis::new(&tree);
+        // Classes: {x1 at root (head+body)}, {x2 everywhere}, {x3 root body +
+        // mid head/body}, {x1 at mid body + leaf} = 4 classes.
+        assert_eq!(analysis.class_count(), 4);
+    }
+
+    #[test]
+    fn occurrences_of_different_variables_are_never_connected() {
+        let program = transitive_closure("e", "ep");
+        let tree = figure2_proof_tree(&program);
+        let analysis = ProofTreeAnalysis::new(&tree);
+        let x_root = Occurrence { node: 0, atom: 0, position: 0 };
+        let y_root = Occurrence { node: 0, atom: 0, position: 1 };
+        assert!(!analysis.connected(x_root, y_root));
+    }
+
+    #[test]
+    fn render_contains_every_rule_instance() {
+        let program = transitive_closure("e", "ep");
+        let tree = figure2_proof_tree(&program);
+        let text = render_proof_tree(&tree);
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("ep(x1, x2)"));
+    }
+}

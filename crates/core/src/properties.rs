@@ -1,0 +1,133 @@
+//! First-order properties of the expansions of a program (Section 3).
+//!
+//! Section 3 observes that properties of a Datalog program can be phrased as
+//! first-order properties of the 2-sorted structures associated with its
+//! unfolding expansion trees, and that such properties are decidable by
+//! Courcelle's theorem — with non-elementary cost.  The worked example is
+//! *strong non-redundancy*: no unfolding expansion tree contains two
+//! distinct occurrences of the same EDB atom.
+//!
+//! This module provides a bounded verifier for that property (checking all
+//! unfolding trees up to a height cutoff) plus an exact decision for
+//! nonrecursive programs, whose unfolding trees are finitely many.  The
+//! bounded verifier is what the paper's example needs in practice: a
+//! redundancy, if any, already shows up at small depth for the program
+//! families studied here.
+
+use datalog::atom::Pred;
+use datalog::program::Program;
+
+use crate::expansion::{expansion_query, unfolding_trees};
+
+/// The outcome of a strong non-redundancy check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NonRedundancy {
+    /// No duplicate EDB atom in any unfolding tree up to the inspected
+    /// height.
+    HoldsUpTo {
+        /// The height up to which the property was verified.
+        height: usize,
+        /// Whether the check was exhaustive (true for nonrecursive
+        /// programs, whose unfolding trees all fit under the cutoff).
+        exhaustive: bool,
+    },
+    /// A violating unfolding tree was found.
+    Violated {
+        /// The height of the violating tree.
+        height: usize,
+        /// The duplicated EDB atom (after unfolding).
+        duplicate: String,
+    },
+}
+
+impl NonRedundancy {
+    /// Did the property hold for everything inspected?
+    pub fn holds(&self) -> bool {
+        matches!(self, NonRedundancy::HoldsUpTo { .. })
+    }
+}
+
+/// Check strong non-redundancy for all unfolding expansion trees of height
+/// at most `max_height`.
+pub fn strongly_nonredundant_up_to(
+    program: &Program,
+    goal: Pred,
+    max_height: usize,
+) -> NonRedundancy {
+    // For a nonrecursive program the unfolding-tree height is bounded by the
+    // number of IDB predicates, so a sufficiently large cutoff is exhaustive.
+    let exhaustive_height = program.idb_predicates().len();
+    let exhaustive = program.is_nonrecursive() && max_height >= exhaustive_height;
+
+    for tree in unfolding_trees(program, goal, max_height) {
+        let query = expansion_query(program, &tree);
+        let mut seen = std::collections::BTreeSet::new();
+        for atom in &query.body {
+            if !seen.insert(atom.clone()) {
+                return NonRedundancy::Violated {
+                    height: tree.height(),
+                    duplicate: atom.to_string(),
+                };
+            }
+        }
+    }
+    NonRedundancy::HoldsUpTo {
+        height: max_height,
+        exhaustive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog::generate::transitive_closure;
+    use datalog::parser::parse_program;
+
+    #[test]
+    fn transitive_closure_is_strongly_nonredundant_up_to_depth_five() {
+        let result = strongly_nonredundant_up_to(&transitive_closure("e", "e"), Pred::new("p"), 5);
+        assert!(result.holds());
+        assert_eq!(
+            result,
+            NonRedundancy::HoldsUpTo {
+                height: 5,
+                exhaustive: false
+            }
+        );
+    }
+
+    #[test]
+    fn duplicated_edb_atom_is_detected() {
+        // The second rule repeats e(X, Y) twice after unfolding q.
+        let program = parse_program(
+            "p(X, Y) :- e(X, Y), q(X, Y).\n\
+             q(X, Y) :- e(X, Y).",
+        )
+        .unwrap();
+        let result = strongly_nonredundant_up_to(&program, Pred::new("p"), 3);
+        match result {
+            NonRedundancy::Violated { duplicate, height } => {
+                assert_eq!(duplicate, "e(X, Y)");
+                assert_eq!(height, 2);
+            }
+            other => panic!("expected a violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nonrecursive_check_is_reported_exhaustive() {
+        let program = parse_program(
+            "p(X, Y) :- q(X, Z), q(Z, Y).\n\
+             q(X, Y) :- e(X, Y).",
+        )
+        .unwrap();
+        let result = strongly_nonredundant_up_to(&program, Pred::new("p"), 4);
+        assert_eq!(
+            result,
+            NonRedundancy::HoldsUpTo {
+                height: 4,
+                exhaustive: true
+            }
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! The proof-tree automaton `A_ptrees(Q, Π)` of Proposition 5.9.
+//!
+//! States are the IDB atoms over `var(Π)`; the start states are the goal
+//! atoms `Q(s)`; reading a label `(α, ρ)` from state α sends the children to
+//! the IDB atoms of ρ's body (in order), and rule instances whose body is
+//! all-EDB allow the node to be a leaf (the paper's `accept` state becomes
+//! the empty child tuple under this crate's leaf convention).
+//!
+//! The construction is *reachable-state only*: atoms that cannot appear in
+//! any proof tree with a goal-atom root are never materialised.  The full
+//! state space is exponential in the size of Π, which is exactly the
+//! automaton-size blowup behind the 2EXPTIME upper bound of Theorem 5.12;
+//! the [`PtreesAutomaton::stats`] report lets the benches measure how much
+//! of it is actually reachable on the paper's program families.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use automata::tree::TreeAutomaton;
+use datalog::atom::{Atom, Pred};
+use datalog::program::Program;
+
+use serde::{Deserialize, Serialize};
+
+use crate::labels::{LabelContext, ProofLabel};
+
+/// The proof-tree automaton together with its state dictionary.
+pub struct PtreesAutomaton {
+    /// The underlying tree automaton over proof labels.
+    pub automaton: TreeAutomaton<ProofLabel>,
+    /// The IDB atom corresponding to each automaton state.
+    pub state_atoms: Vec<Atom>,
+    /// The label-enumeration context (shared with the CQ automata so both
+    /// use the same alphabet).
+    pub context: LabelContext,
+}
+
+/// Size statistics of a constructed automaton.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AutomatonStats {
+    /// Number of states.
+    pub states: usize,
+    /// Number of transitions.
+    pub transitions: usize,
+}
+
+impl PtreesAutomaton {
+    /// Build `A_ptrees(goal, program)`.
+    pub fn build(program: &Program, goal: Pred) -> Self {
+        let context = LabelContext::new(program);
+        let mut automaton = TreeAutomaton::new(0);
+        let mut state_of: BTreeMap<Atom, usize> = BTreeMap::new();
+        let mut state_atoms: Vec<Atom> = Vec::new();
+        let mut queue: VecDeque<Atom> = VecDeque::new();
+
+        let intern = |atom: Atom,
+                          automaton: &mut TreeAutomaton<ProofLabel>,
+                          state_of: &mut BTreeMap<Atom, usize>,
+                          state_atoms: &mut Vec<Atom>,
+                          queue: &mut VecDeque<Atom>|
+         -> usize {
+            if let Some(&id) = state_of.get(&atom) {
+                return id;
+            }
+            let id = automaton.add_state();
+            state_of.insert(atom.clone(), id);
+            state_atoms.push(atom.clone());
+            queue.push_back(atom);
+            id
+        };
+
+        for goal_atom in context.goal_atoms(goal) {
+            let id = intern(
+                goal_atom,
+                &mut automaton,
+                &mut state_of,
+                &mut state_atoms,
+                &mut queue,
+            );
+            automaton.add_initial(id);
+        }
+
+        while let Some(atom) = queue.pop_front() {
+            let state = state_of[&atom];
+            for label in context.labels_for(&atom) {
+                let children: Vec<usize> = context
+                    .idb_body_atoms(&label.instance)
+                    .into_iter()
+                    .map(|(_, child_atom)| {
+                        intern(
+                            child_atom.clone(),
+                            &mut automaton,
+                            &mut state_of,
+                            &mut state_atoms,
+                            &mut queue,
+                        )
+                    })
+                    .collect();
+                automaton.add_transition(state, label, children);
+            }
+        }
+
+        PtreesAutomaton {
+            automaton,
+            state_atoms,
+            context,
+        }
+    }
+
+    /// Size statistics.
+    pub fn stats(&self) -> AutomatonStats {
+        AutomatonStats {
+            states: self.automaton.state_count(),
+            transitions: self.automaton.transition_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::canonical_atom;
+    use automata::tree::emptiness::{find_witness, is_empty};
+    use datalog::generate::{transitive_closure, transitive_closure_nonlinear};
+    use datalog::parser::parse_program;
+
+    use crate::proof_tree::is_valid_proof_tree;
+
+    #[test]
+    fn tc_automaton_accepts_exactly_proof_trees() {
+        let program = transitive_closure("e", "ep");
+        let ptrees = PtreesAutomaton::build(&program, Pred::new("p"));
+        // 36 goal atoms are initial; every p-atom over var(Π) is reachable.
+        assert_eq!(ptrees.automaton.initial().len(), 36);
+        assert_eq!(ptrees.automaton.state_count(), 36);
+        // Each state has 7 outgoing labels (6 recursive instances + 1 exit).
+        assert_eq!(ptrees.automaton.transition_count(), 36 * 7);
+
+        // The language is nonempty and a witness is a valid proof tree.
+        assert!(!is_empty(&ptrees.automaton));
+        let witness = find_witness(&ptrees.automaton).unwrap();
+        assert!(is_valid_proof_tree(&program, &witness));
+        assert_eq!(witness.size(), 1, "minimal proof tree is a single exit node");
+    }
+
+    #[test]
+    fn accepted_trees_have_matching_goals_along_edges() {
+        let program = transitive_closure("e", "ep");
+        let ptrees = PtreesAutomaton::build(&program, Pred::new("p"));
+        // Take any accepted tree of height ≥ 2 by unfolding the witness by
+        // hand: root uses a recursive label whose IDB child equals the
+        // child's goal.
+        let ctx = &ptrees.context;
+        let root_goal = canonical_atom("p", &[1, 2]);
+        let root_label = ctx
+            .labels_for(&root_goal)
+            .into_iter()
+            .find(|l| l.rule_index == 0)
+            .unwrap();
+        let child_goal = ctx.idb_body_atoms(&root_label.instance)[0].1.clone();
+        let child_label = ctx
+            .labels_for(&child_goal)
+            .into_iter()
+            .find(|l| l.rule_index == 1)
+            .unwrap();
+        let tree = automata::tree::Tree::node(root_label, vec![automata::tree::Tree::leaf(child_label)]);
+        assert!(ptrees.automaton.accepts(&tree));
+        assert!(is_valid_proof_tree(&program, &tree));
+
+        // Mutilate the child goal: the automaton must reject.
+        let wrong_child = ctx
+            .labels_for(&canonical_atom("p", &[5, 5]))
+            .into_iter()
+            .find(|l| l.rule_index == 1)
+            .unwrap();
+        let root_label2 = ctx
+            .labels_for(&root_goal)
+            .into_iter()
+            .find(|l| l.rule_index == 0)
+            .unwrap();
+        let bad = automata::tree::Tree::node(root_label2, vec![automata::tree::Tree::leaf(wrong_child)]);
+        assert!(!ptrees.automaton.accepts(&bad));
+    }
+
+    #[test]
+    fn nonlinear_program_has_binary_transitions() {
+        let program = transitive_closure_nonlinear("e");
+        let ptrees = PtreesAutomaton::build(&program, Pred::new("p"));
+        let has_binary = ptrees
+            .automaton
+            .transitions()
+            .any(|(_, _, tuple)| tuple.len() == 2);
+        assert!(has_binary);
+        assert!(!is_empty(&ptrees.automaton));
+    }
+
+    #[test]
+    fn program_without_exit_rule_has_empty_language() {
+        let program = parse_program("p(X, Y) :- e(X, Z), p(Z, Y).").unwrap();
+        let ptrees = PtreesAutomaton::build(&program, Pred::new("p"));
+        assert!(is_empty(&ptrees.automaton));
+    }
+
+    #[test]
+    fn zero_ary_goal_is_supported() {
+        let program = parse_program(
+            "c :- p(X, Y), start(X).\n\
+             p(X, Y) :- e(X, Z), p(Z, Y).\n\
+             p(X, Y) :- e(X, Y).",
+        )
+        .unwrap();
+        let ptrees = PtreesAutomaton::build(&program, Pred::new("c"));
+        assert_eq!(ptrees.automaton.initial().len(), 1);
+        assert!(!is_empty(&ptrees.automaton));
+        let witness = find_witness(&ptrees.automaton).unwrap();
+        assert!(is_valid_proof_tree(&program, &witness));
+        assert_eq!(witness.height(), 2);
+    }
+
+    #[test]
+    fn stats_report_states_and_transitions() {
+        let program = transitive_closure("e", "ep");
+        let ptrees = PtreesAutomaton::build(&program, Pred::new("p"));
+        let stats = ptrees.stats();
+        assert_eq!(stats.states, 36);
+        assert_eq!(stats.transitions, 252);
+    }
+}

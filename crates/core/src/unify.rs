@@ -1,0 +1,153 @@
+//! Most-general unification of flat atoms.
+//!
+//! Datalog terms have no function symbols, so unification is a simple
+//! union-find-style binding of variables to variables or constants; no
+//! occurs check is needed.  Used by the unfolding machinery (§2.3 and §6):
+//! "creating children by unifying an atom labelling a node with a fresh copy
+//! of a rule in Π".
+
+use std::collections::BTreeMap;
+
+use datalog::atom::Atom;
+use datalog::rule::Rule;
+use datalog::term::{Term, Var};
+
+/// An incrementally built most-general unifier.
+#[derive(Clone, Debug, Default)]
+pub struct Unifier {
+    bindings: BTreeMap<Var, Term>,
+}
+
+impl Unifier {
+    /// The empty unifier.
+    pub fn new() -> Self {
+        Unifier::default()
+    }
+
+    /// Resolve a term through the current bindings (follows chains).
+    pub fn resolve(&self, term: Term) -> Term {
+        let mut current = term;
+        let mut steps = 0;
+        while let Term::Var(v) = current {
+            match self.bindings.get(&v) {
+                Some(&next) if next != current => {
+                    current = next;
+                    steps += 1;
+                    // Chains are acyclic by construction, but guard anyway.
+                    if steps > self.bindings.len() + 1 {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        current
+    }
+
+    /// Unify two terms; returns false (leaving the unifier unchanged in a
+    /// still-consistent state) if they are not unifiable.
+    pub fn unify_terms(&mut self, a: Term, b: Term) -> bool {
+        let ra = self.resolve(a);
+        let rb = self.resolve(b);
+        if ra == rb {
+            return true;
+        }
+        match (ra, rb) {
+            (Term::Var(v), other) | (other, Term::Var(v)) => {
+                self.bindings.insert(v, other);
+                true
+            }
+            (Term::Const(_), Term::Const(_)) => false,
+        }
+    }
+
+    /// Unify two atoms (same predicate, same arity, all argument positions).
+    pub fn unify_atoms(&mut self, a: &Atom, b: &Atom) -> bool {
+        if a.pred != b.pred || a.terms.len() != b.terms.len() {
+            return false;
+        }
+        a.terms
+            .iter()
+            .zip(&b.terms)
+            .all(|(&ta, &tb)| self.unify_terms(ta, tb))
+    }
+
+    /// Apply the unifier to an atom, resolving chains completely.
+    pub fn apply_atom(&self, atom: &Atom) -> Atom {
+        Atom::new(
+            atom.pred,
+            atom.terms.iter().map(|&t| self.resolve(t)).collect(),
+        )
+    }
+
+    /// Apply the unifier to a rule.
+    pub fn apply_rule(&self, rule: &Rule) -> Rule {
+        Rule::new(
+            self.apply_atom(&rule.head),
+            rule.body.iter().map(|a| self.apply_atom(a)).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog::parser::parse_atom;
+
+    #[test]
+    fn unifies_variables_with_constants_and_variables() {
+        let mut u = Unifier::new();
+        assert!(u.unify_atoms(
+            &parse_atom("e(X, b)").unwrap(),
+            &parse_atom("e(a, Y)").unwrap()
+        ));
+        assert_eq!(u.apply_atom(&parse_atom("e(X, Y)").unwrap()).to_string(), "e(a, b)");
+    }
+
+    #[test]
+    fn conflicting_constants_fail() {
+        let mut u = Unifier::new();
+        assert!(!u.unify_atoms(
+            &parse_atom("e(a, X)").unwrap(),
+            &parse_atom("e(b, X)").unwrap()
+        ));
+    }
+
+    #[test]
+    fn repeated_variables_force_identification() {
+        // Unifying q(X, X) with q(Z, W) identifies Z and W.
+        let mut u = Unifier::new();
+        assert!(u.unify_atoms(
+            &parse_atom("q(X, X)").unwrap(),
+            &parse_atom("q(Z, W)").unwrap()
+        ));
+        let z = u.resolve(Term::Var(Var::new("Z")));
+        let w = u.resolve(Term::Var(Var::new("W")));
+        assert_eq!(z, w);
+    }
+
+    #[test]
+    fn chains_are_resolved_transitively() {
+        let mut u = Unifier::new();
+        assert!(u.unify_terms(Term::Var(Var::new("A")), Term::Var(Var::new("B"))));
+        assert!(u.unify_terms(Term::Var(Var::new("B")), Term::Var(Var::new("C"))));
+        assert!(u.unify_terms(
+            Term::Var(Var::new("C")),
+            Term::Const(datalog::term::Constant::new("k"))
+        ));
+        assert_eq!(u.resolve(Term::Var(Var::new("A"))).to_string(), "k");
+    }
+
+    #[test]
+    fn predicate_or_arity_mismatch_fails() {
+        let mut u = Unifier::new();
+        assert!(!u.unify_atoms(
+            &parse_atom("e(X)").unwrap(),
+            &parse_atom("f(X)").unwrap()
+        ));
+        assert!(!u.unify_atoms(
+            &parse_atom("e(X)").unwrap(),
+            &parse_atom("e(X, Y)").unwrap()
+        ));
+    }
+}

@@ -1,0 +1,144 @@
+//! Canonical ("frozen") databases of conjunctive queries.
+//!
+//! The canonical database of a conjunctive query θ is obtained by reading
+//! every variable as a fresh constant and every body atom as a fact.  It is
+//! the classical tool connecting homomorphisms and evaluation:
+//!
+//! * θ ⊆ ψ iff ψ(canonical(θ)) contains the frozen head tuple of θ
+//!   (Chandra–Merlin), and
+//! * a CQ (or UCQ) is contained in a Datalog program Π iff evaluating Π on
+//!   the canonical database derives the frozen head tuple — the
+//!   EXPTIME-complete direction cited in the paper's introduction
+//!   ([CK86, CLM81, Sa88b]).  That check lives in the `nonrec-equivalence`
+//!   crate and uses this module.
+
+use std::collections::BTreeMap;
+
+use datalog::atom::Fact;
+use datalog::database::Database;
+use datalog::term::{Constant, Term, Var};
+
+use crate::cq::ConjunctiveQuery;
+
+/// The result of freezing a conjunctive query.
+#[derive(Clone, Debug)]
+pub struct CanonicalDatabase {
+    /// The frozen body: one fact per body atom.
+    pub database: Database,
+    /// The frozen head tuple (the images of the distinguished terms).
+    pub head_tuple: Vec<Constant>,
+    /// The freezing map from variables to constants.
+    pub assignment: BTreeMap<Var, Constant>,
+}
+
+/// Freeze a conjunctive query into its canonical database.
+///
+/// Variables are mapped to fresh constants named after them
+/// (`"?X"`, `"?Y"`, …); constants already in the query map to themselves.
+/// The `?` prefix cannot be produced by the parser, so frozen constants can
+/// never collide with constants of the original query.
+pub fn canonical_database(query: &ConjunctiveQuery) -> CanonicalDatabase {
+    let mut assignment: BTreeMap<Var, Constant> = BTreeMap::new();
+    let freeze_term = |t: Term, assignment: &mut BTreeMap<Var, Constant>| -> Constant {
+        match t {
+            Term::Const(c) => c,
+            Term::Var(v) => *assignment
+                .entry(v)
+                .or_insert_with(|| Constant::new(&format!("?{}", v.name()))),
+        }
+    };
+
+    let mut database = Database::new();
+    for atom in &query.body {
+        let tuple: Vec<Constant> = atom
+            .terms
+            .iter()
+            .map(|&t| freeze_term(t, &mut assignment))
+            .collect();
+        database.insert(Fact::new(atom.pred, tuple));
+    }
+    let head_tuple = query
+        .head
+        .terms
+        .iter()
+        .map(|&t| freeze_term(t, &mut assignment))
+        .collect();
+    CanonicalDatabase {
+        database,
+        head_tuple,
+        assignment,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog::atom::Pred;
+
+    fn cq(text: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::parse(text).unwrap()
+    }
+
+    #[test]
+    fn each_body_atom_becomes_one_fact() {
+        let q = cq("q(X, Z) :- e(X, Y), e(Y, Z).");
+        let frozen = canonical_database(&q);
+        assert_eq!(frozen.database.len(), 2);
+        assert_eq!(frozen.database.relation(Pred::new("e")).len(), 2);
+    }
+
+    #[test]
+    fn head_tuple_uses_the_same_assignment_as_the_body() {
+        let q = cq("q(X, Z) :- e(X, Y), e(Y, Z).");
+        let frozen = canonical_database(&q);
+        assert_eq!(frozen.head_tuple.len(), 2);
+        let x = frozen.assignment[&Var::new("X")];
+        let z = frozen.assignment[&Var::new("Z")];
+        assert_eq!(frozen.head_tuple, vec![x, z]);
+    }
+
+    #[test]
+    fn shared_variables_freeze_to_the_same_constant() {
+        let q = cq("q :- e(X, Y), e(Y, Z).");
+        let frozen = canonical_database(&q);
+        // The two facts must share the middle constant.
+        let facts: Vec<_> = frozen.database.facts().collect();
+        assert_eq!(facts.len(), 2);
+        let shares = facts[0].tuple.iter().any(|c| facts[1].tuple.contains(c));
+        assert!(shares);
+    }
+
+    #[test]
+    fn query_constants_are_preserved() {
+        let q = cq("q(X) :- e(X, paris).");
+        let frozen = canonical_database(&q);
+        let fact = frozen.database.facts().next().unwrap();
+        assert_eq!(fact.tuple[1], Constant::new("paris"));
+        assert_ne!(fact.tuple[0], Constant::new("paris"));
+    }
+
+    #[test]
+    fn frozen_constants_cannot_collide_with_real_ones() {
+        // A query that (perversely) uses a constant named like a frozen one.
+        let q = cq("q(X) :- e(X, X).");
+        let frozen = canonical_database(&q);
+        assert_eq!(frozen.assignment.len(), 1);
+        assert!(frozen.assignment[&Var::new("X")].name().starts_with('?'));
+    }
+
+    #[test]
+    fn evaluating_the_query_on_its_canonical_database_yields_the_head_tuple() {
+        let q = cq("q(X, Z) :- e(X, Y), e(Y, Z).");
+        let frozen = canonical_database(&q);
+        let answers = crate::eval::evaluate_cq(&q, &frozen.database);
+        assert!(answers.contains(&frozen.head_tuple));
+    }
+
+    #[test]
+    fn boolean_query_has_empty_head_tuple() {
+        let q = cq("q :- e(X, Y).");
+        let frozen = canonical_database(&q);
+        assert!(frozen.head_tuple.is_empty());
+        assert_eq!(frozen.database.len(), 1);
+    }
+}

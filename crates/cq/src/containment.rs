@@ -1,0 +1,282 @@
+//! Containment of conjunctive queries and of unions of conjunctive queries.
+//!
+//! Implements the classical characterisations quoted in Section 2.2 of the
+//! paper:
+//!
+//! * **Theorem 2.2** (Chandra–Merlin): `θ ⊆ ψ` iff there is a containment
+//!   mapping from ψ to θ.
+//! * **Theorem 2.3** (Sagiv–Yannakakis): `∪ᵢ φᵢ ⊆ ∪ⱼ ψⱼ` iff every φᵢ is
+//!   contained in some ψⱼ.
+//!
+//! A containment mapping from ψ to θ (Definition 2.1, extended with
+//! constants per Remark 5.14) is a renaming of the variables of ψ such that
+//! every distinguished variable maps to "itself" — positionally, to the
+//! corresponding head term of θ — and every literal of ψ becomes a literal
+//! of θ.
+
+use datalog::substitution::Substitution;
+use datalog::term::Term;
+
+use crate::cq::ConjunctiveQuery;
+use crate::homomorphism::{find_homomorphism, homomorphism_exists};
+use crate::ucq::Ucq;
+
+/// Find a containment mapping *from* `psi` *to* `theta`
+/// (whose existence proves `theta ⊆ psi`).
+///
+/// Returns `None` if the heads are incompatible (different predicate name is
+/// allowed — only positional correspondence of the distinguished terms
+/// matters — but the arities must agree) or if no mapping exists.
+pub fn containment_mapping(
+    psi: &ConjunctiveQuery,
+    theta: &ConjunctiveQuery,
+) -> Option<Substitution> {
+    let seed = head_seed(psi, theta)?;
+    find_homomorphism(&psi.body, &theta.body, &seed)
+}
+
+/// Does a containment mapping from `psi` to `theta` exist?
+pub fn has_containment_mapping(psi: &ConjunctiveQuery, theta: &ConjunctiveQuery) -> bool {
+    match head_seed(psi, theta) {
+        Some(seed) => homomorphism_exists(&psi.body, &theta.body, &seed),
+        None => false,
+    }
+}
+
+/// Build the initial binding imposed by the heads: the i-th head term of
+/// `psi` must map to the i-th head term of `theta`.  Returns `None` if the
+/// arities differ or if the binding is inconsistent (e.g. `psi` repeats a
+/// distinguished variable at two positions where `theta` has two different
+/// terms, or `psi` has a constant where `theta` has a different constant).
+fn head_seed(psi: &ConjunctiveQuery, theta: &ConjunctiveQuery) -> Option<Substitution> {
+    if psi.head.arity() != theta.head.arity() {
+        return None;
+    }
+    let mut seed = Substitution::new();
+    for (&psi_term, &theta_term) in psi.head.terms.iter().zip(&theta.head.terms) {
+        match psi_term {
+            Term::Var(v) => {
+                if !seed.try_bind(v, theta_term) {
+                    return None;
+                }
+            }
+            Term::Const(c) => {
+                if Term::Const(c) != theta_term {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(seed)
+}
+
+/// Theorem 2.2: is `theta` contained in `psi`?
+pub fn cq_contained_in(theta: &ConjunctiveQuery, psi: &ConjunctiveQuery) -> bool {
+    has_containment_mapping(psi, theta)
+}
+
+/// Are two conjunctive queries equivalent?
+pub fn cq_equivalent(a: &ConjunctiveQuery, b: &ConjunctiveQuery) -> bool {
+    cq_contained_in(a, b) && cq_contained_in(b, a)
+}
+
+/// Is the conjunctive query `theta` contained in the union `psi`?
+///
+/// For a *single* CQ on the left, containment in a union reduces to
+/// containment in one of the disjuncts only because our queries have no
+/// union-splitting features (no constants-vs-variables case split is needed:
+/// Sagiv–Yannakakis' Theorem 2.3 as quoted in the paper).
+pub fn cq_contained_in_ucq(theta: &ConjunctiveQuery, psi: &Ucq) -> bool {
+    psi.disjuncts.iter().any(|p| cq_contained_in(theta, p))
+}
+
+/// Theorem 2.3: is the union `phi` contained in the union `psi`?
+pub fn ucq_contained_in(phi: &Ucq, psi: &Ucq) -> bool {
+    phi.disjuncts
+        .iter()
+        .all(|theta| cq_contained_in_ucq(theta, psi))
+}
+
+/// Are two unions of conjunctive queries equivalent?
+pub fn ucq_equivalent(a: &Ucq, b: &Ucq) -> bool {
+    ucq_contained_in(a, b) && ucq_contained_in(b, a)
+}
+
+/// A containment certificate: for each disjunct of the left union, the index
+/// of a disjunct of the right union and the containment mapping from it.
+/// Produced by [`ucq_containment_certificate`] for explainability.
+#[derive(Clone, Debug)]
+pub struct UcqContainmentCertificate {
+    /// `witness[i] = (j, h)` means left disjunct `i` is contained in right
+    /// disjunct `j` via containment mapping `h` (from j to i).
+    pub witness: Vec<(usize, Substitution)>,
+}
+
+/// Like [`ucq_contained_in`] but returns the per-disjunct witnesses, or the
+/// index of the first left disjunct that is not contained.
+pub fn ucq_containment_certificate(
+    phi: &Ucq,
+    psi: &Ucq,
+) -> Result<UcqContainmentCertificate, usize> {
+    let mut witness = Vec::with_capacity(phi.len());
+    for (i, theta) in phi.disjuncts.iter().enumerate() {
+        let found = psi.disjuncts.iter().enumerate().find_map(|(j, p)| {
+            containment_mapping(p, theta).map(|h| (j, h))
+        });
+        match found {
+            Some(w) => witness.push(w),
+            None => return Err(i),
+        }
+    }
+    Ok(UcqContainmentCertificate { witness })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cq(text: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::parse(text).unwrap()
+    }
+
+    #[test]
+    fn path3_is_contained_in_path2_pattern() {
+        // θ: path of length 3; ψ: ∃ an edge out of X... classic example:
+        // q(X,Y) :- e(X,A),e(A,B),e(B,Y)  ⊆  q(X,Y) :- e(X,A),e(A,B)? No —
+        // distinguished Y must be preserved.  Use the Boolean versions.
+        let theta = cq("q :- e(X, A), e(A, B), e(B, Y).");
+        let psi = cq("q :- e(U, V), e(V, W).");
+        assert!(cq_contained_in(&theta, &psi));
+        assert!(!cq_equivalent(&theta, &psi) || cq_contained_in(&psi, &theta));
+    }
+
+    #[test]
+    fn distinguished_variables_block_containment() {
+        // With distinguished endpoints, a 3-path is NOT contained in a
+        // 2-path query (no containment mapping preserves both endpoints).
+        let theta = cq("q(X, Y) :- e(X, A), e(A, Y).");
+        let psi = cq("q(X, Y) :- e(X, Y).");
+        assert!(!cq_contained_in(&theta, &psi));
+        // But the single edge IS contained in the "there is a path of length
+        // ≤ 2 from X to Y"?  Not expressible as a single CQ; check the
+        // reverse direction is also false.
+        assert!(!cq_contained_in(&psi, &theta));
+    }
+
+    #[test]
+    fn folding_containment() {
+        // q(X) :- e(X, Y), e(Y, X)  is contained in  q(X) :- e(X, Y), e(Y, Z).
+        let theta = cq("q(X) :- e(X, Y), e(Y, X).");
+        let psi = cq("q(X) :- e(X, Y), e(Y, Z).");
+        assert!(cq_contained_in(&theta, &psi));
+        assert!(!cq_contained_in(&psi, &theta));
+    }
+
+    #[test]
+    fn equivalence_up_to_redundant_atoms() {
+        let a = cq("q(X, Y) :- e(X, Y).");
+        let b = cq("q(X, Y) :- e(X, Y), e(X, Z).");
+        assert!(cq_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn constants_must_match() {
+        let theta = cq("q(X) :- e(X, a).");
+        let psi = cq("q(X) :- e(X, Y).");
+        assert!(cq_contained_in(&theta, &psi));
+        assert!(!cq_contained_in(&psi, &theta));
+        let psi_b = cq("q(X) :- e(X, b).");
+        assert!(!cq_contained_in(&theta, &psi_b));
+    }
+
+    #[test]
+    fn constants_in_heads() {
+        let theta = cq("q(a) :- e(a, Y).");
+        let psi = cq("q(X) :- e(X, Y).");
+        assert!(cq_contained_in(&theta, &psi));
+        assert!(!cq_contained_in(&psi, &theta));
+        let psi_const = cq("q(a) :- e(a, Y).");
+        assert!(cq_equivalent(&theta, &psi_const));
+    }
+
+    #[test]
+    fn arity_mismatch_is_never_contained() {
+        let theta = cq("q(X) :- e(X, Y).");
+        let psi = cq("q(X, Y) :- e(X, Y).");
+        assert!(!cq_contained_in(&theta, &psi));
+    }
+
+    #[test]
+    fn containment_mapping_is_returned() {
+        let theta = cq("q(X) :- e(X, Y), e(Y, X).");
+        let psi = cq("q(X) :- e(X, Y), e(Y, Z).");
+        let h = containment_mapping(&psi, &theta).unwrap();
+        // ψ's X must map to θ's X (distinguished), and applying h to ψ's
+        // body must land inside θ's body.
+        let mapped: Vec<_> = psi.body.iter().map(|a| h.apply_atom(a)).collect();
+        for atom in &mapped {
+            assert!(theta.body.contains(atom), "{atom} not in θ body");
+        }
+    }
+
+    #[test]
+    fn repeated_head_variables() {
+        // q(X, X) is contained in q(X, Y) but not vice versa.
+        let diag = cq("q(X, X) :- e(X, X).");
+        let gen = cq("q(X, Y) :- e(X, Y).");
+        assert!(cq_contained_in(&diag, &gen));
+        assert!(!cq_contained_in(&gen, &diag));
+    }
+
+    #[test]
+    fn ucq_containment_sagiv_yannakakis() {
+        // Φ: paths of length 1 or 2; Ψ: paths of length 1, 2 or 3 (Boolean).
+        let phi = Ucq::parse("q :- e(X, Y).\nq :- e(X, Y), e(Y, Z).").unwrap();
+        let psi = Ucq::parse(
+            "q :- e(X, Y).\nq :- e(X, Y), e(Y, Z).\nq :- e(X, Y), e(Y, Z), e(Z, W).",
+        )
+        .unwrap();
+        assert!(ucq_contained_in(&phi, &psi));
+        // Ψ ⊆ Φ as Boolean queries: a 3-path contains a 1-path, so every
+        // disjunct of Ψ is contained in some disjunct of Φ.
+        assert!(ucq_contained_in(&psi, &phi));
+        assert!(ucq_equivalent(&phi, &psi));
+    }
+
+    #[test]
+    fn ucq_containment_fails_with_witness_index() {
+        let phi = Ucq::parse("q(X, Y) :- e(X, Y).\nq(X, Y) :- f(X, Y).").unwrap();
+        let psi = Ucq::parse("q(X, Y) :- e(X, Y).").unwrap();
+        assert!(!ucq_contained_in(&phi, &psi));
+        assert_eq!(ucq_containment_certificate(&phi, &psi).unwrap_err(), 1);
+    }
+
+    #[test]
+    fn ucq_certificate_produces_valid_mappings() {
+        let phi = Ucq::parse("q :- e(X, Y), e(Y, Z).").unwrap();
+        let psi = Ucq::parse("q :- e(U, V).").unwrap();
+        let cert = ucq_containment_certificate(&phi, &psi).unwrap();
+        assert_eq!(cert.witness.len(), 1);
+        let (j, h) = &cert.witness[0];
+        assert_eq!(*j, 0);
+        let mapped = h.apply_atom(&psi.disjuncts[0].body[0]);
+        assert!(phi.disjuncts[0].body.contains(&mapped));
+    }
+
+    #[test]
+    fn empty_union_is_contained_in_everything() {
+        let empty = Ucq::empty();
+        let psi = Ucq::parse("q(X) :- e(X, Y).").unwrap();
+        assert!(ucq_contained_in(&empty, &psi));
+        assert!(!ucq_contained_in(&psi, &empty));
+    }
+
+    #[test]
+    fn boolean_queries_ignore_head_predicate_names() {
+        // Containment is positional on the head; predicate names of the
+        // query head are irrelevant.
+        let theta = cq("p :- e(X, Y), e(Y, Z).");
+        let psi = cq("q :- e(U, V).");
+        assert!(cq_contained_in(&theta, &psi));
+    }
+}

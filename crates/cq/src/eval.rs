@@ -1,0 +1,191 @@
+//! Evaluation of conjunctive queries and unions of conjunctive queries over
+//! databases.
+//!
+//! `Θ(D) = {(a1, …, ak) | D ⊨ Θ(a1, …, ak)}` (Section 2.1).  Evaluation is
+//! homomorphism enumeration from the query body into the database.
+
+use std::collections::BTreeSet;
+
+use datalog::atom::Atom;
+use datalog::database::Database;
+use datalog::substitution::Substitution;
+use datalog::term::{Constant, Term};
+
+use crate::cq::ConjunctiveQuery;
+use crate::homomorphism::for_each_homomorphism;
+use crate::ucq::Ucq;
+
+/// Evaluate a conjunctive query on a database, returning the set of answer
+/// tuples.  A Boolean query returns either the empty set (false) or the set
+/// containing the empty tuple (true).
+pub fn evaluate_cq(query: &ConjunctiveQuery, database: &Database) -> BTreeSet<Vec<Constant>> {
+    let target = database_as_atoms(database);
+    let mut answers = BTreeSet::new();
+    for_each_homomorphism(&query.body, &target, &Substitution::new(), &mut |h| {
+        let tuple: Option<Vec<Constant>> = query
+            .head
+            .terms
+            .iter()
+            .map(|&t| match h.apply_term(t) {
+                Term::Const(c) => Some(c),
+                Term::Var(_) => None,
+            })
+            .collect();
+        if let Some(tuple) = tuple {
+            answers.insert(tuple);
+        }
+        true
+    });
+    answers
+}
+
+/// Does the Boolean query hold on the database?  For non-Boolean queries
+/// this is "is the answer set nonempty".
+pub fn cq_holds(query: &ConjunctiveQuery, database: &Database) -> bool {
+    !evaluate_cq(query, database).is_empty()
+}
+
+/// Evaluate a union of conjunctive queries (union of the disjuncts'
+/// answers).
+pub fn evaluate_ucq(ucq: &Ucq, database: &Database) -> BTreeSet<Vec<Constant>> {
+    let mut answers = BTreeSet::new();
+    for d in &ucq.disjuncts {
+        answers.extend(evaluate_cq(d, database));
+    }
+    answers
+}
+
+/// Does a specific tuple belong to the answer of the query on the database?
+pub fn cq_answers_tuple(
+    query: &ConjunctiveQuery,
+    database: &Database,
+    tuple: &[Constant],
+) -> bool {
+    if query.head.arity() != tuple.len() {
+        return false;
+    }
+    // Seed the homomorphism with the head bindings and check satisfiability
+    // instead of enumerating the whole answer set.
+    let mut seed = Substitution::new();
+    for (&head_term, &value) in query.head.terms.iter().zip(tuple) {
+        match head_term {
+            Term::Const(c) => {
+                if c != value {
+                    return false;
+                }
+            }
+            Term::Var(v) => {
+                if !seed.try_bind(v, Term::Const(value)) {
+                    return false;
+                }
+            }
+        }
+    }
+    let target = database_as_atoms(database);
+    crate::homomorphism::homomorphism_exists(&query.body, &target, &seed)
+}
+
+/// Represent a database as a vector of ground atoms (the homomorphism
+/// search target).
+fn database_as_atoms(database: &Database) -> Vec<Atom> {
+    database.facts().map(|f| f.to_atom()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog::generate::chain_database;
+
+    fn cq(text: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::parse(text).unwrap()
+    }
+
+    fn c(i: usize) -> Constant {
+        Constant::from_usize(i)
+    }
+
+    #[test]
+    fn path_query_on_a_chain() {
+        let db = chain_database("e", 4); // c0 → c1 → c2 → c3 → c4
+        let q = cq("q(X, Z) :- e(X, Y), e(Y, Z).");
+        let answers = evaluate_cq(&q, &db);
+        assert_eq!(answers.len(), 3); // (0,2), (1,3), (2,4)
+        assert!(answers.contains(&vec![c(0), c(2)]));
+        assert!(!answers.contains(&vec![c(0), c(3)]));
+    }
+
+    #[test]
+    fn boolean_query_truth() {
+        let db = chain_database("e", 2);
+        let yes = cq("q :- e(X, Y), e(Y, Z).");
+        let no = cq("q :- e(X, X).");
+        assert!(cq_holds(&yes, &db));
+        assert!(!cq_holds(&no, &db));
+        assert_eq!(evaluate_cq(&yes, &db).len(), 1);
+        assert!(evaluate_cq(&yes, &db).contains(&vec![]));
+    }
+
+    #[test]
+    fn constants_in_queries_restrict_answers() {
+        let db = chain_database("e", 3);
+        let q = cq("q(Y) :- e(c0, Y).");
+        let answers = evaluate_cq(&q, &db);
+        assert_eq!(answers, BTreeSet::from([vec![c(1)]]));
+    }
+
+    #[test]
+    fn ucq_evaluation_is_the_union() {
+        let db = chain_database("e", 3);
+        let u = Ucq::parse("q(X, Y) :- e(X, Y).\nq(X, Z) :- e(X, Y), e(Y, Z).").unwrap();
+        let answers = evaluate_ucq(&u, &db);
+        // 3 single edges + 2 two-step paths.
+        assert_eq!(answers.len(), 5);
+    }
+
+    #[test]
+    fn answers_tuple_agrees_with_full_evaluation() {
+        let db = chain_database("e", 5);
+        let q = cq("q(X, Z) :- e(X, Y), e(Y, Z).");
+        let answers = evaluate_cq(&q, &db);
+        for i in 0..5 {
+            for j in 0..5 {
+                let tuple = vec![c(i), c(j)];
+                assert_eq!(
+                    answers.contains(&tuple),
+                    cq_answers_tuple(&q, &db, &tuple),
+                    "mismatch at ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn head_constants_are_checked() {
+        let db = chain_database("e", 2);
+        let q = cq("q(c0, Y) :- e(c0, Y).");
+        assert!(cq_answers_tuple(&q, &db, &[c(0), c(1)]));
+        assert!(!cq_answers_tuple(&q, &db, &[c(1), c(2)]));
+    }
+
+    #[test]
+    fn wrong_arity_tuple_is_rejected() {
+        let db = chain_database("e", 2);
+        let q = cq("q(X, Y) :- e(X, Y).");
+        assert!(!cq_answers_tuple(&q, &db, &[c(0)]));
+    }
+
+    #[test]
+    fn containment_implies_answer_inclusion_on_samples() {
+        // θ ⊆ ψ (3-path Boolean ⊆ 2-path Boolean): answers on a sample
+        // database must be included.
+        let theta = cq("q :- e(X, A), e(A, B), e(B, Y).");
+        let psi = cq("q :- e(U, V), e(V, W).");
+        assert!(crate::containment::cq_contained_in(&theta, &psi));
+        for n in 0..5 {
+            let db = chain_database("e", n);
+            let ta = evaluate_cq(&theta, &db);
+            let pa = evaluate_cq(&psi, &db);
+            assert!(ta.is_subset(&pa), "violated at chain length {n}");
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Conjunctive-query generators for tests and benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use datalog::atom::Atom;
+use datalog::term::{Term, Var};
+
+use crate::cq::ConjunctiveQuery;
+use crate::ucq::Ucq;
+
+/// The path query of length `n`:
+/// `q(X0, Xn) :- e(X0, X1), e(X1, X2), …, e(X_{n-1}, Xn).`
+///
+/// For `n = 0` the query is `q(X0, X0) :- …` with an empty body replaced by
+/// a reflexive edge requirement?  No — a 0-length path needs no edge, which
+/// is not expressible with a nonempty body, so `path_query(0)` returns
+/// `q(X0, X0)` with body `[]`.
+pub fn path_query(edge: &str, n: usize) -> ConjunctiveQuery {
+    let var = |i: usize| Term::Var(Var::new(&format!("X{i}")));
+    let head = Atom::new(
+        datalog::atom::Pred::new("q"),
+        vec![var(0), var(n)],
+    );
+    let body = (0..n)
+        .map(|i| Atom::new(datalog::atom::Pred::new(edge), vec![var(i), var(i + 1)]))
+        .collect();
+    ConjunctiveQuery::new(head, body)
+}
+
+/// The Boolean version of [`path_query`] (no distinguished variables).
+pub fn boolean_path_query(edge: &str, n: usize) -> ConjunctiveQuery {
+    let mut q = path_query(edge, n);
+    q.head = Atom::new(datalog::atom::Pred::new("q"), Vec::new());
+    q
+}
+
+/// The union of Boolean path queries of lengths `1..=n` — "there is a path
+/// of length at most n (and at least 1)".  This is the natural UCQ to
+/// compare the transitive-closure program against in the containment
+/// benches.
+pub fn bounded_path_ucq(edge: &str, n: usize) -> Ucq {
+    (1..=n).map(|i| boolean_path_query(edge, i)).collect()
+}
+
+/// The union of *binary* path queries of lengths `1..=n`:
+/// `q(X, Y) :- path of length i from X to Y`, for each i.
+pub fn bounded_path_ucq_binary(edge: &str, n: usize) -> Ucq {
+    (1..=n).map(|i| path_query(edge, i)).collect()
+}
+
+/// A star query: `q(X) :- e(X, Y1), …, e(X, Yn)` — heavily foldable, the
+/// worst case for naive containment search and the best case for
+/// minimisation.
+pub fn star_query(edge: &str, n: usize) -> ConjunctiveQuery {
+    let x = Term::Var(Var::new("X"));
+    let body = (0..n)
+        .map(|i| {
+            Atom::new(
+                datalog::atom::Pred::new(edge),
+                vec![x, Term::Var(Var::new(&format!("Y{i}")))],
+            )
+        })
+        .collect();
+    ConjunctiveQuery::new(Atom::new(datalog::atom::Pred::new("q"), vec![x]), body)
+}
+
+/// Configuration for [`random_cq`].
+#[derive(Clone, Debug)]
+pub struct RandomCqConfig {
+    /// Number of body atoms.
+    pub body_atoms: usize,
+    /// Number of available variables.
+    pub variables: usize,
+    /// Number of distinguished variables (≤ `variables`).
+    pub distinguished: usize,
+    /// EDB predicate names to draw from (all binary).
+    pub predicates: Vec<String>,
+}
+
+impl Default for RandomCqConfig {
+    fn default() -> Self {
+        RandomCqConfig {
+            body_atoms: 4,
+            variables: 4,
+            distinguished: 1,
+            predicates: vec!["e".into()],
+        }
+    }
+}
+
+/// Generate a random conjunctive query over binary predicates.
+pub fn random_cq(config: &RandomCqConfig, seed: u64) -> ConjunctiveQuery {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vars: Vec<Var> = (0..config.variables.max(1))
+        .map(|i| Var::new(&format!("V{i}")))
+        .collect();
+    let body: Vec<Atom> = (0..config.body_atoms)
+        .map(|_| {
+            let pred = &config.predicates[rng.random_range(0..config.predicates.len().max(1))];
+            Atom::new(
+                datalog::atom::Pred::new(pred),
+                vec![
+                    Term::Var(vars[rng.random_range(0..vars.len())]),
+                    Term::Var(vars[rng.random_range(0..vars.len())]),
+                ],
+            )
+        })
+        .collect();
+    // Distinguished variables must occur in the body to make the query safe.
+    let body_vars: Vec<Var> = {
+        let mut seen = std::collections::BTreeSet::new();
+        body.iter()
+            .flat_map(|a| a.variables())
+            .filter(|v| seen.insert(*v))
+            .collect()
+    };
+    let k = config.distinguished.min(body_vars.len());
+    let head = Atom::new(
+        datalog::atom::Pred::new("q"),
+        body_vars[..k].iter().map(|&v| Term::Var(v)).collect(),
+    );
+    ConjunctiveQuery::new(head, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::{cq_contained_in, ucq_contained_in};
+    use crate::eval::evaluate_cq;
+    use datalog::generate::chain_database;
+
+    #[test]
+    fn path_query_shape() {
+        let q = path_query("e", 3);
+        assert_eq!(q.body.len(), 3);
+        assert_eq!(q.arity(), 2);
+        assert_eq!(q.to_string(), "q(X0, X3) :- e(X0, X1), e(X1, X2), e(X2, X3).");
+    }
+
+    #[test]
+    fn path_query_zero_is_the_diagonal() {
+        let q = path_query("e", 0);
+        assert!(q.body.is_empty());
+        assert_eq!(q.head.terms[0], q.head.terms[1]);
+    }
+
+    #[test]
+    fn boolean_longer_paths_are_contained_in_shorter() {
+        for n in 2..6 {
+            assert!(cq_contained_in(
+                &boolean_path_query("e", n),
+                &boolean_path_query("e", n - 1)
+            ));
+            assert!(!cq_contained_in(
+                &boolean_path_query("e", n - 1),
+                &boolean_path_query("e", n)
+            ));
+        }
+    }
+
+    #[test]
+    fn bounded_path_ucqs_are_monotone() {
+        let small = bounded_path_ucq("e", 2);
+        let large = bounded_path_ucq("e", 4);
+        assert!(ucq_contained_in(&small, &large));
+        assert!(ucq_contained_in(&large, &small)); // Boolean: k-path ⊆ 1-path
+        assert_eq!(large.len(), 4);
+    }
+
+    #[test]
+    fn star_query_evaluates_correctly() {
+        let q = star_query("e", 3);
+        let db = chain_database("e", 3);
+        // Only nodes with out-degree ≥ 1 qualify (all Yi can coincide).
+        let answers = evaluate_cq(&q, &db);
+        assert_eq!(answers.len(), 3); // c0, c1, c2 have out-edges; c3 doesn't.
+    }
+
+    #[test]
+    fn random_cq_is_reproducible_and_safe() {
+        let config = RandomCqConfig {
+            body_atoms: 5,
+            variables: 3,
+            distinguished: 2,
+            predicates: vec!["e".into(), "f".into()],
+        };
+        let q1 = random_cq(&config, 9);
+        let q2 = random_cq(&config, 9);
+        assert_eq!(q1, q2);
+        // Head variables occur in the body.
+        let body_vars: std::collections::BTreeSet<_> =
+            q1.body.iter().flat_map(|a| a.variables()).collect();
+        assert!(q1.head.variables().all(|v| body_vars.contains(&v)));
+    }
+
+    #[test]
+    fn binary_bounded_path_ucq_has_distinguished_endpoints() {
+        let u = bounded_path_ucq_binary("e", 3);
+        assert!(u.disjuncts.iter().all(|d| d.arity() == 2));
+        // Binary path queries of different lengths are pairwise incomparable.
+        assert!(!cq_contained_in(&u.disjuncts[0], &u.disjuncts[1]));
+        assert!(!cq_contained_in(&u.disjuncts[1], &u.disjuncts[0]));
+    }
+}

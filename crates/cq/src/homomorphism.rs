@@ -1,0 +1,240 @@
+//! Backtracking homomorphism search between sets of atoms.
+//!
+//! A homomorphism maps the variables of a *source* atom set to terms of a
+//! *target* atom set so that every source atom, after substitution, is
+//! literally present among the target atoms.  Containment mappings
+//! (Definition 2.1), conjunctive-query evaluation, and the strong
+//! containment mappings of Section 5 are all homomorphism searches with
+//! different initial constraints, so they share this module.
+//!
+//! The search is plain backtracking over source atoms with two standard
+//! optimisations: atoms are processed most-constrained-first (fewest
+//! candidate target atoms), and candidate target atoms are pre-grouped by
+//! predicate.
+
+use std::collections::BTreeMap;
+
+use datalog::atom::Atom;
+use datalog::substitution::Substitution;
+use datalog::term::Term;
+
+/// Find a homomorphism from `source` to `target` extending `seed`.
+///
+/// Returns the first extension found, or `None` if there is none.
+/// Constants must map to themselves (Remark 5.14's convention).
+pub fn find_homomorphism(
+    source: &[Atom],
+    target: &[Atom],
+    seed: &Substitution,
+) -> Option<Substitution> {
+    let mut results = Vec::new();
+    search(source, target, seed, &mut |h| {
+        results.push(h.clone());
+        false // stop at the first result
+    });
+    results.pop()
+}
+
+/// Does any homomorphism from `source` to `target` extend `seed`?
+pub fn homomorphism_exists(source: &[Atom], target: &[Atom], seed: &Substitution) -> bool {
+    let mut found = false;
+    search(source, target, seed, &mut |_| {
+        found = true;
+        false
+    });
+    found
+}
+
+/// Enumerate all homomorphisms from `source` to `target` extending `seed`.
+///
+/// The visitor returns `true` to continue enumeration and `false` to stop.
+/// Homomorphisms are reported as substitutions over the source variables;
+/// the same substitution may be reported more than once if it embeds the
+/// source atoms into the target in more than one way.
+pub fn for_each_homomorphism(
+    source: &[Atom],
+    target: &[Atom],
+    seed: &Substitution,
+    visitor: &mut dyn FnMut(&Substitution) -> bool,
+) {
+    search(source, target, seed, visitor);
+}
+
+/// Core backtracking search.  The visitor returns `false` to abort.
+fn search(
+    source: &[Atom],
+    target: &[Atom],
+    seed: &Substitution,
+    visitor: &mut dyn FnMut(&Substitution) -> bool,
+) {
+    // Group target atoms by predicate for candidate lookup.
+    let mut by_pred: BTreeMap<datalog::atom::Pred, Vec<&Atom>> = BTreeMap::new();
+    for atom in target {
+        by_pred.entry(atom.pred).or_default().push(atom);
+    }
+
+    // Order source atoms: fewest candidates first, ties broken by arity
+    // (higher arity first, as it binds more variables).
+    let mut order: Vec<&Atom> = source.iter().collect();
+    order.sort_by_key(|a| {
+        (
+            by_pred.get(&a.pred).map_or(0, |v| v.len()),
+            usize::MAX - a.arity(),
+        )
+    });
+
+    fn rec(
+        order: &[&Atom],
+        pos: usize,
+        by_pred: &BTreeMap<datalog::atom::Pred, Vec<&Atom>>,
+        subst: &Substitution,
+        visitor: &mut dyn FnMut(&Substitution) -> bool,
+        aborted: &mut bool,
+    ) {
+        if *aborted {
+            return;
+        }
+        if pos == order.len() {
+            if !visitor(subst) {
+                *aborted = true;
+            }
+            return;
+        }
+        let atom = order[pos];
+        let Some(candidates) = by_pred.get(&atom.pred) else {
+            return;
+        };
+        for candidate in candidates {
+            if candidate.terms.len() != atom.terms.len() {
+                continue;
+            }
+            let mut extended = subst.clone();
+            let mut ok = true;
+            for (&src_term, &tgt_term) in atom.terms.iter().zip(&candidate.terms) {
+                match src_term {
+                    Term::Const(c) => {
+                        if Term::Const(c) != tgt_term {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    Term::Var(v) => {
+                        if !extended.try_bind(v, tgt_term) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if ok {
+                rec(order, pos + 1, by_pred, &extended, visitor, aborted);
+                if *aborted {
+                    return;
+                }
+            }
+        }
+    }
+
+    let mut aborted = false;
+    rec(&order, 0, &by_pred, seed, visitor, &mut aborted);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog::term::Var;
+
+    fn atoms(texts: &[&str]) -> Vec<Atom> {
+        texts
+            .iter()
+            .map(|t| datalog::parser::parse_atom(t).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn identity_homomorphism_always_exists() {
+        let a = atoms(&["e(X, Y)", "e(Y, Z)"]);
+        assert!(homomorphism_exists(&a, &a, &Substitution::new()));
+    }
+
+    #[test]
+    fn path_query_folds_onto_a_single_edge() {
+        // e(X,Y), e(Y,Z) maps into {e(A,A)} by X,Y,Z ↦ A.
+        let source = atoms(&["e(X, Y)", "e(Y, Z)"]);
+        let target = atoms(&["e(A, A)"]);
+        let h = find_homomorphism(&source, &target, &Substitution::new()).unwrap();
+        assert_eq!(h.get(Var::new("X")), h.get(Var::new("Y")));
+        assert_eq!(h.get(Var::new("Y")), h.get(Var::new("Z")));
+    }
+
+    #[test]
+    fn no_homomorphism_when_predicate_missing() {
+        let source = atoms(&["f(X)"]);
+        let target = atoms(&["e(A, B)"]);
+        assert!(!homomorphism_exists(&source, &target, &Substitution::new()));
+    }
+
+    #[test]
+    fn seed_constraints_are_respected() {
+        let source = atoms(&["e(X, Y)"]);
+        let target = atoms(&["e(a, b)", "e(b, c)"]);
+        let mut seed = Substitution::new();
+        seed.bind_var(Var::new("X"), datalog::parser::parse_atom("p(b)").unwrap().terms[0]);
+        let h = find_homomorphism(&source, &target, &seed).unwrap();
+        // With X pinned to b, the only candidate is e(b, c).
+        assert_eq!(
+            h.get(Var::new("Y")),
+            Some(datalog::parser::parse_atom("p(c)").unwrap().terms[0])
+        );
+    }
+
+    #[test]
+    fn constants_in_the_source_must_match_exactly() {
+        let source = atoms(&["e(a, X)"]);
+        let ok_target = atoms(&["e(a, b)"]);
+        let bad_target = atoms(&["e(c, b)"]);
+        assert!(homomorphism_exists(&source, &ok_target, &Substitution::new()));
+        assert!(!homomorphism_exists(&source, &bad_target, &Substitution::new()));
+    }
+
+    #[test]
+    fn enumerating_all_homomorphisms() {
+        // e(X, Y) into a 2-edge target has exactly 2 homomorphisms.
+        let source = atoms(&["e(X, Y)"]);
+        let target = atoms(&["e(a, b)", "e(b, c)"]);
+        let mut count = 0;
+        for_each_homomorphism(&source, &target, &Substitution::new(), &mut |_| {
+            count += 1;
+            true
+        });
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn early_abort_stops_enumeration() {
+        let source = atoms(&["e(X, Y)"]);
+        let target = atoms(&["e(a, b)", "e(b, c)", "e(c, d)"]);
+        let mut count = 0;
+        for_each_homomorphism(&source, &target, &Substitution::new(), &mut |_| {
+            count += 1;
+            false
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn arity_mismatch_is_not_a_candidate() {
+        let source = atoms(&["e(X, Y)"]);
+        let target = atoms(&["e(a, b, c)"]);
+        assert!(!homomorphism_exists(&source, &target, &Substitution::new()));
+    }
+
+    #[test]
+    fn triangle_does_not_map_into_path() {
+        // Triangle e(X,Y),e(Y,Z),e(Z,X) has no homomorphism into an acyclic
+        // 2-path {e(a,b), e(b,c)}.
+        let source = atoms(&["e(X, Y)", "e(Y, Z)", "e(Z, X)"]);
+        let target = atoms(&["e(a, b)", "e(b, c)"]);
+        assert!(!homomorphism_exists(&source, &target, &Substitution::new()));
+    }
+}

@@ -1,0 +1,43 @@
+//! # cq
+//!
+//! Conjunctive queries, unions of conjunctive queries, and their classical
+//! containment theory (Section 2 of Chaudhuri & Vardi, *On the Equivalence
+//! of Recursive and Nonrecursive Datalog Programs*).
+//!
+//! * [`ConjunctiveQuery`] / [`Ucq`] — representation (rule form).
+//! * [`containment`] — containment mappings, Theorem 2.2 (Chandra–Merlin)
+//!   and Theorem 2.3 (Sagiv–Yannakakis).
+//! * [`canonical`] — frozen/canonical databases.
+//! * [`eval`] — CQ and UCQ evaluation over databases.
+//! * [`minimize`] — cores of CQs and minimisation of UCQs.
+//! * [`generate`] — query families used by the tests and benches.
+//!
+//! ## Example: Theorem 2.2 in action
+//!
+//! ```
+//! use cq::ConjunctiveQuery;
+//! use cq::containment::cq_contained_in;
+//!
+//! // "There is a path of length 3" is contained in "there is a path of
+//! // length 2" (fold the longer path onto the shorter pattern)…
+//! let three = ConjunctiveQuery::parse("q :- e(X, A), e(A, B), e(B, Y).").unwrap();
+//! let two = ConjunctiveQuery::parse("q :- e(U, V), e(V, W).").unwrap();
+//! assert!(cq_contained_in(&three, &two));
+//! // …but not the other way around.
+//! assert!(!cq_contained_in(&two, &three));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod canonical;
+pub mod containment;
+pub mod cq;
+pub mod eval;
+pub mod generate;
+pub mod homomorphism;
+pub mod minimize;
+pub mod ucq;
+
+pub use crate::cq::ConjunctiveQuery;
+pub use crate::ucq::Ucq;

@@ -1,0 +1,209 @@
+//! Unions of conjunctive queries (UCQs).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use datalog::atom::Pred;
+
+use crate::cq::ConjunctiveQuery;
+
+/// A union (disjunction) of conjunctive queries, all of the same arity.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Ucq {
+    /// The disjuncts.
+    pub disjuncts: Vec<ConjunctiveQuery>,
+}
+
+impl Ucq {
+    /// Build a UCQ from disjuncts.
+    pub fn new(disjuncts: Vec<ConjunctiveQuery>) -> Self {
+        Ucq { disjuncts }
+    }
+
+    /// The empty union — the query that is false on every database.
+    pub fn empty() -> Self {
+        Ucq { disjuncts: Vec::new() }
+    }
+
+    /// A UCQ with a single disjunct.
+    pub fn singleton(cq: ConjunctiveQuery) -> Self {
+        Ucq { disjuncts: vec![cq] }
+    }
+
+    /// Parse a UCQ given as one rule per line, all with the same head
+    /// predicate, e.g.
+    ///
+    /// ```text
+    /// q(X, Y) :- likes(X, Y).
+    /// q(X, Y) :- trendy(X), likes(Z, Y).
+    /// ```
+    pub fn parse(input: &str) -> Result<Self, datalog::error::ParseError> {
+        let program = datalog::parser::parse_program(input)?;
+        Ok(Ucq {
+            disjuncts: program
+                .rules()
+                .iter()
+                .map(ConjunctiveQuery::from_rule)
+                .collect(),
+        })
+    }
+
+    /// Number of disjuncts.
+    pub fn len(&self) -> usize {
+        self.disjuncts.len()
+    }
+
+    /// True if there are no disjuncts.
+    pub fn is_empty(&self) -> bool {
+        self.disjuncts.is_empty()
+    }
+
+    /// Add a disjunct.
+    pub fn push(&mut self, cq: ConjunctiveQuery) {
+        self.disjuncts.push(cq);
+    }
+
+    /// Union of two UCQs.
+    pub fn union(&self, other: &Ucq) -> Ucq {
+        let mut disjuncts = self.disjuncts.clone();
+        disjuncts.extend(other.disjuncts.iter().cloned());
+        Ucq { disjuncts }
+    }
+
+    /// The arity of the union (of its first disjunct; all disjuncts must
+    /// agree, which [`Ucq::consistent_arity`] checks).
+    pub fn arity(&self) -> Option<usize> {
+        self.disjuncts.first().map(ConjunctiveQuery::arity)
+    }
+
+    /// Do all disjuncts have the same head predicate and arity?
+    pub fn consistent_arity(&self) -> bool {
+        match self.disjuncts.split_first() {
+            None => true,
+            Some((first, rest)) => rest
+                .iter()
+                .all(|q| q.arity() == first.arity() && q.name() == first.name()),
+        }
+    }
+
+    /// The head predicate shared by the disjuncts, if any.
+    pub fn name(&self) -> Option<Pred> {
+        self.disjuncts.first().map(ConjunctiveQuery::name)
+    }
+
+    /// Total size (term positions) over all disjuncts.
+    pub fn size(&self) -> usize {
+        self.disjuncts.iter().map(ConjunctiveQuery::size).sum()
+    }
+
+    /// Size of the largest disjunct — the measure that distinguishes the
+    /// Example 6.1 blowup (one huge disjunct) from the Example 6.6 blowup
+    /// (many small disjuncts).
+    pub fn max_disjunct_size(&self) -> usize {
+        self.disjuncts
+            .iter()
+            .map(ConjunctiveQuery::size)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Remove duplicate disjuncts up to variable renaming (and body
+    /// reordering).
+    pub fn dedup(&self) -> Ucq {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for d in &self.disjuncts {
+            let canon = d.canonicalize_names();
+            if seen.insert(canon) {
+                out.push(d.clone());
+            }
+        }
+        Ucq { disjuncts: out }
+    }
+}
+
+impl fmt::Display for Ucq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.disjuncts {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Ucq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl FromIterator<ConjunctiveQuery> for Ucq {
+    fn from_iter<I: IntoIterator<Item = ConjunctiveQuery>>(iter: I) -> Self {
+        Ucq {
+            disjuncts: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buys_ucq() -> Ucq {
+        Ucq::parse(
+            "buys(X, Y) :- likes(X, Y).\n\
+             buys(X, Y) :- trendy(X), likes(Z, Y).",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_collects_disjuncts() {
+        let u = buys_ucq();
+        assert_eq!(u.len(), 2);
+        assert!(u.consistent_arity());
+        assert_eq!(u.arity(), Some(2));
+        assert_eq!(u.name(), Some(Pred::new("buys")));
+    }
+
+    #[test]
+    fn inconsistent_arity_is_detected() {
+        let u = Ucq::parse("q(X) :- e(X, Y).\nq(X, Y) :- e(X, Y).").unwrap();
+        assert!(!u.consistent_arity());
+    }
+
+    #[test]
+    fn sizes_and_max_disjunct() {
+        let u = buys_ucq();
+        assert_eq!(u.size(), (2 + 2) + (2 + 1 + 2));
+        assert_eq!(u.max_disjunct_size(), 5);
+    }
+
+    #[test]
+    fn dedup_removes_renamed_duplicates() {
+        let u = Ucq::parse(
+            "q(X) :- e(X, Y).\n\
+             q(A) :- e(A, B).\n\
+             q(X) :- f(X).",
+        )
+        .unwrap();
+        assert_eq!(u.dedup().len(), 2);
+    }
+
+    #[test]
+    fn empty_union_behaviour() {
+        let u = Ucq::empty();
+        assert!(u.is_empty());
+        assert!(u.consistent_arity());
+        assert_eq!(u.arity(), None);
+        assert_eq!(u.max_disjunct_size(), 0);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let u = buys_ucq().union(&buys_ucq());
+        assert_eq!(u.len(), 4);
+        assert_eq!(u.dedup().len(), 2);
+    }
+}

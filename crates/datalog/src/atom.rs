@@ -1,0 +1,249 @@
+//! Predicate symbols, atoms, and ground facts.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::intern::{self, Sym};
+use crate::term::{Constant, Term, Var};
+
+/// A predicate symbol.
+///
+/// Arity is not part of the symbol's identity; [`crate::program::Program`]
+/// validation checks that every occurrence of a predicate uses a consistent
+/// arity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Pred(#[serde(with = "pred_serde")] pub Sym);
+
+mod pred_serde {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    use crate::intern::{intern, Sym};
+
+    pub fn serialize<S: Serializer>(sym: &Sym, ser: S) -> Result<S::Ok, S::Error> {
+        sym.as_str().serialize(ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<Sym, D::Error> {
+        let s = String::deserialize(de)?;
+        Ok(intern(&s))
+    }
+}
+
+impl Pred {
+    /// Create (or look up) a predicate symbol with the given name.
+    pub fn new(name: &str) -> Self {
+        Pred(intern::intern(name))
+    }
+
+    /// The predicate's name.
+    pub fn name(self) -> &'static str {
+        self.0.as_str()
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An atom `p(t1, …, tk)`: a predicate symbol applied to a list of terms.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Atom {
+    /// The predicate symbol.
+    pub pred: Pred,
+    /// The argument terms, in order.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Construct an atom from a predicate and terms.
+    pub fn new(pred: Pred, terms: Vec<Term>) -> Self {
+        Atom { pred, terms }
+    }
+
+    /// Convenience constructor: `Atom::app("e", ["X", "Y"])` builds
+    /// `e(X, Y)` treating each argument that starts with an uppercase letter
+    /// or `_` as a variable and everything else as a constant (the parser's
+    /// convention).
+    pub fn app<const N: usize>(pred: &str, args: [&str; N]) -> Self {
+        let terms = args
+            .iter()
+            .map(|a| {
+                if a.starts_with(|c: char| c.is_ascii_uppercase() || c == '_') {
+                    Term::Var(Var::new(a))
+                } else {
+                    Term::Const(Constant::new(a))
+                }
+            })
+            .collect();
+        Atom::new(Pred::new(pred), terms)
+    }
+
+    /// The arity of this atom.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterator over the variables occurring in the atom, in positional
+    /// order, with repetitions.
+    pub fn variables(&self) -> impl Iterator<Item = Var> + '_ {
+        self.terms.iter().filter_map(|t| t.as_var())
+    }
+
+    /// Iterator over the constants occurring in the atom, in positional
+    /// order, with repetitions.
+    pub fn constants(&self) -> impl Iterator<Item = Constant> + '_ {
+        self.terms.iter().filter_map(|t| t.as_const())
+    }
+
+    /// True if the atom contains no variables.
+    pub fn is_ground(&self) -> bool {
+        self.terms.iter().all(|t| t.is_const())
+    }
+
+    /// Convert a ground atom into a fact; returns `None` if a variable is
+    /// present.
+    pub fn to_fact(&self) -> Option<Fact> {
+        let tuple: Option<Vec<Constant>> = self.terms.iter().map(|t| t.as_const()).collect();
+        Some(Fact {
+            pred: self.pred,
+            tuple: tuple?,
+        })
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// A ground fact: a predicate applied to a tuple of constants.
+///
+/// Facts are the rows of [`crate::database::Database`] relations.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Fact {
+    /// The predicate symbol.
+    pub pred: Pred,
+    /// The constant tuple.
+    pub tuple: Vec<Constant>,
+}
+
+impl Fact {
+    /// Construct a fact.
+    pub fn new(pred: Pred, tuple: Vec<Constant>) -> Self {
+        Fact { pred, tuple }
+    }
+
+    /// Convenience constructor mirroring [`Atom::app`], all arguments are
+    /// constants.
+    pub fn app<const N: usize>(pred: &str, args: [&str; N]) -> Self {
+        Fact {
+            pred: Pred::new(pred),
+            tuple: args.iter().map(|a| Constant::new(a)).collect(),
+        }
+    }
+
+    /// View the fact as a (ground) atom.
+    pub fn to_atom(&self) -> Atom {
+        Atom {
+            pred: self.pred,
+            terms: self.tuple.iter().map(|&c| Term::Const(c)).collect(),
+        }
+    }
+
+    /// The arity of this fact.
+    pub fn arity(&self) -> usize {
+        self.tuple.len()
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_atom())
+    }
+}
+
+impl fmt::Debug for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_classifies_variables_and_constants() {
+        let a = Atom::app("e", ["X", "y"]);
+        assert_eq!(a.pred, Pred::new("e"));
+        assert_eq!(a.terms[0], Term::Var(Var::new("X")));
+        assert_eq!(a.terms[1], Term::Const(Constant::new("y")));
+    }
+
+    #[test]
+    fn underscore_prefixed_identifiers_are_variables() {
+        let a = Atom::app("p", ["_x"]);
+        assert!(a.terms[0].is_var());
+    }
+
+    #[test]
+    fn display_matches_datalog_syntax() {
+        let a = Atom::app("buys", ["X", "Y"]);
+        assert_eq!(a.to_string(), "buys(X, Y)");
+    }
+
+    #[test]
+    fn ground_atoms_convert_to_facts() {
+        let a = Atom::app("e", ["a", "b"]);
+        assert!(a.is_ground());
+        let f = a.to_fact().unwrap();
+        assert_eq!(f, Fact::app("e", ["a", "b"]));
+        assert_eq!(f.to_atom(), a);
+    }
+
+    #[test]
+    fn non_ground_atoms_do_not_convert() {
+        let a = Atom::app("e", ["X", "b"]);
+        assert!(!a.is_ground());
+        assert!(a.to_fact().is_none());
+    }
+
+    #[test]
+    fn variables_iterator_reports_occurrences_in_order() {
+        let a = Atom::app("t", ["X", "a", "Y", "X"]);
+        let vars: Vec<_> = a.variables().collect();
+        assert_eq!(vars, vec![Var::new("X"), Var::new("Y"), Var::new("X")]);
+        let consts: Vec<_> = a.constants().collect();
+        assert_eq!(consts, vec![Constant::new("a")]);
+    }
+
+    #[test]
+    fn arity_is_term_count() {
+        assert_eq!(Atom::app("p", []).arity(), 0);
+        assert_eq!(Atom::app("p", ["X", "Y", "Z"]).arity(), 3);
+        assert_eq!(Fact::app("p", ["a"]).arity(), 1);
+    }
+}

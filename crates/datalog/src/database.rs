@@ -1,0 +1,270 @@
+//! In-memory relational store.
+//!
+//! A [`Database`] maps predicate symbols to relations (sets of constant
+//! tuples).  The paper quantifies over all databases; concretely we need
+//! databases to evaluate programs and conjunctive queries for testing, for
+//! the examples, and to materialise counterexamples (canonical databases of
+//! expansion trees).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::atom::{Fact, Pred};
+use crate::term::Constant;
+
+/// A relation: a set of tuples of constants, all of the same arity.
+#[derive(Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Relation {
+    tuples: BTreeSet<Vec<Constant>>,
+}
+
+impl Relation {
+    /// The empty relation.
+    pub fn new() -> Self {
+        Relation::default()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Insert a tuple; returns true if it was not already present.
+    pub fn insert(&mut self, tuple: Vec<Constant>) -> bool {
+        self.tuples.insert(tuple)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &[Constant]) -> bool {
+        self.tuples.contains(tuple)
+    }
+
+    /// Iterate over the tuples in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Vec<Constant>> + '_ {
+        self.tuples.iter()
+    }
+
+    /// Union another relation into this one; returns the number of new
+    /// tuples added.
+    pub fn absorb(&mut self, other: &Relation) -> usize {
+        let before = self.tuples.len();
+        for t in &other.tuples {
+            self.tuples.insert(t.clone());
+        }
+        self.tuples.len() - before
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.tuples.iter()).finish()
+    }
+}
+
+impl FromIterator<Vec<Constant>> for Relation {
+    fn from_iter<I: IntoIterator<Item = Vec<Constant>>>(iter: I) -> Self {
+        Relation {
+            tuples: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A database: a finite collection of relations indexed by predicate.
+#[derive(Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Database {
+    relations: BTreeMap<Pred, Relation>,
+}
+
+impl Database {
+    /// The empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Build a database from an iterator of facts.
+    pub fn from_facts<I: IntoIterator<Item = Fact>>(facts: I) -> Self {
+        let mut db = Database::new();
+        for f in facts {
+            db.insert(f);
+        }
+        db
+    }
+
+    /// Insert a fact; returns true if it was new.
+    pub fn insert(&mut self, fact: Fact) -> bool {
+        self.relations
+            .entry(fact.pred)
+            .or_default()
+            .insert(fact.tuple)
+    }
+
+    /// Insert a tuple for a predicate; returns true if it was new.
+    pub fn insert_tuple(&mut self, pred: Pred, tuple: Vec<Constant>) -> bool {
+        self.relations.entry(pred).or_default().insert(tuple)
+    }
+
+    /// The relation for a predicate (empty if absent).
+    pub fn relation(&self, pred: Pred) -> &Relation {
+        static EMPTY: Relation = Relation {
+            tuples: BTreeSet::new(),
+        };
+        self.relations.get(&pred).unwrap_or(&EMPTY)
+    }
+
+    /// Does the database contain this fact?
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.relation(fact.pred).contains(&fact.tuple)
+    }
+
+    /// Iterate over all facts in the database.
+    pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.relations.iter().flat_map(|(&pred, rel)| {
+            rel.iter().map(move |tuple| Fact {
+                pred,
+                tuple: tuple.clone(),
+            })
+        })
+    }
+
+    /// The predicates with at least one tuple.
+    pub fn predicates(&self) -> impl Iterator<Item = Pred> + '_ {
+        self.relations
+            .iter()
+            .filter(|(_, rel)| !rel.is_empty())
+            .map(|(&p, _)| p)
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// True if the database has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All constants mentioned anywhere in the database (the active domain).
+    pub fn active_domain(&self) -> BTreeSet<Constant> {
+        self.relations
+            .values()
+            .flat_map(|rel| rel.iter().flat_map(|t| t.iter().copied()))
+            .collect()
+    }
+
+    /// Union another database into this one; returns the number of new
+    /// facts.
+    pub fn absorb(&mut self, other: &Database) -> usize {
+        let mut added = 0;
+        for (&pred, rel) in &other.relations {
+            added += self.relations.entry(pred).or_default().absorb(rel);
+        }
+        added
+    }
+
+    /// Restrict the database to the given predicates (used to project an
+    /// evaluation result onto the EDB or onto a goal predicate).
+    pub fn restrict_to(&self, preds: &BTreeSet<Pred>) -> Database {
+        Database {
+            relations: self
+                .relations
+                .iter()
+                .filter(|(p, _)| preds.contains(p))
+                .map(|(&p, r)| (p, r.clone()))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for fact in self.facts() {
+            writeln!(f, "{fact}.")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl FromIterator<Fact> for Database {
+    fn from_iter<I: IntoIterator<Item = Fact>>(iter: I) -> Self {
+        Database::from_facts(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(name: &str) -> Constant {
+        Constant::new(name)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut db = Database::new();
+        assert!(db.insert(Fact::app("e", ["a", "b"])));
+        assert!(!db.insert(Fact::app("e", ["a", "b"])), "duplicate insert");
+        assert!(db.contains(&Fact::app("e", ["a", "b"])));
+        assert!(!db.contains(&Fact::app("e", ["b", "a"])));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn relation_for_missing_predicate_is_empty() {
+        let db = Database::new();
+        assert!(db.relation(Pred::new("nothing")).is_empty());
+    }
+
+    #[test]
+    fn active_domain_collects_all_constants() {
+        let db = Database::from_facts([
+            Fact::app("e", ["a", "b"]),
+            Fact::app("f", ["c"]),
+        ]);
+        assert_eq!(db.active_domain(), BTreeSet::from([c("a"), c("b"), c("c")]));
+    }
+
+    #[test]
+    fn absorb_counts_new_facts() {
+        let mut db1 = Database::from_facts([Fact::app("e", ["a", "b"])]);
+        let db2 = Database::from_facts([
+            Fact::app("e", ["a", "b"]),
+            Fact::app("e", ["b", "c"]),
+        ]);
+        assert_eq!(db1.absorb(&db2), 1);
+        assert_eq!(db1.len(), 2);
+    }
+
+    #[test]
+    fn facts_round_trip() {
+        let facts = vec![Fact::app("e", ["a", "b"]), Fact::app("g", ["x", "y", "z"])];
+        let db: Database = facts.iter().cloned().collect();
+        let collected: BTreeSet<Fact> = db.facts().collect();
+        assert_eq!(collected, facts.into_iter().collect());
+    }
+
+    #[test]
+    fn restrict_to_projects_predicates() {
+        let db = Database::from_facts([
+            Fact::app("e", ["a", "b"]),
+            Fact::app("p", ["a", "b"]),
+        ]);
+        let only_e = db.restrict_to(&BTreeSet::from([Pred::new("e")]));
+        assert_eq!(only_e.len(), 1);
+        assert!(only_e.contains(&Fact::app("e", ["a", "b"])));
+        assert!(!only_e.contains(&Fact::app("p", ["a", "b"])));
+    }
+}

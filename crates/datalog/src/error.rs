@@ -1,0 +1,116 @@
+//! Error types for parsing and validation.
+
+use std::fmt;
+
+/// An error produced while tokenizing or parsing Datalog text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number where the error was detected.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Construct a parse error.
+    pub fn new(line: usize, message: String) -> Self {
+        ParseError { line, message }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A problem found while validating a program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A predicate is used with two different arities.
+    ArityMismatch {
+        /// The offending predicate name.
+        pred: String,
+        /// Arity seen first.
+        expected: usize,
+        /// Conflicting arity.
+        found: usize,
+    },
+    /// A head variable does not occur in the rule body (unsafe rule).
+    UnsafeRule {
+        /// Rendering of the offending rule.
+        rule: String,
+        /// The unbound head variable.
+        variable: String,
+    },
+    /// The designated goal predicate does not occur in the program.
+    MissingGoal {
+        /// The goal predicate name.
+        goal: String,
+    },
+    /// A nonrecursive program was required but the program is recursive.
+    ExpectedNonrecursive,
+    /// A rule head uses an EDB predicate of a paired program — the two
+    /// programs being compared must agree on which predicates are EDB.
+    EdbRedefined {
+        /// The offending predicate name.
+        pred: String,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::ArityMismatch { pred, expected, found } => write!(
+                f,
+                "predicate `{pred}` used with arity {found} but previously with arity {expected}"
+            ),
+            ValidationError::UnsafeRule { rule, variable } => write!(
+                f,
+                "unsafe rule `{rule}`: head variable `{variable}` does not occur in the body"
+            ),
+            ValidationError::MissingGoal { goal } => {
+                write!(f, "goal predicate `{goal}` does not occur in the program")
+            }
+            ValidationError::ExpectedNonrecursive => {
+                write!(f, "expected a nonrecursive program but the dependency graph has a cycle")
+            }
+            ValidationError::EdbRedefined { pred } => {
+                write!(f, "predicate `{pred}` is extensional but is defined by a rule head")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_display_mentions_line() {
+        let e = ParseError::new(7, "boom".into());
+        assert!(e.to_string().contains("line 7"));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn validation_error_display_is_informative() {
+        let e = ValidationError::ArityMismatch {
+            pred: "e".into(),
+            expected: 2,
+            found: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("e") && s.contains('2') && s.contains('3'));
+
+        let u = ValidationError::UnsafeRule {
+            rule: "p(X) :- q(Y).".into(),
+            variable: "X".into(),
+        };
+        assert!(u.to_string().contains("unsafe"));
+    }
+}

@@ -1,0 +1,453 @@
+//! Bottom-up evaluation of Datalog programs.
+//!
+//! Implements both *naive* and *semi-naive* fixpoint evaluation, plus
+//! bounded evaluation `Q^i_Π(D)` (at most `i` rule applications, §2.1),
+//! which the test suite uses for differential testing of the containment
+//! decision procedures.
+
+use std::collections::BTreeSet;
+
+use crate::atom::{Atom, Fact, Pred};
+use crate::database::Database;
+use crate::program::Program;
+use crate::substitution::Substitution;
+use crate::term::Term;
+
+/// Evaluation strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Recompute every rule over the whole database each iteration.
+    Naive,
+    /// Only join rule bodies against at least one delta fact per iteration.
+    SemiNaive,
+}
+
+/// Options controlling evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalOptions {
+    /// Which fixpoint strategy to use.
+    pub strategy: Strategy,
+    /// If set, stop after this many iterations of the fixpoint loop
+    /// (computes `Q^i_Π(D)` rather than `Q_Π(D)`).
+    pub max_iterations: Option<usize>,
+    /// If set, abort (returning the partial result) once this many IDB facts
+    /// have been derived.  A safety valve for randomly generated inputs.
+    pub max_facts: Option<usize>,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            strategy: Strategy::SemiNaive,
+            max_iterations: None,
+            max_facts: None,
+        }
+    }
+}
+
+/// Statistics reported by an evaluation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Number of fixpoint iterations executed.
+    pub iterations: usize,
+    /// Number of IDB facts derived (excluding EDB facts).
+    pub derived_facts: usize,
+    /// Number of rule-body match attempts (join probes), a machine-
+    /// independent cost measure used by the evaluation benches.
+    pub probes: usize,
+}
+
+/// The result of evaluating a program on a database.
+#[derive(Clone, Debug)]
+pub struct EvalResult {
+    /// EDB facts plus all derived IDB facts.
+    pub database: Database,
+    /// Evaluation statistics.
+    pub stats: EvalStats,
+}
+
+impl EvalResult {
+    /// The relation computed for a goal predicate.
+    pub fn relation(&self, goal: Pred) -> &crate::database::Relation {
+        self.database.relation(goal)
+    }
+}
+
+/// Evaluate `program` on `edb` with default options (semi-naive, to
+/// fixpoint).
+pub fn evaluate(program: &Program, edb: &Database) -> EvalResult {
+    evaluate_with(program, edb, EvalOptions::default())
+}
+
+/// Evaluate `program` on `edb` with explicit options.
+pub fn evaluate_with(program: &Program, edb: &Database, options: EvalOptions) -> EvalResult {
+    match options.strategy {
+        Strategy::Naive => naive(program, edb, options),
+        Strategy::SemiNaive => semi_naive(program, edb, options),
+    }
+}
+
+/// Naive evaluation: repeat "apply every rule to the full database" until no
+/// new facts appear.
+fn naive(program: &Program, edb: &Database, options: EvalOptions) -> EvalResult {
+    let mut db = edb.clone();
+    let mut stats = EvalStats::default();
+    loop {
+        if options
+            .max_iterations
+            .is_some_and(|max| stats.iterations >= max)
+        {
+            break;
+        }
+        stats.iterations += 1;
+        let mut new_facts: Vec<Fact> = Vec::new();
+        for rule in program.rules() {
+            derive_rule(rule.head.clone(), &rule.body, &db, None, &mut new_facts, &mut stats.probes);
+        }
+        let mut changed = false;
+        for fact in new_facts {
+            if db.insert(fact) {
+                stats.derived_facts += 1;
+                changed = true;
+            }
+        }
+        if options.max_facts.is_some_and(|max| stats.derived_facts >= max) {
+            break;
+        }
+        if !changed {
+            break;
+        }
+    }
+    EvalResult { database: db, stats }
+}
+
+/// Semi-naive evaluation: each iteration only considers rule instantiations
+/// whose body uses at least one fact derived in the previous iteration.
+fn semi_naive(program: &Program, edb: &Database, options: EvalOptions) -> EvalResult {
+    let mut db = edb.clone();
+    let mut stats = EvalStats::default();
+
+    // Iteration 1 is a naive pass (the "delta" is the EDB itself).
+    let mut delta: BTreeSet<Fact> = BTreeSet::new();
+    {
+        if options.max_iterations != Some(0) {
+            stats.iterations += 1;
+            let mut new_facts = Vec::new();
+            for rule in program.rules() {
+                derive_rule(rule.head.clone(), &rule.body, &db, None, &mut new_facts, &mut stats.probes);
+            }
+            for fact in new_facts {
+                if db.insert(fact.clone()) {
+                    stats.derived_facts += 1;
+                    delta.insert(fact);
+                }
+            }
+        }
+    }
+
+    while !delta.is_empty() {
+        if options
+            .max_iterations
+            .is_some_and(|max| stats.iterations >= max)
+        {
+            break;
+        }
+        if options.max_facts.is_some_and(|max| stats.derived_facts >= max) {
+            break;
+        }
+        stats.iterations += 1;
+        let mut new_facts: Vec<Fact> = Vec::new();
+        let delta_db = Database::from_facts(delta.iter().cloned());
+        for rule in program.rules() {
+            // For each body position holding a predicate present in the
+            // delta, require that position to match a delta fact.
+            for (pos, atom) in rule.body.iter().enumerate() {
+                if delta_db.relation(atom.pred).is_empty() {
+                    continue;
+                }
+                derive_rule(
+                    rule.head.clone(),
+                    &rule.body,
+                    &db,
+                    Some((pos, &delta_db)),
+                    &mut new_facts,
+                    &mut stats.probes,
+                );
+            }
+            // Rules with empty bodies fire once, in the first iteration,
+            // which the naive pass above already handled.
+        }
+        let mut next_delta = BTreeSet::new();
+        for fact in new_facts {
+            if db.insert(fact.clone()) {
+                stats.derived_facts += 1;
+                next_delta.insert(fact);
+            }
+        }
+        delta = next_delta;
+    }
+
+    EvalResult { database: db, stats }
+}
+
+/// Enumerate all instantiations of `body` against `db` (with the atom at
+/// `delta_pos`, if given, matched against the delta database instead) and
+/// emit the corresponding ground heads.
+fn derive_rule(
+    head: Atom,
+    body: &[Atom],
+    db: &Database,
+    delta: Option<(usize, &Database)>,
+    out: &mut Vec<Fact>,
+    probes: &mut usize,
+) {
+    fn rec(
+        head: &Atom,
+        body: &[Atom],
+        pos: usize,
+        db: &Database,
+        delta: Option<(usize, &Database)>,
+        subst: &mut Substitution,
+        out: &mut Vec<Fact>,
+        probes: &mut usize,
+    ) {
+        if pos == body.len() {
+            let ground = subst.apply_atom(head);
+            if let Some(fact) = ground.to_fact() {
+                out.push(fact);
+            }
+            return;
+        }
+        let atom = &body[pos];
+        let source = match delta {
+            Some((dpos, delta_db)) if dpos == pos => delta_db,
+            _ => db,
+        };
+        for tuple in source.relation(atom.pred).iter() {
+            *probes += 1;
+            let mut attempt = subst.clone();
+            if attempt.match_tuple(atom, tuple) {
+                rec(head, body, pos + 1, db, delta, &mut attempt, out, probes);
+            }
+        }
+    }
+
+    // Rules with empty bodies: emit the head if it is ground.
+    if body.is_empty() {
+        if let Some(fact) = head.to_fact() {
+            out.push(fact);
+        } else if head.terms.iter().any(|t| matches!(t, Term::Var(_))) {
+            // Non-ground empty-body rules (e.g. `dist0(x, x) :-` from
+            // Example 6.2) are instantiated over the active domain of the
+            // database, the standard finite-domain reading.
+            instantiate_over_domain(&head, db, out);
+        }
+        return;
+    }
+    let mut subst = Substitution::new();
+    rec(&head, body, 0, db, delta, &mut subst, out, probes);
+}
+
+/// Instantiate a non-ground atom over the active domain of the database
+/// (all variables range over all constants).
+fn instantiate_over_domain(head: &Atom, db: &Database, out: &mut Vec<Fact>) {
+    let domain: Vec<_> = db.active_domain().into_iter().collect();
+    if domain.is_empty() {
+        return;
+    }
+    let vars: Vec<_> = {
+        let mut seen = BTreeSet::new();
+        head.variables().filter(|v| seen.insert(*v)).collect()
+    };
+    let mut assignment = vec![0usize; vars.len()];
+    loop {
+        let mut subst = Substitution::new();
+        for (v, &i) in vars.iter().zip(&assignment) {
+            subst.bind_var(*v, Term::Const(domain[i]));
+        }
+        if let Some(fact) = subst.apply_atom(head).to_fact() {
+            out.push(fact);
+        }
+        // Advance the odometer.
+        let mut carry = true;
+        for slot in assignment.iter_mut() {
+            if carry {
+                *slot += 1;
+                if *slot == domain.len() {
+                    *slot = 0;
+                } else {
+                    carry = false;
+                }
+            }
+        }
+        if carry {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::rule::Rule;
+    use crate::term::Constant;
+
+    fn tc() -> Program {
+        Program::new(vec![
+            Rule::new(
+                Atom::app("p", ["X", "Y"]),
+                vec![Atom::app("e", ["X", "Z"]), Atom::app("p", ["Z", "Y"])],
+            ),
+            Rule::new(Atom::app("p", ["X", "Y"]), vec![Atom::app("e", ["X", "Y"])]),
+        ])
+    }
+
+    fn chain(n: usize) -> Database {
+        let mut db = Database::new();
+        for i in 0..n {
+            db.insert_tuple(
+                Pred::new("e"),
+                vec![Constant::from_usize(i), Constant::from_usize(i + 1)],
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn transitive_closure_of_a_chain() {
+        let db = chain(5);
+        let result = evaluate(&tc(), &db);
+        // All pairs (i, j) with i < j ≤ 5: 5+4+3+2+1 = 15.
+        assert_eq!(result.relation(Pred::new("p")).len(), 15);
+        assert!(result.database.contains(&Fact::app("p", ["c0", "c5"])));
+        assert!(!result.database.contains(&Fact::app("p", ["c5", "c0"])));
+    }
+
+    #[test]
+    fn naive_and_semi_naive_agree() {
+        let db = chain(8);
+        let naive = evaluate_with(
+            &tc(),
+            &db,
+            EvalOptions {
+                strategy: Strategy::Naive,
+                ..EvalOptions::default()
+            },
+        );
+        let semi = evaluate_with(&tc(), &db, EvalOptions::default());
+        assert_eq!(
+            naive.relation(Pred::new("p")),
+            semi.relation(Pred::new("p"))
+        );
+        // Semi-naive must not do more probes than naive on this workload.
+        assert!(semi.stats.probes <= naive.stats.probes);
+    }
+
+    #[test]
+    fn bounded_evaluation_computes_partial_fixpoint() {
+        let db = chain(6);
+        // One iteration: only paths of length 1.
+        let one = evaluate_with(
+            &tc(),
+            &db,
+            EvalOptions {
+                max_iterations: Some(1),
+                ..EvalOptions::default()
+            },
+        );
+        assert_eq!(one.relation(Pred::new("p")).len(), 6);
+        // Two iterations: paths of length ≤ 2.
+        let two = evaluate_with(
+            &tc(),
+            &db,
+            EvalOptions {
+                max_iterations: Some(2),
+                ..EvalOptions::default()
+            },
+        );
+        assert_eq!(two.relation(Pred::new("p")).len(), 6 + 5);
+    }
+
+    #[test]
+    fn zero_iterations_derives_nothing() {
+        let db = chain(3);
+        let r = evaluate_with(
+            &tc(),
+            &db,
+            EvalOptions {
+                max_iterations: Some(0),
+                ..EvalOptions::default()
+            },
+        );
+        assert!(r.relation(Pred::new("p")).is_empty());
+        assert_eq!(r.stats.derived_facts, 0);
+    }
+
+    #[test]
+    fn empty_body_ground_rule_fires_once() {
+        let p = Program::new(vec![Rule::fact(Atom::app("t", ["a", "b"]))]);
+        let r = evaluate(&p, &Database::new());
+        assert!(r.database.contains(&Fact::app("t", ["a", "b"])));
+    }
+
+    #[test]
+    fn empty_body_nonground_rule_ranges_over_active_domain() {
+        // dist0(X, X). over a database with domain {a, b}.
+        let p = Program::new(vec![Rule::fact(Atom::app("d", ["X", "X"]))]);
+        let db = Database::from_facts([Fact::app("e", ["a", "b"])]);
+        let r = evaluate(&p, &db);
+        assert!(r.database.contains(&Fact::app("d", ["a", "a"])));
+        assert!(r.database.contains(&Fact::app("d", ["b", "b"])));
+        assert_eq!(r.relation(Pred::new("d")).len(), 2);
+    }
+
+    #[test]
+    fn mutually_recursive_even_odd() {
+        let p = Program::new(vec![
+            Rule::new(Atom::app("even", ["X"]), vec![Atom::app("zero", ["X"])]),
+            Rule::new(
+                Atom::app("even", ["X"]),
+                vec![Atom::app("succ", ["Y", "X"]), Atom::app("odd", ["Y"])],
+            ),
+            Rule::new(
+                Atom::app("odd", ["X"]),
+                vec![Atom::app("succ", ["Y", "X"]), Atom::app("even", ["Y"])],
+            ),
+        ]);
+        let mut db = Database::new();
+        db.insert(Fact::app("zero", ["n0"]));
+        for i in 0..6 {
+            db.insert(Fact::app(
+                "succ",
+                [format!("n{i}").as_str(), format!("n{}", i + 1).as_str()],
+            ));
+        }
+        let r = evaluate(&p, &db);
+        assert!(r.database.contains(&Fact::app("even", ["n4"])));
+        assert!(r.database.contains(&Fact::app("odd", ["n5"])));
+        assert!(!r.database.contains(&Fact::app("even", ["n5"])));
+    }
+
+    #[test]
+    fn fact_limit_stops_evaluation_early() {
+        let db = chain(30);
+        let r = evaluate_with(
+            &tc(),
+            &db,
+            EvalOptions {
+                max_facts: Some(10),
+                ..EvalOptions::default()
+            },
+        );
+        assert!(r.stats.derived_facts >= 10);
+        assert!(r.stats.derived_facts < 30 * 31 / 2);
+    }
+
+    #[test]
+    fn result_contains_edb_facts() {
+        let db = chain(2);
+        let r = evaluate(&tc(), &db);
+        assert!(r.database.contains(&Fact::app("e", ["c0", "c1"])));
+    }
+}

@@ -1,0 +1,417 @@
+//! Instance generators: parameterised program families from the paper and
+//! random programs / databases for differential testing and benchmarking.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::atom::{Atom, Fact, Pred};
+use crate::database::Database;
+use crate::program::Program;
+use crate::rule::Rule;
+use crate::term::{Constant, Term, Var};
+
+/// The transitive-closure program of Example 2.5:
+///
+/// ```text
+/// p(X, Y) :- e(X, Z), p(Z, Y).
+/// p(X, Y) :- e'(X, Y).
+/// ```
+///
+/// `exit_pred` names the EDB predicate used by the exit rule (the paper's
+/// `e'`); pass `"e"` to make the exit rule use the same edge relation.
+pub fn transitive_closure(edge: &str, exit_pred: &str) -> Program {
+    Program::new(vec![
+        Rule::new(
+            Atom::app("p", ["X", "Y"]),
+            vec![Atom::app(edge, ["X", "Z"]), Atom::app("p", ["Z", "Y"])],
+        ),
+        Rule::new(Atom::app("p", ["X", "Y"]), vec![Atom::app(exit_pred, ["X", "Y"])]),
+    ])
+}
+
+/// The nonlinear (doubling) variant of transitive closure:
+///
+/// ```text
+/// p(X, Y) :- p(X, Z), p(Z, Y).
+/// p(X, Y) :- e(X, Y).
+/// ```
+pub fn transitive_closure_nonlinear(edge: &str) -> Program {
+    Program::new(vec![
+        Rule::new(
+            Atom::app("p", ["X", "Y"]),
+            vec![Atom::app("p", ["X", "Z"]), Atom::app("p", ["Z", "Y"])],
+        ),
+        Rule::new(Atom::app("p", ["X", "Y"]), vec![Atom::app(edge, ["X", "Y"])]),
+    ])
+}
+
+/// The `dist_i` family of Example 6.1: `dist_n(x, y)` holds exactly when
+/// there is a path of length 2^n from x to y.  Nonrecursive; its expansion
+/// into a union of conjunctive queries is a single CQ of size 2^n.
+pub fn dist_program(n: usize) -> Program {
+    let mut rules = vec![Rule::new(
+        Atom::app("dist0", ["X", "Y"]),
+        vec![Atom::app("e", ["X", "Y"])],
+    )];
+    for i in 1..=n {
+        rules.push(Rule::new(
+            Atom::app(&format!("dist{i}"), ["X", "Y"]),
+            vec![
+                Atom::app(&format!("dist{}", i - 1), ["X", "Z"]),
+                Atom::app(&format!("dist{}", i - 1), ["Z", "Y"]),
+            ],
+        ));
+    }
+    Program::new(rules)
+}
+
+/// The goal predicate of [`dist_program`].
+pub fn dist_goal(n: usize) -> Pred {
+    Pred::new(&format!("dist{n}"))
+}
+
+/// The `dist_i` / `dist<_i` family of Example 6.2: `dist_n(x, y)` holds when
+/// there is a path of length **at most** 2^n, and `distlt_n(x, y)` when the
+/// path has length at most 2^n − 1.  Uses unsafe fact-rules exactly as in
+/// the paper.
+pub fn dist_le_program(n: usize) -> Program {
+    let mut rules = vec![
+        Rule::new(Atom::app("dist0", ["X", "Y"]), vec![Atom::app("e", ["X", "Y"])]),
+        Rule::fact(Atom::app("dist0", ["X", "X"])),
+        Rule::fact(Atom::app("distlt0", ["X", "X"])),
+    ];
+    for i in 1..=n {
+        rules.push(Rule::new(
+            Atom::app(&format!("dist{i}"), ["X", "Y"]),
+            vec![
+                Atom::app(&format!("dist{}", i - 1), ["X", "Z"]),
+                Atom::app(&format!("dist{}", i - 1), ["Z", "Y"]),
+            ],
+        ));
+        rules.push(Rule::new(
+            Atom::app(&format!("distlt{i}"), ["X", "Y"]),
+            vec![
+                Atom::app(&format!("distlt{}", i - 1), ["X", "Z"]),
+                Atom::app(&format!("dist{}", i - 1), ["Z", "Y"]),
+            ],
+        ));
+    }
+    Program::new(rules)
+}
+
+/// The `equal_i` family of Example 6.3: `equal_n(x, y, u, v)` holds when
+/// there are paths of length 2^n from x to y and from u to v carrying the
+/// same Zero/One labels (except possibly the endpoints).
+pub fn equal_program(n: usize) -> Program {
+    let mut rules = vec![
+        Rule::new(
+            Atom::app("equal0", ["X", "Y", "U", "V"]),
+            vec![
+                Atom::app("e", ["X", "Y"]),
+                Atom::app("e", ["U", "V"]),
+                Atom::app("zero", ["X"]),
+                Atom::app("zero", ["U"]),
+            ],
+        ),
+        Rule::new(
+            Atom::app("equal0", ["X", "Y", "U", "V"]),
+            vec![
+                Atom::app("e", ["X", "Y"]),
+                Atom::app("e", ["U", "V"]),
+                Atom::app("one", ["X"]),
+                Atom::app("one", ["U"]),
+            ],
+        ),
+    ];
+    for i in 1..=n {
+        rules.push(Rule::new(
+            Atom::app(&format!("equal{i}"), ["X", "Y", "U", "V"]),
+            vec![
+                Atom::app(&format!("equal{}", i - 1), ["X", "Xp", "U", "Up"]),
+                Atom::app(&format!("equal{}", i - 1), ["Xp", "Y", "Up", "V"]),
+            ],
+        ));
+    }
+    Program::new(rules)
+}
+
+/// The `word_i` family of Example 6.6: a *linear* nonrecursive program whose
+/// unfolding has exponentially many disjuncts, each of linear size.
+pub fn word_program(n: usize) -> Program {
+    let mut rules = vec![
+        Rule::new(
+            Atom::app("word1", ["X", "Y"]),
+            vec![Atom::app("e", ["X", "Y"]), Atom::app("zero", ["X"])],
+        ),
+        Rule::new(
+            Atom::app("word1", ["X", "Y"]),
+            vec![Atom::app("e", ["X", "Y"]), Atom::app("one", ["X"])],
+        ),
+    ];
+    for i in 2..=n {
+        for label in ["zero", "one"] {
+            rules.push(Rule::new(
+                Atom::app(&format!("word{i}"), ["X", "Y"]),
+                vec![
+                    Atom::app(&format!("word{}", i - 1), ["X", "Xp"]),
+                    Atom::app("e", ["Xp", "Y"]),
+                    Atom::app(label, ["Y"]),
+                ],
+            ));
+        }
+    }
+    Program::new(rules)
+}
+
+/// A linear chain-of-predicates program: `p_k(X, Y) :- e(X, Z), p_{k-1}(Z, Y)`
+/// with `p_0(X, Y) :- e(X, Y)`.  Nonrecursive, used by scaling benches.
+pub fn chain_program(k: usize) -> Program {
+    let mut rules = vec![Rule::new(
+        Atom::app("p0", ["X", "Y"]),
+        vec![Atom::app("e", ["X", "Y"])],
+    )];
+    for i in 1..=k {
+        rules.push(Rule::new(
+            Atom::app(&format!("p{i}"), ["X", "Y"]),
+            vec![
+                Atom::app("e", ["X", "Z"]),
+                Atom::app(&format!("p{}", i - 1), ["Z", "Y"]),
+            ],
+        ));
+    }
+    Program::new(rules)
+}
+
+/// A simple-path (chain) database `e(c0, c1), …, e(c_{n-1}, c_n)`.
+pub fn chain_database(edge: &str, n: usize) -> Database {
+    let mut db = Database::new();
+    for i in 0..n {
+        db.insert(Fact::new(
+            Pred::new(edge),
+            vec![Constant::from_usize(i), Constant::from_usize(i + 1)],
+        ));
+    }
+    db
+}
+
+/// A cycle database `e(c0, c1), …, e(c_{n-1}, c0)`.
+pub fn cycle_database(edge: &str, n: usize) -> Database {
+    let mut db = Database::new();
+    for i in 0..n {
+        db.insert(Fact::new(
+            Pred::new(edge),
+            vec![Constant::from_usize(i), Constant::from_usize((i + 1) % n)],
+        ));
+    }
+    db
+}
+
+/// Configuration for [`random_database`].
+#[derive(Clone, Debug)]
+pub struct RandomDatabaseConfig {
+    /// Number of constants in the domain.
+    pub domain_size: usize,
+    /// For each predicate: (name, arity, number of random tuples).
+    pub relations: Vec<(String, usize, usize)>,
+}
+
+/// Generate a random database (tuples drawn uniformly with replacement, then
+/// deduplicated).
+pub fn random_database(config: &RandomDatabaseConfig, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    for (name, arity, count) in &config.relations {
+        let pred = Pred::new(name);
+        for _ in 0..*count {
+            let tuple: Vec<Constant> = (0..*arity)
+                .map(|_| Constant::from_usize(rng.random_range(0..config.domain_size.max(1))))
+                .collect();
+            db.insert_tuple(pred, tuple);
+        }
+    }
+    db
+}
+
+/// Configuration for [`random_program`].
+#[derive(Clone, Debug)]
+pub struct RandomProgramConfig {
+    /// Number of EDB predicates (named `e0`, `e1`, …), all binary.
+    pub edb_predicates: usize,
+    /// Number of IDB predicates (named `q0`, `q1`, …), all binary; `q0` is
+    /// the goal.
+    pub idb_predicates: usize,
+    /// Number of rules to generate.
+    pub rules: usize,
+    /// Maximum number of body atoms per rule.
+    pub max_body_atoms: usize,
+    /// Maximum number of distinct variables per rule.
+    pub max_variables: usize,
+    /// Probability that a generated body atom is an IDB atom (recursion).
+    pub idb_probability: f64,
+}
+
+impl Default for RandomProgramConfig {
+    fn default() -> Self {
+        RandomProgramConfig {
+            edb_predicates: 2,
+            idb_predicates: 2,
+            rules: 4,
+            max_body_atoms: 3,
+            max_variables: 4,
+            idb_probability: 0.3,
+        }
+    }
+}
+
+/// Generate a random binary-predicate Datalog program.  Every rule is made
+/// safe by construction: head variables are drawn from the body variables.
+pub fn random_program(config: &RandomProgramConfig, seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rules = Vec::new();
+    let idb: Vec<Pred> = (0..config.idb_predicates.max(1))
+        .map(|i| Pred::new(&format!("q{i}")))
+        .collect();
+    let edb: Vec<Pred> = (0..config.edb_predicates.max(1))
+        .map(|i| Pred::new(&format!("e{i}")))
+        .collect();
+    let vars: Vec<Var> = (0..config.max_variables.max(2))
+        .map(|i| Var::new(&format!("V{i}")))
+        .collect();
+
+    for rule_index in 0..config.rules {
+        let n_body = rng.random_range(1..=config.max_body_atoms.max(1));
+        let mut body = Vec::new();
+        for _ in 0..n_body {
+            let pred = if rng.random_bool(config.idb_probability) {
+                idb[rng.random_range(0..idb.len())]
+            } else {
+                edb[rng.random_range(0..edb.len())]
+            };
+            let t1 = Term::Var(vars[rng.random_range(0..vars.len())]);
+            let t2 = Term::Var(vars[rng.random_range(0..vars.len())]);
+            body.push(Atom::new(pred, vec![t1, t2]));
+        }
+        // Choose head variables among the body variables to keep rules safe.
+        let body_vars: Vec<Var> = {
+            let mut seen = std::collections::BTreeSet::new();
+            body.iter()
+                .flat_map(|a| a.variables())
+                .filter(|v| seen.insert(*v))
+                .collect()
+        };
+        let head_pred = idb[rule_index % idb.len()];
+        let h1 = body_vars[rng.random_range(0..body_vars.len())];
+        let h2 = body_vars[rng.random_range(0..body_vars.len())];
+        rules.push(Rule::new(
+            Atom::new(head_pred, vec![Term::Var(h1), Term::Var(h2)]),
+            body,
+        ));
+    }
+    // Guarantee at least one exit rule for the goal predicate so the program
+    // is not vacuously empty.
+    rules.push(Rule::new(
+        Atom::new(idb[0], vec![Term::Var(vars[0]), Term::Var(vars[1])]),
+        vec![Atom::new(edb[0], vec![Term::Var(vars[0]), Term::Var(vars[1])])],
+    ));
+    Program::new(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::validate::{validate, Safety};
+
+    #[test]
+    fn transitive_closure_program_shape() {
+        let p = transitive_closure("e", "e");
+        assert!(p.is_recursive() && p.is_linear());
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn dist_program_is_nonrecursive_and_correct() {
+        let p = dist_program(3);
+        assert!(p.is_nonrecursive());
+        // On a chain of length 8, dist3(c0, c8) must hold (8 = 2^3).
+        let db = chain_database("e", 8);
+        let r = evaluate(&p, &db);
+        assert!(r
+            .database
+            .contains(&Fact::app("dist3", ["c0", "c8"])));
+        assert_eq!(r.relation(dist_goal(3)).len(), 1);
+    }
+
+    #[test]
+    fn dist_le_program_matches_at_most_semantics() {
+        let p = dist_le_program(2);
+        assert!(p.is_nonrecursive());
+        let db = chain_database("e", 5);
+        let r = evaluate(&p, &db);
+        // dist2 = paths of length ≤ 4: includes (c0, c3) and (c0, c0).
+        assert!(r.database.contains(&Fact::app("dist2", ["c0", "c3"])));
+        assert!(r.database.contains(&Fact::app("dist2", ["c0", "c0"])));
+        assert!(!r.database.contains(&Fact::app("dist2", ["c0", "c5"])));
+    }
+
+    #[test]
+    fn equal_program_requires_matching_labels() {
+        let p = equal_program(1);
+        assert!(p.is_nonrecursive());
+        let mut db = chain_database("e", 4);
+        for i in 0..4 {
+            db.insert(Fact::app("zero", [format!("c{i}").as_str()]));
+        }
+        let r = evaluate(&p, &db);
+        // Paths 0→2 and 1→3 of length 2 with all-zero labels.
+        assert!(r
+            .database
+            .contains(&Fact::app("equal1", ["c0", "c2", "c1", "c3"])));
+    }
+
+    #[test]
+    fn word_program_is_linear_nonrecursive() {
+        let p = word_program(4);
+        assert!(p.is_nonrecursive());
+        assert!(p.is_linear());
+        assert_eq!(p.len(), 2 + 3 * 2);
+    }
+
+    #[test]
+    fn chain_program_and_database_sizes() {
+        assert_eq!(chain_program(5).len(), 6);
+        assert_eq!(chain_database("e", 7).len(), 7);
+        assert_eq!(cycle_database("e", 7).len(), 7);
+    }
+
+    #[test]
+    fn random_program_is_safe_and_reproducible() {
+        let config = RandomProgramConfig::default();
+        let p1 = random_program(&config, 42);
+        let p2 = random_program(&config, 42);
+        assert_eq!(p1, p2, "same seed must give the same program");
+        assert!(validate(&p1, Safety::Strict).is_empty());
+    }
+
+    #[test]
+    fn random_database_is_reproducible_and_respects_arity() {
+        let config = RandomDatabaseConfig {
+            domain_size: 5,
+            relations: vec![("e".into(), 2, 20), ("l".into(), 1, 5)],
+        };
+        let d1 = random_database(&config, 7);
+        let d2 = random_database(&config, 7);
+        assert_eq!(d1, d2);
+        assert!(d1.relation(Pred::new("e")).iter().all(|t| t.len() == 2));
+        assert!(d1.relation(Pred::new("l")).iter().all(|t| t.len() == 1));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let config = RandomDatabaseConfig {
+            domain_size: 50,
+            relations: vec![("e".into(), 2, 30)],
+        };
+        assert_ne!(random_database(&config, 1), random_database(&config, 2));
+    }
+}

@@ -1,0 +1,200 @@
+//! Global string interner.
+//!
+//! Every identifier that appears in a Datalog program — predicate names,
+//! variable names, and constant names — is interned into a process-wide
+//! table and referred to by a compact [`Sym`] handle.  Interning keeps the
+//! core algorithms (containment-mapping search, proof-tree automata
+//! construction) free of string comparisons and allocations, which the
+//! performance guide for this codebase calls out as the dominant avoidable
+//! cost in symbolic database code.
+//!
+//! The table only ever grows; symbols are never freed.  This is the right
+//! trade-off for a decision-procedure library: the set of distinct
+//! identifiers is bounded by the input programs plus a bounded number of
+//! generated variables (`var(Π)` in the paper is at most twice the largest
+//! rule), so memory usage stays proportional to the input size.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string.
+///
+/// `Sym` is a cheap, `Copy` handle (4 bytes) that can be compared, hashed,
+/// and ordered in O(1).  Two `Sym`s are equal iff the strings they intern are
+/// equal.  The ordering is *creation order*, not lexicographic; callers that
+/// need lexicographic order should resolve the symbols first.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// Numeric id of the symbol (stable for the lifetime of the process).
+    #[inline]
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Resolve the symbol back to its string.
+    pub fn as_str(self) -> &'static str {
+        interner().resolve(self)
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Process-wide interner state.
+struct Interner {
+    /// Map from string to symbol id.
+    map: Mutex<HashMap<&'static str, u32>>,
+    /// Reverse table: symbol id to string.
+    ///
+    /// Strings are leaked deliberately (see module docs); the number of
+    /// distinct identifiers is bounded by the input.
+    rev: Mutex<Vec<&'static str>>,
+}
+
+fn interner() -> &'static Interner {
+    static INTERNER: OnceLock<Interner> = OnceLock::new();
+    INTERNER.get_or_init(|| Interner {
+        map: Mutex::new(HashMap::new()),
+        rev: Mutex::new(Vec::new()),
+    })
+}
+
+impl Interner {
+    fn intern(&self, s: &str) -> Sym {
+        let mut map = self.map.lock().expect("interner poisoned");
+        if let Some(&id) = map.get(s) {
+            return Sym(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let mut rev = self.rev.lock().expect("interner poisoned");
+        let id = u32::try_from(rev.len()).expect("interner overflow");
+        rev.push(leaked);
+        map.insert(leaked, id);
+        Sym(id)
+    }
+
+    fn resolve(&self, sym: Sym) -> &'static str {
+        let rev = self.rev.lock().expect("interner poisoned");
+        rev[sym.0 as usize]
+    }
+
+    fn len(&self) -> usize {
+        self.rev.lock().expect("interner poisoned").len()
+    }
+}
+
+/// Intern a string, returning its symbol.
+pub fn intern(s: &str) -> Sym {
+    interner().intern(s)
+}
+
+/// Generate a fresh symbol that has not been interned before.
+///
+/// The symbol's name starts with `prefix` and is suffixed with a counter
+/// until an unused name is found.  Used for fresh-variable generation when
+/// building unfolding expansion trees (§2.3 of the paper) and when renaming
+/// programs apart.
+pub fn fresh(prefix: &str) -> Sym {
+    // A dedicated counter avoids quadratic rescans for the common case where
+    // all fresh symbols share a prefix.
+    static COUNTER: OnceLock<Mutex<u64>> = OnceLock::new();
+    let counter = COUNTER.get_or_init(|| Mutex::new(0));
+    loop {
+        let n = {
+            let mut guard = counter.lock().expect("fresh counter poisoned");
+            let n = *guard;
+            *guard += 1;
+            n
+        };
+        let candidate = format!("{prefix}#{n}");
+        let inner = interner();
+        let already = {
+            let map = inner.map.lock().expect("interner poisoned");
+            map.contains_key(candidate.as_str())
+        };
+        if !already {
+            return inner.intern(&candidate);
+        }
+    }
+}
+
+/// Number of symbols interned so far (diagnostics only).
+pub fn interned_count() -> usize {
+    interner().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = intern("edge");
+        let b = intern("edge");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "edge");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = intern("p");
+        let b = intern("q");
+        assert_ne!(a, b);
+        assert_eq!(a.as_str(), "p");
+        assert_eq!(b.as_str(), "q");
+    }
+
+    #[test]
+    fn fresh_symbols_are_unique() {
+        let a = fresh("v");
+        let b = fresh("v");
+        assert_ne!(a, b);
+        assert!(a.as_str().starts_with("v#"));
+    }
+
+    #[test]
+    fn fresh_never_collides_with_existing() {
+        // Pre-intern a name that looks like a fresh name; `fresh` must skip it.
+        let taken = intern("w#0");
+        let mut produced = Vec::new();
+        for _ in 0..5 {
+            produced.push(fresh("w"));
+        }
+        assert!(produced.iter().all(|s| *s != taken));
+    }
+
+    #[test]
+    fn display_and_debug_show_the_string() {
+        let s = intern("likes");
+        assert_eq!(format!("{s}"), "likes");
+        assert_eq!(format!("{s:?}"), "likes");
+    }
+
+    #[test]
+    fn symbols_are_usable_across_threads() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let s = intern(&format!("thread_sym_{}", i % 2));
+                    (i % 2, s)
+                })
+            })
+            .collect();
+        let results: Vec<(usize, Sym)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (tag, sym) in &results {
+            assert_eq!(sym.as_str(), format!("thread_sym_{tag}"));
+        }
+    }
+}

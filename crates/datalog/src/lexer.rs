@@ -1,0 +1,261 @@
+//! Tokenizer for the textual Datalog syntax.
+//!
+//! The concrete syntax follows the common Prolog-style convention used by
+//! the paper's examples:
+//!
+//! ```text
+//! buys(X, Y) :- likes(X, Y).
+//! buys(X, Y) :- trendy(X), buys(Z, Y).
+//! ```
+//!
+//! Identifiers starting with an uppercase letter or `_` are variables;
+//! everything else (lowercase identifiers, digits, quoted strings) is a
+//! constant or predicate name.  `%` and `#` start a comment that runs to the
+//! end of the line.
+
+use std::fmt;
+
+use crate::error::ParseError;
+
+/// A lexical token with its position (byte offset) in the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character of the token.
+    pub offset: usize,
+    /// Line number (1-based) for error messages.
+    pub line: usize,
+}
+
+/// The kinds of tokens produced by the lexer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier starting with an uppercase letter or underscore.
+    Variable(String),
+    /// An identifier starting with a lowercase letter or digit, or a quoted
+    /// string.
+    Symbol(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Period,
+    /// `:-`
+    Implies,
+    /// `|` — separates disjuncts in a union of conjunctive queries.
+    Pipe,
+    /// `?-` — introduces a query head in CQ syntax.
+    Query,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Variable(s) => write!(f, "variable `{s}`"),
+            TokenKind::Symbol(s) => write!(f, "symbol `{s}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Period => write!(f, "`.`"),
+            TokenKind::Implies => write!(f, "`:-`"),
+            TokenKind::Pipe => write!(f, "`|`"),
+            TokenKind::Query => write!(f, "`?-`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Tokenize an input string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '%' | '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: i, line });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: i, line });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: i, line });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Period, offset: i, line });
+                i += 1;
+            }
+            '|' => {
+                tokens.push(Token { kind: TokenKind::Pipe, offset: i, line });
+                i += 1;
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    tokens.push(Token { kind: TokenKind::Implies, offset: i, line });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(line, format!("expected `:-`, found `:{}`",
+                        bytes.get(i + 1).map(|&b| b as char).unwrap_or(' '))));
+                }
+            }
+            '?' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    tokens.push(Token { kind: TokenKind::Query, offset: i, line });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(line, "expected `?-`".to_string()));
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] as char != quote {
+                    if bytes[j] == b'\n' {
+                        return Err(ParseError::new(line, "unterminated quoted constant".to_string()));
+                    }
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(ParseError::new(line, "unterminated quoted constant".to_string()));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(input[start..j].to_string()),
+                    offset: i,
+                    line,
+                });
+                i = j + 1;
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() {
+                    let cj = bytes[j] as char;
+                    if cj.is_ascii_alphanumeric() || cj == '_' || cj == '\'' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..j];
+                let kind = if c.is_ascii_uppercase() || c == '_' {
+                    TokenKind::Variable(text.to_string())
+                } else {
+                    TokenKind::Symbol(text.to_string())
+                };
+                tokens.push(Token { kind, offset: start, line });
+                i = j;
+            }
+            other => {
+                return Err(ParseError::new(line, format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, offset: bytes.len(), line });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_a_rule() {
+        let ks = kinds("p(X, y) :- e(X, y).");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Symbol("p".into()),
+                TokenKind::LParen,
+                TokenKind::Variable("X".into()),
+                TokenKind::Comma,
+                TokenKind::Symbol("y".into()),
+                TokenKind::RParen,
+                TokenKind::Implies,
+                TokenKind::Symbol("e".into()),
+                TokenKind::LParen,
+                TokenKind::Variable("X".into()),
+                TokenKind::Comma,
+                TokenKind::Symbol("y".into()),
+                TokenKind::RParen,
+                TokenKind::Period,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("% a comment\np(X). # another\n");
+        assert_eq!(ks.len(), 6); // p ( X ) . EOF
+    }
+
+    #[test]
+    fn quoted_constants_keep_their_spelling() {
+        let ks = kinds("p('Hello World').");
+        assert!(matches!(&ks[2], TokenKind::Symbol(s) if s == "Hello World"));
+    }
+
+    #[test]
+    fn underscore_starts_a_variable() {
+        let ks = kinds("p(_x).");
+        assert!(matches!(&ks[2], TokenKind::Variable(s) if s == "_x"));
+    }
+
+    #[test]
+    fn numbers_are_symbols() {
+        let ks = kinds("p(42).");
+        assert!(matches!(&ks[2], TokenKind::Symbol(s) if s == "42"));
+    }
+
+    #[test]
+    fn pipe_and_query_tokens() {
+        let ks = kinds("?- p(X) | q(X).");
+        assert_eq!(ks[0], TokenKind::Query);
+        assert!(ks.contains(&TokenKind::Pipe));
+    }
+
+    #[test]
+    fn lexical_errors_report_line_numbers() {
+        let err = tokenize("p(X).\nq(X) :- &").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        assert!(tokenize("p('oops).").is_err());
+    }
+
+    #[test]
+    fn lone_colon_is_an_error() {
+        assert!(tokenize("p(X) : q(X).").is_err());
+    }
+}

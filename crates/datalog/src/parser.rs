@@ -1,0 +1,306 @@
+//! Recursive-descent parser for the textual Datalog syntax.
+//!
+//! Grammar (EBNF):
+//!
+//! ```text
+//! program  ::= rule*
+//! rule     ::= atom ( ":-" atom ("," atom)* )? "."
+//! fact     ::= atom "."                    (ground atoms only; see parse_database)
+//! atom     ::= name ( "(" term ("," term)* ")" )?
+//! term     ::= VARIABLE | SYMBOL
+//! ```
+//!
+//! `parse_program` parses a whole program, `parse_rule` a single rule,
+//! `parse_atom` a single atom, and `parse_database` a list of ground facts.
+
+use crate::atom::{Atom, Fact, Pred};
+use crate::database::Database;
+use crate::error::ParseError;
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::program::Program;
+use crate::rule::Rule;
+use crate::term::{Constant, Term, Var};
+
+/// Parse a Datalog program from text.
+pub fn parse_program(input: &str) -> Result<Program, ParseError> {
+    let mut p = Parser::new(input)?;
+    let mut rules = Vec::new();
+    while !p.at_eof() {
+        rules.push(p.rule()?);
+    }
+    Ok(Program::new(rules))
+}
+
+/// Parse a single rule (terminated by `.`).
+pub fn parse_rule(input: &str) -> Result<Rule, ParseError> {
+    let mut p = Parser::new(input)?;
+    let rule = p.rule()?;
+    p.expect_eof()?;
+    Ok(rule)
+}
+
+/// Parse a single atom.
+pub fn parse_atom(input: &str) -> Result<Atom, ParseError> {
+    let mut p = Parser::new(input)?;
+    let atom = p.atom()?;
+    p.expect_eof()?;
+    Ok(atom)
+}
+
+/// Parse a database: a sequence of ground facts, each terminated by `.`.
+pub fn parse_database(input: &str) -> Result<Database, ParseError> {
+    let mut p = Parser::new(input)?;
+    let mut db = Database::new();
+    while !p.at_eof() {
+        let line = p.peek_line();
+        let atom = p.atom()?;
+        p.expect(TokenKind::Period)?;
+        match atom.to_fact() {
+            Some(fact) => {
+                db.insert(fact);
+            }
+            None => {
+                return Err(ParseError::new(
+                    line,
+                    format!("database fact `{atom}` contains variables"),
+                ))
+            }
+        }
+    }
+    Ok(db)
+}
+
+/// Parse a single ground fact.
+pub fn parse_fact(input: &str) -> Result<Fact, ParseError> {
+    let mut p = Parser::new(input)?;
+    let line = p.peek_line();
+    let atom = p.atom()?;
+    if p.check(TokenKind::Period) {
+        p.advance();
+    }
+    p.expect_eof()?;
+    atom.to_fact()
+        .ok_or_else(|| ParseError::new(line, format!("fact `{atom}` contains variables")))
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Self, ParseError> {
+        Ok(Parser {
+            tokens: tokenize(input)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn check(&self, kind: TokenKind) -> bool {
+        *self.peek() == kind
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), ParseError> {
+        if *self.peek() == kind {
+            self.advance();
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.peek_line(),
+                format!("expected {kind}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.peek_line(),
+                format!("expected end of input, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn rule(&mut self) -> Result<Rule, ParseError> {
+        let head = self.atom()?;
+        if self.check(TokenKind::Period) {
+            self.advance();
+            return Ok(Rule::fact(head));
+        }
+        self.expect(TokenKind::Implies)?;
+        // An empty body before the period (e.g. `dist0(X, X) :- .`) is
+        // accepted and equivalent to a fact-rule.
+        if self.check(TokenKind::Period) {
+            self.advance();
+            return Ok(Rule::fact(head));
+        }
+        let mut body = vec![self.atom()?];
+        while self.check(TokenKind::Comma) {
+            self.advance();
+            body.push(self.atom()?);
+        }
+        self.expect(TokenKind::Period)?;
+        Ok(Rule::new(head, body))
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let line = self.peek_line();
+        let name = match self.advance() {
+            TokenKind::Symbol(s) => s,
+            other => {
+                return Err(ParseError::new(
+                    line,
+                    format!("expected a predicate name, found {other}"),
+                ))
+            }
+        };
+        let pred = Pred::new(&name);
+        if !self.check(TokenKind::LParen) {
+            // 0-ary atom such as the goal predicate `c` in Section 5.3.
+            return Ok(Atom::new(pred, Vec::new()));
+        }
+        self.advance();
+        let mut terms = Vec::new();
+        if !self.check(TokenKind::RParen) {
+            terms.push(self.term()?);
+            while self.check(TokenKind::Comma) {
+                self.advance();
+                terms.push(self.term()?);
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(Atom::new(pred, terms))
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        let line = self.peek_line();
+        match self.advance() {
+            TokenKind::Variable(name) => Ok(Term::Var(Var::new(&name))),
+            TokenKind::Symbol(name) => Ok(Term::Const(Constant::new(&name))),
+            other => Err(ParseError::new(
+                line,
+                format!("expected a term, found {other}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_transitive_closure_program() {
+        let p = parse_program(
+            "p(X, Y) :- e(X, Z), p(Z, Y).\n\
+             p(X, Y) :- ep(X, Y).",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.is_recursive());
+        assert!(p.is_linear());
+        assert_eq!(p.rules()[0].to_string(), "p(X, Y) :- e(X, Z), p(Z, Y).");
+    }
+
+    #[test]
+    fn parses_example_1_1() {
+        let p = parse_program(
+            "buys(X, Y) :- likes(X, Y).\n\
+             buys(X, Y) :- trendy(X), buys(Z, Y).",
+        )
+        .unwrap();
+        assert_eq!(p.idb_predicates().len(), 1);
+        assert_eq!(p.edb_predicates().len(), 2);
+    }
+
+    #[test]
+    fn parses_facts_and_empty_bodies() {
+        let p = parse_program("dist0(X, X). d(a, b) :- .").unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.rules()[0].body.is_empty());
+        assert!(p.rules()[1].body.is_empty());
+    }
+
+    #[test]
+    fn parses_zero_ary_atoms() {
+        let p = parse_program("c :- bit(X, Y, Z), start(Z).").unwrap();
+        assert_eq!(p.rules()[0].head.arity(), 0);
+        assert_eq!(p.rules()[0].head.pred, Pred::new("c"));
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let text = "p(X, Y) :- e(X, Z), p(Z, Y).\np(X, Y) :- ep(X, Y).\n";
+        let p = parse_program(text).unwrap();
+        let reparsed = parse_program(&p.to_string()).unwrap();
+        assert_eq!(p, reparsed);
+    }
+
+    #[test]
+    fn parse_atom_and_fact() {
+        let a = parse_atom("e(X, b)").unwrap();
+        assert_eq!(a.to_string(), "e(X, b)");
+        let f = parse_fact("e(a, b).").unwrap();
+        assert_eq!(f, Fact::app("e", ["a", "b"]));
+        assert!(parse_fact("e(X, b).").is_err());
+    }
+
+    #[test]
+    fn parse_database_accepts_only_ground_facts() {
+        let db = parse_database("e(a, b). e(b, c). likes(a, widget).").unwrap();
+        assert_eq!(db.len(), 3);
+        assert!(parse_database("e(a, B).").is_err());
+    }
+
+    #[test]
+    fn constants_and_variables_are_distinguished() {
+        let r = parse_rule("p(X, a) :- e(X, a).").unwrap();
+        assert!(r.head.terms[0].is_var());
+        assert!(r.head.terms[1].is_const());
+    }
+
+    #[test]
+    fn missing_period_is_an_error() {
+        assert!(parse_program("p(X) :- e(X)").is_err());
+    }
+
+    #[test]
+    fn garbage_after_rule_is_an_error() {
+        assert!(parse_rule("p(X) :- e(X). extra").is_err());
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let err = parse_program("p(X) :- e(X).\nq(X) :- ,").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn quoted_constants_are_constants() {
+        let r = parse_rule("p(X) :- name(X, 'Alice Smith').").unwrap();
+        assert!(r.body[0].terms[1].is_const());
+        assert_eq!(r.body[0].terms[1].to_string(), "Alice Smith");
+    }
+}

@@ -1,0 +1,366 @@
+//! Datalog programs.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::atom::Pred;
+use crate::depgraph::DependencyGraph;
+use crate::rule::Rule;
+use crate::term::Var;
+
+/// A Datalog program: a finite set of Horn rules.
+///
+/// Following Section 2.1 of the paper, the predicates that occur in heads of
+/// rules are the *intentional* (IDB) predicates; all other predicates are
+/// *extensional* (EDB) predicates.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Build a program from a list of rules.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        Program { rules }
+    }
+
+    /// The empty program.
+    pub fn empty() -> Self {
+        Program { rules: Vec::new() }
+    }
+
+    /// The rules of the program, in declaration order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if the program has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Add a rule to the program.
+    pub fn push(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// Concatenate two programs (set union of rules, duplicates retained —
+    /// duplicate rules do not change the semantics).
+    pub fn union(&self, other: &Program) -> Program {
+        let mut rules = self.rules.clone();
+        rules.extend(other.rules.iter().cloned());
+        Program { rules }
+    }
+
+    /// The IDB predicates: those that occur in the head of some rule.
+    pub fn idb_predicates(&self) -> BTreeSet<Pred> {
+        self.rules.iter().map(|r| r.head.pred).collect()
+    }
+
+    /// The EDB predicates: those that occur only in rule bodies.
+    pub fn edb_predicates(&self) -> BTreeSet<Pred> {
+        let idb = self.idb_predicates();
+        let mut edb = BTreeSet::new();
+        for rule in &self.rules {
+            for atom in &rule.body {
+                if !idb.contains(&atom.pred) {
+                    edb.insert(atom.pred);
+                }
+            }
+        }
+        edb
+    }
+
+    /// All predicates mentioned anywhere in the program.
+    pub fn predicates(&self) -> BTreeSet<Pred> {
+        let mut all = BTreeSet::new();
+        for rule in &self.rules {
+            all.insert(rule.head.pred);
+            for atom in &rule.body {
+                all.insert(atom.pred);
+            }
+        }
+        all
+    }
+
+    /// Is `pred` an IDB predicate of this program?
+    pub fn is_idb(&self, pred: Pred) -> bool {
+        self.rules.iter().any(|r| r.head.pred == pred)
+    }
+
+    /// The rules whose head predicate is `pred`, with their indices in the
+    /// program.
+    pub fn rules_for(&self, pred: Pred) -> impl Iterator<Item = (usize, &Rule)> + '_ {
+        self.rules
+            .iter()
+            .enumerate()
+            .filter(move |(_, r)| r.head.pred == pred)
+    }
+
+    /// Arity of each predicate, taken from its first occurrence.
+    /// [`crate::validate::validate`] checks that all occurrences agree.
+    pub fn arities(&self) -> BTreeMap<Pred, usize> {
+        let mut arities = BTreeMap::new();
+        for rule in &self.rules {
+            arities.entry(rule.head.pred).or_insert(rule.head.arity());
+            for atom in &rule.body {
+                arities.entry(atom.pred).or_insert(atom.arity());
+            }
+        }
+        arities
+    }
+
+    /// Arity of a single predicate, if it occurs in the program.
+    pub fn arity_of(&self, pred: Pred) -> Option<usize> {
+        for rule in &self.rules {
+            if rule.head.pred == pred {
+                return Some(rule.head.arity());
+            }
+            for atom in &rule.body {
+                if atom.pred == pred {
+                    return Some(atom.arity());
+                }
+            }
+        }
+        None
+    }
+
+    /// All distinct variables mentioned in the program.
+    pub fn variables(&self) -> BTreeSet<Var> {
+        self.rules.iter().flat_map(|r| r.variables()).collect()
+    }
+
+    /// The dependency graph of the program (Section 1: edge from Q to P if P
+    /// depends on Q, i.e. Q occurs in the body of a rule with head P).
+    pub fn dependency_graph(&self) -> DependencyGraph {
+        DependencyGraph::of_program(self)
+    }
+
+    /// Is the program nonrecursive, i.e. is its dependence graph acyclic?
+    pub fn is_nonrecursive(&self) -> bool {
+        self.dependency_graph().is_acyclic()
+    }
+
+    /// Is the program recursive (not nonrecursive)?
+    pub fn is_recursive(&self) -> bool {
+        !self.is_nonrecursive()
+    }
+
+    /// Is the program *linear*: does every rule contain at most one
+    /// recursive subgoal?  A body atom is a recursive subgoal of a rule if
+    /// its predicate is mutually recursive with the rule's head predicate
+    /// (same strongly connected component of the dependency graph), or if it
+    /// is the head predicate of a self-recursive rule.
+    pub fn is_linear(&self) -> bool {
+        let dg = self.dependency_graph();
+        self.rules.iter().all(|rule| {
+            let recursive_subgoals = rule
+                .body
+                .iter()
+                .filter(|atom| dg.mutually_recursive(atom.pred, rule.head.pred))
+                .count();
+            recursive_subgoals <= 1
+        })
+    }
+
+    /// `varnum(Π)` from Section 5.1: twice the maximum over all rules r of
+    /// `varnum(r)`, the number of variables occurring in IDB atoms of r.
+    ///
+    /// The result is at least 2·(goal arity) even for programs whose rules
+    /// mention few IDB variables, so that a goal atom over distinct
+    /// variables can always be written with variables from `var(Π)`.
+    pub fn varnum(&self) -> usize {
+        let idb = self.idb_predicates();
+        let is_idb = |p: Pred| idb.contains(&p);
+        let per_rule = self
+            .rules
+            .iter()
+            .map(|r| r.varnum_idb(is_idb))
+            .max()
+            .unwrap_or(0);
+        let max_idb_arity = self
+            .arities()
+            .iter()
+            .filter(|(p, _)| idb.contains(p))
+            .map(|(_, &a)| a)
+            .max()
+            .unwrap_or(0);
+        2 * per_rule.max(max_idb_arity)
+    }
+
+    /// The bounded variable set `var(Π) = {x1, …, x_varnum(Π)}` used by
+    /// proof trees (Section 5.1).
+    pub fn var_set(&self) -> Vec<Var> {
+        (1..=self.varnum()).map(Var::canonical).collect()
+    }
+
+    /// Total number of atoms (head + body) — a simple size measure used by
+    /// benches.
+    pub fn atom_count(&self) -> usize {
+        self.rules.iter().map(|r| 1 + r.body.len()).sum()
+    }
+
+    /// A rough textual size of the program: total number of term positions.
+    /// This is the "size of Π" parameter the complexity bounds are stated
+    /// in.
+    pub fn size(&self) -> usize {
+        self.rules
+            .iter()
+            .map(|r| r.head.arity() + r.body.iter().map(|a| a.arity()).sum::<usize>())
+            .sum()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in &self.rules {
+            writeln!(f, "{rule}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl FromIterator<Rule> for Program {
+    fn from_iter<I: IntoIterator<Item = Rule>>(iter: I) -> Self {
+        Program {
+            rules: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+
+    /// The transitive-closure program of Example 2.5.
+    fn tc() -> Program {
+        Program::new(vec![
+            Rule::new(
+                Atom::app("p", ["X", "Y"]),
+                vec![Atom::app("e", ["X", "Z"]), Atom::app("p", ["Z", "Y"])],
+            ),
+            Rule::new(Atom::app("p", ["X", "Y"]), vec![Atom::app("ep", ["X", "Y"])]),
+        ])
+    }
+
+    /// The buys program Π₁ of Example 1.1.
+    fn buys1() -> Program {
+        Program::new(vec![
+            Rule::new(Atom::app("buys", ["X", "Y"]), vec![Atom::app("likes", ["X", "Y"])]),
+            Rule::new(
+                Atom::app("buys", ["X", "Y"]),
+                vec![Atom::app("trendy", ["X"]), Atom::app("buys", ["Z", "Y"])],
+            ),
+        ])
+    }
+
+    #[test]
+    fn idb_and_edb_classification() {
+        let p = tc();
+        assert_eq!(p.idb_predicates(), BTreeSet::from([Pred::new("p")]));
+        assert_eq!(
+            p.edb_predicates(),
+            BTreeSet::from([Pred::new("e"), Pred::new("ep")])
+        );
+        assert!(p.is_idb(Pred::new("p")));
+        assert!(!p.is_idb(Pred::new("e")));
+    }
+
+    #[test]
+    fn arities_are_collected() {
+        let p = tc();
+        assert_eq!(p.arity_of(Pred::new("p")), Some(2));
+        assert_eq!(p.arity_of(Pred::new("e")), Some(2));
+        assert_eq!(p.arity_of(Pred::new("missing")), None);
+        assert_eq!(p.arities().len(), 3);
+    }
+
+    #[test]
+    fn recursion_and_linearity_detection() {
+        let p = tc();
+        assert!(p.is_recursive());
+        assert!(!p.is_nonrecursive());
+        assert!(p.is_linear());
+
+        let b = buys1();
+        assert!(b.is_recursive());
+        assert!(b.is_linear());
+
+        // A doubling rule p(X,Y) :- p(X,Z), p(Z,Y) is recursive but not linear.
+        let nonlinear = Program::new(vec![
+            Rule::new(
+                Atom::app("p", ["X", "Y"]),
+                vec![Atom::app("p", ["X", "Z"]), Atom::app("p", ["Z", "Y"])],
+            ),
+            Rule::new(Atom::app("p", ["X", "Y"]), vec![Atom::app("e", ["X", "Y"])]),
+        ]);
+        assert!(nonlinear.is_recursive());
+        assert!(!nonlinear.is_linear());
+    }
+
+    #[test]
+    fn nonrecursive_program_is_detected() {
+        let nonrec = Program::new(vec![
+            Rule::new(Atom::app("q", ["X", "Y"]), vec![Atom::app("e", ["X", "Y"])]),
+            Rule::new(
+                Atom::app("r", ["X", "Y"]),
+                vec![Atom::app("q", ["X", "Z"]), Atom::app("q", ["Z", "Y"])],
+            ),
+        ]);
+        assert!(nonrec.is_nonrecursive());
+        assert!(nonrec.is_linear());
+    }
+
+    #[test]
+    fn varnum_is_twice_max_idb_varnum() {
+        // TC program: recursive rule has IDB atoms p(X,Y), p(Z,Y) → 3 vars;
+        // exit rule has IDB atom p(X,Y) → 2 vars. varnum = 2 * 3 = 6.
+        assert_eq!(tc().varnum(), 6);
+        assert_eq!(tc().var_set().len(), 6);
+        assert_eq!(tc().var_set()[0], Var::new("x1"));
+    }
+
+    #[test]
+    fn varnum_covers_goal_arity_even_without_idb_body_vars() {
+        // C :- e(X). — the 0-ary goal has no variables, but a unary IDB
+        // predicate q(X) :- e(X) must still get var(Π) of size ≥ 2.
+        let p = Program::new(vec![Rule::new(Atom::app("q", ["X"]), vec![Atom::app("e", ["X"])])]);
+        assert!(p.varnum() >= 2);
+    }
+
+    #[test]
+    fn size_measures_term_positions() {
+        // TC: rule 1 has 2 + 2 + 2 = 6 positions, rule 2 has 2 + 2 = 4.
+        assert_eq!(tc().size(), 10);
+        assert_eq!(tc().atom_count(), 5);
+    }
+
+    #[test]
+    fn union_concatenates_rules() {
+        let u = tc().union(&buys1());
+        assert_eq!(u.len(), 4);
+        assert!(u.is_idb(Pred::new("p")));
+        assert!(u.is_idb(Pred::new("buys")));
+    }
+
+    #[test]
+    fn display_prints_one_rule_per_line() {
+        let text = tc().to_string();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("p(X, Y) :- e(X, Z), p(Z, Y)."));
+    }
+}

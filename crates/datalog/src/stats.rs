@@ -1,0 +1,109 @@
+//! Program statistics.
+//!
+//! These are the size parameters in which the paper's complexity bounds are
+//! stated; the bench harness records them next to every measurement so that
+//! EXPERIMENTS.md can relate measured growth to the predicted bounds.
+
+use serde::{Deserialize, Serialize};
+
+use crate::program::Program;
+
+/// Summary statistics of a Datalog program.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgramStats {
+    /// Number of rules.
+    pub rules: usize,
+    /// Number of IDB predicates.
+    pub idb_predicates: usize,
+    /// Number of EDB predicates.
+    pub edb_predicates: usize,
+    /// Total number of atoms (heads + bodies).
+    pub atoms: usize,
+    /// Total number of term positions (the paper's "size of Π").
+    pub size: usize,
+    /// Maximum arity over all predicates.
+    pub max_arity: usize,
+    /// Number of distinct variables.
+    pub variables: usize,
+    /// `varnum(Π)` (Section 5.1): twice the maximum number of variables in
+    /// IDB atoms of any rule.
+    pub varnum: usize,
+    /// Is the program recursive?
+    pub recursive: bool,
+    /// Is the program linear (≤ 1 recursive subgoal per rule)?
+    pub linear: bool,
+}
+
+impl ProgramStats {
+    /// Compute statistics for a program.
+    pub fn of(program: &Program) -> Self {
+        ProgramStats {
+            rules: program.len(),
+            idb_predicates: program.idb_predicates().len(),
+            edb_predicates: program.edb_predicates().len(),
+            atoms: program.atom_count(),
+            size: program.size(),
+            max_arity: program.arities().values().copied().max().unwrap_or(0),
+            variables: program.variables().len(),
+            varnum: program.varnum(),
+            recursive: program.is_recursive(),
+            linear: program.is_linear(),
+        }
+    }
+}
+
+impl std::fmt::Display for ProgramStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rules={} idb={} edb={} atoms={} size={} max_arity={} vars={} varnum={} recursive={} linear={}",
+            self.rules,
+            self.idb_predicates,
+            self.edb_predicates,
+            self.atoms,
+            self.size,
+            self.max_arity,
+            self.variables,
+            self.varnum,
+            self.recursive,
+            self.linear
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{dist_program, transitive_closure};
+
+    #[test]
+    fn stats_of_transitive_closure() {
+        let s = ProgramStats::of(&transitive_closure("e", "ep"));
+        assert_eq!(s.rules, 2);
+        assert_eq!(s.idb_predicates, 1);
+        assert_eq!(s.edb_predicates, 2);
+        assert_eq!(s.max_arity, 2);
+        assert!(s.recursive);
+        assert!(s.linear);
+        assert_eq!(s.varnum, 6);
+    }
+
+    #[test]
+    fn stats_of_dist_family_grow_linearly() {
+        let s3 = ProgramStats::of(&dist_program(3));
+        let s6 = ProgramStats::of(&dist_program(6));
+        assert!(!s3.recursive);
+        assert_eq!(s3.rules, 4);
+        assert_eq!(s6.rules, 7);
+        assert!(s6.size > s3.size);
+    }
+
+    #[test]
+    fn display_mentions_every_field() {
+        let s = ProgramStats::of(&transitive_closure("e", "e"));
+        let text = s.to_string();
+        for key in ["rules=", "idb=", "varnum=", "linear="] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Variable substitutions and one-way matching.
+//!
+//! Substitutions map variables to terms.  They are used to build rule
+//! *instances* (expansion-tree and proof-tree labels, §2.3 and §5.1), to
+//! evaluate rules against databases, and — in the `cq` crate — to represent
+//! containment mappings.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::atom::Atom;
+use crate::rule::Rule;
+use crate::term::{Constant, Term, Var};
+
+/// A finite mapping from variables to terms.
+///
+/// Variables not in the domain are mapped to themselves.
+#[derive(Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Substitution {
+    map: BTreeMap<Var, Term>,
+}
+
+impl Substitution {
+    /// The empty substitution.
+    pub fn new() -> Self {
+        Substitution::default()
+    }
+
+    /// Number of variables in the domain.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Bind `var` to `term`, overwriting any previous binding.
+    pub fn bind_var(&mut self, var: Var, term: Term) {
+        self.map.insert(var, term);
+    }
+
+    /// Bind `var` to `term` only if consistent with an existing binding.
+    /// Returns `false` (and leaves the substitution unchanged) if `var` is
+    /// already bound to a different term.
+    pub fn try_bind(&mut self, var: Var, term: Term) -> bool {
+        match self.map.get(&var) {
+            Some(&existing) => existing == term,
+            None => {
+                self.map.insert(var, term);
+                true
+            }
+        }
+    }
+
+    /// Look up the binding of a variable.
+    pub fn get(&self, var: Var) -> Option<Term> {
+        self.map.get(&var).copied()
+    }
+
+    /// Iterate over the bindings in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, Term)> + '_ {
+        self.map.iter().map(|(&v, &t)| (v, t))
+    }
+
+    /// Apply the substitution to a term.
+    pub fn apply_term(&self, term: Term) -> Term {
+        match term {
+            Term::Var(v) => self.map.get(&v).copied().unwrap_or(term),
+            Term::Const(_) => term,
+        }
+    }
+
+    /// Apply the substitution to an atom.
+    pub fn apply_atom(&self, atom: &Atom) -> Atom {
+        Atom {
+            pred: atom.pred,
+            terms: atom.terms.iter().map(|&t| self.apply_term(t)).collect(),
+        }
+    }
+
+    /// Apply the substitution to a rule.
+    pub fn apply_rule(&self, rule: &Rule) -> Rule {
+        rule.apply(self)
+    }
+
+    /// Compose `self` with `other`: the result first applies `self`, then
+    /// `other` to the image.  Variables bound only by `other` are also bound
+    /// in the result.
+    pub fn compose(&self, other: &Substitution) -> Substitution {
+        let mut out = Substitution::new();
+        for (v, t) in self.iter() {
+            out.bind_var(v, other.apply_term(t));
+        }
+        for (v, t) in other.iter() {
+            out.map.entry(v).or_insert(t);
+        }
+        out
+    }
+
+    /// Extend `self` so that `pattern` matched against `target` succeeds
+    /// (one-way matching: only variables of `pattern` are bound).  Returns
+    /// `false` and leaves `self` in an unspecified-but-valid state on
+    /// failure; callers that need backtracking should clone first (matching
+    /// is cheap: atom arities are small).
+    pub fn match_atom(&mut self, pattern: &Atom, target: &Atom) -> bool {
+        if pattern.pred != target.pred || pattern.terms.len() != target.terms.len() {
+            return false;
+        }
+        for (&pt, &tt) in pattern.terms.iter().zip(&target.terms) {
+            match pt {
+                Term::Const(c) => {
+                    if Term::Const(c) != tt {
+                        return false;
+                    }
+                }
+                Term::Var(v) => {
+                    if !self.try_bind(v, tt) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Match a pattern atom against a ground tuple of constants (a database
+    /// row for `pattern.pred`).
+    pub fn match_tuple(&mut self, pattern: &Atom, tuple: &[Constant]) -> bool {
+        if pattern.terms.len() != tuple.len() {
+            return false;
+        }
+        for (&pt, &c) in pattern.terms.iter().zip(tuple) {
+            match pt {
+                Term::Const(pc) => {
+                    if pc != c {
+                        return false;
+                    }
+                }
+                Term::Var(v) => {
+                    if !self.try_bind(v, Term::Const(c)) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Substitution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, t)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v} -> {t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for Substitution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl FromIterator<(Var, Term)> for Substitution {
+    fn from_iter<I: IntoIterator<Item = (Var, Term)>>(iter: I) -> Self {
+        Substitution {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_replaces_only_bound_variables() {
+        let mut s = Substitution::new();
+        s.bind_var(Var::new("X"), Term::Const(Constant::new("a")));
+        let a = Atom::app("e", ["X", "Y"]);
+        assert_eq!(s.apply_atom(&a).to_string(), "e(a, Y)");
+    }
+
+    #[test]
+    fn try_bind_rejects_conflicts() {
+        let mut s = Substitution::new();
+        assert!(s.try_bind(Var::new("X"), Term::Const(Constant::new("a"))));
+        assert!(s.try_bind(Var::new("X"), Term::Const(Constant::new("a"))));
+        assert!(!s.try_bind(Var::new("X"), Term::Const(Constant::new("b"))));
+    }
+
+    #[test]
+    fn match_atom_binds_pattern_variables() {
+        let mut s = Substitution::new();
+        let pattern = Atom::app("e", ["X", "X"]);
+        assert!(s.match_atom(&pattern, &Atom::app("e", ["a", "a"])));
+        assert_eq!(s.get(Var::new("X")), Some(Term::Const(Constant::new("a"))));
+
+        let mut s2 = Substitution::new();
+        assert!(!s2.match_atom(&pattern, &Atom::app("e", ["a", "b"])));
+    }
+
+    #[test]
+    fn match_atom_respects_predicate_and_arity() {
+        let mut s = Substitution::new();
+        assert!(!s.match_atom(&Atom::app("e", ["X"]), &Atom::app("f", ["a"])));
+        assert!(!s.match_atom(&Atom::app("e", ["X"]), &Atom::app("e", ["a", "b"])));
+    }
+
+    #[test]
+    fn match_tuple_matches_constants_and_variables() {
+        let mut s = Substitution::new();
+        let pattern = Atom::app("e", ["X", "b"]);
+        assert!(s.match_tuple(&pattern, &[Constant::new("a"), Constant::new("b")]));
+        assert!(!s.match_tuple(&Atom::app("e", ["X", "c"]), &[Constant::new("a"), Constant::new("b")]));
+    }
+
+    #[test]
+    fn compose_applies_left_then_right() {
+        let mut s1 = Substitution::new();
+        s1.bind_var(Var::new("X"), Term::Var(Var::new("Y")));
+        let mut s2 = Substitution::new();
+        s2.bind_var(Var::new("Y"), Term::Const(Constant::new("a")));
+        let c = s1.compose(&s2);
+        assert_eq!(c.apply_term(Term::Var(Var::new("X"))), Term::Const(Constant::new("a")));
+        assert_eq!(c.apply_term(Term::Var(Var::new("Y"))), Term::Const(Constant::new("a")));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut s = Substitution::new();
+        s.bind_var(Var::new("X"), Term::Const(Constant::new("a")));
+        assert_eq!(s.to_string(), "{X -> a}");
+    }
+}

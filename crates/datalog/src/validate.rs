@@ -1,0 +1,191 @@
+//! Program validation.
+//!
+//! The decision procedures assume well-formed inputs: consistent predicate
+//! arities, range-restricted (safe) rules, and — when two programs are
+//! compared — agreement on which predicates are extensional.  This module
+//! checks those conditions and reports every violation found.
+
+use std::collections::BTreeMap;
+
+use crate::atom::Pred;
+use crate::error::ValidationError;
+use crate::program::Program;
+
+/// Validation strictness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Safety {
+    /// Require every head variable to occur in the body (range restriction).
+    Strict,
+    /// Allow unsafe rules (e.g. `dist0(X, X) :-` from Example 6.2, which is
+    /// interpreted over the active domain).
+    AllowUnsafe,
+}
+
+/// Validate a single program.  Returns all problems found (empty vector =
+/// valid).
+pub fn validate(program: &Program, safety: Safety) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    check_arities(program, &mut errors);
+    if safety == Safety::Strict {
+        check_safety(program, &mut errors);
+    }
+    errors
+}
+
+/// Validate a program together with a goal predicate.
+pub fn validate_with_goal(
+    program: &Program,
+    goal: Pred,
+    safety: Safety,
+) -> Vec<ValidationError> {
+    let mut errors = validate(program, safety);
+    if !program.predicates().contains(&goal) {
+        errors.push(ValidationError::MissingGoal {
+            goal: goal.name().to_string(),
+        });
+    }
+    errors
+}
+
+/// Validate a pair of programs that are to be compared over a common EDB:
+/// both must be individually valid, and no predicate that is extensional in
+/// one may be defined (appear in a rule head) in the other *unless* it is
+/// the shared goal predicate.
+pub fn validate_pair(
+    left: &Program,
+    right: &Program,
+    goal: Pred,
+    safety: Safety,
+) -> Vec<ValidationError> {
+    let mut errors = validate_with_goal(left, goal, safety);
+    errors.extend(validate_with_goal(right, goal, safety));
+    for (a, b) in [(left, right), (right, left)] {
+        let a_edb = a.edb_predicates();
+        for pred in b.idb_predicates() {
+            if pred != goal && a_edb.contains(&pred) {
+                errors.push(ValidationError::EdbRedefined {
+                    pred: pred.name().to_string(),
+                });
+            }
+        }
+    }
+    errors
+}
+
+/// Require a program to be nonrecursive.
+pub fn require_nonrecursive(program: &Program) -> Result<(), ValidationError> {
+    if program.is_nonrecursive() {
+        Ok(())
+    } else {
+        Err(ValidationError::ExpectedNonrecursive)
+    }
+}
+
+fn check_arities(program: &Program, errors: &mut Vec<ValidationError>) {
+    let mut seen: BTreeMap<Pred, usize> = BTreeMap::new();
+    let mut check = |pred: Pred, arity: usize, errors: &mut Vec<ValidationError>| {
+        match seen.get(&pred) {
+            Some(&expected) if expected != arity => errors.push(ValidationError::ArityMismatch {
+                pred: pred.name().to_string(),
+                expected,
+                found: arity,
+            }),
+            Some(_) => {}
+            None => {
+                seen.insert(pred, arity);
+            }
+        }
+    };
+    for rule in program.rules() {
+        check(rule.head.pred, rule.head.arity(), errors);
+        for atom in &rule.body {
+            check(atom.pred, atom.arity(), errors);
+        }
+    }
+}
+
+fn check_safety(program: &Program, errors: &mut Vec<ValidationError>) {
+    for rule in program.rules() {
+        if rule.is_range_restricted() {
+            continue;
+        }
+        let body_vars: std::collections::BTreeSet<_> =
+            rule.body.iter().flat_map(|a| a.variables()).collect();
+        if let Some(v) = rule.head.variables().find(|v| !body_vars.contains(v)) {
+            errors.push(ValidationError::UnsafeRule {
+                rule: rule.to_string(),
+                variable: v.name().to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn valid_program_has_no_errors() {
+        let p = parse_program("p(X, Y) :- e(X, Z), p(Z, Y). p(X, Y) :- e(X, Y).").unwrap();
+        assert!(validate(&p, Safety::Strict).is_empty());
+    }
+
+    #[test]
+    fn arity_mismatch_is_detected() {
+        let p = parse_program("p(X) :- e(X, Y). q(X) :- e(X).").unwrap();
+        let errors = validate(&p, Safety::AllowUnsafe);
+        assert_eq!(errors.len(), 1);
+        assert!(matches!(errors[0], ValidationError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn unsafe_rule_is_detected_in_strict_mode_only() {
+        let p = parse_program("p(X, Y) :- e(X, X).").unwrap();
+        assert_eq!(validate(&p, Safety::Strict).len(), 1);
+        assert!(validate(&p, Safety::AllowUnsafe).is_empty());
+    }
+
+    #[test]
+    fn example_6_2_fact_rules_are_allowed_in_lenient_mode() {
+        let p = parse_program("dist0(X, X). dist0(X, Y) :- e(X, Y).").unwrap();
+        assert!(validate(&p, Safety::AllowUnsafe).is_empty());
+        assert_eq!(validate(&p, Safety::Strict).len(), 1);
+    }
+
+    #[test]
+    fn missing_goal_is_reported() {
+        let p = parse_program("p(X) :- e(X).").unwrap();
+        let errors = validate_with_goal(&p, Pred::new("q"), Safety::Strict);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::MissingGoal { .. })));
+        assert!(validate_with_goal(&p, Pred::new("p"), Safety::Strict).is_empty());
+    }
+
+    #[test]
+    fn pair_validation_rejects_edb_redefinition() {
+        // `likes` is EDB in the left program but defined in the right one.
+        let left = parse_program("buys(X, Y) :- likes(X, Y).").unwrap();
+        let right = parse_program("buys(X, Y) :- likes(X, Y). likes(X, Y) :- knows(X, Y).").unwrap();
+        let errors = validate_pair(&left, &right, Pred::new("buys"), Safety::Strict);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::EdbRedefined { .. })));
+    }
+
+    #[test]
+    fn pair_validation_accepts_shared_goal() {
+        let left = parse_program("buys(X, Y) :- likes(X, Y). buys(X, Y) :- trendy(X), buys(Z, Y).").unwrap();
+        let right = parse_program("buys(X, Y) :- likes(X, Y). buys(X, Y) :- trendy(X), likes(Z, Y).").unwrap();
+        assert!(validate_pair(&left, &right, Pred::new("buys"), Safety::Strict).is_empty());
+    }
+
+    #[test]
+    fn require_nonrecursive_distinguishes_programs() {
+        let rec = parse_program("p(X, Y) :- e(X, Z), p(Z, Y). p(X, Y) :- e(X, Y).").unwrap();
+        let nonrec = parse_program("q(X, Y) :- e(X, Y). r(X, Y) :- q(X, Z), q(Z, Y).").unwrap();
+        assert!(require_nonrecursive(&rec).is_err());
+        assert!(require_nonrecursive(&nonrec).is_ok());
+    }
+}

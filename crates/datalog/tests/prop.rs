@@ -1,0 +1,90 @@
+//! Property-based tests for the Datalog substrate: the printer/parser pair,
+//! the dependency-graph classification, and the two evaluation strategies
+//! are cross-checked on randomly generated programs and databases.
+
+use proptest::prelude::*;
+
+use datalog::atom::Pred;
+use datalog::generate::{
+    random_database, random_program, RandomDatabaseConfig, RandomProgramConfig,
+};
+use datalog::parser::parse_program;
+
+fn program_config() -> RandomProgramConfig {
+    RandomProgramConfig {
+        edb_predicates: 2,
+        idb_predicates: 2,
+        rules: 5,
+        max_body_atoms: 3,
+        max_variables: 4,
+        idb_probability: 0.4,
+    }
+}
+
+fn db_config() -> RandomDatabaseConfig {
+    RandomDatabaseConfig {
+        domain_size: 4,
+        relations: vec![("e0".into(), 2, 8), ("e1".into(), 2, 8)],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pretty-printing then re-parsing a program is the identity.
+    #[test]
+    fn printer_and_parser_round_trip(seed in 0u64..10_000) {
+        let program = random_program(&program_config(), seed);
+        let printed = program.to_string();
+        let reparsed = parse_program(&printed).expect("printed programs parse");
+        prop_assert_eq!(program, reparsed);
+    }
+
+    /// The dependency-graph classification is consistent: a program is
+    /// nonrecursive iff no predicate is recursive, and linearity implies
+    /// every rule has at most one recursive body atom.
+    #[test]
+    fn dependency_classification_is_consistent(seed in 0u64..10_000) {
+        let program = random_program(&program_config(), seed);
+        let graph = program.dependency_graph();
+        let any_recursive = program
+            .idb_predicates()
+            .into_iter()
+            .any(|p| graph.is_recursive_pred(p));
+        prop_assert_eq!(program.is_nonrecursive(), !any_recursive);
+        prop_assert_eq!(program.is_recursive(), any_recursive);
+        if program.is_linear() {
+            for rule in program.rules() {
+                let recursive_atoms = rule
+                    .body
+                    .iter()
+                    .filter(|a| graph.is_recursive_pred(a.pred)
+                        && graph.mutually_recursive(a.pred, rule.head_pred()))
+                    .count();
+                prop_assert!(recursive_atoms <= 1);
+            }
+        }
+    }
+
+    /// Evaluation is monotone in the database: adding facts never removes
+    /// derived answers.
+    #[test]
+    fn evaluation_is_monotone_in_the_database(seed in 0u64..5_000) {
+        let program = random_program(&program_config(), seed);
+        let goal = Pred::new("q0");
+        let small = random_database(&db_config(), seed);
+        let mut large = small.clone();
+        large.absorb(&random_database(&db_config(), seed.wrapping_add(99)));
+        let small_answers: std::collections::BTreeSet<_> = datalog::eval::evaluate(&program, &small)
+            .relation(goal)
+            .iter()
+            .cloned()
+            .collect();
+        let large_answers: std::collections::BTreeSet<_> = datalog::eval::evaluate(&program, &large)
+            .relation(goal)
+            .iter()
+            .cloned()
+            .collect();
+        prop_assert!(small_answers.is_subset(&large_answers));
+    }
+}

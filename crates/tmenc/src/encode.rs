@@ -1,0 +1,1021 @@
+//! The Section 5.3 lower-bound encoding: from a space-bounded Turing
+//! machine `M` and a parameter `n` to a *linear* Datalog program Π and a
+//! union of Boolean conjunctive queries Θ such that the expansions of Π
+//! encode candidate computations of `M` on a tape of `2^n` cells and the
+//! disjuncts of Θ detect every way such an encoding can fail to be an
+//! accepting computation.  Then `Π ⊆ Θ` iff `M` does not accept — the
+//! reduction behind the EXPSPACE/2EXPTIME-hardness of Theorem 5.15.
+//!
+//! Scope notes (recorded in DESIGN.md):
+//!
+//! * This module implements the deterministic variant (exponential-*space*
+//!   machines, i.e. the EXPSPACE-hardness track for linear programs).  The
+//!   paper's alternating extension — two extra arguments and a nonlinear
+//!   rule for universal configurations — lives in [`crate::encode_alt`].
+//! * The interior relation `R_M` and the boundary relations `R^l_M`,
+//!   `R^r_M` (transition constraints at the two tape ends) are all
+//!   generated ([`transition_queries`], [`boundary_queries`]).
+//! * Running the generated instances through the full containment decision
+//!   is infeasible by design (they are hardness gadgets); instead
+//!   [`trace_database`] materialises the computation encoding that an
+//!   expansion of Π represents, and the tests validate the two sides
+//!   directly on it: Π derives the goal on a well-formed accepting trace,
+//!   no error query fires on it, and corrupting the trace makes an error
+//!   query fire.
+
+use std::collections::BTreeSet;
+
+use cq::{ConjunctiveQuery, Ucq};
+use datalog::atom::{Atom, Fact, Pred};
+use datalog::database::Database;
+use datalog::program::Program;
+use datalog::rule::Rule;
+use datalog::term::{Constant, Term, Var};
+
+use crate::tm::{Configuration, TuringMachine};
+
+/// A generated lower-bound instance.
+pub struct Encoding {
+    /// The linear Datalog program Π with 0-ary goal `c`.
+    pub program: Program,
+    /// The union Θ of Boolean error-detection queries.
+    pub queries: Ucq,
+    /// The address width n (tape length is 2^n).
+    pub n: usize,
+}
+
+/// The goal predicate of every encoding.
+pub fn goal() -> Pred {
+    Pred::new("c")
+}
+
+fn bit_pred(i: usize) -> Pred {
+    Pred::new(&format!("bit{i}"))
+}
+
+fn a_pred(i: usize) -> Pred {
+    Pred::new(&format!("a{i}"))
+}
+
+fn sym_pred(symbol: &str) -> Pred {
+    Pred::new(&format!("sym_{symbol}"))
+}
+
+/// The name of a tape symbol: plain symbols keep their name, the composite
+/// symbol ⟨state, symbol⟩ becomes `head_{state}_{symbol}`.
+pub fn composite(state: &str, symbol: &str) -> String {
+    format!("head_{state}_{symbol}")
+}
+
+fn v(name: &str) -> Term {
+    Term::Var(Var::new(name))
+}
+
+/// All tape symbols of the encoding: the machine's symbols plus every
+/// composite ⟨state, symbol⟩ pair.
+pub fn alphabet(tm: &TuringMachine) -> Vec<String> {
+    let mut out: Vec<String> = tm.symbols.clone();
+    for state in &tm.states {
+        for symbol in &tm.symbols {
+            out.push(composite(state, symbol));
+        }
+    }
+    out
+}
+
+/// Generate the encoding for machine `tm` with address width `n ≥ 1`.
+pub fn encode_machine(tm: &TuringMachine, n: usize) -> Encoding {
+    assert!(n >= 1, "address width must be at least 1");
+    Encoding {
+        program: build_program(tm, n),
+        queries: build_queries(tm, n),
+        n,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The program Π.
+// ---------------------------------------------------------------------------
+
+fn build_program(tm: &TuringMachine, n: usize) -> Program {
+    let mut rules = Vec::new();
+    let bit_args = |z: &str| vec![v("X"), v("Y"), v(z), v("U"), v("V")];
+    // The four (address-bit, carry-bit) constant patterns: x encodes 0, y 1.
+    let patterns: [(&str, &str); 4] = [("X", "X"), ("X", "Y"), ("Y", "X"), ("Y", "Y")];
+
+    // Address rules for bits 1 .. n-1.
+    for i in 1..n {
+        for (addr, carry) in patterns {
+            rules.push(Rule::new(
+                Atom::new(bit_pred(i), bit_args("Z")),
+                vec![
+                    Atom::new(bit_pred(i + 1), bit_args("Zn")),
+                    Atom::new(
+                        a_pred(i),
+                        vec![v("X"), v("Y"), v(addr), v(carry), v("Z"), v("Zn"), v("U"), v("V")],
+                    ),
+                ],
+            ));
+        }
+    }
+
+    // Bit n rules: attach the symbol, then either continue within the
+    // configuration, jump to the next configuration, or stop (acceptance).
+    let accepting_symbols: BTreeSet<String> = tm
+        .accepting
+        .iter()
+        .flat_map(|state| tm.symbols.iter().map(move |s| composite(state, s)))
+        .collect();
+    for symbol in alphabet(tm) {
+        for (addr, carry) in patterns {
+            let a_atom = Atom::new(
+                a_pred(n),
+                vec![v("X"), v("Y"), v(addr), v(carry), v("Z"), v("Zn"), v("U"), v("V")],
+            );
+            let q_atom = Atom::new(sym_pred(&symbol), vec![v("Z")]);
+            // Within the same configuration.
+            rules.push(Rule::new(
+                Atom::new(bit_pred(n), bit_args("Z")),
+                vec![
+                    Atom::new(bit_pred(1), bit_args("Zn")),
+                    a_atom.clone(),
+                    q_atom.clone(),
+                ],
+            ));
+            // Transition to the next configuration: u migrates.
+            rules.push(Rule::new(
+                Atom::new(bit_pred(n), bit_args("Z")),
+                vec![
+                    Atom::new(
+                        bit_pred(1),
+                        vec![v("X"), v("Y"), v("Zn"), v("Un"), v("U")],
+                    ),
+                    a_atom.clone(),
+                    q_atom.clone(),
+                ],
+            ));
+            // End of the computation at an accepting composite symbol.
+            if accepting_symbols.contains(&symbol) {
+                rules.push(Rule::new(
+                    Atom::new(bit_pred(n), bit_args("Z")),
+                    vec![a_atom, q_atom],
+                ));
+            }
+        }
+    }
+
+    // Start rule.
+    rules.push(Rule::new(
+        Atom::new(goal(), vec![]),
+        vec![
+            Atom::new(bit_pred(1), bit_args("Z")),
+            Atom::new(Pred::new("start"), vec![v("Z")]),
+        ],
+    ));
+
+    Program::new(rules)
+}
+
+// ---------------------------------------------------------------------------
+// The error queries Θ.
+// ---------------------------------------------------------------------------
+
+/// Build one chain of `A_*` atoms.  `spec[k] = (bit_index, addr, carry)`
+/// where `addr`/`carry` are `None` (don't care: a fresh variable) or
+/// `Some(0 | 1)` (the constant-role variables X / Y).  Consecutive atoms are
+/// linked through the z-pointer variables `Z{offset+k}`.  All atoms share
+/// the configuration variables `cfg`.
+struct ChainBuilder {
+    atoms: Vec<Atom>,
+    fresh: usize,
+}
+
+impl ChainBuilder {
+    fn new() -> Self {
+        ChainBuilder {
+            atoms: Vec::new(),
+            fresh: 0,
+        }
+    }
+
+    fn fresh_var(&mut self, prefix: &str) -> Term {
+        self.fresh += 1;
+        v(&format!("{prefix}{}", self.fresh))
+    }
+
+    fn role(bit: Option<u8>) -> Term {
+        match bit {
+            Some(0) => v("X"),
+            Some(1) => v("Y"),
+            Some(_) => unreachable!("bits are 0 or 1"),
+            None => v("_dc"), // replaced by a fresh variable below
+        }
+    }
+
+    /// Append an `A_i` atom for z-points `z → zn` in configuration
+    /// `(u, vv)`, with the given address/carry constant roles.
+    fn push_a(
+        &mut self,
+        i: usize,
+        addr: Option<u8>,
+        carry: Option<u8>,
+        z: Term,
+        zn: Term,
+        u: Term,
+        vv: Term,
+    ) {
+        let addr_term = match addr {
+            None => self.fresh_var("D"),
+            some => Self::role(some),
+        };
+        let carry_term = match carry {
+            None => self.fresh_var("D"),
+            some => Self::role(some),
+        };
+        self.atoms.push(Atom::new(
+            a_pred(i),
+            vec![v("X"), v("Y"), addr_term, carry_term, z, zn, u, vv],
+        ));
+    }
+
+    fn push(&mut self, atom: Atom) {
+        self.atoms.push(atom);
+    }
+
+    fn into_query(self) -> ConjunctiveQuery {
+        ConjunctiveQuery::new(Atom::new(Pred::new("err"), vec![]), self.atoms)
+    }
+}
+
+fn build_queries(tm: &TuringMachine, n: usize) -> Ucq {
+    let mut queries = structural_queries(tm, n);
+    queries.extend(transition_queries(tm, n));
+    queries.extend(boundary_queries(tm, n));
+    Ucq::new(queries)
+}
+
+/// The error queries that do not depend on the transition relation: counter
+/// errors, configuration-boundary errors, and initial-configuration errors.
+/// Shared with the alternating encoding ([`crate::encode_alt`]), which
+/// appends its two extra configuration arguments as don't-cares.
+pub(crate) fn structural_queries(tm: &TuringMachine, n: usize) -> Vec<ConjunctiveQuery> {
+    let mut queries = Vec::new();
+    let z = |k: usize| v(&format!("Z{k}"));
+    let u = v("U");
+    let vv = v("V");
+
+    // (1) The first address is not 0…0: for each i, the i-th address bit of
+    // the position after `start` is 1.
+    for i in 1..=n {
+        let mut b = ChainBuilder::new();
+        b.push(Atom::new(Pred::new("start"), vec![z(1)]));
+        for k in 1..=i {
+            let addr = if k == i { Some(1) } else { None };
+            b.push_a(k, addr, None, z(k), z(k + 1), u.clone(), vv.clone());
+        }
+        queries.push(b.into_query());
+    }
+
+    // (2) The first carry bit of any position is 0.
+    {
+        let mut b = ChainBuilder::new();
+        b.push_a(1, None, Some(0), z(1), z(2), u.clone(), vv.clone());
+        queries.push(b.into_query());
+    }
+
+    // (3) Counter errors relating position k (address bits) to position k+1
+    // (carry and address bits).  Six patterns:
+    //   (prev addr_i, cur carry_i) ⇒ cur carry_{i+1} / cur addr_i.
+    // Encoded as: A_i atom of the previous position constrains addr_i; then
+    // the chain runs A_{i+1} … A_n (previous position) and A_1 … A_i
+    // (current position) to reach the current position's carry_i / addr_i,
+    // and one more atom A_{i+1} for carry_{i+1}.
+    //   error when:
+    //   a. prev addr_i = 1, cur carry_i = 1, cur carry_{i+1} = 0
+    //   b. prev addr_i = 0,                  cur carry_{i+1} = 1
+    //   c.                  cur carry_i = 0, cur carry_{i+1} = 1
+    //   d. prev addr_i = 0, cur carry_i = 0, cur addr_i = 1
+    //   e. prev addr_i = 1, cur carry_i = 1, cur addr_i = 1
+    //   f. prev addr_i = 1, cur carry_i = 0, cur addr_i = 0
+    //   g. prev addr_i = 0, cur carry_i = 1, cur addr_i = 0
+    #[allow(clippy::type_complexity)]
+    let patterns: Vec<(Option<u8>, Option<u8>, Option<u8>, Option<u8>)> = vec![
+        // (prev addr_i, cur carry_i, cur carry_{i+1}, cur addr_i)
+        (Some(1), Some(1), Some(0), None),
+        (Some(0), None, Some(1), None),
+        (None, Some(0), Some(1), None),
+        (Some(0), Some(0), None, Some(1)),
+        (Some(1), Some(1), None, Some(1)),
+        (Some(1), Some(0), None, Some(0)),
+        (Some(0), Some(1), None, Some(0)),
+    ];
+    for i in 1..n {
+        for &(prev_addr, cur_carry, cur_carry_next, cur_addr) in &patterns {
+            let mut b = ChainBuilder::new();
+            // Previous position: bits i … n.
+            b.push_a(i, prev_addr, None, z(1), z(2), u.clone(), vv.clone());
+            let mut k = 2;
+            for bit in i + 1..=n {
+                b.push_a(bit, None, None, z(k), z(k + 1), u.clone(), vv.clone());
+                k += 1;
+            }
+            // Current position: bits 1 … i, then i+1.  The configuration
+            // variables are left unconstrained (fresh) because the counter
+            // runs across configuration boundaries.
+            let u2 = v("U2");
+            let v2 = v("V2");
+            for bit in 1..=i {
+                let (addr, carry) = if bit == i {
+                    (cur_addr, cur_carry)
+                } else {
+                    (None, None)
+                };
+                b.push_a(bit, addr, carry, z(k), z(k + 1), u2.clone(), v2.clone());
+                k += 1;
+            }
+            if cur_carry_next.is_some() {
+                b.push_a(i + 1, None, cur_carry_next, z(k), z(k + 1), u2.clone(), v2.clone());
+            }
+            queries.push(b.into_query());
+        }
+    }
+
+    // (4) Configuration-change errors.
+    // 4a: a configuration change although some address bit is 0.
+    for i in 1..=n {
+        let mut b = ChainBuilder::new();
+        let mut k = 1;
+        b.push_a(i, Some(0), None, z(k), z(k + 1), u.clone(), vv.clone());
+        k += 1;
+        for bit in i + 1..=n {
+            b.push_a(bit, None, None, z(k), z(k + 1), u.clone(), vv.clone());
+            k += 1;
+        }
+        // Next position opens a new configuration: its pair is (U2, U).
+        b.push_a(1, None, None, z(k), z(k + 1), v("U2"), u.clone());
+        queries.push(b.into_query());
+    }
+    // 4b: no configuration change although the address is 1…1.
+    {
+        let mut b = ChainBuilder::new();
+        let mut k = 1;
+        for bit in 1..=n {
+            b.push_a(bit, Some(1), None, z(k), z(k + 1), u.clone(), vv.clone());
+            k += 1;
+        }
+        b.push_a(1, None, None, z(k), z(k + 1), u.clone(), vv.clone());
+        queries.push(b.into_query());
+    }
+
+    // (5) Initial-configuration errors.
+    let initial_head = composite(&tm.initial, &tm.blank);
+    // 5a: the first symbol is not ⟨initial state, blank⟩.
+    for symbol in alphabet(tm) {
+        if symbol == initial_head {
+            continue;
+        }
+        let mut b = ChainBuilder::new();
+        b.push(Atom::new(Pred::new("start"), vec![z(1)]));
+        for bit in 1..=n {
+            b.push_a(bit, None, None, z(bit), z(bit + 1), u.clone(), vv.clone());
+        }
+        b.push(Atom::new(sym_pred(&symbol), vec![z(n)]));
+        queries.push(b.into_query());
+    }
+    // 5b: a later cell of the first configuration is not blank.
+    for symbol in alphabet(tm) {
+        if symbol == tm.blank {
+            continue;
+        }
+        for i in 1..=n {
+            let mut b = ChainBuilder::new();
+            b.push(Atom::new(Pred::new("start"), vec![z(1)]));
+            // Anchor the configuration: the start point belongs to (U, V).
+            b.push_a(1, None, None, z(1), z(2), u.clone(), vv.clone());
+            // Somewhere in the same configuration, a position whose i-th
+            // address bit is 1 carries a non-blank symbol.
+            let w = |k: usize| v(&format!("W{k}"));
+            b.push_a(i, Some(1), None, w(i), w(i + 1), u.clone(), vv.clone());
+            for bit in i + 1..=n {
+                b.push_a(bit, None, None, w(bit), w(bit + 1), u.clone(), vv.clone());
+            }
+            b.push(Atom::new(sym_pred(&symbol), vec![w(n)]));
+            queries.push(b.into_query());
+        }
+    }
+
+    queries
+}
+
+/// (6) Transition errors: three consecutive cells a, b, c of one
+/// configuration and the cell d at the same address in the next
+/// configuration, with (a, b, c, d) not allowed by the machine.
+pub(crate) fn transition_queries(tm: &TuringMachine, n: usize) -> Vec<ConjunctiveQuery> {
+    let mut queries = Vec::new();
+    let symbols = alphabet(tm);
+    for a in &symbols {
+        for bsym in &symbols {
+            for c in &symbols {
+                let allowed = allowed_successors(tm, a, bsym, c);
+                for d in &symbols {
+                    if allowed.contains(d) {
+                        continue;
+                    }
+                    queries.push(transition_error_query(n, a, bsym, c, d));
+                }
+            }
+        }
+    }
+    queries
+}
+
+/// The query detecting symbols `a b c → d` at corresponding positions of
+/// consecutive configurations when `(a, b, c, d) ∉ R_M`.
+fn transition_error_query(n: usize, a: &str, b_sym: &str, c: &str, d: &str) -> ConjunctiveQuery {
+    let mut b = ChainBuilder::new();
+    let z = |k: usize| v(&format!("Z{k}"));
+    let u = v("U");
+    let vv = v("V");
+    // Shared address variables for the middle cell (block 2) and the next
+    // configuration's cell (block 4).
+    let s = |k: usize| v(&format!("S{k}"));
+
+    // Block 1: cell with symbol a.
+    let mut k = 1;
+    for bit in 1..=n {
+        b.push_a(bit, None, None, z(k), z(k + 1), u.clone(), vv.clone());
+        if bit == n {
+            b.push(Atom::new(sym_pred(a), vec![z(k)]));
+        }
+        k += 1;
+    }
+    // Block 2: cell with symbol b — its address bits are the shared S vars.
+    for bit in 1..=n {
+        let addr = s(bit);
+        let carry = b.fresh_var("D");
+        b.push(Atom::new(
+            a_pred(bit),
+            vec![v("X"), v("Y"), addr, carry, z(k), z(k + 1), u.clone(), vv.clone()],
+        ));
+        if bit == n {
+            b.push(Atom::new(sym_pred(b_sym), vec![z(k)]));
+        }
+        k += 1;
+    }
+    // Block 3: cell with symbol c.
+    for bit in 1..=n {
+        b.push_a(bit, None, None, z(k), z(k + 1), u.clone(), vv.clone());
+        if bit == n {
+            b.push(Atom::new(sym_pred(c), vec![z(k)]));
+        }
+        k += 1;
+    }
+    // Block 4: the cell with the same address in the next configuration
+    // (configuration pair (U2, U)), with symbol d.
+    let u2 = v("U2");
+    let w = |k: usize| v(&format!("W{k}"));
+    for bit in 1..=n {
+        let addr = s(bit);
+        let carry = b.fresh_var("D");
+        b.push(Atom::new(
+            a_pred(bit),
+            vec![v("X"), v("Y"), addr, carry, w(bit), w(bit + 1), u2.clone(), u.clone()],
+        ));
+        if bit == n {
+            b.push(Atom::new(sym_pred(d), vec![w(bit)]));
+        }
+    }
+    b.into_query()
+}
+
+/// (7) Boundary transition errors: the leftmost and rightmost tape cells
+/// have only one neighbour, so they are constrained by the ternary
+/// relations `R^l_M` and `R^r_M` instead of `R_M`.  The leftmost cell of a
+/// configuration is recognised by its all-zero address (every `A_i` atom
+/// carries the 0-role variable in its address argument), the rightmost cell
+/// by its all-one address.
+pub(crate) fn boundary_queries(tm: &TuringMachine, n: usize) -> Vec<ConjunctiveQuery> {
+    let mut queries = Vec::new();
+    let symbols = alphabet(tm);
+
+    // Left boundary: cells 0 and 1 of one configuration and cell 0 of the
+    // next configuration.
+    for b in &symbols {
+        for c in &symbols {
+            let allowed = allowed_left_successors(tm, b, c);
+            for d in &symbols {
+                if allowed.contains(d) {
+                    continue;
+                }
+                let mut builder = ChainBuilder::new();
+                let z = |k: usize| v(&format!("Z{k}"));
+                let w = |k: usize| v(&format!("W{k}"));
+                let u = v("U");
+                let vv = v("V");
+                let u2 = v("U2");
+                // Cell 0 of the current configuration (all address bits 0).
+                let mut k = 1;
+                for bit in 1..=n {
+                    builder.push_a(bit, Some(0), None, z(k), z(k + 1), u.clone(), vv.clone());
+                    if bit == n {
+                        builder.push(Atom::new(sym_pred(b), vec![z(k)]));
+                    }
+                    k += 1;
+                }
+                // Cell 1 of the current configuration (the next cell on the
+                // chain; its address needs no constraint).
+                for bit in 1..=n {
+                    builder.push_a(bit, None, None, z(k), z(k + 1), u.clone(), vv.clone());
+                    if bit == n {
+                        builder.push(Atom::new(sym_pred(c), vec![z(k)]));
+                    }
+                    k += 1;
+                }
+                // Cell 0 of the next configuration (all address bits 0,
+                // configuration pair (U2, U)).
+                for bit in 1..=n {
+                    builder.push_a(bit, Some(0), None, w(bit), w(bit + 1), u2.clone(), u.clone());
+                    if bit == n {
+                        builder.push(Atom::new(sym_pred(d), vec![w(bit)]));
+                    }
+                }
+                queries.push(builder.into_query());
+            }
+        }
+    }
+
+    // Right boundary: the last two cells of one configuration and the last
+    // cell of the next configuration.
+    for a in &symbols {
+        for b in &symbols {
+            let allowed = allowed_right_successors(tm, a, b);
+            for d in &symbols {
+                if allowed.contains(d) {
+                    continue;
+                }
+                let mut builder = ChainBuilder::new();
+                let z = |k: usize| v(&format!("Z{k}"));
+                let w = |k: usize| v(&format!("W{k}"));
+                let u = v("U");
+                let vv = v("V");
+                let u2 = v("U2");
+                // The cell before the last one (no address constraint).
+                let mut k = 1;
+                for bit in 1..=n {
+                    builder.push_a(bit, None, None, z(k), z(k + 1), u.clone(), vv.clone());
+                    if bit == n {
+                        builder.push(Atom::new(sym_pred(a), vec![z(k)]));
+                    }
+                    k += 1;
+                }
+                // The last cell of the current configuration (all address
+                // bits 1).
+                for bit in 1..=n {
+                    builder.push_a(bit, Some(1), None, z(k), z(k + 1), u.clone(), vv.clone());
+                    if bit == n {
+                        builder.push(Atom::new(sym_pred(b), vec![z(k)]));
+                    }
+                    k += 1;
+                }
+                // The last cell of the next configuration (all address bits
+                // 1, configuration pair (U2, U)).
+                for bit in 1..=n {
+                    builder.push_a(bit, Some(1), None, w(bit), w(bit + 1), u2.clone(), u.clone());
+                    if bit == n {
+                        builder.push(Atom::new(sym_pred(d), vec![w(bit)]));
+                    }
+                }
+                queries.push(builder.into_query());
+            }
+        }
+    }
+
+    queries
+}
+
+/// The relation `R^l_M`: the symbols allowed at the leftmost cell of the
+/// next configuration, given the two leftmost symbols `b c` of the current
+/// one.
+pub fn allowed_left_successors(tm: &TuringMachine, b: &str, c: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let b_head = parse_composite(tm, b);
+    let c_head = parse_composite(tm, c);
+    if b_head.is_some() && c_head.is_some() {
+        return out; // malformed: two heads
+    }
+    if let Some((state, read)) = b_head {
+        if let Some(t) = tm.transition(&state, &read) {
+            match t.movement {
+                0 => {
+                    out.insert(composite(&t.next_state, &t.write));
+                }
+                1 => {
+                    out.insert(t.write.clone());
+                }
+                _ => {} // the head would fall off the left end: no successor
+            }
+        }
+        return out;
+    }
+    if let Some((state, read)) = c_head {
+        if let Some(t) = tm.transition(&state, &read) {
+            if t.movement == -1 {
+                out.insert(composite(&t.next_state, b));
+            } else {
+                out.insert(b.to_string());
+            }
+        }
+        return out;
+    }
+    out.insert(b.to_string());
+    out
+}
+
+/// The relation `R^r_M`: the symbols allowed at the rightmost cell of the
+/// next configuration, given the two rightmost symbols `a b` of the current
+/// one.
+pub fn allowed_right_successors(tm: &TuringMachine, a: &str, b: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let a_head = parse_composite(tm, a);
+    let b_head = parse_composite(tm, b);
+    if a_head.is_some() && b_head.is_some() {
+        return out; // malformed: two heads
+    }
+    if let Some((state, read)) = b_head {
+        if let Some(t) = tm.transition(&state, &read) {
+            match t.movement {
+                0 => {
+                    out.insert(composite(&t.next_state, &t.write));
+                }
+                -1 => {
+                    out.insert(t.write.clone());
+                }
+                _ => {} // the head would fall off the right end: no successor
+            }
+        }
+        return out;
+    }
+    if let Some((state, read)) = a_head {
+        if let Some(t) = tm.transition(&state, &read) {
+            if t.movement == 1 {
+                out.insert(composite(&t.next_state, b));
+            } else {
+                out.insert(b.to_string());
+            }
+        }
+        return out;
+    }
+    out.insert(b.to_string());
+    out
+}
+
+/// Split a composite symbol ⟨state, symbol⟩ back into its parts; `None` for
+/// plain tape symbols.
+fn parse_composite(tm: &TuringMachine, s: &str) -> Option<(String, String)> {
+    for state in &tm.states {
+        for symbol in &tm.symbols {
+            if s == composite(state, symbol) {
+                return Some((state.clone(), symbol.clone()));
+            }
+        }
+    }
+    None
+}
+
+/// The set of symbols allowed at the middle position of the next
+/// configuration given three consecutive symbols `a b c` of the current one
+/// (the relation `R_M`).
+pub fn allowed_successors(tm: &TuringMachine, a: &str, b: &str, c: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let parse_composite = |s: &str| -> Option<(String, String)> {
+        for state in &tm.states {
+            for symbol in &tm.symbols {
+                if s == composite(state, symbol) {
+                    return Some((state.clone(), symbol.clone()));
+                }
+            }
+        }
+        None
+    };
+    let a_head = parse_composite(a);
+    let b_head = parse_composite(b);
+    let c_head = parse_composite(c);
+
+    // At most one of three adjacent cells can hold the head; encodings with
+    // several heads are malformed and have no allowed successor (any d is an
+    // error, which is what we want).
+    let heads = [a_head.is_some(), b_head.is_some(), c_head.is_some()]
+        .iter()
+        .filter(|&&h| h)
+        .count();
+    if heads > 1 {
+        return out;
+    }
+
+    if let Some((state, read)) = b_head {
+        // The head is on the middle cell.
+        if let Some(t) = tm.transition(&state, &read) {
+            if t.movement == 0 {
+                out.insert(composite(&t.next_state, &t.write));
+            } else {
+                out.insert(t.write.clone());
+            }
+        }
+        // No transition: a halting configuration has no successor, so no d
+        // is allowed.
+        return out;
+    }
+    if let Some((state, read)) = a_head {
+        // Head on the left neighbour: it affects the middle cell only if it
+        // moves right onto it.
+        if let Some(t) = tm.transition(&state, &read) {
+            if t.movement == 1 {
+                out.insert(composite(&t.next_state, b));
+            } else {
+                out.insert(b.to_string());
+            }
+        }
+        return out;
+    }
+    if let Some((state, read)) = c_head {
+        // Head on the right neighbour: it affects the middle cell only if it
+        // moves left onto it.
+        if let Some(t) = tm.transition(&state, &read) {
+            if t.movement == -1 {
+                out.insert(composite(&t.next_state, b));
+            } else {
+                out.insert(b.to_string());
+            }
+        }
+        return out;
+    }
+    // No head nearby: the cell is unchanged.
+    out.insert(b.to_string());
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Trace databases: the computation encodings that expansions of Π stand for.
+// ---------------------------------------------------------------------------
+
+/// Encode the configurations of `trace` (each of length `2^n`) as a
+/// database over the encoding's EDB vocabulary.  The database is exactly
+/// the canonical database of the expansion of Π that walks through the
+/// trace, so:
+///
+/// * Π derives the goal `c` on it iff the trace ends in an accepting
+///   configuration, and
+/// * an error query of Θ holds on it iff the trace is not a legal
+///   computation prefix.
+pub fn trace_database(tm: &TuringMachine, n: usize, trace: &[Configuration]) -> Database {
+    let tape_len = 1usize << n;
+    debug_assert!(
+        trace
+            .iter()
+            .flat_map(|c| c.tape.iter())
+            .all(|s| tm.symbols.contains(s)),
+        "trace uses symbols unknown to the machine"
+    );
+    let mut db = Database::new();
+    let constant = |name: String| Constant::new(&name);
+    let x0 = constant("k0".to_string());
+    let y1 = constant("k1".to_string());
+    let role = |bit: u8| if bit == 0 { x0 } else { y1 };
+
+    let point = |index: usize| constant(format!("pt{index}"));
+    let cfg_u = |c: usize| constant(format!("u{c}"));
+    let cfg_v = |c: usize| {
+        if c == 0 {
+            constant("v0".to_string())
+        } else {
+            cfg_u(c - 1)
+        }
+    };
+
+    db.insert(Fact::new(Pred::new("start"), vec![point(0)]));
+
+    let mut global = 0usize; // index of the current z-point
+    for (cfg_index, config) in trace.iter().enumerate() {
+        assert_eq!(config.tape.len(), tape_len, "configuration width mismatch");
+        for position in 0..tape_len {
+            // Carry bits of this position (relating it to the previous one).
+            let prev = if global == 0 {
+                tape_len - 1 // pretend the counter wrapped; nothing checks it
+            } else {
+                (position + tape_len - 1) % tape_len
+            };
+            let mut carry = vec![0u8; n + 2];
+            carry[1] = 1;
+            for i in 1..=n {
+                let prev_addr_bit = ((prev >> (i - 1)) & 1) as u8;
+                carry[i + 1] = prev_addr_bit & carry[i];
+            }
+            for i in 1..=n {
+                let addr_bit = ((position >> (i - 1)) & 1) as u8;
+                db.insert(Fact::new(
+                    a_pred(i),
+                    vec![
+                        x0,
+                        y1,
+                        role(addr_bit),
+                        role(carry[i]),
+                        point(global),
+                        point(global + 1),
+                        cfg_u(cfg_index),
+                        cfg_v(cfg_index),
+                    ],
+                ));
+                if i == n {
+                    // Attach the cell's symbol to the bit-n point.
+                    let symbol = if position == config.head {
+                        composite(&config.state, &config.tape[position])
+                    } else {
+                        config.tape[position].clone()
+                    };
+                    db.insert(Fact::new(sym_pred(&symbol), vec![point(global)]));
+                }
+                global += 1;
+            }
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tm::{never_accepting_machine, trivially_accepting_machine};
+    use cq::eval::evaluate_ucq;
+    use datalog::eval::evaluate;
+
+    #[test]
+    fn program_shape_matches_the_paper() {
+        let tm = trivially_accepting_machine();
+        let enc = encode_machine(&tm, 2);
+        assert!(enc.program.is_recursive());
+        assert!(enc.program.is_linear(), "the §5.3 encoding is linear");
+        // Goal is 0-ary and EDB predicates are the A_i, symbol and start
+        // predicates.
+        assert_eq!(enc.program.arity_of(goal()), Some(0));
+        assert!(enc.program.edb_predicates().contains(&Pred::new("start")));
+        assert!(enc.program.edb_predicates().contains(&a_pred(1)));
+        // IDB: c plus bit1..bitn.
+        assert_eq!(enc.program.idb_predicates().len(), 1 + 2);
+    }
+
+    #[test]
+    fn query_count_has_the_expected_growth_in_n() {
+        let tm = trivially_accepting_machine();
+        let q2 = encode_machine(&tm, 2).queries.len();
+        let q4 = encode_machine(&tm, 4).queries.len();
+        // Counter and configuration queries grow linearly with n; the
+        // transition-error block is independent of n.
+        assert!(q4 > q2);
+        assert!(q4 - q2 <= 2 * (7 + 1 + 1 + alphabet(&tm).len()) + 10);
+        // All queries are Boolean.
+        assert!(encode_machine(&tm, 2)
+            .queries
+            .disjuncts
+            .iter()
+            .all(|d| d.is_boolean()));
+    }
+
+    #[test]
+    fn accepting_trace_derives_the_goal_and_triggers_no_error() {
+        let tm = trivially_accepting_machine();
+        let n = 1; // tape of 2 cells
+        let enc = encode_machine(&tm, n);
+        let trace = tm.trace_empty_tape(1 << n, 16);
+        assert!(tm.accepting.contains(&trace.last().unwrap().state));
+        let db = trace_database(&tm, n, &trace);
+
+        // Π derives the goal on the encoded accepting computation.
+        let eval = evaluate(&enc.program, &db);
+        assert!(
+            !eval.relation(goal()).is_empty(),
+            "Π must derive `c` on an accepting trace database"
+        );
+        // No error query fires: the trace is a legal accepting computation.
+        let errors = evaluate_ucq(&enc.queries, &db);
+        assert!(
+            errors.is_empty(),
+            "no disjunct of Θ may hold on a legal accepting computation"
+        );
+    }
+
+    #[test]
+    fn corrupting_a_boundary_cell_triggers_a_boundary_query() {
+        // With a 2-cell tape (n = 1) no cell has two neighbours, so only the
+        // boundary relations R^l / R^r constrain the computation.
+        let tm = trivially_accepting_machine();
+        let n = 1;
+        let enc = encode_machine(&tm, n);
+        let mut trace = tm.trace_empty_tape(1 << n, 16);
+        // Cell 0 of the second configuration should hold the written mark;
+        // pretend it was erased.
+        trace[1].tape[0] = "blank".to_string();
+        let db = trace_database(&tm, n, &trace);
+        let errors = evaluate_ucq(&enc.queries, &db);
+        assert!(
+            !errors.is_empty(),
+            "a corrupted left-boundary cell must be caught by a boundary query"
+        );
+        // The uncorrupted trace stays clean.
+        let clean = trace_database(&tm, n, &tm.trace_empty_tape(1 << n, 16));
+        assert!(evaluate_ucq(&enc.queries, &clean).is_empty());
+    }
+
+    #[test]
+    fn boundary_relations_follow_the_transition_tables() {
+        let tm = trivially_accepting_machine();
+        let head = composite("start", "blank");
+        // Head on the leftmost cell, moving right: the cell keeps the
+        // written symbol.
+        assert_eq!(
+            allowed_left_successors(&tm, &head, "blank"),
+            BTreeSet::from(["mark".to_string()])
+        );
+        // Head next to the leftmost cell, not moving onto it: unchanged.
+        assert_eq!(
+            allowed_left_successors(&tm, "blank", &head),
+            BTreeSet::from(["blank".to_string()])
+        );
+        // No head nearby: unchanged.
+        assert_eq!(
+            allowed_right_successors(&tm, "blank", "mark"),
+            BTreeSet::from(["mark".to_string()])
+        );
+        // Head on the rightmost cell moving right: it falls off the tape, so
+        // the configuration has no successor at all.
+        assert!(allowed_right_successors(&tm, "blank", &head).is_empty());
+        // Two heads: malformed.
+        assert!(allowed_left_successors(&tm, &head, &head).is_empty());
+    }
+
+    #[test]
+    fn corrupting_a_symbol_triggers_an_error_query() {
+        // Use n = 2 (tape of 4 cells) so the corrupted cell is an interior
+        // cell exercising the interior relation R_M.
+        let tm = trivially_accepting_machine();
+        let n = 2;
+        let enc = encode_machine(&tm, n);
+        let mut trace = tm.trace_empty_tape(1 << n, 16);
+        // Cell 2 of the second configuration should still be blank (the
+        // head never visited it); pretend a mark appeared out of nowhere.
+        trace[1].tape[2] = "mark".to_string();
+        let db = trace_database(&tm, n, &trace);
+        let errors = evaluate_ucq(&enc.queries, &db);
+        assert!(
+            !errors.is_empty(),
+            "a corrupted transition must be caught by some error query"
+        );
+        // The uncorrupted trace, for contrast, triggers nothing.
+        let clean = trace_database(&tm, n, &tm.trace_empty_tape(1 << n, 16));
+        assert!(evaluate_ucq(&enc.queries, &clean).is_empty());
+    }
+
+    #[test]
+    fn non_accepting_machine_trace_does_not_derive_the_goal() {
+        let tm = never_accepting_machine();
+        let n = 1;
+        let enc = encode_machine(&tm, n);
+        let trace = tm.trace_empty_tape(1 << n, 4);
+        let db = trace_database(&tm, n, &trace);
+        let eval = evaluate(&enc.program, &db);
+        assert!(
+            eval.relation(goal()).is_empty(),
+            "without an accepting configuration the end rule never fires"
+        );
+    }
+
+    #[test]
+    fn initial_configuration_errors_catch_a_wrong_first_symbol() {
+        let tm = trivially_accepting_machine();
+        let n = 1;
+        let enc = encode_machine(&tm, n);
+        let mut trace = tm.trace_empty_tape(1 << n, 16);
+        // Pretend the first configuration already has the mark written.
+        trace[0].tape[1] = "mark".to_string();
+        let db = trace_database(&tm, n, &trace);
+        let errors = evaluate_ucq(&enc.queries, &db);
+        assert!(!errors.is_empty());
+    }
+
+    #[test]
+    fn allowed_successors_follow_the_transition_relation() {
+        let tm = trivially_accepting_machine();
+        let head = composite("start", "blank");
+        // Head on the middle cell, moving right: the cell keeps the written
+        // symbol.
+        let after = allowed_successors(&tm, "blank", &head, "blank");
+        assert_eq!(after, BTreeSet::from(["mark".to_string()]));
+        // Head on the left cell moving right onto the middle cell.
+        let after = allowed_successors(&tm, &head, "blank", "blank");
+        assert_eq!(after, BTreeSet::from([composite("done", "blank")]));
+        // No head nearby: unchanged.
+        let after = allowed_successors(&tm, "blank", "mark", "blank");
+        assert_eq!(after, BTreeSet::from(["mark".to_string()]));
+        // Two heads: malformed, nothing allowed.
+        assert!(allowed_successors(&tm, &head, &head, "blank").is_empty());
+    }
+}

@@ -1,0 +1,627 @@
+//! The alternating extension of the Section 5.3 lower-bound encoding.
+//!
+//! The deterministic encoding ([`crate::encode`]) yields *linear* programs
+//! and EXPSPACE-hardness.  To reach the full 2EXPTIME lower bound of
+//! Theorem 5.15 the paper encodes **alternating** exponential-space
+//! machines: every configuration of the machine gets a *left* and a *right*
+//! successor, existential configurations require one of them to accept and
+//! universal configurations require both.  In the program this shows up as
+//!
+//! * two extra arguments on every `Bit_i` / `A_i` predicate — the pair
+//!   `(u, v)` linking successive configurations becomes a triple
+//!   `(u, v, w)` (left successors link through `v`, right successors
+//!   through `w`), and a final argument `t` marking the configuration as
+//!   existential (`x`) or universal (`y`);
+//! * a **nonlinear** rule for universal configurations whose body contains
+//!   *two* recursive `Bit_1` atoms, one per successor — this is the only
+//!   place where the encoding leaves the linear fragment.
+//!
+//! The error queries are the structural queries of the deterministic
+//! encoding (with the two extra arguments as don't-cares), per-successor
+//! transition-error queries (the left and right transition tables induce
+//! separate `R_M` relations), and the alternation-specific queries that
+//! catch configurations whose existential/universal marking contradicts
+//! the machine state written on the tape.
+//!
+//! Two deliberate deviations from the journal text (both recorded in
+//! DESIGN.md):
+//!
+//! 1. In the printed universal rule both recursive `Bit_1` atoms reuse the
+//!    same point variable `z'`; we give the two successor branches distinct
+//!    point variables (`Zl`, `Zr`), reading the reuse as a typographical
+//!    artefact.
+//! 2. The configuration-boundary queries (a change at an address that is
+//!    not `1…1`, no change at `1…1`) are included for boundaries that link
+//!    through the *left*-successor slot; the right-slot variants are
+//!    omitted.  The per-successor transition-error queries, which carry the
+//!    actual `R_M` relations, are generated for both slots.
+//!
+//! The tests validate the generated program on computation-*tree*
+//! databases built from [`crate::tm::ComputationTree`].
+
+use std::collections::BTreeSet;
+
+use cq::{ConjunctiveQuery, Ucq};
+use datalog::atom::{Atom, Fact, Pred};
+use datalog::database::Database;
+use datalog::program::Program;
+use datalog::rule::Rule;
+use datalog::term::{Constant, Term, Var};
+
+use crate::encode::{alphabet, composite, goal, structural_queries, transition_queries};
+use crate::tm::{AlternatingTuringMachine, ComputationTree, Mode, TuringMachine};
+
+/// A generated alternating lower-bound instance.
+pub struct AltEncoding {
+    /// The (nonlinear) Datalog program Π with 0-ary goal `c`.
+    pub program: Program,
+    /// The union Θ of Boolean error-detection queries.
+    pub queries: Ucq,
+    /// The address width n (tape length is 2^n).
+    pub n: usize,
+}
+
+fn bit_pred(i: usize) -> Pred {
+    Pred::new(&format!("bit{i}"))
+}
+
+fn a_pred(i: usize) -> Pred {
+    Pred::new(&format!("a{i}"))
+}
+
+fn sym_pred(symbol: &str) -> Pred {
+    Pred::new(&format!("sym_{symbol}"))
+}
+
+fn v(name: &str) -> Term {
+    Term::Var(Var::new(name))
+}
+
+/// The alphabet of the encoding: the machine's symbols plus every composite
+/// ⟨state, symbol⟩ pair.
+fn alt_alphabet(atm: &AlternatingTuringMachine) -> Vec<String> {
+    alphabet(&view_as_deterministic(atm, &atm.left))
+}
+
+/// A deterministic view of an alternating machine over one of its two
+/// transition tables, used to reuse the deterministic query builders.
+fn view_as_deterministic(
+    atm: &AlternatingTuringMachine,
+    table: &[crate::tm::TmTransition],
+) -> TuringMachine {
+    TuringMachine {
+        symbols: atm.symbols.clone(),
+        blank: atm.blank.clone(),
+        states: atm.states.clone(),
+        initial: atm.initial.clone(),
+        accepting: atm.accepting.clone(),
+        transitions: table.to_vec(),
+    }
+}
+
+/// Generate the alternating encoding for machine `atm` with address width
+/// `n ≥ 1`.
+pub fn encode_alternating(atm: &AlternatingTuringMachine, n: usize) -> AltEncoding {
+    assert!(n >= 1, "address width must be at least 1");
+    AltEncoding {
+        program: build_program(atm, n),
+        queries: build_queries(atm, n),
+        n,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The program Π.
+// ---------------------------------------------------------------------------
+
+fn build_program(atm: &AlternatingTuringMachine, n: usize) -> Program {
+    let mut rules = Vec::new();
+    // bit_i(x, y, z, u, v, w, t)
+    let bit = |i: usize, z: &str, u: &str, vv: &str, w: &str, t: &str| {
+        Atom::new(
+            bit_pred(i),
+            vec![v("X"), v("Y"), v(z), v(u), v(vv), v(w), v(t)],
+        )
+    };
+    // a_i(x, y, addr, carry, z, z', u, v, w, t)
+    let a_atom = |i: usize, addr: &str, carry: &str, z: &str, zn: &str, u: &str, vv: &str, w: &str, t: &str| {
+        Atom::new(
+            a_pred(i),
+            vec![
+                v("X"),
+                v("Y"),
+                v(addr),
+                v(carry),
+                v(z),
+                v(zn),
+                v(u),
+                v(vv),
+                v(w),
+                v(t),
+            ],
+        )
+    };
+    let patterns: [(&str, &str); 4] = [("X", "X"), ("X", "Y"), ("Y", "X"), ("Y", "Y")];
+
+    // Address rules for bits 1 .. n-1.
+    for i in 1..n {
+        for (addr, carry) in patterns {
+            rules.push(Rule::new(
+                bit(i, "Z", "U", "V", "W", "T"),
+                vec![
+                    bit(i + 1, "Zn", "U", "V", "W", "T"),
+                    a_atom(i, addr, carry, "Z", "Zn", "U", "V", "W", "T"),
+                ],
+            ));
+        }
+    }
+
+    // Bit n rules.
+    let accepting: BTreeSet<String> = atm
+        .accepting
+        .iter()
+        .flat_map(|state| atm.symbols.iter().map(move |s| composite(state, s)))
+        .collect();
+    for symbol in alt_alphabet(atm) {
+        let q_atom = Atom::new(sym_pred(&symbol), vec![v("Z")]);
+        for (addr, carry) in patterns {
+            // Within the same configuration (t persists).
+            rules.push(Rule::new(
+                bit(n, "Z", "U", "V", "W", "T"),
+                vec![
+                    bit(1, "Zn", "U", "V", "W", "T"),
+                    a_atom(n, addr, carry, "Z", "Zn", "U", "V", "W", "T"),
+                    q_atom.clone(),
+                ],
+            ));
+            // End of the computation at an accepting composite symbol.
+            if accepting.contains(&symbol) {
+                rules.push(Rule::new(
+                    bit(n, "Z", "U", "V", "W", "T"),
+                    vec![
+                        a_atom(n, addr, carry, "Z", "Zn", "U", "V", "W", "T"),
+                        q_atom.clone(),
+                    ],
+                ));
+            }
+            // Existential configurations (t = x): one successor, either left
+            // (u migrates to the v-slot) or right (u migrates to the w-slot);
+            // the successor is universal (t = y).
+            rules.push(Rule::new(
+                bit(n, "Z", "U", "V", "W", "X"),
+                vec![
+                    bit(1, "Zn", "Un", "U", "Wn", "Y"),
+                    a_atom(n, addr, carry, "Z", "Zn", "U", "V", "W", "X"),
+                    q_atom.clone(),
+                ],
+            ));
+            rules.push(Rule::new(
+                bit(n, "Z", "U", "V", "W", "X"),
+                vec![
+                    bit(1, "Zn", "Un", "Vn", "U", "Y"),
+                    a_atom(n, addr, carry, "Z", "Zn", "U", "V", "W", "X"),
+                    q_atom.clone(),
+                ],
+            ));
+            // Universal configurations (t = y): both successors, in one
+            // nonlinear rule; the successors are existential (t = x).
+            rules.push(Rule::new(
+                bit(n, "Z", "U", "V", "W", "Y"),
+                vec![
+                    bit(1, "Zl", "Ul", "U", "Wl", "X"),
+                    bit(1, "Zr", "Ur", "Vr", "U", "X"),
+                    a_atom(n, addr, carry, "Z", "Zl", "U", "V", "W", "Y"),
+                    q_atom.clone(),
+                ],
+            ));
+        }
+    }
+
+    // Start rule: the initial configuration is existential.
+    rules.push(Rule::new(
+        Atom::new(goal(), vec![]),
+        vec![
+            bit(1, "Z", "U", "V", "W", "X"),
+            Atom::new(Pred::new("start"), vec![v("Z")]),
+        ],
+    ));
+
+    Program::new(rules)
+}
+
+// ---------------------------------------------------------------------------
+// The error queries Θ.
+// ---------------------------------------------------------------------------
+
+/// Append `extra` fresh don't-care variables to every `a_i` atom of a
+/// deterministic-encoding query, so it ranges over the alternating
+/// vocabulary.
+fn widen_query(query: &ConjunctiveQuery, n: usize, fresh_prefix: &str) -> ConjunctiveQuery {
+    let a_preds: BTreeSet<Pred> = (1..=n).map(a_pred).collect();
+    let mut counter = 0usize;
+    let body = query
+        .body
+        .iter()
+        .map(|atom| {
+            if a_preds.contains(&atom.pred) {
+                let mut terms = atom.terms.clone();
+                counter += 1;
+                terms.push(v(&format!("{fresh_prefix}w{counter}")));
+                counter += 1;
+                terms.push(v(&format!("{fresh_prefix}t{counter}")));
+                Atom::new(atom.pred, terms)
+            } else {
+                atom.clone()
+            }
+        })
+        .collect();
+    ConjunctiveQuery::new(query.head.clone(), body)
+}
+
+fn build_queries(atm: &AlternatingTuringMachine, n: usize) -> Ucq {
+    let mut queries = Vec::new();
+    let left_view = view_as_deterministic(atm, &atm.left);
+    let right_view = view_as_deterministic(atm, &atm.right);
+
+    // Structural errors (counter, configuration boundaries, initial
+    // configuration) are independent of the transition tables; widen them to
+    // the 10-ary vocabulary.
+    for query in structural_queries(&left_view, n) {
+        queries.push(widen_query(&query, n, "s"));
+    }
+
+    // Mode-marking errors: a configuration whose existential/universal flag
+    // contradicts the machine state written on the tape.
+    for state in &atm.states {
+        for symbol in &atm.symbols {
+            let comp = composite(state, symbol);
+            // The flag value that would be *wrong* for this state.
+            let wrong_flag = match atm.mode(state) {
+                Mode::Universal => "X",    // universal state marked existential
+                Mode::Existential => "Y",  // existential state marked universal
+            };
+            let body = vec![
+                Atom::new(
+                    a_pred(n),
+                    vec![
+                        v("X"),
+                        v("Y"),
+                        v("D1"),
+                        v("D2"),
+                        v("Zn"),
+                        v("Zn1"),
+                        v("D3"),
+                        v("D4"),
+                        v("D5"),
+                        v(wrong_flag),
+                    ],
+                ),
+                Atom::new(sym_pred(&comp), vec![v("Zn")]),
+            ];
+            queries.push(ConjunctiveQuery::new(
+                Atom::new(Pred::new("err"), vec![]),
+                body,
+            ));
+        }
+    }
+
+    // Transition errors, separately for left successors (the successor
+    // configuration links through the v-slot: its pattern of configuration
+    // variables is (u', u, w')) and right successors (links through the
+    // w-slot: pattern (u', v', u)).
+    for (view, successor_slots) in [(&left_view, ("U2", "U", "W2")), (&right_view, ("U2", "V2", "U"))] {
+        for query in transition_queries(view, n) {
+            queries.push(retarget_successor(&query, n, successor_slots));
+        }
+    }
+
+    Ucq::new(queries)
+}
+
+/// Rewrite a deterministic transition-error query for the alternating
+/// vocabulary.  The deterministic query's last block of `A_i` atoms uses the
+/// configuration pair `(U2, U)`; in the alternating encoding the successor
+/// configuration's triple is given by `slots` and every other `A_i` atom
+/// gets don't-care `w`/`t` arguments.
+fn retarget_successor(
+    query: &ConjunctiveQuery,
+    n: usize,
+    slots: (&str, &str, &str),
+) -> ConjunctiveQuery {
+    let a_preds: BTreeSet<Pred> = (1..=n).map(a_pred).collect();
+    let successor_u2 = v("U2");
+    let mut counter = 0usize;
+    let body = query
+        .body
+        .iter()
+        .map(|atom| {
+            if !a_preds.contains(&atom.pred) {
+                return atom.clone();
+            }
+            let mut terms = atom.terms.clone();
+            // The deterministic builder marks the successor block by using
+            // `U2` in the seventh position (index 6) of its `A_i` atoms.
+            let is_successor = terms.get(6) == Some(&successor_u2);
+            if is_successor {
+                terms[6] = v(slots.0);
+                terms[7] = v(slots.1);
+                terms.push(v(slots.2));
+            } else {
+                counter += 1;
+                terms.push(v(&format!("aw{counter}")));
+            }
+            counter += 1;
+            terms.push(v(&format!("at{counter}")));
+            Atom::new(atom.pred, terms)
+        })
+        .collect();
+    ConjunctiveQuery::new(query.head.clone(), body)
+}
+
+// ---------------------------------------------------------------------------
+// Computation-tree databases.
+// ---------------------------------------------------------------------------
+
+/// Encode an accepting computation tree as a database over the alternating
+/// vocabulary, mirroring [`crate::encode::trace_database`] for trees: every
+/// tree node becomes one configuration block; a node's left child links
+/// through the `v`-slot and its right child through the `w`-slot; the
+/// existential/universal flag is taken from the machine state of the node's
+/// configuration.
+pub fn tree_database(
+    atm: &AlternatingTuringMachine,
+    n: usize,
+    tree: &ComputationTree,
+) -> Database {
+    let tape_len = 1usize << n;
+    let mut db = Database::new();
+    let constant = |name: String| Constant::new(&name);
+    let x0 = constant("k0".to_string());
+    let y1 = constant("k1".to_string());
+
+    // Flatten the tree, assigning configuration identifiers.
+    struct Ctx {
+        next_point: usize,
+        next_cfg: usize,
+    }
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        atm: &AlternatingTuringMachine,
+        db: &mut Database,
+        ctx: &mut Ctx,
+        node: &ComputationTree,
+        n: usize,
+        tape_len: usize,
+        parent_u: Constant,
+        link_left: bool,
+        x0: Constant,
+        y1: Constant,
+        is_root: bool,
+    ) {
+        let cfg = ctx.next_cfg;
+        ctx.next_cfg += 1;
+        let constant = |name: String| Constant::new(&name);
+        let point = |index: usize| constant(format!("pt{index}"));
+        let role = |bit: u8| if bit == 0 { x0 } else { y1 };
+        let cfg_u = constant(format!("u{cfg}"));
+        // The slot through which this configuration links to its parent.
+        let (cfg_v, cfg_w) = if link_left {
+            (parent_u, constant(format!("w{cfg}")))
+        } else {
+            (constant(format!("v{cfg}")), parent_u)
+        };
+        let flag = match atm.mode(&node.configuration.state) {
+            Mode::Existential => x0,
+            Mode::Universal => y1,
+        };
+        if is_root {
+            db.insert(Fact::new(Pred::new("start"), vec![point(ctx.next_point)]));
+        }
+        let config = &node.configuration;
+        assert_eq!(config.tape.len(), tape_len, "configuration width mismatch");
+        for position in 0..tape_len {
+            let prev = (position + tape_len - 1) % tape_len;
+            let mut carry = vec![0u8; n + 2];
+            carry[1] = 1;
+            for i in 1..=n {
+                let prev_addr_bit = ((prev >> (i - 1)) & 1) as u8;
+                carry[i + 1] = prev_addr_bit & carry[i];
+            }
+            for i in 1..=n {
+                let addr_bit = ((position >> (i - 1)) & 1) as u8;
+                db.insert(Fact::new(
+                    Pred::new(&format!("a{i}")),
+                    vec![
+                        x0,
+                        y1,
+                        role(addr_bit),
+                        role(carry[i]),
+                        point(ctx.next_point),
+                        point(ctx.next_point + 1),
+                        cfg_u,
+                        cfg_v,
+                        cfg_w,
+                        flag,
+                    ],
+                ));
+                if i == n {
+                    let symbol = if position == config.head {
+                        composite(&config.state, &config.tape[position])
+                    } else {
+                        config.tape[position].clone()
+                    };
+                    db.insert(Fact::new(
+                        Pred::new(&format!("sym_{symbol}")),
+                        vec![point(ctx.next_point)],
+                    ));
+                }
+                ctx.next_point += 1;
+            }
+        }
+        // Children: existential nodes have one child (treated as a left
+        // successor), universal nodes have a left and a right child.
+        for (index, child) in node.children.iter().enumerate() {
+            emit(
+                atm,
+                db,
+                ctx,
+                child,
+                n,
+                tape_len,
+                cfg_u,
+                index == 0,
+                x0,
+                y1,
+                false,
+            );
+        }
+    }
+
+    let mut ctx = Ctx {
+        next_point: 0,
+        next_cfg: 0,
+    };
+    // The root has no parent; use a dedicated constant for its v-slot.
+    let root_parent = constant("v_root".to_string());
+    emit(
+        atm,
+        &mut db,
+        &mut ctx,
+        tree,
+        n,
+        tape_len,
+        root_parent,
+        true,
+        x0,
+        y1,
+        true,
+    );
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tm::{alternating_accepting_machine, alternating_rejecting_machine};
+    use datalog::eval::evaluate;
+
+    #[test]
+    fn program_is_nonlinear_and_recursive() {
+        let atm = alternating_accepting_machine();
+        let enc = encode_alternating(&atm, 2);
+        assert!(enc.program.is_recursive());
+        assert!(
+            !enc.program.is_linear(),
+            "the universal rule makes the alternating encoding nonlinear"
+        );
+        assert_eq!(enc.program.arity_of(goal()), Some(0));
+        // Every bit predicate is 7-ary and every a predicate is 10-ary.
+        assert_eq!(enc.program.arity_of(bit_pred(1)), Some(7));
+        assert_eq!(enc.program.arity_of(bit_pred(2)), Some(7));
+        for i in 1..=2 {
+            assert_eq!(enc.program.arity_of(a_pred(i)), Some(10));
+        }
+    }
+
+    #[test]
+    fn queries_cover_structural_mode_and_both_successor_relations() {
+        let atm = alternating_accepting_machine();
+        let n = 2;
+        let enc = encode_alternating(&atm, n);
+        let det_structural =
+            structural_queries(&view_as_deterministic(&atm, &atm.left), n).len();
+        let left_transition = transition_queries(&view_as_deterministic(&atm, &atm.left), n).len();
+        let right_transition =
+            transition_queries(&view_as_deterministic(&atm, &atm.right), n).len();
+        let mode_queries = atm.states.len() * atm.symbols.len();
+        assert_eq!(
+            enc.queries.len(),
+            det_structural + left_transition + right_transition + mode_queries
+        );
+        assert!(enc.queries.disjuncts.iter().all(|d| d.is_boolean()));
+        // Every a_i atom in every query has the full 10-ary signature.
+        for query in &enc.queries.disjuncts {
+            for atom in &query.body {
+                if (1..=n).any(|i| atom.pred == a_pred(i)) {
+                    assert_eq!(atom.arity(), 10, "query atom not widened: {atom:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accepting_tree_database_derives_the_goal() {
+        let atm = alternating_accepting_machine();
+        let n = 2; // tape of 4 cells
+        let enc = encode_alternating(&atm, n);
+        let tree = atm
+            .accepting_tree(1 << n, 8)
+            .expect("the toy machine accepts");
+        let db = tree_database(&atm, n, &tree);
+        let result = evaluate(&enc.program, &db);
+        assert!(
+            !result.relation(goal()).is_empty(),
+            "Π must derive `c` on the encoding of an accepting computation tree"
+        );
+    }
+
+    #[test]
+    fn rejecting_machine_has_no_accepting_tree_to_encode() {
+        let atm = alternating_rejecting_machine();
+        assert!(atm.accepting_tree(2, 16).is_none());
+    }
+
+    #[test]
+    fn pruned_universal_branch_no_longer_derives_the_goal() {
+        // Encode an accepting tree but drop the right child of the universal
+        // node: the nonlinear rule then has no matching right successor, so
+        // the goal must no longer be derivable.
+        let atm = alternating_accepting_machine();
+        let n = 2;
+        let enc = encode_alternating(&atm, n);
+        let mut tree = atm.accepting_tree(1 << n, 8).unwrap();
+        assert_eq!(tree.children[0].children.len(), 2);
+        tree.children[0].children.truncate(1);
+        let db = tree_database(&atm, n, &tree);
+        let result = evaluate(&enc.program, &db);
+        assert!(
+            result.relation(goal()).is_empty(),
+            "a universal configuration with a single encoded successor must not accept"
+        );
+    }
+
+    #[test]
+    fn mode_marking_errors_fire_on_mislabelled_configurations() {
+        use cq::eval::evaluate_ucq;
+        let atm = alternating_accepting_machine();
+        let n = 2;
+        let enc = encode_alternating(&atm, n);
+        let tree = atm.accepting_tree(1 << n, 8).unwrap();
+        let db = tree_database(&atm, n, &tree);
+        // The faithful encoding triggers no mode-marking error: restrict the
+        // UCQ to the mode queries by filtering on body length 2.
+        let mode_queries: Ucq = Ucq::new(
+            enc.queries
+                .disjuncts
+                .iter()
+                .filter(|d| d.body.len() == 2)
+                .cloned()
+                .collect(),
+        );
+        assert!(evaluate_ucq(&mode_queries, &db).is_empty());
+        // Flip the mode flag of every a_i fact: now every configuration that
+        // carries a head symbol is mislabelled and some mode query fires.
+        let mut flipped = Database::new();
+        for fact in db.facts() {
+            let mut fact = fact;
+            if (1..=n).any(|i| fact.pred == a_pred(i)) {
+                let last = fact.tuple.len() - 1;
+                let k0 = Constant::new("k0");
+                let k1 = Constant::new("k1");
+                fact.tuple[last] = if fact.tuple[last] == k0 { k1 } else { k0 };
+            }
+            flipped.insert(fact);
+        }
+        assert!(!evaluate_ucq(&mode_queries, &flipped).is_empty());
+    }
+}

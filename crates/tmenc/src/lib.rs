@@ -1,0 +1,44 @@
+//! # tmenc
+//!
+//! Lower-bound gadgets: the reductions from space-bounded Turing-machine
+//! acceptance to Datalog containment used in Sections 5.3 and 6 of
+//! Chaudhuri & Vardi to prove 2EXPTIME- / EXPSPACE-hardness (Theorem 5.15)
+//! and 3EXPTIME- / 2EXPSPACE-hardness (Theorems 6.4, 6.5).
+//!
+//! * [`tm`] — small deterministic and alternating Turing-machine models with
+//!   space-bounded simulation (the explicit stand-ins for the paper's
+//!   asymptotic machines).
+//! * [`encode`] — the Section 5.3 encoding: machine + address width `n` ↦
+//!   linear program Π and union of Boolean error queries Θ with
+//!   `Π ⊆ Θ` iff the machine does not accept within space `2^n`, plus
+//!   [`encode::trace_database`] to materialise computation encodings for
+//!   direct validation.
+//! * [`encode_alt`] — the alternating extension of the Section 5.3 encoding:
+//!   the program becomes nonlinear (universal configurations spawn two
+//!   successor configurations), matching the 2EXPTIME-hardness track.
+//! * [`encode_nonrec`] — the Section 6 encoding: the error detector is a
+//!   succinct **nonrecursive program** built from the `dist`/`equal` gadget
+//!   families of Examples 6.1–6.3, matching the 3EXPTIME / 2EXPSPACE-hardness
+//!   track (Theorems 6.4, 6.5).
+//!
+//! The generated instances are hardness gadgets: even at `n = 1` their
+//! proof-tree automata are far too large to push through the containment
+//! decision (that is the point of the lower bound).  The tests therefore
+//! validate the reductions at the database level — see the module docs of
+//! [`encode`] and [`encode_nonrec`] — and the `tm_encoding` bench measures
+//! how instance size scales with `n` and with the machine.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod encode;
+pub mod encode_alt;
+pub mod encode_nonrec;
+pub mod tm;
+
+pub use encode::{encode_machine, trace_database, Encoding};
+pub use encode_alt::{encode_alternating, AltEncoding};
+pub use encode_nonrec::{encode_machine_nonrec, trace_database_nonrec, NonrecEncoding};
+pub use tm::{
+    AlternatingTuringMachine, AltOutcome, Mode, SimulationOutcome, TuringMachine,
+};

@@ -1,0 +1,598 @@
+//! A small Turing-machine model with space-bounded simulation.
+//!
+//! The lower bounds of Sections 5.3 and 6 encode (alternating)
+//! exponential-space Turing machines into containment instances.  This
+//! module provides the machine model those encodings consume and a direct
+//! simulator used as ground truth when the encodings are validated at toy
+//! scale (the substitution recorded in DESIGN.md: the paper's machines are
+//! asymptotic gadgets, ours are small explicit machines).
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+/// A tape symbol (interned as a small string for readability of the
+/// generated Datalog programs).
+pub type Symbol = String;
+
+/// A machine state name.
+pub type MState = String;
+
+/// A single transition of a deterministic Turing machine.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TmTransition {
+    /// Current state.
+    pub state: MState,
+    /// Symbol under the head.
+    pub read: Symbol,
+    /// Next state.
+    pub next_state: MState,
+    /// Symbol written.
+    pub write: Symbol,
+    /// Head movement: -1 (left), 0 (stay), +1 (right).
+    pub movement: i8,
+}
+
+/// A deterministic Turing machine.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TuringMachine {
+    /// All tape symbols (the blank must be included).
+    pub symbols: Vec<Symbol>,
+    /// The blank symbol.
+    pub blank: Symbol,
+    /// All states.
+    pub states: Vec<MState>,
+    /// The initial state.
+    pub initial: MState,
+    /// The accepting states.
+    pub accepting: BTreeSet<MState>,
+    /// The transition table (at most one entry per (state, read) pair).
+    pub transitions: Vec<TmTransition>,
+}
+
+/// The outcome of a bounded simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimulationOutcome {
+    /// An accepting state was reached; the payload is the number of steps.
+    Accepts(usize),
+    /// The machine halted (no applicable transition) without accepting.
+    Halts(usize),
+    /// The machine attempted to leave the allotted tape.
+    OutOfSpace(usize),
+    /// The step budget was exhausted.
+    OutOfTime,
+}
+
+impl SimulationOutcome {
+    /// Did the machine accept?
+    pub fn accepted(&self) -> bool {
+        matches!(self, SimulationOutcome::Accepts(_))
+    }
+}
+
+/// A machine configuration: tape contents, head position, and state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Configuration {
+    /// Tape cells (fixed length = the space bound).
+    pub tape: Vec<Symbol>,
+    /// Head position.
+    pub head: usize,
+    /// Machine state.
+    pub state: MState,
+}
+
+impl TuringMachine {
+    /// Look up the transition applicable in the given state reading the
+    /// given symbol.
+    pub fn transition(&self, state: &str, read: &str) -> Option<&TmTransition> {
+        self.transitions
+            .iter()
+            .find(|t| t.state == state && t.read == read)
+    }
+
+    /// The initial configuration on an empty (all-blank) tape of the given
+    /// length.
+    pub fn initial_configuration(&self, space: usize) -> Configuration {
+        Configuration {
+            tape: vec![self.blank.clone(); space.max(1)],
+            head: 0,
+            state: self.initial.clone(),
+        }
+    }
+
+    /// Execute one step.  Returns `None` if no transition applies or the
+    /// head would leave the tape.
+    pub fn step(&self, config: &Configuration) -> Option<Configuration> {
+        let read = &config.tape[config.head];
+        let transition = self.transition(&config.state, read)?;
+        let mut next = config.clone();
+        next.tape[config.head] = transition.write.clone();
+        next.state = transition.next_state.clone();
+        let new_head = config.head as isize + transition.movement as isize;
+        if new_head < 0 || new_head as usize >= config.tape.len() {
+            return None;
+        }
+        next.head = new_head as usize;
+        Some(next)
+    }
+
+    /// Simulate the machine on the empty tape with `space` cells for at most
+    /// `max_steps` steps.
+    pub fn run_empty_tape(&self, space: usize, max_steps: usize) -> SimulationOutcome {
+        let mut config = self.initial_configuration(space);
+        for step in 0..max_steps {
+            if self.accepting.contains(&config.state) {
+                return SimulationOutcome::Accepts(step);
+            }
+            let read = &config.tape[config.head];
+            match self.transition(&config.state, read) {
+                None => return SimulationOutcome::Halts(step),
+                Some(t) => {
+                    let new_head = config.head as isize + t.movement as isize;
+                    if new_head < 0 || new_head as usize >= config.tape.len() {
+                        return SimulationOutcome::OutOfSpace(step);
+                    }
+                    config.tape[config.head] = t.write.clone();
+                    config.state = t.next_state.clone();
+                    config.head = new_head as usize;
+                }
+            }
+        }
+        if self.accepting.contains(&config.state) {
+            return SimulationOutcome::Accepts(max_steps);
+        }
+        SimulationOutcome::OutOfTime
+    }
+
+    /// The full configuration trace (including the initial configuration) of
+    /// a bounded run, stopping at acceptance, halting, or the step limit.
+    pub fn trace_empty_tape(&self, space: usize, max_steps: usize) -> Vec<Configuration> {
+        let mut trace = vec![self.initial_configuration(space)];
+        for _ in 0..max_steps {
+            let last = trace.last().expect("trace is nonempty");
+            if self.accepting.contains(&last.state) {
+                break;
+            }
+            match self.step(last) {
+                Some(next) => trace.push(next),
+                None => break,
+            }
+        }
+        trace
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Alternating machines.
+// ---------------------------------------------------------------------------
+
+/// Whether a state of an alternating machine is existential or universal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Mode {
+    /// At least one successor configuration must accept.
+    Existential,
+    /// Both successor configurations must accept.
+    Universal,
+}
+
+/// The outcome of a bounded alternating simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AltOutcome {
+    /// The machine accepts within the given space and recursion depth.
+    Accepts,
+    /// The machine rejects within the given space and recursion depth.
+    Rejects,
+    /// The space or depth budget was exhausted before a verdict was reached.
+    OutOfResources,
+}
+
+impl AltOutcome {
+    /// Did the machine accept?
+    pub fn accepted(&self) -> bool {
+        matches!(self, AltOutcome::Accepts)
+    }
+}
+
+/// An alternating Turing machine in the normal form assumed by Section 5.3:
+/// the machine strictly alternates between existential and universal states
+/// and every non-halting configuration has exactly two successors, a *left*
+/// successor and a *right* successor (two deterministic transition tables).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlternatingTuringMachine {
+    /// All tape symbols (the blank must be included).
+    pub symbols: Vec<Symbol>,
+    /// The blank symbol.
+    pub blank: Symbol,
+    /// All states.
+    pub states: Vec<MState>,
+    /// The initial state (must be existential).
+    pub initial: MState,
+    /// The accepting states.
+    pub accepting: BTreeSet<MState>,
+    /// The mode (existential / universal) of every state.
+    pub modes: std::collections::BTreeMap<MState, Mode>,
+    /// The left-successor transition table.
+    pub left: Vec<TmTransition>,
+    /// The right-successor transition table.
+    pub right: Vec<TmTransition>,
+}
+
+impl AlternatingTuringMachine {
+    /// The mode of a state (defaults to existential for unknown states).
+    pub fn mode(&self, state: &str) -> Mode {
+        self.modes.get(state).copied().unwrap_or(Mode::Existential)
+    }
+
+    /// The transition applicable in `state` reading `read` in the given
+    /// table.
+    fn transition<'a>(
+        table: &'a [TmTransition],
+        state: &str,
+        read: &str,
+    ) -> Option<&'a TmTransition> {
+        table.iter().find(|t| t.state == state && t.read == read)
+    }
+
+    /// The initial configuration on an empty (all-blank) tape of the given
+    /// length.
+    pub fn initial_configuration(&self, space: usize) -> Configuration {
+        Configuration {
+            tape: vec![self.blank.clone(); space.max(1)],
+            head: 0,
+            state: self.initial.clone(),
+        }
+    }
+
+    /// Apply one transition of the given table; `None` if no transition
+    /// applies or the head would leave the tape.
+    pub fn step(
+        &self,
+        config: &Configuration,
+        which: Successor,
+    ) -> Option<Configuration> {
+        let table = match which {
+            Successor::Left => &self.left,
+            Successor::Right => &self.right,
+        };
+        let read = &config.tape[config.head];
+        let transition = Self::transition(table, &config.state, read)?;
+        let new_head = config.head as isize + transition.movement as isize;
+        if new_head < 0 || new_head as usize >= config.tape.len() {
+            return None;
+        }
+        let mut next = config.clone();
+        next.tape[config.head] = transition.write.clone();
+        next.state = transition.next_state.clone();
+        next.head = new_head as usize;
+        Some(next)
+    }
+
+    /// Decide acceptance from the empty tape with `space` cells and a
+    /// recursion depth of at most `max_depth` configurations.
+    pub fn accepts_empty_tape(&self, space: usize, max_depth: usize) -> AltOutcome {
+        let initial = self.initial_configuration(space);
+        self.accepts_from(&initial, max_depth)
+    }
+
+    /// Decide acceptance from a given configuration with a recursion depth
+    /// of at most `max_depth` configurations.
+    pub fn accepts_from(&self, config: &Configuration, max_depth: usize) -> AltOutcome {
+        if self.accepting.contains(&config.state) {
+            return AltOutcome::Accepts;
+        }
+        if max_depth == 0 {
+            return AltOutcome::OutOfResources;
+        }
+        let left = self.step(config, Successor::Left);
+        let right = self.step(config, Successor::Right);
+        let recurse = |c: Option<Configuration>| match c {
+            None => AltOutcome::Rejects,
+            Some(c) => self.accepts_from(&c, max_depth - 1),
+        };
+        let (l, r) = (recurse(left), recurse(right));
+        match self.mode(&config.state) {
+            Mode::Existential => match (l, r) {
+                (AltOutcome::Accepts, _) | (_, AltOutcome::Accepts) => AltOutcome::Accepts,
+                (AltOutcome::Rejects, AltOutcome::Rejects) => AltOutcome::Rejects,
+                _ => AltOutcome::OutOfResources,
+            },
+            Mode::Universal => match (l, r) {
+                (AltOutcome::Rejects, _) | (_, AltOutcome::Rejects) => AltOutcome::Rejects,
+                (AltOutcome::Accepts, AltOutcome::Accepts) => AltOutcome::Accepts,
+                _ => AltOutcome::OutOfResources,
+            },
+        }
+    }
+
+    /// The accepting computation tree rooted at the initial configuration,
+    /// if one exists within the given space and depth budget.  Existential
+    /// nodes keep the single accepting successor, universal nodes keep both.
+    pub fn accepting_tree(&self, space: usize, max_depth: usize) -> Option<ComputationTree> {
+        let initial = self.initial_configuration(space);
+        self.accepting_tree_from(&initial, max_depth)
+    }
+
+    fn accepting_tree_from(
+        &self,
+        config: &Configuration,
+        max_depth: usize,
+    ) -> Option<ComputationTree> {
+        if self.accepting.contains(&config.state) {
+            return Some(ComputationTree {
+                configuration: config.clone(),
+                children: Vec::new(),
+            });
+        }
+        if max_depth == 0 {
+            return None;
+        }
+        let left = self
+            .step(config, Successor::Left)
+            .and_then(|c| self.accepting_tree_from(&c, max_depth - 1));
+        let right = self
+            .step(config, Successor::Right)
+            .and_then(|c| self.accepting_tree_from(&c, max_depth - 1));
+        match self.mode(&config.state) {
+            Mode::Existential => {
+                let child = left.or(right)?;
+                Some(ComputationTree {
+                    configuration: config.clone(),
+                    children: vec![child],
+                })
+            }
+            Mode::Universal => {
+                let (l, r) = (left?, right?);
+                Some(ComputationTree {
+                    configuration: config.clone(),
+                    children: vec![l, r],
+                })
+            }
+        }
+    }
+}
+
+/// Which of the two successor tables to apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Successor {
+    /// The left-successor transition table.
+    Left,
+    /// The right-successor transition table.
+    Right,
+}
+
+/// An accepting computation tree of an alternating machine: each node is a
+/// configuration, existential nodes have one child, universal nodes have
+/// two, and all leaves are accepting configurations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComputationTree {
+    /// The configuration at this node.
+    pub configuration: Configuration,
+    /// The successor configurations kept in the tree.
+    pub children: Vec<ComputationTree>,
+}
+
+impl ComputationTree {
+    /// The number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(|c| c.node_count()).sum::<usize>()
+    }
+
+    /// The height of the tree (a single node has height 1).
+    pub fn height(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(|c| c.height())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A toy alternating machine that accepts: the initial existential state
+/// moves to a universal state whose two successors both reach the accepting
+/// state.
+pub fn alternating_accepting_machine() -> AlternatingTuringMachine {
+    let t = |state: &str, read: &str, next: &str, write: &str, movement: i8| TmTransition {
+        state: state.into(),
+        read: read.into(),
+        next_state: next.into(),
+        write: write.into(),
+        movement,
+    };
+    AlternatingTuringMachine {
+        symbols: vec!["blank".into(), "l".into(), "r".into()],
+        blank: "blank".into(),
+        states: vec!["pick".into(), "fork".into(), "yes".into()],
+        initial: "pick".into(),
+        accepting: BTreeSet::from(["yes".to_string()]),
+        modes: std::collections::BTreeMap::from([
+            ("pick".to_string(), Mode::Existential),
+            ("fork".to_string(), Mode::Universal),
+            ("yes".to_string(), Mode::Existential),
+        ]),
+        left: vec![
+            t("pick", "blank", "fork", "l", 1),
+            t("fork", "blank", "yes", "l", 0),
+        ],
+        right: vec![
+            t("pick", "blank", "fork", "r", 1),
+            t("fork", "blank", "yes", "r", 0),
+        ],
+    }
+}
+
+/// A toy alternating machine that rejects: the universal state has one
+/// successor that can never accept.
+pub fn alternating_rejecting_machine() -> AlternatingTuringMachine {
+    let mut machine = alternating_accepting_machine();
+    // Break the right branch of the universal state: it loops in `fork`
+    // without ever reaching `yes`.
+    machine.right = vec![
+        TmTransition {
+            state: "pick".into(),
+            read: "blank".into(),
+            next_state: "fork".into(),
+            write: "r".into(),
+            movement: 1,
+        },
+        TmTransition {
+            state: "fork".into(),
+            read: "blank".into(),
+            next_state: "fork".into(),
+            write: "r".into(),
+            movement: 1,
+        },
+    ];
+    machine.left = vec![
+        TmTransition {
+            state: "pick".into(),
+            read: "blank".into(),
+            next_state: "fork".into(),
+            write: "l".into(),
+            movement: 1,
+        },
+        TmTransition {
+            state: "fork".into(),
+            read: "blank".into(),
+            next_state: "fork".into(),
+            write: "l".into(),
+            movement: 1,
+        },
+    ];
+    machine
+}
+
+/// A two-state machine that writes a mark and accepts — the canonical
+/// "accepting" toy machine used by the tests and the lower-bound example.
+pub fn trivially_accepting_machine() -> TuringMachine {
+    TuringMachine {
+        symbols: vec!["blank".into(), "mark".into()],
+        blank: "blank".into(),
+        states: vec!["start".into(), "done".into()],
+        initial: "start".into(),
+        accepting: BTreeSet::from(["done".to_string()]),
+        transitions: vec![TmTransition {
+            state: "start".into(),
+            read: "blank".into(),
+            next_state: "done".into(),
+            write: "mark".into(),
+            movement: 1,
+        }],
+    }
+}
+
+/// A machine that walks right forever (never accepts; runs out of space) —
+/// the canonical "rejecting" toy machine.
+pub fn never_accepting_machine() -> TuringMachine {
+    TuringMachine {
+        symbols: vec!["blank".into(), "mark".into()],
+        blank: "blank".into(),
+        states: vec!["walk".into(), "won".into()],
+        initial: "walk".into(),
+        accepting: BTreeSet::from(["won".to_string()]),
+        transitions: vec![
+            TmTransition {
+                state: "walk".into(),
+                read: "blank".into(),
+                next_state: "walk".into(),
+                write: "mark".into(),
+                movement: 1,
+            },
+            TmTransition {
+                state: "walk".into(),
+                read: "mark".into(),
+                next_state: "walk".into(),
+                write: "mark".into(),
+                movement: 1,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepting_machine_accepts_quickly() {
+        let m = trivially_accepting_machine();
+        assert!(m.run_empty_tape(4, 10).accepted());
+        assert_eq!(m.run_empty_tape(4, 10), SimulationOutcome::Accepts(1));
+    }
+
+    #[test]
+    fn never_accepting_machine_runs_out_of_space() {
+        let m = never_accepting_machine();
+        let outcome = m.run_empty_tape(4, 100);
+        assert!(!outcome.accepted());
+        assert_eq!(outcome, SimulationOutcome::OutOfSpace(3));
+    }
+
+    #[test]
+    fn trace_records_configurations() {
+        let m = trivially_accepting_machine();
+        let trace = m.trace_empty_tape(3, 10);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].state, "start");
+        assert_eq!(trace[1].state, "done");
+        assert_eq!(trace[1].tape[0], "mark");
+        assert_eq!(trace[1].head, 1);
+    }
+
+    #[test]
+    fn step_returns_none_at_tape_boundary() {
+        let m = never_accepting_machine();
+        let mut config = m.initial_configuration(1);
+        assert!(m.step(&config).is_none());
+        config.tape = vec!["blank".into(), "blank".into()];
+        assert!(m.step(&config).is_some());
+    }
+
+    #[test]
+    fn missing_transition_halts() {
+        let mut m = trivially_accepting_machine();
+        m.accepting.clear();
+        // After one step the machine is in `done` with no transitions.
+        assert_eq!(m.run_empty_tape(4, 10), SimulationOutcome::Halts(1));
+    }
+
+    #[test]
+    fn alternating_accepting_machine_accepts() {
+        let m = alternating_accepting_machine();
+        assert_eq!(m.accepts_empty_tape(4, 8), AltOutcome::Accepts);
+        let tree = m.accepting_tree(4, 8).expect("an accepting tree exists");
+        // pick (1 child) → fork (2 children) → yes, yes.
+        assert_eq!(tree.node_count(), 4);
+        assert_eq!(tree.height(), 3);
+        assert_eq!(tree.children.len(), 1);
+        assert_eq!(tree.children[0].children.len(), 2);
+        assert!(tree.children[0]
+            .children
+            .iter()
+            .all(|leaf| m.accepting.contains(&leaf.configuration.state)));
+    }
+
+    #[test]
+    fn alternating_rejecting_machine_rejects() {
+        let m = alternating_rejecting_machine();
+        assert_eq!(m.accepts_empty_tape(2, 16), AltOutcome::Rejects);
+        assert!(m.accepting_tree(2, 16).is_none());
+    }
+
+    #[test]
+    fn universal_mode_requires_both_branches() {
+        let mut m = alternating_accepting_machine();
+        // Break only the right branch of the universal state.
+        m.right.retain(|t| t.state != "fork");
+        assert_eq!(m.accepts_empty_tape(4, 8), AltOutcome::Rejects);
+        // Making the fork existential restores acceptance.
+        m.modes.insert("fork".to_string(), Mode::Existential);
+        assert_eq!(m.accepts_empty_tape(4, 8), AltOutcome::Accepts);
+    }
+
+    #[test]
+    fn out_of_resources_is_reported_when_depth_is_too_small() {
+        let m = alternating_accepting_machine();
+        assert_eq!(m.accepts_empty_tape(4, 0), AltOutcome::OutOfResources);
+    }
+}

@@ -1,0 +1,87 @@
+//! Reproduce Figures 1 and 2 of the paper for the transitive-closure
+//! program: expansion tree vs. unfolding expansion tree (Fig. 1) and
+//! unfolding expansion tree vs. proof tree with reused variables (Fig. 2),
+//! plus the connectedness analysis of Example 5.3.
+//!
+//! Run with `cargo run --example figures`.
+
+use datalog::generate::transitive_closure;
+use nonrec_equivalence::expansion::{expansion_query, figure1_trees, unfolding_trees};
+use nonrec_equivalence::labels::{canonical_atom, LabelContext};
+use nonrec_equivalence::proof_tree::{render_proof_tree, Occurrence, ProofTreeAnalysis};
+
+fn main() {
+    let program = transitive_closure("e", "ep");
+    println!("Transitive-closure program (Example 2.5):\n{program}");
+
+    // ---- Figure 1 ----
+    let (expansion, unfolding) = figure1_trees(&program);
+    println!("Figure 1(a) — expansion tree (the child reuses X):");
+    println!("{}", render_proof_tree(&expansion));
+    println!("Figure 1(b) — unfolding expansion tree (fresh W instead of X):");
+    println!("{}", render_proof_tree(&unfolding));
+    println!(
+        "Their conjunctive queries:\n  (a) {}\n  (b) {}\n",
+        expansion_query(&program, &expansion),
+        expansion_query(&program, &unfolding)
+    );
+
+    // ---- Figure 2 ----
+    // The unfolding expansion tree of depth 3 and the proof tree that reuses
+    // variables from var(Π) instead of inventing fresh ones.
+    let depth3 = unfolding_trees(&program, datalog::atom::Pred::new("p"), 3)
+        .into_iter()
+        .max_by_key(|t| t.height())
+        .unwrap();
+    println!("Figure 2(a) — unfolding expansion tree of depth 3:");
+    println!("{}", render_proof_tree(&depth3));
+
+    let ctx = LabelContext::new(&program);
+    let root_goal = canonical_atom("p", &[1, 2]);
+    let root = ctx
+        .labels_for(&root_goal)
+        .into_iter()
+        .find(|l| l.rule_index == 0 && l.instance.body[0] == canonical_atom("e", &[1, 3]))
+        .unwrap();
+    let mid = ctx
+        .labels_for(&canonical_atom("p", &[3, 2]))
+        .into_iter()
+        .find(|l| l.rule_index == 0 && l.instance.body[0] == canonical_atom("e", &[3, 1]))
+        .unwrap();
+    let leaf = ctx
+        .labels_for(&root_goal)
+        .into_iter()
+        .find(|l| l.rule_index == 1)
+        .unwrap();
+    let proof_tree = automata::tree::Tree::node(
+        root,
+        vec![automata::tree::Tree::node(mid, vec![automata::tree::Tree::leaf(leaf)])],
+    );
+    println!("Figure 2(b) — proof tree over var(Π) = {{x1, …, x6}} (x1 is reused):");
+    println!("{}", render_proof_tree(&proof_tree));
+
+    // ---- Example 5.3 ----
+    let analysis = ProofTreeAnalysis::new(&proof_tree);
+    let y_root = Occurrence { node: 0, atom: 0, position: 1 };
+    let y_mid = Occurrence { node: 1, atom: 0, position: 1 };
+    let x_root = Occurrence { node: 0, atom: 0, position: 0 };
+    let x_leaf = Occurrence { node: 2, atom: 0, position: 0 };
+    println!("Example 5.3 — connectedness in the proof tree:");
+    println!(
+        "  Y at root and Y at the interior node connected: {}",
+        analysis.connected(y_root, y_mid)
+    );
+    println!(
+        "  X at root and X at the leaf connected:          {}",
+        analysis.connected(x_root, x_leaf)
+    );
+    println!(
+        "  X at root distinguished: {}, X at leaf distinguished: {}",
+        analysis.is_distinguished(x_root),
+        analysis.is_distinguished(x_leaf)
+    );
+    println!(
+        "\nThe expansion represented by the proof tree:\n  {}",
+        analysis.to_expansion(&ctx)
+    );
+}

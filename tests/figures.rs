@@ -1,0 +1,127 @@
+//! Integration tests for Figures 1 and 2 and Examples 2.5 / 5.1 / 5.3.
+
+use automata::tree::Tree;
+use cq::containment::cq_contained_in;
+use datalog::atom::Pred;
+use datalog::generate::transitive_closure;
+use nonrec_equivalence::expansion::{expansion_query, figure1_trees, unfolding_trees};
+use nonrec_equivalence::labels::{canonical_atom, LabelContext};
+use nonrec_equivalence::proof_tree::{
+    is_valid_proof_tree, Occurrence, ProofTreeAnalysis,
+};
+use nonrec_equivalence::ptrees_automaton::PtreesAutomaton;
+
+fn program() -> datalog::Program {
+    transitive_closure("e", "ep")
+}
+
+/// Figure 1: the expansion tree reuses X, the unfolding expansion tree uses
+/// a fresh W; as conjunctive queries the former is contained in the latter
+/// but not conversely.
+#[test]
+fn figure_1_expansion_vs_unfolding() {
+    let program = program();
+    let (expansion, unfolding) = figure1_trees(&program);
+    let eq = expansion_query(&program, &expansion);
+    let uq = expansion_query(&program, &unfolding);
+    assert_eq!(eq.body.len(), 2);
+    assert_eq!(uq.body.len(), 2);
+    assert_eq!(eq.variables().len(), 3, "X is reused in Figure 1(a)");
+    assert_eq!(uq.variables().len(), 4, "W is fresh in Figure 1(b)");
+    assert!(cq_contained_in(&eq, &uq));
+    assert!(!cq_contained_in(&uq, &eq));
+}
+
+/// Proposition 2.6 in miniature: the union of unfolding-expansion queries up
+/// to depth d equals the program's answer on concrete databases.
+#[test]
+fn unfolding_queries_match_bounded_evaluation() {
+    let program = program();
+    let mut db = datalog::generate::chain_database("e", 4);
+    // The exit relation uses a separate predicate e'.
+    for fact in datalog::generate::chain_database("ep", 4).facts() {
+        db.insert(fact);
+    }
+    let depth = 4;
+    let trees = unfolding_trees(&program, Pred::new("p"), depth);
+    let mut union_answers = std::collections::BTreeSet::new();
+    for tree in &trees {
+        union_answers.extend(cq::eval::evaluate_cq(&expansion_query(&program, tree), &db));
+    }
+    let evaluated = datalog::eval::evaluate_with(
+        &program,
+        &db,
+        datalog::eval::EvalOptions {
+            max_iterations: Some(depth),
+            ..Default::default()
+        },
+    );
+    let direct: std::collections::BTreeSet<Vec<datalog::Constant>> =
+        evaluated.relation(Pred::new("p")).iter().cloned().collect();
+    assert_eq!(union_answers, direct);
+}
+
+fn figure2_proof_tree(program: &datalog::Program) -> nonrec_equivalence::proof_tree::ProofTree {
+    let ctx = LabelContext::new(program);
+    let root = ctx
+        .labels_for(&canonical_atom("p", &[1, 2]))
+        .into_iter()
+        .find(|l| l.rule_index == 0 && l.instance.body[0] == canonical_atom("e", &[1, 3]))
+        .unwrap();
+    let mid = ctx
+        .labels_for(&canonical_atom("p", &[3, 2]))
+        .into_iter()
+        .find(|l| l.rule_index == 0 && l.instance.body[0] == canonical_atom("e", &[3, 1]))
+        .unwrap();
+    let leaf = ctx
+        .labels_for(&canonical_atom("p", &[1, 2]))
+        .into_iter()
+        .find(|l| l.rule_index == 1)
+        .unwrap();
+    Tree::node(root, vec![Tree::node(mid, vec![Tree::leaf(leaf)])])
+}
+
+/// Figure 2 / Example 5.1: the proof tree reuses x1 instead of a fresh W,
+/// and it is still a structurally valid proof tree accepted by A_ptrees.
+#[test]
+fn figure_2_proof_tree_is_valid_and_accepted() {
+    let program = program();
+    let tree = figure2_proof_tree(&program);
+    assert!(is_valid_proof_tree(&program, &tree));
+    let ptrees = PtreesAutomaton::build(&program, Pred::new("p"));
+    assert!(ptrees.automaton.accepts(&tree));
+}
+
+/// Example 5.3: connectedness and distinguishedness of the occurrences of X
+/// and Y in the Figure 2 proof tree.
+#[test]
+fn example_5_3_connectedness_and_distinguished_occurrences() {
+    let program = program();
+    let tree = figure2_proof_tree(&program);
+    let analysis = ProofTreeAnalysis::new(&tree);
+    let y_root = Occurrence { node: 0, atom: 0, position: 1 };
+    let y_mid = Occurrence { node: 1, atom: 0, position: 1 };
+    let x_root = Occurrence { node: 0, atom: 0, position: 0 };
+    let x_leaf = Occurrence { node: 2, atom: 0, position: 0 };
+    assert!(analysis.connected(y_root, y_mid));
+    assert!(analysis.is_distinguished(y_root) && analysis.is_distinguished(y_mid));
+    assert!(!analysis.connected(x_root, x_leaf));
+    assert!(analysis.is_distinguished(x_root));
+    assert!(!analysis.is_distinguished(x_leaf));
+}
+
+/// The expansion represented by the Figure 2 proof tree is the 3-step path,
+/// and its canonical database certifies that the proof tree "means" a path.
+#[test]
+fn figure_2_expansion_is_the_three_step_path() {
+    let program = program();
+    let ctx = LabelContext::new(&program);
+    let tree = figure2_proof_tree(&program);
+    let expansion = ProofTreeAnalysis::new(&tree).to_expansion(&ctx);
+    assert_eq!(expansion.body.len(), 3);
+    assert_eq!(expansion.variables().len(), 4);
+    let frozen = cq::canonical::canonical_database(&expansion);
+    assert_eq!(frozen.database.len(), 3);
+    let answers = cq::eval::evaluate_cq(&expansion, &frozen.database);
+    assert!(answers.contains(&frozen.head_tuple));
+}

@@ -1,0 +1,91 @@
+//! Integration tests for the Section 5.3 lower-bound encoding (Theorem 5.15
+//! gadget), validated at the database level as documented in
+//! `tmenc::encode`.
+
+use cq::eval::evaluate_ucq;
+use datalog::eval::evaluate;
+use datalog::stats::ProgramStats;
+use tmenc::encode::{alphabet, encode_machine, goal, trace_database};
+use tmenc::tm::{never_accepting_machine, trivially_accepting_machine, SimulationOutcome};
+
+#[test]
+fn generated_programs_are_linear_and_grow_linearly_in_n() {
+    let tm = trivially_accepting_machine();
+    let mut previous_rules = 0;
+    for n in 1..=4 {
+        let enc = encode_machine(&tm, n);
+        let stats = ProgramStats::of(&enc.program);
+        assert!(stats.linear, "the §5.3 gadget is a linear program");
+        assert!(stats.recursive);
+        assert!(stats.rules > previous_rules);
+        // Rule growth is linear in n (4 address-rule variants per extra bit).
+        if previous_rules > 0 {
+            assert!(stats.rules - previous_rules <= 8);
+        }
+        previous_rules = stats.rules;
+        // Error-query count also grows linearly in n.
+        assert!(enc.queries.len() > 0);
+    }
+    let q2 = encode_machine(&tm, 2).queries.len();
+    let q3 = encode_machine(&tm, 3).queries.len();
+    let q4 = encode_machine(&tm, 4).queries.len();
+    assert_eq!(q4 - q3, q3 - q2, "per-bit query growth is constant");
+}
+
+#[test]
+fn accepting_computation_witnesses_non_containment_semantically() {
+    // For the accepting machine, the encoded accepting run is a database on
+    // which Π derives the goal while no error query of Θ holds — exactly the
+    // semantic content of "Π ⊄ Θ iff M accepts".
+    let tm = trivially_accepting_machine();
+    for n in 1..=2 {
+        let enc = encode_machine(&tm, n);
+        let space = 1usize << n;
+        assert!(tm.run_empty_tape(space, 64).accepted());
+        let db = trace_database(&tm, n, &tm.trace_empty_tape(space, 64));
+        assert!(!evaluate(&enc.program, &db).relation(goal()).is_empty());
+        assert!(evaluate_ucq(&enc.queries, &db).is_empty());
+    }
+}
+
+#[test]
+fn non_accepting_machine_provides_no_such_witness() {
+    let tm = never_accepting_machine();
+    let n = 2;
+    let enc = encode_machine(&tm, n);
+    let space = 1usize << n;
+    assert!(!tm.run_empty_tape(space, 64).accepted());
+    let db = trace_database(&tm, n, &tm.trace_empty_tape(space, 64));
+    assert!(evaluate(&enc.program, &db).relation(goal()).is_empty());
+}
+
+#[test]
+fn corrupted_computations_are_caught_by_theta() {
+    let tm = trivially_accepting_machine();
+    let n = 2;
+    let enc = encode_machine(&tm, n);
+    let mut trace = tm.trace_empty_tape(1 << n, 64);
+    // A mark appears in a cell the head never visited.
+    trace[1].tape[2] = "mark".to_string();
+    let db = trace_database(&tm, n, &trace);
+    assert!(!evaluate_ucq(&enc.queries, &db).is_empty());
+}
+
+#[test]
+fn alphabet_contains_plain_and_composite_symbols() {
+    let tm = trivially_accepting_machine();
+    let symbols = alphabet(&tm);
+    assert!(symbols.contains(&"blank".to_string()));
+    assert!(symbols.contains(&"mark".to_string()));
+    assert!(symbols.iter().any(|s| s.starts_with("head_start_")));
+    assert_eq!(symbols.len(), 2 + 2 * 2);
+}
+
+#[test]
+fn simulator_outcomes_match_expectations() {
+    let acc = trivially_accepting_machine();
+    assert!(matches!(acc.run_empty_tape(4, 8), SimulationOutcome::Accepts(_)));
+    let rej = never_accepting_machine();
+    assert!(matches!(rej.run_empty_tape(4, 3), SimulationOutcome::OutOfTime));
+    assert!(matches!(rej.run_empty_tape(2, 64), SimulationOutcome::OutOfSpace(_)));
+}

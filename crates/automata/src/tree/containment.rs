@@ -111,7 +111,8 @@ pub fn contained_in_with<L: Ord + Clone>(
 ) -> TreeContainment<L> {
     // Derived pairs, with the witness tree that produced them.
     // For each A1 state keep the list of derived (subset, witness) entries.
-    let mut derived: BTreeMap<State, Vec<(BTreeSet<State>, Tree<L>)>> = BTreeMap::new();
+    type Derived<L> = BTreeMap<State, Vec<(BTreeSet<State>, Tree<L>)>>;
+    let mut derived: Derived<L> = BTreeMap::new();
     let mut total_pairs = 0usize;
 
     // Group A1 transitions by state for the saturation loop, and index A2
@@ -142,7 +143,7 @@ pub fn contained_in_with<L: Ord + Clone>(
 
     // Insert a pair, honouring the antichain option.  Returns true if the
     // pair was actually added (i.e. it is new and not dominated).
-    let insert = |derived: &mut BTreeMap<State, Vec<(BTreeSet<State>, Tree<L>)>>,
+    let insert = |derived: &mut Derived<L>,
                   state: State,
                   subset: BTreeSet<State>,
                   witness: Tree<L>,

@@ -1,11 +1,16 @@
 //! Property-based tests for the automata substrate: random NFAs and tree
-//! automata are generated from proptest strategies and the boolean
+//! automata are generated from the in-repo seeded PRNG and the boolean
 //! operations, trimming, determinization, and minimization are checked
 //! against each other on sampled inputs.
+//!
+//! The offline build has no `proptest`, so the properties run as
+//! deterministic loops: each case draws its automaton from an `rng::StdRng`
+//! seeded with the case index, making every failure reproducible.
 
 use std::collections::BTreeSet;
 
-use proptest::prelude::*;
+use rng::rngs::StdRng;
+use rng::{Rng, SeedableRng};
 
 use automata::tree::reduce::reduce;
 use automata::tree::{Tree, TreeAutomaton};
@@ -15,35 +20,55 @@ use automata::word::ops::{complement, determinize, intersection, union};
 use automata::word::Nfa;
 
 const SIGMA: [char; 2] = ['a', 'b'];
+const CASES: u64 = 64;
+const TREE_CASES: u64 = 48;
 
 fn alphabet() -> BTreeSet<char> {
     SIGMA.iter().copied().collect()
 }
 
-/// A strategy for small random NFAs over {a, b}.
-fn nfa_strategy() -> impl Strategy<Value = Nfa<char>> {
-    let states = 1usize..6;
-    states.prop_flat_map(|n| {
-        let transitions = proptest::collection::vec(
-            (0..n, prop::sample::select(&SIGMA[..]), 0..n),
-            0..(3 * n),
-        );
-        let initial = proptest::collection::btree_set(0..n, 1..=n.min(2));
-        let accepting = proptest::collection::btree_set(0..n, 0..=n);
-        (Just(n), transitions, initial, accepting).prop_map(|(n, ts, init, acc)| {
-            let mut nfa = Nfa::new(n);
-            for s in init {
-                nfa.add_initial(s);
-            }
-            for s in acc {
-                nfa.add_accepting(s);
-            }
-            for (from, symbol, to) in ts {
-                nfa.add_transition(from, symbol, to);
-            }
-            nfa
-        })
-    })
+/// A small random NFA over {a, b}: 1–5 states, up to 3n transitions, one or
+/// two initial states, each state accepting with probability 1/2.
+fn random_nfa(rng: &mut StdRng) -> Nfa<char> {
+    let n = rng.random_range(1..6usize);
+    let mut nfa = Nfa::new(n);
+    for _ in 0..rng.random_range(1..=n.min(2)) {
+        nfa.add_initial(rng.random_range(0..n));
+    }
+    for state in 0..n {
+        if rng.random_bool(0.5) {
+            nfa.add_accepting(state);
+        }
+    }
+    for _ in 0..rng.random_range(0..3 * n) {
+        let from = rng.random_range(0..n);
+        let symbol = SIGMA[rng.random_range(0..SIGMA.len())];
+        let to = rng.random_range(0..n);
+        nfa.add_transition(from, symbol, to);
+    }
+    nfa
+}
+
+/// A small random tree automaton over a binary label 'a' and leaf labels
+/// 'b', 'c': 1–4 states, up to 2n binary and 2n leaf transitions.
+fn random_tree_automaton(rng: &mut StdRng) -> TreeAutomaton<char> {
+    let n = rng.random_range(1..5usize);
+    let mut automaton = TreeAutomaton::new(n);
+    for _ in 0..rng.random_range(1..=n.min(2)) {
+        automaton.add_initial(rng.random_range(0..n));
+    }
+    for _ in 0..rng.random_range(0..2 * n) {
+        let s = rng.random_range(0..n);
+        let l = rng.random_range(0..n);
+        let r = rng.random_range(0..n);
+        automaton.add_transition(s, 'a', vec![l, r]);
+    }
+    for _ in 0..rng.random_range(0..2 * n) {
+        let s = rng.random_range(0..n);
+        let label = if rng.random_bool(0.5) { 'b' } else { 'c' };
+        automaton.add_transition(s, label, vec![]);
+    }
+    automaton
 }
 
 /// All words over {a, b} of length at most `max_len`.
@@ -65,116 +90,9 @@ fn short_words(max_len: usize) -> Vec<Vec<char>> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Trimming never changes the language.
-    #[test]
-    fn trim_preserves_the_language(nfa in nfa_strategy()) {
-        let trimmed = trim(&nfa);
-        prop_assert!(trimmed.state_count() <= nfa.state_count());
-        prop_assert!(equivalent(&nfa, &trimmed));
-    }
-
-    /// The minimal DFA accepts exactly the words the NFA accepts, and
-    /// minimization is idempotent.
-    #[test]
-    fn minimal_dfa_agrees_with_the_nfa_on_short_words(nfa in nfa_strategy()) {
-        let dfa = minimal_dfa(&nfa, &alphabet());
-        for word in short_words(5) {
-            prop_assert_eq!(nfa.accepts(&word), dfa.accepts(&word), "word {:?}", word);
-        }
-        let again = minimize(&dfa);
-        prop_assert_eq!(again.state_count, dfa.state_count);
-    }
-
-    /// The minimal DFA is never larger than the subset-construction DFA.
-    #[test]
-    fn minimization_never_grows_the_automaton(nfa in nfa_strategy()) {
-        let dfa = determinize(&nfa, &alphabet());
-        let minimal = minimize(&dfa);
-        prop_assert!(minimal.state_count <= dfa.state_count);
-        prop_assert!(equivalent(&dfa_to_nfa(&dfa), &dfa_to_nfa(&minimal)));
-    }
-
-    /// Complement really is complement (checked on short words), and the
-    /// double complement is the original language.
-    #[test]
-    fn complement_is_an_involution(nfa in nfa_strategy()) {
-        let sigma = alphabet();
-        let co = complement(&nfa, &sigma);
-        for word in short_words(4) {
-            prop_assert_eq!(nfa.accepts(&word), !co.accepts(&word), "word {:?}", word);
-        }
-        let co_co = complement(&co, &sigma);
-        prop_assert!(equivalent(&nfa, &co_co));
-    }
-
-    /// Union and intersection behave like the boolean operations they claim
-    /// to be (Proposition 4.1), checked on short words.
-    #[test]
-    fn union_and_intersection_are_boolean(a in nfa_strategy(), b in nfa_strategy()) {
-        let u = union(&a, &b);
-        let i = intersection(&a, &b);
-        for word in short_words(4) {
-            prop_assert_eq!(u.accepts(&word), a.accepts(&word) || b.accepts(&word));
-            prop_assert_eq!(i.accepts(&word), a.accepts(&word) && b.accepts(&word));
-        }
-    }
-
-    /// Containment of A in A ∪ B always holds, and containment agrees with
-    /// word-level inclusion when it reports a counterexample.
-    #[test]
-    fn containment_in_the_union_holds(a in nfa_strategy(), b in nfa_strategy()) {
-        let u = union(&a, &b);
-        prop_assert!(contained_in(&a, &u).is_contained());
-        match contained_in(&a, &b) {
-            result if result.is_contained() => {
-                for word in short_words(4) {
-                    if a.accepts(&word) {
-                        prop_assert!(b.accepts(&word));
-                    }
-                }
-            }
-            result => {
-                // The reported witness is accepted by a but not by b.
-                if let automata::word::containment::WordContainment::NotContained { witness, .. } = result {
-                    prop_assert!(a.accepts(&witness));
-                    prop_assert!(!b.accepts(&witness));
-                }
-            }
-        }
-    }
-}
-
-/// A strategy for small tree automata over a binary label 'a' and leaf
-/// labels 'b', 'c'.
-fn tree_automaton_strategy() -> impl Strategy<Value = TreeAutomaton<char>> {
-    let states = 1usize..5;
-    states.prop_flat_map(|n| {
-        let binary = proptest::collection::vec((0..n, 0..n, 0..n), 0..(2 * n));
-        let leaves = proptest::collection::vec((0..n, prop::sample::select(&['b', 'c'][..])), 0..(2 * n));
-        let initial = proptest::collection::btree_set(0..n, 1..=n.min(2));
-        (Just(n), binary, leaves, initial).prop_map(|(n, bin, leaves, init)| {
-            let mut automaton = TreeAutomaton::new(n);
-            for s in init {
-                automaton.add_initial(s);
-            }
-            for (s, l, r) in bin {
-                automaton.add_transition(s, 'a', vec![l, r]);
-            }
-            for (s, label) in leaves {
-                automaton.add_transition(s, label, vec![]);
-            }
-            automaton
-        })
-    })
-}
-
 /// All trees over binary 'a' and leaves {b, c} of height at most 3.
 fn small_trees() -> Vec<Tree<char>> {
     let leaves = vec![Tree::leaf('b'), Tree::leaf('c')];
-    let mut current = leaves.clone();
     let mut all = leaves;
     for _ in 0..2 {
         let mut next = Vec::new();
@@ -183,55 +101,191 @@ fn small_trees() -> Vec<Tree<char>> {
                 next.push(Tree::node('a', vec![left.clone(), right.clone()]));
             }
         }
-        all.extend(next.clone());
-        current = next;
-        if all.len() > 300 {
-            break;
-        }
+        all.extend(next);
     }
-    let _ = current;
-    all
+    all // 2 leaves -> 6 -> 42 trees
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Trimming never changes the language.
+#[test]
+fn trim_preserves_the_language() {
+    for case in 0..CASES {
+        let nfa = random_nfa(&mut StdRng::seed_from_u64(case));
+        let trimmed = trim(&nfa);
+        assert!(trimmed.state_count() <= nfa.state_count(), "case {case}");
+        assert!(equivalent(&nfa, &trimmed), "case {case}");
+    }
+}
 
-    /// Reduction (useless-state removal) never changes acceptance.
-    #[test]
-    fn tree_reduction_preserves_acceptance(automaton in tree_automaton_strategy()) {
-        let reduced = reduce(&automaton);
-        prop_assert!(reduced.state_count() <= automaton.state_count());
-        for tree in small_trees().into_iter().take(60) {
-            prop_assert_eq!(automaton.accepts(&tree), reduced.accepts(&tree));
+/// The minimal DFA accepts exactly the words the NFA accepts, and
+/// minimization is idempotent.
+#[test]
+fn minimal_dfa_agrees_with_the_nfa_on_short_words() {
+    for case in 0..CASES {
+        let nfa = random_nfa(&mut StdRng::seed_from_u64(case));
+        let dfa = minimal_dfa(&nfa, &alphabet());
+        for word in short_words(5) {
+            assert_eq!(
+                nfa.accepts(&word),
+                dfa.accepts(&word),
+                "case {case}, word {word:?}"
+            );
+        }
+        let again = minimize(&dfa);
+        assert_eq!(again.state_count, dfa.state_count, "case {case}");
+    }
+}
+
+/// The minimal DFA is never larger than the subset-construction DFA.
+#[test]
+fn minimization_never_grows_the_automaton() {
+    for case in 0..CASES {
+        let nfa = random_nfa(&mut StdRng::seed_from_u64(case));
+        let dfa = determinize(&nfa, &alphabet());
+        let minimal = minimize(&dfa);
+        assert!(minimal.state_count <= dfa.state_count, "case {case}");
+        assert!(
+            equivalent(&dfa_to_nfa(&dfa), &dfa_to_nfa(&minimal)),
+            "case {case}"
+        );
+    }
+}
+
+/// Complement really is complement (checked on short words), and the
+/// double complement is the original language.
+#[test]
+fn complement_is_an_involution() {
+    for case in 0..CASES {
+        let nfa = random_nfa(&mut StdRng::seed_from_u64(case));
+        let sigma = alphabet();
+        let co = complement(&nfa, &sigma);
+        for word in short_words(4) {
+            assert_eq!(
+                nfa.accepts(&word),
+                !co.accepts(&word),
+                "case {case}, word {word:?}"
+            );
+        }
+        let co_co = complement(&co, &sigma);
+        assert!(equivalent(&nfa, &co_co), "case {case}");
+    }
+}
+
+/// Union and intersection behave like the boolean operations they claim
+/// to be (Proposition 4.1), checked on short words.
+#[test]
+fn union_and_intersection_are_boolean() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let a = random_nfa(&mut rng);
+        let b = random_nfa(&mut rng);
+        let u = union(&a, &b);
+        let i = intersection(&a, &b);
+        for word in short_words(4) {
+            assert_eq!(
+                u.accepts(&word),
+                a.accepts(&word) || b.accepts(&word),
+                "case {case}, word {word:?}"
+            );
+            assert_eq!(
+                i.accepts(&word),
+                a.accepts(&word) && b.accepts(&word),
+                "case {case}, word {word:?}"
+            );
         }
     }
+}
 
-    /// Tree-automata union and intersection are boolean on sampled trees
-    /// (Proposition 4.4).
-    #[test]
-    fn tree_union_and_intersection_are_boolean(
-        a in tree_automaton_strategy(),
-        b in tree_automaton_strategy(),
-    ) {
+/// Containment of A in A ∪ B always holds, and containment agrees with
+/// word-level inclusion when it reports a counterexample.
+#[test]
+fn containment_in_the_union_holds() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let a = random_nfa(&mut rng);
+        let b = random_nfa(&mut rng);
+        let u = union(&a, &b);
+        assert!(contained_in(&a, &u).is_contained(), "case {case}");
+        match contained_in(&a, &b) {
+            result if result.is_contained() => {
+                for word in short_words(4) {
+                    if a.accepts(&word) {
+                        assert!(b.accepts(&word), "case {case}, word {word:?}");
+                    }
+                }
+            }
+            result => {
+                // The reported witness is accepted by a but not by b.
+                if let automata::word::containment::WordContainment::NotContained {
+                    witness, ..
+                } = result
+                {
+                    assert!(a.accepts(&witness), "case {case}");
+                    assert!(!b.accepts(&witness), "case {case}");
+                }
+            }
+        }
+    }
+}
+
+/// Reduction (useless-state removal) never changes acceptance.
+#[test]
+fn tree_reduction_preserves_acceptance() {
+    for case in 0..TREE_CASES {
+        let automaton = random_tree_automaton(&mut StdRng::seed_from_u64(case));
+        let reduced = reduce(&automaton);
+        assert!(
+            reduced.state_count() <= automaton.state_count(),
+            "case {case}"
+        );
+        for tree in small_trees().into_iter().take(60) {
+            assert_eq!(
+                automaton.accepts(&tree),
+                reduced.accepts(&tree),
+                "case {case}"
+            );
+        }
+    }
+}
+
+/// Tree-automata union and intersection are boolean on sampled trees
+/// (Proposition 4.4).
+#[test]
+fn tree_union_and_intersection_are_boolean() {
+    for case in 0..TREE_CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let a = random_tree_automaton(&mut rng);
+        let b = random_tree_automaton(&mut rng);
         let u = automata::tree::ops::union(&a, &b);
         let i = automata::tree::ops::intersection(&a, &b);
         for tree in small_trees().into_iter().take(40) {
-            prop_assert_eq!(u.accepts(&tree), a.accepts(&tree) || b.accepts(&tree));
-            prop_assert_eq!(i.accepts(&tree), a.accepts(&tree) && b.accepts(&tree));
+            assert_eq!(
+                u.accepts(&tree),
+                a.accepts(&tree) || b.accepts(&tree),
+                "case {case}"
+            );
+            assert_eq!(
+                i.accepts(&tree),
+                a.accepts(&tree) && b.accepts(&tree),
+                "case {case}"
+            );
         }
     }
+}
 
-    /// Emptiness agrees with the witness extractor: a witness exists iff the
-    /// language is nonempty, and the witness is indeed accepted.
-    #[test]
-    fn tree_emptiness_agrees_with_witness_extraction(automaton in tree_automaton_strategy()) {
-        use automata::tree::emptiness::{find_witness, is_empty};
+/// Emptiness agrees with the witness extractor: a witness exists iff the
+/// language is nonempty, and the witness is indeed accepted.
+#[test]
+fn tree_emptiness_agrees_with_witness_extraction() {
+    use automata::tree::emptiness::{find_witness, is_empty};
+    for case in 0..TREE_CASES {
+        let automaton = random_tree_automaton(&mut StdRng::seed_from_u64(case));
         match find_witness(&automaton) {
             Some(witness) => {
-                prop_assert!(!is_empty(&automaton));
-                prop_assert!(automaton.accepts(&witness));
+                assert!(!is_empty(&automaton), "case {case}");
+                assert!(automaton.accepts(&witness), "case {case}");
             }
-            None => prop_assert!(is_empty(&automaton)),
+            None => assert!(is_empty(&automaton), "case {case}"),
         }
     }
 }

@@ -10,7 +10,7 @@
 //! the constant-factor cost each lever removes.
 
 use bench::report_shape;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use automata::tree::containment::contained_in as tree_contained_in;

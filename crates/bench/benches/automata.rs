@@ -4,7 +4,7 @@
 //! but far cheaper with the antichain optimisation (the DESIGN.md ablation).
 
 use bench::report_shape;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use automata::tree::containment::{contained_in_with, ContainmentOptions};

@@ -4,7 +4,7 @@
 //! path and star families show the easy and the foldable cases.
 
 use bench::report_shape;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use cq::containment::{cq_contained_in, ucq_contained_in};

@@ -5,7 +5,7 @@
 //! / size of the disjuncts.
 
 use bench::report_shape;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use cq::generate::bounded_path_ucq_binary;

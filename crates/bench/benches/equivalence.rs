@@ -5,7 +5,7 @@
 //! linear nonrecursive programs) multiplied by the automata decision.
 
 use bench::report_shape;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use datalog::atom::Pred;

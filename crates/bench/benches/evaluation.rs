@@ -3,7 +3,7 @@
 //! The shape: semi-naive does asymptotically fewer join probes.
 
 use bench::report_shape;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use datalog::eval::{evaluate_with, EvalOptions, Strategy};

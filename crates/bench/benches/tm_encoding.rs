@@ -7,7 +7,7 @@
 //! trace database against the error queries.
 
 use bench::report_shape;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use cq::eval::evaluate_ucq;

@@ -5,7 +5,7 @@
 //! what lifts Theorem 5.12 (2EXPTIME) to Theorem 6.4 (3EXPTIME).
 
 use bench::report_shape;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use datalog::atom::Pred;

@@ -1,0 +1,223 @@
+//! A minimal, dependency-free benchmark harness with a criterion-shaped
+//! API.
+//!
+//! The offline build cannot depend on `criterion`, so the nine bench
+//! targets use this drop-in instead: the same `criterion_group!` /
+//! `criterion_main!` macros, `Criterion::benchmark_group`, and
+//! `Bencher::iter` call shape, backed by a plain `Instant`-based measurement
+//! loop (warm-up, then a fixed number of samples, reporting the median).
+//!
+//! Output is one stable, grep-friendly line per benchmark:
+//!
+//! ```text
+//! [bench] group/function median=12.345µs min=11.2µs max=14.0µs samples=20
+//! ```
+//!
+//! which sits next to the `[shape]` rows emitted by
+//! [`crate::report_shape`], so a single bench run captures both timings and
+//! the paper's predicted shape quantities.
+//!
+//! Set `NONREC_BENCH_FAST=1` to clamp warm-up and sample counts to the
+//! minimum; `cargo build --all-targets` plus a fast smoke run is how CI
+//! keeps the benches compiling and executable without paying for full
+//! measurements.
+
+use std::time::{Duration, Instant};
+
+/// Top-level driver handed to each `criterion_group!` target function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(800),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sample-count and timing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+fn fast_mode() -> bool {
+    std::env::var_os("NONREC_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples to collect per benchmark (min 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// How long to run the closure before measuring, to warm caches and
+    /// settle frequency scaling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total time budget the samples should roughly fill.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] with the code under test.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (sample_size, warm_up, measurement) = if fast_mode() {
+            (2, Duration::ZERO, Duration::from_millis(10))
+        } else {
+            (self.sample_size, self.warm_up_time, self.measurement_time)
+        };
+        let mut bencher = Bencher {
+            sample_size,
+            warm_up,
+            measurement,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&self.name, &id.to_string(), &mut bencher.samples);
+        self
+    }
+
+    /// End the group.  (Criterion computes summary statistics here; this
+    /// harness reports per-benchmark, so `finish` is a no-op kept for call
+    /// compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for a single benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measure `f`: warm up for the configured time, pick an
+    /// iterations-per-sample count that fits the measurement budget, then
+    /// record wall-clock time per iteration for each sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, and a per-iteration time estimate as a byproduct.
+        let warm_start = Instant::now();
+        let mut warm_iters: u32 = 0;
+        loop {
+            std::hint::black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed() / warm_iters;
+
+        // Iterations per sample so that sample_size samples roughly fill
+        // the measurement budget.
+        let budget_per_sample = self.measurement / self.sample_size as u32;
+        let iters = if per_iter.is_zero() {
+            1000
+        } else {
+            (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u32
+        };
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+}
+
+fn report(group: &str, id: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("[bench] {group}/{id} no samples (Bencher::iter never called)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!(
+        "[bench] {group}/{id} median={median:.3?} min={min:.3?} max={max:.3?} samples={}",
+        samples.len()
+    );
+}
+
+/// Define a function `$name` that runs each `$target(&mut Criterion)` in
+/// order.  Call shape identical to criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` to run the given `criterion_group!` functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_and_runs_the_closure() {
+        // Force fast mode semantics by using tiny times directly.
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("harness_smoke");
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::ZERO)
+            .measurement_time(Duration::from_millis(1));
+        let mut runs = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        assert!(runs > 0, "closure must have been executed");
+    }
+
+    #[test]
+    fn median_is_taken_from_sorted_samples() {
+        let mut samples = vec![
+            Duration::from_micros(5),
+            Duration::from_micros(1),
+            Duration::from_micros(3),
+        ];
+        report("test", "median", &mut samples);
+        assert_eq!(samples[1], Duration::from_micros(3));
+    }
+}

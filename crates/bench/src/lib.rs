@@ -1,9 +1,17 @@
 //! Shared helpers for the benchmark harness.
 //!
 //! Every bench target corresponds to one experiment id of DESIGN.md §5 and
-//! prints, next to the Criterion timings, the *shape* quantities the paper's
-//! theorems predict (automaton sizes, unfolding sizes, explored product
-//! states), so that EXPERIMENTS.md can relate measurements to bounds.
+//! prints, next to the timing rows from the in-repo [`harness`], the *shape*
+//! quantities the paper's theorems predict (automaton sizes, unfolding
+//! sizes, explored product states), so that EXPERIMENTS.md can relate
+//! measurements to bounds.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod harness;
+
+pub use harness::{Bencher, BenchmarkGroup, Criterion};
 
 /// Format a labelled measurement row in a stable, grep-friendly way.
 ///

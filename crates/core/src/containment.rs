@@ -26,7 +26,6 @@ use datalog::database::Database;
 use datalog::program::Program;
 use datalog::term::Constant;
 
-use serde::{Deserialize, Serialize};
 
 use crate::cq_automaton::CqAutomaton;
 use crate::labels::ProofLabel;
@@ -34,7 +33,7 @@ use crate::proof_tree::{ProofTree, ProofTreeAnalysis};
 use crate::ptrees_automaton::{AutomatonStats, PtreesAutomaton};
 
 /// Which automata model carried the decision.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DecisionPath {
     /// General programs: tree-automata containment (2EXPTIME track).
     TreeAutomata,
@@ -45,7 +44,7 @@ pub enum DecisionPath {
 
 /// Instrumentation collected during a containment decision; the benches and
 /// EXPERIMENTS.md report these.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ContainmentStats {
     /// Which decision path was taken.
     pub path: DecisionPath,

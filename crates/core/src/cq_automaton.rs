@@ -204,6 +204,10 @@ fn make_key(
     (atom, remaining, projected)
 }
 
+/// Callback receiving, for each valid transition choice, the per-child
+/// pending sets and the extended mapping M′.
+type EmitTransition<'a> = dyn FnMut(&[BTreeSet<usize>], &BTreeMap<Var, Term>) + 'a;
+
 /// Enumerate all valid transitions from a state with pending atoms
 /// `remaining`, mapping `mapping`, for a rule instance with EDB body
 /// `edb_atoms` and IDB children `idb_children`.  For each valid choice,
@@ -215,7 +219,7 @@ fn enumerate_transitions(
     mapping: &BTreeMap<Var, Term>,
     edb_atoms: &[Atom],
     idb_children: &[Atom],
-    emit: &mut dyn FnMut(&[BTreeSet<usize>], &BTreeMap<Var, Term>),
+    emit: &mut EmitTransition<'_>,
 ) {
     // Step 1: choose, for each pending atom, either an EDB body atom to map
     // onto now (extending the binding) or a child to defer to.

@@ -20,12 +20,11 @@ use datalog::rule::Rule;
 use datalog::substitution::Substitution;
 use datalog::term::{Term, Var};
 
-use serde::{Deserialize, Serialize};
 
 /// A proof-tree node label: an instance over `var(Π)` of a program rule.
 ///
 /// The label's atom (the paper's α) is `instance.head`.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ProofLabel {
     /// Index of the originating rule in the program.
     pub rule_index: usize,

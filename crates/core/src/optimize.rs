@@ -237,17 +237,26 @@ pub fn inline_nonrecursive_predicates(
                 continue; // the definitions themselves disappear
             }
             // Resolve occurrences of `target` one at a time (a rule may
-            // mention it several times).
+            // mention it several times).  Each pending rule carries its own
+            // next occurrence position: the definitions may have different
+            // body lengths, so positions are not shared across rules.
             let mut pending = vec![rule.clone()];
-            loop {
-                let Some(position) = pending
-                    .first()
-                    .and_then(|r| r.body.iter().position(|a| a.pred == target))
-                else {
-                    break;
-                };
+            while pending
+                .iter()
+                .any(|r| r.body.iter().any(|a| a.pred == target))
+            {
+                // Expansion is multiplicative per occurrence (d^k rules for
+                // k occurrences with d definitions), so the limit must be
+                // enforced mid-rule, not only after full expansion.
+                if pending.len() > rule_limit {
+                    return current;
+                }
                 let mut resolved = Vec::new();
                 for r in &pending {
+                    let Some(position) = r.body.iter().position(|a| a.pred == target) else {
+                        resolved.push(r.clone()); // already fully resolved
+                        continue;
+                    };
                     for definition in &definitions {
                         fresh += 1;
                         if let Some(new_rule) = resolve_body_atom(r, position, definition, fresh) {
@@ -256,9 +265,6 @@ pub fn inline_nonrecursive_predicates(
                     }
                 }
                 pending = resolved;
-                if pending.is_empty() {
-                    break;
-                }
             }
             next.extend(pending);
             if next.len() > rule_limit {
@@ -386,6 +392,28 @@ mod tests {
     }
 
     #[test]
+    fn inlining_handles_definitions_of_different_body_lengths() {
+        // After resolving the first `hop` occurrence, the two pending rules
+        // have different body lengths, so the second occurrence sits at
+        // different positions — a shared position would silently drop the
+        // mixed disjuncts (regression test).
+        let program = parse_program(
+            "p(X, Y) :- hop(X, Z), hop(Z, Y).\n\
+             hop(X, Y) :- e(X, Y).\n\
+             hop(X, Y) :- e(X, W), e(W, Y).",
+        )
+        .unwrap();
+        let inlined = inline_nonrecursive_predicates(&program, Pred::new("p"), 64);
+        assert!(!inlined.idb_predicates().contains(&Pred::new("hop")));
+        assert_eq!(inlined.len(), 4, "2 definitions x 2 occurrences");
+        let db = chain_database("e", 6);
+        assert_eq!(
+            goal_answers(&program, Pred::new("p"), &db),
+            goal_answers(&inlined, Pred::new("p"), &db)
+        );
+    }
+
+    #[test]
     fn inlining_respects_the_rule_limit_and_recursion() {
         let tc = transitive_closure("e", "e");
         // The only IDB predicate is recursive, so nothing changes.
@@ -401,6 +429,19 @@ mod tests {
         .unwrap();
         let aborted = inline_nonrecursive_predicates(&program, Pred::new("p"), 2);
         assert_eq!(aborted.len(), program.len());
+        // Mid-rule blow-up: three hop occurrences x four definitions would
+        // materialise 4^3 intermediate rules; the limit must abort during
+        // the expansion, not only after it.
+        let wide = parse_program(
+            "p(X, Y) :- hop(X, Z), hop(Z, W), hop(W, Y).\n\
+             hop(X, Y) :- e(X, Y).\n\
+             hop(X, Y) :- f(X, Y).\n\
+             hop(X, Y) :- g(X, Y).\n\
+             hop(X, Y) :- h(X, Y).",
+        )
+        .unwrap();
+        let aborted = inline_nonrecursive_predicates(&wide, Pred::new("p"), 8);
+        assert_eq!(aborted.len(), wide.len());
     }
 
     #[test]

@@ -105,7 +105,7 @@ impl ProofTreeAnalysis {
             .map(|(i, &o)| (o, i))
             .collect();
         let mut uf: Vec<usize> = (0..occurrences.len()).collect();
-        fn find(uf: &mut Vec<usize>, mut i: usize) -> usize {
+        fn find(uf: &mut [usize], mut i: usize) -> usize {
             while uf[i] != i {
                 uf[i] = uf[uf[i]];
                 i = uf[i];

@@ -19,7 +19,6 @@ use automata::tree::TreeAutomaton;
 use datalog::atom::{Atom, Pred};
 use datalog::program::Program;
 
-use serde::{Deserialize, Serialize};
 
 use crate::labels::{LabelContext, ProofLabel};
 
@@ -35,7 +34,7 @@ pub struct PtreesAutomaton {
 }
 
 /// Size statistics of a constructed automaton.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct AutomatonStats {
     /// Number of states.
     pub states: usize,

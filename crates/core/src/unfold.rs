@@ -17,7 +17,6 @@ use datalog::atom::{Atom, Pred};
 use datalog::program::Program;
 use datalog::rule::Rule;
 
-use serde::{Deserialize, Serialize};
 
 use crate::unify::Unifier;
 
@@ -50,7 +49,7 @@ impl std::fmt::Display for UnfoldError {
 impl std::error::Error for UnfoldError {}
 
 /// Size statistics of an unfolding, recorded for EXPERIMENTS.md.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct UnfoldStats {
     /// Number of disjuncts produced.
     pub disjuncts: usize,
@@ -161,29 +160,34 @@ fn expand_rule(
     emit: &mut dyn FnMut(ConjunctiveQuery) -> Result<(), UnfoldError>,
 ) -> Result<(), UnfoldError> {
     // Depth-first over the IDB body atoms, accumulating the unifier and the
-    // EDB atoms gathered so far.
+    // EDB atoms gathered so far.  The per-rule fixed inputs travel in a
+    // context struct; only the traversal state is passed per call.
+    struct ExpandCtx<'a> {
+        head: &'a Atom,
+        body: &'a [Atom],
+        idb: &'a std::collections::BTreeSet<Pred>,
+        lookup: &'a dyn Fn(Pred) -> Option<Vec<ConjunctiveQuery>>,
+    }
+
     fn go(
-        head: &Atom,
-        body: &[Atom],
+        ctx: &ExpandCtx<'_>,
         position: usize,
-        idb: &std::collections::BTreeSet<Pred>,
-        lookup: &dyn Fn(Pred) -> Option<Vec<ConjunctiveQuery>>,
         unifier: &Unifier,
         collected: &[Atom],
         emit: &mut dyn FnMut(ConjunctiveQuery) -> Result<(), UnfoldError>,
     ) -> Result<(), UnfoldError> {
-        if position == body.len() {
-            let head = unifier.apply_atom(head);
+        if position == ctx.body.len() {
+            let head = unifier.apply_atom(ctx.head);
             let body = collected.iter().map(|a| unifier.apply_atom(a)).collect();
             return emit(ConjunctiveQuery::new(head, body));
         }
-        let atom = &body[position];
-        if !idb.contains(&atom.pred) {
+        let atom = &ctx.body[position];
+        if !ctx.idb.contains(&atom.pred) {
             let mut collected = collected.to_vec();
             collected.push(atom.clone());
-            return go(head, body, position + 1, idb, lookup, unifier, &collected, emit);
+            return go(ctx, position + 1, unifier, &collected, emit);
         }
-        let Some(expansions) = lookup(atom.pred) else {
+        let Some(expansions) = (ctx.lookup)(atom.pred) else {
             return Ok(()); // no expansions yet (depth exhausted) — prune
         };
         for expansion in expansions {
@@ -194,25 +198,18 @@ fn expand_rule(
             }
             let mut collected = collected.to_vec();
             collected.extend(fresh.body.iter().cloned());
-            go(head, body, position + 1, idb, lookup, &extended_ref(&extended), &collected, emit)?;
+            go(ctx, position + 1, &extended, &collected, emit)?;
         }
         Ok(())
     }
 
-    fn extended_ref(u: &Unifier) -> Unifier {
-        u.clone()
-    }
-
-    go(
-        &rule.head,
-        &rule.body,
-        0,
+    let ctx = ExpandCtx {
+        head: &rule.head,
+        body: &rule.body,
         idb,
         lookup,
-        &Unifier::new(),
-        &[],
-        emit,
-    )
+    };
+    go(&ctx, 0, &Unifier::new(), &[], emit)
 }
 
 /// Unfold and report statistics in one call (the shape used by the benches).

@@ -9,7 +9,6 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use datalog::atom::{Atom, Pred};
 use datalog::rule::Rule;
@@ -17,7 +16,7 @@ use datalog::substitution::Substitution;
 use datalog::term::{Term, Var};
 
 /// A conjunctive query in rule form.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ConjunctiveQuery {
     /// The head atom.  Its predicate is the query's name; its terms are the
     /// distinguished variables (or constants).

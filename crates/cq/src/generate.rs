@@ -1,7 +1,7 @@
 //! Conjunctive-query generators for tests and benchmarks.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rng::rngs::StdRng;
+use rng::{Rng, SeedableRng};
 
 use datalog::atom::Atom;
 use datalog::term::{Term, Var};
@@ -192,6 +192,18 @@ mod tests {
         let body_vars: std::collections::BTreeSet<_> =
             q1.body.iter().flat_map(|a| a.variables()).collect();
         assert!(q1.head.variables().all(|v| body_vars.contains(&v)));
+    }
+
+    #[test]
+    fn different_seeds_give_different_cqs() {
+        let config = RandomCqConfig::default();
+        for seed in [0u64, 7, 99, 5000] {
+            assert_ne!(
+                random_cq(&config, seed),
+                random_cq(&config, seed + 1),
+                "seed {seed}"
+            );
+        }
     }
 
     #[test]

@@ -2,14 +2,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use datalog::atom::Pred;
 
 use crate::cq::ConjunctiveQuery;
 
 /// A union (disjunction) of conjunctive queries, all of the same arity.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Clone, PartialEq, Eq, Default)]
 pub struct Ucq {
     /// The disjuncts.
     pub disjuncts: Vec<ConjunctiveQuery>,

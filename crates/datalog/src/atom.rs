@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::intern::{self, Sym};
 use crate::term::{Constant, Term, Var};
 
@@ -12,23 +10,8 @@ use crate::term::{Constant, Term, Var};
 /// Arity is not part of the symbol's identity; [`crate::program::Program`]
 /// validation checks that every occurrence of a predicate uses a consistent
 /// arity.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub struct Pred(#[serde(with = "pred_serde")] pub Sym);
-
-mod pred_serde {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    use crate::intern::{intern, Sym};
-
-    pub fn serialize<S: Serializer>(sym: &Sym, ser: S) -> Result<S::Ok, S::Error> {
-        sym.as_str().serialize(ser)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<Sym, D::Error> {
-        let s = String::deserialize(de)?;
-        Ok(intern(&s))
-    }
-}
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pred(pub Sym);
 
 impl Pred {
     /// Create (or look up) a predicate symbol with the given name.
@@ -55,7 +38,7 @@ impl fmt::Debug for Pred {
 }
 
 /// An atom `p(t1, …, tk)`: a predicate symbol applied to a list of terms.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Atom {
     /// The predicate symbol.
     pub pred: Pred,
@@ -142,7 +125,7 @@ impl fmt::Debug for Atom {
 /// A ground fact: a predicate applied to a tuple of constants.
 ///
 /// Facts are the rows of [`crate::database::Database`] relations.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Fact {
     /// The predicate symbol.
     pub pred: Pred,

@@ -9,13 +9,12 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::atom::{Fact, Pred};
 use crate::term::Constant;
 
 /// A relation: a set of tuples of constants, all of the same arity.
-#[derive(Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Eq)]
 pub struct Relation {
     tuples: BTreeSet<Vec<Constant>>,
 }
@@ -77,7 +76,7 @@ impl FromIterator<Vec<Constant>> for Relation {
 }
 
 /// A database: a finite collection of relations indexed by predicate.
-#[derive(Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Eq)]
 pub struct Database {
     relations: BTreeMap<Pred, Relation>,
 }

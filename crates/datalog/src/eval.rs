@@ -201,33 +201,37 @@ fn derive_rule(
     out: &mut Vec<Fact>,
     probes: &mut usize,
 ) {
+    struct JoinCtx<'a> {
+        head: &'a Atom,
+        body: &'a [Atom],
+        db: &'a Database,
+        delta: Option<(usize, &'a Database)>,
+    }
+
     fn rec(
-        head: &Atom,
-        body: &[Atom],
+        ctx: &JoinCtx<'_>,
         pos: usize,
-        db: &Database,
-        delta: Option<(usize, &Database)>,
         subst: &mut Substitution,
         out: &mut Vec<Fact>,
         probes: &mut usize,
     ) {
-        if pos == body.len() {
-            let ground = subst.apply_atom(head);
+        if pos == ctx.body.len() {
+            let ground = subst.apply_atom(ctx.head);
             if let Some(fact) = ground.to_fact() {
                 out.push(fact);
             }
             return;
         }
-        let atom = &body[pos];
-        let source = match delta {
+        let atom = &ctx.body[pos];
+        let source = match ctx.delta {
             Some((dpos, delta_db)) if dpos == pos => delta_db,
-            _ => db,
+            _ => ctx.db,
         };
         for tuple in source.relation(atom.pred).iter() {
             *probes += 1;
             let mut attempt = subst.clone();
             if attempt.match_tuple(atom, tuple) {
-                rec(head, body, pos + 1, db, delta, &mut attempt, out, probes);
+                rec(ctx, pos + 1, &mut attempt, out, probes);
             }
         }
     }
@@ -244,8 +248,14 @@ fn derive_rule(
         }
         return;
     }
+    let ctx = JoinCtx {
+        head: &head,
+        body,
+        db,
+        delta,
+    };
     let mut subst = Substitution::new();
-    rec(&head, body, 0, db, delta, &mut subst, out, probes);
+    rec(&ctx, 0, &mut subst, out, probes);
 }
 
 /// Instantiate a non-ground atom over the active domain of the database

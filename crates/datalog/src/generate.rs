@@ -1,8 +1,8 @@
 //! Instance generators: parameterised program families from the paper and
 //! random programs / databases for differential testing and benchmarking.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rng::rngs::StdRng;
+use rng::{Rng, SeedableRng};
 
 use crate::atom::{Atom, Fact, Pred};
 use crate::database::Database;
@@ -413,5 +413,19 @@ mod tests {
             relations: vec![("e".into(), 2, 30)],
         };
         assert_ne!(random_database(&config, 1), random_database(&config, 2));
+    }
+
+    #[test]
+    fn different_seeds_give_different_programs() {
+        let config = RandomProgramConfig::default();
+        // A handful of seed pairs, not just one, so a stuck generator that
+        // only varies on some seeds still fails.
+        for seed in [0u64, 1, 42, 1000] {
+            assert_ne!(
+                random_program(&config, seed),
+                random_program(&config, seed + 1),
+                "seed {seed}"
+            );
+        }
     }
 }

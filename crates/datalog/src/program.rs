@@ -3,7 +3,6 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::atom::Pred;
 use crate::depgraph::DependencyGraph;
@@ -15,7 +14,7 @@ use crate::term::Var;
 /// Following Section 2.1 of the paper, the predicates that occur in heads of
 /// rules are the *intentional* (IDB) predicates; all other predicates are
 /// *extensional* (EDB) predicates.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Program {
     rules: Vec<Rule>,
 }

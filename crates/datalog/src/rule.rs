@@ -3,7 +3,6 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::atom::{Atom, Pred};
 use crate::substitution::Substitution;
@@ -13,7 +12,7 @@ use crate::term::Var;
 ///
 /// A rule with an empty body is a (possibly non-ground) unconditional rule;
 /// the paper uses such rules in Example 6.2 (`dist0(x, x) :-`).
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Rule {
     /// The head atom.
     pub head: Atom,

@@ -4,12 +4,11 @@
 //! stated; the bench harness records them next to every measurement so that
 //! EXPERIMENTS.md can relate measured growth to the predicted bounds.
 
-use serde::{Deserialize, Serialize};
 
 use crate::program::Program;
 
 /// Summary statistics of a Datalog program.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProgramStats {
     /// Number of rules.
     pub rules: usize,

@@ -8,7 +8,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::atom::Atom;
 use crate::rule::Rule;
@@ -17,7 +16,7 @@ use crate::term::{Constant, Term, Var};
 /// A finite mapping from variables to terms.
 ///
 /// Variables not in the domain are mapped to themselves.
-#[derive(Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Eq)]
 pub struct Substitution {
     map: BTreeMap<Var, Term>,
 }

@@ -7,7 +7,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::intern::{self, Sym};
 
@@ -17,37 +16,20 @@ use crate::intern::{self, Sym};
 /// parser treats identifiers starting with an uppercase letter or `_` as
 /// variables (Prolog convention), but variables constructed
 /// programmatically may have any name.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub struct Var(#[serde(with = "sym_serde")] pub Sym);
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub Sym);
 
 /// A Datalog constant (a database value).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub struct Constant(#[serde(with = "sym_serde")] pub Sym);
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Constant(pub Sym);
 
 /// A term is either a variable or a constant.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Term {
     /// A variable occurrence.
     Var(Var),
     /// A constant occurrence.
     Const(Constant),
-}
-
-mod sym_serde {
-    //! Serialize interned symbols as their strings so that serialized
-    //! programs are portable across processes.
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    use crate::intern::{intern, Sym};
-
-    pub fn serialize<S: Serializer>(sym: &Sym, ser: S) -> Result<S::Ok, S::Error> {
-        sym.as_str().serialize(ser)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<Sym, D::Error> {
-        let s = String::deserialize(de)?;
-        Ok(intern(&s))
-    }
 }
 
 impl Var {
@@ -210,17 +192,8 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip_preserves_identity() {
+    fn debug_formatting_preserves_the_interned_name() {
         let t = Term::from(Var::new("RoundTrip"));
-        let json = serde_json_like(&t);
-        assert!(json.contains("RoundTrip"));
-    }
-
-    /// Minimal serde smoke test without pulling in serde_json: serialize to
-    /// the `Debug` of the `Serialize` impl via a tiny in-house serializer is
-    /// overkill, so we simply check the field is the interned string by
-    /// formatting.  (Full serialization is exercised in the bench crate.)
-    fn serde_json_like(t: &Term) -> String {
-        format!("{t:?}")
+        assert!(format!("{t:?}").contains("RoundTrip"));
     }
 }

@@ -214,6 +214,9 @@ impl ChainBuilder {
 
     /// Append an `A_i` atom for z-points `z → zn` in configuration
     /// `(u, vv)`, with the given address/carry constant roles.
+    // One parameter per column of the paper's A_i relation; grouping them
+    // into a struct would obscure the correspondence with the encoding.
+    #[allow(clippy::too_many_arguments)]
     fn push_a(
         &mut self,
         i: usize,
@@ -271,7 +274,7 @@ pub(crate) fn structural_queries(tm: &TuringMachine, n: usize) -> Vec<Conjunctiv
         b.push(Atom::new(Pred::new("start"), vec![z(1)]));
         for k in 1..=i {
             let addr = if k == i { Some(1) } else { None };
-            b.push_a(k, addr, None, z(k), z(k + 1), u.clone(), vv.clone());
+            b.push_a(k, addr, None, z(k), z(k + 1), u, vv);
         }
         queries.push(b.into_query());
     }
@@ -279,7 +282,7 @@ pub(crate) fn structural_queries(tm: &TuringMachine, n: usize) -> Vec<Conjunctiv
     // (2) The first carry bit of any position is 0.
     {
         let mut b = ChainBuilder::new();
-        b.push_a(1, None, Some(0), z(1), z(2), u.clone(), vv.clone());
+        b.push_a(1, None, Some(0), z(1), z(2), u, vv);
         queries.push(b.into_query());
     }
 
@@ -313,10 +316,10 @@ pub(crate) fn structural_queries(tm: &TuringMachine, n: usize) -> Vec<Conjunctiv
         for &(prev_addr, cur_carry, cur_carry_next, cur_addr) in &patterns {
             let mut b = ChainBuilder::new();
             // Previous position: bits i … n.
-            b.push_a(i, prev_addr, None, z(1), z(2), u.clone(), vv.clone());
+            b.push_a(i, prev_addr, None, z(1), z(2), u, vv);
             let mut k = 2;
             for bit in i + 1..=n {
-                b.push_a(bit, None, None, z(k), z(k + 1), u.clone(), vv.clone());
+                b.push_a(bit, None, None, z(k), z(k + 1), u, vv);
                 k += 1;
             }
             // Current position: bits 1 … i, then i+1.  The configuration
@@ -330,11 +333,11 @@ pub(crate) fn structural_queries(tm: &TuringMachine, n: usize) -> Vec<Conjunctiv
                 } else {
                     (None, None)
                 };
-                b.push_a(bit, addr, carry, z(k), z(k + 1), u2.clone(), v2.clone());
+                b.push_a(bit, addr, carry, z(k), z(k + 1), u2, v2);
                 k += 1;
             }
             if cur_carry_next.is_some() {
-                b.push_a(i + 1, None, cur_carry_next, z(k), z(k + 1), u2.clone(), v2.clone());
+                b.push_a(i + 1, None, cur_carry_next, z(k), z(k + 1), u2, v2);
             }
             queries.push(b.into_query());
         }
@@ -345,14 +348,14 @@ pub(crate) fn structural_queries(tm: &TuringMachine, n: usize) -> Vec<Conjunctiv
     for i in 1..=n {
         let mut b = ChainBuilder::new();
         let mut k = 1;
-        b.push_a(i, Some(0), None, z(k), z(k + 1), u.clone(), vv.clone());
+        b.push_a(i, Some(0), None, z(k), z(k + 1), u, vv);
         k += 1;
         for bit in i + 1..=n {
-            b.push_a(bit, None, None, z(k), z(k + 1), u.clone(), vv.clone());
+            b.push_a(bit, None, None, z(k), z(k + 1), u, vv);
             k += 1;
         }
         // Next position opens a new configuration: its pair is (U2, U).
-        b.push_a(1, None, None, z(k), z(k + 1), v("U2"), u.clone());
+        b.push_a(1, None, None, z(k), z(k + 1), v("U2"), u);
         queries.push(b.into_query());
     }
     // 4b: no configuration change although the address is 1…1.
@@ -360,10 +363,10 @@ pub(crate) fn structural_queries(tm: &TuringMachine, n: usize) -> Vec<Conjunctiv
         let mut b = ChainBuilder::new();
         let mut k = 1;
         for bit in 1..=n {
-            b.push_a(bit, Some(1), None, z(k), z(k + 1), u.clone(), vv.clone());
+            b.push_a(bit, Some(1), None, z(k), z(k + 1), u, vv);
             k += 1;
         }
-        b.push_a(1, None, None, z(k), z(k + 1), u.clone(), vv.clone());
+        b.push_a(1, None, None, z(k), z(k + 1), u, vv);
         queries.push(b.into_query());
     }
 
@@ -377,7 +380,7 @@ pub(crate) fn structural_queries(tm: &TuringMachine, n: usize) -> Vec<Conjunctiv
         let mut b = ChainBuilder::new();
         b.push(Atom::new(Pred::new("start"), vec![z(1)]));
         for bit in 1..=n {
-            b.push_a(bit, None, None, z(bit), z(bit + 1), u.clone(), vv.clone());
+            b.push_a(bit, None, None, z(bit), z(bit + 1), u, vv);
         }
         b.push(Atom::new(sym_pred(&symbol), vec![z(n)]));
         queries.push(b.into_query());
@@ -391,13 +394,13 @@ pub(crate) fn structural_queries(tm: &TuringMachine, n: usize) -> Vec<Conjunctiv
             let mut b = ChainBuilder::new();
             b.push(Atom::new(Pred::new("start"), vec![z(1)]));
             // Anchor the configuration: the start point belongs to (U, V).
-            b.push_a(1, None, None, z(1), z(2), u.clone(), vv.clone());
+            b.push_a(1, None, None, z(1), z(2), u, vv);
             // Somewhere in the same configuration, a position whose i-th
             // address bit is 1 carries a non-blank symbol.
             let w = |k: usize| v(&format!("W{k}"));
-            b.push_a(i, Some(1), None, w(i), w(i + 1), u.clone(), vv.clone());
+            b.push_a(i, Some(1), None, w(i), w(i + 1), u, vv);
             for bit in i + 1..=n {
-                b.push_a(bit, None, None, w(bit), w(bit + 1), u.clone(), vv.clone());
+                b.push_a(bit, None, None, w(bit), w(bit + 1), u, vv);
             }
             b.push(Atom::new(sym_pred(&symbol), vec![w(n)]));
             queries.push(b.into_query());
@@ -443,7 +446,7 @@ fn transition_error_query(n: usize, a: &str, b_sym: &str, c: &str, d: &str) -> C
     // Block 1: cell with symbol a.
     let mut k = 1;
     for bit in 1..=n {
-        b.push_a(bit, None, None, z(k), z(k + 1), u.clone(), vv.clone());
+        b.push_a(bit, None, None, z(k), z(k + 1), u, vv);
         if bit == n {
             b.push(Atom::new(sym_pred(a), vec![z(k)]));
         }
@@ -455,7 +458,7 @@ fn transition_error_query(n: usize, a: &str, b_sym: &str, c: &str, d: &str) -> C
         let carry = b.fresh_var("D");
         b.push(Atom::new(
             a_pred(bit),
-            vec![v("X"), v("Y"), addr, carry, z(k), z(k + 1), u.clone(), vv.clone()],
+            vec![v("X"), v("Y"), addr, carry, z(k), z(k + 1), u, vv],
         ));
         if bit == n {
             b.push(Atom::new(sym_pred(b_sym), vec![z(k)]));
@@ -464,7 +467,7 @@ fn transition_error_query(n: usize, a: &str, b_sym: &str, c: &str, d: &str) -> C
     }
     // Block 3: cell with symbol c.
     for bit in 1..=n {
-        b.push_a(bit, None, None, z(k), z(k + 1), u.clone(), vv.clone());
+        b.push_a(bit, None, None, z(k), z(k + 1), u, vv);
         if bit == n {
             b.push(Atom::new(sym_pred(c), vec![z(k)]));
         }
@@ -479,7 +482,7 @@ fn transition_error_query(n: usize, a: &str, b_sym: &str, c: &str, d: &str) -> C
         let carry = b.fresh_var("D");
         b.push(Atom::new(
             a_pred(bit),
-            vec![v("X"), v("Y"), addr, carry, w(bit), w(bit + 1), u2.clone(), u.clone()],
+            vec![v("X"), v("Y"), addr, carry, w(bit), w(bit + 1), u2, u],
         ));
         if bit == n {
             b.push(Atom::new(sym_pred(d), vec![w(bit)]));
@@ -516,7 +519,7 @@ pub(crate) fn boundary_queries(tm: &TuringMachine, n: usize) -> Vec<ConjunctiveQ
                 // Cell 0 of the current configuration (all address bits 0).
                 let mut k = 1;
                 for bit in 1..=n {
-                    builder.push_a(bit, Some(0), None, z(k), z(k + 1), u.clone(), vv.clone());
+                    builder.push_a(bit, Some(0), None, z(k), z(k + 1), u, vv);
                     if bit == n {
                         builder.push(Atom::new(sym_pred(b), vec![z(k)]));
                     }
@@ -525,7 +528,7 @@ pub(crate) fn boundary_queries(tm: &TuringMachine, n: usize) -> Vec<ConjunctiveQ
                 // Cell 1 of the current configuration (the next cell on the
                 // chain; its address needs no constraint).
                 for bit in 1..=n {
-                    builder.push_a(bit, None, None, z(k), z(k + 1), u.clone(), vv.clone());
+                    builder.push_a(bit, None, None, z(k), z(k + 1), u, vv);
                     if bit == n {
                         builder.push(Atom::new(sym_pred(c), vec![z(k)]));
                     }
@@ -534,7 +537,7 @@ pub(crate) fn boundary_queries(tm: &TuringMachine, n: usize) -> Vec<ConjunctiveQ
                 // Cell 0 of the next configuration (all address bits 0,
                 // configuration pair (U2, U)).
                 for bit in 1..=n {
-                    builder.push_a(bit, Some(0), None, w(bit), w(bit + 1), u2.clone(), u.clone());
+                    builder.push_a(bit, Some(0), None, w(bit), w(bit + 1), u2, u);
                     if bit == n {
                         builder.push(Atom::new(sym_pred(d), vec![w(bit)]));
                     }
@@ -562,7 +565,7 @@ pub(crate) fn boundary_queries(tm: &TuringMachine, n: usize) -> Vec<ConjunctiveQ
                 // The cell before the last one (no address constraint).
                 let mut k = 1;
                 for bit in 1..=n {
-                    builder.push_a(bit, None, None, z(k), z(k + 1), u.clone(), vv.clone());
+                    builder.push_a(bit, None, None, z(k), z(k + 1), u, vv);
                     if bit == n {
                         builder.push(Atom::new(sym_pred(a), vec![z(k)]));
                     }
@@ -571,7 +574,7 @@ pub(crate) fn boundary_queries(tm: &TuringMachine, n: usize) -> Vec<ConjunctiveQ
                 // The last cell of the current configuration (all address
                 // bits 1).
                 for bit in 1..=n {
-                    builder.push_a(bit, Some(1), None, z(k), z(k + 1), u.clone(), vv.clone());
+                    builder.push_a(bit, Some(1), None, z(k), z(k + 1), u, vv);
                     if bit == n {
                         builder.push(Atom::new(sym_pred(b), vec![z(k)]));
                     }
@@ -580,7 +583,7 @@ pub(crate) fn boundary_queries(tm: &TuringMachine, n: usize) -> Vec<ConjunctiveQ
                 // The last cell of the next configuration (all address bits
                 // 1, configuration pair (U2, U)).
                 for bit in 1..=n {
-                    builder.push_a(bit, Some(1), None, w(bit), w(bit + 1), u2.clone(), u.clone());
+                    builder.push_a(bit, Some(1), None, w(bit), w(bit + 1), u2, u);
                     if bit == n {
                         builder.push(Atom::new(sym_pred(d), vec![w(bit)]));
                     }
@@ -806,11 +809,12 @@ pub fn trace_database(tm: &TuringMachine, n: usize, trace: &[Configuration]) -> 
             };
             let mut carry = vec![0u8; n + 2];
             carry[1] = 1;
-            for i in 1..=n {
-                let prev_addr_bit = ((prev >> (i - 1)) & 1) as u8;
-                carry[i + 1] = prev_addr_bit & carry[i];
+            let mut running = 1u8;
+            for (bit, slot) in carry.iter_mut().skip(2).enumerate() {
+                running &= ((prev >> bit) & 1) as u8;
+                *slot = running;
             }
-            for i in 1..=n {
+            for (i, &carry_bit) in carry.iter().enumerate().take(n + 1).skip(1) {
                 let addr_bit = ((position >> (i - 1)) & 1) as u8;
                 db.insert(Fact::new(
                     a_pred(i),
@@ -818,7 +822,7 @@ pub fn trace_database(tm: &TuringMachine, n: usize, trace: &[Configuration]) -> 
                         x0,
                         y1,
                         role(addr_bit),
-                        role(carry[i]),
+                        role(carry_bit),
                         point(global),
                         point(global + 1),
                         cfg_u(cfg_index),

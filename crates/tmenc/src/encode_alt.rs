@@ -423,11 +423,12 @@ pub fn tree_database(
             let prev = (position + tape_len - 1) % tape_len;
             let mut carry = vec![0u8; n + 2];
             carry[1] = 1;
-            for i in 1..=n {
-                let prev_addr_bit = ((prev >> (i - 1)) & 1) as u8;
-                carry[i + 1] = prev_addr_bit & carry[i];
+            let mut running = 1u8;
+            for (bit, slot) in carry.iter_mut().skip(2).enumerate() {
+                running &= ((prev >> bit) & 1) as u8;
+                *slot = running;
             }
-            for i in 1..=n {
+            for (i, &carry_bit) in carry.iter().enumerate().take(n + 1).skip(1) {
                 let addr_bit = ((position >> (i - 1)) & 1) as u8;
                 db.insert(Fact::new(
                     Pred::new(&format!("a{i}")),
@@ -435,7 +436,7 @@ pub fn tree_database(
                         x0,
                         y1,
                         role(addr_bit),
-                        role(carry[i]),
+                        role(carry_bit),
                         point(ctx.next_point),
                         point(ctx.next_point + 1),
                         cfg_u,

@@ -598,12 +598,13 @@ pub fn trace_database_nonrec(
             let prev = (position + cells - 1) % cells;
             let mut carry = vec![0u8; bits + 2];
             carry[1] = 1;
-            for i in 1..=bits {
-                let prev_addr_bit = ((prev >> (i - 1)) & 1) as u8;
-                carry[i + 1] = prev_addr_bit & carry[i];
+            let mut running = 1u8;
+            for (bit, slot) in carry.iter_mut().skip(2).enumerate() {
+                running &= ((prev >> bit) & 1) as u8;
+                *slot = running;
             }
             // The 2^n address points of this cell.
-            for i in 1..=bits {
+            for (i, &carry_bit) in carry.iter().enumerate().take(bits + 1).skip(1) {
                 let p = point(global);
                 if let Some(lp) = last_point {
                     db.insert(Fact::new(Pred::new("e"), vec![point(lp), p]));
@@ -618,7 +619,7 @@ pub fn trace_database_nonrec(
                 db.insert(unary("address", p));
                 let addr_bit = ((position >> (i - 1)) & 1) as u8;
                 db.insert(unary(if addr_bit == 0 { "zero" } else { "one" }, p));
-                db.insert(unary(if carry[i] == 0 { "carry0" } else { "carry1" }, p));
+                db.insert(unary(if carry_bit == 0 { "carry0" } else { "carry1" }, p));
                 last_point = Some(global);
                 global += 1;
             }

@@ -9,7 +9,6 @@
 
 use std::collections::BTreeSet;
 
-use serde::{Deserialize, Serialize};
 
 /// A tape symbol (interned as a small string for readability of the
 /// generated Datalog programs).
@@ -19,7 +18,7 @@ pub type Symbol = String;
 pub type MState = String;
 
 /// A single transition of a deterministic Turing machine.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TmTransition {
     /// Current state.
     pub state: MState,
@@ -34,7 +33,7 @@ pub struct TmTransition {
 }
 
 /// A deterministic Turing machine.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TuringMachine {
     /// All tape symbols (the blank must be included).
     pub symbols: Vec<Symbol>,
@@ -167,7 +166,7 @@ impl TuringMachine {
 // ---------------------------------------------------------------------------
 
 /// Whether a state of an alternating machine is existential or universal.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Mode {
     /// At least one successor configuration must accept.
     Existential,
@@ -197,7 +196,7 @@ impl AltOutcome {
 /// the machine strictly alternates between existential and universal states
 /// and every non-halting configuration has exactly two successors, a *left*
 /// successor and a *right* successor (two deterministic transition tables).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AlternatingTuringMachine {
     /// All tape symbols (the blank must be included).
     pub symbols: Vec<Symbol>,

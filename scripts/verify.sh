@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus benches/examples-compile and lint gate, as one
+# command.  The build is fully offline: every dependency is a path
+# dependency inside this workspace, so no registry access is needed.
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --all-targets"
+cargo build --release --all-targets
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "== cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "verify: OK"

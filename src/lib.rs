@@ -1,0 +1,16 @@
+//! Umbrella crate for the Chaudhuri–Vardi reproduction workspace.
+//!
+//! The actual library code lives in the workspace crates; this package
+//! exists to host the cross-crate integration tests (`tests/`) and the
+//! paper walkthrough examples (`examples/`).  For convenience it re-exports
+//! each workspace crate under its usual name.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use automata;
+pub use cq;
+pub use datalog;
+pub use nonrec_equivalence;
+pub use rng;
+pub use tmenc;

@@ -14,7 +14,15 @@ use datalog::generate::{
 };
 use nonrec_equivalence::containment::datalog_contained_in_ucq;
 use nonrec_equivalence::expansions_up_to_depth;
-use proptest::prelude::*;
+
+const CASES: u64 = 48;
+
+/// Spread consecutive case indices across decorrelated seed streams (the
+/// offline build has no `proptest`; properties run as deterministic seed
+/// loops instead — see `rng::spread_seed`).
+fn spread(case: u64) -> u64 {
+    rng::spread_seed(case)
+}
 
 /// If the decision procedure says Π ⊆ Θ, then on every sampled database the
 /// program's answers are a subset of the union's answers; if it says the
@@ -126,30 +134,33 @@ fn word_and_tree_decision_paths_agree() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Chandra–Merlin, sampled: θ ⊆ ψ (decided by containment mapping) iff
-    /// ψ answers θ's canonical database at θ's frozen head tuple.
-    #[test]
-    fn chandra_merlin_on_random_cq_pairs(seed_a in 0u64..5000, seed_b in 0u64..5000) {
-        let config = RandomCqConfig {
-            body_atoms: 3,
-            variables: 3,
-            distinguished: 1,
-            predicates: vec!["e".into()],
-        };
+/// Chandra–Merlin, sampled: θ ⊆ ψ (decided by containment mapping) iff
+/// ψ answers θ's canonical database at θ's frozen head tuple.
+#[test]
+fn chandra_merlin_on_random_cq_pairs() {
+    let config = RandomCqConfig {
+        body_atoms: 3,
+        variables: 3,
+        distinguished: 1,
+        predicates: vec!["e".into()],
+    };
+    for case in 0..CASES {
+        let seed_a = spread(case);
+        let seed_b = spread(case.wrapping_add(CASES));
         let theta = random_cq(&config, seed_a);
         let psi = random_cq(&config, seed_b);
         let decided = cq_contained_in(&theta, &psi);
         let frozen = canonical_database(&theta);
         let semantic = evaluate_cq(&psi, &frozen.database).contains(&frozen.head_tuple);
-        prop_assert_eq!(decided, semantic);
+        assert_eq!(decided, semantic, "case {case}");
     }
+}
 
-    /// Naive and semi-naive evaluation always compute the same fixpoint.
-    #[test]
-    fn naive_and_semi_naive_agree_on_random_programs(seed in 0u64..2000) {
+/// Naive and semi-naive evaluation always compute the same fixpoint.
+#[test]
+fn naive_and_semi_naive_agree_on_random_programs() {
+    for case in 0..CASES {
+        let seed = spread(case);
         let program = random_program(&RandomProgramConfig::default(), seed);
         let db = random_database(
             &RandomDatabaseConfig {
@@ -158,45 +169,64 @@ proptest! {
             },
             seed,
         );
-        let naive = evaluate_with(&program, &db, EvalOptions {
-            strategy: Strategy::Naive,
-            ..Default::default()
-        });
+        let naive = evaluate_with(
+            &program,
+            &db,
+            EvalOptions {
+                strategy: Strategy::Naive,
+                ..Default::default()
+            },
+        );
         let semi = evaluate_with(&program, &db, EvalOptions::default());
-        prop_assert_eq!(naive.database, semi.database);
+        assert_eq!(naive.database, semi.database, "case {case}");
     }
+}
 
-    /// Sagiv–Yannakakis containment is sound on sampled databases: whenever
-    /// Φ ⊆ Ψ is decided, the evaluated answers are included.
-    #[test]
-    fn ucq_containment_is_sound_on_samples(seed in 0u64..2000, n in 2usize..5) {
+/// Sagiv–Yannakakis containment is sound on sampled databases: whenever
+/// Φ ⊆ Ψ is decided, the evaluated answers are included.
+#[test]
+fn ucq_containment_is_sound_on_samples() {
+    for case in 0..CASES {
+        let seed = spread(case);
+        let n = 2 + (case % 3) as usize; // n in 2..5
         let phi = bounded_path_ucq_binary("e", n - 1);
         let psi = bounded_path_ucq_binary("e", n);
-        prop_assert!(ucq_contained_in(&phi, &psi));
+        assert!(ucq_contained_in(&phi, &psi), "case {case}");
         let db = random_database(
-            &RandomDatabaseConfig { domain_size: 5, relations: vec![("e".into(), 2, 10)] },
+            &RandomDatabaseConfig {
+                domain_size: 5,
+                relations: vec![("e".into(), 2, 10)],
+            },
             seed,
         );
         let phi_answers = evaluate_ucq(&phi, &db);
         let psi_answers = evaluate_ucq(&psi, &db);
-        prop_assert!(phi_answers.is_subset(&psi_answers));
+        assert!(phi_answers.is_subset(&psi_answers), "case {case}");
     }
+}
 
-    /// Expansions of bounded depth under-approximate the fixpoint, and the
-    /// depth-d expansions answer exactly what d rounds of semi-naive
-    /// evaluation derive (Proposition 2.6, bounded form) on chain databases.
-    #[test]
-    fn bounded_expansions_match_bounded_evaluation(len in 1usize..6, depth in 1usize..5) {
-        let tc = datalog::generate::transitive_closure("e", "e");
-        let db = datalog::generate::chain_database("e", len);
-        let ucq = expansions_up_to_depth(&tc, Pred::new("p"), depth);
-        let expansions = evaluate_ucq(&ucq, &db);
-        let bounded = evaluate_with(&tc, &db, EvalOptions {
-            max_iterations: Some(depth),
-            ..Default::default()
-        });
-        let bounded_answers: std::collections::BTreeSet<_> =
-            bounded.relation(Pred::new("p")).iter().cloned().collect();
-        prop_assert_eq!(expansions, bounded_answers);
+/// Expansions of bounded depth under-approximate the fixpoint, and the
+/// depth-d expansions answer exactly what d rounds of semi-naive
+/// evaluation derive (Proposition 2.6, bounded form) on chain databases.
+#[test]
+fn bounded_expansions_match_bounded_evaluation() {
+    for len in 1usize..6 {
+        for depth in 1usize..5 {
+            let tc = datalog::generate::transitive_closure("e", "e");
+            let db = datalog::generate::chain_database("e", len);
+            let ucq = expansions_up_to_depth(&tc, Pred::new("p"), depth);
+            let expansions = evaluate_ucq(&ucq, &db);
+            let bounded = evaluate_with(
+                &tc,
+                &db,
+                EvalOptions {
+                    max_iterations: Some(depth),
+                    ..Default::default()
+                },
+            );
+            let bounded_answers: std::collections::BTreeSet<_> =
+                bounded.relation(Pred::new("p")).iter().cloned().collect();
+            assert_eq!(expansions, bounded_answers, "len {len}, depth {depth}");
+        }
     }
 }

@@ -88,14 +88,10 @@ fn example_6_2_dist_le_semantics_and_unfolding() {
     let db = chain_database("e", 6);
     let result = evaluate(&program, &db);
     let reachable = result.relation(goal);
-    assert!(reachable.contains(&vec![
-        datalog::Constant::from_usize(0),
-        datalog::Constant::from_usize(4)
-    ]));
-    assert!(!reachable.contains(&vec![
-        datalog::Constant::from_usize(0),
-        datalog::Constant::from_usize(5)
-    ]));
+    assert!(reachable.contains(&[datalog::Constant::from_usize(0),
+        datalog::Constant::from_usize(4)]));
+    assert!(!reachable.contains(&[datalog::Constant::from_usize(0),
+        datalog::Constant::from_usize(5)]));
     // The unfolding has multiple disjuncts (one per way of splitting the
     // "at most" budget), the largest of size 2^n.
     let ucq = unfold_nonrecursive(&program, goal, usize::MAX).unwrap();
@@ -125,12 +121,10 @@ fn example_6_3_equal_gadget() {
         db.insert(datalog::Fact::app("zero", [format!("b{i}").as_str()]));
     }
     let result = evaluate(&program, &db);
-    assert!(result.relation(goal).contains(&vec![
-        datalog::Constant::new("a0"),
+    assert!(result.relation(goal).contains(&[datalog::Constant::new("a0"),
         datalog::Constant::new("a4"),
         datalog::Constant::new("b0"),
-        datalog::Constant::new("b4"),
-    ]));
+        datalog::Constant::new("b4")]));
     // Flip one label on the b-path: no longer equal.
     let mut unequal = db.clone();
     unequal.insert(datalog::Fact::app("one", ["b2"]));
@@ -142,12 +136,10 @@ fn example_6_3_equal_gadget() {
         }
     }
     let result = evaluate(&program, &strict);
-    assert!(!result.relation(goal).contains(&vec![
-        datalog::Constant::new("a0"),
+    assert!(!result.relation(goal).contains(&[datalog::Constant::new("a0"),
         datalog::Constant::new("a4"),
         datalog::Constant::new("b0"),
-        datalog::Constant::new("b4"),
-    ]));
+        datalog::Constant::new("b4")]));
 }
 
 /// Example 6.6: `word_n` (a linear nonrecursive program) unfolds to 2^n

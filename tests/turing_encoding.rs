@@ -24,7 +24,7 @@ fn generated_programs_are_linear_and_grow_linearly_in_n() {
         }
         previous_rules = stats.rules;
         // Error-query count also grows linearly in n.
-        assert!(enc.queries.len() > 0);
+        assert!(!enc.queries.is_empty());
     }
     let q2 = encode_machine(&tm, 2).queries.len();
     let q3 = encode_machine(&tm, 3).queries.len();

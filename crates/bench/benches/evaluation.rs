@@ -1,6 +1,13 @@
-//! Experiment E14 ablation: naive vs. semi-naive bottom-up evaluation of the
-//! Datalog substrate on transitive-closure workloads (chains and cycles).
-//! The shape: semi-naive does asymptotically fewer join probes.
+//! Experiment E14 ablation: naive vs. semi-naive vs. indexed bottom-up
+//! evaluation of the Datalog substrate on transitive-closure workloads
+//! (chains and cycles).  The shape: semi-naive does asymptotically fewer
+//! join probes than naive, and the indexed engine fewer still.
+//!
+//! Doubles as the probe regression gate for `scripts/verify.sh`: the run
+//! panics if the indexed engine ever does more probes than semi-naive on
+//! any shape, and when `NONREC_BENCH_JSON` names a file the per-shape probe
+//! counts are written there as a JSON snapshot
+//! (`BENCH_evaluation.json` in CI).
 
 use bench::report_shape;
 use bench::{criterion_group, criterion_main, Criterion};
@@ -9,6 +16,14 @@ use std::hint::black_box;
 use datalog::eval::{evaluate_with, EvalOptions, Strategy};
 use datalog::generate::{chain_database, cycle_database, transitive_closure};
 
+struct ShapeRow {
+    n: usize,
+    db: &'static str,
+    strategy: &'static str,
+    probes: usize,
+    facts: usize,
+}
+
 fn bench_evaluation(c: &mut Criterion) {
     let program = transitive_closure("e", "e");
     let mut group = c.benchmark_group("evaluation");
@@ -16,16 +31,26 @@ fn bench_evaluation(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(800));
 
+    let mut rows: Vec<ShapeRow> = Vec::new();
     for n in [8usize, 16, 32] {
         for (db_name, db) in [("chain", chain_database("e", n)), ("cycle", cycle_database("e", n))] {
-            for (strategy_name, strategy) in
-                [("naive", Strategy::Naive), ("semi_naive", Strategy::SemiNaive)]
-            {
+            for (strategy_name, strategy) in [
+                ("naive", Strategy::Naive),
+                ("semi_naive", Strategy::SemiNaive),
+                ("indexed", Strategy::Indexed),
+            ] {
                 let options = EvalOptions {
                     strategy,
                     ..Default::default()
                 };
                 let result = evaluate_with(&program, &db, options);
+                rows.push(ShapeRow {
+                    n,
+                    db: db_name,
+                    strategy: strategy_name,
+                    probes: result.stats.probes,
+                    facts: result.stats.derived_facts,
+                });
                 report_shape(
                     "E14_evaluation",
                     n,
@@ -43,6 +68,55 @@ fn bench_evaluation(c: &mut Criterion) {
         }
     }
     group.finish();
+
+    // Probe regression gate: within every measured (db, n) shape, each
+    // refinement must not probe more than the strategy it refines.  A
+    // violation fails the bench run (and hence scripts/verify.sh).  The
+    // shape space is derived from the collected rows, so extending the
+    // measurement loop automatically extends the gate.
+    let shapes: std::collections::BTreeSet<(usize, &str)> =
+        rows.iter().map(|r| (r.n, r.db)).collect();
+    for (n, db_name) in shapes {
+        let probes_of = |strategy: &str| {
+            rows.iter()
+                .find(|r| r.n == n && r.db == db_name && r.strategy == strategy)
+                .unwrap_or_else(|| panic!("missing {strategy} row for {db_name} n={n}"))
+                .probes
+        };
+        let (naive, semi, indexed) =
+            (probes_of("naive"), probes_of("semi_naive"), probes_of("indexed"));
+        assert!(
+            semi <= naive,
+            "probe regression on {db_name} n={n}: semi-naive {semi} > naive {naive}"
+        );
+        assert!(
+            indexed <= semi,
+            "probe regression on {db_name} n={n}: indexed {indexed} > semi-naive {semi}"
+        );
+    }
+
+    if let Some(path) = std::env::var_os("NONREC_BENCH_JSON") {
+        write_snapshot(&path, &rows).expect("writing bench snapshot");
+        println!("[snapshot] wrote {}", path.to_string_lossy());
+    }
+}
+
+/// Serialise the shape rows as JSON (hand-rolled: the workspace is offline
+/// and dependency-free, and the fields are all numbers and fixed strings).
+fn write_snapshot(path: &std::ffi::OsStr, rows: &[ShapeRow]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{\"group\": \"evaluation\", \"n\": {}, \"db\": \"{}\", \"strategy\": \"{}\", \
+             \"probes\": {}, \"facts\": {}}}{comma}\n",
+            r.n, r.db, r.strategy, r.probes, r.facts
+        ));
+    }
+    out.push_str("]\n");
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(out.as_bytes())
 }
 
 criterion_group!(benches, bench_evaluation);

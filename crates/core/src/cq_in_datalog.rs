@@ -10,14 +10,37 @@
 use cq::canonical::canonical_database;
 use cq::{ConjunctiveQuery, Ucq};
 use datalog::atom::Pred;
-use datalog::eval::{evaluate_with, EvalOptions};
+use datalog::eval::{evaluate_with, EvalOptions, Strategy};
 use datalog::program::Program;
 
 /// Is the conjunctive query contained in the Datalog program's goal
-/// predicate?
+/// predicate?  Evaluates with the default (indexed) strategy; see
+/// [`cq_contained_in_datalog_with`] to pin a strategy for differential
+/// comparison.
 pub fn cq_contained_in_datalog(theta: &ConjunctiveQuery, program: &Program, goal: Pred) -> bool {
+    cq_contained_in_datalog_with(theta, program, goal, EvalOptions::default().strategy)
+}
+
+/// [`cq_contained_in_datalog`] with an explicit evaluation strategy.  The
+/// decision is strategy-independent (all strategies compute the same
+/// fixpoint — see `tests/strategy_differential.rs`); the knob exists so the
+/// decision procedures can be cross-checked against the naive reference
+/// engine.
+pub fn cq_contained_in_datalog_with(
+    theta: &ConjunctiveQuery,
+    program: &Program,
+    goal: Pred,
+    strategy: Strategy,
+) -> bool {
     let frozen = canonical_database(theta);
-    let result = evaluate_with(program, &frozen.database, EvalOptions::default());
+    let result = evaluate_with(
+        program,
+        &frozen.database,
+        EvalOptions {
+            strategy,
+            ..EvalOptions::default()
+        },
+    );
     result.relation(goal).contains(&frozen.head_tuple)
 }
 
@@ -69,6 +92,25 @@ mod tests {
         let mixed = Ucq::parse("q(X, Y) :- e(X, Y).\nq(X, Y) :- f(X, Y).").unwrap();
         assert!(ucq_contained_in_datalog(&ok, &tc(), Pred::new("p")));
         assert!(!ucq_contained_in_datalog(&mixed, &tc(), Pred::new("p")));
+    }
+
+    #[test]
+    fn decision_is_strategy_independent() {
+        let queries = [
+            cq::generate::path_query("e", 3),
+            ConjunctiveQuery::parse("q(X, Y) :- e(X, A), e(B, Y).").unwrap(),
+            ConjunctiveQuery::parse("q(X, X) :- e(X, X).").unwrap(),
+        ];
+        for q in &queries {
+            let reference = cq_contained_in_datalog_with(q, &tc(), Pred::new("p"), Strategy::Naive);
+            for strategy in [Strategy::SemiNaive, Strategy::Indexed] {
+                assert_eq!(
+                    reference,
+                    cq_contained_in_datalog_with(q, &tc(), Pred::new("p"), strategy),
+                    "{q:?} under {strategy:?}"
+                );
+            }
+        }
     }
 
     #[test]

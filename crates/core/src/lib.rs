@@ -64,7 +64,9 @@ pub use containment::{
     datalog_contained_in_cq, datalog_contained_in_ucq, ContainmentResult, Counterexample,
     DecisionOptions,
 };
-pub use cq_in_datalog::{cq_contained_in_datalog, ucq_contained_in_datalog};
+pub use cq_in_datalog::{
+    cq_contained_in_datalog, cq_contained_in_datalog_with, ucq_contained_in_datalog,
+};
 pub use equivalence::{
     datalog_contained_in_nonrecursive, equivalent_to_nonrecursive, EquivalenceResult,
     EquivalenceVerdict,

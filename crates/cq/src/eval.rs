@@ -2,26 +2,45 @@
 //! databases.
 //!
 //! `Θ(D) = {(a1, …, ak) | D ⊨ Θ(a1, …, ak)}` (Section 2.1).  Evaluation is
-//! homomorphism enumeration from the query body into the database.
+//! homomorphism enumeration from the query body into the database, routed
+//! through the database's per-(predicate, column) hash indexes (the same
+//! index-backed atom lookup as `datalog::eval`'s `Strategy::Indexed`).
+//!
+//! UCQ evaluation shards disjuncts across `std::thread::scope` worker
+//! threads — disjuncts are independent, and the lower-bound gadgets produce
+//! thousands of them — and merges the per-shard answer sets in shard order.
+//! The merge is a set union into a `BTreeSet`, so the final answer set and
+//! its iteration order are identical to the sequential path's regardless of
+//! sharding or thread interleaving (locked by `evaluate_ucq_sequential` and
+//! the determinism suite in `tests/strategy_differential.rs`).
 
 use std::collections::BTreeSet;
 
-use datalog::atom::Atom;
 use datalog::database::Database;
 use datalog::substitution::Substitution;
 use datalog::term::{Constant, Term};
 
 use crate::cq::ConjunctiveQuery;
-use crate::homomorphism::for_each_homomorphism;
+use crate::homomorphism::{for_each_homomorphism_db, homomorphism_exists_db};
 use crate::ucq::Ucq;
 
 /// Evaluate a conjunctive query on a database, returning the set of answer
 /// tuples.  A Boolean query returns either the empty set (false) or the set
 /// containing the empty tuple (true).
 pub fn evaluate_cq(query: &ConjunctiveQuery, database: &Database) -> BTreeSet<Vec<Constant>> {
-    let target = database_as_atoms(database);
+    // Ground heads (Boolean queries included) have a one-tuple answer set:
+    // decide satisfiability with the early-aborting search instead of
+    // enumerating every homomorphism.
+    if query.head.is_ground() {
+        let tuple: Vec<Constant> = query.head.terms.iter().filter_map(|t| t.as_const()).collect();
+        return if homomorphism_exists_db(&query.body, database, &Substitution::new()) {
+            BTreeSet::from([tuple])
+        } else {
+            BTreeSet::new()
+        };
+    }
     let mut answers = BTreeSet::new();
-    for_each_homomorphism(&query.body, &target, &Substitution::new(), &mut |h| {
+    for_each_homomorphism_db(&query.body, database, &Substitution::new(), &mut |h| {
         let tuple: Option<Vec<Constant>> = query
             .head
             .terms
@@ -45,14 +64,78 @@ pub fn cq_holds(query: &ConjunctiveQuery, database: &Database) -> bool {
     !evaluate_cq(query, database).is_empty()
 }
 
+/// Options controlling UCQ evaluation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UcqEvalOptions {
+    /// Number of worker threads to shard disjuncts across.  `None` uses
+    /// [`std::thread::available_parallelism`]; `Some(1)` forces the
+    /// sequential path.  The answer set is identical either way.
+    pub threads: Option<usize>,
+}
+
 /// Evaluate a union of conjunctive queries (union of the disjuncts'
-/// answers).
+/// answers), sharding disjuncts across threads when the union is large
+/// enough to benefit.
 pub fn evaluate_ucq(ucq: &Ucq, database: &Database) -> BTreeSet<Vec<Constant>> {
+    evaluate_ucq_with(ucq, database, UcqEvalOptions::default())
+}
+
+/// Evaluate a union of conjunctive queries strictly sequentially, in
+/// disjunct order.  The reference semantics the parallel path is locked to.
+pub fn evaluate_ucq_sequential(ucq: &Ucq, database: &Database) -> BTreeSet<Vec<Constant>> {
     let mut answers = BTreeSet::new();
     for d in &ucq.disjuncts {
         answers.extend(evaluate_cq(d, database));
     }
     answers
+}
+
+/// Evaluate a union of conjunctive queries with explicit options.
+pub fn evaluate_ucq_with(
+    ucq: &Ucq,
+    database: &Database,
+    options: UcqEvalOptions,
+) -> BTreeSet<Vec<Constant>> {
+    let threads = options
+        .threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .clamp(1, ucq.disjuncts.len().max(1));
+    // Sharding only pays off when there are enough disjuncts to amortise
+    // thread spawns; small unions take the sequential path.
+    if threads < 2 || ucq.disjuncts.len() < 2 * threads {
+        return evaluate_ucq_sequential(ucq, database);
+    }
+    // Build the indexes the disjuncts will probe before fanning out, so
+    // workers share the cached snapshots instead of serialising on the
+    // first lookup of each relation.
+    for disjunct in &ucq.disjuncts {
+        for atom in &disjunct.body {
+            let _ = database.index(atom.pred);
+        }
+    }
+    let shard_size = ucq.disjuncts.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = ucq
+            .disjuncts
+            .chunks(shard_size)
+            .map(|shard| {
+                scope.spawn(move || {
+                    let mut answers = BTreeSet::new();
+                    for disjunct in shard {
+                        answers.extend(evaluate_cq(disjunct, database));
+                    }
+                    answers
+                })
+            })
+            .collect();
+        // Merge in shard order.  The union is order-insensitive (sets), so
+        // the result is bit-identical to the sequential path.
+        let mut answers = BTreeSet::new();
+        for worker in workers {
+            answers.extend(worker.join().expect("UCQ evaluation worker panicked"));
+        }
+        answers
+    })
 }
 
 /// Does a specific tuple belong to the answer of the query on the database?
@@ -81,14 +164,7 @@ pub fn cq_answers_tuple(
             }
         }
     }
-    let target = database_as_atoms(database);
-    crate::homomorphism::homomorphism_exists(&query.body, &target, &seed)
-}
-
-/// Represent a database as a vector of ground atoms (the homomorphism
-/// search target).
-fn database_as_atoms(database: &Database) -> Vec<Atom> {
-    database.facts().map(|f| f.to_atom()).collect()
+    homomorphism_exists_db(&query.body, database, &seed)
 }
 
 #[cfg(test)]
@@ -172,6 +248,33 @@ mod tests {
         let db = chain_database("e", 2);
         let q = cq("q(X, Y) :- e(X, Y).");
         assert!(!cq_answers_tuple(&q, &db, &[c(0)]));
+    }
+
+    #[test]
+    fn parallel_ucq_matches_sequential_for_every_thread_count() {
+        let db = chain_database("e", 6);
+        // A union big enough to actually shard (path queries of length 1..=12).
+        let u: Ucq = (1..=12)
+            .map(|k| crate::generate::path_query("e", k))
+            .collect();
+        let sequential = evaluate_ucq_sequential(&u, &db);
+        for threads in [1, 2, 3, 4, 7] {
+            let parallel = evaluate_ucq_with(&u, &db, UcqEvalOptions { threads: Some(threads) });
+            assert_eq!(sequential, parallel, "threads = {threads}");
+            // Same iteration order too (BTreeSet is sorted, but lock it in).
+            assert!(sequential.iter().eq(parallel.iter()), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn ground_head_fast_path_matches_enumeration_semantics() {
+        let db = chain_database("e", 3);
+        // Satisfiable ground-head query: answer is exactly the head tuple.
+        let yes = cq("q(c0) :- e(X, Y).");
+        assert_eq!(evaluate_cq(&yes, &db), BTreeSet::from([vec![c(0)]]));
+        // Unsatisfiable body: empty answer set.
+        let no = cq("q(c0) :- e(X, X).");
+        assert!(evaluate_cq(&no, &db).is_empty());
     }
 
     #[test]

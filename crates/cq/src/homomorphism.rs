@@ -11,10 +11,20 @@
 //! optimisations: atoms are processed most-constrained-first (fewest
 //! candidate target atoms), and candidate target atoms are pre-grouped by
 //! predicate.
+//!
+//! When the target is a [`Database`] (conjunctive-query evaluation), the
+//! `*_db` variants search directly against the database's per-(predicate,
+//! column) hash indexes ([`datalog::index::RelationIndex`]) — the same
+//! index-backed atom lookup the `Strategy::Indexed` join engine in
+//! `datalog::eval` uses — instead of materialising the facts as an atom
+//! list and scanning it per body atom.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use datalog::atom::Atom;
+use datalog::database::Database;
+use datalog::index::RelationIndex;
 use datalog::substitution::Substitution;
 use datalog::term::Term;
 
@@ -58,6 +68,103 @@ pub fn for_each_homomorphism(
     visitor: &mut dyn FnMut(&Substitution) -> bool,
 ) {
     search(source, target, seed, visitor);
+}
+
+/// Does any homomorphism from `source` into the facts of `db` extend
+/// `seed`?  Index-backed equivalent of [`homomorphism_exists`] with the
+/// database's facts as the target.
+pub fn homomorphism_exists_db(source: &[Atom], db: &Database, seed: &Substitution) -> bool {
+    let mut found = false;
+    search_db(source, db, seed, &mut |_| {
+        found = true;
+        false
+    });
+    found
+}
+
+/// Enumerate all homomorphisms from `source` into the facts of `db`
+/// extending `seed`.  Index-backed equivalent of [`for_each_homomorphism`]
+/// with the database's facts as the target; the visitor contract is the
+/// same (`true` continues, `false` aborts).
+pub fn for_each_homomorphism_db(
+    source: &[Atom],
+    db: &Database,
+    seed: &Substitution,
+    visitor: &mut dyn FnMut(&Substitution) -> bool,
+) {
+    search_db(source, db, seed, visitor);
+}
+
+/// Core backtracking search against a database, probing relation indexes
+/// for candidates.  Atom order is chosen *dynamically*: at every search
+/// node the unused atom with the fewest index candidates under the current
+/// bindings goes next ([`RelationIndex::candidate_estimate`], ties to the
+/// lowest textual position).  This keeps the search on connected chains of
+/// bound variables — the long counter/configuration chain queries of the
+/// lower-bound gadgets are infeasible under any fixed order — and prunes a
+/// branch outright when some remaining atom has no candidates at all.  The
+/// set of homomorphisms visited is order-independent; only the visit order
+/// varies.
+fn search_db(
+    source: &[Atom],
+    db: &Database,
+    seed: &Substitution,
+    visitor: &mut dyn FnMut(&Substitution) -> bool,
+) {
+    let atoms: Vec<&Atom> = source.iter().collect();
+    let indexes: Vec<Arc<RelationIndex>> = atoms.iter().map(|a| db.index(a.pred)).collect();
+
+    fn rec(
+        atoms: &[&Atom],
+        indexes: &[Arc<RelationIndex>],
+        used: &mut [bool],
+        depth: usize,
+        subst: &Substitution,
+        visitor: &mut dyn FnMut(&Substitution) -> bool,
+        aborted: &mut bool,
+    ) {
+        if *aborted {
+            return;
+        }
+        if depth == atoms.len() {
+            if !visitor(subst) {
+                *aborted = true;
+            }
+            return;
+        }
+        // Most-constrained-first: the unused atom with the fewest
+        // candidates goes next.  An estimate of 0 short-circuits the scan —
+        // the branch is dead whichever atom we pick.
+        let mut next: Option<(usize, usize)> = None;
+        for (i, atom) in atoms.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let estimate = indexes[i].candidate_estimate(atom, subst);
+            if next.is_none_or(|(_, best)| estimate < best) {
+                next = Some((i, estimate));
+                if estimate == 0 {
+                    break;
+                }
+            }
+        }
+        let (i, _) = next.expect("depth < atoms.len() implies an unused atom");
+        used[i] = true;
+        for tuple in indexes[i].candidates(atoms[i], subst) {
+            let mut extended = subst.clone();
+            if extended.match_tuple(atoms[i], tuple) {
+                rec(atoms, indexes, used, depth + 1, &extended, visitor, aborted);
+                if *aborted {
+                    break;
+                }
+            }
+        }
+        used[i] = false;
+    }
+
+    let mut aborted = false;
+    let mut used = vec![false; atoms.len()];
+    rec(&atoms, &indexes, &mut used, 0, seed, visitor, &mut aborted);
 }
 
 /// Core backtracking search.  The visitor returns `false` to abort.
@@ -227,6 +334,84 @@ mod tests {
         let source = atoms(&["e(X, Y)"]);
         let target = atoms(&["e(a, b, c)"]);
         assert!(!homomorphism_exists(&source, &target, &Substitution::new()));
+    }
+
+    /// The index-backed database search agrees with the atom-list search
+    /// whenever the target atoms are ground: same existence answer and the
+    /// same number of homomorphisms.
+    #[test]
+    fn db_search_agrees_with_atom_search_on_ground_targets() {
+        use datalog::atom::Fact;
+        let sources = [
+            atoms(&["e(X, Y)", "e(Y, Z)"]),
+            atoms(&["e(X, Y)", "e(Y, X)"]),
+            atoms(&["e(X, X)"]),
+            atoms(&["e(a, X)", "f(X)"]),
+            atoms(&["e(X, Y)", "f(Y)", "e(Y, Z)"]),
+        ];
+        let target = atoms(&["e(a, b)", "e(b, c)", "e(c, a)", "e(b, b)", "f(b)", "f(c)"]);
+        let db = Database::from_facts(target.iter().map(|a| a.to_fact().unwrap()));
+        for source in &sources {
+            let mut via_atoms = 0usize;
+            for_each_homomorphism(source, &target, &Substitution::new(), &mut |_| {
+                via_atoms += 1;
+                true
+            });
+            let mut via_db = 0usize;
+            for_each_homomorphism_db(source, &db, &Substitution::new(), &mut |_| {
+                via_db += 1;
+                true
+            });
+            assert_eq!(via_atoms, via_db, "source {source:?}");
+            assert_eq!(
+                homomorphism_exists(source, &target, &Substitution::new()),
+                homomorphism_exists_db(source, &db, &Substitution::new()),
+                "source {source:?}"
+            );
+        }
+        // And a target where nothing matches.
+        let empty = Database::from_facts([Fact::app("g", ["a"])]);
+        assert!(!homomorphism_exists_db(&sources[0], &empty, &Substitution::new()));
+    }
+
+    #[test]
+    fn db_search_respects_seeds() {
+        let source = atoms(&["e(X, Y)"]);
+        let db = Database::from_facts([
+            datalog::atom::Fact::app("e", ["a", "b"]),
+            datalog::atom::Fact::app("e", ["b", "c"]),
+        ]);
+        let mut seed = Substitution::new();
+        seed.bind_var(
+            Var::new("X"),
+            datalog::parser::parse_atom("p(b)").unwrap().terms[0],
+        );
+        let mut count = 0;
+        for_each_homomorphism_db(&source, &db, &seed, &mut |h| {
+            assert_eq!(
+                h.get(Var::new("Y")),
+                Some(datalog::parser::parse_atom("p(c)").unwrap().terms[0])
+            );
+            count += 1;
+            true
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn db_search_early_abort_stops_enumeration() {
+        let source = atoms(&["e(X, Y)"]);
+        let db = Database::from_facts([
+            datalog::atom::Fact::app("e", ["a", "b"]),
+            datalog::atom::Fact::app("e", ["b", "c"]),
+            datalog::atom::Fact::app("e", ["c", "d"]),
+        ]);
+        let mut count = 0;
+        for_each_homomorphism_db(&source, &db, &Substitution::new(), &mut |_| {
+            count += 1;
+            false
+        });
+        assert_eq!(count, 1);
     }
 
     #[test]

@@ -8,16 +8,47 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-
+use std::sync::{Arc, OnceLock};
 
 use crate::atom::{Fact, Pred};
+use crate::index::RelationIndex;
 use crate::term::Constant;
 
 /// A relation: a set of tuples of constants, all of the same arity.
-#[derive(Clone, Default, PartialEq, Eq)]
+///
+/// Alongside the tuples, a relation lazily caches a per-column hash index
+/// ([`RelationIndex`]) for the join engine; the cache is invalidated by any
+/// mutation and rebuilt on the next [`Relation::index`] call.  The cache is
+/// invisible to equality and ordering: two relations compare equal iff their
+/// tuple sets do.
+#[derive(Default)]
 pub struct Relation {
     tuples: BTreeSet<Vec<Constant>>,
+    /// Lazily built index snapshot; cleared by every `&mut self` method
+    /// that changes `tuples`.  `OnceLock` keeps reads lock-free after the
+    /// first build and stays shareable across threads (the parallel UCQ
+    /// evaluator probes indexes from worker threads).
+    index: OnceLock<Arc<RelationIndex>>,
 }
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        Relation {
+            tuples: self.tuples.clone(),
+            // A cached snapshot describes the same tuples, so the clone may
+            // share it (snapshots are immutable).
+            index: self.index.clone(),
+        }
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.tuples == other.tuples
+    }
+}
+
+impl Eq for Relation {}
 
 impl Relation {
     /// The empty relation.
@@ -37,7 +68,21 @@ impl Relation {
 
     /// Insert a tuple; returns true if it was not already present.
     pub fn insert(&mut self, tuple: Vec<Constant>) -> bool {
-        self.tuples.insert(tuple)
+        let added = self.tuples.insert(tuple);
+        if added {
+            self.index.take();
+        }
+        added
+    }
+
+    /// The per-column hash index over the current tuples, built on first use
+    /// and cached until the next mutation.  The returned snapshot is
+    /// immutable: it keeps describing the relation as of this call even if
+    /// the relation is mutated afterwards (re-fetch to see new tuples).
+    pub fn index(&self) -> Arc<RelationIndex> {
+        self.index
+            .get_or_init(|| RelationIndex::build(self.tuples.iter()))
+            .clone()
     }
 
     /// Membership test.
@@ -57,7 +102,11 @@ impl Relation {
         for t in &other.tuples {
             self.tuples.insert(t.clone());
         }
-        self.tuples.len() - before
+        let added = self.tuples.len() - before;
+        if added > 0 {
+            self.index.take();
+        }
+        added
     }
 }
 
@@ -71,6 +120,7 @@ impl FromIterator<Vec<Constant>> for Relation {
     fn from_iter<I: IntoIterator<Item = Vec<Constant>>>(iter: I) -> Self {
         Relation {
             tuples: iter.into_iter().collect(),
+            index: OnceLock::new(),
         }
     }
 }
@@ -113,8 +163,15 @@ impl Database {
     pub fn relation(&self, pred: Pred) -> &Relation {
         static EMPTY: Relation = Relation {
             tuples: BTreeSet::new(),
+            index: OnceLock::new(),
         };
         self.relations.get(&pred).unwrap_or(&EMPTY)
+    }
+
+    /// The per-column hash index for a predicate's relation (see
+    /// [`Relation::index`]); an empty index if the predicate is absent.
+    pub fn index(&self, pred: Pred) -> Arc<RelationIndex> {
+        self.relation(pred).index()
     }
 
     /// Does the database contain this fact?
@@ -253,6 +310,80 @@ mod tests {
         let db: Database = facts.iter().cloned().collect();
         let collected: BTreeSet<Fact> = db.facts().collect();
         assert_eq!(collected, facts.into_iter().collect());
+    }
+
+    /// Interleave inserts with indexed lookups and compare every lookup
+    /// against a scan oracle: catches stale-index bugs where a cached
+    /// snapshot survives a mutation.
+    #[test]
+    fn index_invalidation_agrees_with_scan_oracle() {
+        use rng::{Rng, SeedableRng};
+        let mut rng = rng::StdRng::seed_from_u64(rng::spread_seed(17));
+        let pred = Pred::new("ix");
+        let mut db = Database::new();
+        for step in 0..200 {
+            let tuple = vec![
+                Constant::from_usize(rng.random_range(0..6usize)),
+                Constant::from_usize(rng.random_range(0..6usize)),
+            ];
+            db.insert_tuple(pred, tuple);
+            // After every insert, the re-fetched index must agree with a
+            // scan of the relation on every (column, value) probe.
+            let rel = db.relation(pred);
+            let idx = db.index(pred);
+            assert_eq!(idx.len(), rel.len(), "step {step}: row count");
+            for col in 0..2 {
+                for v in 0..6 {
+                    let value = Constant::from_usize(v);
+                    let via_index: Vec<&[Constant]> = idx
+                        .postings(col, value)
+                        .iter()
+                        .map(|&id| idx.rows()[id as usize].as_slice())
+                        .collect();
+                    let via_scan: Vec<&[Constant]> = rel
+                        .iter()
+                        .filter(|t| t[col] == value)
+                        .map(Vec::as_slice)
+                        .collect();
+                    assert_eq!(
+                        via_index, via_scan,
+                        "step {step}: column {col}, value c{v}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// `absorb` is a mutation too: a cached index must not survive it.
+    #[test]
+    fn absorb_invalidates_the_cached_index() {
+        let mut db1 = Database::from_facts([Fact::app("e", ["a", "b"])]);
+        assert_eq!(db1.index(Pred::new("e")).len(), 1); // prime the cache
+        let db2 = Database::from_facts([Fact::app("e", ["b", "c"])]);
+        db1.absorb(&db2);
+        assert_eq!(db1.index(Pred::new("e")).len(), 2);
+    }
+
+    /// A duplicate insert is a no-op and may keep the cached index.
+    #[test]
+    fn duplicate_insert_keeps_index_consistent() {
+        let mut db = Database::from_facts([Fact::app("e", ["a", "b"])]);
+        let before = db.index(Pred::new("e"));
+        assert!(!db.insert(Fact::app("e", ["a", "b"])));
+        assert_eq!(db.index(Pred::new("e")).len(), before.len());
+    }
+
+
+    /// Cloned relations still answer indexed lookups correctly after the
+    /// original (or the clone) diverges.
+    #[test]
+    fn cloned_relation_index_tracks_its_own_tuples() {
+        let db = Database::from_facts([Fact::app("e", ["a", "b"])]);
+        let _ = db.index(Pred::new("e")); // prime the cache before cloning
+        let mut copy = db.clone();
+        copy.insert(Fact::app("e", ["b", "c"]));
+        assert_eq!(db.index(Pred::new("e")).len(), 1);
+        assert_eq!(copy.index(Pred::new("e")).len(), 2);
     }
 
     #[test]

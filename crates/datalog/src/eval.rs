@@ -1,14 +1,26 @@
 //! Bottom-up evaluation of Datalog programs.
 //!
-//! Implements both *naive* and *semi-naive* fixpoint evaluation, plus
-//! bounded evaluation `Q^i_Π(D)` (at most `i` rule applications, §2.1),
-//! which the test suite uses for differential testing of the containment
-//! decision procedures.
+//! Implements three fixpoint strategies — *naive*, *semi-naive*, and
+//! *indexed* (semi-naive iteration with hash-index joins and join-order
+//! selection, the default) — plus bounded evaluation `Q^i_Π(D)` (at most
+//! `i` rule applications, §2.1), which the test suite uses for differential
+//! testing of the containment decision procedures.
+//!
+//! All three strategies compute the same fixpoint, and iteration-for-
+//! iteration the same bounded prefixes `Q^i_Π(D)`; `tests/
+//! strategy_differential.rs` locks the optimized paths to the naive
+//! semantics on generated instances.  [`EvalStats::probes`] (rule-body
+//! match attempts) is the machine-independent cost measure the benches
+//! snapshot: scans charge one probe per tuple considered, indexed joins one
+//! probe per index candidate considered.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use crate::atom::{Atom, Fact, Pred};
 use crate::database::Database;
+use crate::index::RelationIndex;
+use crate::plan::JoinPlan;
 use crate::program::Program;
 use crate::substitution::Substitution;
 use crate::term::Term;
@@ -16,10 +28,17 @@ use crate::term::Term;
 /// Evaluation strategy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Strategy {
-    /// Recompute every rule over the whole database each iteration.
+    /// Recompute every rule over the whole database each iteration by
+    /// scanning relations in textual body order.  The reference semantics.
     Naive,
-    /// Only join rule bodies against at least one delta fact per iteration.
+    /// Only join rule bodies against at least one delta fact per iteration,
+    /// still by scanning.  Kept as the scan-based baseline the probe
+    /// regression tests compare against.
     SemiNaive,
+    /// Semi-naive iteration with per-(predicate, column) hash-index joins
+    /// ([`crate::index::RelationIndex`]) and join-order selection
+    /// ([`crate::plan::JoinPlan`]).  The default.
+    Indexed,
 }
 
 /// Options controlling evaluation.
@@ -38,7 +57,7 @@ pub struct EvalOptions {
 impl Default for EvalOptions {
     fn default() -> Self {
         EvalOptions {
-            strategy: Strategy::SemiNaive,
+            strategy: Strategy::Indexed,
             max_iterations: None,
             max_facts: None,
         }
@@ -73,7 +92,7 @@ impl EvalResult {
     }
 }
 
-/// Evaluate `program` on `edb` with default options (semi-naive, to
+/// Evaluate `program` on `edb` with default options (indexed joins, to
 /// fixpoint).
 pub fn evaluate(program: &Program, edb: &Database) -> EvalResult {
     evaluate_with(program, edb, EvalOptions::default())
@@ -83,8 +102,19 @@ pub fn evaluate(program: &Program, edb: &Database) -> EvalResult {
 pub fn evaluate_with(program: &Program, edb: &Database, options: EvalOptions) -> EvalResult {
     match options.strategy {
         Strategy::Naive => naive(program, edb, options),
-        Strategy::SemiNaive => semi_naive(program, edb, options),
+        Strategy::SemiNaive => delta_fixpoint(program, edb, options, JoinMode::Scan),
+        Strategy::Indexed => delta_fixpoint(program, edb, options, JoinMode::Indexed),
     }
+}
+
+/// How [`derive_rule`] enumerates candidate tuples for each body atom.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum JoinMode {
+    /// Scan the whole relation per atom, in textual body order.  The
+    /// reference behaviour; probe counts match the pre-index engine.
+    Scan,
+    /// Probe [`RelationIndex`] posting lists, joining in [`JoinPlan`] order.
+    Indexed,
 }
 
 /// Naive evaluation: repeat "apply every rule to the full database" until no
@@ -102,7 +132,15 @@ fn naive(program: &Program, edb: &Database, options: EvalOptions) -> EvalResult 
         stats.iterations += 1;
         let mut new_facts: Vec<Fact> = Vec::new();
         for rule in program.rules() {
-            derive_rule(rule.head.clone(), &rule.body, &db, None, &mut new_facts, &mut stats.probes);
+            derive_rule(
+                rule.head.clone(),
+                &rule.body,
+                &db,
+                None,
+                JoinMode::Scan,
+                &mut new_facts,
+                &mut stats.probes,
+            );
         }
         let mut changed = false;
         for fact in new_facts {
@@ -121,26 +159,41 @@ fn naive(program: &Program, edb: &Database, options: EvalOptions) -> EvalResult 
     EvalResult { database: db, stats }
 }
 
-/// Semi-naive evaluation: each iteration only considers rule instantiations
-/// whose body uses at least one fact derived in the previous iteration.
-fn semi_naive(program: &Program, edb: &Database, options: EvalOptions) -> EvalResult {
+/// Semi-naive fixpoint shared by [`Strategy::SemiNaive`] (scan joins) and
+/// [`Strategy::Indexed`] (index joins): each iteration after the first only
+/// considers rule instantiations whose body uses at least one fact derived
+/// in the previous iteration.  Iteration `i` derives exactly the new facts
+/// of naive iteration `i`, so bounded prefixes `Q^i_Π(D)` agree across all
+/// strategies.
+fn delta_fixpoint(
+    program: &Program,
+    edb: &Database,
+    options: EvalOptions,
+    mode: JoinMode,
+) -> EvalResult {
     let mut db = edb.clone();
     let mut stats = EvalStats::default();
 
-    // Iteration 1 is a naive pass (the "delta" is the EDB itself).
+    // Iteration 1 is a full (naive) pass: the "delta" is the EDB itself.
     let mut delta: BTreeSet<Fact> = BTreeSet::new();
-    {
-        if options.max_iterations != Some(0) {
-            stats.iterations += 1;
-            let mut new_facts = Vec::new();
-            for rule in program.rules() {
-                derive_rule(rule.head.clone(), &rule.body, &db, None, &mut new_facts, &mut stats.probes);
-            }
-            for fact in new_facts {
-                if db.insert(fact.clone()) {
-                    stats.derived_facts += 1;
-                    delta.insert(fact);
-                }
+    if options.max_iterations != Some(0) {
+        stats.iterations += 1;
+        let mut new_facts = Vec::new();
+        for rule in program.rules() {
+            derive_rule(
+                rule.head.clone(),
+                &rule.body,
+                &db,
+                None,
+                mode,
+                &mut new_facts,
+                &mut stats.probes,
+            );
+        }
+        for fact in new_facts {
+            if db.insert(fact.clone()) {
+                stats.derived_facts += 1;
+                delta.insert(fact);
             }
         }
     }
@@ -170,12 +223,13 @@ fn semi_naive(program: &Program, edb: &Database, options: EvalOptions) -> EvalRe
                     &rule.body,
                     &db,
                     Some((pos, &delta_db)),
+                    mode,
                     &mut new_facts,
                     &mut stats.probes,
                 );
             }
             // Rules with empty bodies fire once, in the first iteration,
-            // which the naive pass above already handled.
+            // which the full pass above already handled.
         }
         let mut next_delta = BTreeSet::new();
         for fact in new_facts {
@@ -193,11 +247,19 @@ fn semi_naive(program: &Program, edb: &Database, options: EvalOptions) -> EvalRe
 /// Enumerate all instantiations of `body` against `db` (with the atom at
 /// `delta_pos`, if given, matched against the delta database instead) and
 /// emit the corresponding ground heads.
+///
+/// In [`JoinMode::Scan`] the body is joined in textual order, each atom
+/// against a full scan of its relation.  In [`JoinMode::Indexed`] the body
+/// is joined in [`JoinPlan`] order and each atom enumerates only the rows
+/// of the most selective bound-column posting list
+/// ([`RelationIndex::candidates`]).  Both modes charge one probe per
+/// candidate tuple considered.
 fn derive_rule(
     head: Atom,
     body: &[Atom],
     db: &Database,
     delta: Option<(usize, &Database)>,
+    mode: JoinMode,
     out: &mut Vec<Fact>,
     probes: &mut usize,
 ) {
@@ -206,32 +268,61 @@ fn derive_rule(
         body: &'a [Atom],
         db: &'a Database,
         delta: Option<(usize, &'a Database)>,
+        /// Body positions in join order (identity for scans).
+        order: Vec<usize>,
+        /// Index snapshot per body position; `None` in scan mode.
+        indexes: Vec<Option<Arc<RelationIndex>>>,
+    }
+
+    fn source_db<'a>(
+        db: &'a Database,
+        delta: Option<(usize, &'a Database)>,
+        pos: usize,
+    ) -> &'a Database {
+        match delta {
+            Some((dpos, delta_db)) if dpos == pos => delta_db,
+            _ => db,
+        }
     }
 
     fn rec(
         ctx: &JoinCtx<'_>,
-        pos: usize,
+        step: usize,
         subst: &mut Substitution,
         out: &mut Vec<Fact>,
         probes: &mut usize,
     ) {
-        if pos == ctx.body.len() {
+        if step == ctx.order.len() {
             let ground = subst.apply_atom(ctx.head);
             if let Some(fact) = ground.to_fact() {
                 out.push(fact);
             }
             return;
         }
+        let pos = ctx.order[step];
         let atom = &ctx.body[pos];
-        let source = match ctx.delta {
-            Some((dpos, delta_db)) if dpos == pos => delta_db,
-            _ => ctx.db,
-        };
-        for tuple in source.relation(atom.pred).iter() {
+        // One loop body for both modes — only the candidate source differs
+        // (the probe accounting below must stay identical across modes; the
+        // probe regression gate compares the two).
+        let mut indexed_candidates;
+        let mut scan_candidates;
+        let candidates: &mut dyn Iterator<Item = &[crate::term::Constant]> =
+            match &ctx.indexes[pos] {
+                Some(index) => {
+                    indexed_candidates = index.candidates(atom, subst);
+                    &mut indexed_candidates
+                }
+                None => {
+                    let source = source_db(ctx.db, ctx.delta, pos);
+                    scan_candidates = source.relation(atom.pred).iter().map(Vec::as_slice);
+                    &mut scan_candidates
+                }
+            };
+        for tuple in candidates {
             *probes += 1;
             let mut attempt = subst.clone();
             if attempt.match_tuple(atom, tuple) {
-                rec(ctx, pos + 1, &mut attempt, out, probes);
+                rec(ctx, step + 1, &mut attempt, out, probes);
             }
         }
     }
@@ -248,11 +339,31 @@ fn derive_rule(
         }
         return;
     }
+    let (order, indexes) = match mode {
+        JoinMode::Scan => ((0..body.len()).collect(), vec![None; body.len()]),
+        JoinMode::Indexed => {
+            let plan = match delta {
+                Some((dpos, _)) => JoinPlan::for_body_with_delta(body, db, dpos),
+                None => JoinPlan::for_body(body, db),
+            };
+            // Snapshot each atom's source index once per derivation; new
+            // facts are buffered by the caller, so the snapshots stay valid
+            // for the whole derivation.
+            let indexes = body
+                .iter()
+                .enumerate()
+                .map(|(pos, atom)| Some(source_db(db, delta, pos).index(atom.pred)))
+                .collect();
+            (plan.order().to_vec(), indexes)
+        }
+    };
     let ctx = JoinCtx {
         head: &head,
         body,
         db,
         delta,
+        order,
+        indexes,
     };
     let mut subst = Substitution::new();
     rec(&ctx, 0, &mut subst, out, probes);
@@ -334,24 +445,56 @@ mod tests {
         assert!(!result.database.contains(&Fact::app("p", ["c5", "c0"])));
     }
 
+    fn with_strategy(strategy: Strategy) -> EvalOptions {
+        EvalOptions {
+            strategy,
+            ..EvalOptions::default()
+        }
+    }
+
     #[test]
-    fn naive_and_semi_naive_agree() {
+    fn all_strategies_agree() {
         let db = chain(8);
-        let naive = evaluate_with(
-            &tc(),
-            &db,
-            EvalOptions {
-                strategy: Strategy::Naive,
-                ..EvalOptions::default()
-            },
-        );
-        let semi = evaluate_with(&tc(), &db, EvalOptions::default());
+        let naive = evaluate_with(&tc(), &db, with_strategy(Strategy::Naive));
+        let semi = evaluate_with(&tc(), &db, with_strategy(Strategy::SemiNaive));
+        let indexed = evaluate_with(&tc(), &db, EvalOptions::default());
         assert_eq!(
             naive.relation(Pred::new("p")),
             semi.relation(Pred::new("p"))
         );
-        // Semi-naive must not do more probes than naive on this workload.
+        assert_eq!(naive.database, indexed.database);
+        // Each refinement must not do more probes than the one it refines
+        // on this workload.
         assert!(semi.stats.probes <= naive.stats.probes);
+        assert!(indexed.stats.probes <= semi.stats.probes);
+    }
+
+    #[test]
+    fn indexed_is_the_default_strategy() {
+        assert_eq!(EvalOptions::default().strategy, Strategy::Indexed);
+    }
+
+    #[test]
+    fn strategies_agree_iteration_by_iteration() {
+        let db = chain(6);
+        for i in 0..=5 {
+            let mut results = [Strategy::Naive, Strategy::SemiNaive, Strategy::Indexed]
+                .map(|strategy| {
+                    evaluate_with(
+                        &tc(),
+                        &db,
+                        EvalOptions {
+                            max_iterations: Some(i),
+                            ..with_strategy(strategy)
+                        },
+                    )
+                })
+                .into_iter();
+            let reference = results.next().unwrap();
+            for other in results {
+                assert_eq!(reference.database, other.database, "iteration bound {i}");
+            }
+        }
     }
 
     #[test]

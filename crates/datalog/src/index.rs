@@ -1,0 +1,254 @@
+//! Per-(predicate, column) hash indexes over relations.
+//!
+//! A [`RelationIndex`] is an immutable snapshot of one relation's tuples
+//! together with a hash map per column from constant to the (sorted) row ids
+//! holding that constant at that column.  The indexed join engine in
+//! [`crate::eval`] and the database-backed homomorphism search in the `cq`
+//! crate both enumerate join candidates through [`RelationIndex::candidates`]
+//! instead of scanning the whole relation, which turns the per-atom cost
+//! from O(|relation|) into O(|matching tuples|).
+//!
+//! Snapshots are built lazily by [`crate::database::Relation::index`] and
+//! cached inside the relation; any mutation of the relation invalidates the
+//! cache (see the invalidation tests in `database.rs`).  A snapshot handed
+//! out before a mutation stays alive (it is an [`Arc`]) and continues to
+//! describe the relation as it was when the snapshot was taken — callers
+//! that interleave inserts with lookups must re-fetch the index, which the
+//! evaluation engine does once per fixpoint iteration.
+//!
+//! Everything here is deterministic: rows are stored in the relation's
+//! sorted order, posting lists are sorted by row id, and candidate selection
+//! breaks ties by the lowest column, so probe counts and enumeration orders
+//! are stable across runs and platforms (the benches snapshot probe counts).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::atom::Atom;
+use crate::substitution::Substitution;
+use crate::term::{Constant, Term};
+
+/// An immutable index snapshot of a single relation.
+///
+/// Built by [`crate::database::Relation::index`]; see the module docs for
+/// the caching and invalidation contract.
+#[derive(Debug)]
+pub struct RelationIndex {
+    /// The tuples, in the relation's sorted iteration order.
+    rows: Vec<Vec<Constant>>,
+    /// `columns[c]` maps a constant to the ids of the rows whose `c`-th
+    /// component is that constant.  Rows shorter than `c + 1` components do
+    /// not appear in `columns[c]` (relations normally have uniform arity;
+    /// the index tolerates mixed arities and lets the caller's tuple match
+    /// filter them out).
+    columns: Vec<HashMap<Constant, Vec<u32>>>,
+}
+
+impl RelationIndex {
+    /// Build an index over tuples given in sorted order.
+    pub(crate) fn build<'a, I: Iterator<Item = &'a Vec<Constant>>>(tuples: I) -> Arc<Self> {
+        let rows: Vec<Vec<Constant>> = tuples.cloned().collect();
+        let width = rows.iter().map(Vec::len).max().unwrap_or(0);
+        let mut columns: Vec<HashMap<Constant, Vec<u32>>> = vec![HashMap::new(); width];
+        for (id, row) in rows.iter().enumerate() {
+            let id = u32::try_from(id).expect("relation exceeds u32 rows");
+            for (col, &value) in row.iter().enumerate() {
+                columns[col].entry(value).or_default().push(id);
+            }
+        }
+        Arc::new(RelationIndex { rows, columns })
+    }
+
+    /// Number of rows in the snapshot.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the snapshot has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows, in the relation's sorted order.
+    pub fn rows(&self) -> &[Vec<Constant>] {
+        &self.rows
+    }
+
+    /// The ids of the rows whose `column`-th component equals `value`
+    /// (empty if none, or if the column is out of range).
+    pub fn postings(&self, column: usize, value: Constant) -> &[u32] {
+        self.columns
+            .get(column)
+            .and_then(|m| m.get(&value))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The shortest posting list among `atom`'s *bound* columns (a constant
+    /// in the atom, or a variable `subst` already binds to a constant), or
+    /// `None` if no column is bound.  Ties prefer the lowest column,
+    /// keeping enumeration (and hence probe counts) deterministic.  Shared
+    /// by [`Self::candidates`] and [`Self::candidate_estimate`] so the
+    /// estimate always describes exactly the set that would be enumerated.
+    fn best_postings<'a>(&'a self, atom: &Atom, subst: &Substitution) -> Option<&'a [u32]> {
+        let mut best: Option<&'a [u32]> = None;
+        for (col, &term) in atom.terms.iter().enumerate() {
+            let value = match term {
+                Term::Const(c) => Some(c),
+                Term::Var(v) => match subst.get(v) {
+                    Some(Term::Const(c)) => Some(c),
+                    _ => None,
+                },
+            };
+            if let Some(value) = value {
+                let postings = self.postings(col, value);
+                if best.is_none_or(|b| postings.len() < b.len()) {
+                    best = Some(postings);
+                }
+            }
+        }
+        best
+    }
+
+    /// The number of candidate rows [`Self::candidates`] would enumerate
+    /// for `atom` under `subst`: the shortest bound-column posting list, or
+    /// the full row count with no bound column.  Used by the dynamic
+    /// most-constrained-first atom selection in the `cq` homomorphism
+    /// search (an estimate of 0 proves the atom cannot match, pruning the
+    /// branch).
+    pub fn candidate_estimate(&self, atom: &Atom, subst: &Substitution) -> usize {
+        self.best_postings(atom, subst)
+            .map_or(self.rows.len(), <[u32]>::len)
+    }
+
+    /// Candidate rows for matching `atom` under the bindings of `subst`:
+    /// the rows of the most selective bound-column posting list
+    /// ([`Self::best_postings`]), or all rows with no bound column.  Every
+    /// returned row still has to pass a full
+    /// [`Substitution::match_tuple`]; the index only prunes.
+    pub fn candidates<'a>(&'a self, atom: &Atom, subst: &Substitution) -> Candidates<'a> {
+        match self.best_postings(atom, subst) {
+            Some(postings) => Candidates::Postings {
+                index: self,
+                ids: postings.iter(),
+            },
+            None => Candidates::All(self.rows.iter()),
+        }
+    }
+}
+
+/// Iterator over the candidate rows selected by [`RelationIndex::candidates`].
+pub enum Candidates<'a> {
+    /// No column was bound: every row is a candidate.
+    All(std::slice::Iter<'a, Vec<Constant>>),
+    /// Rows named by the chosen posting list.
+    Postings {
+        /// The snapshot the ids point into.
+        index: &'a RelationIndex,
+        /// The posting-list cursor.
+        ids: std::slice::Iter<'a, u32>,
+    },
+}
+
+impl<'a> Iterator for Candidates<'a> {
+    type Item = &'a [Constant];
+
+    fn next(&mut self) -> Option<&'a [Constant]> {
+        match self {
+            Candidates::All(rows) => rows.next().map(Vec::as_slice),
+            Candidates::Postings { index, ids } => ids
+                .next()
+                .map(|&id| index.rows[id as usize].as_slice()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Fact;
+    use crate::database::Relation;
+    use crate::term::Var;
+
+    fn rel(edges: &[(usize, usize)]) -> Relation {
+        edges
+            .iter()
+            .map(|&(a, b)| vec![Constant::from_usize(a), Constant::from_usize(b)])
+            .collect()
+    }
+
+    #[test]
+    fn postings_find_rows_by_column_value() {
+        let r = rel(&[(0, 1), (0, 2), (1, 2)]);
+        let idx = r.index();
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.postings(0, Constant::from_usize(0)).len(), 2);
+        assert_eq!(idx.postings(1, Constant::from_usize(2)).len(), 2);
+        assert_eq!(idx.postings(0, Constant::from_usize(9)).len(), 0);
+        assert_eq!(idx.postings(7, Constant::from_usize(0)).len(), 0);
+    }
+
+    #[test]
+    fn candidates_use_the_most_selective_bound_column() {
+        let r = rel(&[(0, 1), (0, 2), (1, 2), (3, 2)]);
+        let idx = r.index();
+        // X bound to c1: column 0 has one matching row, column 1 (unbound) none.
+        let mut subst = Substitution::new();
+        subst.bind_var(Var::new("X"), Term::Const(Constant::from_usize(1)));
+        let atom = Atom::app("e", ["X", "Y"]);
+        let rows: Vec<_> = idx.candidates(&atom, &subst).collect();
+        assert_eq!(rows, vec![&[Constant::from_usize(1), Constant::from_usize(2)][..]]);
+    }
+
+    #[test]
+    fn unbound_patterns_fall_back_to_all_rows() {
+        let r = rel(&[(0, 1), (1, 2)]);
+        let idx = r.index();
+        let atom = Atom::app("e", ["X", "Y"]);
+        assert_eq!(idx.candidates(&atom, &Substitution::new()).count(), 2);
+    }
+
+    #[test]
+    fn constants_in_the_atom_bind_columns() {
+        let r = rel(&[(0, 1), (1, 2), (2, 1)]);
+        let idx = r.index();
+        let atom = Atom::app("e", ["X", "c1"]);
+        let rows: Vec<_> = idx.candidates(&atom, &Substitution::new()).collect();
+        assert_eq!(rows.len(), 2); // (0,1) and (2,1)
+    }
+
+    #[test]
+    fn candidate_enumeration_follows_relation_iteration_order() {
+        let r = rel(&[(2, 5), (0, 5), (1, 5), (3, 4)]);
+        let idx = r.index();
+        let atom = Atom::app("e", ["X", "c5"]);
+        let via_index: Vec<&[Constant]> =
+            idx.candidates(&atom, &Substitution::new()).collect();
+        let via_scan: Vec<&[Constant]> = r
+            .iter()
+            .filter(|t| t[1] == Constant::from_usize(5))
+            .map(Vec::as_slice)
+            .collect();
+        assert_eq!(via_index, via_scan);
+    }
+
+    #[test]
+    fn mixed_arity_rows_are_tolerated() {
+        let mut r = Relation::new();
+        r.insert(vec![Constant::from_usize(0)]);
+        r.insert(vec![Constant::from_usize(0), Constant::from_usize(1)]);
+        let idx = r.index();
+        assert_eq!(idx.postings(0, Constant::from_usize(0)).len(), 2);
+        assert_eq!(idx.postings(1, Constant::from_usize(1)).len(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_detached_from_later_mutation() {
+        let mut db = crate::database::Database::new();
+        db.insert(Fact::app("e", ["a", "b"]));
+        let before = db.relation(crate::atom::Pred::new("e")).index();
+        db.insert(Fact::app("e", ["b", "c"]));
+        let after = db.relation(crate::atom::Pred::new("e")).index();
+        assert_eq!(before.len(), 1, "old snapshot unchanged");
+        assert_eq!(after.len(), 2, "re-fetch sees the insert");
+    }
+}

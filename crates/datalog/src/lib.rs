@@ -10,8 +10,10 @@
 //! * a parser for the usual textual syntax ([`parser::parse_program`]),
 //! * the predicate dependency graph and the recursive / nonrecursive /
 //!   linear classification ([`depgraph::DependencyGraph`]),
-//! * an in-memory relational store ([`Database`]) with naive and semi-naive
-//!   bottom-up evaluation ([`eval::evaluate`]),
+//! * an in-memory relational store ([`Database`]) with lazily indexed
+//!   relations ([`index::RelationIndex`]) and naive, semi-naive, and
+//!   indexed-join bottom-up evaluation ([`eval::evaluate`],
+//!   [`plan::JoinPlan`]),
 //! * program validation ([`validate`]) and statistics ([`stats`]),
 //! * generators for the paper's program families and for random instances
 //!   ([`generate`]).
@@ -48,9 +50,11 @@ pub mod depgraph;
 pub mod error;
 pub mod eval;
 pub mod generate;
+pub mod index;
 pub mod intern;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 pub mod program;
 pub mod rule;
 pub mod stats;

@@ -16,4 +16,13 @@ cargo test -q
 echo "== cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+# Smoke-run the evaluation benches.  The evaluation target doubles as the
+# probe regression gate (it panics if the indexed engine ever does more
+# join probes than semi-naive on any workload shape) and records the
+# per-shape probe counts as a JSON snapshot for comparison across PRs.
+echo "== smoke benches (NONREC_BENCH_FAST=1)"
+NONREC_BENCH_FAST=1 NONREC_BENCH_JSON="$PWD/BENCH_evaluation.json" \
+    cargo bench --bench evaluation
+NONREC_BENCH_FAST=1 cargo bench --bench datalog_in_ucq
+
 echo "verify: OK"

@@ -15,6 +15,27 @@
 //! `s` initial in `A1` and `S` containing no initial state of `A2`
 //! corresponds to a tree accepted by `A1` and rejected by `A2`.
 //!
+//! The default engine ([`contained_in_with`]) is **interned, memoised, and
+//! worklist-driven**:
+//!
+//! * subsets `S` are interned into a [`SubsetArena`], so pairs carry compact
+//!   `Copy` ids and subset equality is id equality;
+//! * the `propagate` step is memoised by `(label, child subset ids)` —
+//!   distinct derivations that combine the same child subsets under the same
+//!   label cost one lookup instead of a rescan of `δ2`;
+//! * saturation is driven by a worklist of newly derived pairs: a
+//!   transition's combinations are only re-enumerated when one of its child
+//!   states actually gained a pair, instead of re-enumerating every
+//!   combination each round;
+//! * derived pairs store compact derivation pointers (transition index +
+//!   child entry keys) instead of cloning a witness `Tree` per combination;
+//!   the witness is reconstructed only when a counterexample is reported.
+//!
+//! The pre-existing plain-rounds engine is kept verbatim as
+//! [`contained_in_rounds_with`]: it is the uncached reference oracle the
+//! differential tests lock the worklist engine against, exactly as
+//! `Strategy::Naive` anchors the indexed evaluation engine.
+//!
 //! The optional **antichain optimisation** keeps, for each `s`, only the
 //! ⊆-minimal subsets `S`: the subset computation is monotone, so smaller
 //! subsets derive smaller subsets and dominate larger ones both for
@@ -22,10 +43,11 @@
 //! technique for automata inclusion and is one of the ablations called out
 //! in DESIGN.md.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use super::emptiness::is_empty;
 use super::ops::{complement, intersection, BottomUpDeterministic};
+use super::subset::{SubsetArena, SubsetId};
 use super::{State, Tree, TreeAutomaton};
 
 /// Options for the containment check.
@@ -47,25 +69,46 @@ impl Default for ContainmentOptions {
     }
 }
 
+/// Instrumentation of a containment run.
+///
+/// `pairs` is the effective product size (the old bare `explored` count);
+/// the remaining counters expose how much work the interned/memoised engine
+/// actually did versus saved.  The rounds reference engine fills `pairs` and
+/// `combinations` and reports every combination as a propagate miss (it has
+/// no cache and no arena).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Number of `(state, subset)` pairs derived (inserted).
+    pub pairs: usize,
+    /// Number of child-subset combinations evaluated (propagate requests).
+    pub combinations: usize,
+    /// Propagate-memo hits: combinations answered without rescanning `δ2`.
+    pub propagate_hits: usize,
+    /// Propagate-memo misses: combinations that had to compute the subset.
+    pub propagate_misses: usize,
+    /// Number of distinct subsets interned in the arena.
+    pub subsets_interned: usize,
+}
+
 /// The outcome of a tree-language containment check.
 #[derive(Clone, Debug)]
 pub enum TreeContainment<L> {
     /// `T(A1) ⊆ T(A2)`.
     Contained {
-        /// Number of `(state, subset)` pairs derived.
-        explored: usize,
+        /// Engine instrumentation.
+        stats: EngineStats,
     },
     /// Not contained, with a witness tree in `T(A1) \ T(A2)`.
     NotContained {
         /// A tree accepted by `A1` and rejected by `A2`.
         witness: Tree<L>,
-        /// Number of `(state, subset)` pairs derived.
-        explored: usize,
+        /// Engine instrumentation.
+        stats: EngineStats,
     },
     /// The pair limit was reached before an answer was found.
     Unknown {
-        /// Number of `(state, subset)` pairs derived before giving up.
-        explored: usize,
+        /// Engine instrumentation up to the point of giving up.
+        stats: EngineStats,
     },
 }
 
@@ -80,13 +123,18 @@ impl<L> TreeContainment<L> {
         matches!(self, TreeContainment::NotContained { .. })
     }
 
+    /// Engine instrumentation for the run.
+    pub fn stats(&self) -> &EngineStats {
+        match self {
+            TreeContainment::Contained { stats }
+            | TreeContainment::NotContained { stats, .. }
+            | TreeContainment::Unknown { stats } => stats,
+        }
+    }
+
     /// Number of explored pairs (the effective product size).
     pub fn explored(&self) -> usize {
-        match self {
-            TreeContainment::Contained { explored }
-            | TreeContainment::NotContained { explored, .. }
-            | TreeContainment::Unknown { explored } => *explored,
-        }
+        self.stats().pairs
     }
 
     /// The witness tree, if the answer is "not contained".
@@ -103,8 +151,294 @@ pub fn contained_in<L: Ord + Clone>(a: &TreeAutomaton<L>, b: &TreeAutomaton<L>) 
     contained_in_with(a, b, ContainmentOptions::default())
 }
 
-/// Decide whether `T(a) ⊆ T(b)`.
+/// A derived pair: the interned `A2` subset, a liveness flag (antichain
+/// domination marks entries dead instead of removing them, so entry indices
+/// stay stable for derivation pointers), and the derivation that produced
+/// the pair — the `A1` transition index plus the child entry keys.
+struct Entry {
+    subset: SubsetId,
+    alive: bool,
+    derivation: (usize, Vec<(State, usize)>),
+}
+
+/// Mutable state of the worklist engine, bundled so the helper methods can
+/// split-borrow its fields.
+struct Engine<'b, L: Ord> {
+    arena: SubsetArena,
+    /// `label id → child subset ids → propagated subset id`.  Nested so the
+    /// hot hit path can look up by borrowed slice without allocating a key.
+    propagate_cache: HashMap<u32, HashMap<Vec<SubsetId>, SubsetId>>,
+    /// Derived pairs per `A1` state.
+    entries: Vec<Vec<Entry>>,
+    /// Newly inserted pairs whose combinations are still to be enumerated.
+    queue: VecDeque<(State, usize)>,
+    stats: EngineStats,
+    /// `A2` transitions indexed by label.
+    b_by_label: BTreeMap<&'b L, Vec<(State, &'b Vec<State>)>>,
+}
+
+impl<'b, L: Ord + Clone> Engine<'b, L> {
+    /// Compute (or recall) the `A2` subset reached on `label` from the child
+    /// subsets.
+    fn propagate(&mut self, label_id: u32, label: &L, child_ids: &[SubsetId]) -> SubsetId {
+        self.stats.combinations += 1;
+        if let Some(&id) = self
+            .propagate_cache
+            .get(&label_id)
+            .and_then(|by_children| by_children.get(child_ids))
+        {
+            self.stats.propagate_hits += 1;
+            return id;
+        }
+        self.stats.propagate_misses += 1;
+        let mut out = BTreeSet::new();
+        if let Some(entries) = self.b_by_label.get(label) {
+            for (q, tuple) in entries {
+                if tuple.len() == child_ids.len()
+                    && tuple
+                        .iter()
+                        .zip(child_ids)
+                        .all(|(c, &subset)| self.arena.contains(subset, *c))
+                {
+                    out.insert(*q);
+                }
+            }
+        }
+        let id = self.arena.intern(out);
+        self.propagate_cache
+            .entry(label_id)
+            .or_default()
+            .insert(child_ids.to_vec(), id);
+        id
+    }
+
+    /// Insert a pair, honouring the antichain option.  Returns the index of
+    /// the new entry, or `None` when the pair is a duplicate or dominated.
+    fn insert(
+        &mut self,
+        state: State,
+        subset: SubsetId,
+        derivation: (usize, Vec<(State, usize)>),
+        antichain: bool,
+    ) -> Option<usize> {
+        let arena = &self.arena;
+        let list = &mut self.entries[state];
+        if antichain {
+            if list
+                .iter()
+                .any(|e| e.alive && arena.is_subset(e.subset, subset))
+            {
+                return None; // dominated by an existing smaller subset
+            }
+            for e in list.iter_mut() {
+                if e.alive && arena.is_subset(subset, e.subset) {
+                    e.alive = false;
+                }
+            }
+        } else if list.iter().any(|e| e.subset == subset) {
+            return None;
+        }
+        list.push(Entry {
+            subset,
+            alive: true,
+            derivation,
+        });
+        Some(list.len() - 1)
+    }
+
+    /// Rebuild the witness tree of an entry from its derivation pointers.
+    fn reconstruct(&self, key: (State, usize), a_transitions: &[(State, &L, &Vec<State>)]) -> Tree<L> {
+        let entry = &self.entries[key.0][key.1];
+        let (transition, children) = &entry.derivation;
+        Tree::node(
+            a_transitions[*transition].1.clone(),
+            children
+                .iter()
+                .map(|&child| self.reconstruct(child, a_transitions))
+                .collect(),
+        )
+    }
+
+    /// Does the subset witness a violation (no initial `A2` state)?
+    fn violates(&self, subset: SubsetId, b_initial: &BTreeSet<State>) -> bool {
+        !self.arena.get(subset).iter().any(|q| b_initial.contains(q))
+    }
+}
+
+/// Decide whether `T(a) ⊆ T(b)` with the interned, memoised worklist engine.
 pub fn contained_in_with<L: Ord + Clone>(
+    a: &TreeAutomaton<L>,
+    b: &TreeAutomaton<L>,
+    options: ContainmentOptions,
+) -> TreeContainment<L> {
+    let a_transitions: Vec<(State, &L, &Vec<State>)> = a.transitions().collect();
+    let mut b_by_label: BTreeMap<&L, Vec<(State, &Vec<State>)>> = BTreeMap::new();
+    for (q, label, tuple) in b.transitions() {
+        b_by_label.entry(label).or_default().push((q, tuple));
+    }
+
+    // Dense per-transition label ids: the propagate memo keys on these
+    // instead of on `L` (which is only `Ord`, not `Hash`).
+    let mut label_ids: BTreeMap<&L, u32> = BTreeMap::new();
+    let trans_label: Vec<u32> = a_transitions
+        .iter()
+        .map(|&(_, label, _)| {
+            let next = u32::try_from(label_ids.len()).expect("label id overflow");
+            *label_ids.entry(label).or_insert(next)
+        })
+        .collect();
+
+    // occurrences[c] = the (transition, child position) slots state c fills.
+    let mut occurrences: Vec<Vec<(usize, usize)>> = vec![Vec::new(); a.state_count()];
+    for (t, &(_, _, tuple)) in a_transitions.iter().enumerate() {
+        for (pos, &child) in tuple.iter().enumerate() {
+            occurrences[child].push((t, pos));
+        }
+    }
+
+    let mut engine: Engine<'_, L> = Engine {
+        arena: SubsetArena::new(),
+        propagate_cache: HashMap::new(),
+        entries: (0..a.state_count()).map(|_| Vec::new()).collect(),
+        queue: VecDeque::new(),
+        stats: EngineStats::default(),
+        b_by_label,
+    };
+    let a_initial = a.initial();
+    let b_initial = b.initial();
+
+    // A freshly inserted pair either reports a violation immediately, trips
+    // the pair limit, or joins the worklist.
+    macro_rules! admit {
+        ($state:expr, $index:expr) => {{
+            engine.stats.pairs += 1;
+            if a_initial.contains(&$state)
+                && engine.violates(engine.entries[$state][$index].subset, b_initial)
+            {
+                let witness = engine.reconstruct(($state, $index), &a_transitions);
+                engine.stats.subsets_interned = engine.arena.len();
+                return TreeContainment::NotContained {
+                    witness,
+                    stats: engine.stats,
+                };
+            }
+            if let Some(limit) = options.max_pairs {
+                if engine.stats.pairs >= limit {
+                    engine.stats.subsets_interned = engine.arena.len();
+                    return TreeContainment::Unknown {
+                        stats: engine.stats,
+                    };
+                }
+            }
+            engine.queue.push_back(($state, $index));
+        }};
+    }
+
+    // Seed: leaf transitions derive their pairs unconditionally.
+    for (t, &(s, label, tuple)) in a_transitions.iter().enumerate() {
+        if !tuple.is_empty() {
+            continue;
+        }
+        let subset = engine.propagate(trans_label[t], label, &[]);
+        if let Some(index) = engine.insert(s, subset, (t, Vec::new()), options.antichain) {
+            admit!(s, index);
+        }
+    }
+
+    // Saturate: when a pair is popped, re-enumerate only the combinations of
+    // transitions in which its state occurs, with the popped pair pinned to
+    // that occurrence and the other positions ranging over the currently
+    // live pairs of their states.
+    while let Some((changed_state, changed_index)) = engine.queue.pop_front() {
+        if !engine.entries[changed_state][changed_index].alive {
+            continue; // dominated while queued; its dominator covers it
+        }
+        for &(t, pin) in &occurrences[changed_state] {
+            let (s, label, tuple) = a_transitions[t];
+            // Candidate entry indices per child position.
+            let mut candidates: Vec<Vec<usize>> = Vec::with_capacity(tuple.len());
+            let mut feasible = true;
+            for (j, &child_state) in tuple.iter().enumerate() {
+                if j == pin {
+                    candidates.push(vec![changed_index]);
+                    continue;
+                }
+                let live: Vec<usize> = engine.entries[child_state]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.alive)
+                    .map(|(i, _)| i)
+                    .collect();
+                if live.is_empty() {
+                    feasible = false;
+                    break;
+                }
+                candidates.push(live);
+            }
+            if !feasible {
+                continue;
+            }
+            let mut combo = vec![0usize; tuple.len()];
+            loop {
+                let child_ids: Vec<SubsetId> = combo
+                    .iter()
+                    .zip(&candidates)
+                    .zip(tuple)
+                    .map(|((&i, slot), &child_state)| engine.entries[child_state][slot[i]].subset)
+                    .collect();
+                let subset = engine.propagate(trans_label[t], label, &child_ids);
+                let derivation = (
+                    t,
+                    combo
+                        .iter()
+                        .zip(&candidates)
+                        .zip(tuple)
+                        .map(|((&i, slot), &child_state)| (child_state, slot[i]))
+                        .collect(),
+                );
+                if let Some(index) = engine.insert(s, subset, derivation, options.antichain) {
+                    admit!(s, index);
+                }
+                // Odometer over candidate indices.
+                let mut carry = true;
+                for (slot, cands) in combo.iter_mut().zip(&candidates) {
+                    if carry {
+                        *slot += 1;
+                        if *slot == cands.len() {
+                            *slot = 0;
+                        } else {
+                            carry = false;
+                        }
+                    }
+                }
+                if carry {
+                    break;
+                }
+            }
+        }
+    }
+
+    engine.stats.subsets_interned = engine.arena.len();
+    TreeContainment::Contained {
+        stats: engine.stats,
+    }
+}
+
+/// Decide whether `T(a) ⊆ T(b)` with the plain-rounds reference engine and
+/// default options.
+pub fn contained_in_rounds<L: Ord + Clone>(
+    a: &TreeAutomaton<L>,
+    b: &TreeAutomaton<L>,
+) -> TreeContainment<L> {
+    contained_in_rounds_with(a, b, ContainmentOptions::default())
+}
+
+/// The plain-rounds reference engine: re-enumerates every combination each
+/// round, recomputes `propagate` per combination, and clones a witness tree
+/// per derived pair.  Kept as the uncached oracle the worklist engine is
+/// locked against differentially; its stats report every combination as a
+/// propagate miss and intern no subsets.
+pub fn contained_in_rounds_with<L: Ord + Clone>(
     a: &TreeAutomaton<L>,
     b: &TreeAutomaton<L>,
     options: ContainmentOptions,
@@ -113,7 +447,7 @@ pub fn contained_in_with<L: Ord + Clone>(
     // For each A1 state keep the list of derived (subset, witness) entries.
     type Derived<L> = BTreeMap<State, Vec<(BTreeSet<State>, Tree<L>)>>;
     let mut derived: Derived<L> = BTreeMap::new();
-    let mut total_pairs = 0usize;
+    let mut stats = EngineStats::default();
 
     // Group A1 transitions by state for the saturation loop, and index A2
     // transitions by label for subset propagation.
@@ -162,21 +496,20 @@ pub fn contained_in_with<L: Ord + Clone>(
         true
     };
 
-    // Saturate.  A worklist of states whose pair set changed would be more
-    // efficient; plain rounds keep the code simple and are fast enough for
-    // the automaton sizes produced by the decision procedures (the benches
-    // measure this).
+    // Saturate with plain rounds until no pair changes.
     let mut changed = true;
     while changed {
         changed = false;
         for &(s, label, tuple) in &a_transitions {
             // Enumerate combinations of already-derived child pairs.
             if tuple.is_empty() {
+                stats.combinations += 1;
+                stats.propagate_misses += 1;
                 let subset = propagate(label, &[]);
                 let witness = Tree::leaf(label.clone());
                 if insert(&mut derived, s, subset, witness, options.antichain) {
                     changed = true;
-                    total_pairs += 1;
+                    stats.pairs += 1;
                 }
                 continue;
             }
@@ -195,6 +528,8 @@ pub fn contained_in_with<L: Ord + Clone>(
                     .zip(&child_candidates)
                     .map(|(&i, cands)| &cands[i].0)
                     .collect();
+                stats.combinations += 1;
+                stats.propagate_misses += 1;
                 let subset = propagate(label, &child_subsets);
                 let witness = Tree::node(
                     label.clone(),
@@ -206,13 +541,11 @@ pub fn contained_in_with<L: Ord + Clone>(
                 );
                 if insert(&mut derived, s, subset, witness, options.antichain) {
                     changed = true;
-                    total_pairs += 1;
+                    stats.pairs += 1;
                 }
                 if let Some(limit) = options.max_pairs {
-                    if total_pairs >= limit {
-                        return TreeContainment::Unknown {
-                            explored: total_pairs,
-                        };
+                    if stats.pairs >= limit {
+                        return TreeContainment::Unknown { stats };
                     }
                 }
                 // Odometer over candidate indices.
@@ -240,7 +573,7 @@ pub fn contained_in_with<L: Ord + Clone>(
                     if !subset.iter().any(|q| b.initial().contains(q)) {
                         return TreeContainment::NotContained {
                             witness: witness.clone(),
-                            explored: total_pairs,
+                            stats,
                         };
                     }
                 }
@@ -248,9 +581,7 @@ pub fn contained_in_with<L: Ord + Clone>(
         }
     }
 
-    TreeContainment::Contained {
-        explored: total_pairs,
-    }
+    TreeContainment::Contained { stats }
 }
 
 /// Are the two tree languages equal?
@@ -328,6 +659,22 @@ mod tests {
         t
     }
 
+    /// The unit fixtures the differential tests sweep over.
+    fn fixture_pairs() -> Vec<(TreeAutomaton<char>, TreeAutomaton<char>)> {
+        vec![
+            (ab_trees(), ab_trees()),
+            (ab_trees(), ab_trees_with_c()),
+            (ab_trees_with_c(), ab_trees()),
+            (ab_trees_of_height(3), ab_trees()),
+            (ab_trees(), ab_trees_of_height(2)),
+            (ab_trees(), ab_trees_of_height(4)),
+            (ab_trees_of_height(2), ab_trees_of_height(4)),
+            (ab_trees_of_height(4), ab_trees_of_height(2)),
+            (TreeAutomaton::new(1), ab_trees()),
+            (ab_trees(), TreeAutomaton::new(1)),
+        ]
+    }
+
     #[test]
     fn bounded_height_is_contained_in_unbounded() {
         let r = contained_in(&ab_trees_of_height(3), &ab_trees());
@@ -381,13 +728,7 @@ mod tests {
 
     #[test]
     fn antichain_and_full_mode_agree() {
-        let pairs = [
-            (ab_trees(), ab_trees_with_c()),
-            (ab_trees_with_c(), ab_trees()),
-            (ab_trees_of_height(3), ab_trees()),
-            (ab_trees(), ab_trees_of_height(4)),
-        ];
-        for (a, b) in &pairs {
+        for (a, b) in &fixture_pairs() {
             let with = contained_in_with(
                 a,
                 b,
@@ -411,6 +752,61 @@ mod tests {
     }
 
     #[test]
+    fn worklist_and_rounds_engines_agree_on_the_fixtures() {
+        for antichain in [true, false] {
+            let options = ContainmentOptions {
+                antichain,
+                max_pairs: None,
+            };
+            for (a, b) in &fixture_pairs() {
+                let worklist = contained_in_with(a, b, options);
+                let rounds = contained_in_rounds_with(a, b, options);
+                assert_eq!(
+                    worklist.is_contained(),
+                    rounds.is_contained(),
+                    "verdict mismatch (antichain={antichain})"
+                );
+                // Both witnesses, when present, must be genuine separators.
+                for witness in [worklist.witness(), rounds.witness()].into_iter().flatten() {
+                    assert!(a.accepts(witness));
+                    assert!(!b.accepts(witness));
+                }
+                // On saturating (contained) runs the worklist engine never
+                // rescans δ2 more often than the rounds engine evaluates
+                // combinations: the memo collapses re-enumerations.  (On
+                // early-terminating runs either engine may stop first, so
+                // work counts are not comparable there.)
+                if worklist.is_contained() {
+                    assert!(
+                        worklist.stats().propagate_misses <= rounds.stats().combinations,
+                        "work regression (antichain={antichain}): worklist misses {} > rounds combinations {}",
+                        worklist.stats().propagate_misses,
+                        rounds.stats().combinations
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_stats_expose_memoisation_and_interning() {
+        // A containment that saturates: every derived subset is interned and
+        // the repeated (label, child ids) combinations hit the memo.
+        let r = contained_in(&ab_trees_of_height(4), &ab_trees());
+        assert!(r.is_contained());
+        let stats = r.stats();
+        assert!(stats.pairs > 0);
+        assert!(stats.subsets_interned > 0);
+        assert_eq!(
+            stats.combinations,
+            stats.propagate_hits + stats.propagate_misses
+        );
+        // The bounded-height automaton re-derives the same child subsets at
+        // several heights, so the memo must have been useful.
+        assert!(stats.propagate_hits > 0, "propagate memo never hit");
+    }
+
+    #[test]
     fn on_the_fly_agrees_with_materialised_complement() {
         let pairs = [
             (ab_trees(), ab_trees_with_c()),
@@ -428,14 +824,16 @@ mod tests {
 
     #[test]
     fn pair_limit_reports_unknown() {
-        let r = contained_in_with(
-            &ab_trees(),
-            &ab_trees_with_c(),
-            ContainmentOptions {
-                antichain: true,
-                max_pairs: Some(1),
-            },
-        );
-        assert!(matches!(r, TreeContainment::Unknown { .. }) || r.is_not_contained());
+        for engine in [contained_in_with, contained_in_rounds_with] {
+            let r = engine(
+                &ab_trees(),
+                &ab_trees_with_c(),
+                ContainmentOptions {
+                    antichain: true,
+                    max_pairs: Some(1),
+                },
+            );
+            assert!(matches!(r, TreeContainment::Unknown { .. }) || r.is_not_contained());
+        }
     }
 }

@@ -17,6 +17,7 @@ pub mod containment;
 pub mod emptiness;
 pub mod ops;
 pub mod reduce;
+pub mod subset;
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;

@@ -1,0 +1,129 @@
+//! Interning arena for state subsets.
+//!
+//! The on-the-fly containment check of [`super::containment`] manipulates
+//! subsets `S ⊆ states(A2)` constantly: every derived pair carries one, the
+//! `propagate` step maps child subsets to a parent subset, and the antichain
+//! optimisation compares subsets for inclusion.  Materialising each subset
+//! as a fresh `BTreeSet<State>` made those operations allocate and compare
+//! element-wise on every touch.
+//!
+//! A [`SubsetArena`] interns each distinct subset once and hands out a
+//! compact, `Copy` [`SubsetId`].  Equality of interned subsets is id
+//! equality (O(1)); the set contents are resolved only for the operations
+//! that genuinely need them (inclusion tests, membership checks, and the
+//! final violation check).  Ids are also what the `propagate` memo of the
+//! containment engine keys on: `(label, child subset ids) → subset id`.
+
+use std::collections::{BTreeSet, HashMap};
+
+use super::State;
+
+/// A handle to an interned subset of automaton states.
+///
+/// Two `SubsetId`s obtained from the **same** [`SubsetArena`] are equal iff
+/// the subsets they denote are equal.  Ids from different arenas are
+/// unrelated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubsetId(u32);
+
+impl SubsetId {
+    /// Numeric index of the subset inside its arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An interning table for `BTreeSet<State>` subsets.
+#[derive(Debug, Default)]
+pub struct SubsetArena {
+    sets: Vec<BTreeSet<State>>,
+    ids: HashMap<BTreeSet<State>, SubsetId>,
+}
+
+impl SubsetArena {
+    /// Create an empty arena.
+    pub fn new() -> Self {
+        SubsetArena::default()
+    }
+
+    /// Intern a subset, returning its id.  Interning the same subset twice
+    /// returns the same id and does not allocate.
+    pub fn intern(&mut self, set: BTreeSet<State>) -> SubsetId {
+        if let Some(&id) = self.ids.get(&set) {
+            return id;
+        }
+        let id = SubsetId(u32::try_from(self.sets.len()).expect("subset arena overflow"));
+        self.sets.push(set.clone());
+        self.ids.insert(set, id);
+        id
+    }
+
+    /// Resolve an id back to its subset.
+    #[inline]
+    pub fn get(&self, id: SubsetId) -> &BTreeSet<State> {
+        &self.sets[id.index()]
+    }
+
+    /// Number of distinct subsets interned so far.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Is the subset `a` included in the subset `b`?  Id equality is the
+    /// O(1) fast path; otherwise the interned sets are compared.
+    pub fn is_subset(&self, a: SubsetId, b: SubsetId) -> bool {
+        a == b || self.get(a).is_subset(self.get(b))
+    }
+
+    /// Does the subset contain the state?
+    pub fn contains(&self, id: SubsetId, state: State) -> bool {
+        self.get(id).contains(&state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut arena = SubsetArena::new();
+        let a = arena.intern(BTreeSet::from([1, 2]));
+        let b = arena.intern(BTreeSet::from([2, 1]));
+        assert_eq!(a, b);
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.get(a), &BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn distinct_subsets_get_distinct_ids() {
+        let mut arena = SubsetArena::new();
+        let a = arena.intern(BTreeSet::from([1]));
+        let b = arena.intern(BTreeSet::from([1, 2]));
+        let empty = arena.intern(BTreeSet::new());
+        assert_ne!(a, b);
+        assert_ne!(a, empty);
+        assert_eq!(arena.len(), 3);
+    }
+
+    #[test]
+    fn inclusion_and_membership_resolve_through_the_arena() {
+        let mut arena = SubsetArena::new();
+        let small = arena.intern(BTreeSet::from([1]));
+        let large = arena.intern(BTreeSet::from([1, 2]));
+        let empty = arena.intern(BTreeSet::new());
+        assert!(arena.is_subset(small, large));
+        assert!(!arena.is_subset(large, small));
+        assert!(arena.is_subset(small, small));
+        assert!(arena.is_subset(empty, small));
+        assert!(arena.contains(large, 2));
+        assert!(!arena.contains(small, 2));
+        assert!(!arena.is_empty());
+    }
+}

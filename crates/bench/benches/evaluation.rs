@@ -96,27 +96,19 @@ fn bench_evaluation(c: &mut Criterion) {
     }
 
     if let Some(path) = std::env::var_os("NONREC_BENCH_JSON") {
-        write_snapshot(&path, &rows).expect("writing bench snapshot");
+        let rendered: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"group\": \"evaluation\", \"n\": {}, \"db\": \"{}\", \"strategy\": \"{}\", \
+                     \"probes\": {}, \"facts\": {}}}",
+                    r.n, r.db, r.strategy, r.probes, r.facts
+                )
+            })
+            .collect();
+        bench::write_json_rows(&path, &rendered).expect("writing bench snapshot");
         println!("[snapshot] wrote {}", path.to_string_lossy());
     }
-}
-
-/// Serialise the shape rows as JSON (hand-rolled: the workspace is offline
-/// and dependency-free, and the fields are all numbers and fixed strings).
-fn write_snapshot(path: &std::ffi::OsStr, rows: &[ShapeRow]) -> std::io::Result<()> {
-    use std::io::Write;
-    let mut out = String::from("[\n");
-    for (i, r) in rows.iter().enumerate() {
-        let comma = if i + 1 == rows.len() { "" } else { "," };
-        out.push_str(&format!(
-            "  {{\"group\": \"evaluation\", \"n\": {}, \"db\": \"{}\", \"strategy\": \"{}\", \
-             \"probes\": {}, \"facts\": {}}}{comma}\n",
-            r.n, r.db, r.strategy, r.probes, r.facts
-        ));
-    }
-    out.push_str("]\n");
-    let mut file = std::fs::File::create(path)?;
-    file.write_all(out.as_bytes())
 }
 
 criterion_group!(benches, bench_evaluation);

@@ -25,6 +25,22 @@ pub fn report_shape(experiment: &str, parameter: usize, fields: &[(&str, String)
     eprintln!("[shape] {experiment} n={parameter} {}", rendered.join(" "));
 }
 
+/// Write pre-rendered JSON objects as a snapshot array to `path` — the
+/// `NONREC_BENCH_JSON` format shared by the gating bench targets (the
+/// workspace is offline, so the serialisation is hand-rolled).  Each row
+/// must be one complete JSON object without trailing comma or newline.
+pub fn write_json_rows(path: &std::ffi::OsStr, rows: &[String]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!("  {row}{comma}\n"));
+    }
+    out.push_str("]\n");
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(out.as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -16,7 +16,7 @@ use cq::Ucq;
 use datalog::atom::Pred;
 use datalog::program::Program;
 
-use crate::containment::{datalog_contained_in_ucq, DecisionError};
+use crate::containment::{datalog_contained_in_ucq_with, DecisionError, DecisionOptions};
 use crate::unfold::expansions_up_to_depth;
 
 /// The outcome of a boundedness-at-k check.
@@ -37,8 +37,21 @@ pub fn bounded_at_depth(
     goal: Pred,
     depth: usize,
 ) -> Result<BoundedResult, DecisionError> {
+    bounded_at_depth_with(program, goal, depth, DecisionOptions::default())
+}
+
+/// As [`bounded_at_depth`], with explicit decision options (the default
+/// options share the process-wide [`crate::cache::DecisionCache`], so
+/// probing the same program repeatedly — e.g. from [`find_bound`] and then
+/// from `optimize::eliminate_recursion` — re-decides nothing).
+pub fn bounded_at_depth_with(
+    program: &Program,
+    goal: Pred,
+    depth: usize,
+    options: DecisionOptions,
+) -> Result<BoundedResult, DecisionError> {
     let unfolding = expansions_up_to_depth(program, goal, depth);
-    let result = datalog_contained_in_ucq(program, goal, &unfolding)?;
+    let result = datalog_contained_in_ucq_with(program, goal, &unfolding, options)?;
     Ok(BoundedResult {
         bounded: result.contained,
         unfolding,
@@ -52,8 +65,18 @@ pub fn find_bound(
     goal: Pred,
     max_depth: usize,
 ) -> Result<Option<(usize, Ucq)>, DecisionError> {
+    find_bound_with(program, goal, max_depth, DecisionOptions::default())
+}
+
+/// As [`find_bound`], with explicit decision options.
+pub fn find_bound_with(
+    program: &Program,
+    goal: Pred,
+    max_depth: usize,
+    options: DecisionOptions,
+) -> Result<Option<(usize, Ucq)>, DecisionError> {
     for depth in 1..=max_depth {
-        let result = bounded_at_depth(program, goal, depth)?;
+        let result = bounded_at_depth_with(program, goal, depth, options)?;
         if result.bounded {
             return Ok(Some((depth, result.unfolding)));
         }

@@ -1,0 +1,309 @@
+//! A shared, process-wide memo for containment decisions.
+//!
+//! Every decision procedure in this crate bottoms out in one of three pure
+//! questions:
+//!
+//! 1. `Π(goal) ⊆ Θ`? — the automata-backed decision of
+//!    [`crate::containment::datalog_contained_in_ucq_with`] (expensive:
+//!    builds proof-tree automata and runs tree/word containment);
+//! 2. `θ ⊆ ψ`? — conjunctive-query containment (a homomorphism search,
+//!    issued in quadratic volleys by the `optimize` passes);
+//! 3. `θ ⊆ Π(goal)`? — the canonical-database check of
+//!    [`crate::cq_in_datalog`].
+//!
+//! All three are functions of the *structure* of their inputs up to
+//! variable renaming, body reordering, and (for unions) disjunct order —
+//! exactly what the canonical cache keys of [`cq::canonical`] quotient out.
+//! The [`DecisionCache`] memoises all three maps under those keys, so
+//! `bounded::find_bound` probing successive depths, `equivalence` deciding
+//! both directions, and every `optimize` pass (`minimize_rule_bodies`,
+//! `remove_subsumed_rules`, `eliminate_recursion`) share one pool of
+//! already-decided containments instead of re-deciding them.
+//!
+//! The cache is **on by default** (see `DecisionOptions::use_cache`); the
+//! uncached path is retained as the reference oracle and the two are locked
+//! differentially in `tests/containment_cache_differential.rs`.  Caching a
+//! decision is sound because programs/queries with equal keys are
+//! semantically identical: a stored verdict — and a stored counterexample
+//! database — is valid for every input that maps to the same key.
+//!
+//! [`CacheStats`] exposes hit/miss counts and the product-pair work spent
+//! (on misses) versus recalled (on hits), which the benches report.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use cq::canonical::{CqKey, UcqKey};
+use cq::{ConjunctiveQuery, Ucq};
+use datalog::atom::Pred;
+use datalog::program::Program;
+
+use crate::containment::{ContainmentResult, DecisionOptions};
+
+/// Structural cache key of a Datalog program: the canonical key of each
+/// rule (read as a conjunctive query), in rule order.  Two programs with
+/// equal keys have identical rules up to variable renaming and body-atom
+/// order, hence identical semantics on every database.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProgramKey {
+    rules: Vec<CqKey>,
+}
+
+impl ProgramKey {
+    /// Compute the key of a program (one canonicalisation per rule).
+    pub fn of(program: &Program) -> ProgramKey {
+        ProgramKey {
+            rules: program
+                .rules()
+                .iter()
+                .map(|rule| CqKey::of(&ConjunctiveQuery::from_rule(rule)))
+                .collect(),
+        }
+    }
+}
+
+/// Cache key of a full `Π(goal) ⊆ Θ` decision: the interned program
+/// structure, the goal, the query key, and every option that can change the
+/// outcome or its instrumentation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct DecisionKey {
+    program: ProgramKey,
+    goal: Pred,
+    query: UcqKey,
+    allow_word_path: bool,
+    antichain: bool,
+    max_pairs: Option<usize>,
+}
+
+impl DecisionKey {
+    /// Build the key for a decision call.
+    pub fn new(program: &Program, goal: Pred, ucq: &Ucq, options: DecisionOptions) -> DecisionKey {
+        DecisionKey {
+            program: ProgramKey::of(program),
+            goal,
+            query: UcqKey::of(ucq),
+            allow_word_path: options.allow_word_path,
+            antichain: options.antichain,
+            max_pairs: options.max_pairs,
+        }
+    }
+}
+
+/// Aggregate cache statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (and then populated the cache).
+    pub misses: u64,
+    /// Product pairs explored by full decisions computed on misses.
+    pub pairs_explored: u64,
+    /// Product pairs recalled on hits — work the cache avoided re-doing.
+    pub pairs_saved: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    decisions: HashMap<DecisionKey, ContainmentResult>,
+    /// `θ → ψ → (θ ⊆ ψ)`.  Nested so hit-path lookups borrow the keys
+    /// instead of cloning them into a composite key.
+    cq_pairs: HashMap<CqKey, HashMap<CqKey, bool>>,
+    /// `Π → goal → θ → (θ ⊆ Π(goal))`, nested for the same reason — the
+    /// program key in particular is expensive to clone per lookup.
+    cq_in_program: HashMap<ProgramKey, HashMap<Pred, HashMap<CqKey, bool>>>,
+    stats: CacheStats,
+}
+
+/// The shared decision memo.  See the module docs.
+#[derive(Default)]
+pub struct DecisionCache {
+    inner: Mutex<Inner>,
+}
+
+impl DecisionCache {
+    /// A fresh, empty cache (the tests use private caches; production code
+    /// shares [`DecisionCache::global`]).
+    pub fn new() -> DecisionCache {
+        DecisionCache::default()
+    }
+
+    /// The process-wide cache every decision procedure shares by default.
+    pub fn global() -> &'static DecisionCache {
+        static GLOBAL: OnceLock<DecisionCache> = OnceLock::new();
+        GLOBAL.get_or_init(DecisionCache::new)
+    }
+
+    /// A snapshot of the statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("decision cache poisoned").stats
+    }
+
+    /// Number of memoised entries across all three maps.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().expect("decision cache poisoned");
+        inner.decisions.len()
+            + inner.cq_pairs.values().map(HashMap::len).sum::<usize>()
+            + inner
+                .cq_in_program
+                .values()
+                .flat_map(HashMap::values)
+                .map(HashMap::len)
+                .sum::<usize>()
+    }
+
+    /// True if nothing has been memoised yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every memoised entry and reset the statistics.
+    pub fn clear(&self) {
+        *self.inner.lock().expect("decision cache poisoned") = Inner::default();
+    }
+
+    /// Recall a full decision.  Counts a hit or a miss.
+    pub fn lookup_decision(&self, key: &DecisionKey) -> Option<ContainmentResult> {
+        let mut inner = self.inner.lock().expect("decision cache poisoned");
+        match inner.decisions.get(key).cloned() {
+            Some(result) => {
+                inner.stats.hits += 1;
+                inner.stats.pairs_saved += result.stats.explored as u64;
+                Some(result)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a freshly computed full decision.
+    pub fn store_decision(&self, key: DecisionKey, result: &ContainmentResult) {
+        let mut inner = self.inner.lock().expect("decision cache poisoned");
+        inner.stats.pairs_explored += result.stats.explored as u64;
+        inner.decisions.insert(key, result.clone());
+    }
+
+    /// Memoised `θ ⊆ ψ` (conjunctive-query containment).  Returns the
+    /// verdict and whether it was a cache hit.
+    pub fn cq_contained(&self, theta: &ConjunctiveQuery, psi: &ConjunctiveQuery) -> (bool, bool) {
+        self.cq_contained_keyed(&CqKey::of(theta), &CqKey::of(psi))
+    }
+
+    /// As [`DecisionCache::cq_contained`], but keyed on precomputed
+    /// [`CqKey`]s so quadratic passes canonicalise each query once.
+    pub fn cq_contained_keyed(&self, theta: &CqKey, psi: &CqKey) -> (bool, bool) {
+        {
+            let mut inner = self.inner.lock().expect("decision cache poisoned");
+            if let Some(&verdict) = inner.cq_pairs.get(theta).and_then(|by_psi| by_psi.get(psi)) {
+                inner.stats.hits += 1;
+                return (verdict, true);
+            }
+            inner.stats.misses += 1;
+        }
+        // Compute outside the lock: containment is invariant under
+        // canonicalisation, so the canonical forms inside the keys suffice.
+        let verdict = cq::containment::cq_contained_in(theta.as_query(), psi.as_query());
+        let mut inner = self.inner.lock().expect("decision cache poisoned");
+        inner
+            .cq_pairs
+            .entry(theta.clone())
+            .or_default()
+            .insert(psi.clone(), verdict);
+        (verdict, false)
+    }
+
+    /// Memoised `θ ⊆ Π(goal)` (canonical-database check).  The caller
+    /// supplies the compute path so this module does not depend on the
+    /// evaluation engine; returns the verdict and whether it was a hit.
+    pub fn cq_in_datalog_cached(
+        &self,
+        program: &ProgramKey,
+        goal: Pred,
+        theta: &CqKey,
+        compute: impl FnOnce() -> bool,
+    ) -> (bool, bool) {
+        {
+            let mut inner = self.inner.lock().expect("decision cache poisoned");
+            if let Some(&verdict) = inner
+                .cq_in_program
+                .get(program)
+                .and_then(|by_goal| by_goal.get(&goal))
+                .and_then(|by_theta| by_theta.get(theta))
+            {
+                inner.stats.hits += 1;
+                return (verdict, true);
+            }
+            inner.stats.misses += 1;
+        }
+        let verdict = compute();
+        let mut inner = self.inner.lock().expect("decision cache poisoned");
+        inner
+            .cq_in_program
+            .entry(program.clone())
+            .or_default()
+            .entry(goal)
+            .or_default()
+            .insert(theta.clone(), verdict);
+        (verdict, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog::parser::parse_program;
+
+    fn cq(text: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::parse(text).unwrap()
+    }
+
+    #[test]
+    fn program_keys_identify_renamed_programs() {
+        let p1 = parse_program("p(X, Y) :- e(X, Z), p(Z, Y).\np(X, Y) :- e(X, Y).").unwrap();
+        let p2 = parse_program("p(A, B) :- e(A, C), p(C, B).\np(A, B) :- e(A, B).").unwrap();
+        let p3 = parse_program("p(X, Y) :- e(X, Y).").unwrap();
+        assert_eq!(ProgramKey::of(&p1), ProgramKey::of(&p2));
+        assert_ne!(ProgramKey::of(&p1), ProgramKey::of(&p3));
+    }
+
+    #[test]
+    fn cq_pair_cache_hits_on_renamed_queries() {
+        let cache = DecisionCache::new();
+        let a = cq("q(X) :- e(X, Y), e(Y, Z).");
+        let b = cq("q(X) :- e(X, Y).");
+        let (first, hit_first) = cache.cq_contained(&a, &b);
+        assert!(first);
+        assert!(!hit_first);
+        // A renaming of the same pair must hit.
+        let a2 = cq("q(A) :- e(A, B), e(B, C).");
+        let (second, hit_second) = cache.cq_contained(&a2, &b);
+        assert!(second);
+        assert!(hit_second);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn cq_in_datalog_cache_computes_once() {
+        let cache = DecisionCache::new();
+        let program = parse_program("p(X, Y) :- e(X, Y).").unwrap();
+        let key = ProgramKey::of(&program);
+        let theta = CqKey::of(&cq("q(X, Y) :- e(X, Y)."));
+        let mut computed = 0;
+        for _ in 0..3 {
+            let (verdict, _) = cache.cq_in_datalog_cached(&key, Pred::new("p"), &theta, || {
+                computed += 1;
+                true
+            });
+            assert!(verdict);
+        }
+        assert_eq!(computed, 1);
+        assert_eq!(cache.stats().hits, 2);
+    }
+}

@@ -73,7 +73,7 @@ pub struct Counterexample {
 }
 
 /// The outcome of a containment decision.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ContainmentResult {
     /// Does the containment hold?
     pub contained: bool,
@@ -92,6 +92,10 @@ pub struct DecisionOptions {
     pub antichain: bool,
     /// Abort tree containment after this many product pairs (`None`: never).
     pub max_pairs: Option<usize>,
+    /// Consult (and populate) the shared [`crate::cache::DecisionCache`].
+    /// On by default; switch off to run the uncached reference path the
+    /// differential tests lock the cache against.
+    pub use_cache: bool,
 }
 
 impl Default for DecisionOptions {
@@ -100,6 +104,7 @@ impl Default for DecisionOptions {
             allow_word_path: true,
             antichain: true,
             max_pairs: None,
+            use_cache: true,
         }
     }
 }
@@ -137,6 +142,13 @@ pub fn datalog_contained_in_ucq(
 }
 
 /// Decide `Π(goal) ⊆ Θ` with explicit options.
+///
+/// Unless `options.use_cache` is off, the decision is memoised in the
+/// shared [`crate::cache::DecisionCache`] keyed on the interned program
+/// structure, goal, query key, and options: repeated calls (from
+/// [`crate::bounded::find_bound`], [`crate::equivalence`], or the
+/// [`crate::optimize`] passes) recall the stored verdict, counterexample,
+/// and instrumentation instead of rebuilding the automata.
 pub fn datalog_contained_in_ucq_with(
     program: &Program,
     goal: Pred,
@@ -149,6 +161,26 @@ pub fn datalog_contained_in_ucq_with(
     if !ucq.consistent_arity() {
         return Err(DecisionError::InconsistentUcq);
     }
+    if options.use_cache {
+        let cache = crate::cache::DecisionCache::global();
+        let key = crate::cache::DecisionKey::new(program, goal, ucq, options);
+        if let Some(result) = cache.lookup_decision(&key) {
+            return Ok(result);
+        }
+        let result = decide_uncached(program, goal, ucq, options)?;
+        cache.store_decision(key, &result);
+        return Ok(result);
+    }
+    decide_uncached(program, goal, ucq, options)
+}
+
+/// The uncached decision path (the reference oracle).
+fn decide_uncached(
+    program: &Program,
+    goal: Pred,
+    ucq: &Ucq,
+    options: DecisionOptions,
+) -> Result<ContainmentResult, DecisionError> {
     let start = Instant::now();
 
     // Build A_ptrees(Q, Π).

@@ -44,6 +44,26 @@ pub fn cq_contained_in_datalog_with(
     result.relation(goal).contains(&frozen.head_tuple)
 }
 
+/// As [`cq_contained_in_datalog`], memoised in the shared
+/// [`crate::cache::DecisionCache`] under a precomputed program key (so
+/// callers checking many disjuncts against the same program intern the
+/// program once).
+pub fn cq_contained_in_datalog_keyed(
+    theta: &ConjunctiveQuery,
+    program: &Program,
+    program_key: &crate::cache::ProgramKey,
+    goal: Pred,
+) -> bool {
+    let cache = crate::cache::DecisionCache::global();
+    let key = cq::CqKey::of(theta);
+    let (verdict, _) = cache.cq_in_datalog_cached(program_key, goal, &key, || {
+        // Containment is invariant under canonicalisation; freeze the
+        // canonical form carried by the key.
+        cq_contained_in_datalog(key.as_query(), program, goal)
+    });
+    verdict
+}
+
 /// Is every disjunct of the union contained in the program (i.e. is the
 /// union contained in the program)?
 pub fn ucq_contained_in_datalog(ucq: &Ucq, program: &Program, goal: Pred) -> bool {

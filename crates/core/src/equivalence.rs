@@ -94,15 +94,35 @@ pub fn datalog_contained_in_nonrecursive_with(
 
 /// Decide `Π'(goal) ⊆ Π(goal)` where Π' is nonrecursive: unfold Π' and check
 /// every disjunct by the canonical-database method.  Returns the index of a
-/// violating disjunct on failure.
+/// violating disjunct on failure.  Decisions are memoised in the shared
+/// [`crate::cache::DecisionCache`]; see
+/// [`nonrecursive_contained_in_datalog_with`] for the uncached oracle.
 pub fn nonrecursive_contained_in_datalog(
     nonrecursive: &Program,
     goal: Pred,
     program: &Program,
 ) -> Result<Result<(), usize>, EquivalenceError> {
+    nonrecursive_contained_in_datalog_with(nonrecursive, goal, program, true)
+}
+
+/// As [`nonrecursive_contained_in_datalog`], with the per-disjunct
+/// canonical-database checks optionally bypassing the shared cache.
+pub fn nonrecursive_contained_in_datalog_with(
+    nonrecursive: &Program,
+    goal: Pred,
+    program: &Program,
+    use_cache: bool,
+) -> Result<Result<(), usize>, EquivalenceError> {
     let unfolding = unfold_nonrecursive(nonrecursive, goal, usize::MAX)?;
+    let program_key = use_cache.then(|| crate::cache::ProgramKey::of(program));
     for (index, disjunct) in unfolding.disjuncts.iter().enumerate() {
-        if !cq_contained_in_datalog(disjunct, program, goal) {
+        let contained = match &program_key {
+            Some(key) => {
+                crate::cq_in_datalog::cq_contained_in_datalog_keyed(disjunct, program, key, goal)
+            }
+            None => cq_contained_in_datalog(disjunct, program, goal),
+        };
+        if !contained {
             return Ok(Err(index));
         }
     }
@@ -156,7 +176,9 @@ pub fn equivalent_to_nonrecursive_with(
     options: DecisionOptions,
 ) -> Result<EquivalenceResult, EquivalenceError> {
     // Cheap direction first: Π' ⊆ Π by canonical databases.
-    if let Err(index) = nonrecursive_contained_in_datalog(nonrecursive, goal, program)? {
+    if let Err(index) =
+        nonrecursive_contained_in_datalog_with(nonrecursive, goal, program, options.use_cache)?
+    {
         return Ok(EquivalenceResult {
             verdict: EquivalenceVerdict::NonrecursiveExceeds(index),
             containment: None,

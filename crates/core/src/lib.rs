@@ -47,6 +47,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod bounded;
+pub mod cache;
 pub mod containment;
 pub mod cq_automaton;
 pub mod cq_in_datalog;
@@ -60,6 +61,7 @@ pub mod ptrees_automaton;
 pub mod unfold;
 pub mod unify;
 
+pub use cache::{CacheStats, DecisionCache, ProgramKey};
 pub use containment::{
     datalog_contained_in_cq, datalog_contained_in_ucq, ContainmentResult, Counterexample,
     DecisionOptions,

@@ -26,16 +26,44 @@
 
 use std::collections::BTreeSet;
 
-use cq::containment::cq_contained_in;
-use cq::minimize::minimize_cq;
+use cq::canonical::CqKey;
+use cq::minimize::minimize_cq_with;
 use cq::ConjunctiveQuery;
 use datalog::atom::{Atom, Pred};
 use datalog::program::Program;
 use datalog::rule::Rule;
 
-use crate::bounded::find_bound;
-use crate::containment::DecisionError;
+use crate::bounded::find_bound_with;
+use crate::cache::DecisionCache;
+use crate::containment::{DecisionError, DecisionOptions};
 use crate::unify::Unifier;
+
+/// A CQ-containment oracle that answers through the shared
+/// [`DecisionCache`] and counts the calls it was asked and the calls the
+/// cache answered — the numbers [`OptimizeReport`] surfaces.
+#[derive(Default)]
+struct CountingOracle {
+    calls: usize,
+    hits: usize,
+}
+
+impl CountingOracle {
+    /// Is `theta ⊆ psi`, with precomputed keys?
+    fn contained_keyed(&mut self, theta: &CqKey, psi: &CqKey) -> bool {
+        self.calls += 1;
+        let (verdict, hit) = DecisionCache::global().cq_contained_keyed(theta, psi);
+        if hit {
+            self.hits += 1;
+        }
+        verdict
+    }
+
+    /// Is `a` equivalent to `b` (two containment calls)?
+    fn equivalent(&mut self, a: &ConjunctiveQuery, b: &ConjunctiveQuery) -> bool {
+        let (ka, kb) = (CqKey::of(a), CqKey::of(b));
+        self.contained_keyed(&ka, &kb) && self.contained_keyed(&kb, &ka)
+    }
+}
 
 /// Options for the composite [`optimize`] pass.
 #[derive(Clone, Copy, Debug)]
@@ -61,7 +89,7 @@ impl Default for OptimizeOptions {
     }
 }
 
-/// Size accounting for an optimisation pass.
+/// Size and containment-work accounting for an optimisation pass.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OptimizeReport {
     /// Rules before.
@@ -72,6 +100,12 @@ pub struct OptimizeReport {
     pub atoms_before: usize,
     /// Total atom count after.
     pub atoms_after: usize,
+    /// CQ-containment decisions the passes asked for.
+    pub containment_calls: usize,
+    /// How many of those the shared [`DecisionCache`] answered without
+    /// re-deciding (repeated `optimize` runs over the same program answer
+    /// everything from the cache).
+    pub containment_cache_hits: usize,
 }
 
 /// Run the configured pipeline: unreachable-rule removal, body minimisation,
@@ -86,18 +120,21 @@ pub fn optimize(
         atoms_before: program.atom_count(),
         ..OptimizeReport::default()
     };
+    let mut oracle = CountingOracle::default();
     let mut current = remove_unreachable_rules(program, goal);
     if options.minimize_bodies {
-        current = minimize_rule_bodies(&current);
+        current = minimize_rule_bodies_with(&current, &mut oracle);
     }
     if options.remove_subsumed {
-        current = remove_subsumed_rules(&current);
+        current = remove_subsumed_rules_with(&current, &mut oracle);
     }
     if options.inline_nonrecursive {
         current = inline_nonrecursive_predicates(&current, goal, options.inline_rule_limit);
     }
     report.rules_after = current.len();
     report.atoms_after = current.atom_count();
+    report.containment_calls = oracle.calls;
+    report.containment_cache_hits = oracle.hits;
     (current, report)
 }
 
@@ -130,13 +167,23 @@ pub fn remove_unreachable_rules(program: &Program, goal: Pred) -> Program {
 
 /// Minimise every rule body as a conjunctive query over its (EDB and IDB)
 /// body predicates.  Sound for recursive programs because a rule application
-/// treats every body predicate as a fixed relation.
+/// treats every body predicate as a fixed relation.  Equivalence checks are
+/// answered through the shared [`DecisionCache`].
 pub fn minimize_rule_bodies(program: &Program) -> Program {
+    minimize_rule_bodies_with(program, &mut CountingOracle::default())
+}
+
+fn minimize_rule_bodies_with(program: &Program, oracle: &mut CountingOracle) -> Program {
     Program::new(
         program
             .rules()
             .iter()
-            .map(|rule| minimize_cq(&ConjunctiveQuery::from_rule(rule)).to_rule())
+            .map(|rule| {
+                minimize_cq_with(&ConjunctiveQuery::from_rule(rule), &mut |a, b| {
+                    oracle.equivalent(a, b)
+                })
+                .to_rule()
+            })
             .collect(),
     )
 }
@@ -147,10 +194,16 @@ pub fn minimize_rule_bodies(program: &Program) -> Program {
 /// so `r` can be dropped.  Mutually subsuming (equivalent) rules keep their
 /// first representative.
 pub fn remove_subsumed_rules(program: &Program) -> Program {
-    let queries: Vec<ConjunctiveQuery> = program
+    remove_subsumed_rules_with(program, &mut CountingOracle::default())
+}
+
+fn remove_subsumed_rules_with(program: &Program, oracle: &mut CountingOracle) -> Program {
+    // Canonicalise (= compute the cache key of) every rule once; the
+    // quadratic containment sweep below then runs entirely on keys.
+    let queries: Vec<CqKey> = program
         .rules()
         .iter()
-        .map(|r| ConjunctiveQuery::from_rule(r).canonicalize_names())
+        .map(|r| CqKey::of(&ConjunctiveQuery::from_rule(r)))
         .collect();
     let mut keep = vec![true; queries.len()];
     for i in 0..queries.len() {
@@ -158,13 +211,16 @@ pub fn remove_subsumed_rules(program: &Program) -> Program {
             continue;
         }
         for j in 0..queries.len() {
-            if i == j || !keep[j] || queries[i].name() != queries[j].name() {
+            if i == j
+                || !keep[j]
+                || queries[i].as_query().name() != queries[j].as_query().name()
+            {
                 continue;
             }
             // Drop rule i if it is contained in rule j; on equivalence keep
             // the smaller index.
-            if cq_contained_in(&queries[i], &queries[j]) {
-                let mutual = cq_contained_in(&queries[j], &queries[i]);
+            if oracle.contained_keyed(&queries[i], &queries[j]) {
+                let mutual = oracle.contained_keyed(&queries[j], &queries[i]);
                 if !mutual || j < i {
                     keep[i] = false;
                     break;
@@ -284,7 +340,19 @@ pub fn eliminate_recursion(
     goal: Pred,
     max_depth: usize,
 ) -> Result<Option<Program>, DecisionError> {
-    let Some((_, unfolding)) = find_bound(program, goal, max_depth)? else {
+    eliminate_recursion_with(program, goal, max_depth, DecisionOptions::default())
+}
+
+/// As [`eliminate_recursion`], with explicit decision options.  The default
+/// options share the [`DecisionCache`], so a boundedness probe already paid
+/// for by [`crate::bounded::find_bound`] is never re-decided here.
+pub fn eliminate_recursion_with(
+    program: &Program,
+    goal: Pred,
+    max_depth: usize,
+    options: DecisionOptions,
+) -> Result<Option<Program>, DecisionError> {
+    let Some((_, unfolding)) = find_bound_with(program, goal, max_depth, options)? else {
         return Ok(None);
     };
     let rules: Vec<Rule> = unfolding.disjuncts.iter().map(|d| d.to_rule()).collect();
@@ -502,6 +570,33 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn repeated_optimize_answers_containment_from_the_cache() {
+        // The ablation bench's messy workload: the first pass may or may not
+        // be warm (other tests share the global cache), but a repeated pass
+        // must answer every containment question it asks from the cache.
+        let messy = parse_program(
+            "reach(X, Y) :- hop(X, Y).\n\
+             reach(X, Y) :- hop(X, Z), reach(Z, Y).\n\
+             reach(X, Y) :- hop(X, Y), hop(X, W), hop(X, W2).\n\
+             reach(X, Y) :- hop(X, Z), hop(X, Z2), reach(Z, Y).\n\
+             hop(X, Y) :- e(X, Y).\n\
+             hop(X, Y) :- e(X, Y), e(X, W).",
+        )
+        .unwrap();
+        let goal = Pred::new("reach");
+        let (first_program, first) = optimize(&messy, goal, OptimizeOptions::default());
+        assert!(first.containment_calls > 0);
+        let (second_program, second) = optimize(&messy, goal, OptimizeOptions::default());
+        assert_eq!(first_program, second_program);
+        assert_eq!(second.containment_calls, first.containment_calls);
+        assert!(
+            second.containment_cache_hits > 0,
+            "repeated pass must hit the shared cache"
+        );
+        assert_eq!(second.containment_cache_hits, second.containment_calls);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Canonical ("frozen") databases of conjunctive queries.
+//! Canonical ("frozen") databases and structural cache keys of conjunctive
+//! queries.
 //!
 //! The canonical database of a conjunctive query θ is obtained by reading
 //! every variable as a fresh constant and every body atom as a fact.  It is
@@ -11,6 +12,15 @@
 //!   EXPTIME-complete direction cited in the paper's introduction
 //!   ([CK86, CLM81, Sa88b]).  That check lives in the `nonrec-equivalence`
 //!   crate and uses this module.
+//!
+//! The same canonicalisation underlies the **cache keys** [`CqKey`] and
+//! [`UcqKey`]: a query's key is its name-canonical form
+//! ([`ConjunctiveQuery::canonicalize_names`]), so two queries equal up to
+//! variable renaming and body reordering share a key, and containment /
+//! equivalence decisions can be memoised on keys without re-canonicalising
+//! at every lookup.  Keys are hashable, comparable, and stable within a
+//! process (variable and predicate names resolve through the global
+//! `datalog` interner); they are not a serialisation format.
 
 use std::collections::BTreeMap;
 
@@ -19,6 +29,51 @@ use datalog::database::Database;
 use datalog::term::{Constant, Term, Var};
 
 use crate::cq::ConjunctiveQuery;
+use crate::ucq::Ucq;
+
+/// A structural cache key for a conjunctive query: its name-canonical form.
+///
+/// Two queries have equal keys iff they are syntactically equal after
+/// canonicalising variable names and sorting body atoms — i.e. iff they are
+/// the same query up to renaming and body order.  Decision caches key on
+/// this, so a decision made for one variant is recalled for all of them.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CqKey(ConjunctiveQuery);
+
+impl CqKey {
+    /// Compute the key of a query (one canonicalisation).
+    pub fn of(query: &ConjunctiveQuery) -> CqKey {
+        CqKey(query.canonicalize_names())
+    }
+
+    /// The canonical query backing the key.  Containment is invariant under
+    /// canonicalisation, so deciders may run directly on this form.
+    pub fn as_query(&self) -> &ConjunctiveQuery {
+        &self.0
+    }
+}
+
+/// A structural cache key for a union of conjunctive queries: the sorted
+/// multiset of its disjuncts' keys.  Disjunct order never affects a UCQ's
+/// semantics, so permuted unions share a key.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UcqKey {
+    disjuncts: Vec<CqKey>,
+}
+
+impl UcqKey {
+    /// Compute the key of a union (one canonicalisation per disjunct).
+    pub fn of(ucq: &Ucq) -> UcqKey {
+        let mut disjuncts: Vec<CqKey> = ucq.disjuncts.iter().map(CqKey::of).collect();
+        disjuncts.sort();
+        UcqKey { disjuncts }
+    }
+
+    /// The disjunct keys, sorted.
+    pub fn disjuncts(&self) -> &[CqKey] {
+        &self.disjuncts
+    }
+}
 
 /// The result of freezing a conjunctive query.
 #[derive(Clone, Debug)]
@@ -77,6 +132,32 @@ mod tests {
 
     fn cq(text: &str) -> ConjunctiveQuery {
         ConjunctiveQuery::parse(text).unwrap()
+    }
+
+    #[test]
+    fn cq_keys_identify_renamings_and_body_reorderings() {
+        let a = cq("q(X, Z) :- e(X, Y), f(Y, Z).");
+        let b = cq("q(A, C) :- f(B, C), e(A, B).");
+        let c = cq("q(X, Z) :- e(X, Y), f(Z, Y).");
+        assert_eq!(CqKey::of(&a), CqKey::of(&b));
+        assert_ne!(CqKey::of(&a), CqKey::of(&c));
+        // The canonical query backing the key is containment-equivalent to
+        // the original.
+        assert!(crate::containment::cq_equivalent(
+            &a,
+            CqKey::of(&a).as_query()
+        ));
+    }
+
+    #[test]
+    fn ucq_keys_ignore_disjunct_order() {
+        let u1 = Ucq::parse("q(X) :- e(X, Y).\nq(X) :- f(X, Y).").unwrap();
+        let u2 = Ucq::parse("q(A) :- f(A, B).\nq(A) :- e(A, B).").unwrap();
+        let u3 = Ucq::parse("q(X) :- e(X, Y).").unwrap();
+        assert_eq!(UcqKey::of(&u1), UcqKey::of(&u2));
+        assert_ne!(UcqKey::of(&u1), UcqKey::of(&u3));
+        assert_eq!(UcqKey::of(&u1).disjuncts().len(), 2);
+        assert_eq!(UcqKey::of(&Ucq::empty()).disjuncts().len(), 0);
     }
 
     #[test]

@@ -39,5 +39,6 @@ pub mod homomorphism;
 pub mod minimize;
 pub mod ucq;
 
+pub use crate::canonical::{CqKey, UcqKey};
 pub use crate::cq::ConjunctiveQuery;
 pub use crate::ucq::Ucq;

@@ -17,6 +17,17 @@ use crate::ucq::Ucq;
 /// The result is the core of the query: removing any further atom would
 /// change its meaning.
 pub fn minimize_cq(query: &ConjunctiveQuery) -> ConjunctiveQuery {
+    minimize_cq_with(query, &mut |a, b| cq_equivalent(a, b))
+}
+
+/// As [`minimize_cq`], but deciding equivalence through a caller-supplied
+/// oracle (`oracle(a, b)` must answer "is `a` equivalent to `b`?").  The
+/// optimisation passes of `nonrec-equivalence` pass a memoising oracle here
+/// so repeated minimisations of structurally equal bodies are free.
+pub fn minimize_cq_with(
+    query: &ConjunctiveQuery,
+    oracle: &mut dyn FnMut(&ConjunctiveQuery, &ConjunctiveQuery) -> bool,
+) -> ConjunctiveQuery {
     let mut current = query.clone();
     let mut changed = true;
     while changed {
@@ -30,7 +41,7 @@ pub fn minimize_cq(query: &ConjunctiveQuery) -> ConjunctiveQuery {
             // Removing atoms can only make the query weaker-or-equal
             // (larger answer set); it stays equivalent iff the smaller query
             // is still contained in the original.
-            if cq_equivalent(&candidate, &current) {
+            if oracle(&candidate, &current) {
                 current = candidate;
                 changed = true;
                 break;

@@ -25,4 +25,12 @@ NONREC_BENCH_FAST=1 NONREC_BENCH_JSON="$PWD/BENCH_evaluation.json" \
     cargo bench --bench evaluation
 NONREC_BENCH_FAST=1 cargo bench --bench datalog_in_ucq
 
+# The containment bench is the pair-work regression gate for the interned,
+# memoised worklist containment engine (it panics if the worklist engine
+# ever rescans δ2 more often than the plain-rounds oracle enumerates
+# combinations, or if a repeated optimize pass misses the decision cache)
+# and snapshots the per-shape counts.
+NONREC_BENCH_FAST=1 NONREC_BENCH_JSON="$PWD/BENCH_containment.json" \
+    cargo bench --bench containment
+
 echo "verify: OK"

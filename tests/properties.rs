@@ -86,6 +86,7 @@ fn antichain_and_exhaustive_containment_agree() {
                 antichain: true,
                 allow_word_path: false,
                 max_pairs: None,
+                ..DecisionOptions::default()
             },
         )
         .unwrap();
@@ -97,6 +98,7 @@ fn antichain_and_exhaustive_containment_agree() {
                 antichain: false,
                 allow_word_path: false,
                 max_pairs: None,
+                ..DecisionOptions::default()
             },
         )
         .unwrap();
@@ -117,6 +119,7 @@ fn resource_limit_is_reported_as_an_error() {
             antichain: true,
             allow_word_path: false,
             max_pairs: Some(1),
+            ..DecisionOptions::default()
         },
     );
     assert!(result.is_err());

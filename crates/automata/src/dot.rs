@@ -32,7 +32,11 @@ pub fn nfa_to_dot<A: Ord + Clone>(nfa: &Nfa<A>, label: impl Fn(&A) -> String) ->
             let _ = writeln!(out, "  start{state} [shape=point, label=\"\"];");
             let _ = writeln!(out, "  start{state} -> s{state};");
         }
-        let _ = writeln!(out, "  s{state} [label=\"{state}\"{}];", render_attrs(&attrs));
+        let _ = writeln!(
+            out,
+            "  s{state} [label=\"{state}\"{}];",
+            render_attrs(&attrs)
+        );
     }
     for (from, symbol, to) in nfa.transitions() {
         let _ = writeln!(

@@ -147,7 +147,10 @@ impl<L> TreeContainment<L> {
 }
 
 /// Decide whether `T(a) ⊆ T(b)` with default options.
-pub fn contained_in<L: Ord + Clone>(a: &TreeAutomaton<L>, b: &TreeAutomaton<L>) -> TreeContainment<L> {
+pub fn contained_in<L: Ord + Clone>(
+    a: &TreeAutomaton<L>,
+    b: &TreeAutomaton<L>,
+) -> TreeContainment<L> {
     contained_in_with(a, b, ContainmentOptions::default())
 }
 
@@ -247,7 +250,11 @@ impl<'b, L: Ord + Clone> Engine<'b, L> {
     }
 
     /// Rebuild the witness tree of an entry from its derivation pointers.
-    fn reconstruct(&self, key: (State, usize), a_transitions: &[(State, &L, &Vec<State>)]) -> Tree<L> {
+    fn reconstruct(
+        &self,
+        key: (State, usize),
+        a_transitions: &[(State, &L, &Vec<State>)],
+    ) -> Tree<L> {
         let entry = &self.entries[key.0][key.1];
         let (transition, children) = &entry.derivation;
         Tree::node(
@@ -485,7 +492,10 @@ pub fn contained_in_rounds_with<L: Ord + Clone>(
      -> bool {
         let entry = derived.entry(state).or_default();
         if antichain {
-            if entry.iter().any(|(existing, _)| existing.is_subset(&subset)) {
+            if entry
+                .iter()
+                .any(|(existing, _)| existing.is_subset(&subset))
+            {
                 return false; // dominated by an existing smaller subset
             }
             entry.retain(|(existing, _)| !subset.is_subset(existing));

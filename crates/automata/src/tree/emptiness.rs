@@ -91,11 +91,7 @@ pub fn accept_set<L: Ord + Clone>(automaton: &TreeAutomaton<L>) -> AcceptSet<L> 
             }
             p.missing -= 1;
             if p.missing == 0 && !witness.contains_key(&p.state) {
-                let children: Vec<Tree<L>> = p
-                    .tuple
-                    .iter()
-                    .map(|c| witness[c].clone())
-                    .collect();
+                let children: Vec<Tree<L>> = p.tuple.iter().map(|c| witness[c].clone()).collect();
                 witness.insert(p.state, Tree::node(p.label.clone(), children));
                 queue.push_back(p.state);
             }

@@ -117,8 +117,7 @@ impl<L: Ord + Clone> BottomUpDeterministic<L> {
     /// Run the deterministic automaton bottom-up on a tree.  Returns `None`
     /// if the tree uses a label/arity outside the ranked alphabet.
     pub fn run(&self, tree: &Tree<L>) -> Option<State> {
-        let child_states: Option<Vec<State>> =
-            tree.children.iter().map(|c| self.run(c)).collect();
+        let child_states: Option<Vec<State>> = tree.children.iter().map(|c| self.run(c)).collect();
         self.transitions
             .get(&(tree.label.clone(), child_states?))
             .copied()
@@ -146,8 +145,8 @@ pub fn determinize<L: Ord + Clone>(
     let mut transitions: BTreeMap<(L, Vec<State>), State> = BTreeMap::new();
 
     let intern = |subset: BTreeSet<State>,
-                      subsets: &mut Vec<BTreeSet<State>>,
-                      subset_index: &mut BTreeMap<BTreeSet<State>, State>|
+                  subsets: &mut Vec<BTreeSet<State>>,
+                  subset_index: &mut BTreeMap<BTreeSet<State>, State>|
      -> (State, bool) {
         if let Some(&id) = subset_index.get(&subset) {
             (id, false)
@@ -301,7 +300,10 @@ mod tests {
             leaf('c'),
             Tree::node('a', vec![leaf('b'), leaf('b')]),
             Tree::node('a', vec![leaf('b'), leaf('c')]),
-            Tree::node('a', vec![leaf('c'), Tree::node('a', vec![leaf('b'), leaf('b')])]),
+            Tree::node(
+                'a',
+                vec![leaf('c'), Tree::node('a', vec![leaf('b'), leaf('b')])],
+            ),
             Tree::node('a', vec![leaf('b')]),
         ]
     }

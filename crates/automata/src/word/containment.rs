@@ -42,9 +42,8 @@ impl<A> WordContainment<A> {
     /// Number of explored product states.
     pub fn explored(&self) -> usize {
         match self {
-            WordContainment::Contained { explored } | WordContainment::NotContained { explored, .. } => {
-                *explored
-            }
+            WordContainment::Contained { explored }
+            | WordContainment::NotContained { explored, .. } => *explored,
         }
     }
 }
@@ -81,13 +80,13 @@ pub fn contained_in<A: Ord + Clone>(a: &Nfa<A>, b: &Nfa<A>) -> WordContainment<A
             .filter(|sym| a.successors(qa, sym).next().is_some())
             .collect();
         for symbol in symbols {
-            let next_sb: BTreeSet<State> = sb
-                .iter()
-                .flat_map(|&s| b.successors(s, &symbol))
-                .collect();
+            let next_sb: BTreeSet<State> =
+                sb.iter().flat_map(|&s| b.successors(s, &symbol)).collect();
             for ta in a.successors(qa, &symbol).collect::<Vec<_>>() {
                 let next_key = (ta, next_sb.clone());
-                if let std::collections::btree_map::Entry::Vacant(e) = visited.entry(next_key.clone()) {
+                if let std::collections::btree_map::Entry::Vacant(e) =
+                    visited.entry(next_key.clone())
+                {
                     e.insert(Some((key.clone(), symbol.clone())));
                     if a.is_accepting(ta) && !next_sb.iter().any(|&s| b.is_accepting(s)) {
                         violation = Some(next_key.clone());

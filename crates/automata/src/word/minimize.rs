@@ -43,8 +43,11 @@ pub fn trim<A: Ord + Clone>(nfa: &Nfa<A>) -> Nfa<A> {
     let keep: Vec<State> = (0..nfa.state_count())
         .filter(|s| forward.contains(s) && backward.contains(s))
         .collect();
-    let renumber: BTreeMap<State, State> =
-        keep.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+    let renumber: BTreeMap<State, State> = keep
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, new))
+        .collect();
 
     let mut out = Nfa::new(keep.len());
     for &s in nfa.initial() {
@@ -254,7 +257,13 @@ mod tests {
         // 3 states suffice: start, the accepting loop, the reject sink.
         assert_eq!(minimal.state_count, 3);
         assert!(dfa_equivalent(&dfa, &minimal));
-        for word in [&[][..], &['a'][..], &['b'][..], &['a', 'a'][..], &['b', 'b'][..]] {
+        for word in [
+            &[][..],
+            &['a'][..],
+            &['b'][..],
+            &['a', 'a'][..],
+            &['b', 'b'][..],
+        ] {
             assert_eq!(dfa.accepts(word), minimal.accepts(word));
         }
     }

@@ -93,7 +93,10 @@ fn bench_ablation(c: &mut Criterion) {
             &[
                 ("states_before", stats.states_before.to_string()),
                 ("states_after", stats.states_after.to_string()),
-                ("explored_raw", tree_contained_in(&raw, &all).explored().to_string()),
+                (
+                    "explored_raw",
+                    tree_contained_in(&raw, &all).explored().to_string(),
+                ),
                 (
                     "explored_reduced",
                     tree_contained_in(&reduced, &all).explored().to_string(),
@@ -127,7 +130,10 @@ fn bench_ablation(c: &mut Criterion) {
         for (variant, automaton) in [("raw", &raw), ("trimmed", &trimmed), ("minimal", &minimal)] {
             group.bench_function(format!("word_containment_{variant}_n{n}"), |b| {
                 b.iter(|| {
-                    black_box(word_contained_in(black_box(automaton), black_box(&superset)))
+                    black_box(word_contained_in(
+                        black_box(automaton),
+                        black_box(&superset),
+                    ))
                 })
             });
         }

@@ -83,7 +83,13 @@ fn bench_automata(c: &mut Criterion) {
                 ],
             );
             group.bench_function(format!("tree_containment_{name}_h{h}"), |b| {
-                b.iter(|| black_box(contained_in_with(black_box(&bounded), black_box(&all), options)))
+                b.iter(|| {
+                    black_box(contained_in_with(
+                        black_box(&bounded),
+                        black_box(&all),
+                        options,
+                    ))
+                })
             });
         }
     }

@@ -77,50 +77,50 @@ fn bench_containment(c: &mut Criterion) {
             ("vs_all", bounded_height(h), all_ab_trees()),
             ("nested", bounded_height(h), bounded_height(h + 1)),
         ] {
-        for (mode, antichain) in [("antichain", true), ("exhaustive", false)] {
-            let options = ContainmentOptions {
-                antichain,
-                max_pairs: None,
-            };
-            let worklist = contained_in_with(&bounded, &all, options);
-            let rounds = contained_in_rounds_with(&bounded, &all, options);
-            assert_eq!(
-                worklist.is_contained(),
-                rounds.is_contained(),
-                "verdict mismatch on h={h} ({family}, {mode})"
-            );
-            for (engine, result) in [("worklist", &worklist), ("rounds", &rounds)] {
-                let stats = *result.stats();
-                report_shape(
-                    "E13_tree_containment",
-                    h,
-                    &[
-                        ("variant", format!("{family}_{engine}_{mode}")),
-                        ("explored", stats.pairs.to_string()),
-                        ("combinations", stats.combinations.to_string()),
-                        ("propagate_hits", stats.propagate_hits.to_string()),
-                        ("propagate_misses", stats.propagate_misses.to_string()),
-                        ("subsets", stats.subsets_interned.to_string()),
-                    ],
+            for (mode, antichain) in [("antichain", true), ("exhaustive", false)] {
+                let options = ContainmentOptions {
+                    antichain,
+                    max_pairs: None,
+                };
+                let worklist = contained_in_with(&bounded, &all, options);
+                let rounds = contained_in_rounds_with(&bounded, &all, options);
+                assert_eq!(
+                    worklist.is_contained(),
+                    rounds.is_contained(),
+                    "verdict mismatch on h={h} ({family}, {mode})"
                 );
-                engine_rows.push(EngineRow {
-                    h,
-                    variant: format!("{family}_{engine}_{mode}"),
-                    contained: result.is_contained(),
-                    stats,
-                });
-            }
-            // Pair-work regression gate: the memoised worklist engine must
-            // not rescan δ2 more often than the rounds oracle enumerates
-            // combinations on any saturating shape.
-            assert!(
+                for (engine, result) in [("worklist", &worklist), ("rounds", &rounds)] {
+                    let stats = *result.stats();
+                    report_shape(
+                        "E13_tree_containment",
+                        h,
+                        &[
+                            ("variant", format!("{family}_{engine}_{mode}")),
+                            ("explored", stats.pairs.to_string()),
+                            ("combinations", stats.combinations.to_string()),
+                            ("propagate_hits", stats.propagate_hits.to_string()),
+                            ("propagate_misses", stats.propagate_misses.to_string()),
+                            ("subsets", stats.subsets_interned.to_string()),
+                        ],
+                    );
+                    engine_rows.push(EngineRow {
+                        h,
+                        variant: format!("{family}_{engine}_{mode}"),
+                        contained: result.is_contained(),
+                        stats,
+                    });
+                }
+                // Pair-work regression gate: the memoised worklist engine must
+                // not rescan δ2 more often than the rounds oracle enumerates
+                // combinations on any saturating shape.
+                assert!(
                 worklist.stats().propagate_misses <= rounds.stats().combinations,
                 "containment work regression on h={h} ({family}, {mode}): worklist misses {} > \
                  rounds combinations {}",
                 worklist.stats().propagate_misses,
                 rounds.stats().combinations
             );
-        }
+            }
         }
     }
     for h in [4usize, 6] {
@@ -166,7 +166,10 @@ fn bench_containment(c: &mut Criterion) {
             pass,
             &[
                 ("containment_calls", report.containment_calls.to_string()),
-                ("containment_cache_hits", report.containment_cache_hits.to_string()),
+                (
+                    "containment_cache_hits",
+                    report.containment_cache_hits.to_string(),
+                ),
             ],
         );
         cache_rows.push(CacheRow {

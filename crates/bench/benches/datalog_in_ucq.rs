@@ -28,10 +28,7 @@ fn bench_datalog_in_ucq(c: &mut Criterion) {
             body.push(format!("e({}, {})", mids[i - 1], mids[i]));
         }
         body.push(format!("p({}, Y)", mids[width - 1]));
-        let text = format!(
-            "p(X, Y) :- {}.\np(X, Y) :- e(X, Y).",
-            body.join(", ")
-        );
+        let text = format!("p(X, Y) :- {}.\np(X, Y) :- e(X, Y).", body.join(", "));
         let program = datalog::parser::parse_program(&text).unwrap();
         let ptrees = PtreesAutomaton::build(&program, goal);
         let stats = ptrees.stats();
@@ -64,7 +61,13 @@ fn bench_datalog_in_ucq(c: &mut Criterion) {
             ],
         );
         group.bench_function(format!("tc_in_paths_le_{k}"), |b| {
-            b.iter(|| black_box(datalog_contained_in_ucq(black_box(&tc), goal, black_box(&ucq))))
+            b.iter(|| {
+                black_box(datalog_contained_in_ucq(
+                    black_box(&tc),
+                    goal,
+                    black_box(&ucq),
+                ))
+            })
         });
     }
 
@@ -83,7 +86,13 @@ fn bench_datalog_in_ucq(c: &mut Criterion) {
         &[("contained", triangle_free.contained.to_string())],
     );
     group.bench_function("shortcut_closure_in_edge", |b| {
-        b.iter(|| black_box(datalog_contained_in_ucq(black_box(&guarded), goal, black_box(&edge))))
+        b.iter(|| {
+            black_box(datalog_contained_in_ucq(
+                black_box(&guarded),
+                goal,
+                black_box(&edge),
+            ))
+        })
     });
     group.finish();
 }

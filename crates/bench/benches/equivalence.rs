@@ -62,13 +62,28 @@ fn bench_equivalence(c: &mut Criterion) {
     report_shape(
         "E1_buys",
         1,
-        &[("pi1_equivalent", equivalent.verdict.is_equivalent().to_string())],
+        &[(
+            "pi1_equivalent",
+            equivalent.verdict.is_equivalent().to_string(),
+        )],
     );
     group.bench_function("example_1_1_pi1_equivalent", |b| {
-        b.iter(|| black_box(equivalent_to_nonrecursive(black_box(&pi1), goal, black_box(&pi1_nonrec))))
+        b.iter(|| {
+            black_box(equivalent_to_nonrecursive(
+                black_box(&pi1),
+                goal,
+                black_box(&pi1_nonrec),
+            ))
+        })
     });
     group.bench_function("example_1_1_pi2_not_equivalent", |b| {
-        b.iter(|| black_box(equivalent_to_nonrecursive(black_box(&pi2), goal, black_box(&pi1_nonrec))))
+        b.iter(|| {
+            black_box(equivalent_to_nonrecursive(
+                black_box(&pi2),
+                goal,
+                black_box(&pi1_nonrec),
+            ))
+        })
     });
 
     // E11/E12: transitive closure vs. bounded-path programs of growing k —
@@ -87,8 +102,14 @@ fn bench_equivalence(c: &mut Criterion) {
             k,
             &[
                 ("contained", outcome.result.contained.to_string()),
-                ("unfold_disjuncts", outcome.unfold_stats.disjuncts.to_string()),
-                ("unfold_max_size", outcome.unfold_stats.max_disjunct_size.to_string()),
+                (
+                    "unfold_disjuncts",
+                    outcome.unfold_stats.disjuncts.to_string(),
+                ),
+                (
+                    "unfold_max_size",
+                    outcome.unfold_stats.max_disjunct_size.to_string(),
+                ),
                 ("explored", outcome.result.stats.explored.to_string()),
             ],
         );

@@ -33,7 +33,10 @@ fn bench_evaluation(c: &mut Criterion) {
 
     let mut rows: Vec<ShapeRow> = Vec::new();
     for n in [8usize, 16, 32] {
-        for (db_name, db) in [("chain", chain_database("e", n)), ("cycle", cycle_database("e", n))] {
+        for (db_name, db) in [
+            ("chain", chain_database("e", n)),
+            ("cycle", cycle_database("e", n)),
+        ] {
             for (strategy_name, strategy) in [
                 ("naive", Strategy::Naive),
                 ("semi_naive", Strategy::SemiNaive),
@@ -62,7 +65,9 @@ fn bench_evaluation(c: &mut Criterion) {
                     ],
                 );
                 group.bench_function(format!("{db_name}_{strategy_name}_{n}"), |b| {
-                    b.iter(|| black_box(evaluate_with(black_box(&program), black_box(&db), options)))
+                    b.iter(|| {
+                        black_box(evaluate_with(black_box(&program), black_box(&db), options))
+                    })
                 });
             }
         }
@@ -83,8 +88,11 @@ fn bench_evaluation(c: &mut Criterion) {
                 .unwrap_or_else(|| panic!("missing {strategy} row for {db_name} n={n}"))
                 .probes
         };
-        let (naive, semi, indexed) =
-            (probes_of("naive"), probes_of("semi_naive"), probes_of("indexed"));
+        let (naive, semi, indexed) = (
+            probes_of("naive"),
+            probes_of("semi_naive"),
+            probes_of("indexed"),
+        );
         assert!(
             semi <= naive,
             "probe regression on {db_name} n={n}: semi-naive {semi} > naive {naive}"

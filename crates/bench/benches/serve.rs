@@ -1,0 +1,262 @@
+//! Experiment E14 (serving): throughput of the `nonrec-serve` protocol
+//! stack and cache amortisation across requests.
+//!
+//! Starts the real TCP server in-process (same code path as the binary,
+//! minus process spawn), then drives client fleets through two phases:
+//!
+//! * **cold** — every request is a fresh decision (disjoint cache keys);
+//! * **warm** — the identical request set again, which must be answered
+//!   from the shared `DecisionCache`.
+//!
+//! Doubles as the serving regression gate for `scripts/ci.sh`:
+//!
+//! * every request of every phase must answer `ok` (no `busy`, no errors)
+//!   — the pool is sized for the fleet;
+//! * the warm phase must answer ≥ 90 % of its cache lookups from the
+//!   cache (the amortisation the server exists for);
+//! * when `NONREC_BENCH_JSON` names a file, the per-scenario counters are
+//!   written there (`BENCH_serve.json` in CI).  Wall-clock fields (`rps`)
+//!   are informational; the diff gate ignores them.
+
+use bench::report_shape;
+use bench::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+use server::json::Value;
+use server::protocol;
+use server::{Client, PoolConfig, Server, ServerConfig};
+
+/// Fixed workload sizing — independent of `NONREC_BENCH_FAST`, so the
+/// snapshot counters are identical between smoke and full runs.
+const PER_CLIENT: usize = 24;
+const FLEETS: [usize; 2] = [1, 4];
+
+fn start_server() -> std::net::SocketAddr {
+    let config = ServerConfig {
+        pool: PoolConfig {
+            workers: 4,
+            queue_capacity: 64,
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind serve bench server");
+    let addr = server.local_addr().expect("local addr");
+    std::thread::spawn(move || {
+        let _ = server.run();
+    });
+    addr
+}
+
+/// The request mix for one client: transitive-closure containment (not
+/// contained), buys-style equivalence (equivalent), and a boundedness
+/// probe — all over scenario- and client-unique predicate names so cold
+/// phases of different scenarios never share cache keys.
+fn client_requests(scenario: usize, client: usize) -> Vec<Value> {
+    (0..PER_CLIENT)
+        .map(|i| {
+            let e = format!("e{scenario}_{client}_{i}");
+            match i % 3 {
+                0 => protocol::containment_request(
+                    &format!("p(X, Y) :- {e}(X, Z), p(Z, Y).\np(X, Y) :- {e}(X, Y)."),
+                    "p",
+                    &format!("q(X, Y) :- {e}(X, Y).\nq(X, Y) :- {e}(X, Z), {e}(Z, Y)."),
+                ),
+                1 => protocol::equivalence_request(
+                    &format!("b(X, Y) :- {e}(X, Y).\nb(X, Y) :- t(X), b(Z, Y)."),
+                    "b",
+                    &format!("b(X, Y) :- {e}(X, Y).\nb(X, Y) :- t(X), {e}(Z, Y)."),
+                ),
+                _ => protocol::bounded_request(
+                    &format!("b(X, Y) :- {e}(X, Y).\nb(X, Y) :- t(X), b(Z, Y)."),
+                    "b",
+                    3,
+                ),
+            }
+        })
+        .collect()
+}
+
+struct PhaseRow {
+    clients: usize,
+    phase: &'static str,
+    ok: usize,
+    errors: usize,
+    busy: u64,
+    hit_rate_pct: Option<u64>,
+    rps: u64,
+}
+
+fn cache_counters(client: &mut Client) -> (u64, u64, u64) {
+    let response = client
+        .request(&protocol::stats_request())
+        .expect("stats request");
+    let result = response.get("result").expect("stats result");
+    let cache = result.get("cache").expect("cache block");
+    let server_block = result.get("server").expect("server block");
+    (
+        cache.get("hits").and_then(Value::as_u64).unwrap(),
+        cache.get("misses").and_then(Value::as_u64).unwrap(),
+        server_block
+            .get("busy_rejected")
+            .and_then(Value::as_u64)
+            .unwrap(),
+    )
+}
+
+/// Drive one phase: every client sends its request list sequentially, all
+/// clients in parallel.  Returns (ok, errors, wall seconds).
+fn drive(addr: std::net::SocketAddr, fleets: &[Vec<Value>]) -> (usize, usize, f64) {
+    let start = Instant::now();
+    let outcomes = std::thread::scope(|scope| {
+        let handles: Vec<_> = fleets
+            .iter()
+            .map(|requests| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect bench client");
+                    let mut ok = 0usize;
+                    let mut errors = 0usize;
+                    for request in requests {
+                        let response = client.request(request).expect("request round-trip");
+                        if response.get("ok").and_then(Value::as_bool) == Some(true) {
+                            ok += 1;
+                        } else {
+                            errors += 1;
+                        }
+                    }
+                    (ok, errors)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect::<Vec<_>>()
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    let ok = outcomes.iter().map(|(o, _)| o).sum();
+    let errors = outcomes.iter().map(|(_, e)| e).sum();
+    (ok, errors, seconds)
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let addr = start_server();
+    let mut stats_client = Client::connect(addr).expect("connect stats client");
+    let mut rows: Vec<PhaseRow> = Vec::new();
+
+    for (scenario, clients) in FLEETS.into_iter().enumerate() {
+        let fleets: Vec<Vec<Value>> = (0..clients)
+            .map(|client| client_requests(scenario, client))
+            .collect();
+        let total: usize = fleets.iter().map(Vec::len).sum();
+
+        for phase in ["cold", "warm"] {
+            let (hits_before, misses_before, _) = cache_counters(&mut stats_client);
+            let (ok, errors, seconds) = drive(addr, &fleets);
+            let (hits_after, misses_after, busy) = cache_counters(&mut stats_client);
+
+            // Serving regression gate #1: the pool must absorb the fleet.
+            assert_eq!(
+                (ok, errors),
+                (total, 0),
+                "{clients}-client {phase} phase: {ok} ok / {errors} errors of {total}"
+            );
+            assert_eq!(
+                busy, 0,
+                "{clients}-client {phase} phase saw busy rejections"
+            );
+
+            let hits = hits_after - hits_before;
+            let misses = misses_after - misses_before;
+            let hit_rate_pct = if phase == "warm" {
+                // Serving regression gate #2: a repeated request set must be
+                // answered from the shared cache.
+                let rate = 100 * hits / (hits + misses).max(1);
+                assert!(
+                    rate >= 90,
+                    "{clients}-client warm phase hit rate {rate}% ({hits} hits / {misses} misses)"
+                );
+                Some(rate)
+            } else {
+                // Cold-phase interleavings may share a few keys across
+                // clients; the counter is not stable enough to snapshot.
+                None
+            };
+            let rps = (total as f64 / seconds.max(1e-9)) as u64;
+            report_shape(
+                "E14_serve",
+                clients,
+                &[
+                    ("phase", phase.to_string()),
+                    ("requests", total.to_string()),
+                    ("ok", ok.to_string()),
+                    ("busy", busy.to_string()),
+                    ("hits", hits.to_string()),
+                    ("misses", misses.to_string()),
+                    ("rps", rps.to_string()),
+                ],
+            );
+            rows.push(PhaseRow {
+                clients,
+                phase,
+                ok,
+                errors,
+                busy,
+                hit_rate_pct,
+                rps,
+            });
+        }
+    }
+
+    // Wall-clock rows via the harness: one warm round-trip, and one warm
+    // 8-request batch (amortising the framing).
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    let mut client = Client::connect(addr).expect("connect timing client");
+    let single = protocol::equivalence_request(
+        "b(X, Y) :- e0_0_1(X, Y).\nb(X, Y) :- t(X), b(Z, Y).",
+        "b",
+        "b(X, Y) :- e0_0_1(X, Y).\nb(X, Y) :- t(X), e0_0_1(Z, Y).",
+    );
+    group.bench_function("warm_equivalence_roundtrip", |b| {
+        b.iter(|| client.request(&single).expect("round-trip"))
+    });
+    let batch = protocol::batch_request(client_requests(0, 0).into_iter().take(8).collect());
+    group.bench_function("warm_batch8_roundtrip", |b| {
+        b.iter(|| client.request(&batch).expect("batch round-trip"))
+    });
+    group.finish();
+
+    if let Some(path) = std::env::var_os("NONREC_BENCH_JSON") {
+        // Rows go through the server's own JSON writer — no hand-escaped
+        // format strings.  `write_json_rows` wants one rendered object per
+        // row, and `Value::render` is single-line by construction.
+        let json_rows: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                server::json::obj(vec![
+                    ("group", Value::str("serve")),
+                    ("kind", Value::str("throughput")),
+                    ("clients", Value::num(r.clients as f64)),
+                    ("phase", Value::str(r.phase)),
+                    ("requests", Value::num((r.ok + r.errors) as f64)),
+                    ("ok", Value::num(r.ok as f64)),
+                    ("errors", Value::num(r.errors as f64)),
+                    ("busy", Value::num(r.busy as f64)),
+                    (
+                        "hit_rate_pct",
+                        r.hit_rate_pct.map_or(Value::Null, |p| Value::num(p as f64)),
+                    ),
+                    ("rps", Value::num(r.rps as f64)),
+                ])
+                .render()
+            })
+            .collect();
+        bench::write_json_rows(&path, &json_rows).expect("writing serve snapshot");
+        println!("[snapshot] wrote {}", path.to_string_lossy());
+    }
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

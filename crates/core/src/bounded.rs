@@ -17,7 +17,7 @@ use datalog::atom::Pred;
 use datalog::program::Program;
 
 use crate::containment::{datalog_contained_in_ucq_with, DecisionError, DecisionOptions};
-use crate::unfold::expansions_up_to_depth;
+use crate::unfold::expansions_up_to_depth_limited;
 
 /// The outcome of a boundedness-at-k check.
 #[derive(Debug)]
@@ -50,7 +50,11 @@ pub fn bounded_at_depth_with(
     depth: usize,
     options: DecisionOptions,
 ) -> Result<BoundedResult, DecisionError> {
-    let unfolding = expansions_up_to_depth(program, goal, depth);
+    // The only error the depth-limited expansion can produce is the
+    // `max_unfold` budget being exhausted — report it as the same resource
+    // exhaustion the pair budget reports.
+    let unfolding = expansions_up_to_depth_limited(program, goal, depth, options.max_unfold)
+        .map_err(|_| DecisionError::ResourceLimit)?;
     let result = datalog_contained_in_ucq_with(program, goal, &unfolding, options)?;
     Ok(BoundedResult {
         bounded: result.contained,
@@ -100,7 +104,11 @@ mod tests {
         assert!(result.bounded, "Π₁ collapses at depth 2 (Example 1.1)");
         assert_eq!(result.unfolding.len(), 2);
         // Depth 1 is not enough: only the likes-rule expansion is present.
-        assert!(!bounded_at_depth(&program, Pred::new("buys"), 1).unwrap().bounded);
+        assert!(
+            !bounded_at_depth(&program, Pred::new("buys"), 1)
+                .unwrap()
+                .bounded
+        );
         // find_bound reports 2 as the least bound.
         let (k, ucq) = find_bound(&program, Pred::new("buys"), 4).unwrap().unwrap();
         assert_eq!(k, 2);
@@ -114,7 +122,9 @@ mod tests {
              buys(X, Y) :- knows(X, Z), buys(Z, Y).",
         )
         .unwrap();
-        assert!(find_bound(&program, Pred::new("buys"), 3).unwrap().is_none());
+        assert!(find_bound(&program, Pred::new("buys"), 3)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -132,5 +142,28 @@ mod tests {
         let p = parse_program("r(X, Y) :- e(X, Y).").unwrap();
         let result = bounded_at_depth(&p, Pred::new("r"), 1).unwrap();
         assert!(result.bounded);
+    }
+
+    #[test]
+    fn exploding_expansions_hit_the_unfold_budget() {
+        // 16 recursive subgoals and two base rules: the depth-2 expansion
+        // set is 2^16 combinations.  With `max_unfold` set, the budget
+        // aborts the unfold phase (as `ResourceLimit`) before any of it is
+        // materialised — the bound the server's `bounded` verb relies on.
+        let chain = (0..16)
+            .map(|i| format!("p(A{i}, A{})", i + 1))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let program = parse_program(&format!(
+            "p(A0, A16) :- {chain}.\np(X, Y) :- e(X, Y).\np(X, Y) :- f(X, Y)."
+        ))
+        .unwrap();
+        let options = DecisionOptions {
+            max_unfold: 1_000,
+            ..DecisionOptions::default()
+        };
+        let err = bounded_at_depth_with(&program, Pred::new("p"), 2, options).unwrap_err();
+        assert_eq!(err, DecisionError::ResourceLimit);
+        assert_eq!(err.code(), "resource_limit");
     }
 }

@@ -31,7 +31,7 @@
 //! (on misses) versus recalled (on hits), which the benches report.
 
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 use cq::canonical::{CqKey, UcqKey};
 use cq::{ConjunctiveQuery, Ucq};
@@ -102,6 +102,25 @@ pub struct CacheStats {
     pub pairs_saved: u64,
 }
 
+/// Entry counts of the three memo maps, for observability surfaces (the
+/// server's `stats` verb) that report cache occupancy next to hit rates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheSizes {
+    /// Memoised full `Π(goal) ⊆ Θ` decisions.
+    pub decisions: usize,
+    /// Memoised `θ ⊆ ψ` conjunctive-query pairs.
+    pub cq_pairs: usize,
+    /// Memoised `θ ⊆ Π(goal)` canonical-database checks.
+    pub cq_in_program: usize,
+}
+
+impl CacheSizes {
+    /// Total entries across the three maps.
+    pub fn total(&self) -> usize {
+        self.decisions + self.cq_pairs + self.cq_in_program
+    }
+}
+
 #[derive(Default)]
 struct Inner {
     decisions: HashMap<DecisionKey, ContainmentResult>,
@@ -135,20 +154,31 @@ impl DecisionCache {
 
     /// A snapshot of the statistics.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().expect("decision cache poisoned").stats
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .stats
     }
 
     /// Number of memoised entries across all three maps.
     pub fn len(&self) -> usize {
-        let inner = self.inner.lock().expect("decision cache poisoned");
-        inner.decisions.len()
-            + inner.cq_pairs.values().map(HashMap::len).sum::<usize>()
-            + inner
+        self.sizes().total()
+    }
+
+    /// Per-map entry counts (decisions, CQ pairs, canonical-database
+    /// checks) — the occupancy breakdown the server's `stats` verb reports.
+    pub fn sizes(&self) -> CacheSizes {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        CacheSizes {
+            decisions: inner.decisions.len(),
+            cq_pairs: inner.cq_pairs.values().map(HashMap::len).sum(),
+            cq_in_program: inner
                 .cq_in_program
                 .values()
                 .flat_map(HashMap::values)
                 .map(HashMap::len)
-                .sum::<usize>()
+                .sum(),
+        }
     }
 
     /// True if nothing has been memoised yet.
@@ -158,12 +188,12 @@ impl DecisionCache {
 
     /// Drop every memoised entry and reset the statistics.
     pub fn clear(&self) {
-        *self.inner.lock().expect("decision cache poisoned") = Inner::default();
+        *self.inner.lock().unwrap_or_else(PoisonError::into_inner) = Inner::default();
     }
 
     /// Recall a full decision.  Counts a hit or a miss.
     pub fn lookup_decision(&self, key: &DecisionKey) -> Option<ContainmentResult> {
-        let mut inner = self.inner.lock().expect("decision cache poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         match inner.decisions.get(key).cloned() {
             Some(result) => {
                 inner.stats.hits += 1;
@@ -179,7 +209,7 @@ impl DecisionCache {
 
     /// Store a freshly computed full decision.
     pub fn store_decision(&self, key: DecisionKey, result: &ContainmentResult) {
-        let mut inner = self.inner.lock().expect("decision cache poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.stats.pairs_explored += result.stats.explored as u64;
         inner.decisions.insert(key, result.clone());
     }
@@ -194,7 +224,7 @@ impl DecisionCache {
     /// [`CqKey`]s so quadratic passes canonicalise each query once.
     pub fn cq_contained_keyed(&self, theta: &CqKey, psi: &CqKey) -> (bool, bool) {
         {
-            let mut inner = self.inner.lock().expect("decision cache poisoned");
+            let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
             if let Some(&verdict) = inner.cq_pairs.get(theta).and_then(|by_psi| by_psi.get(psi)) {
                 inner.stats.hits += 1;
                 return (verdict, true);
@@ -204,7 +234,7 @@ impl DecisionCache {
         // Compute outside the lock: containment is invariant under
         // canonicalisation, so the canonical forms inside the keys suffice.
         let verdict = cq::containment::cq_contained_in(theta.as_query(), psi.as_query());
-        let mut inner = self.inner.lock().expect("decision cache poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner
             .cq_pairs
             .entry(theta.clone())
@@ -224,7 +254,7 @@ impl DecisionCache {
         compute: impl FnOnce() -> bool,
     ) -> (bool, bool) {
         {
-            let mut inner = self.inner.lock().expect("decision cache poisoned");
+            let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
             if let Some(&verdict) = inner
                 .cq_in_program
                 .get(program)
@@ -237,7 +267,7 @@ impl DecisionCache {
             inner.stats.misses += 1;
         }
         let verdict = compute();
-        let mut inner = self.inner.lock().expect("decision cache poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner
             .cq_in_program
             .entry(program.clone())
@@ -284,6 +314,14 @@ mod tests {
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1);
         assert_eq!(cache.len(), 1);
+        assert_eq!(
+            cache.sizes(),
+            CacheSizes {
+                decisions: 0,
+                cq_pairs: 1,
+                cq_in_program: 0
+            }
+        );
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats(), CacheStats::default());

@@ -26,7 +26,6 @@ use datalog::database::Database;
 use datalog::program::Program;
 use datalog::term::Constant;
 
-
 use crate::cq_automaton::CqAutomaton;
 use crate::labels::ProofLabel;
 use crate::proof_tree::{ProofTree, ProofTreeAnalysis};
@@ -96,6 +95,15 @@ pub struct DecisionOptions {
     /// On by default; switch off to run the uncached reference path the
     /// differential tests lock the cache against.
     pub use_cache: bool,
+    /// Abort unfolding (the `equivalence` candidate's rewriting into a UCQ,
+    /// or the depth-`k` expansions of `bounded`) once any predicate
+    /// accumulates this many disjuncts.  Unfoldings can be exponentially
+    /// large, and this budget is the only bound on that phase —
+    /// [`DecisionOptions::max_pairs`] kicks in only later, during the
+    /// automata containment.  Not part of the cache key: a budget either
+    /// errors before any cache interaction or leaves the unfolding (and
+    /// hence every verdict) unchanged.
+    pub max_unfold: usize,
 }
 
 impl Default for DecisionOptions {
@@ -105,6 +113,7 @@ impl Default for DecisionOptions {
             antichain: true,
             max_pairs: None,
             use_cache: true,
+            max_unfold: usize::MAX,
         }
     }
 }
@@ -120,12 +129,28 @@ pub enum DecisionError {
     ResourceLimit,
 }
 
+impl DecisionError {
+    /// Stable machine-readable code identifying the variant, for transports
+    /// (the server wire protocol) that must not couple to `Display` text.
+    pub fn code(&self) -> &'static str {
+        match self {
+            DecisionError::UnknownGoal(_) => "unknown_goal",
+            DecisionError::InconsistentUcq => "inconsistent_ucq",
+            DecisionError::ResourceLimit => "resource_limit",
+        }
+    }
+}
+
 impl std::fmt::Display for DecisionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DecisionError::UnknownGoal(p) => write!(f, "goal predicate `{p}` not found in program"),
-            DecisionError::InconsistentUcq => write!(f, "disjuncts of the UCQ have different arities"),
-            DecisionError::ResourceLimit => write!(f, "containment search exceeded its resource limit"),
+            DecisionError::InconsistentUcq => {
+                write!(f, "disjuncts of the UCQ have different arities")
+            }
+            DecisionError::ResourceLimit => {
+                write!(f, "containment search exceeded its resource limit")
+            }
         }
     }
 }
@@ -330,7 +355,7 @@ fn build_counterexample(ptrees: &PtreesAutomaton, witness: ProofTree) -> Counter
 mod tests {
     use super::*;
     use cq::eval::evaluate_ucq;
-    use cq::generate::{bounded_path_ucq_binary, boolean_path_query};
+    use cq::generate::{boolean_path_query, bounded_path_ucq_binary};
     use datalog::eval::evaluate;
     use datalog::generate::{transitive_closure, transitive_closure_nonlinear};
     use datalog::parser::parse_program;
@@ -481,12 +506,16 @@ mod tests {
         .unwrap();
         let yes = Ucq::parse("q :- e(U, V).").unwrap();
         let no = Ucq::parse("q :- e(U, U).").unwrap();
-        assert!(datalog_contained_in_ucq(&program, Pred::new("c"), &yes)
-            .unwrap()
-            .contained);
-        assert!(!datalog_contained_in_ucq(&program, Pred::new("c"), &no)
-            .unwrap()
-            .contained);
+        assert!(
+            datalog_contained_in_ucq(&program, Pred::new("c"), &yes)
+                .unwrap()
+                .contained
+        );
+        assert!(
+            !datalog_contained_in_ucq(&program, Pred::new("c"), &no)
+                .unwrap()
+                .contained
+        );
     }
 
     #[test]
@@ -505,14 +534,18 @@ mod tests {
     #[test]
     fn empty_ucq_contains_only_programs_with_empty_goal() {
         // TC derives facts, so it is not contained in the empty union…
-        assert!(!datalog_contained_in_ucq(&tc(), Pred::new("p"), &Ucq::empty())
-            .unwrap()
-            .contained);
+        assert!(
+            !datalog_contained_in_ucq(&tc(), Pred::new("p"), &Ucq::empty())
+                .unwrap()
+                .contained
+        );
         // …but a program with no exit rule is.
         let no_exit = parse_program("p(X, Y) :- e(X, Z), p(Z, Y).").unwrap();
-        assert!(datalog_contained_in_ucq(&no_exit, Pred::new("p"), &Ucq::empty())
-            .unwrap()
-            .contained);
+        assert!(
+            datalog_contained_in_ucq(&no_exit, Pred::new("p"), &Ucq::empty())
+                .unwrap()
+                .contained
+        );
     }
 
     #[test]
@@ -528,12 +561,16 @@ mod tests {
              p(X, Y) :- e(X, Y).",
         )
         .unwrap();
-        assert!(datalog_contained_in_ucq(&program, Pred::new("c"), &one)
-            .unwrap()
-            .contained);
-        assert!(!datalog_contained_in_ucq(&program, Pred::new("c"), &two)
-            .unwrap()
-            .contained);
+        assert!(
+            datalog_contained_in_ucq(&program, Pred::new("c"), &one)
+                .unwrap()
+                .contained
+        );
+        assert!(
+            !datalog_contained_in_ucq(&program, Pred::new("c"), &two)
+                .unwrap()
+                .contained
+        );
     }
 
     #[test]

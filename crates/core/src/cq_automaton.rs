@@ -60,9 +60,9 @@ impl CqAutomaton {
         let mut queue: VecDeque<StateKey> = VecDeque::new();
 
         let intern = |key: StateKey,
-                          automaton: &mut TreeAutomaton<ProofLabel>,
-                          state_of: &mut BTreeMap<StateKey, usize>,
-                          queue: &mut VecDeque<StateKey>|
+                      automaton: &mut TreeAutomaton<ProofLabel>,
+                      state_of: &mut BTreeMap<StateKey, usize>,
+                      queue: &mut VecDeque<StateKey>|
          -> usize {
             if let Some(&id) = state_of.get(&key) {
                 return id;
@@ -134,8 +134,7 @@ impl CqAutomaton {
                     // the EDB body, consistently with M.
                     let source: Vec<Atom> =
                         remaining.iter().map(|&i| theta.body[i].clone()).collect();
-                    let seed: Substitution =
-                        mapping.iter().map(|(&v, &t)| (v, t)).collect();
+                    let seed: Substitution = mapping.iter().map(|(&v, &t)| (v, t)).collect();
                     if cq::homomorphism::homomorphism_exists(&source, &edb_atoms, &seed) {
                         automaton.add_transition(state, label, Vec::new());
                     }
@@ -156,8 +155,7 @@ impl CqAutomaton {
                             .zip(child_sets)
                             .map(|(child_atom, beta)| {
                                 let beta_vec: Vec<usize> = beta.iter().copied().collect();
-                                let key =
-                                    make_key(child_atom.clone(), &beta_vec, extended, theta);
+                                let key = make_key(child_atom.clone(), &beta_vec, extended, theta);
                                 intern(key, &mut automaton, &mut state_of, &mut queue)
                             })
                             .collect();
@@ -285,7 +283,10 @@ fn enumerate_transitions(
         for (v, children) in &deferred_vars {
             match choice.binding.get(v) {
                 Some(&image) => {
-                    if !children.iter().all(|&j| child_goal_terms[j].contains(&image)) {
+                    if !children
+                        .iter()
+                        .all(|&j| child_goal_terms[j].contains(&image))
+                    {
                         ok = false;
                         break;
                     }
@@ -298,10 +299,9 @@ fn enumerate_transitions(
                         for &j in children {
                             candidates = Some(match candidates {
                                 None => child_goal_terms[j].clone(),
-                                Some(prev) => prev
-                                    .intersection(&child_goal_terms[j])
-                                    .copied()
-                                    .collect(),
+                                Some(prev) => {
+                                    prev.intersection(&child_goal_terms[j]).copied().collect()
+                                }
                             });
                         }
                         let candidates = candidates.unwrap_or_default();
@@ -442,8 +442,14 @@ mod tests {
         let a_theta = CqAutomaton::build(&context, Pred::new("p"), &theta);
         for depth in 1..=3 {
             let tree = tc_path_tree(&context, depth);
-            assert!(ptrees.automaton.accepts(&tree), "ptrees rejects depth {depth}");
-            assert!(a_theta.automaton.accepts(&tree), "A_θ rejects depth {depth}");
+            assert!(
+                ptrees.automaton.accepts(&tree),
+                "ptrees rejects depth {depth}"
+            );
+            assert!(
+                a_theta.automaton.accepts(&tree),
+                "A_θ rejects depth {depth}"
+            );
         }
     }
 

@@ -31,6 +31,18 @@ pub enum EquivalenceError {
     Decision(DecisionError),
 }
 
+impl EquivalenceError {
+    /// Stable machine-readable code identifying the underlying failure, for
+    /// transports (the server wire protocol) that must not couple to
+    /// `Display` text.
+    pub fn code(&self) -> &'static str {
+        match self {
+            EquivalenceError::Unfold(e) => e.code(),
+            EquivalenceError::Decision(e) => e.code(),
+        }
+    }
+}
+
 impl std::fmt::Display for EquivalenceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -82,7 +94,7 @@ pub fn datalog_contained_in_nonrecursive_with(
     nonrecursive: &Program,
     options: DecisionOptions,
 ) -> Result<NonrecursiveContainment, EquivalenceError> {
-    let unfolding = unfold_nonrecursive(nonrecursive, goal, usize::MAX)?;
+    let unfolding = unfold_nonrecursive(nonrecursive, goal, options.max_unfold)?;
     let unfold_stats = UnfoldStats::of(&unfolding);
     let result = datalog_contained_in_ucq_with(program, goal, &unfolding, options)?;
     Ok(NonrecursiveContainment {
@@ -102,18 +114,20 @@ pub fn nonrecursive_contained_in_datalog(
     goal: Pred,
     program: &Program,
 ) -> Result<Result<(), usize>, EquivalenceError> {
-    nonrecursive_contained_in_datalog_with(nonrecursive, goal, program, true)
+    nonrecursive_contained_in_datalog_with(nonrecursive, goal, program, true, usize::MAX)
 }
 
 /// As [`nonrecursive_contained_in_datalog`], with the per-disjunct
-/// canonical-database checks optionally bypassing the shared cache.
+/// canonical-database checks optionally bypassing the shared cache and the
+/// unfolding bounded by `max_unfold` disjuncts (`usize::MAX`: unbounded).
 pub fn nonrecursive_contained_in_datalog_with(
     nonrecursive: &Program,
     goal: Pred,
     program: &Program,
     use_cache: bool,
+    max_unfold: usize,
 ) -> Result<Result<(), usize>, EquivalenceError> {
-    let unfolding = unfold_nonrecursive(nonrecursive, goal, usize::MAX)?;
+    let unfolding = unfold_nonrecursive(nonrecursive, goal, max_unfold)?;
     let program_key = use_cache.then(|| crate::cache::ProgramKey::of(program));
     for (index, disjunct) in unfolding.disjuncts.iter().enumerate() {
         let contained = match &program_key {
@@ -176,17 +190,20 @@ pub fn equivalent_to_nonrecursive_with(
     options: DecisionOptions,
 ) -> Result<EquivalenceResult, EquivalenceError> {
     // Cheap direction first: Π' ⊆ Π by canonical databases.
-    if let Err(index) =
-        nonrecursive_contained_in_datalog_with(nonrecursive, goal, program, options.use_cache)?
-    {
+    if let Err(index) = nonrecursive_contained_in_datalog_with(
+        nonrecursive,
+        goal,
+        program,
+        options.use_cache,
+        options.max_unfold,
+    )? {
         return Ok(EquivalenceResult {
             verdict: EquivalenceVerdict::NonrecursiveExceeds(index),
             containment: None,
         });
     }
     // Expensive direction: Π ⊆ Π' via the automata construction.
-    let containment =
-        datalog_contained_in_nonrecursive_with(program, goal, nonrecursive, options)?;
+    let containment = datalog_contained_in_nonrecursive_with(program, goal, nonrecursive, options)?;
     let verdict = if containment.result.contained {
         EquivalenceVerdict::Equivalent
     } else {
@@ -245,7 +262,10 @@ mod tests {
     fn example_1_1_pi1_is_equivalent_to_its_nonrecursive_form() {
         let result =
             equivalent_to_nonrecursive(&buys1(), Pred::new("buys"), &buys1_nonrec()).unwrap();
-        assert!(result.verdict.is_equivalent(), "Example 1.1: Π₁ ≡ nonrecursive form");
+        assert!(
+            result.verdict.is_equivalent(),
+            "Example 1.1: Π₁ ≡ nonrecursive form"
+        );
     }
 
     #[test]
@@ -315,9 +335,12 @@ mod tests {
 
     #[test]
     fn recursive_comparison_program_is_rejected() {
-        let err = datalog_contained_in_nonrecursive(&buys1(), Pred::new("buys"), &buys2())
-            .unwrap_err();
-        assert!(matches!(err, EquivalenceError::Unfold(UnfoldError::Recursive)));
+        let err =
+            datalog_contained_in_nonrecursive(&buys1(), Pred::new("buys"), &buys2()).unwrap_err();
+        assert!(matches!(
+            err,
+            EquivalenceError::Unfold(UnfoldError::Recursive)
+        ));
     }
 
     #[test]

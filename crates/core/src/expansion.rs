@@ -149,11 +149,7 @@ pub fn expansion_query(program: &Program, tree: &ExpansionTree) -> ConjunctiveQu
     ConjunctiveQuery::new(tree.label.instance.head.clone(), body)
 }
 
-fn collect_edb(
-    idb: &std::collections::BTreeSet<Pred>,
-    tree: &ExpansionTree,
-    out: &mut Vec<Atom>,
-) {
+fn collect_edb(idb: &std::collections::BTreeSet<Pred>, tree: &ExpansionTree, out: &mut Vec<Atom>) {
     for atom in &tree.label.instance.body {
         if !idb.contains(&atom.pred) {
             out.push(atom.clone());
@@ -221,8 +217,7 @@ mod tests {
         // Height ≤ 2: the bare exit rule (height 1) and the recursive rule
         // over an exit-rule child (height 2).
         assert_eq!(trees.len(), 2);
-        let heights: std::collections::BTreeSet<usize> =
-            trees.iter().map(|t| t.height()).collect();
+        let heights: std::collections::BTreeSet<usize> = trees.iter().map(|t| t.height()).collect();
         assert_eq!(heights, std::collections::BTreeSet::from([1, 2]));
     }
 

@@ -20,7 +20,6 @@ use datalog::rule::Rule;
 use datalog::substitution::Substitution;
 use datalog::term::{Term, Var};
 
-
 /// A proof-tree node label: an instance over `var(Π)` of a program rule.
 ///
 /// The label's atom (the paper's α) is `instance.head`.
@@ -41,7 +40,11 @@ impl ProofLabel {
 
 impl fmt::Display for ProofLabel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "⟨{}, r{}: {}⟩", self.instance.head, self.rule_index, self.instance)
+        write!(
+            f,
+            "⟨{}, r{}: {}⟩",
+            self.instance.head, self.rule_index, self.instance
+        )
     }
 }
 
@@ -127,7 +130,10 @@ impl LabelContext {
         loop {
             out.push(Atom::new(
                 goal,
-                tuple.iter().map(|&i| Term::Var(self.variables[i])).collect(),
+                tuple
+                    .iter()
+                    .map(|&i| Term::Var(self.variables[i]))
+                    .collect(),
             ));
             if arity == 0 {
                 break;
@@ -235,7 +241,9 @@ mod tests {
         // varnum(TC) = 6, goal arity 2 → 36 start atoms.
         let atoms = ctx.goal_atoms(Pred::new("p"));
         assert_eq!(atoms.len(), 36);
-        assert!(atoms.iter().all(|a| a.pred == Pred::new("p") && a.arity() == 2));
+        assert!(atoms
+            .iter()
+            .all(|a| a.pred == Pred::new("p") && a.arity() == 2));
         // Includes the repeated-variable atom p(x1, x1).
         assert!(atoms.iter().any(|a| a.terms[0] == a.terms[1]));
     }

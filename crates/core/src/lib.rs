@@ -61,7 +61,7 @@ pub mod ptrees_automaton;
 pub mod unfold;
 pub mod unify;
 
-pub use cache::{CacheStats, DecisionCache, ProgramKey};
+pub use cache::{CacheSizes, CacheStats, DecisionCache, ProgramKey};
 pub use containment::{
     datalog_contained_in_cq, datalog_contained_in_ucq, ContainmentResult, Counterexample,
     DecisionOptions,
@@ -74,4 +74,4 @@ pub use equivalence::{
     EquivalenceVerdict,
 };
 pub use optimize::{eliminate_recursion, optimize, OptimizeOptions, OptimizeReport};
-pub use unfold::{expansions_up_to_depth, unfold_nonrecursive};
+pub use unfold::{expansions_up_to_depth, expansions_up_to_depth_limited, unfold_nonrecursive};

@@ -211,10 +211,7 @@ fn remove_subsumed_rules_with(program: &Program, oracle: &mut CountingOracle) ->
             continue;
         }
         for j in 0..queries.len() {
-            if i == j
-                || !keep[j]
-                || queries[i].as_query().name() != queries[j].as_query().name()
-            {
+            if i == j || !keep[j] || queries[i].as_query().name() != queries[j].as_query().name() {
                 continue;
             }
             // Drop rule i if it is contained in rule j; on equivalence keep
@@ -261,11 +258,7 @@ fn resolve_body_atom(rule: &Rule, index: usize, definition: &Rule, fresh: usize)
 /// resolving each occurrence against all of its defining rules.  Stops (and
 /// returns the program built so far) when the result would exceed
 /// `rule_limit` rules.
-pub fn inline_nonrecursive_predicates(
-    program: &Program,
-    goal: Pred,
-    rule_limit: usize,
-) -> Program {
+pub fn inline_nonrecursive_predicates(program: &Program, goal: Pred, rule_limit: usize) -> Program {
     let mut current = program.clone();
     let mut fresh = 0usize;
     loop {
@@ -283,10 +276,7 @@ pub fn inline_nonrecursive_predicates(
         let Some(target) = candidate else {
             return current;
         };
-        let definitions: Vec<Rule> = current
-            .rules_for(target)
-            .map(|(_, r)| r.clone())
-            .collect();
+        let definitions: Vec<Rule> = current.rules_for(target).map(|(_, r)| r.clone()).collect();
         let mut next: Vec<Rule> = Vec::new();
         for rule in current.rules() {
             if rule.head_pred() == target {
@@ -366,13 +356,21 @@ mod tests {
     use super::*;
     use datalog::eval::evaluate;
     use datalog::generate::{
-        chain_database, random_database, random_program, transitive_closure,
-        RandomDatabaseConfig, RandomProgramConfig,
+        chain_database, random_database, random_program, transitive_closure, RandomDatabaseConfig,
+        RandomProgramConfig,
     };
     use datalog::parser::parse_program;
 
-    fn goal_answers(program: &Program, goal: Pred, db: &datalog::database::Database) -> BTreeSet<Vec<datalog::term::Constant>> {
-        evaluate(program, db).relation(goal).iter().cloned().collect()
+    fn goal_answers(
+        program: &Program,
+        goal: Pred,
+        db: &datalog::database::Database,
+    ) -> BTreeSet<Vec<datalog::term::Constant>> {
+        evaluate(program, db)
+            .relation(goal)
+            .iter()
+            .cloned()
+            .collect()
     }
 
     #[test]
@@ -386,7 +384,10 @@ mod tests {
         .unwrap();
         let cleaned = remove_unreachable_rules(&program, Pred::new("p"));
         assert_eq!(cleaned.len(), 2);
-        assert!(cleaned.rules().iter().all(|r| r.head_pred() == Pred::new("p")));
+        assert!(cleaned
+            .rules()
+            .iter()
+            .all(|r| r.head_pred() == Pred::new("p")));
     }
 
     #[test]

@@ -135,11 +135,7 @@ impl ProofTreeAnalysis {
         for (node, parent) in parents.iter().enumerate() {
             let Some(parent) = parent else { continue };
             for (v, child_occs) in &node_var_occurrences[node] {
-                let child_goal_has_v = labels[node]
-                    .instance
-                    .head
-                    .variables()
-                    .any(|hv| hv == *v);
+                let child_goal_has_v = labels[node].instance.head.variables().any(|hv| hv == *v);
                 if !child_goal_has_v {
                     continue;
                 }
@@ -290,7 +286,12 @@ pub fn is_valid_proof_tree(program: &Program, tree: &ProofTree) -> bool {
         // Instance variables must come from var(Π).
         let allowed: std::collections::BTreeSet<Var> =
             context.variables().iter().copied().collect();
-        if !label.instance.variables().iter().all(|v| allowed.contains(v)) {
+        if !label
+            .instance
+            .variables()
+            .iter()
+            .all(|v| allowed.contains(v))
+        {
             return false;
         }
         // Children must match the IDB body atoms in order.
@@ -378,7 +379,10 @@ mod tests {
             .find(|l| l.rule_index == 0)
             .unwrap();
         // A recursive node with no children is not a valid proof tree.
-        assert!(!is_valid_proof_tree(&program, &Tree::leaf(recursive.clone())));
+        assert!(!is_valid_proof_tree(
+            &program,
+            &Tree::leaf(recursive.clone())
+        ));
         // A child whose goal does not match the parent's IDB body atom.
         let wrong_child = ctx
             .labels_for(&canonical_atom("p", &[5, 5]))
@@ -403,16 +407,32 @@ mod tests {
         let analysis = ProofTreeAnalysis::new(&tree);
 
         // Y = x2.  Root head position 1 and middle-node head position 1.
-        let y_root = Occurrence { node: 0, atom: 0, position: 1 };
-        let y_mid = Occurrence { node: 1, atom: 0, position: 1 };
+        let y_root = Occurrence {
+            node: 0,
+            atom: 0,
+            position: 1,
+        };
+        let y_mid = Occurrence {
+            node: 1,
+            atom: 0,
+            position: 1,
+        };
         assert!(analysis.connected(y_root, y_mid));
         assert!(analysis.is_distinguished(y_root));
         assert!(analysis.is_distinguished(y_mid));
 
         // X = x1.  Root head position 0; leaf head position 0 (the leaf's
         // goal is p(x1, x2), whose x1 is a *reused* variable).
-        let x_root = Occurrence { node: 0, atom: 0, position: 0 };
-        let x_leaf = Occurrence { node: 2, atom: 0, position: 0 };
+        let x_root = Occurrence {
+            node: 0,
+            atom: 0,
+            position: 0,
+        };
+        let x_leaf = Occurrence {
+            node: 2,
+            atom: 0,
+            position: 0,
+        };
         assert!(!analysis.connected(x_root, x_leaf));
         assert!(analysis.is_distinguished(x_root));
         assert!(!analysis.is_distinguished(x_leaf));
@@ -454,8 +474,16 @@ mod tests {
         let program = transitive_closure("e", "ep");
         let tree = figure2_proof_tree(&program);
         let analysis = ProofTreeAnalysis::new(&tree);
-        let x_root = Occurrence { node: 0, atom: 0, position: 0 };
-        let y_root = Occurrence { node: 0, atom: 0, position: 1 };
+        let x_root = Occurrence {
+            node: 0,
+            atom: 0,
+            position: 0,
+        };
+        let y_root = Occurrence {
+            node: 0,
+            atom: 0,
+            position: 1,
+        };
         assert!(!analysis.connected(x_root, y_root));
     }
 

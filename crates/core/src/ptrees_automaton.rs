@@ -19,7 +19,6 @@ use automata::tree::TreeAutomaton;
 use datalog::atom::{Atom, Pred};
 use datalog::program::Program;
 
-
 use crate::labels::{LabelContext, ProofLabel};
 
 /// The proof-tree automaton together with its state dictionary.
@@ -52,10 +51,10 @@ impl PtreesAutomaton {
         let mut queue: VecDeque<Atom> = VecDeque::new();
 
         let intern = |atom: Atom,
-                          automaton: &mut TreeAutomaton<ProofLabel>,
-                          state_of: &mut BTreeMap<Atom, usize>,
-                          state_atoms: &mut Vec<Atom>,
-                          queue: &mut VecDeque<Atom>|
+                      automaton: &mut TreeAutomaton<ProofLabel>,
+                      state_of: &mut BTreeMap<Atom, usize>,
+                      state_atoms: &mut Vec<Atom>,
+                      queue: &mut VecDeque<Atom>|
          -> usize {
             if let Some(&id) = state_of.get(&atom) {
                 return id;
@@ -138,7 +137,11 @@ mod tests {
         assert!(!is_empty(&ptrees.automaton));
         let witness = find_witness(&ptrees.automaton).unwrap();
         assert!(is_valid_proof_tree(&program, &witness));
-        assert_eq!(witness.size(), 1, "minimal proof tree is a single exit node");
+        assert_eq!(
+            witness.size(),
+            1,
+            "minimal proof tree is a single exit node"
+        );
     }
 
     #[test]
@@ -161,7 +164,8 @@ mod tests {
             .into_iter()
             .find(|l| l.rule_index == 1)
             .unwrap();
-        let tree = automata::tree::Tree::node(root_label, vec![automata::tree::Tree::leaf(child_label)]);
+        let tree =
+            automata::tree::Tree::node(root_label, vec![automata::tree::Tree::leaf(child_label)]);
         assert!(ptrees.automaton.accepts(&tree));
         assert!(is_valid_proof_tree(&program, &tree));
 
@@ -176,7 +180,8 @@ mod tests {
             .into_iter()
             .find(|l| l.rule_index == 0)
             .unwrap();
-        let bad = automata::tree::Tree::node(root_label2, vec![automata::tree::Tree::leaf(wrong_child)]);
+        let bad =
+            automata::tree::Tree::node(root_label2, vec![automata::tree::Tree::leaf(wrong_child)]);
         assert!(!ptrees.automaton.accepts(&bad));
     }
 

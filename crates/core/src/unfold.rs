@@ -17,7 +17,6 @@ use datalog::atom::{Atom, Pred};
 use datalog::program::Program;
 use datalog::rule::Rule;
 
-
 use crate::unify::Unifier;
 
 /// Errors reported by the unfolder.
@@ -29,9 +28,23 @@ pub enum UnfoldError {
     UnknownGoal(Pred),
     /// The expansion limit was exceeded.
     TooLarge {
-        /// The configured limit on the number of disjuncts.
+        /// The configured limit on generated expansions per predicate
+        /// (counted before deduplication, so it bounds work, not just the
+        /// surviving disjunct count).
         limit: usize,
     },
+}
+
+impl UnfoldError {
+    /// Stable machine-readable code identifying the variant, for transports
+    /// (the server wire protocol) that must not couple to `Display` text.
+    pub fn code(&self) -> &'static str {
+        match self {
+            UnfoldError::Recursive => "recursive_candidate",
+            UnfoldError::UnknownGoal(_) => "unknown_goal",
+            UnfoldError::TooLarge { .. } => "unfolding_too_large",
+        }
+    }
 }
 
 impl std::fmt::Display for UnfoldError {
@@ -104,6 +117,21 @@ pub fn unfold_nonrecursive(
 /// predicate.  Works for recursive programs; the result under-approximates
 /// `Q_Π` and converges to it as `depth` grows.
 pub fn expansions_up_to_depth(program: &Program, goal: Pred, depth: usize) -> Ucq {
+    expansions_up_to_depth_limited(program, goal, depth, usize::MAX)
+        .expect("unbounded depth-limited expansion cannot fail")
+}
+
+/// As [`expansions_up_to_depth`], but aborting with
+/// [`UnfoldError::TooLarge`] once any predicate accumulates more than
+/// `limit` expansions — the expansion count grows exponentially in `depth`
+/// for nonlinear programs, and long-running callers (the server's
+/// `bounded` verb) must be able to bound that phase.
+pub fn expansions_up_to_depth_limited(
+    program: &Program,
+    goal: Pred,
+    depth: usize,
+    limit: usize,
+) -> Result<Ucq, UnfoldError> {
     // memo[d][pred] = expansions of height ≤ d.
     let idb = program.idb_predicates();
     let mut previous: std::collections::BTreeMap<Pred, Vec<ConjunctiveQuery>> =
@@ -112,14 +140,14 @@ pub fn expansions_up_to_depth(program: &Program, goal: Pred, depth: usize) -> Uc
         let snapshot = previous.clone();
         let mut next = std::collections::BTreeMap::new();
         for &pred in &idb {
-            let expansions = expand_predicate(program, pred, &|p| snapshot.get(&p).cloned(), usize::MAX)
-                .expect("depth-bounded expansion cannot fail");
+            let expansions =
+                expand_predicate(program, pred, &|p| snapshot.get(&p).cloned(), limit)?;
             next.insert(pred, expansions);
         }
         previous = next;
     }
     let disjuncts = previous.remove(&goal).unwrap_or_default();
-    Ucq::new(disjuncts).dedup()
+    Ok(Ucq::new(disjuncts).dedup())
 }
 
 /// One round of unfolding for a predicate: take every rule for `pred` and
@@ -134,12 +162,19 @@ fn expand_predicate(
     let idb = program.idb_predicates();
     let mut out: Vec<ConjunctiveQuery> = Vec::new();
     let mut seen = std::collections::BTreeSet::new();
+    // The budget counts *generated* expansions, not distinct ones: for
+    // nonlinear rules exponentially many combinations can deduplicate to a
+    // handful of disjuncts, and a budget on the deduplicated count would
+    // bound memory but not work.  Distinct ≤ generated, so this is the
+    // stricter (and the only time-bounding) reading of `limit`.
+    let mut generated = 0usize;
     for (_, rule) in program.rules_for(pred) {
         // Rename the rule apart so that expansions of different rules (and
         // recursive re-entries) never clash.
         let (rule, _) = rule.freshen("u");
         expand_rule(&rule, &idb, lookup, &mut |cq| {
-            if out.len() >= limit {
+            generated += 1;
+            if generated > limit {
                 return Err(UnfoldError::TooLarge { limit });
             }
             let canon = cq.canonicalize_names();

@@ -101,7 +101,10 @@ mod tests {
             &parse_atom("e(X, b)").unwrap(),
             &parse_atom("e(a, Y)").unwrap()
         ));
-        assert_eq!(u.apply_atom(&parse_atom("e(X, Y)").unwrap()).to_string(), "e(a, b)");
+        assert_eq!(
+            u.apply_atom(&parse_atom("e(X, Y)").unwrap()).to_string(),
+            "e(a, b)"
+        );
     }
 
     #[test]
@@ -141,10 +144,7 @@ mod tests {
     #[test]
     fn predicate_or_arity_mismatch_fails() {
         let mut u = Unifier::new();
-        assert!(!u.unify_atoms(
-            &parse_atom("e(X)").unwrap(),
-            &parse_atom("f(X)").unwrap()
-        ));
+        assert!(!u.unify_atoms(&parse_atom("e(X)").unwrap(), &parse_atom("f(X)").unwrap()));
         assert!(!u.unify_atoms(
             &parse_atom("e(X)").unwrap(),
             &parse_atom("e(X, Y)").unwrap()

@@ -120,9 +120,11 @@ pub fn ucq_containment_certificate(
 ) -> Result<UcqContainmentCertificate, usize> {
     let mut witness = Vec::with_capacity(phi.len());
     for (i, theta) in phi.disjuncts.iter().enumerate() {
-        let found = psi.disjuncts.iter().enumerate().find_map(|(j, p)| {
-            containment_mapping(p, theta).map(|h| (j, h))
-        });
+        let found = psi
+            .disjuncts
+            .iter()
+            .enumerate()
+            .find_map(|(j, p)| containment_mapping(p, theta).map(|h| (j, h)));
         match found {
             Some(w) => witness.push(w),
             None => return Err(i),
@@ -232,10 +234,9 @@ mod tests {
     fn ucq_containment_sagiv_yannakakis() {
         // Φ: paths of length 1 or 2; Ψ: paths of length 1, 2 or 3 (Boolean).
         let phi = Ucq::parse("q :- e(X, Y).\nq :- e(X, Y), e(Y, Z).").unwrap();
-        let psi = Ucq::parse(
-            "q :- e(X, Y).\nq :- e(X, Y), e(Y, Z).\nq :- e(X, Y), e(Y, Z), e(Z, W).",
-        )
-        .unwrap();
+        let psi =
+            Ucq::parse("q :- e(X, Y).\nq :- e(X, Y), e(Y, Z).\nq :- e(X, Y), e(Y, Z), e(Z, W).")
+                .unwrap();
         assert!(ucq_contained_in(&phi, &psi));
         // Ψ ⊆ Φ as Boolean queries: a 3-path contains a 1-path, so every
         // disjunct of Ψ is contained in some disjunct of Φ.

@@ -9,7 +9,6 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-
 use datalog::atom::{Atom, Pred};
 use datalog::rule::Rule;
 use datalog::substitution::Substitution;
@@ -70,10 +69,7 @@ impl ConjunctiveQuery {
     /// The distinguished variables, in head order, without duplicates.
     pub fn distinguished_variables(&self) -> Vec<Var> {
         let mut seen = BTreeSet::new();
-        self.head
-            .variables()
-            .filter(|v| seen.insert(*v))
-            .collect()
+        self.head.variables().filter(|v| seen.insert(*v)).collect()
     }
 
     /// The existential variables: body variables that are not distinguished.
@@ -188,7 +184,10 @@ mod tests {
     #[test]
     fn distinguished_and_existential_variables() {
         let q = path2();
-        assert_eq!(q.distinguished_variables(), vec![Var::new("X"), Var::new("Z")]);
+        assert_eq!(
+            q.distinguished_variables(),
+            vec![Var::new("X"), Var::new("Z")]
+        );
         assert_eq!(q.existential_variables(), vec![Var::new("Y")]);
         assert_eq!(q.variables().len(), 3);
         assert!(!q.is_boolean());

@@ -32,7 +32,12 @@ pub fn evaluate_cq(query: &ConjunctiveQuery, database: &Database) -> BTreeSet<Ve
     // decide satisfiability with the early-aborting search instead of
     // enumerating every homomorphism.
     if query.head.is_ground() {
-        let tuple: Vec<Constant> = query.head.terms.iter().filter_map(|t| t.as_const()).collect();
+        let tuple: Vec<Constant> = query
+            .head
+            .terms
+            .iter()
+            .filter_map(|t| t.as_const())
+            .collect();
         return if homomorphism_exists_db(&query.body, database, &Substitution::new()) {
             BTreeSet::from([tuple])
         } else {
@@ -139,11 +144,7 @@ pub fn evaluate_ucq_with(
 }
 
 /// Does a specific tuple belong to the answer of the query on the database?
-pub fn cq_answers_tuple(
-    query: &ConjunctiveQuery,
-    database: &Database,
-    tuple: &[Constant],
-) -> bool {
+pub fn cq_answers_tuple(query: &ConjunctiveQuery, database: &Database, tuple: &[Constant]) -> bool {
     if query.head.arity() != tuple.len() {
         return false;
     }
@@ -259,7 +260,13 @@ mod tests {
             .collect();
         let sequential = evaluate_ucq_sequential(&u, &db);
         for threads in [1, 2, 3, 4, 7] {
-            let parallel = evaluate_ucq_with(&u, &db, UcqEvalOptions { threads: Some(threads) });
+            let parallel = evaluate_ucq_with(
+                &u,
+                &db,
+                UcqEvalOptions {
+                    threads: Some(threads),
+                },
+            );
             assert_eq!(sequential, parallel, "threads = {threads}");
             // Same iteration order too (BTreeSet is sorted, but lock it in).
             assert!(sequential.iter().eq(parallel.iter()), "threads = {threads}");

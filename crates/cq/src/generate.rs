@@ -18,10 +18,7 @@ use crate::ucq::Ucq;
 /// `q(X0, X0)` with body `[]`.
 pub fn path_query(edge: &str, n: usize) -> ConjunctiveQuery {
     let var = |i: usize| Term::Var(Var::new(&format!("X{i}")));
-    let head = Atom::new(
-        datalog::atom::Pred::new("q"),
-        vec![var(0), var(n)],
-    );
+    let head = Atom::new(datalog::atom::Pred::new("q"), vec![var(0), var(n)]);
     let body = (0..n)
         .map(|i| Atom::new(datalog::atom::Pred::new(edge), vec![var(i), var(i + 1)]))
         .collect();
@@ -135,7 +132,10 @@ mod tests {
         let q = path_query("e", 3);
         assert_eq!(q.body.len(), 3);
         assert_eq!(q.arity(), 2);
-        assert_eq!(q.to_string(), "q(X0, X3) :- e(X0, X1), e(X1, X2), e(X2, X3).");
+        assert_eq!(
+            q.to_string(),
+            "q(X0, X3) :- e(X0, X1), e(X1, X2), e(X2, X3)."
+        );
     }
 
     #[test]

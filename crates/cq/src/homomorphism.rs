@@ -286,7 +286,10 @@ mod tests {
         let source = atoms(&["e(X, Y)"]);
         let target = atoms(&["e(a, b)", "e(b, c)"]);
         let mut seed = Substitution::new();
-        seed.bind_var(Var::new("X"), datalog::parser::parse_atom("p(b)").unwrap().terms[0]);
+        seed.bind_var(
+            Var::new("X"),
+            datalog::parser::parse_atom("p(b)").unwrap().terms[0],
+        );
         let h = find_homomorphism(&source, &target, &seed).unwrap();
         // With X pinned to b, the only candidate is e(b, c).
         assert_eq!(
@@ -300,8 +303,16 @@ mod tests {
         let source = atoms(&["e(a, X)"]);
         let ok_target = atoms(&["e(a, b)"]);
         let bad_target = atoms(&["e(c, b)"]);
-        assert!(homomorphism_exists(&source, &ok_target, &Substitution::new()));
-        assert!(!homomorphism_exists(&source, &bad_target, &Substitution::new()));
+        assert!(homomorphism_exists(
+            &source,
+            &ok_target,
+            &Substitution::new()
+        ));
+        assert!(!homomorphism_exists(
+            &source,
+            &bad_target,
+            &Substitution::new()
+        ));
     }
 
     #[test]
@@ -371,7 +382,11 @@ mod tests {
         }
         // And a target where nothing matches.
         let empty = Database::from_facts([Fact::app("g", ["a"])]);
-        assert!(!homomorphism_exists_db(&sources[0], &empty, &Substitution::new()));
+        assert!(!homomorphism_exists_db(
+            &sources[0],
+            &empty,
+            &Substitution::new()
+        ));
     }
 
     #[test]

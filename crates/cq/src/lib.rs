@@ -41,4 +41,4 @@ pub mod ucq;
 
 pub use crate::canonical::{CqKey, UcqKey};
 pub use crate::cq::ConjunctiveQuery;
-pub use crate::ucq::Ucq;
+pub use crate::ucq::{Ucq, UcqParseError};

@@ -54,8 +54,7 @@ pub fn minimize_cq_with(
 /// Minimise a union of conjunctive queries: minimise every disjunct, then
 /// drop disjuncts that are contained in another disjunct.
 pub fn minimize_ucq(ucq: &Ucq) -> Ucq {
-    let minimized: Vec<ConjunctiveQuery> =
-        ucq.disjuncts.iter().map(minimize_cq).collect();
+    let minimized: Vec<ConjunctiveQuery> = ucq.disjuncts.iter().map(minimize_cq).collect();
     let mut keep: Vec<bool> = vec![true; minimized.len()];
     for i in 0..minimized.len() {
         if !keep[i] {

@@ -2,10 +2,68 @@
 
 use std::fmt;
 
-
 use datalog::atom::Pred;
 
 use crate::cq::ConjunctiveQuery;
+
+/// Why a UCQ could not be read from text.
+///
+/// [`Ucq::parse`] only reports syntax errors and defers arity questions to
+/// the decision procedures; [`Ucq::parse_checked`] surfaces both up front,
+/// with stable [`UcqParseError::code`]s so transports (the server wire
+/// protocol) can report them without coupling to `Display` text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UcqParseError {
+    /// The text is not a syntactically valid rule list.
+    Parse(datalog::error::ParseError),
+    /// Two disjuncts disagree on arity — such a union is not a query.
+    MixedArity {
+        /// Arity of the first disjunct.
+        expected: usize,
+        /// Conflicting arity seen later.
+        found: usize,
+        /// Index (0-based) of the conflicting disjunct.
+        disjunct: usize,
+    },
+    /// The text contains no rules at all.
+    Empty,
+}
+
+impl UcqParseError {
+    /// Stable machine-readable code identifying the variant.
+    pub fn code(&self) -> &'static str {
+        match self {
+            UcqParseError::Parse(e) => e.code(),
+            UcqParseError::MixedArity { .. } => "mixed_arity",
+            UcqParseError::Empty => "empty_query",
+        }
+    }
+}
+
+impl fmt::Display for UcqParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UcqParseError::Parse(e) => write!(f, "{e}"),
+            UcqParseError::MixedArity {
+                expected,
+                found,
+                disjunct,
+            } => write!(
+                f,
+                "disjunct {disjunct} has arity {found} but the first disjunct has arity {expected}"
+            ),
+            UcqParseError::Empty => write!(f, "the query has no disjuncts"),
+        }
+    }
+}
+
+impl std::error::Error for UcqParseError {}
+
+impl From<datalog::error::ParseError> for UcqParseError {
+    fn from(e: datalog::error::ParseError) -> Self {
+        UcqParseError::Parse(e)
+    }
+}
 
 /// A union (disjunction) of conjunctive queries, all of the same arity.
 #[derive(Clone, PartialEq, Eq, Default)]
@@ -22,12 +80,16 @@ impl Ucq {
 
     /// The empty union — the query that is false on every database.
     pub fn empty() -> Self {
-        Ucq { disjuncts: Vec::new() }
+        Ucq {
+            disjuncts: Vec::new(),
+        }
     }
 
     /// A UCQ with a single disjunct.
     pub fn singleton(cq: ConjunctiveQuery) -> Self {
-        Ucq { disjuncts: vec![cq] }
+        Ucq {
+            disjuncts: vec![cq],
+        }
     }
 
     /// Parse a UCQ given as one rule per line, all with the same head
@@ -46,6 +108,28 @@ impl Ucq {
                 .map(ConjunctiveQuery::from_rule)
                 .collect(),
         })
+    }
+
+    /// As [`Ucq::parse`], but additionally requires at least one disjunct
+    /// and a consistent arity across disjuncts, so callers that transport
+    /// the query (the decision-procedure server) reject unusable unions at
+    /// the parse boundary instead of deep inside a decision.
+    pub fn parse_checked(input: &str) -> Result<Self, UcqParseError> {
+        let ucq = Ucq::parse(input)?;
+        let Some(first) = ucq.disjuncts.first() else {
+            return Err(UcqParseError::Empty);
+        };
+        let expected = first.arity();
+        for (disjunct, cq) in ucq.disjuncts.iter().enumerate().skip(1) {
+            if cq.arity() != expected {
+                return Err(UcqParseError::MixedArity {
+                    expected,
+                    found: cq.arity(),
+                    disjunct,
+                });
+            }
+        }
+        Ok(ucq)
     }
 
     /// Number of disjuncts.
@@ -204,5 +288,30 @@ mod tests {
         let u = buys_ucq().union(&buys_ucq());
         assert_eq!(u.len(), 4);
         assert_eq!(u.dedup().len(), 2);
+    }
+
+    #[test]
+    fn parse_checked_accepts_consistent_unions() {
+        let u = Ucq::parse_checked("q(X, Y) :- e(X, Y).\nq(X, Y) :- e(X, Z), e(Z, Y).").unwrap();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.arity(), Some(2));
+    }
+
+    #[test]
+    fn parse_checked_rejects_unusable_unions_with_stable_codes() {
+        let mixed = Ucq::parse_checked("q(X, Y) :- e(X, Y).\nq(X) :- e(X, X).").unwrap_err();
+        assert_eq!(mixed.code(), "mixed_arity");
+        assert!(matches!(
+            mixed,
+            UcqParseError::MixedArity {
+                expected: 2,
+                found: 1,
+                disjunct: 1
+            }
+        ));
+        let empty = Ucq::parse_checked("").unwrap_err();
+        assert_eq!(empty.code(), "empty_query");
+        let syntax = Ucq::parse_checked("q(X :-").unwrap_err();
+        assert_eq!(syntax.code(), "parse_error");
     }
 }

@@ -286,20 +286,14 @@ mod tests {
 
     #[test]
     fn active_domain_collects_all_constants() {
-        let db = Database::from_facts([
-            Fact::app("e", ["a", "b"]),
-            Fact::app("f", ["c"]),
-        ]);
+        let db = Database::from_facts([Fact::app("e", ["a", "b"]), Fact::app("f", ["c"])]);
         assert_eq!(db.active_domain(), BTreeSet::from([c("a"), c("b"), c("c")]));
     }
 
     #[test]
     fn absorb_counts_new_facts() {
         let mut db1 = Database::from_facts([Fact::app("e", ["a", "b"])]);
-        let db2 = Database::from_facts([
-            Fact::app("e", ["a", "b"]),
-            Fact::app("e", ["b", "c"]),
-        ]);
+        let db2 = Database::from_facts([Fact::app("e", ["a", "b"]), Fact::app("e", ["b", "c"])]);
         assert_eq!(db1.absorb(&db2), 1);
         assert_eq!(db1.len(), 2);
     }
@@ -345,10 +339,7 @@ mod tests {
                         .filter(|t| t[col] == value)
                         .map(Vec::as_slice)
                         .collect();
-                    assert_eq!(
-                        via_index, via_scan,
-                        "step {step}: column {col}, value c{v}"
-                    );
+                    assert_eq!(via_index, via_scan, "step {step}: column {col}, value c{v}");
                 }
             }
         }
@@ -373,7 +364,6 @@ mod tests {
         assert_eq!(db.index(Pred::new("e")).len(), before.len());
     }
 
-
     /// Cloned relations still answer indexed lookups correctly after the
     /// original (or the clone) diverges.
     #[test]
@@ -388,10 +378,7 @@ mod tests {
 
     #[test]
     fn restrict_to_projects_predicates() {
-        let db = Database::from_facts([
-            Fact::app("e", ["a", "b"]),
-            Fact::app("p", ["a", "b"]),
-        ]);
+        let db = Database::from_facts([Fact::app("e", ["a", "b"]), Fact::app("p", ["a", "b"])]);
         let only_e = db.restrict_to(&BTreeSet::from([Pred::new("e")]));
         assert_eq!(only_e.len(), 1);
         assert!(only_e.contains(&Fact::app("e", ["a", "b"])));

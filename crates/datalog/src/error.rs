@@ -16,6 +16,12 @@ impl ParseError {
     pub fn new(line: usize, message: String) -> Self {
         ParseError { line, message }
     }
+
+    /// Stable machine-readable code, for transports (the server wire
+    /// protocol) that must not couple to `Display` text.
+    pub fn code(&self) -> &'static str {
+        "parse_error"
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -60,10 +66,28 @@ pub enum ValidationError {
     },
 }
 
+impl ValidationError {
+    /// Stable machine-readable code identifying the variant, for transports
+    /// (the server wire protocol) that must not couple to `Display` text.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ValidationError::ArityMismatch { .. } => "arity_mismatch",
+            ValidationError::UnsafeRule { .. } => "unsafe_rule",
+            ValidationError::MissingGoal { .. } => "missing_goal",
+            ValidationError::ExpectedNonrecursive => "expected_nonrecursive",
+            ValidationError::EdbRedefined { .. } => "edb_redefined",
+        }
+    }
+}
+
 impl fmt::Display for ValidationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ValidationError::ArityMismatch { pred, expected, found } => write!(
+            ValidationError::ArityMismatch {
+                pred,
+                expected,
+                found,
+            } => write!(
                 f,
                 "predicate `{pred}` used with arity {found} but previously with arity {expected}"
             ),
@@ -75,10 +99,16 @@ impl fmt::Display for ValidationError {
                 write!(f, "goal predicate `{goal}` does not occur in the program")
             }
             ValidationError::ExpectedNonrecursive => {
-                write!(f, "expected a nonrecursive program but the dependency graph has a cycle")
+                write!(
+                    f,
+                    "expected a nonrecursive program but the dependency graph has a cycle"
+                )
             }
             ValidationError::EdbRedefined { pred } => {
-                write!(f, "predicate `{pred}` is extensional but is defined by a rule head")
+                write!(
+                    f,
+                    "predicate `{pred}` is extensional but is defined by a rule head"
+                )
             }
         }
     }

@@ -149,14 +149,20 @@ fn naive(program: &Program, edb: &Database, options: EvalOptions) -> EvalResult 
                 changed = true;
             }
         }
-        if options.max_facts.is_some_and(|max| stats.derived_facts >= max) {
+        if options
+            .max_facts
+            .is_some_and(|max| stats.derived_facts >= max)
+        {
             break;
         }
         if !changed {
             break;
         }
     }
-    EvalResult { database: db, stats }
+    EvalResult {
+        database: db,
+        stats,
+    }
 }
 
 /// Semi-naive fixpoint shared by [`Strategy::SemiNaive`] (scan joins) and
@@ -205,7 +211,10 @@ fn delta_fixpoint(
         {
             break;
         }
-        if options.max_facts.is_some_and(|max| stats.derived_facts >= max) {
+        if options
+            .max_facts
+            .is_some_and(|max| stats.derived_facts >= max)
+        {
             break;
         }
         stats.iterations += 1;
@@ -241,7 +250,10 @@ fn delta_fixpoint(
         delta = next_delta;
     }
 
-    EvalResult { database: db, stats }
+    EvalResult {
+        database: db,
+        stats,
+    }
 }
 
 /// Enumerate all instantiations of `body` against `db` (with the atom at
@@ -306,18 +318,18 @@ fn derive_rule(
         // probe regression gate compares the two).
         let mut indexed_candidates;
         let mut scan_candidates;
-        let candidates: &mut dyn Iterator<Item = &[crate::term::Constant]> =
-            match &ctx.indexes[pos] {
-                Some(index) => {
-                    indexed_candidates = index.candidates(atom, subst);
-                    &mut indexed_candidates
-                }
-                None => {
-                    let source = source_db(ctx.db, ctx.delta, pos);
-                    scan_candidates = source.relation(atom.pred).iter().map(Vec::as_slice);
-                    &mut scan_candidates
-                }
-            };
+        let candidates: &mut dyn Iterator<Item = &[crate::term::Constant]> = match &ctx.indexes[pos]
+        {
+            Some(index) => {
+                indexed_candidates = index.candidates(atom, subst);
+                &mut indexed_candidates
+            }
+            None => {
+                let source = source_db(ctx.db, ctx.delta, pos);
+                scan_candidates = source.relation(atom.pred).iter().map(Vec::as_slice);
+                &mut scan_candidates
+            }
+        };
         for tuple in candidates {
             *probes += 1;
             let mut attempt = subst.clone();

@@ -25,7 +25,10 @@ pub fn transitive_closure(edge: &str, exit_pred: &str) -> Program {
             Atom::app("p", ["X", "Y"]),
             vec![Atom::app(edge, ["X", "Z"]), Atom::app("p", ["Z", "Y"])],
         ),
-        Rule::new(Atom::app("p", ["X", "Y"]), vec![Atom::app(exit_pred, ["X", "Y"])]),
+        Rule::new(
+            Atom::app("p", ["X", "Y"]),
+            vec![Atom::app(exit_pred, ["X", "Y"])],
+        ),
     ])
 }
 
@@ -41,7 +44,10 @@ pub fn transitive_closure_nonlinear(edge: &str) -> Program {
             Atom::app("p", ["X", "Y"]),
             vec![Atom::app("p", ["X", "Z"]), Atom::app("p", ["Z", "Y"])],
         ),
-        Rule::new(Atom::app("p", ["X", "Y"]), vec![Atom::app(edge, ["X", "Y"])]),
+        Rule::new(
+            Atom::app("p", ["X", "Y"]),
+            vec![Atom::app(edge, ["X", "Y"])],
+        ),
     ])
 }
 
@@ -76,7 +82,10 @@ pub fn dist_goal(n: usize) -> Pred {
 /// the paper.
 pub fn dist_le_program(n: usize) -> Program {
     let mut rules = vec![
-        Rule::new(Atom::app("dist0", ["X", "Y"]), vec![Atom::app("e", ["X", "Y"])]),
+        Rule::new(
+            Atom::app("dist0", ["X", "Y"]),
+            vec![Atom::app("e", ["X", "Y"])],
+        ),
         Rule::fact(Atom::app("dist0", ["X", "X"])),
         Rule::fact(Atom::app("distlt0", ["X", "X"])),
     ];
@@ -311,7 +320,10 @@ pub fn random_program(config: &RandomProgramConfig, seed: u64) -> Program {
     // is not vacuously empty.
     rules.push(Rule::new(
         Atom::new(idb[0], vec![Term::Var(vars[0]), Term::Var(vars[1])]),
-        vec![Atom::new(edb[0], vec![Term::Var(vars[0]), Term::Var(vars[1])])],
+        vec![Atom::new(
+            edb[0],
+            vec![Term::Var(vars[0]), Term::Var(vars[1])],
+        )],
     ));
     Program::new(rules)
 }
@@ -336,9 +348,7 @@ mod tests {
         // On a chain of length 8, dist3(c0, c8) must hold (8 = 2^3).
         let db = chain_database("e", 8);
         let r = evaluate(&p, &db);
-        assert!(r
-            .database
-            .contains(&Fact::app("dist3", ["c0", "c8"])));
+        assert!(r.database.contains(&Fact::app("dist3", ["c0", "c8"])));
         assert_eq!(r.relation(dist_goal(3)).len(), 1);
     }
 

@@ -155,9 +155,9 @@ impl<'a> Iterator for Candidates<'a> {
     fn next(&mut self) -> Option<&'a [Constant]> {
         match self {
             Candidates::All(rows) => rows.next().map(Vec::as_slice),
-            Candidates::Postings { index, ids } => ids
-                .next()
-                .map(|&id| index.rows[id as usize].as_slice()),
+            Candidates::Postings { index, ids } => {
+                ids.next().map(|&id| index.rows[id as usize].as_slice())
+            }
         }
     }
 }
@@ -196,7 +196,10 @@ mod tests {
         subst.bind_var(Var::new("X"), Term::Const(Constant::from_usize(1)));
         let atom = Atom::app("e", ["X", "Y"]);
         let rows: Vec<_> = idx.candidates(&atom, &subst).collect();
-        assert_eq!(rows, vec![&[Constant::from_usize(1), Constant::from_usize(2)][..]]);
+        assert_eq!(
+            rows,
+            vec![&[Constant::from_usize(1), Constant::from_usize(2)][..]]
+        );
     }
 
     #[test]
@@ -221,8 +224,7 @@ mod tests {
         let r = rel(&[(2, 5), (0, 5), (1, 5), (3, 4)]);
         let idx = r.index();
         let atom = Atom::app("e", ["X", "c5"]);
-        let via_index: Vec<&[Constant]> =
-            idx.candidates(&atom, &Substitution::new()).collect();
+        let via_index: Vec<&[Constant]> = idx.candidates(&atom, &Substitution::new()).collect();
         let via_scan: Vec<&[Constant]> = r
             .iter()
             .filter(|t| t[1] == Constant::from_usize(5))

@@ -94,37 +94,70 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
                 }
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: i, line });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: i,
+                    line,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: i, line });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: i,
+                    line,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: i, line });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: i,
+                    line,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(Token { kind: TokenKind::Period, offset: i, line });
+                tokens.push(Token {
+                    kind: TokenKind::Period,
+                    offset: i,
+                    line,
+                });
                 i += 1;
             }
             '|' => {
-                tokens.push(Token { kind: TokenKind::Pipe, offset: i, line });
+                tokens.push(Token {
+                    kind: TokenKind::Pipe,
+                    offset: i,
+                    line,
+                });
                 i += 1;
             }
             ':' => {
                 if bytes.get(i + 1) == Some(&b'-') {
-                    tokens.push(Token { kind: TokenKind::Implies, offset: i, line });
+                    tokens.push(Token {
+                        kind: TokenKind::Implies,
+                        offset: i,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    return Err(ParseError::new(line, format!("expected `:-`, found `:{}`",
-                        bytes.get(i + 1).map(|&b| b as char).unwrap_or(' '))));
+                    return Err(ParseError::new(
+                        line,
+                        format!(
+                            "expected `:-`, found `:{}`",
+                            bytes.get(i + 1).map(|&b| b as char).unwrap_or(' ')
+                        ),
+                    ));
                 }
             }
             '?' => {
                 if bytes.get(i + 1) == Some(&b'-') {
-                    tokens.push(Token { kind: TokenKind::Query, offset: i, line });
+                    tokens.push(Token {
+                        kind: TokenKind::Query,
+                        offset: i,
+                        line,
+                    });
                     i += 2;
                 } else {
                     return Err(ParseError::new(line, "expected `?-`".to_string()));
@@ -136,12 +169,18 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
                 let mut j = start;
                 while j < bytes.len() && bytes[j] as char != quote {
                     if bytes[j] == b'\n' {
-                        return Err(ParseError::new(line, "unterminated quoted constant".to_string()));
+                        return Err(ParseError::new(
+                            line,
+                            "unterminated quoted constant".to_string(),
+                        ));
                     }
                     j += 1;
                 }
                 if j >= bytes.len() {
-                    return Err(ParseError::new(line, "unterminated quoted constant".to_string()));
+                    return Err(ParseError::new(
+                        line,
+                        "unterminated quoted constant".to_string(),
+                    ));
                 }
                 tokens.push(Token {
                     kind: TokenKind::Symbol(input[start..j].to_string()),
@@ -167,15 +206,26 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
                 } else {
                     TokenKind::Symbol(text.to_string())
                 };
-                tokens.push(Token { kind, offset: start, line });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                    line,
+                });
                 i = j;
             }
             other => {
-                return Err(ParseError::new(line, format!("unexpected character `{other}`")));
+                return Err(ParseError::new(
+                    line,
+                    format!("unexpected character `{other}`"),
+                ));
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, offset: bytes.len(), line });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: bytes.len(),
+        line,
+    });
     Ok(tokens)
 }
 
@@ -184,7 +234,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

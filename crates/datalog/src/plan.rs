@@ -47,7 +47,8 @@ impl JoinPlan {
 
     fn plan(body: &[Atom], db: &Database, delta_pos: Option<usize>) -> JoinPlan {
         let sizes: Vec<usize> = body.iter().map(|a| db.relation(a.pred).len()).collect();
-        let mut bound: std::collections::BTreeSet<crate::term::Var> = std::collections::BTreeSet::new();
+        let mut bound: std::collections::BTreeSet<crate::term::Var> =
+            std::collections::BTreeSet::new();
         let mut remaining: Vec<usize> = (0..body.len()).collect();
         let mut order = Vec::with_capacity(body.len());
 

@@ -3,7 +3,6 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-
 use crate::atom::Pred;
 use crate::depgraph::DependencyGraph;
 use crate::rule::Rule;
@@ -252,14 +251,20 @@ mod tests {
                 Atom::app("p", ["X", "Y"]),
                 vec![Atom::app("e", ["X", "Z"]), Atom::app("p", ["Z", "Y"])],
             ),
-            Rule::new(Atom::app("p", ["X", "Y"]), vec![Atom::app("ep", ["X", "Y"])]),
+            Rule::new(
+                Atom::app("p", ["X", "Y"]),
+                vec![Atom::app("ep", ["X", "Y"])],
+            ),
         ])
     }
 
     /// The buys program Π₁ of Example 1.1.
     fn buys1() -> Program {
         Program::new(vec![
-            Rule::new(Atom::app("buys", ["X", "Y"]), vec![Atom::app("likes", ["X", "Y"])]),
+            Rule::new(
+                Atom::app("buys", ["X", "Y"]),
+                vec![Atom::app("likes", ["X", "Y"])],
+            ),
             Rule::new(
                 Atom::app("buys", ["X", "Y"]),
                 vec![Atom::app("trendy", ["X"]), Atom::app("buys", ["Z", "Y"])],
@@ -337,7 +342,10 @@ mod tests {
     fn varnum_covers_goal_arity_even_without_idb_body_vars() {
         // C :- e(X). — the 0-ary goal has no variables, but a unary IDB
         // predicate q(X) :- e(X) must still get var(Π) of size ≥ 2.
-        let p = Program::new(vec![Rule::new(Atom::app("q", ["X"]), vec![Atom::app("e", ["X"])])]);
+        let p = Program::new(vec![Rule::new(
+            Atom::app("q", ["X"]),
+            vec![Atom::app("e", ["X"])],
+        )]);
         assert!(p.varnum() >= 2);
     }
 

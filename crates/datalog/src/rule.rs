@@ -3,7 +3,6 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-
 use crate::atom::{Atom, Pred};
 use crate::substitution::Substitution;
 use crate::term::Var;

@@ -4,7 +4,6 @@
 //! stated; the bench harness records them next to every measurement so that
 //! EXPERIMENTS.md can relate measured growth to the predicted bounds.
 
-
 use crate::program::Program;
 
 /// Summary statistics of a Datalog program.

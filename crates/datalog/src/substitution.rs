@@ -8,7 +8,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-
 use crate::atom::Atom;
 use crate::rule::Rule;
 use crate::term::{Constant, Term, Var};
@@ -220,7 +219,10 @@ mod tests {
         let mut s = Substitution::new();
         let pattern = Atom::app("e", ["X", "b"]);
         assert!(s.match_tuple(&pattern, &[Constant::new("a"), Constant::new("b")]));
-        assert!(!s.match_tuple(&Atom::app("e", ["X", "c"]), &[Constant::new("a"), Constant::new("b")]));
+        assert!(!s.match_tuple(
+            &Atom::app("e", ["X", "c"]),
+            &[Constant::new("a"), Constant::new("b")]
+        ));
     }
 
     #[test]
@@ -230,8 +232,14 @@ mod tests {
         let mut s2 = Substitution::new();
         s2.bind_var(Var::new("Y"), Term::Const(Constant::new("a")));
         let c = s1.compose(&s2);
-        assert_eq!(c.apply_term(Term::Var(Var::new("X"))), Term::Const(Constant::new("a")));
-        assert_eq!(c.apply_term(Term::Var(Var::new("Y"))), Term::Const(Constant::new("a")));
+        assert_eq!(
+            c.apply_term(Term::Var(Var::new("X"))),
+            Term::Const(Constant::new("a"))
+        );
+        assert_eq!(
+            c.apply_term(Term::Var(Var::new("Y"))),
+            Term::Const(Constant::new("a"))
+        );
     }
 
     #[test]

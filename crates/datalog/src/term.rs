@@ -7,7 +7,6 @@
 
 use std::fmt;
 
-
 use crate::intern::{self, Sym};
 
 /// A Datalog variable.

@@ -33,11 +33,7 @@ pub fn validate(program: &Program, safety: Safety) -> Vec<ValidationError> {
 }
 
 /// Validate a program together with a goal predicate.
-pub fn validate_with_goal(
-    program: &Program,
-    goal: Pred,
-    safety: Safety,
-) -> Vec<ValidationError> {
+pub fn validate_with_goal(program: &Program, goal: Pred, safety: Safety) -> Vec<ValidationError> {
     let mut errors = validate(program, safety);
     if !program.predicates().contains(&goal) {
         errors.push(ValidationError::MissingGoal {
@@ -83,8 +79,8 @@ pub fn require_nonrecursive(program: &Program) -> Result<(), ValidationError> {
 
 fn check_arities(program: &Program, errors: &mut Vec<ValidationError>) {
     let mut seen: BTreeMap<Pred, usize> = BTreeMap::new();
-    let mut check = |pred: Pred, arity: usize, errors: &mut Vec<ValidationError>| {
-        match seen.get(&pred) {
+    let mut check =
+        |pred: Pred, arity: usize, errors: &mut Vec<ValidationError>| match seen.get(&pred) {
             Some(&expected) if expected != arity => errors.push(ValidationError::ArityMismatch {
                 pred: pred.name().to_string(),
                 expected,
@@ -94,8 +90,7 @@ fn check_arities(program: &Program, errors: &mut Vec<ValidationError>) {
             None => {
                 seen.insert(pred, arity);
             }
-        }
-    };
+        };
     for rule in program.rules() {
         check(rule.head.pred, rule.head.arity(), errors);
         for atom in &rule.body {
@@ -167,7 +162,8 @@ mod tests {
     fn pair_validation_rejects_edb_redefinition() {
         // `likes` is EDB in the left program but defined in the right one.
         let left = parse_program("buys(X, Y) :- likes(X, Y).").unwrap();
-        let right = parse_program("buys(X, Y) :- likes(X, Y). likes(X, Y) :- knows(X, Y).").unwrap();
+        let right =
+            parse_program("buys(X, Y) :- likes(X, Y). likes(X, Y) :- knows(X, Y).").unwrap();
         let errors = validate_pair(&left, &right, Pred::new("buys"), Safety::Strict);
         assert!(errors
             .iter()
@@ -176,8 +172,11 @@ mod tests {
 
     #[test]
     fn pair_validation_accepts_shared_goal() {
-        let left = parse_program("buys(X, Y) :- likes(X, Y). buys(X, Y) :- trendy(X), buys(Z, Y).").unwrap();
-        let right = parse_program("buys(X, Y) :- likes(X, Y). buys(X, Y) :- trendy(X), likes(Z, Y).").unwrap();
+        let left = parse_program("buys(X, Y) :- likes(X, Y). buys(X, Y) :- trendy(X), buys(Z, Y).")
+            .unwrap();
+        let right =
+            parse_program("buys(X, Y) :- likes(X, Y). buys(X, Y) :- trendy(X), likes(Z, Y).")
+                .unwrap();
         assert!(validate_pair(&left, &right, Pred::new("buys"), Safety::Strict).is_empty());
     }
 

@@ -114,7 +114,11 @@ pub trait Rng: RngCore {
             let _ = self.next_u64();
             return true;
         }
-        let threshold = if p <= 0.0 { 0 } else { (p * 2f64.powi(64)) as u64 };
+        let threshold = if p <= 0.0 {
+            0
+        } else {
+            (p * 2f64.powi(64)) as u64
+        };
         self.next_u64() < threshold
     }
 }

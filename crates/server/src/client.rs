@@ -1,0 +1,60 @@
+//! A small synchronous client for the line-delimited JSON protocol.
+//!
+//! Used by `tests/server.rs` (driving a spawned `nonrec-serve` binary),
+//! the `serve` bench target, and anything else that wants to talk to the
+//! server without hand-rolling the framing.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::json::{self, Value};
+
+/// One connection to a server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server address.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Send one request value, wait for its one-line response, parse it.
+    pub fn request(&mut self, request: &Value) -> std::io::Result<Value> {
+        let line = self.request_line(&request.render())?;
+        json::parse(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("server sent invalid JSON: {e}"),
+            )
+        })
+    }
+
+    /// Send a raw request line (no trailing newline) and return the raw
+    /// response line — useful for testing malformed-input handling.
+    pub fn request_line(&mut self, line: &str) -> std::io::Result<String> {
+        // One write per request: a separate newline write would emit its
+        // own TCP segment under TCP_NODELAY.
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.writer.write_all(framed.as_bytes())?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end_matches('\n').to_string())
+    }
+}

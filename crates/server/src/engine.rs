@@ -1,0 +1,482 @@
+//! Execution of single (non-batch) commands against the decision
+//! procedures of [`nonrec_equivalence`].
+//!
+//! This is the only module that touches the decision layer.  All calls go
+//! through the default decision paths, which consult the process-wide
+//! [`nonrec_equivalence::cache::DecisionCache`] — the whole point of the
+//! server: one cache amortised across every request of every connection.
+//!
+//! Datalog parsing happens here (on a worker thread), not on the
+//! connection threads, so a slow parse cannot stall the read loop.
+
+use cq::Ucq;
+use datalog::atom::Pred;
+use datalog::parser::parse_program;
+use datalog::program::Program;
+use nonrec_equivalence::bounded::find_bound_with;
+use nonrec_equivalence::containment::{
+    datalog_contained_in_ucq_with, ContainmentStats, Counterexample, DecisionOptions, DecisionPath,
+};
+use nonrec_equivalence::equivalence::{equivalent_to_nonrecursive_with, EquivalenceVerdict};
+use nonrec_equivalence::optimize::{optimize, OptimizeOptions};
+use nonrec_equivalence::proof_tree::render_proof_tree;
+
+use crate::json::{obj, Value};
+use crate::protocol::{Command, RequestOptions, WireError};
+
+/// A cap applied to every request that does not set `max_pairs` itself, so
+/// one pathological input cannot occupy a worker forever.  Generous: the
+/// repo's whole generated differential suite stays well under it.
+pub const DEFAULT_MAX_PAIRS: usize = 5_000_000;
+
+/// Input-size caps for the `optimize` verb.  Its CQ-containment oracle is
+/// a homomorphism search (exponential in rule size in the worst case) and
+/// has no `max_pairs`-style budget, so the server bounds the *input*
+/// instead: total atoms across the program, and atoms in any single rule
+/// body (the quantity the search is exponential in).
+pub const MAX_OPTIMIZE_ATOMS: usize = 4_096;
+/// See [`MAX_OPTIMIZE_ATOMS`].
+pub const MAX_OPTIMIZE_BODY_ATOMS: usize = 64;
+
+/// Unfolding budget applied to every decision verb: the `equivalence` and
+/// `bounded` verbs materialise a candidate's (or the program's own)
+/// unfolding, which can be exponentially large; beyond this many disjuncts
+/// per predicate the decision answers `unfolding_too_large` / a
+/// `resource_limit` instead of pinning a worker until the process OOMs.
+pub const DEFAULT_MAX_UNFOLD: usize = 20_000;
+
+/// Largest `max_depth` the `bounded` verb accepts (the unfolding budget
+/// bounds the work per depth; this bounds the number of depths probed).
+pub const MAX_BOUNDED_DEPTH: usize = 32;
+
+fn decision_options(options: RequestOptions) -> DecisionOptions {
+    DecisionOptions {
+        allow_word_path: options.allow_word_path,
+        use_cache: options.use_cache,
+        max_pairs: Some(options.max_pairs.unwrap_or(DEFAULT_MAX_PAIRS)),
+        max_unfold: DEFAULT_MAX_UNFOLD,
+        ..DecisionOptions::default()
+    }
+}
+
+fn parse_program_field(field: &'static str, text: &str) -> Result<Program, WireError> {
+    parse_program(text).map_err(|e| WireError::new(e.code(), format!("in field `{field}`: {e}")))
+}
+
+fn parse_query_field(field: &'static str, text: &str) -> Result<Ucq, WireError> {
+    Ucq::parse_checked(text)
+        .map_err(|e| WireError::new(e.code(), format!("in field `{field}`: {e}")))
+}
+
+fn path_name(path: DecisionPath) -> &'static str {
+    match path {
+        DecisionPath::TreeAutomata => "tree",
+        DecisionPath::WordAutomata => "word",
+    }
+}
+
+fn stats_json(stats: &ContainmentStats) -> Value {
+    obj(vec![
+        ("path", Value::str(path_name(stats.path))),
+        ("explored", Value::num(stats.explored as f64)),
+        ("micros", Value::num(stats.micros as f64)),
+    ])
+}
+
+fn counterexample_json(cex: &Counterexample) -> Value {
+    let facts: Vec<Value> = cex
+        .database
+        .facts()
+        .map(|fact| Value::str(fact.to_string()))
+        .collect();
+    let tuple: Vec<Value> = cex
+        .goal_tuple
+        .iter()
+        .map(|c| Value::str(c.name()))
+        .collect();
+    obj(vec![
+        ("expansion", Value::str(cex.expansion.to_string())),
+        ("database", Value::Arr(facts)),
+        ("goal_tuple", Value::Arr(tuple)),
+        ("proof_tree", Value::str(render_proof_tree(&cex.proof_tree))),
+    ])
+}
+
+/// Execute one non-batch, non-stats command, producing the `result` payload
+/// of the success response.
+pub fn execute(command: &Command) -> Result<Value, WireError> {
+    match command {
+        Command::Containment {
+            program,
+            goal,
+            query,
+            options,
+        } => {
+            let program = parse_program_field("program", program)?;
+            let ucq = parse_query_field("query", query)?;
+            let result = datalog_contained_in_ucq_with(
+                &program,
+                Pred::new(goal),
+                &ucq,
+                decision_options(*options),
+            )
+            .map_err(|e| WireError::new(e.code(), e.to_string()))?;
+            let mut fields = vec![
+                ("contained", Value::Bool(result.contained)),
+                ("stats", stats_json(&result.stats)),
+            ];
+            if let Some(cex) = &result.counterexample {
+                fields.push(("counterexample", counterexample_json(cex)));
+            }
+            Ok(obj(fields))
+        }
+        Command::Equivalence {
+            program,
+            goal,
+            candidate,
+            options,
+        } => {
+            let program = parse_program_field("program", program)?;
+            let candidate = parse_program_field("candidate", candidate)?;
+            let result = equivalent_to_nonrecursive_with(
+                &program,
+                Pred::new(goal),
+                &candidate,
+                decision_options(*options),
+            )
+            .map_err(|e| WireError::new(e.code(), e.to_string()))?;
+            let verdict = match &result.verdict {
+                EquivalenceVerdict::Equivalent => "equivalent",
+                EquivalenceVerdict::RecursiveExceeds(_) => "recursive_exceeds",
+                EquivalenceVerdict::NonrecursiveExceeds(_) => "nonrecursive_exceeds",
+            };
+            let mut fields = vec![
+                ("equivalent", Value::Bool(result.verdict.is_equivalent())),
+                ("verdict", Value::str(verdict)),
+            ];
+            match &result.verdict {
+                EquivalenceVerdict::RecursiveExceeds(cex) => {
+                    fields.push(("counterexample", counterexample_json(cex)));
+                }
+                EquivalenceVerdict::NonrecursiveExceeds(index) => {
+                    fields.push(("violating_disjunct", Value::num(*index as f64)));
+                }
+                EquivalenceVerdict::Equivalent => {}
+            }
+            if let Some(containment) = &result.containment {
+                fields.push(("stats", stats_json(&containment.result.stats)));
+                fields.push((
+                    "unfold",
+                    obj(vec![
+                        (
+                            "disjuncts",
+                            Value::num(containment.unfold_stats.disjuncts as f64),
+                        ),
+                        (
+                            "max_disjunct_size",
+                            Value::num(containment.unfold_stats.max_disjunct_size as f64),
+                        ),
+                    ]),
+                ));
+            }
+            Ok(obj(fields))
+        }
+        Command::Bounded {
+            program,
+            goal,
+            max_depth,
+            options,
+        } => {
+            if *max_depth > MAX_BOUNDED_DEPTH {
+                return Err(WireError::bad_request(format!(
+                    "max_depth {max_depth} exceeds the limit of {MAX_BOUNDED_DEPTH}"
+                )));
+            }
+            let program = parse_program_field("program", program)?;
+            let found = find_bound_with(
+                &program,
+                Pred::new(goal),
+                *max_depth,
+                decision_options(*options),
+            )
+            .map_err(|e| WireError::new(e.code(), e.to_string()))?;
+            let mut fields = vec![
+                ("bounded", Value::Bool(found.is_some())),
+                ("max_depth", Value::num(*max_depth as f64)),
+            ];
+            match found {
+                Some((bound, unfolding)) => {
+                    fields.push(("bound", Value::num(bound as f64)));
+                    fields.push(("disjuncts", Value::num(unfolding.len() as f64)));
+                }
+                None => fields.push(("bound", Value::Null)),
+            }
+            Ok(obj(fields))
+        }
+        Command::Optimize {
+            program,
+            goal,
+            minimize_bodies,
+            remove_subsumed,
+            inline_nonrecursive,
+            options,
+        } => {
+            // The optimisation passes have no uncached reference path, so
+            // silently accepting `no_cache` would report cache hits from
+            // the very cache the client asked to bypass.  Refuse instead.
+            if !options.use_cache {
+                return Err(WireError::bad_request(
+                    "`no_cache` is not supported for optimize",
+                ));
+            }
+            let program = parse_program_field("program", program)?;
+            if program.atom_count() > MAX_OPTIMIZE_ATOMS {
+                return Err(WireError::new(
+                    "resource_limit",
+                    format!(
+                        "optimize input has {} atoms; at most {MAX_OPTIMIZE_ATOMS} are allowed",
+                        program.atom_count()
+                    ),
+                ));
+            }
+            if let Some(oversized) = program
+                .rules()
+                .iter()
+                .find(|rule| rule.body.len() > MAX_OPTIMIZE_BODY_ATOMS)
+            {
+                return Err(WireError::new(
+                    "resource_limit",
+                    format!(
+                        "optimize input rule `{oversized}` has {} body atoms; \
+                         at most {MAX_OPTIMIZE_BODY_ATOMS} are allowed",
+                        oversized.body.len()
+                    ),
+                ));
+            }
+            let options = OptimizeOptions {
+                minimize_bodies: *minimize_bodies,
+                remove_subsumed: *remove_subsumed,
+                inline_nonrecursive: *inline_nonrecursive,
+                ..OptimizeOptions::default()
+            };
+            let (optimized, report) = optimize(&program, Pred::new(goal), options);
+            Ok(obj(vec![
+                ("program", Value::str(optimized.to_string())),
+                ("rules_before", Value::num(report.rules_before as f64)),
+                ("rules_after", Value::num(report.rules_after as f64)),
+                ("atoms_before", Value::num(report.atoms_before as f64)),
+                ("atoms_after", Value::num(report.atoms_after as f64)),
+                (
+                    "containment_calls",
+                    Value::num(report.containment_calls as f64),
+                ),
+                (
+                    "containment_cache_hits",
+                    Value::num(report.containment_cache_hits as f64),
+                ),
+            ]))
+        }
+        Command::Batch { .. } | Command::Stats => Err(WireError::new(
+            "internal",
+            format!("`{}` is not executed by the engine", command.verb()),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{parse_request, Request};
+
+    fn run(text: &str) -> Result<Value, WireError> {
+        let value = crate::json::parse(text).unwrap();
+        let Request { command, .. } = parse_request(&value, false).unwrap();
+        execute(&command)
+    }
+
+    const TC: &str = "p(X, Y) :- e(X, Z), p(Z, Y).\\np(X, Y) :- e(X, Y).";
+
+    #[test]
+    fn containment_verb_agrees_with_the_library() {
+        let result = run(&format!(
+            r#"{{"op":"containment","program":"{TC}","goal":"p","query":"q(X, Y) :- e(X, Y)."}}"#
+        ))
+        .unwrap();
+        assert_eq!(result.get("contained").unwrap().as_bool(), Some(false));
+        let cex = result.get("counterexample").unwrap();
+        assert!(!cex.get("database").unwrap().as_arr().unwrap().is_empty());
+        assert_eq!(
+            result.get("stats").unwrap().get("path").unwrap().as_str(),
+            Some("word")
+        );
+    }
+
+    #[test]
+    fn equivalence_verb_reports_verdicts_and_witnesses() {
+        let equivalent = run(
+            r#"{"op":"equivalence","program":"buys(X, Y) :- likes(X, Y).\nbuys(X, Y) :- trendy(X), buys(Z, Y).","goal":"buys","candidate":"buys(X, Y) :- likes(X, Y).\nbuys(X, Y) :- trendy(X), likes(Z, Y)."}"#,
+        )
+        .unwrap();
+        assert_eq!(equivalent.get("equivalent").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            equivalent.get("verdict").unwrap().as_str(),
+            Some("equivalent")
+        );
+
+        let exceeds = run(&format!(
+            r#"{{"op":"equivalence","program":"{TC}","goal":"p","candidate":"p(X, Y) :- e(X, Y)."}}"#
+        ))
+        .unwrap();
+        assert_eq!(
+            exceeds.get("verdict").unwrap().as_str(),
+            Some("recursive_exceeds")
+        );
+        assert!(exceeds.get("counterexample").is_some());
+
+        let other_way = run(
+            r#"{"op":"equivalence","program":"r(X, Y) :- e(X, Y).","goal":"r","candidate":"r(X, Y) :- e(X, Y).\nr(X, Y) :- e(X, Z), e(Z, Y)."}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            other_way.get("verdict").unwrap().as_str(),
+            Some("nonrecursive_exceeds")
+        );
+        assert!(other_way
+            .get("violating_disjunct")
+            .unwrap()
+            .as_u64()
+            .is_some());
+    }
+
+    #[test]
+    fn bounded_verb_finds_bounds_and_their_absence() {
+        let bounded = run(
+            r#"{"op":"bounded","program":"buys(X, Y) :- likes(X, Y).\nbuys(X, Y) :- trendy(X), buys(Z, Y).","goal":"buys","max_depth":4}"#,
+        )
+        .unwrap();
+        assert_eq!(bounded.get("bounded").unwrap().as_bool(), Some(true));
+        assert!(bounded.get("bound").unwrap().as_u64().unwrap() <= 4);
+
+        let unbounded = run(&format!(
+            r#"{{"op":"bounded","program":"{TC}","goal":"p","max_depth":3}}"#
+        ))
+        .unwrap();
+        assert_eq!(unbounded.get("bounded").unwrap().as_bool(), Some(false));
+        assert_eq!(unbounded.get("bound"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn optimize_verb_returns_a_parseable_program() {
+        let result = run(
+            r#"{"op":"optimize","program":"p(X) :- e(X, Y), e(X, Y).\np(X) :- e(X, Y).\nq(X) :- p(X).","goal":"q"}"#,
+        )
+        .unwrap();
+        let text = result.get("program").unwrap().as_str().unwrap();
+        let reparsed = datalog::parser::parse_program(text).unwrap();
+        assert_eq!(
+            reparsed.len(),
+            result.get("rules_after").unwrap().as_u64().unwrap() as usize
+        );
+        assert!(
+            result.get("rules_after").unwrap().as_u64()
+                <= result.get("rules_before").unwrap().as_u64()
+        );
+    }
+
+    #[test]
+    fn exponential_unfoldings_are_budgeted() {
+        // The paper's Example 6.6 `word_n` family unfolds to 2^n disjuncts;
+        // at n = 16 that crosses the server's generation budget, which must
+        // abort instead of materialising the union.
+        let candidate = datalog::generate::word_program(16)
+            .to_string()
+            .replace('\n', "\\n");
+        let err = run(&format!(
+            r#"{{"op":"equivalence","program":"word16(X, Y) :- e(X, Y).","goal":"word16","candidate":"{candidate}"}}"#
+        ))
+        .unwrap_err();
+        assert_eq!(err.code, "unfolding_too_large");
+
+        // `bounded` depth cap.
+        let err = run(&format!(
+            r#"{{"op":"bounded","program":"p(X) :- e(X, X).","goal":"p","max_depth":{}}}"#,
+            MAX_BOUNDED_DEPTH + 1
+        ))
+        .unwrap_err();
+        assert_eq!(err.code, "bad_request");
+
+        // The `bounded` verb's unfold budget (TooLarge → `resource_limit`)
+        // is exercised directly against the core API in
+        // `nonrec_equivalence::bounded` — through the wire it would need an
+        // expensive containment probe before the explosive depth.
+    }
+
+    #[test]
+    fn optimize_rejects_oversized_inputs() {
+        // One rule whose body exceeds the per-rule atom cap.
+        let body = (0..=MAX_OPTIMIZE_BODY_ATOMS)
+            .map(|i| format!("e(X{i}, X{})", i + 1))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let err = run(&format!(
+            r#"{{"op":"optimize","program":"p(X0) :- {body}.","goal":"p"}}"#
+        ))
+        .unwrap_err();
+        assert_eq!(err.code, "resource_limit");
+        assert!(err.message.contains("body atoms"));
+
+        // `no_cache` has no uncached path to offer on this verb — it must
+        // be refused, not silently ignored.
+        let err = run(
+            r#"{"op":"optimize","program":"p(X) :- e(X, X).","goal":"p","options":{"no_cache":true}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        assert!(err.message.contains("no_cache"));
+
+        // Many small rules exceeding the total atom cap.
+        let rules = (0..=MAX_OPTIMIZE_ATOMS / 2)
+            .map(|i| format!("p(X) :- e{i}(X, Y)."))
+            .collect::<Vec<_>>()
+            .join("\\n");
+        let err = run(&format!(
+            r#"{{"op":"optimize","program":"{rules}","goal":"p"}}"#
+        ))
+        .unwrap_err();
+        assert_eq!(err.code, "resource_limit");
+        assert!(err.message.contains("atoms"));
+    }
+
+    #[test]
+    fn errors_carry_the_library_codes() {
+        let parse =
+            run(r#"{"op":"containment","program":"p(X :-","goal":"p","query":"q(X) :- e(X)."}"#)
+                .unwrap_err();
+        assert_eq!(parse.code, "parse_error");
+        assert!(parse.message.contains("`program`"));
+
+        let mixed = run(&format!(
+            r#"{{"op":"containment","program":"{TC}","goal":"p","query":"q(X) :- e(X, X).\nq(X, Y) :- e(X, Y)."}}"#
+        ))
+        .unwrap_err();
+        assert_eq!(mixed.code, "mixed_arity");
+
+        let goal = run(
+            r#"{"op":"containment","program":"p(X) :- e(X, X).","goal":"nope","query":"q(X) :- e(X, X)."}"#,
+        )
+        .unwrap_err();
+        assert_eq!(goal.code, "unknown_goal");
+
+        let recursive = run(&format!(
+            r#"{{"op":"equivalence","program":"{TC}","goal":"p","candidate":"{TC}"}}"#
+        ))
+        .unwrap_err();
+        assert_eq!(recursive.code, "recursive_candidate");
+
+        let limit = run(&format!(
+            r#"{{"op":"containment","program":"{TC}","goal":"p","query":"q(X, Y) :- e(X, Y).","options":{{"max_pairs":1,"no_word_path":true}}}}"#
+        ))
+        .unwrap_err();
+        assert_eq!(limit.code, "resource_limit");
+    }
+}

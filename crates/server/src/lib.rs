@@ -1,0 +1,40 @@
+//! `nonrec-serve`: the decision procedures as a long-running service.
+//!
+//! The decision procedures of [`nonrec_equivalence`] are memoised in one
+//! process-wide [`nonrec_equivalence::cache::DecisionCache`], but a
+//! one-shot CLI throws that cache away after every invocation.  This crate
+//! keeps the process alive: a server that accepts line-delimited JSON
+//! requests over TCP (or stdio), answers them on a fixed-size worker pool,
+//! and shares the cache across every request of every connection — the
+//! ROADMAP's "serve the decision procedures behind an API" item.
+//!
+//! Layering (bottom up):
+//!
+//! * [`json`] — a minimal in-repo JSON reader/writer (the workspace is
+//!   offline; no external crates);
+//! * [`protocol`] — request/response shapes, stable error codes, builders;
+//! * [`engine`] — executes single commands against the decision layer;
+//! * [`stats`] — request counters and per-verb latency histograms;
+//! * [`pool`] — bounded worker pool: backpressure (`busy`) and
+//!   per-request deadlines;
+//! * [`server`] — TCP accept loop and stdio loop, line framing;
+//! * [`client`] — a small synchronous client for tests and benches.
+//!
+//! The wire protocol is documented verb by verb in the repository README.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod engine;
+pub mod json;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use client::Client;
+pub use pool::{PoolConfig, WorkerPool};
+pub use protocol::{Request, WireError};
+pub use server::{serve_stdio, Server, ServerConfig};
+pub use stats::ServerStats;

@@ -1,0 +1,478 @@
+//! The wire protocol: request/response shapes and their JSON codecs.
+//!
+//! Every request and every response is one JSON object on one line (see
+//! [`crate::server`] for the framing).  A request names its verb in `op`
+//! and may carry a client-chosen `id`, which is echoed verbatim in the
+//! response so pipelined clients can correlate:
+//!
+//! ```text
+//! {"op":"equivalence","id":1,"program":"...","goal":"buys","candidate":"..."}
+//! {"id":1,"ok":true,"verb":"equivalence","result":{"equivalent":true,...}}
+//! {"id":1,"ok":false,"error":{"code":"parse_error","message":"..."}}
+//! ```
+//!
+//! Verbs: `containment`, `equivalence`, `bounded`, `optimize`, `batch`,
+//! `stats`.  Error `code`s are stable strings: transport-level
+//! (`invalid_json`, `bad_request`, `busy`, `deadline_exceeded`), parse-level
+//! (`parse_error`, `mixed_arity`, `empty_query`), and decision-level (the
+//! [`nonrec_equivalence`] error codes such as `unknown_goal`,
+//! `recursive_candidate`, `resource_limit`).  The README documents every
+//! field of every verb.
+
+use crate::json::{obj, Value};
+
+/// Most sub-requests one `batch` may carry: a batch occupies one queue
+/// slot and one worker, so its size must be bounded for the queue bound to
+/// mean anything.
+pub const MAX_BATCH_REQUESTS: usize = 256;
+
+/// A transportable error: a stable machine-readable code plus a
+/// human-readable message.  The protocol layer speaks only these; library
+/// errors are converted via their `code()` accessors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Stable error code (see the module docs for the vocabulary).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// Build an error.
+    pub fn new(code: &'static str, message: impl Into<String>) -> WireError {
+        WireError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// A `bad_request` error (malformed or missing fields).
+    pub fn bad_request(message: impl Into<String>) -> WireError {
+        WireError::new("bad_request", message)
+    }
+}
+
+/// Per-request decision knobs, all optional on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestOptions {
+    /// Consult the shared decision cache (`"no_cache": true` disables).
+    pub use_cache: bool,
+    /// Allow the word-automata fast path (`"no_word_path": true` disables).
+    pub allow_word_path: bool,
+    /// Abort tree containment after this many product pairs.
+    pub max_pairs: Option<usize>,
+    /// Per-request deadline override, in milliseconds.
+    pub timeout_ms: Option<u64>,
+}
+
+impl Default for RequestOptions {
+    fn default() -> Self {
+        RequestOptions {
+            use_cache: true,
+            allow_word_path: true,
+            max_pairs: None,
+            timeout_ms: None,
+        }
+    }
+}
+
+/// A parsed request: one verb plus its payload.  Program, query, and
+/// candidate texts stay unparsed here — Datalog parsing happens on a worker
+/// thread, not on the connection thread.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Decide `Π(goal) ⊆ Θ` for a UCQ `Θ`.
+    Containment {
+        /// Datalog program text.
+        program: String,
+        /// Goal predicate name.
+        goal: String,
+        /// UCQ text, one rule per line.
+        query: String,
+        /// Decision knobs.
+        options: RequestOptions,
+    },
+    /// Decide `Π ≡ Π'` for a nonrecursive candidate Π'.
+    Equivalence {
+        /// Datalog program text.
+        program: String,
+        /// Goal predicate name.
+        goal: String,
+        /// Nonrecursive candidate program text.
+        candidate: String,
+        /// Decision knobs.
+        options: RequestOptions,
+    },
+    /// Find the least depth at which the program is bounded, if any.
+    Bounded {
+        /// Datalog program text.
+        program: String,
+        /// Goal predicate name.
+        goal: String,
+        /// Largest unfolding depth to probe.
+        max_depth: usize,
+        /// Decision knobs.
+        options: RequestOptions,
+    },
+    /// Run the optimisation pipeline and return the rewritten program.
+    Optimize {
+        /// Datalog program text.
+        program: String,
+        /// Goal predicate name.
+        goal: String,
+        /// Run the body-minimisation pass.
+        minimize_bodies: bool,
+        /// Run the subsumed-rule-removal pass.
+        remove_subsumed: bool,
+        /// Inline non-recursive predicates.
+        inline_nonrecursive: bool,
+        /// Decision knobs (only `timeout_ms` applies to this verb; the
+        /// optimisation passes are bounded by input-size caps instead of
+        /// `max_pairs`, see [`crate::engine`]).
+        options: RequestOptions,
+    },
+    /// Answer a list of sub-requests in order (one queue slot, one worker).
+    Batch {
+        /// The sub-requests; at most [`MAX_BATCH_REQUESTS`], nesting
+        /// rejected at parse time.
+        requests: Vec<Request>,
+        /// Deadline for the whole batch; re-checked between items, so an
+        /// expired batch stops computing and answers `deadline_exceeded`
+        /// for its remaining items.
+        timeout_ms: Option<u64>,
+    },
+    /// Report cache statistics and per-verb latency histograms.
+    Stats,
+}
+
+impl Command {
+    /// The verb name, as it appears in `op` and in the `stats` histograms.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Command::Containment { .. } => "containment",
+            Command::Equivalence { .. } => "equivalence",
+            Command::Bounded { .. } => "bounded",
+            Command::Optimize { .. } => "optimize",
+            Command::Batch { .. } => "batch",
+            Command::Stats => "stats",
+        }
+    }
+
+    /// The per-request deadline override, when the verb carries one.
+    pub fn timeout_ms(&self) -> Option<u64> {
+        match self {
+            Command::Containment { options, .. }
+            | Command::Equivalence { options, .. }
+            | Command::Bounded { options, .. }
+            | Command::Optimize { options, .. } => options.timeout_ms,
+            Command::Batch { timeout_ms, .. } => *timeout_ms,
+            Command::Stats => None,
+        }
+    }
+}
+
+/// A request: the optional client correlation `id` plus the command.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Echoed verbatim in the response; `null`/absent are equivalent.
+    pub id: Option<Value>,
+    /// The verb and payload.
+    pub command: Command,
+}
+
+/// Extract the correlation id of a request value, so error responses can
+/// echo it even when the rest of the request does not parse.
+pub fn request_id(value: &Value) -> Option<Value> {
+    match value.get("id") {
+        None | Some(Value::Null) => None,
+        Some(other) => Some(other.clone()),
+    }
+}
+
+fn required_str(value: &Value, key: &str) -> Result<String, WireError> {
+    value
+        .get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| WireError::bad_request(format!("missing or non-string field `{key}`")))
+}
+
+fn optional_bool(value: &Value, key: &str) -> Result<bool, WireError> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(false),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| WireError::bad_request(format!("field `{key}` must be a boolean"))),
+    }
+}
+
+fn optional_u64(value: &Value, key: &str) -> Result<Option<u64>, WireError> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            WireError::bad_request(format!("field `{key}` must be a non-negative integer"))
+        }),
+    }
+}
+
+fn parse_options(value: &Value) -> Result<RequestOptions, WireError> {
+    let options = match value.get("options") {
+        None | Some(Value::Null) => return Ok(RequestOptions::default()),
+        Some(v @ Value::Obj(_)) => v,
+        Some(_) => return Err(WireError::bad_request("field `options` must be an object")),
+    };
+    Ok(RequestOptions {
+        use_cache: !optional_bool(options, "no_cache")?,
+        allow_word_path: !optional_bool(options, "no_word_path")?,
+        max_pairs: optional_u64(options, "max_pairs")?.map(|n| n as usize),
+        timeout_ms: optional_u64(options, "timeout_ms")?,
+    })
+}
+
+/// Parse one request object.  `allow_batch` is false for the elements of a
+/// batch, making nesting a `bad_request` instead of a recursion hazard.
+pub fn parse_request(value: &Value, allow_batch: bool) -> Result<Request, WireError> {
+    if !matches!(value, Value::Obj(_)) {
+        return Err(WireError::bad_request("request must be a JSON object"));
+    }
+    let id = request_id(value);
+    let op = required_str(value, "op")?;
+    let command = match op.as_str() {
+        "containment" => Command::Containment {
+            program: required_str(value, "program")?,
+            goal: required_str(value, "goal")?,
+            query: required_str(value, "query")?,
+            options: parse_options(value)?,
+        },
+        "equivalence" => Command::Equivalence {
+            program: required_str(value, "program")?,
+            goal: required_str(value, "goal")?,
+            candidate: required_str(value, "candidate")?,
+            options: parse_options(value)?,
+        },
+        "bounded" => Command::Bounded {
+            program: required_str(value, "program")?,
+            goal: required_str(value, "goal")?,
+            max_depth: optional_u64(value, "max_depth")?.unwrap_or(8) as usize,
+            options: parse_options(value)?,
+        },
+        "optimize" => Command::Optimize {
+            program: required_str(value, "program")?,
+            goal: required_str(value, "goal")?,
+            minimize_bodies: !optional_bool(value, "no_minimize_bodies")?,
+            remove_subsumed: !optional_bool(value, "no_remove_subsumed")?,
+            inline_nonrecursive: optional_bool(value, "inline_nonrecursive")?,
+            options: parse_options(value)?,
+        },
+        "batch" => {
+            if !allow_batch {
+                return Err(WireError::bad_request("batches cannot be nested"));
+            }
+            let items = value
+                .get("requests")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| WireError::bad_request("missing or non-array field `requests`"))?;
+            if items.len() > MAX_BATCH_REQUESTS {
+                return Err(WireError::bad_request(format!(
+                    "batch has {} requests; at most {MAX_BATCH_REQUESTS} are allowed",
+                    items.len()
+                )));
+            }
+            let requests = items
+                .iter()
+                .map(|item| parse_request(item, false))
+                .collect::<Result<Vec<_>, _>>()?;
+            Command::Batch {
+                requests,
+                timeout_ms: optional_u64(value, "timeout_ms")?,
+            }
+        }
+        "stats" => Command::Stats,
+        other => {
+            return Err(WireError::bad_request(format!("unknown op `{other}`")));
+        }
+    };
+    Ok(Request { id, command })
+}
+
+fn id_field(id: &Option<Value>) -> Value {
+    id.clone().unwrap_or(Value::Null)
+}
+
+/// Build a success response.
+pub fn ok_response(id: &Option<Value>, verb: &str, result: Value) -> Value {
+    obj(vec![
+        ("id", id_field(id)),
+        ("ok", Value::Bool(true)),
+        ("verb", Value::str(verb)),
+        ("result", result),
+    ])
+}
+
+/// Build an error response.
+pub fn error_response(id: &Option<Value>, error: &WireError) -> Value {
+    obj(vec![
+        ("id", id_field(id)),
+        ("ok", Value::Bool(false)),
+        (
+            "error",
+            obj(vec![
+                ("code", Value::str(error.code)),
+                ("message", Value::str(&error.message)),
+            ]),
+        ),
+    ])
+}
+
+// ---- Request builders (used by `server::client`, the tests, and the bench).
+
+/// Build a `containment` request value.
+pub fn containment_request(program: &str, goal: &str, query: &str) -> Value {
+    obj(vec![
+        ("op", Value::str("containment")),
+        ("program", Value::str(program)),
+        ("goal", Value::str(goal)),
+        ("query", Value::str(query)),
+    ])
+}
+
+/// Build an `equivalence` request value.
+pub fn equivalence_request(program: &str, goal: &str, candidate: &str) -> Value {
+    obj(vec![
+        ("op", Value::str("equivalence")),
+        ("program", Value::str(program)),
+        ("goal", Value::str(goal)),
+        ("candidate", Value::str(candidate)),
+    ])
+}
+
+/// Build a `bounded` request value.
+pub fn bounded_request(program: &str, goal: &str, max_depth: usize) -> Value {
+    obj(vec![
+        ("op", Value::str("bounded")),
+        ("program", Value::str(program)),
+        ("goal", Value::str(goal)),
+        ("max_depth", Value::num(max_depth as f64)),
+    ])
+}
+
+/// Build an `optimize` request value.
+pub fn optimize_request(program: &str, goal: &str) -> Value {
+    obj(vec![
+        ("op", Value::str("optimize")),
+        ("program", Value::str(program)),
+        ("goal", Value::str(goal)),
+    ])
+}
+
+/// Build a `batch` request value from sub-request values.
+pub fn batch_request(requests: Vec<Value>) -> Value {
+    obj(vec![
+        ("op", Value::str("batch")),
+        ("requests", Value::Arr(requests)),
+    ])
+}
+
+/// Build a `stats` request value.
+pub fn stats_request() -> Value {
+    obj(vec![("op", Value::str("stats"))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn parses_every_verb_with_defaults() {
+        let v = parse(
+            r#"{"op":"containment","program":"p(X) :- e(X, X).","goal":"p","query":"q(X) :- e(X, X)."}"#,
+        )
+        .unwrap();
+        let req = parse_request(&v, true).unwrap();
+        assert_eq!(req.command.verb(), "containment");
+        assert!(req.id.is_none());
+        match req.command {
+            Command::Containment { options, .. } => {
+                assert_eq!(options, RequestOptions::default());
+                assert!(options.use_cache);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let v = parse(r#"{"op":"bounded","id":"b-1","program":"p(X) :- e(X, X).","goal":"p"}"#)
+            .unwrap();
+        let req = parse_request(&v, true).unwrap();
+        assert_eq!(req.id, Some(Value::str("b-1")));
+        assert!(matches!(req.command, Command::Bounded { max_depth: 8, .. }));
+        assert!(matches!(
+            parse_request(&parse(r#"{"op":"stats"}"#).unwrap(), true)
+                .unwrap()
+                .command,
+            Command::Stats
+        ));
+    }
+
+    #[test]
+    fn options_invert_the_wire_flags() {
+        let v = parse(
+            r#"{"op":"equivalence","program":"p.","goal":"p","candidate":"p.",
+                "options":{"no_cache":true,"no_word_path":true,"max_pairs":100,"timeout_ms":50}}"#,
+        )
+        .unwrap();
+        match parse_request(&v, true).unwrap().command {
+            Command::Equivalence { options, .. } => {
+                assert!(!options.use_cache);
+                assert!(!options.allow_word_path);
+                assert_eq!(options.max_pairs, Some(100));
+                assert_eq!(options.timeout_ms, Some(50));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_parses_and_refuses_nesting() {
+        let v = parse(
+            r#"{"op":"batch","requests":[{"op":"stats"},{"op":"optimize","program":"p(X) :- e(X, X).","goal":"p"}]}"#,
+        )
+        .unwrap();
+        match parse_request(&v, true).unwrap().command {
+            Command::Batch { requests, .. } => assert_eq!(requests.len(), 2),
+            other => panic!("wrong command {other:?}"),
+        }
+        let nested = parse(r#"{"op":"batch","requests":[{"op":"batch","requests":[]}]}"#).unwrap();
+        let err = parse_request(&nested, true).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        // Oversized batches are rejected before any sub-request parses.
+        let oversized = batch_request(vec![stats_request(); MAX_BATCH_REQUESTS + 1]);
+        let err = parse_request(&oversized, true).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        assert!(err.message.contains("at most"));
+        // A batch-level timeout is picked up by `timeout_ms()`.
+        let timed = parse(r#"{"op":"batch","requests":[],"timeout_ms":250}"#).unwrap();
+        assert_eq!(
+            parse_request(&timed, true).unwrap().command.timeout_ms(),
+            Some(250)
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_bad_request_with_echoed_id() {
+        for bad in [
+            r#"{"program":"p."}"#,
+            r#"{"op":"frobnicate"}"#,
+            r#"{"op":"containment","program":7,"goal":"p","query":"q."}"#,
+            r#"{"op":"bounded","program":"p.","goal":"p","max_depth":-1}"#,
+            r#"{"op":"containment","program":"p.","goal":"p","query":"q.","options":{"max_pairs":"many"}}"#,
+            r#"[1,2,3]"#,
+        ] {
+            let v = parse(bad).unwrap();
+            let err = parse_request(&v, true).unwrap_err();
+            assert_eq!(err.code, "bad_request", "for {bad}");
+        }
+        let v = parse(r#"{"op":"nope","id":42}"#).unwrap();
+        assert_eq!(request_id(&v), Some(Value::num(42.0)));
+        let rendered = error_response(&request_id(&v), &WireError::bad_request("x")).render();
+        assert!(rendered.starts_with(r#"{"id":42,"ok":false"#));
+    }
+}

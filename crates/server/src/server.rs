@@ -1,0 +1,417 @@
+//! The long-running server: line-delimited JSON over TCP and stdio.
+//!
+//! Framing: one request per line, one response per line, in order, per
+//! connection.  Responses to different connections interleave freely; all
+//! connections share one [`WorkerPool`] and one process-wide
+//! [`nonrec_equivalence::cache::DecisionCache`] — the cache amortisation
+//! the ROADMAP's serving track asks for.
+//!
+//! Flow control per line:
+//!
+//! 1. invalid JSON or a malformed request is answered on the connection
+//!    thread (`invalid_json` / `bad_request`) — no queue slot spent;
+//! 2. a `stats` request is answered on the connection thread too, so
+//!    observability still works while the pool is saturated;
+//! 3. everything else is submitted to the bounded pool.  A full queue is
+//!    answered immediately with `busy` (backpressure; the client decides
+//!    whether to retry), otherwise the connection thread blocks until its
+//!    reply arrives, preserving per-connection response order.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nonrec_equivalence::cache::DecisionCache;
+
+use crate::json;
+use crate::pool::{Job, PoolConfig, WorkerPool};
+use crate::protocol::{error_response, ok_response, parse_request, request_id, Command, WireError};
+use crate::stats::ServerStats;
+
+/// Server configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker-pool sizing.
+    pub pool: PoolConfig,
+    /// Default per-request deadline; a request's `options.timeout_ms`
+    /// overrides it.  `None`: requests never expire in the queue.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            pool: PoolConfig::default(),
+            default_deadline: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// A bound TCP server (see the module docs for the protocol).
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+    stats: Arc<ServerStats>,
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an OS-assigned port).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            config,
+            stats: Arc::new(ServerStats::new()),
+        })
+    }
+
+    /// The bound address (to recover the OS-assigned port).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept connections forever, one thread per connection, all feeding
+    /// one worker pool.  Only returns on an accept error.
+    pub fn run(self) -> std::io::Result<()> {
+        let pool = Arc::new(WorkerPool::new(self.config.pool, Arc::clone(&self.stats)));
+        loop {
+            let (stream, _peer) = self.listener.accept()?;
+            // One-line responses must not sit in Nagle's buffer waiting for
+            // a delayed ACK (a 40 ms floor per round-trip otherwise).
+            stream.set_nodelay(true)?;
+            let pool = Arc::clone(&pool);
+            let stats = Arc::clone(&self.stats);
+            let config = self.config;
+            std::thread::Builder::new()
+                .name("nonrec-conn".to_string())
+                .spawn(move || {
+                    let _ = handle_connection(stream, &pool, &stats, config);
+                })
+                .expect("spawn connection thread");
+        }
+    }
+}
+
+/// Longest request line the server will buffer.  Without a cap, one client
+/// streaming bytes with no newline would grow memory without bound, voiding
+/// the bounded-queue backpressure story.
+pub const MAX_LINE_BYTES: usize = 4 << 20;
+
+enum LineRead {
+    Line(String),
+    TooLong,
+    Eof,
+}
+
+/// Read one `\n`-terminated line, giving up once it exceeds `max` bytes
+/// (the connection cannot be resynchronised after that — the caller must
+/// close it).
+fn read_line_limited(reader: &mut impl BufRead, max: usize) -> std::io::Result<LineRead> {
+    let mut buf = Vec::new();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            buf.extend_from_slice(&chunk[..pos]);
+            reader.consume(pos + 1);
+            return Ok(if buf.len() > max {
+                LineRead::TooLong
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        buf.extend_from_slice(chunk);
+        let consumed = chunk.len();
+        reader.consume(consumed);
+        if buf.len() > max {
+            return Ok(LineRead::TooLong);
+        }
+    }
+}
+
+fn line_too_long_response(stats: &ServerStats) -> String {
+    stats.record_request();
+    stats.record_completion("", 0, false);
+    error_response(
+        &None,
+        &WireError::bad_request(format!(
+            "request line exceeds {MAX_LINE_BYTES} bytes; closing the connection"
+        )),
+    )
+    .render()
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    pool: &WorkerPool,
+    stats: &ServerStats,
+    config: ServerConfig,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let line = match read_line_limited(&mut reader, MAX_LINE_BYTES)? {
+            LineRead::Eof => return Ok(()),
+            LineRead::TooLong => {
+                let mut response = line_too_long_response(stats);
+                response.push('\n');
+                writer.write_all(response.as_bytes())?;
+                writer.flush()?;
+                return Ok(());
+            }
+            LineRead::Line(line) => line,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        // One write per response: with TCP_NODELAY a separate newline write
+        // would emit its own segment on every round-trip of the hot path.
+        let mut response = process_line(&line, pool, stats, config);
+        response.push('\n');
+        writer.write_all(response.as_bytes())?;
+        writer.flush()?;
+    }
+}
+
+/// Serve requests from stdin to stdout (the `--stdio` mode of
+/// `nonrec-serve`): same protocol, same pool, same shared cache; ends
+/// cleanly at EOF.
+pub fn serve_stdio(config: ServerConfig) -> std::io::Result<()> {
+    let stats = Arc::new(ServerStats::new());
+    let pool = WorkerPool::new(config.pool, Arc::clone(&stats));
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut reader = stdin.lock();
+    loop {
+        let line = match read_line_limited(&mut reader, MAX_LINE_BYTES)? {
+            LineRead::Eof => return Ok(()),
+            LineRead::TooLong => {
+                let mut response = line_too_long_response(&stats);
+                response.push('\n');
+                let mut out = stdout.lock();
+                out.write_all(response.as_bytes())?;
+                out.flush()?;
+                return Ok(());
+            }
+            LineRead::Line(line) => line,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut response = process_line(&line, &pool, &stats, config);
+        response.push('\n');
+        let mut out = stdout.lock();
+        out.write_all(response.as_bytes())?;
+        out.flush()?;
+    }
+}
+
+/// Handle one request line end to end; always returns exactly one
+/// single-line response.
+fn process_line(
+    line: &str,
+    pool: &WorkerPool,
+    stats: &ServerStats,
+    config: ServerConfig,
+) -> String {
+    stats.record_request();
+    let value = match json::parse(line) {
+        Ok(value) => value,
+        Err(e) => {
+            stats.record_invalid_json();
+            stats.record_completion("", 0, false);
+            return error_response(&None, &WireError::new("invalid_json", e.to_string())).render();
+        }
+    };
+    let id = request_id(&value);
+    let request = match parse_request(&value, true) {
+        Ok(request) => request,
+        Err(e) => {
+            stats.record_completion("", 0, false);
+            return error_response(&id, &e).render();
+        }
+    };
+    // Stats stays on the connection thread: observability must survive a
+    // saturated pool.
+    if matches!(request.command, Command::Stats) {
+        let start = Instant::now();
+        let snapshot = stats.snapshot_json(DecisionCache::global());
+        stats.record_completion("stats", start.elapsed().as_micros(), true);
+        return ok_response(&request.id, "stats", snapshot).render();
+    }
+    let deadline = request
+        .command
+        .timeout_ms()
+        .map(Duration::from_millis)
+        .or(config.default_deadline)
+        .map(|timeout| Instant::now() + timeout);
+    let (reply, receive) = mpsc::channel();
+    match pool.submit(Job {
+        request,
+        deadline,
+        reply,
+    }) {
+        Ok(()) => match receive.recv() {
+            Ok(response) => response.render(),
+            Err(_) => error_response(
+                &id,
+                &WireError::new("internal", "worker dropped the reply channel"),
+            )
+            .render(),
+        },
+        Err(_job) => {
+            stats.record_busy();
+            error_response(
+                &id,
+                &WireError::new(
+                    "busy",
+                    "request queue is full; retry later or reduce concurrency",
+                ),
+            )
+            .render()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_setup() -> (WorkerPool, Arc<ServerStats>, ServerConfig) {
+        let stats = Arc::new(ServerStats::new());
+        let config = ServerConfig {
+            pool: PoolConfig {
+                workers: 2,
+                queue_capacity: 8,
+            },
+            default_deadline: Some(Duration::from_secs(30)),
+        };
+        let pool = WorkerPool::new(config.pool, Arc::clone(&stats));
+        (pool, stats, config)
+    }
+
+    #[test]
+    fn process_line_answers_the_full_matrix() {
+        let (pool, stats, config) = test_setup();
+        // Invalid JSON.
+        let response = process_line("{nope", &pool, &stats, config);
+        assert!(response.contains("\"invalid_json\""));
+        // Bad request.
+        let response = process_line(r#"{"op":"zap","id":3}"#, &pool, &stats, config);
+        assert!(response.contains("\"bad_request\""));
+        assert!(response.starts_with(r#"{"id":3"#));
+        // A real decision through the pool.
+        let response = process_line(
+            r#"{"op":"equivalence","id":"e","program":"p(X) :- e(X, X).","goal":"p","candidate":"p(X) :- e(X, X)."}"#,
+            &pool,
+            &stats,
+            config,
+        );
+        let value = json::parse(&response).unwrap();
+        assert_eq!(value.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            value
+                .get("result")
+                .unwrap()
+                .get("equivalent")
+                .unwrap()
+                .as_bool(),
+            Some(true)
+        );
+        // Stats, answered inline.
+        let response = process_line(r#"{"op":"stats"}"#, &pool, &stats, config);
+        let value = json::parse(&response).unwrap();
+        let server = value.get("result").unwrap().get("server").unwrap();
+        assert_eq!(server.get("requests").unwrap().as_u64(), Some(4));
+        // A batch mixing success and failure, answered in order.
+        let response = process_line(
+            r#"{"op":"batch","requests":[{"op":"optimize","program":"p(X) :- e(X, X).","goal":"p"},{"op":"containment","program":"broken(","goal":"p","query":"q(X) :- e(X, X)."}]}"#,
+            &pool,
+            &stats,
+            config,
+        );
+        let value = json::parse(&response).unwrap();
+        let results = value.get("result").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(results[1].get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            results[1]
+                .get("error")
+                .unwrap()
+                .get("code")
+                .unwrap()
+                .as_str(),
+            Some("parse_error")
+        );
+    }
+
+    #[test]
+    fn oversized_lines_are_cut_off() {
+        use std::io::Cursor;
+        let mut reader = Cursor::new([&[b'a'; 64][..], b"\nshort\n"].concat());
+        assert!(matches!(
+            read_line_limited(&mut reader, 16).unwrap(),
+            LineRead::TooLong
+        ));
+        // Within the limit, lines and EOF behave normally.
+        let mut reader = Cursor::new(b"one\ntwo".to_vec());
+        assert!(matches!(
+            read_line_limited(&mut reader, 16).unwrap(),
+            LineRead::Line(line) if line == "one"
+        ));
+        assert!(matches!(
+            read_line_limited(&mut reader, 16).unwrap(),
+            LineRead::Line(line) if line == "two"
+        ));
+        assert!(matches!(
+            read_line_limited(&mut reader, 16).unwrap(),
+            LineRead::Eof
+        ));
+    }
+
+    #[test]
+    fn tcp_round_trip_shares_one_cache() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let _ = server.run();
+        });
+        let mut client = crate::client::Client::connect(addr).unwrap();
+        let request = crate::protocol::equivalence_request(
+            "p(X, Y) :- e(X, Z), p(Z, Y).\np(X, Y) :- e(X, Y).",
+            "p",
+            "p(X, Y) :- e(X, Y).\np(X, Y) :- e(X, Z), e(Z, Y).",
+        );
+        let first = client.request(&request).unwrap();
+        assert_eq!(first.get("ok").unwrap().as_bool(), Some(true));
+        // Second client, same request: the decision comes from the shared
+        // process-wide cache (hits strictly increase).
+        let mut other = crate::client::Client::connect(addr).unwrap();
+        let before = other.request(&crate::protocol::stats_request()).unwrap();
+        let second = other.request(&request).unwrap();
+        assert_eq!(second.get("result"), first.get("result"));
+        let after = other.request(&crate::protocol::stats_request()).unwrap();
+        let hits = |v: &json::Value| {
+            v.get("result")
+                .unwrap()
+                .get("cache")
+                .unwrap()
+                .get("hits")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+        };
+        assert!(
+            hits(&after) > hits(&before),
+            "repeat decision must hit the cache"
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! Server observability: request counters and per-verb latency histograms.
+//!
+//! The `stats` verb renders a snapshot of these next to the
+//! [`nonrec_equivalence::cache::DecisionCache`] counters, so a client can
+//! watch the cache amortise across requests (`tests/server.rs` asserts the
+//! ≥ 90 % hit rate of a repeated batch exactly this way).
+//!
+//! Histograms use power-of-two microsecond buckets: bucket `i` counts
+//! latencies in `[2^i, 2^(i+1))` µs.  That is coarse, cheap, lock-friendly,
+//! and plenty for the quantiles the `stats` verb reports.
+
+use std::sync::Mutex;
+
+use nonrec_equivalence::cache::DecisionCache;
+
+use crate::json::{obj, Value};
+
+/// Number of power-of-two buckets; the last one absorbs everything from
+/// `2^30` µs (≈ 18 minutes) up.
+const BUCKETS: usize = 31;
+
+/// A latency histogram over power-of-two microsecond buckets.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    total_micros: u128,
+    max_micros: u128,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            total_micros: 0,
+            max_micros: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one observation.
+    pub fn record(&mut self, micros: u128) {
+        let bucket = (128 - micros.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.total_micros += micros;
+        self.max_micros = self.max_micros.max(micros);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Upper bound (in µs) of the bucket containing the `q`-quantile
+    /// observation, or 0 when empty.  `q` in `[0, 1]`.
+    pub fn quantile_upper_bound(&self, q: f64) -> u128 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return 1u128 << (i + 1);
+            }
+        }
+        self.max_micros
+    }
+
+    fn to_json(&self) -> Value {
+        let mean = if self.count == 0 {
+            0
+        } else {
+            self.total_micros / self.count as u128
+        };
+        obj(vec![
+            ("count", Value::num(self.count as f64)),
+            ("mean_micros", Value::num(mean as f64)),
+            (
+                "p50_micros",
+                Value::num(self.quantile_upper_bound(0.5) as f64),
+            ),
+            (
+                "p99_micros",
+                Value::num(self.quantile_upper_bound(0.99) as f64),
+            ),
+            ("max_micros", Value::num(self.max_micros as f64)),
+        ])
+    }
+}
+
+/// The verbs with their own histogram, in render order.
+pub const VERBS: [&str; 6] = [
+    "containment",
+    "equivalence",
+    "bounded",
+    "optimize",
+    "batch",
+    "stats",
+];
+
+#[derive(Debug, Default)]
+struct Inner {
+    requests: u64,
+    responses_ok: u64,
+    responses_err: u64,
+    busy_rejected: u64,
+    deadline_expired: u64,
+    invalid_json: u64,
+    per_verb: [LatencyHistogram; 6],
+}
+
+/// Shared counters and histograms; one instance per server, updated by the
+/// connection threads and the worker pool.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    inner: Mutex<Inner>,
+}
+
+impl ServerStats {
+    /// A fresh, zeroed instance.
+    pub fn new() -> ServerStats {
+        ServerStats::default()
+    }
+
+    /// Count an arriving request line (before any parsing).
+    pub fn record_request(&self) {
+        self.lock().requests += 1;
+    }
+
+    /// Count a line that was not valid JSON.
+    pub fn record_invalid_json(&self) {
+        self.lock().invalid_json += 1;
+    }
+
+    /// Count a request rejected with `busy` (queue full).
+    pub fn record_busy(&self) {
+        let mut inner = self.lock();
+        inner.busy_rejected += 1;
+        inner.responses_err += 1;
+    }
+
+    /// Count a request whose deadline expired before a worker reached it.
+    /// Counts as an error response but records **no** latency sample — the
+    /// histograms hold genuine service times only.
+    pub fn record_deadline_expired(&self) {
+        let mut inner = self.lock();
+        inner.deadline_expired += 1;
+        inner.responses_err += 1;
+    }
+
+    /// Record a completed execution of `verb` (success or error response),
+    /// with its service latency.
+    pub fn record_completion(&self, verb: &str, micros: u128, ok: bool) {
+        let mut inner = self.lock();
+        if ok {
+            inner.responses_ok += 1;
+        } else {
+            inner.responses_err += 1;
+        }
+        if let Some(i) = VERBS.iter().position(|v| *v == verb) {
+            inner.per_verb[i].record(micros);
+        }
+    }
+
+    /// Total `busy` rejections so far (used by the backpressure tests).
+    pub fn busy_rejected(&self) -> u64 {
+        self.lock().busy_rejected
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Render the `stats` verb payload: server counters, per-verb latency
+    /// histograms, and the shared decision-cache statistics.
+    pub fn snapshot_json(&self, cache: &DecisionCache) -> Value {
+        let cache_stats = cache.stats();
+        let sizes = cache.sizes();
+        let inner = self.lock();
+        let verbs = VERBS
+            .iter()
+            .zip(inner.per_verb.iter())
+            .map(|(name, h)| (name.to_string(), h.to_json()))
+            .collect();
+        obj(vec![
+            (
+                "server",
+                obj(vec![
+                    ("requests", Value::num(inner.requests as f64)),
+                    ("responses_ok", Value::num(inner.responses_ok as f64)),
+                    ("responses_err", Value::num(inner.responses_err as f64)),
+                    ("busy_rejected", Value::num(inner.busy_rejected as f64)),
+                    (
+                        "deadline_expired",
+                        Value::num(inner.deadline_expired as f64),
+                    ),
+                    ("invalid_json", Value::num(inner.invalid_json as f64)),
+                ]),
+            ),
+            (
+                "cache",
+                obj(vec![
+                    ("hits", Value::num(cache_stats.hits as f64)),
+                    ("misses", Value::num(cache_stats.misses as f64)),
+                    (
+                        "pairs_explored",
+                        Value::num(cache_stats.pairs_explored as f64),
+                    ),
+                    ("pairs_saved", Value::num(cache_stats.pairs_saved as f64)),
+                    ("entries", Value::num(sizes.total() as f64)),
+                    ("decision_entries", Value::num(sizes.decisions as f64)),
+                    ("cq_pair_entries", Value::num(sizes.cq_pairs as f64)),
+                    (
+                        "cq_in_program_entries",
+                        Value::num(sizes.cq_in_program as f64),
+                    ),
+                ]),
+            ),
+            ("verbs", Value::Obj(verbs)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.quantile_upper_bound(0.5), 0);
+        for micros in [1u128, 2, 3, 4, 100, 1000] {
+            h.record(micros);
+        }
+        assert_eq!(h.count(), 6);
+        // p50 of {1,2,3,4,100,1000}: the 3rd observation (3µs) lives in
+        // bucket [2,4) whose upper bound is 4.
+        assert_eq!(h.quantile_upper_bound(0.5), 4);
+        assert!(h.quantile_upper_bound(1.0) >= 1000);
+    }
+
+    #[test]
+    fn snapshot_reports_counters_and_cache() {
+        let stats = ServerStats::new();
+        stats.record_request();
+        stats.record_request();
+        stats.record_completion("equivalence", 250, true);
+        stats.record_completion("equivalence", 2500, false);
+        stats.record_busy();
+        stats.record_invalid_json();
+        let cache = DecisionCache::new();
+        let snapshot = stats.snapshot_json(&cache);
+        let server = snapshot.get("server").unwrap();
+        assert_eq!(server.get("requests").unwrap().as_u64(), Some(2));
+        assert_eq!(server.get("responses_ok").unwrap().as_u64(), Some(1));
+        assert_eq!(server.get("responses_err").unwrap().as_u64(), Some(2));
+        assert_eq!(server.get("busy_rejected").unwrap().as_u64(), Some(1));
+        assert_eq!(server.get("invalid_json").unwrap().as_u64(), Some(1));
+        let verb = snapshot.get("verbs").unwrap().get("equivalence").unwrap();
+        assert_eq!(verb.get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            snapshot
+                .get("cache")
+                .unwrap()
+                .get("entries")
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
+    }
+}

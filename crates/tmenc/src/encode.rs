@@ -112,7 +112,16 @@ fn build_program(tm: &TuringMachine, n: usize) -> Program {
                     Atom::new(bit_pred(i + 1), bit_args("Zn")),
                     Atom::new(
                         a_pred(i),
-                        vec![v("X"), v("Y"), v(addr), v(carry), v("Z"), v("Zn"), v("U"), v("V")],
+                        vec![
+                            v("X"),
+                            v("Y"),
+                            v(addr),
+                            v(carry),
+                            v("Z"),
+                            v("Zn"),
+                            v("U"),
+                            v("V"),
+                        ],
                     ),
                 ],
             ));
@@ -130,7 +139,16 @@ fn build_program(tm: &TuringMachine, n: usize) -> Program {
         for (addr, carry) in patterns {
             let a_atom = Atom::new(
                 a_pred(n),
-                vec![v("X"), v("Y"), v(addr), v(carry), v("Z"), v("Zn"), v("U"), v("V")],
+                vec![
+                    v("X"),
+                    v("Y"),
+                    v(addr),
+                    v(carry),
+                    v("Z"),
+                    v("Zn"),
+                    v("U"),
+                    v("V"),
+                ],
             );
             let q_atom = Atom::new(sym_pred(&symbol), vec![v("Z")]);
             // Within the same configuration.
@@ -146,10 +164,7 @@ fn build_program(tm: &TuringMachine, n: usize) -> Program {
             rules.push(Rule::new(
                 Atom::new(bit_pred(n), bit_args("Z")),
                 vec![
-                    Atom::new(
-                        bit_pred(1),
-                        vec![v("X"), v("Y"), v("Zn"), v("Un"), v("U")],
-                    ),
+                    Atom::new(bit_pred(1), vec![v("X"), v("Y"), v("Zn"), v("Un"), v("U")]),
                     a_atom.clone(),
                     q_atom.clone(),
                 ],

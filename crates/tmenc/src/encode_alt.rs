@@ -124,7 +124,15 @@ fn build_program(atm: &AlternatingTuringMachine, n: usize) -> Program {
         )
     };
     // a_i(x, y, addr, carry, z, z', u, v, w, t)
-    let a_atom = |i: usize, addr: &str, carry: &str, z: &str, zn: &str, u: &str, vv: &str, w: &str, t: &str| {
+    let a_atom = |i: usize,
+                  addr: &str,
+                  carry: &str,
+                  z: &str,
+                  zn: &str,
+                  u: &str,
+                  vv: &str,
+                  w: &str,
+                  t: &str| {
         Atom::new(
             a_pred(i),
             vec![
@@ -277,8 +285,8 @@ fn build_queries(atm: &AlternatingTuringMachine, n: usize) -> Ucq {
             let comp = composite(state, symbol);
             // The flag value that would be *wrong* for this state.
             let wrong_flag = match atm.mode(state) {
-                Mode::Universal => "X",    // universal state marked existential
-                Mode::Existential => "Y",  // existential state marked universal
+                Mode::Universal => "X",   // universal state marked existential
+                Mode::Existential => "Y", // existential state marked universal
             };
             let body = vec![
                 Atom::new(
@@ -309,7 +317,10 @@ fn build_queries(atm: &AlternatingTuringMachine, n: usize) -> Ucq {
     // configuration links through the v-slot: its pattern of configuration
     // variables is (u', u, w')) and right successors (links through the
     // w-slot: pattern (u', v', u)).
-    for (view, successor_slots) in [(&left_view, ("U2", "U", "W2")), (&right_view, ("U2", "V2", "U"))] {
+    for (view, successor_slots) in [
+        (&left_view, ("U2", "U", "W2")),
+        (&right_view, ("U2", "V2", "U")),
+    ] {
         for query in transition_queries(view, n) {
             queries.push(retarget_successor(&query, n, successor_slots));
         }
@@ -368,11 +379,7 @@ fn retarget_successor(
 /// through the `v`-slot and its right child through the `w`-slot; the
 /// existential/universal flag is taken from the machine state of the node's
 /// configuration.
-pub fn tree_database(
-    atm: &AlternatingTuringMachine,
-    n: usize,
-    tree: &ComputationTree,
-) -> Database {
+pub fn tree_database(atm: &AlternatingTuringMachine, n: usize, tree: &ComputationTree) -> Database {
     let tape_len = 1usize << n;
     let mut db = Database::new();
     let constant = |name: String| Constant::new(&name);
@@ -529,8 +536,7 @@ mod tests {
         let atm = alternating_accepting_machine();
         let n = 2;
         let enc = encode_alternating(&atm, n);
-        let det_structural =
-            structural_queries(&view_as_deterministic(&atm, &atm.left), n).len();
+        let det_structural = structural_queries(&view_as_deterministic(&atm, &atm.left), n).len();
         let left_transition = transition_queries(&view_as_deterministic(&atm, &atm.left), n).len();
         let right_transition =
             transition_queries(&view_as_deterministic(&atm, &atm.right), n).len();

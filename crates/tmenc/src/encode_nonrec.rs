@@ -535,10 +535,7 @@ pub fn build_comparator(tm: &TuringMachine, n: usize) -> Program {
                             dx_n("T2", "Z4"),
                             a("Z4", "W2", "U"),
                             Atom::new(sym_pred(sd), vec![v("Z4")]),
-                            Atom::new(
-                                equal_pred(n),
-                                vec![v("T1"), v("Z2"), v("T2"), v("Z4")],
-                            ),
+                            Atom::new(equal_pred(n), vec![v("T1"), v("Z2"), v("T2"), v("Z4")]),
                         ],
                     ));
                 }
@@ -562,11 +559,7 @@ pub fn build_comparator(tm: &TuringMachine, n: usize) -> Program {
 ///   configuration, and
 /// * the comparator Π′ derives `c` on it iff the trace is not a legal
 ///   computation prefix.
-pub fn trace_database_nonrec(
-    tm: &TuringMachine,
-    n: usize,
-    trace: &[Configuration],
-) -> Database {
+pub fn trace_database_nonrec(tm: &TuringMachine, n: usize, trace: &[Configuration]) -> Database {
     let bits = 1usize << n;
     let cells = 1usize << bits;
     debug_assert!(
@@ -661,7 +654,10 @@ mod tests {
         let tm = trivially_accepting_machine();
         let enc = encode_machine_nonrec(&tm, 1);
         assert!(enc.program.is_recursive());
-        assert!(enc.program.is_linear(), "the §6 recursive program is linear");
+        assert!(
+            enc.program.is_linear(),
+            "the §6 recursive program is linear"
+        );
         assert!(enc.comparator.is_nonrecursive(), "Π′ must be nonrecursive");
         assert_eq!(enc.program.arity_of(goal()), Some(0));
         assert_eq!(enc.comparator.arity_of(goal()), Some(0));
@@ -682,8 +678,7 @@ mod tests {
     #[test]
     fn comparator_size_grows_linearly_with_n() {
         let tm = trivially_accepting_machine();
-        let len =
-            |n: usize| encode_machine_nonrec(&tm, n).comparator.len();
+        let len = |n: usize| encode_machine_nonrec(&tm, n).comparator.len();
         let (l1, l2, l4) = (len(1), len(2), len(4));
         assert!(l2 > l1 && l4 > l2);
         // The growth per unit of n is the constant number of gadget rules.
@@ -723,8 +718,11 @@ mod tests {
             "a corrupted transition must be caught by the comparator"
         );
         // The uncorrupted trace, for contrast, passes.
-        let clean =
-            trace_database_nonrec(&tm, n, &tm.trace_empty_tape(enc.cells_per_configuration(), 16));
+        let clean = trace_database_nonrec(
+            &tm,
+            n,
+            &tm.trace_empty_tape(enc.cells_per_configuration(), 16),
+        );
         assert!(!accepts(&enc.comparator, &clean));
     }
 
@@ -773,18 +771,28 @@ mod tests {
         };
         // dx_3 relates points exactly 8 apart.
         for (x, y) in pairs(dx_pred(3)) {
-            let xi: usize = x.trim_start_matches(|c: char| !c.is_ascii_digit()).parse().unwrap();
-            let yi: usize = y.trim_start_matches(|c: char| !c.is_ascii_digit()).parse().unwrap();
+            let xi: usize = x
+                .trim_start_matches(|c: char| !c.is_ascii_digit())
+                .parse()
+                .unwrap();
+            let yi: usize = y
+                .trim_start_matches(|c: char| !c.is_ascii_digit())
+                .parse()
+                .unwrap();
             assert_eq!(yi - xi, 8);
         }
         // dlt_3 relates points 1 to 7 apart.
         let mut distances: Vec<usize> = pairs(dlt_pred(3))
             .into_iter()
             .map(|(x, y)| {
-                let xi: usize =
-                    x.trim_start_matches(|c: char| !c.is_ascii_digit()).parse().unwrap();
-                let yi: usize =
-                    y.trim_start_matches(|c: char| !c.is_ascii_digit()).parse().unwrap();
+                let xi: usize = x
+                    .trim_start_matches(|c: char| !c.is_ascii_digit())
+                    .parse()
+                    .unwrap();
+                let yi: usize = y
+                    .trim_start_matches(|c: char| !c.is_ascii_digit())
+                    .parse()
+                    .unwrap();
                 yi - xi
             })
             .collect();

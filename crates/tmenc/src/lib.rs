@@ -39,6 +39,4 @@ pub mod tm;
 pub use encode::{encode_machine, trace_database, Encoding};
 pub use encode_alt::{encode_alternating, AltEncoding};
 pub use encode_nonrec::{encode_machine_nonrec, trace_database_nonrec, NonrecEncoding};
-pub use tm::{
-    AlternatingTuringMachine, AltOutcome, Mode, SimulationOutcome, TuringMachine,
-};
+pub use tm::{AltOutcome, AlternatingTuringMachine, Mode, SimulationOutcome, TuringMachine};

@@ -9,7 +9,6 @@
 
 use std::collections::BTreeSet;
 
-
 /// A tape symbol (interned as a small string for readability of the
 /// generated Datalog programs).
 pub type Symbol = String;
@@ -244,11 +243,7 @@ impl AlternatingTuringMachine {
 
     /// Apply one transition of the given table; `None` if no transition
     /// applies or the head would leave the tape.
-    pub fn step(
-        &self,
-        config: &Configuration,
-        which: Successor,
-    ) -> Option<Configuration> {
+    pub fn step(&self, config: &Configuration, which: Successor) -> Option<Configuration> {
         let table = match which {
             Successor::Left => &self.left,
             Successor::Right => &self.right,
@@ -378,12 +373,7 @@ impl ComputationTree {
 
     /// The height of the tree (a single node has height 1).
     pub fn height(&self) -> usize {
-        1 + self
-            .children
-            .iter()
-            .map(|c| c.height())
-            .max()
-            .unwrap_or(0)
+        1 + self.children.iter().map(|c| c.height()).max().unwrap_or(0)
     }
 }
 

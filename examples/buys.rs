@@ -51,7 +51,10 @@ fn main() {
     match &r2.verdict {
         EquivalenceVerdict::RecursiveExceeds(cex) => {
             println!("not equivalent — Π₂ derives strictly more.");
-            println!("witness expansion (a knows-chain of length 2):\n  {}", cex.expansion);
+            println!(
+                "witness expansion (a knows-chain of length 2):\n  {}",
+                cex.expansion
+            );
             println!("counterexample database:");
             for fact in cex.database.facts() {
                 println!("  {fact}.");

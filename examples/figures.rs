@@ -55,17 +55,36 @@ fn main() {
         .unwrap();
     let proof_tree = automata::tree::Tree::node(
         root,
-        vec![automata::tree::Tree::node(mid, vec![automata::tree::Tree::leaf(leaf)])],
+        vec![automata::tree::Tree::node(
+            mid,
+            vec![automata::tree::Tree::leaf(leaf)],
+        )],
     );
     println!("Figure 2(b) — proof tree over var(Π) = {{x1, …, x6}} (x1 is reused):");
     println!("{}", render_proof_tree(&proof_tree));
 
     // ---- Example 5.3 ----
     let analysis = ProofTreeAnalysis::new(&proof_tree);
-    let y_root = Occurrence { node: 0, atom: 0, position: 1 };
-    let y_mid = Occurrence { node: 1, atom: 0, position: 1 };
-    let x_root = Occurrence { node: 0, atom: 0, position: 0 };
-    let x_leaf = Occurrence { node: 2, atom: 0, position: 0 };
+    let y_root = Occurrence {
+        node: 0,
+        atom: 0,
+        position: 1,
+    };
+    let y_mid = Occurrence {
+        node: 1,
+        atom: 0,
+        position: 1,
+    };
+    let x_root = Occurrence {
+        node: 0,
+        atom: 0,
+        position: 0,
+    };
+    let x_leaf = Occurrence {
+        node: 2,
+        atom: 0,
+        position: 0,
+    };
     println!("Example 5.3 — connectedness in the proof tree:");
     println!(
         "  Y at root and Y at the interior node connected: {}",

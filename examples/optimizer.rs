@@ -9,9 +9,7 @@ use datalog::atom::Pred;
 use datalog::eval::evaluate;
 use datalog::generate::chain_database;
 use datalog::parser::parse_program;
-use nonrec_equivalence::optimize::{
-    eliminate_recursion, optimize, OptimizeOptions,
-};
+use nonrec_equivalence::optimize::{eliminate_recursion, optimize, OptimizeOptions};
 
 fn main() {
     // A deliberately messy program: a redundant subgoal, a subsumed rule, an
@@ -60,9 +58,9 @@ fn main() {
     )
     .unwrap();
     match eliminate_recursion(&bounded, Pred::new("buys"), 4).unwrap() {
-        Some(nonrecursive) => println!(
-            "\n== Example 1.1: equivalent nonrecursive form found ==\n{nonrecursive}"
-        ),
+        Some(nonrecursive) => {
+            println!("\n== Example 1.1: equivalent nonrecursive form found ==\n{nonrecursive}")
+        }
         None => println!("\n== Example 1.1: no bound found (unexpected) =="),
     }
 

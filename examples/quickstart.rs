@@ -24,7 +24,10 @@ fn main() {
     )
     .expect("nonrecursive program parses");
 
-    println!("Recursive program (linear: {}):\n{recursive}", recursive.is_linear());
+    println!(
+        "Recursive program (linear: {}):\n{recursive}",
+        recursive.is_linear()
+    );
     println!("Nonrecursive candidate:\n{nonrecursive}");
 
     // 1. Evaluate both on a small database, just to see them disagree.

@@ -47,7 +47,9 @@ fn main() {
                 println!("equivalent to its depth-{depth} unfolding; nonrecursive form:");
                 print!("{ucq}");
             }
-            None => println!("no equivalent unfolding of depth ≤ {MAX_DEPTH} (likely inherently recursive)"),
+            None => println!(
+                "no equivalent unfolding of depth ≤ {MAX_DEPTH} (likely inherently recursive)"
+            ),
         }
         println!();
     }

@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Staged CI pipeline: fmt -> build -> test -> clippy -> examples -> bench-gates.
+#
+# One stage, one responsibility; per-stage timing; a clean summary at the
+# end; non-zero exit if anything failed.  `scripts/verify.sh` delegates
+# here so the hand-run gate and CI can never drift.
+#
+# Usage:
+#     scripts/ci.sh [stage ...]      # default: all stages in order
+#
+# Stages:
+#     fmt          cargo fmt --all --check
+#     build        cargo build --release --all-targets
+#     test         cargo test -q
+#     clippy       cargo clippy --all-targets -- -D warnings
+#     examples     run all examples/ binaries (a runtime panic must not ship)
+#     bench-gates  run the gating benches (NONREC_BENCH_FAST=1), write fresh
+#                  snapshots under target/ci/, diff them against the
+#                  committed BENCH_*.json with scripts/bench_diff
+#
+# Env:
+#     NONREC_CI_REFRESH=1   bench-gates copies the fresh snapshots over the
+#                           committed baselines instead of failing on drift
+#                           (the deliberate way to record an improvement)
+#     BENCH_DIFF_TOL=0.10   relative tolerance of the snapshot diff
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+ALL_STAGES=(fmt build test clippy examples bench-gates)
+STAGES=("${@:-${ALL_STAGES[@]}}")
+
+SUMMARY_NAMES=()
+SUMMARY_RESULTS=()
+FAILED=0
+
+run_stage() {
+    local name="$1"
+    shift
+    echo
+    echo "==> stage: $name"
+    local start end status
+    start=$(date +%s)
+    if "$@"; then
+        status=ok
+    else
+        status=FAIL
+        FAILED=1
+    fi
+    end=$(date +%s)
+    SUMMARY_NAMES+=("$name")
+    SUMMARY_RESULTS+=("$status $((end - start))s")
+    [ "$status" = ok ]
+}
+
+stage_fmt() {
+    cargo fmt --all --check
+}
+
+stage_build() {
+    cargo build --release --all-targets
+}
+
+stage_test() {
+    cargo test -q
+}
+
+stage_clippy() {
+    cargo clippy --all-targets -- -D warnings
+}
+
+stage_examples() {
+    local ex
+    for ex in examples/*.rs; do
+        ex="$(basename "$ex" .rs)"
+        echo "-- example: $ex"
+        cargo run --release -q --example "$ex" >/dev/null || return 1
+    done
+}
+
+run_gated_bench() {
+    local bench="$1" snapshot="$2"
+    NONREC_BENCH_FAST=1 NONREC_BENCH_JSON="$PWD/target/ci/$snapshot" \
+        cargo bench --bench "$bench" || return 1
+    if [ "${NONREC_CI_REFRESH:-0}" = 1 ]; then
+        cp "target/ci/$snapshot" "$snapshot" || return 1
+        echo "bench_diff: $snapshot: refreshed baseline"
+    else
+        python3 scripts/bench_diff "$snapshot" "target/ci/$snapshot" || return 1
+    fi
+}
+
+stage_bench_gates() {
+    mkdir -p target/ci
+    # The evaluation target is the join-probe regression gate, containment
+    # the pair-work gate, serve the throughput/backpressure/cache gate;
+    # each panics on an in-bench invariant violation and snapshots its
+    # counters for the diff below.  datalog_in_ucq stays a smoke run.
+    run_gated_bench evaluation BENCH_evaluation.json || return 1
+    run_gated_bench containment BENCH_containment.json || return 1
+    run_gated_bench serve BENCH_serve.json || return 1
+    NONREC_BENCH_FAST=1 cargo bench --bench datalog_in_ucq || return 1
+}
+
+for stage in "${STAGES[@]}"; do
+    case "$stage" in
+        fmt) run_stage fmt stage_fmt ;;
+        build) run_stage build stage_build ;;
+        test) run_stage test stage_test ;;
+        clippy) run_stage clippy stage_clippy ;;
+        examples) run_stage examples stage_examples ;;
+        bench-gates) run_stage bench-gates stage_bench_gates ;;
+        *) echo "ci.sh: unknown stage: $stage (known: ${ALL_STAGES[*]})" >&2; exit 2 ;;
+    esac || break   # fail fast: later stages assume earlier ones
+done
+
+echo
+echo "== ci summary"
+for i in "${!SUMMARY_NAMES[@]}"; do
+    printf '  %-12s %s\n' "${SUMMARY_NAMES[$i]}" "${SUMMARY_RESULTS[$i]}"
+done
+if [ "$FAILED" -ne 0 ]; then
+    echo "ci: FAILED"
+    exit 1
+fi
+echo "ci: OK"

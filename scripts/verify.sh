@@ -1,36 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus benches/examples-compile and lint gate, as one
-# command.  The build is fully offline: every dependency is a path
-# dependency inside this workspace, so no registry access is needed.
+# Tier-1 verification: delegates to the staged CI pipeline so the hand-run
+# gate and `.github/workflows/ci.yml` can never drift.  See scripts/ci.sh
+# for the stages (fmt, build, test, clippy, example smoke, bench-snapshot
+# diff gates) and the NONREC_CI_REFRESH / BENCH_DIFF_TOL knobs.
 #
-# Usage: scripts/verify.sh
+# Usage: scripts/verify.sh [stage ...]
 set -euo pipefail
-cd "$(dirname "$0")/.."
-
-echo "== cargo build --release --all-targets"
-cargo build --release --all-targets
-
-echo "== cargo test -q"
-cargo test -q
-
-echo "== cargo clippy --all-targets -- -D warnings"
-cargo clippy --all-targets -- -D warnings
-
-# Smoke-run the evaluation benches.  The evaluation target doubles as the
-# probe regression gate (it panics if the indexed engine ever does more
-# join probes than semi-naive on any workload shape) and records the
-# per-shape probe counts as a JSON snapshot for comparison across PRs.
-echo "== smoke benches (NONREC_BENCH_FAST=1)"
-NONREC_BENCH_FAST=1 NONREC_BENCH_JSON="$PWD/BENCH_evaluation.json" \
-    cargo bench --bench evaluation
-NONREC_BENCH_FAST=1 cargo bench --bench datalog_in_ucq
-
-# The containment bench is the pair-work regression gate for the interned,
-# memoised worklist containment engine (it panics if the worklist engine
-# ever rescans δ2 more often than the plain-rounds oracle enumerates
-# combinations, or if a repeated optimize pass misses the decision cache)
-# and snapshots the per-shape counts.
-NONREC_BENCH_FAST=1 NONREC_BENCH_JSON="$PWD/BENCH_containment.json" \
-    cargo bench --bench containment
-
-echo "verify: OK"
+exec "$(dirname "$0")/ci.sh" "$@"

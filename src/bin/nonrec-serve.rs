@@ -1,0 +1,112 @@
+//! `nonrec-serve` — the decision procedures as a long-running server.
+//!
+//! Accepts line-delimited JSON requests (`containment`, `equivalence`,
+//! `bounded`, `optimize`, `batch`, `stats`) over TCP or stdio and answers
+//! them through one process-wide decision cache.  See the README for the
+//! wire protocol.
+//!
+//! ```text
+//! USAGE:
+//!     nonrec-serve [--addr HOST:PORT | --stdio] [OPTIONS]
+//!
+//! OPTIONS:
+//!     --addr <HOST:PORT>    TCP listen address (default 127.0.0.1:7474;
+//!                           port 0 picks a free port, printed on stdout)
+//!     --stdio               serve stdin→stdout instead of TCP
+//!     --workers <N>         worker threads (default 4)
+//!     --queue <N>           queue slots before `busy` rejection (default 64)
+//!     --deadline-ms <N>     default per-request deadline (default 30000;
+//!                           0 disables)
+//!
+//! EXIT CODES:
+//!     0  clean shutdown (stdio mode reached EOF)
+//!     2  usage or I/O error
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use server::{serve_stdio, PoolConfig, Server, ServerConfig};
+
+struct Args {
+    addr: String,
+    stdio: bool,
+    config: ServerConfig,
+}
+
+fn usage() -> &'static str {
+    "usage: nonrec-serve [--addr HOST:PORT | --stdio] [--workers <N>] \
+     [--queue <N>] [--deadline-ms <N>]"
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Option<Args>, String> {
+    let mut addr = "127.0.0.1:7474".to_string();
+    let mut stdio = false;
+    let mut pool = PoolConfig::default();
+    let mut deadline_ms: u64 = 30_000;
+    fn number(argv: &mut impl Iterator<Item = String>, flag: &str) -> Result<u64, String> {
+        let text = argv.next().ok_or(format!("{flag} needs a number"))?;
+        text.parse().map_err(|_| format!("invalid {flag}: {text}"))
+    }
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--addr" => addr = argv.next().ok_or("--addr needs HOST:PORT")?,
+            "--stdio" => stdio = true,
+            "--workers" => pool.workers = number(&mut argv, "--workers")?.max(1) as usize,
+            "--queue" => pool.queue_capacity = number(&mut argv, "--queue")?.max(1) as usize,
+            "--deadline-ms" => deadline_ms = number(&mut argv, "--deadline-ms")?,
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(Some(Args {
+        addr,
+        stdio,
+        config: ServerConfig {
+            pool,
+            default_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+        },
+    }))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let result = if args.stdio {
+        serve_stdio(args.config)
+    } else {
+        match Server::bind(&args.addr, args.config) {
+            Ok(server) => {
+                match server.local_addr() {
+                    Ok(addr) => {
+                        // The one line tools scrape for the bound port; keep
+                        // the format stable.
+                        println!("listening on {addr}");
+                    }
+                    Err(e) => eprintln!("warning: cannot report local addr: {e}"),
+                }
+                use std::io::Write;
+                let _ = std::io::stdout().flush();
+                server.run()
+            }
+            Err(e) => Err(e),
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -93,8 +93,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, ArgsError>
 }
 
 fn load_program(path: &str) -> Result<Program, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse_program(&text).map_err(|e| format!("parse error in {path}: {e}"))
 }
 

@@ -6,9 +6,7 @@ use datalog::atom::Pred;
 use datalog::generate::transitive_closure;
 use nonrec_equivalence::expansion::{expansion_query, figure1_trees, unfolding_trees};
 use nonrec_equivalence::labels::{canonical_atom, LabelContext};
-use nonrec_equivalence::proof_tree::{
-    is_valid_proof_tree, Occurrence, ProofTreeAnalysis,
-};
+use nonrec_equivalence::proof_tree::{is_valid_proof_tree, Occurrence, ProofTreeAnalysis};
 use nonrec_equivalence::ptrees_automaton::PtreesAutomaton;
 
 fn program() -> datalog::Program {
@@ -99,10 +97,26 @@ fn example_5_3_connectedness_and_distinguished_occurrences() {
     let program = program();
     let tree = figure2_proof_tree(&program);
     let analysis = ProofTreeAnalysis::new(&tree);
-    let y_root = Occurrence { node: 0, atom: 0, position: 1 };
-    let y_mid = Occurrence { node: 1, atom: 0, position: 1 };
-    let x_root = Occurrence { node: 0, atom: 0, position: 0 };
-    let x_leaf = Occurrence { node: 2, atom: 0, position: 0 };
+    let y_root = Occurrence {
+        node: 0,
+        atom: 0,
+        position: 1,
+    };
+    let y_mid = Occurrence {
+        node: 1,
+        atom: 0,
+        position: 1,
+    };
+    let x_root = Occurrence {
+        node: 0,
+        atom: 0,
+        position: 0,
+    };
+    let x_leaf = Occurrence {
+        node: 2,
+        atom: 0,
+        position: 0,
+    };
     assert!(analysis.connected(y_root, y_mid));
     assert!(analysis.is_distinguished(y_root) && analysis.is_distinguished(y_mid));
     assert!(!analysis.connected(x_root, x_leaf));

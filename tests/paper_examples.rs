@@ -88,10 +88,14 @@ fn example_6_2_dist_le_semantics_and_unfolding() {
     let db = chain_database("e", 6);
     let result = evaluate(&program, &db);
     let reachable = result.relation(goal);
-    assert!(reachable.contains(&[datalog::Constant::from_usize(0),
-        datalog::Constant::from_usize(4)]));
-    assert!(!reachable.contains(&[datalog::Constant::from_usize(0),
-        datalog::Constant::from_usize(5)]));
+    assert!(reachable.contains(&[
+        datalog::Constant::from_usize(0),
+        datalog::Constant::from_usize(4)
+    ]));
+    assert!(!reachable.contains(&[
+        datalog::Constant::from_usize(0),
+        datalog::Constant::from_usize(5)
+    ]));
     // The unfolding has multiple disjuncts (one per way of splitting the
     // "at most" budget), the largest of size 2^n.
     let ucq = unfold_nonrecursive(&program, goal, usize::MAX).unwrap();
@@ -121,10 +125,12 @@ fn example_6_3_equal_gadget() {
         db.insert(datalog::Fact::app("zero", [format!("b{i}").as_str()]));
     }
     let result = evaluate(&program, &db);
-    assert!(result.relation(goal).contains(&[datalog::Constant::new("a0"),
+    assert!(result.relation(goal).contains(&[
+        datalog::Constant::new("a0"),
         datalog::Constant::new("a4"),
         datalog::Constant::new("b0"),
-        datalog::Constant::new("b4")]));
+        datalog::Constant::new("b4")
+    ]));
     // Flip one label on the b-path: no longer equal.
     let mut unequal = db.clone();
     unequal.insert(datalog::Fact::app("one", ["b2"]));
@@ -136,10 +142,12 @@ fn example_6_3_equal_gadget() {
         }
     }
     let result = evaluate(&program, &strict);
-    assert!(!result.relation(goal).contains(&[datalog::Constant::new("a0"),
+    assert!(!result.relation(goal).contains(&[
+        datalog::Constant::new("a0"),
         datalog::Constant::new("a4"),
         datalog::Constant::new("b0"),
-        datalog::Constant::new("b4")]));
+        datalog::Constant::new("b4")
+    ]));
 }
 
 /// Example 6.6: `word_n` (a linear nonrecursive program) unfolds to 2^n
@@ -165,8 +173,7 @@ fn transitive_closure_differs_from_every_dist_program() {
          dist1(X, Y) :- e(X, Y).",
     )
     .unwrap();
-    let result =
-        equivalent_to_nonrecursive(&tc, Pred::new("dist1"), &dist_program(1)).unwrap();
+    let result = equivalent_to_nonrecursive(&tc, Pred::new("dist1"), &dist_program(1)).unwrap();
     assert!(!result.verdict.is_equivalent());
 }
 

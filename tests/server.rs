@@ -1,0 +1,444 @@
+//! Integration suite for the `nonrec-serve` server binary.
+//!
+//! Spawns the real binary (TCP on an OS-assigned port, and stdio mode),
+//! drives it with concurrent [`server::Client`]s, and locks the wire
+//! verdicts to the in-process `nonrec_equivalence` oracle:
+//!
+//! * ≥ 100 generated instances (containment and equivalence) answer with
+//!   verdicts identical to calling the library directly;
+//! * a repeated `batch` is answered ≥ 90 % from the shared decision cache,
+//!   observed through the `stats` verb — the amortisation the server
+//!   exists for;
+//! * transport errors (`invalid_json`, `bad_request`, parse errors in
+//!   payloads) answer with stable codes and never kill the connection.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+
+use cq::generate::{random_cq, RandomCqConfig};
+use cq::{ConjunctiveQuery, Ucq};
+use datalog::atom::Pred;
+use datalog::generate::{random_program, RandomProgramConfig};
+use datalog::program::Program;
+use datalog::substitution::Substitution;
+use datalog::term::{Term, Var};
+use nonrec_equivalence::containment::{datalog_contained_in_ucq_with, DecisionOptions};
+use nonrec_equivalence::equivalence::equivalent_to_nonrecursive_with;
+use nonrec_equivalence::expansions_up_to_depth;
+use server::json::{obj, Value};
+use server::protocol;
+use server::Client;
+
+/// The generated-instance pair budget shared by the oracle sweeps; the
+/// acceptance bar is ≥ 100 instances total and both sweeps contribute.
+const CONTAINMENT_INSTANCES: u64 = 80;
+const EQUIVALENCE_SEEDS: u64 = 40;
+const MAX_PAIRS: usize = 50_000;
+
+struct ServerProc {
+    child: Child,
+    addr: String,
+}
+
+impl ServerProc {
+    fn spawn(extra: &[&str]) -> ServerProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_nonrec-serve"))
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn nonrec-serve");
+        let stdout = child.stdout.take().expect("captured stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read listen line");
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+            .to_string();
+        ServerProc { child, addr }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(self.addr.as_str()).expect("connect to nonrec-serve")
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn program_config() -> RandomProgramConfig {
+    RandomProgramConfig {
+        edb_predicates: 2,
+        idb_predicates: 2,
+        rules: 3,
+        max_body_atoms: 2,
+        max_variables: 3,
+        idb_probability: 0.3,
+    }
+}
+
+/// A random UCQ whose disjuncts all have the goal's arity (2) — the same
+/// shape the cache differential suite sweeps.
+fn random_ucq(seed: u64) -> Ucq {
+    let config = RandomCqConfig {
+        body_atoms: 2,
+        variables: 3,
+        distinguished: 2,
+        predicates: vec!["e0".into(), "e1".into()],
+    };
+    let disjuncts = 1 + (seed % 3) as usize;
+    let mut out = Ucq::empty();
+    let mut attempt = seed.wrapping_mul(97);
+    while out.len() < disjuncts {
+        let candidate = random_cq(&config, attempt);
+        attempt = attempt.wrapping_add(1);
+        if candidate.arity() == 2 {
+            out.push(candidate);
+        }
+    }
+    out
+}
+
+fn oracle_options() -> DecisionOptions {
+    DecisionOptions {
+        max_pairs: Some(MAX_PAIRS),
+        ..DecisionOptions::default()
+    }
+}
+
+/// Rename every variable to `V0, V1, …` so the rendered rule survives a
+/// parse round-trip (the unfolder's fresh variables render as `u#7`, which
+/// the lexer rejects).  A bijective renaming, so semantics are unchanged.
+fn parseable(cq: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let mut subst = Substitution::new();
+    for (i, v) in cq.variables().into_iter().enumerate() {
+        subst.bind_var(v, Term::Var(Var::new(&format!("V{i}"))));
+    }
+    cq.apply(&subst)
+}
+
+fn ucq_text(ucq: &Ucq) -> String {
+    ucq.disjuncts
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn with_budget(mut request: Value, id: u64) -> Value {
+    if let Value::Obj(fields) = &mut request {
+        fields.push(("id".into(), Value::num(id as f64)));
+        fields.push((
+            "options".into(),
+            obj(vec![("max_pairs", Value::num(MAX_PAIRS as f64))]),
+        ));
+    }
+    request
+}
+
+/// What the in-process library says about an instance, reduced to what
+/// travels on the wire.
+#[derive(Debug, PartialEq, Eq)]
+enum Oracle {
+    Verdict(bool),
+    Error(&'static str),
+}
+
+fn check_against_oracle(response: &Value, oracle: &Oracle, verdict_field: &str, context: &str) {
+    match oracle {
+        Oracle::Verdict(expected) => {
+            assert_eq!(
+                response.get("ok").and_then(Value::as_bool),
+                Some(true),
+                "{context}: expected success, got {}",
+                response.render()
+            );
+            let got = response
+                .get("result")
+                .and_then(|r| r.get(verdict_field))
+                .and_then(Value::as_bool);
+            assert_eq!(got, Some(*expected), "{context}: verdict mismatch");
+        }
+        Oracle::Error(code) => {
+            assert_eq!(
+                response.get("ok").and_then(Value::as_bool),
+                Some(false),
+                "{context}: expected error `{code}`, got {}",
+                response.render()
+            );
+            let got = response
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Value::as_str);
+            assert_eq!(got, Some(*code), "{context}: error code mismatch");
+        }
+    }
+}
+
+/// Concurrent clients, generated instances, verdicts locked to the
+/// in-process oracle — the acceptance-criterion sweep.
+#[test]
+fn generated_instances_match_the_in_process_oracle_concurrently() {
+    let goal = Pred::new("q0");
+
+    // Containment instances.
+    let mut instances: Vec<(Value, Oracle, String, &'static str)> = Vec::new();
+    for seed in 0..CONTAINMENT_INSTANCES {
+        let program = random_program(&program_config(), seed);
+        let ucq = random_ucq(seed);
+        let oracle = match datalog_contained_in_ucq_with(&program, goal, &ucq, oracle_options()) {
+            Ok(result) => Oracle::Verdict(result.contained),
+            Err(e) => Oracle::Error(e.code()),
+        };
+        let request = with_budget(
+            protocol::containment_request(&program.to_string(), "q0", &ucq_text(&ucq)),
+            seed,
+        );
+        instances.push((
+            request,
+            oracle,
+            format!("containment seed {seed}"),
+            "contained",
+        ));
+    }
+
+    // Equivalence instances: each program against its own shallow
+    // unfolding; bounded programs are equivalent, properly recursive ones
+    // are not — both verdicts occur across the sweep.
+    for seed in 0..EQUIVALENCE_SEEDS {
+        let program = random_program(&program_config(), seed);
+        let unfolding = expansions_up_to_depth(&program, goal, 2);
+        if unfolding.is_empty() || unfolding.len() > 24 {
+            continue;
+        }
+        let candidate = Program::new(
+            unfolding
+                .disjuncts
+                .iter()
+                .map(|d| parseable(d).to_rule())
+                .collect(),
+        );
+        let oracle =
+            match equivalent_to_nonrecursive_with(&program, goal, &candidate, oracle_options()) {
+                Ok(result) => Oracle::Verdict(result.verdict.is_equivalent()),
+                Err(e) => Oracle::Error(e.code()),
+            };
+        let request = with_budget(
+            protocol::equivalence_request(&program.to_string(), "q0", &candidate.to_string()),
+            1000 + seed,
+        );
+        instances.push((
+            request,
+            oracle,
+            format!("equivalence seed {seed}"),
+            "equivalent",
+        ));
+    }
+
+    assert!(
+        instances.len() >= 100,
+        "only {} generated instances; the sweep must cover at least 100",
+        instances.len()
+    );
+
+    let server = ServerProc::spawn(&[]);
+    let shards: Vec<Vec<&(Value, Oracle, String, &'static str)>> = {
+        let mut shards: Vec<Vec<_>> = (0..4).map(|_| Vec::new()).collect();
+        for (i, instance) in instances.iter().enumerate() {
+            shards[i % 4].push(instance);
+        }
+        shards
+    };
+    std::thread::scope(|scope| {
+        for shard in &shards {
+            let mut client = server.client();
+            scope.spawn(move || {
+                for (request, oracle, context, verdict_field) in shard {
+                    let response = client.request(request).expect("request round-trip");
+                    check_against_oracle(&response, oracle, verdict_field, context);
+                }
+            });
+        }
+    });
+
+    // The sweep must exercise both verdicts and at least one error path to
+    // mean anything.
+    let verdicts: Vec<&Oracle> = instances.iter().map(|(_, o, _, _)| o).collect();
+    assert!(verdicts.iter().any(|o| matches!(o, Oracle::Verdict(true))));
+    assert!(verdicts.iter().any(|o| matches!(o, Oracle::Verdict(false))));
+}
+
+fn cache_counters(client: &mut Client) -> (u64, u64) {
+    let response = client.request(&protocol::stats_request()).expect("stats");
+    let cache = response
+        .get("result")
+        .and_then(|r| r.get("cache"))
+        .expect("stats carries cache counters");
+    (
+        cache.get("hits").and_then(Value::as_u64).expect("hits"),
+        cache.get("misses").and_then(Value::as_u64).expect("misses"),
+    )
+}
+
+/// A repeated batch answers ≥ 90 % of its decisions from the shared cache
+/// — the acceptance criterion, measured through the `stats` verb.
+#[test]
+fn repeated_batch_is_answered_from_the_decision_cache() {
+    let goal_text = "q0";
+    let mut requests = Vec::new();
+    for seed in 0..24u64 {
+        let program = random_program(&program_config(), seed);
+        let ucq = random_ucq(seed);
+        requests.push(with_budget(
+            protocol::containment_request(&program.to_string(), goal_text, &ucq_text(&ucq)),
+            seed,
+        ));
+    }
+    let batch = protocol::batch_request(requests);
+
+    let server = ServerProc::spawn(&[]);
+    let mut client = server.client();
+
+    let first = client.request(&batch).expect("first batch");
+    assert_eq!(first.get("ok").and_then(Value::as_bool), Some(true));
+    let (hits_before, misses_before) = cache_counters(&mut client);
+
+    let second = client.request(&batch).expect("second batch");
+    assert_eq!(
+        second.get("result"),
+        first.get("result"),
+        "identical batches must answer identically"
+    );
+    let (hits_after, misses_after) = cache_counters(&mut client);
+
+    let hits = hits_after - hits_before;
+    let misses = misses_after - misses_before;
+    let total = hits + misses;
+    assert!(
+        total > 0,
+        "the second batch performed no cache lookups at all"
+    );
+    let rate = hits as f64 / total as f64;
+    assert!(
+        rate >= 0.9,
+        "repeated batch hit rate {rate:.3} ({hits} hits / {misses} misses) below 90%"
+    );
+}
+
+/// Transport-level failures answer with stable codes and leave the
+/// connection usable.
+#[test]
+fn malformed_input_gets_stable_error_codes_and_the_connection_survives() {
+    let server = ServerProc::spawn(&[]);
+    let mut client = server.client();
+
+    let raw = client.request_line("{not json").expect("error response");
+    let parsed = server::json::parse(&raw).expect("error response is valid JSON");
+    assert_eq!(
+        parsed
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Value::as_str),
+        Some("invalid_json")
+    );
+
+    let response = client
+        .request(&server::json::parse(r#"{"op":"containment","id":9}"#).unwrap())
+        .expect("bad request response");
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(response.get("id").and_then(Value::as_u64), Some(9));
+    assert_eq!(
+        response
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Value::as_str),
+        Some("bad_request")
+    );
+
+    // Payload-level parse error: the program text is broken Datalog.
+    let response = client
+        .request(&protocol::containment_request(
+            "p(X :-",
+            "p",
+            "q(X) :- e(X, X).",
+        ))
+        .expect("parse error response");
+    assert_eq!(
+        response
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Value::as_str),
+        Some("parse_error")
+    );
+
+    // The same connection still decides real requests afterwards.
+    let response = client
+        .request(&protocol::equivalence_request(
+            "p(X) :- e(X, X).",
+            "p",
+            "p(X) :- e(X, X).",
+        ))
+        .expect("real request after errors");
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+}
+
+/// The `--stdio` mode speaks the same protocol over stdin/stdout and exits
+/// 0 at EOF.
+#[test]
+fn stdio_mode_answers_and_exits_cleanly() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_nonrec-serve"))
+        .arg("--stdio")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn nonrec-serve --stdio");
+    {
+        let mut stdin = child.stdin.take().expect("stdin");
+        stdin
+            .write_all(
+                concat!(
+                    r#"{"op":"bounded","id":1,"program":"buys(X, Y) :- likes(X, Y).\nbuys(X, Y) :- trendy(X), buys(Z, Y).","goal":"buys","max_depth":4}"#,
+                    "\n",
+                    r#"{"op":"stats","id":2}"#,
+                    "\n"
+                )
+                .as_bytes(),
+            )
+            .expect("write requests");
+        // Dropping stdin sends EOF.
+    }
+    let output = child.wait_with_output().expect("wait for nonrec-serve");
+    assert!(output.status.success(), "stdio mode must exit 0 at EOF");
+    let lines: Vec<&str> = std::str::from_utf8(&output.stdout)
+        .expect("utf8 stdout")
+        .lines()
+        .collect();
+    assert_eq!(lines.len(), 2, "one response line per request line");
+    let bounded = server::json::parse(lines[0]).expect("valid JSON response");
+    assert_eq!(bounded.get("id").and_then(Value::as_u64), Some(1));
+    assert_eq!(
+        bounded
+            .get("result")
+            .and_then(|r| r.get("bounded"))
+            .and_then(Value::as_bool),
+        Some(true)
+    );
+    let stats = server::json::parse(lines[1]).expect("valid JSON stats");
+    assert_eq!(
+        stats
+            .get("result")
+            .and_then(|r| r.get("server"))
+            .and_then(|s| s.get("requests"))
+            .and_then(Value::as_u64),
+        Some(2)
+    );
+}

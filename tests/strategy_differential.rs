@@ -123,7 +123,10 @@ fn indexed_probes_do_not_regress_past_semi_naive_on_bench_shapes() {
     let program = transitive_closure("e", "e");
     let mut chain_ratios: Vec<f64> = Vec::new();
     for n in [8usize, 16, 32] {
-        for (db_name, db) in [("chain", chain_database("e", n)), ("cycle", cycle_database("e", n))] {
+        for (db_name, db) in [
+            ("chain", chain_database("e", n)),
+            ("cycle", cycle_database("e", n)),
+        ] {
             let semi = run(&program, &db, Strategy::SemiNaive, None);
             let indexed = run(&program, &db, Strategy::Indexed, None);
             assert_eq!(semi.database, indexed.database, "{db_name} n={n}");

@@ -84,8 +84,17 @@ fn alphabet_contains_plain_and_composite_symbols() {
 #[test]
 fn simulator_outcomes_match_expectations() {
     let acc = trivially_accepting_machine();
-    assert!(matches!(acc.run_empty_tape(4, 8), SimulationOutcome::Accepts(_)));
+    assert!(matches!(
+        acc.run_empty_tape(4, 8),
+        SimulationOutcome::Accepts(_)
+    ));
     let rej = never_accepting_machine();
-    assert!(matches!(rej.run_empty_tape(4, 3), SimulationOutcome::OutOfTime));
-    assert!(matches!(rej.run_empty_tape(2, 64), SimulationOutcome::OutOfSpace(_)));
+    assert!(matches!(
+        rej.run_empty_tape(4, 3),
+        SimulationOutcome::OutOfTime
+    ));
+    assert!(matches!(
+        rej.run_empty_tape(2, 64),
+        SimulationOutcome::OutOfSpace(_)
+    ));
 }

@@ -6,7 +6,11 @@
 //!
 //! * **cold** — every request is a fresh decision (disjoint cache keys);
 //! * **warm** — the identical request set again, which must be answered
-//!   from the shared `DecisionCache`.
+//!   from the shared `DecisionCache`;
+//! * **eviction churn** — the cache capped (via the `cache_limits` admin
+//!   verb) far below a hot-plus-cold request stream, measuring the hit
+//!   rate under memory pressure: the hot set must keep hitting while the
+//!   cold stream churns through the cap.
 //!
 //! Doubles as the serving regression gate for `scripts/ci.sh`:
 //!
@@ -14,9 +18,13 @@
 //!   — the pool is sized for the fleet;
 //! * the warm phase must answer ≥ 90 % of its cache lookups from the
 //!   cache (the amortisation the server exists for);
+//! * the churn phase must actually evict, must stay within its cap, and
+//!   must keep the hot set's hit rate up (cost-aware LRU doing its job);
 //! * when `NONREC_BENCH_JSON` names a file, the per-scenario counters are
 //!   written there (`BENCH_serve.json` in CI).  Wall-clock fields (`rps`)
-//!   are informational; the diff gate ignores them.
+//!   are informational; the diff gate ignores them.  The churn workload is
+//!   single-client and sequential, so its counters are deterministic and
+//!   diffable.
 
 use bench::report_shape;
 use bench::{criterion_group, criterion_main, Criterion};
@@ -207,6 +215,157 @@ fn bench_serve(c: &mut Criterion) {
         }
     }
 
+    // ---- Eviction churn: hit rate under memory pressure.
+    //
+    // Cap the decision segment at 16 entries, then drive one client
+    // through an interleaved stream of 96 distinct cold decisions and a
+    // 4-key hot set (each hot key revisited every 8 requests — well inside
+    // the eviction horizon of the cap, which is the point: a hot set a
+    // bounded cache is *supposed* to keep).  The cold stream overflows the
+    // cap continuously; the recency-first eviction policy must keep the
+    // hot set resident, so the hot revisits hit while the cold keys churn.
+    // Single-client and sequential, so every counter below is
+    // deterministic.
+    const CHURN_CAP: u64 = 16;
+    const CHURN_HOT: usize = 4;
+    const CHURN_COLD: usize = 96;
+    let churn_row: String = {
+        // The same builder the protocol tests lock, so the bench can never
+        // drift from the wire shape.
+        let limits = |max_decisions: Option<u64>| {
+            protocol::cache_limits_request(Some(nonrec_equivalence::CacheLimits {
+                max_decisions: max_decisions.map(|n| n as usize),
+                ..nonrec_equivalence::CacheLimits::default()
+            }))
+        };
+        let response = stats_client
+            .request(&limits(Some(CHURN_CAP)))
+            .expect("cap the cache");
+        assert_eq!(
+            response.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "cache_limits must succeed: {}",
+            response.render()
+        );
+
+        let churn_request = |key: &str| {
+            let e = format!("churn_{key}");
+            protocol::containment_request(
+                &format!("p(X, Y) :- {e}(X, Z), p(Z, Y).\np(X, Y) :- {e}(X, Y)."),
+                "p",
+                &format!("q(X, Y) :- {e}(X, Y).\nq(X, Y) :- {e}(X, Z), {e}(Z, Y)."),
+            )
+        };
+        // Baselines *after* the cap was installed: `set_limits` itself
+        // evicts the warm phases' surplus, and that setup burst must not
+        // be allowed to satisfy (or pollute) the churn-time counters.
+        let evictions_baseline = {
+            let stats = stats_client
+                .request(&protocol::stats_request())
+                .expect("pre-churn stats");
+            stats
+                .get("result")
+                .and_then(|r| r.get("cache"))
+                .and_then(|c| c.get("evicted_decisions"))
+                .and_then(Value::as_u64)
+                .expect("evicted_decisions counter")
+        };
+        let (hits_before, misses_before, _) = cache_counters(&mut stats_client);
+        let mut client = Client::connect(addr).expect("connect churn client");
+        let start = Instant::now();
+        let mut ok = 0usize;
+        let mut errors = 0usize;
+        for i in 0..CHURN_COLD {
+            for request in [
+                churn_request(&format!("cold{i}")),
+                churn_request(&format!("hot{}", i % CHURN_HOT)),
+            ] {
+                let response = client.request(&request).expect("churn round-trip");
+                if response.get("ok").and_then(Value::as_bool) == Some(true) {
+                    ok += 1;
+                } else {
+                    errors += 1;
+                }
+            }
+        }
+        let seconds = start.elapsed().as_secs_f64();
+        let total = 2 * CHURN_COLD;
+
+        let stats = stats_client
+            .request(&protocol::stats_request())
+            .expect("churn stats");
+        let result = stats.get("result").expect("stats result");
+        let cache = result.get("cache").expect("cache block");
+        let field = |name: &str| cache.get(name).and_then(Value::as_u64).unwrap();
+        let (hits, misses) = (field("hits") - hits_before, field("misses") - misses_before);
+        let evictions = field("evicted_decisions") - evictions_baseline;
+        let entries = field("decision_entries");
+
+        // Serving regression gate #3: pressure must not break anything.
+        assert_eq!(
+            (ok, errors),
+            (total, 0),
+            "churn phase: {ok} ok / {errors} errors"
+        );
+        assert!(
+            evictions > 0,
+            "the churn stream itself must overflow the cap and evict \
+             (store-time enforcement, not just the set_limits sweep)"
+        );
+        assert!(
+            entries <= CHURN_CAP,
+            "churn left {entries} decision entries, cap {CHURN_CAP}"
+        );
+        // 96 hot revisits minus the 8 first touches must all hit: the
+        // recency-first policy may only shed the cold stream.
+        let expected_hot_hits = (CHURN_COLD - CHURN_HOT) as u64;
+        assert!(
+            hits >= expected_hot_hits,
+            "churn hit {hits} of {expected_hot_hits} expected hot revisits \
+             (misses {misses}) — eviction is shedding the hot set"
+        );
+
+        let hit_rate_pct = 100 * hits / (hits + misses).max(1);
+        let rps = (total as f64 / seconds.max(1e-9)) as u64;
+        report_shape(
+            "E14_serve",
+            CHURN_CAP as usize,
+            &[
+                ("phase", "churn".to_string()),
+                ("requests", total.to_string()),
+                ("ok", ok.to_string()),
+                ("hits", hits.to_string()),
+                ("misses", misses.to_string()),
+                ("evictions", evictions.to_string()),
+                ("entries", entries.to_string()),
+                ("rps", rps.to_string()),
+            ],
+        );
+        // Lift the cap again so the timing section below re-warms freely.
+        let response = stats_client
+            .request(&limits(None))
+            .expect("uncap the cache");
+        assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+
+        server::json::obj(vec![
+            ("group", Value::str("serve")),
+            ("kind", Value::str("eviction_churn")),
+            ("clients", Value::num(1.0)),
+            ("phase", Value::str("churn")),
+            ("requests", Value::num(total as f64)),
+            ("ok", Value::num(ok as f64)),
+            ("errors", Value::num(errors as f64)),
+            ("cap", Value::num(CHURN_CAP as f64)),
+            ("hits", Value::num(hits as f64)),
+            ("misses", Value::num(misses as f64)),
+            ("evictions", Value::num(evictions as f64)),
+            ("entries", Value::num(entries as f64)),
+            ("hit_rate_pct", Value::num(hit_rate_pct as f64)),
+            ("rps", Value::num(rps as f64)),
+        ])
+        .render()
+    };
+
     // Wall-clock rows via the harness: one warm round-trip, and one warm
     // 8-request batch (amortising the framing).
     let mut group = c.benchmark_group("serve");
@@ -232,7 +391,7 @@ fn bench_serve(c: &mut Criterion) {
         // Rows go through the server's own JSON writer — no hand-escaped
         // format strings.  `write_json_rows` wants one rendered object per
         // row, and `Value::render` is single-line by construction.
-        let json_rows: Vec<String> = rows
+        let mut json_rows: Vec<String> = rows
             .iter()
             .map(|r| {
                 server::json::obj(vec![
@@ -253,6 +412,7 @@ fn bench_serve(c: &mut Criterion) {
                 .render()
             })
             .collect();
+        json_rows.push(churn_row);
         bench::write_json_rows(&path, &json_rows).expect("writing serve snapshot");
         println!("[snapshot] wrote {}", path.to_string_lossy());
     }

@@ -104,6 +104,12 @@ pub struct DecisionOptions {
     /// errors before any cache interaction or leaves the unfolding (and
     /// hence every verdict) unchanged.
     pub max_unfold: usize,
+    /// When set, install these per-segment capacity limits on the consulted
+    /// cache before deciding (see [`crate::cache::CacheLimits`]).  Like
+    /// `max_unfold`, this is **not** part of the cache key: limits govern
+    /// what the cache remembers, never what a decision answers — the
+    /// invariant `tests/cache_eviction_differential.rs` locks.
+    pub cache_limits: Option<crate::cache::CacheLimits>,
 }
 
 impl Default for DecisionOptions {
@@ -114,6 +120,7 @@ impl Default for DecisionOptions {
             max_pairs: None,
             use_cache: true,
             max_unfold: usize::MAX,
+            cache_limits: None,
         }
     }
 }
@@ -180,6 +187,29 @@ pub fn datalog_contained_in_ucq_with(
     ucq: &Ucq,
     options: DecisionOptions,
 ) -> Result<ContainmentResult, DecisionError> {
+    datalog_contained_in_ucq_in(
+        crate::cache::DecisionCache::global(),
+        program,
+        goal,
+        ucq,
+        options,
+    )
+}
+
+/// Decide `Π(goal) ⊆ Θ` against an explicit [`crate::cache::DecisionCache`]
+/// instead of the process-wide one.
+///
+/// This is how suites that must not share state across tests (the eviction
+/// differential, the snapshot property tests) run the cached engine on a
+/// private cache; `options.use_cache = false` ignores `cache` entirely and
+/// runs the uncached reference path.
+pub fn datalog_contained_in_ucq_in(
+    cache: &crate::cache::DecisionCache,
+    program: &Program,
+    goal: Pred,
+    ucq: &Ucq,
+    options: DecisionOptions,
+) -> Result<ContainmentResult, DecisionError> {
     if !program.predicates().contains(&goal) {
         return Err(DecisionError::UnknownGoal(goal));
     }
@@ -187,7 +217,9 @@ pub fn datalog_contained_in_ucq_with(
         return Err(DecisionError::InconsistentUcq);
     }
     if options.use_cache {
-        let cache = crate::cache::DecisionCache::global();
+        if let Some(limits) = options.cache_limits {
+            cache.set_limits(limits);
+        }
         let key = crate::cache::DecisionKey::new(program, goal, ucq, options);
         if let Some(result) = cache.lookup_decision(&key) {
             return Ok(result);

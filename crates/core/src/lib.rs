@@ -58,10 +58,11 @@ pub mod optimize;
 pub mod proof_tree;
 pub mod properties;
 pub mod ptrees_automaton;
+pub mod snapshot;
 pub mod unfold;
 pub mod unify;
 
-pub use cache::{CacheSizes, CacheStats, DecisionCache, ProgramKey};
+pub use cache::{CacheLimits, CacheSizes, CacheStats, DecisionCache, ProgramKey};
 pub use containment::{
     datalog_contained_in_cq, datalog_contained_in_ucq, ContainmentResult, Counterexample,
     DecisionOptions,
@@ -74,4 +75,5 @@ pub use equivalence::{
     EquivalenceVerdict,
 };
 pub use optimize::{eliminate_recursion, optimize, OptimizeOptions, OptimizeReport};
+pub use snapshot::{SnapshotError, SNAPSHOT_VERSION};
 pub use unfold::{expansions_up_to_depth, expansions_up_to_depth_limited, unfold_nonrecursive};

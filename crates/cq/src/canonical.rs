@@ -51,6 +51,20 @@ impl CqKey {
     pub fn as_query(&self) -> &ConjunctiveQuery {
         &self.0
     }
+
+    /// Wrap a query that is **already in canonical form** (i.e. one
+    /// obtained from [`CqKey::as_query`]) without re-canonicalising.
+    ///
+    /// This exists for the decision-cache snapshot decoder: persisted keys
+    /// store their canonical form verbatim, and `canonicalize_names` is not
+    /// idempotent (its existential renaming follows body order, which its
+    /// final sort then changes), so re-canonicalising a stored form could
+    /// produce a *different* key and silently orphan the entry.  Callers
+    /// other than a decoder of previously-persisted keys should use
+    /// [`CqKey::of`].
+    pub fn from_canonical(query: ConjunctiveQuery) -> CqKey {
+        CqKey(query)
+    }
 }
 
 /// A structural cache key for a union of conjunctive queries: the sorted
@@ -72,6 +86,14 @@ impl UcqKey {
     /// The disjunct keys, sorted.
     pub fn disjuncts(&self) -> &[CqKey] {
         &self.disjuncts
+    }
+
+    /// Rebuild a key from disjunct keys (sorted here, so any order is
+    /// accepted) — the decoder-side counterpart of
+    /// [`UcqKey::disjuncts`], used by the decision-cache snapshot format.
+    pub fn from_keys(mut disjuncts: Vec<CqKey>) -> UcqKey {
+        disjuncts.sort();
+        UcqKey { disjuncts }
     }
 }
 

@@ -1,0 +1,263 @@
+//! Execution of the cache-admin verbs: `clear_cache`, `cache_limits`,
+//! `save_cache`, `load_cache`.
+//!
+//! These run **on the connection thread**, never on the worker pool, for
+//! the same reason `stats` does: an operator managing an overloaded server
+//! (shrinking the cache, persisting it before a restart) must not queue
+//! behind the very decisions that are overloading it.  All four verbs are
+//! cheap relative to a decision — `save_cache`/`load_cache` do file I/O,
+//! but only on the one connection issuing them.
+//!
+//! Snapshot files use the versioned format of
+//! [`nonrec_equivalence::snapshot`].  Persistence is **opt-in and
+//! confined**: without `--cache-file`, `save_cache`/`load_cache` are
+//! refused outright; with it, a path-less request uses the configured
+//! file, and a request-supplied `path` must be a bare file name, resolved
+//! **next to** the configured file.  A socket client therefore can only
+//! ever touch snapshot files inside the directory the operator designated
+//! — never arbitrary filesystem paths (the wire protocol would otherwise
+//! be a file-write/read primitive running as the server user).
+
+use std::path::{Component, Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nonrec_equivalence::cache::{CacheSizes, DecisionCache};
+
+use crate::json::{obj, Value};
+use crate::protocol::{Command, WireError};
+
+/// Admin-verb configuration: the default snapshot path (from
+/// `--cache-file`), used when a `save_cache`/`load_cache` request names no
+/// path of its own.
+#[derive(Clone, Debug, Default)]
+pub struct AdminContext {
+    /// Default snapshot path; `None` means path-less save/load requests
+    /// are answered `bad_request`.
+    pub cache_file: Option<PathBuf>,
+}
+
+fn sizes_json(sizes: CacheSizes) -> Value {
+    obj(vec![
+        ("entries", Value::num(sizes.total() as f64)),
+        ("decisions", Value::num(sizes.decisions as f64)),
+        ("cq_pairs", Value::num(sizes.cq_pairs as f64)),
+        ("cq_in_program", Value::num(sizes.cq_in_program as f64)),
+    ])
+}
+
+/// Resolve the target of a `save_cache`/`load_cache` request.  Persistence
+/// requires `--cache-file`; a request-supplied `path` must be a bare file
+/// name (one normal component — no directories, no `..`, not absolute) and
+/// resolves into the configured file's directory.
+fn resolve_path(requested: &Option<String>, context: &AdminContext) -> Result<PathBuf, WireError> {
+    let default = context.cache_file.as_deref().ok_or_else(|| {
+        WireError::bad_request(
+            "snapshot persistence is disabled: the server was started without --cache-file",
+        )
+    })?;
+    match requested {
+        None => Ok(default.to_path_buf()),
+        Some(name) => {
+            let mut components = Path::new(name).components();
+            let bare = matches!(
+                (components.next(), components.next()),
+                (Some(Component::Normal(_)), None)
+            );
+            if !bare {
+                return Err(WireError::bad_request(format!(
+                    "`path` must be a bare file name (resolved next to the configured \
+                     --cache-file), not `{name}`"
+                )));
+            }
+            Ok(default.parent().unwrap_or(Path::new(".")).join(name))
+        }
+    }
+}
+
+fn save_cache(cache: &DecisionCache, path: &Path) -> Result<Value, WireError> {
+    let (bytes, saved) = cache.snapshot();
+    // Write-then-rename so a crash mid-write cannot leave a half snapshot
+    // under the real name (the checksum would catch it, but a warm start
+    // should not be lost to a torn write either).  The temporary name is
+    // unique per process *and* per call: concurrent saves to the same
+    // target must not interleave writes into one shared `.tmp` file, or
+    // the rename would publish exactly the torn snapshot the scheme
+    // exists to prevent (last complete rename wins instead).
+    static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+    let tmp = path.with_file_name(format!(
+        "{}.{}.{}.tmp",
+        path.file_name().unwrap_or_default().to_string_lossy(),
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+    ));
+    std::fs::write(&tmp, &bytes)
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .map_err(|e| WireError::new("io_error", format!("writing {}: {e}", path.display())))?;
+    Ok(obj(vec![
+        ("path", Value::str(path.display().to_string())),
+        ("bytes", Value::num(bytes.len() as f64)),
+        // The counts of what the snapshot *contains* — on a live cache,
+        // `cache.sizes()` could already disagree with the written file.
+        ("saved", sizes_json(saved)),
+    ]))
+}
+
+fn load_cache(cache: &DecisionCache, path: &Path) -> Result<Value, WireError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| WireError::new("io_error", format!("reading {}: {e}", path.display())))?;
+    let added = cache
+        .load_snapshot_bytes(&bytes)
+        .map_err(|e| WireError::new(e.code(), format!("loading {}: {e}", path.display())))?;
+    Ok(obj(vec![
+        ("path", Value::str(path.display().to_string())),
+        ("loaded", sizes_json(added)),
+        ("entries", Value::num(cache.len() as f64)),
+    ]))
+}
+
+/// Execute an admin command against the shared cache, producing the
+/// `result` payload.  Returns `None` for non-admin commands, so the caller
+/// can fall through to the pool.
+pub fn execute_admin(
+    command: &Command,
+    context: &AdminContext,
+) -> Option<Result<Value, WireError>> {
+    let cache = DecisionCache::global();
+    Some(match command {
+        Command::ClearCache => {
+            let dropped = cache.clear();
+            Ok(obj(vec![("dropped", sizes_json(dropped))]))
+        }
+        Command::CacheLimits { set } => {
+            if let Some(limits) = set {
+                cache.set_limits(*limits);
+            }
+            Ok(obj(vec![
+                ("limits", crate::protocol::cache_limits_json(cache.limits())),
+                ("sizes", sizes_json(cache.sizes())),
+                ("evictions", Value::num(cache.stats().evictions() as f64)),
+            ]))
+        }
+        Command::SaveCache { path } => {
+            resolve_path(path, context).and_then(|path| save_cache(cache, &path))
+        }
+        Command::LoadCache { path } => {
+            resolve_path(path, context).and_then(|path| load_cache(cache, &path))
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("nonrec-admin-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn persistence_without_cache_file_is_refused() {
+        for command in [
+            Command::SaveCache { path: None },
+            Command::SaveCache {
+                path: Some("snap.nrdc".into()),
+            },
+            Command::LoadCache { path: None },
+        ] {
+            let err = execute_admin(&command, &AdminContext::default())
+                .unwrap()
+                .unwrap_err();
+            assert_eq!(err.code, "bad_request");
+            assert!(err.message.contains("--cache-file"));
+        }
+    }
+
+    #[test]
+    fn request_paths_are_confined_to_the_cache_file_directory() {
+        let context = AdminContext {
+            cache_file: Some(tmp_path("confined.nrdc")),
+        };
+        for escape in ["../escape.nrdc", "/etc/passwd", "a/b.nrdc", ".."] {
+            let err = execute_admin(
+                &Command::SaveCache {
+                    path: Some(escape.to_string()),
+                },
+                &context,
+            )
+            .unwrap()
+            .unwrap_err();
+            assert_eq!(err.code, "bad_request", "for {escape}");
+            assert!(err.message.contains("bare file name"), "for {escape}");
+        }
+        // A bare name lands next to the configured file.
+        let name = format!("confined-sibling-{}.nrdc", std::process::id());
+        let sibling = std::env::temp_dir().join(&name);
+        let _ = std::fs::remove_file(&sibling);
+        let result = execute_admin(
+            &Command::SaveCache {
+                path: Some(name.clone()),
+            },
+            &context,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(
+            result.get("path").unwrap().as_str(),
+            Some(sibling.display().to_string().as_str())
+        );
+        assert!(sibling.exists());
+        let _ = std::fs::remove_file(&sibling);
+    }
+
+    #[test]
+    fn load_failures_carry_stable_codes() {
+        let missing = tmp_path("missing.nrdc");
+        let _ = std::fs::remove_file(&missing);
+        let context = AdminContext {
+            cache_file: Some(missing),
+        };
+        let err = execute_admin(&Command::LoadCache { path: None }, &context)
+            .unwrap()
+            .unwrap_err();
+        assert_eq!(err.code, "io_error");
+
+        let garbage = tmp_path("garbage.nrdc");
+        std::fs::write(&garbage, b"not a snapshot").unwrap();
+        let context = AdminContext {
+            cache_file: Some(garbage.clone()),
+        };
+        let err = execute_admin(&Command::LoadCache { path: None }, &context)
+            .unwrap()
+            .unwrap_err();
+        assert_eq!(err.code, "snapshot_error");
+        let _ = std::fs::remove_file(&garbage);
+    }
+
+    #[test]
+    fn save_uses_the_configured_default_path() {
+        let path = tmp_path("default.nrdc");
+        let context = AdminContext {
+            cache_file: Some(path.clone()),
+        };
+        let result = execute_admin(&Command::SaveCache { path: None }, &context)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            result.get("path").unwrap().as_str(),
+            Some(path.display().to_string().as_str())
+        );
+        assert!(path.exists());
+        // And loads back through the same default.
+        let loaded = execute_admin(&Command::LoadCache { path: None }, &context)
+            .unwrap()
+            .unwrap();
+        assert!(loaded.get("loaded").is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn non_admin_commands_fall_through() {
+        assert!(execute_admin(&Command::Stats, &AdminContext::default()).is_none());
+    }
+}

@@ -276,7 +276,15 @@ pub fn execute(command: &Command) -> Result<Value, WireError> {
                 ),
             ]))
         }
-        Command::Batch { .. } | Command::Stats => Err(WireError::new(
+        // Batches are unrolled by the pool; `stats` and the admin verbs are
+        // answered on the connection thread (see `crate::server` and
+        // `crate::admin`) — none of them may reach the engine.
+        Command::Batch { .. }
+        | Command::Stats
+        | Command::ClearCache
+        | Command::CacheLimits { .. }
+        | Command::SaveCache { .. }
+        | Command::LoadCache { .. } => Err(WireError::new(
             "internal",
             format!("`{}` is not executed by the engine", command.verb()),
         )),

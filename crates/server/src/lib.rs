@@ -14,6 +14,8 @@
 //!   offline; no external crates);
 //! * [`protocol`] — request/response shapes, stable error codes, builders;
 //! * [`engine`] — executes single commands against the decision layer;
+//! * [`admin`] — the cache-admin verbs (`clear_cache`, `cache_limits`,
+//!   `save_cache`, `load_cache`), answered off-pool;
 //! * [`stats`] — request counters and per-verb latency histograms;
 //! * [`pool`] — bounded worker pool: backpressure (`busy`) and
 //!   per-request deadlines;
@@ -25,6 +27,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod admin;
 pub mod client;
 pub mod engine;
 pub mod json;

@@ -12,12 +12,17 @@
 //! ```
 //!
 //! Verbs: `containment`, `equivalence`, `bounded`, `optimize`, `batch`,
-//! `stats`.  Error `code`s are stable strings: transport-level
-//! (`invalid_json`, `bad_request`, `busy`, `deadline_exceeded`), parse-level
-//! (`parse_error`, `mixed_arity`, `empty_query`), and decision-level (the
+//! `stats`, plus the admin family `clear_cache`, `cache_limits`,
+//! `save_cache`, `load_cache` (executed off-pool, see [`crate::admin`]).
+//! Error `code`s are stable strings: transport-level (`invalid_json`,
+//! `bad_request`, `busy`, `deadline_exceeded`,
+//! `connection_limit_exceeded`), parse-level (`parse_error`,
+//! `mixed_arity`, `empty_query`), decision-level (the
 //! [`nonrec_equivalence`] error codes such as `unknown_goal`,
-//! `recursive_candidate`, `resource_limit`).  The README documents every
-//! field of every verb.
+//! `recursive_candidate`, `resource_limit`), and admin-level (`io_error`,
+//! `snapshot_error`).  The README documents every field of every verb.
+
+use nonrec_equivalence::cache::CacheLimits;
 
 use crate::json::{obj, Value};
 
@@ -143,6 +148,28 @@ pub enum Command {
     },
     /// Report cache statistics and per-verb latency histograms.
     Stats,
+    /// Drop every entry of the shared decision cache, reporting how many
+    /// were held per segment.  Admin verb — answered on the connection
+    /// thread, never queued.
+    ClearCache,
+    /// Read (no `set` field) or replace (`set` object) the cache's
+    /// per-segment capacity limits.  Setting enforces immediately.
+    CacheLimits {
+        /// The limits to install; `None` is a pure read.  In a `set`
+        /// object, an absent/`null` segment cap means unbounded.
+        set: Option<CacheLimits>,
+    },
+    /// Persist the shared cache to a snapshot file on the **server's**
+    /// filesystem (`path`, or the server's `--cache-file` default).
+    SaveCache {
+        /// Target path; `None` falls back to the configured default.
+        path: Option<String>,
+    },
+    /// Merge a snapshot file into the live cache (warm start on demand).
+    LoadCache {
+        /// Source path; `None` falls back to the configured default.
+        path: Option<String>,
+    },
 }
 
 impl Command {
@@ -155,6 +182,10 @@ impl Command {
             Command::Optimize { .. } => "optimize",
             Command::Batch { .. } => "batch",
             Command::Stats => "stats",
+            Command::ClearCache => "clear_cache",
+            Command::CacheLimits { .. } => "cache_limits",
+            Command::SaveCache { .. } => "save_cache",
+            Command::LoadCache { .. } => "load_cache",
         }
     }
 
@@ -166,8 +197,25 @@ impl Command {
             | Command::Bounded { options, .. }
             | Command::Optimize { options, .. } => options.timeout_ms,
             Command::Batch { timeout_ms, .. } => *timeout_ms,
-            Command::Stats => None,
+            Command::Stats
+            | Command::ClearCache
+            | Command::CacheLimits { .. }
+            | Command::SaveCache { .. }
+            | Command::LoadCache { .. } => None,
         }
+    }
+
+    /// True for the admin family (`clear_cache`, `cache_limits`,
+    /// `save_cache`, `load_cache`): answered on the connection thread,
+    /// rejected inside batches.
+    pub fn is_admin(&self) -> bool {
+        matches!(
+            self,
+            Command::ClearCache
+                | Command::CacheLimits { .. }
+                | Command::SaveCache { .. }
+                | Command::LoadCache { .. }
+        )
     }
 }
 
@@ -213,6 +261,31 @@ fn optional_u64(value: &Value, key: &str) -> Result<Option<u64>, WireError> {
             WireError::bad_request(format!("field `{key}` must be a non-negative integer"))
         }),
     }
+}
+
+fn optional_str(value: &Value, key: &str) -> Result<Option<String>, WireError> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| WireError::bad_request(format!("field `{key}` must be a string"))),
+    }
+}
+
+/// Parse the `set` object of a `cache_limits` request: each segment cap is
+/// an optional non-negative integer, absent/`null` meaning unbounded.
+fn parse_cache_limits(value: &Value) -> Result<Option<CacheLimits>, WireError> {
+    let set = match value.get("set") {
+        None | Some(Value::Null) => return Ok(None),
+        Some(v @ Value::Obj(_)) => v,
+        Some(_) => return Err(WireError::bad_request("field `set` must be an object")),
+    };
+    Ok(Some(CacheLimits {
+        max_decisions: optional_u64(set, "max_decisions")?.map(|n| n as usize),
+        max_cq_pairs: optional_u64(set, "max_cq_pairs")?.map(|n| n as usize),
+        max_cq_in_program: optional_u64(set, "max_cq_in_program")?.map(|n| n as usize),
+    }))
 }
 
 fn parse_options(value: &Value) -> Result<RequestOptions, WireError> {
@@ -282,12 +355,32 @@ pub fn parse_request(value: &Value, allow_batch: bool) -> Result<Request, WireEr
                 .iter()
                 .map(|item| parse_request(item, false))
                 .collect::<Result<Vec<_>, _>>()?;
+            if let Some(admin) = requests.iter().find(|r| r.command.is_admin()) {
+                // Admin verbs are answered on the connection thread; inside
+                // a batch they would run on a worker, dodging that
+                // guarantee (and `clear_cache` mid-batch would make the
+                // batch's own cache counters unreadable).
+                return Err(WireError::bad_request(format!(
+                    "admin verb `{}` cannot appear inside a batch",
+                    admin.command.verb()
+                )));
+            }
             Command::Batch {
                 requests,
                 timeout_ms: optional_u64(value, "timeout_ms")?,
             }
         }
         "stats" => Command::Stats,
+        "clear_cache" => Command::ClearCache,
+        "cache_limits" => Command::CacheLimits {
+            set: parse_cache_limits(value)?,
+        },
+        "save_cache" => Command::SaveCache {
+            path: optional_str(value, "path")?,
+        },
+        "load_cache" => Command::LoadCache {
+            path: optional_str(value, "path")?,
+        },
         other => {
             return Err(WireError::bad_request(format!("unknown op `{other}`")));
         }
@@ -378,6 +471,52 @@ pub fn stats_request() -> Value {
     obj(vec![("op", Value::str("stats"))])
 }
 
+/// Build a `clear_cache` request value.
+pub fn clear_cache_request() -> Value {
+    obj(vec![("op", Value::str("clear_cache"))])
+}
+
+/// The one wire rendering of [`CacheLimits`]: a three-field object with
+/// `null` for unbounded caps.  Shared by the `cache_limits` request
+/// builder, the `cache_limits` response, and the `stats` verb's `limits`
+/// block, so the shape cannot drift between the three surfaces.
+pub fn cache_limits_json(limits: CacheLimits) -> Value {
+    let cap = |c: Option<usize>| c.map_or(Value::Null, |n| Value::num(n as f64));
+    obj(vec![
+        ("max_decisions", cap(limits.max_decisions)),
+        ("max_cq_pairs", cap(limits.max_cq_pairs)),
+        ("max_cq_in_program", cap(limits.max_cq_in_program)),
+    ])
+}
+
+/// Build a `cache_limits` request value: a pure read with `set = None`, an
+/// install-and-enforce with `set = Some(limits)`.
+pub fn cache_limits_request(set: Option<CacheLimits>) -> Value {
+    let mut fields = vec![("op", Value::str("cache_limits"))];
+    if let Some(limits) = set {
+        fields.push(("set", cache_limits_json(limits)));
+    }
+    obj(fields)
+}
+
+/// Build a `save_cache` request value (`None`: the server's default path).
+pub fn save_cache_request(path: Option<&str>) -> Value {
+    let mut fields = vec![("op", Value::str("save_cache"))];
+    if let Some(path) = path {
+        fields.push(("path", Value::str(path)));
+    }
+    obj(fields)
+}
+
+/// Build a `load_cache` request value (`None`: the server's default path).
+pub fn load_cache_request(path: Option<&str>) -> Value {
+    let mut fields = vec![("op", Value::str("load_cache"))];
+    if let Some(path) = path {
+        fields.push(("path", Value::str(path)));
+    }
+    obj(fields)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -454,6 +593,62 @@ mod tests {
             parse_request(&timed, true).unwrap().command.timeout_ms(),
             Some(250)
         );
+    }
+
+    #[test]
+    fn admin_verbs_parse_and_refuse_batching() {
+        let req = parse_request(&parse(r#"{"op":"clear_cache"}"#).unwrap(), true).unwrap();
+        assert!(matches!(req.command, Command::ClearCache));
+        assert!(req.command.is_admin());
+        assert_eq!(req.command.timeout_ms(), None);
+
+        let get = parse_request(&parse(r#"{"op":"cache_limits"}"#).unwrap(), true).unwrap();
+        assert!(matches!(get.command, Command::CacheLimits { set: None }));
+        let set = parse_request(
+            &parse(r#"{"op":"cache_limits","set":{"max_decisions":64,"max_cq_pairs":null}}"#)
+                .unwrap(),
+            true,
+        )
+        .unwrap();
+        match set.command {
+            Command::CacheLimits { set: Some(limits) } => {
+                assert_eq!(limits.max_decisions, Some(64));
+                assert_eq!(limits.max_cq_pairs, None);
+                assert_eq!(limits.max_cq_in_program, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // The builder round-trips through the parser.
+        let built = cache_limits_request(Some(CacheLimits {
+            max_decisions: Some(8),
+            max_cq_pairs: Some(9),
+            max_cq_in_program: None,
+        }));
+        match parse_request(&built, true).unwrap().command {
+            Command::CacheLimits { set: Some(limits) } => {
+                assert_eq!(limits.max_decisions, Some(8));
+                assert_eq!(limits.max_cq_pairs, Some(9));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+
+        let save = parse_request(&save_cache_request(Some("/tmp/x.nrdc")), true).unwrap();
+        assert!(matches!(save.command, Command::SaveCache { path: Some(p) } if p == "/tmp/x.nrdc"));
+        let load = parse_request(&load_cache_request(None), true).unwrap();
+        assert!(matches!(load.command, Command::LoadCache { path: None }));
+
+        // Admin verbs cannot hide inside a batch.
+        let batched = batch_request(vec![stats_request(), clear_cache_request()]);
+        let err = parse_request(&batched, true).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        assert!(err.message.contains("clear_cache"));
+        // Malformed `set` payloads are rejected.
+        let err = parse_request(
+            &parse(r#"{"op":"cache_limits","set":{"max_decisions":"lots"}}"#).unwrap(),
+            true,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, "bad_request");
     }
 
     #[test]

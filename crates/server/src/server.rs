@@ -19,25 +19,40 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use nonrec_equivalence::cache::DecisionCache;
+use nonrec_equivalence::cache::{CacheLimits, DecisionCache};
 
+use crate::admin::{execute_admin, AdminContext};
 use crate::json;
 use crate::pool::{Job, PoolConfig, WorkerPool};
 use crate::protocol::{error_response, ok_response, parse_request, request_id, Command, WireError};
 use crate::stats::ServerStats;
 
 /// Server configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Worker-pool sizing.
     pub pool: PoolConfig,
     /// Default per-request deadline; a request's `options.timeout_ms`
     /// overrides it.  `None`: requests never expire in the queue.
     pub default_deadline: Option<Duration>,
+    /// Most simultaneous connections the accept loop admits; one over the
+    /// limit is answered with a single `connection_limit_exceeded` line
+    /// and closed.  `None`: unlimited (the historical behaviour).
+    pub max_connections: Option<usize>,
+    /// Per-segment decision-cache caps installed at startup (and
+    /// changeable at runtime via the `cache_limits` admin verb).
+    /// `None`: leave the cache's current limits untouched.
+    pub cache_limits: Option<CacheLimits>,
+    /// Default snapshot path for the `save_cache`/`load_cache` admin verbs.
+    /// When the file exists at startup, the server **warm-starts** from it
+    /// (a corrupt or stale-version snapshot is logged and skipped — a bad
+    /// file must not keep the server down).
+    pub cache_file: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -45,6 +60,48 @@ impl Default for ServerConfig {
         ServerConfig {
             pool: PoolConfig::default(),
             default_deadline: Some(Duration::from_secs(30)),
+            max_connections: None,
+            cache_limits: None,
+            cache_file: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn admin_context(&self) -> AdminContext {
+        AdminContext {
+            cache_file: self.cache_file.clone(),
+        }
+    }
+
+    /// Apply the startup cache configuration: install limits, then warm the
+    /// cache from the configured snapshot file if one exists.  Called once
+    /// per server (TCP and stdio alike); failures warm-start nothing but
+    /// never prevent serving.
+    fn apply_cache_config(&self) {
+        let cache = DecisionCache::global();
+        if let Some(limits) = self.cache_limits {
+            cache.set_limits(limits);
+        }
+        let Some(path) = &self.cache_file else {
+            return;
+        };
+        if !path.exists() {
+            return;
+        }
+        match std::fs::read(path)
+            .map_err(|e| e.to_string())
+            .and_then(|bytes| cache.load_snapshot_bytes(&bytes).map_err(|e| e.to_string()))
+        {
+            Ok(added) => eprintln!(
+                "warm start: loaded {} entries from {}",
+                added.total(),
+                path.display()
+            ),
+            Err(e) => eprintln!(
+                "warning: cold start, snapshot {} not loaded: {e}",
+                path.display()
+            ),
         }
     }
 }
@@ -74,22 +131,66 @@ impl Server {
     /// Accept connections forever, one thread per connection, all feeding
     /// one worker pool.  Only returns on an accept error.
     pub fn run(self) -> std::io::Result<()> {
+        self.config.apply_cache_config();
         let pool = Arc::new(WorkerPool::new(self.config.pool, Arc::clone(&self.stats)));
+        let active = Arc::new(AtomicUsize::new(0));
         loop {
             let (stream, _peer) = self.listener.accept()?;
             // One-line responses must not sit in Nagle's buffer waiting for
             // a delayed ACK (a 40 ms floor per round-trip otherwise).
             stream.set_nodelay(true)?;
+            // Admission control: over the connection cap, answer one error
+            // line and close — the client sees *why* instead of hanging in
+            // an unbounded thread pile-up.
+            let admitted = active.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| match self
+                .config
+                .max_connections
+            {
+                Some(max) if n >= max => None,
+                _ => Some(n + 1),
+            });
+            if admitted.is_err() {
+                self.stats.record_conn_limit_rejected();
+                let mut response = error_response(
+                    &None,
+                    &WireError::new(
+                        "connection_limit_exceeded",
+                        format!(
+                            "server is at its connection limit of {}; retry later",
+                            self.config.max_connections.unwrap_or(0)
+                        ),
+                    ),
+                )
+                .render();
+                response.push('\n');
+                let mut stream = stream;
+                let _ = stream.write_all(response.as_bytes());
+                let _ = stream.flush();
+                continue;
+            }
             let pool = Arc::clone(&pool);
             let stats = Arc::clone(&self.stats);
-            let config = self.config;
+            let config = self.config.clone();
+            let guard = ConnGuard(Arc::clone(&active));
             std::thread::Builder::new()
                 .name("nonrec-conn".to_string())
                 .spawn(move || {
-                    let _ = handle_connection(stream, &pool, &stats, config);
+                    let _guard = guard;
+                    let _ = handle_connection(stream, &pool, &stats, &config);
                 })
                 .expect("spawn connection thread");
         }
+    }
+}
+
+/// Decrements the live-connection count when the connection thread ends —
+/// by any path, including an unwind — so the admission counter can never
+/// leak a slot.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -152,7 +253,7 @@ fn handle_connection(
     stream: TcpStream,
     pool: &WorkerPool,
     stats: &ServerStats,
-    config: ServerConfig,
+    config: &ServerConfig,
 ) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
@@ -184,6 +285,7 @@ fn handle_connection(
 /// `nonrec-serve`): same protocol, same pool, same shared cache; ends
 /// cleanly at EOF.
 pub fn serve_stdio(config: ServerConfig) -> std::io::Result<()> {
+    config.apply_cache_config();
     let stats = Arc::new(ServerStats::new());
     let pool = WorkerPool::new(config.pool, Arc::clone(&stats));
     let stdin = std::io::stdin();
@@ -205,7 +307,7 @@ pub fn serve_stdio(config: ServerConfig) -> std::io::Result<()> {
         if line.trim().is_empty() {
             continue;
         }
-        let mut response = process_line(&line, &pool, &stats, config);
+        let mut response = process_line(&line, &pool, &stats, &config);
         response.push('\n');
         let mut out = stdout.lock();
         out.write_all(response.as_bytes())?;
@@ -219,7 +321,7 @@ fn process_line(
     line: &str,
     pool: &WorkerPool,
     stats: &ServerStats,
-    config: ServerConfig,
+    config: &ServerConfig,
 ) -> String {
     stats.record_request();
     let value = match json::parse(line) {
@@ -245,6 +347,24 @@ fn process_line(
         let snapshot = stats.snapshot_json(DecisionCache::global());
         stats.record_completion("stats", start.elapsed().as_micros(), true);
         return ok_response(&request.id, "stats", snapshot).render();
+    }
+    // So do the admin verbs: an operator shrinking or persisting the cache
+    // must not queue behind the load they are managing.
+    if request.command.is_admin() {
+        let start = Instant::now();
+        let outcome = execute_admin(&request.command, &config.admin_context())
+            .expect("is_admin and execute_admin agree on the admin verb set");
+        let verb = request.command.verb();
+        return match outcome {
+            Ok(result) => {
+                stats.record_completion(verb, start.elapsed().as_micros(), true);
+                ok_response(&request.id, verb, result).render()
+            }
+            Err(error) => {
+                stats.record_completion(verb, start.elapsed().as_micros(), false);
+                error_response(&request.id, &error).render()
+            }
+        };
     }
     let deadline = request
         .command
@@ -292,6 +412,7 @@ mod tests {
                 queue_capacity: 8,
             },
             default_deadline: Some(Duration::from_secs(30)),
+            ..ServerConfig::default()
         };
         let pool = WorkerPool::new(config.pool, Arc::clone(&stats));
         (pool, stats, config)
@@ -301,10 +422,10 @@ mod tests {
     fn process_line_answers_the_full_matrix() {
         let (pool, stats, config) = test_setup();
         // Invalid JSON.
-        let response = process_line("{nope", &pool, &stats, config);
+        let response = process_line("{nope", &pool, &stats, &config);
         assert!(response.contains("\"invalid_json\""));
         // Bad request.
-        let response = process_line(r#"{"op":"zap","id":3}"#, &pool, &stats, config);
+        let response = process_line(r#"{"op":"zap","id":3}"#, &pool, &stats, &config);
         assert!(response.contains("\"bad_request\""));
         assert!(response.starts_with(r#"{"id":3"#));
         // A real decision through the pool.
@@ -312,7 +433,7 @@ mod tests {
             r#"{"op":"equivalence","id":"e","program":"p(X) :- e(X, X).","goal":"p","candidate":"p(X) :- e(X, X)."}"#,
             &pool,
             &stats,
-            config,
+            &config,
         );
         let value = json::parse(&response).unwrap();
         assert_eq!(value.get("ok").unwrap().as_bool(), Some(true));
@@ -326,7 +447,7 @@ mod tests {
             Some(true)
         );
         // Stats, answered inline.
-        let response = process_line(r#"{"op":"stats"}"#, &pool, &stats, config);
+        let response = process_line(r#"{"op":"stats"}"#, &pool, &stats, &config);
         let value = json::parse(&response).unwrap();
         let server = value.get("result").unwrap().get("server").unwrap();
         assert_eq!(server.get("requests").unwrap().as_u64(), Some(4));
@@ -335,7 +456,7 @@ mod tests {
             r#"{"op":"batch","requests":[{"op":"optimize","program":"p(X) :- e(X, X).","goal":"p"},{"op":"containment","program":"broken(","goal":"p","query":"q(X) :- e(X, X)."}]}"#,
             &pool,
             &stats,
-            config,
+            &config,
         );
         let value = json::parse(&response).unwrap();
         let results = value.get("result").unwrap().as_arr().unwrap();
@@ -377,8 +498,119 @@ mod tests {
         ));
     }
 
+    /// Serialises the unit tests that clear the process-global cache (or
+    /// assert on its cross-request state) against each other.  The test
+    /// binary runs tests on parallel threads of one process; without this,
+    /// `admin_verbs_answer_inline_and_report_drops`'s `clear_cache` could
+    /// fire between `tcp_round_trip_shares_one_cache`'s two requests,
+    /// forcing a recompute whose `micros` breaks its equality assertion.
+    fn global_cache_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn admin_verbs_answer_inline_and_report_drops() {
+        let _guard = global_cache_test_lock();
+        let (pool, stats, config) = test_setup();
+        // Warm one decision so the cache has something to drop.
+        let response = process_line(
+            r#"{"op":"equivalence","program":"a1(X) :- e(X, X).","goal":"a1","candidate":"a1(X) :- e(X, X)."}"#,
+            &pool,
+            &stats,
+            &config,
+        );
+        assert!(response.contains("\"ok\":true"));
+        let response = process_line(r#"{"op":"clear_cache","id":7}"#, &pool, &stats, &config);
+        let value = json::parse(&response).unwrap();
+        assert_eq!(value.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(value.get("verb").unwrap().as_str(), Some("clear_cache"));
+        let dropped = value.get("result").unwrap().get("dropped").unwrap();
+        assert!(
+            dropped.get("entries").unwrap().as_u64().unwrap() >= 1,
+            "clear_cache must report the entries it dropped"
+        );
+        // The `cache_limits` read works inline too.  No zero-occupancy
+        // assertion here: sibling unit tests in this binary store to the
+        // same global cache concurrently (the occupancy-after-clear claim
+        // is locked by `tests/server.rs`, which owns its whole process).
+        let response = process_line(r#"{"op":"cache_limits"}"#, &pool, &stats, &config);
+        let value = json::parse(&response).unwrap();
+        let result = value.get("result").unwrap();
+        assert!(result.get("sizes").unwrap().get("entries").is_some());
+        assert_eq!(
+            result.get("limits").unwrap().get("max_decisions"),
+            Some(&json::Value::Null)
+        );
+        // Admin verbs show up in the per-verb histograms like any other.
+        let response = process_line(r#"{"op":"stats"}"#, &pool, &stats, &config);
+        let value = json::parse(&response).unwrap();
+        let verb = value
+            .get("result")
+            .unwrap()
+            .get("verbs")
+            .unwrap()
+            .get("clear_cache")
+            .unwrap();
+        assert_eq!(verb.get("count").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn connection_limit_rejects_with_a_stable_code() {
+        let config = ServerConfig {
+            max_connections: Some(1),
+            ..ServerConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", config).unwrap();
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let _ = server.run();
+        });
+        let mut first = crate::client::Client::connect(addr).unwrap();
+        let response = first.request(&crate::protocol::stats_request()).unwrap();
+        assert_eq!(response.get("ok").unwrap().as_bool(), Some(true));
+        // The second simultaneous connection is turned away with one line.
+        let mut second = crate::client::Client::connect(addr).unwrap();
+        let line = second.request_line(r#"{"op":"stats"}"#);
+        // The error line is pushed before our request even arrives, so the
+        // read may race the write of our request; both orders end with the
+        // rejection line being the only thing ever received.
+        let rejection = line.expect("the rejected connection still gets one response line");
+        assert!(
+            rejection.contains("connection_limit_exceeded"),
+            "got: {rejection}"
+        );
+        let over_limit = first.request(&crate::protocol::stats_request()).unwrap();
+        assert_eq!(
+            over_limit
+                .get("result")
+                .unwrap()
+                .get("server")
+                .unwrap()
+                .get("conn_limit_rejected")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        // Freeing the slot readmits new connections.
+        drop(first);
+        let mut third = loop {
+            let mut candidate = crate::client::Client::connect(addr).unwrap();
+            match candidate.request(&crate::protocol::stats_request()) {
+                Ok(response) if response.get("ok").and_then(json::Value::as_bool) == Some(true) => {
+                    break candidate;
+                }
+                _ => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        };
+        let response = third.request(&crate::protocol::stats_request()).unwrap();
+        assert_eq!(response.get("ok").unwrap().as_bool(), Some(true));
+    }
+
     #[test]
     fn tcp_round_trip_shares_one_cache() {
+        let _guard = global_cache_test_lock();
         let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
         let addr = server.local_addr().unwrap();
         std::thread::spawn(move || {

@@ -94,13 +94,17 @@ impl LatencyHistogram {
 }
 
 /// The verbs with their own histogram, in render order.
-pub const VERBS: [&str; 6] = [
+pub const VERBS: [&str; 10] = [
     "containment",
     "equivalence",
     "bounded",
     "optimize",
     "batch",
     "stats",
+    "clear_cache",
+    "cache_limits",
+    "save_cache",
+    "load_cache",
 ];
 
 #[derive(Debug, Default)]
@@ -111,7 +115,8 @@ struct Inner {
     busy_rejected: u64,
     deadline_expired: u64,
     invalid_json: u64,
-    per_verb: [LatencyHistogram; 6],
+    conn_limit_rejected: u64,
+    per_verb: [LatencyHistogram; 10],
 }
 
 /// Shared counters and histograms; one instance per server, updated by the
@@ -153,6 +158,22 @@ impl ServerStats {
         inner.responses_err += 1;
     }
 
+    /// Count a connection turned away at the accept loop (`--max-conns`
+    /// reached).  The rejected connection got exactly one
+    /// `connection_limit_exceeded` error line.  Deliberately **not**
+    /// counted in `responses_err`: no request line was ever read, so
+    /// folding rejections into the response counters would let
+    /// `responses_ok + responses_err` exceed `requests` under a
+    /// connection storm and wreck any error-rate computed from them.
+    pub fn record_conn_limit_rejected(&self) {
+        self.lock().conn_limit_rejected += 1;
+    }
+
+    /// Total connections rejected at the accept loop so far.
+    pub fn conn_limit_rejected(&self) -> u64 {
+        self.lock().conn_limit_rejected
+    }
+
     /// Record a completed execution of `verb` (success or error response),
     /// with its service latency.
     pub fn record_completion(&self, verb: &str, micros: u128, ok: bool) {
@@ -183,6 +204,7 @@ impl ServerStats {
     pub fn snapshot_json(&self, cache: &DecisionCache) -> Value {
         let cache_stats = cache.stats();
         let sizes = cache.sizes();
+        let limits = crate::protocol::cache_limits_json(cache.limits());
         let inner = self.lock();
         let verbs = VERBS
             .iter()
@@ -202,6 +224,10 @@ impl ServerStats {
                         Value::num(inner.deadline_expired as f64),
                     ),
                     ("invalid_json", Value::num(inner.invalid_json as f64)),
+                    (
+                        "conn_limit_rejected",
+                        Value::num(inner.conn_limit_rejected as f64),
+                    ),
                 ]),
             ),
             (
@@ -221,6 +247,20 @@ impl ServerStats {
                         "cq_in_program_entries",
                         Value::num(sizes.cq_in_program as f64),
                     ),
+                    ("evictions", Value::num(cache_stats.evictions() as f64)),
+                    (
+                        "evicted_decisions",
+                        Value::num(cache_stats.evicted_decisions as f64),
+                    ),
+                    (
+                        "evicted_cq_pairs",
+                        Value::num(cache_stats.evicted_cq_pairs as f64),
+                    ),
+                    (
+                        "evicted_cq_in_program",
+                        Value::num(cache_stats.evicted_cq_in_program as f64),
+                    ),
+                    ("limits", limits),
                 ]),
             ),
             ("verbs", Value::Obj(verbs)),

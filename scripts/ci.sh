@@ -12,6 +12,11 @@
 #     fmt          cargo fmt --all --check
 #     build        cargo build --release --all-targets
 #     test         cargo test -q
+#     soak         NONREC_SOAK_FAST=1 cargo test --release --test server_soak
+#                  (bounded-cache server under 4-client eviction churn:
+#                  monotone counters, capped occupancy, no busy storm;
+#                  release so it reuses the build stage's artifacts and
+#                  finishes in seconds)
 #     clippy       cargo clippy --all-targets -- -D warnings
 #     examples     run all examples/ binaries (a runtime panic must not ship)
 #     bench-gates  run the gating benches (NONREC_BENCH_FAST=1), write fresh
@@ -26,7 +31,7 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES=(fmt build test clippy examples bench-gates)
+ALL_STAGES=(fmt build test soak clippy examples bench-gates)
 STAGES=("${@:-${ALL_STAGES[@]}}")
 
 SUMMARY_NAMES=()
@@ -62,6 +67,10 @@ stage_build() {
 
 stage_test() {
     cargo test -q
+}
+
+stage_soak() {
+    NONREC_SOAK_FAST=1 cargo test -q --release --test server_soak
 }
 
 stage_clippy() {
@@ -106,6 +115,7 @@ for stage in "${STAGES[@]}"; do
         fmt) run_stage fmt stage_fmt ;;
         build) run_stage build stage_build ;;
         test) run_stage test stage_test ;;
+        soak) run_stage soak stage_soak ;;
         clippy) run_stage clippy stage_clippy ;;
         examples) run_stage examples stage_examples ;;
         bench-gates) run_stage bench-gates stage_bench_gates ;;

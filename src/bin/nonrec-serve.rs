@@ -1,9 +1,10 @@
 //! `nonrec-serve` — the decision procedures as a long-running server.
 //!
 //! Accepts line-delimited JSON requests (`containment`, `equivalence`,
-//! `bounded`, `optimize`, `batch`, `stats`) over TCP or stdio and answers
-//! them through one process-wide decision cache.  See the README for the
-//! wire protocol.
+//! `bounded`, `optimize`, `batch`, `stats`, and the admin verbs
+//! `clear_cache`, `cache_limits`, `save_cache`, `load_cache`) over TCP or
+//! stdio and answers them through one process-wide decision cache.  See
+//! the README for the wire protocol.
 //!
 //! ```text
 //! USAGE:
@@ -17,6 +18,17 @@
 //!     --queue <N>           queue slots before `busy` rejection (default 64)
 //!     --deadline-ms <N>     default per-request deadline (default 30000;
 //!                           0 disables)
+//!     --max-conns <N>       simultaneous connection limit (default 0 =
+//!                           unlimited; one over the limit is answered
+//!                           `connection_limit_exceeded` and closed)
+//!     --cache-max-decisions <N>
+//!     --cache-max-cq-pairs <N>
+//!     --cache-max-canonical <N>
+//!                           per-segment decision-cache caps (default 0 =
+//!                           unbounded); overflow evicts cost-aware LRU
+//!     --cache-file <PATH>   snapshot path: warm-start from it when it
+//!                           exists, and the default for the `save_cache`
+//!                           / `load_cache` admin verbs
 //!
 //! EXIT CODES:
 //!     0  clean shutdown (stdio mode reached EOF)
@@ -26,6 +38,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
+use nonrec_equivalence::cache::CacheLimits;
 use server::{serve_stdio, PoolConfig, Server, ServerConfig};
 
 struct Args {
@@ -36,7 +49,9 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: nonrec-serve [--addr HOST:PORT | --stdio] [--workers <N>] \
-     [--queue <N>] [--deadline-ms <N>]"
+     [--queue <N>] [--deadline-ms <N>] [--max-conns <N>] \
+     [--cache-max-decisions <N>] [--cache-max-cq-pairs <N>] \
+     [--cache-max-canonical <N>] [--cache-file <PATH>]"
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Option<Args>, String> {
@@ -44,9 +59,21 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Option<Args>, St
     let mut stdio = false;
     let mut pool = PoolConfig::default();
     let mut deadline_ms: u64 = 30_000;
+    let mut max_conns: u64 = 0;
+    let mut cache_limits = CacheLimits::unbounded();
+    let mut cache_file = None;
     fn number(argv: &mut impl Iterator<Item = String>, flag: &str) -> Result<u64, String> {
         let text = argv.next().ok_or(format!("{flag} needs a number"))?;
         text.parse().map_err(|_| format!("invalid {flag}: {text}"))
+    }
+    // A `--cache-max-*` of 0 means unbounded, matching `--deadline-ms 0`
+    // and `--max-conns 0` (the wire `cache_limits` verb instead says
+    // "absent = unbounded" and reserves 0 for "cache nothing").
+    fn cap(argv: &mut impl Iterator<Item = String>, flag: &str) -> Result<Option<usize>, String> {
+        Ok(match number(argv, flag)? {
+            0 => None,
+            n => Some(n as usize),
+        })
     }
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -55,6 +82,21 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Option<Args>, St
             "--workers" => pool.workers = number(&mut argv, "--workers")?.max(1) as usize,
             "--queue" => pool.queue_capacity = number(&mut argv, "--queue")?.max(1) as usize,
             "--deadline-ms" => deadline_ms = number(&mut argv, "--deadline-ms")?,
+            "--max-conns" => max_conns = number(&mut argv, "--max-conns")?,
+            "--cache-max-decisions" => {
+                cache_limits.max_decisions = cap(&mut argv, "--cache-max-decisions")?;
+            }
+            "--cache-max-cq-pairs" => {
+                cache_limits.max_cq_pairs = cap(&mut argv, "--cache-max-cq-pairs")?;
+            }
+            "--cache-max-canonical" => {
+                cache_limits.max_cq_in_program = cap(&mut argv, "--cache-max-canonical")?;
+            }
+            "--cache-file" => {
+                cache_file = Some(std::path::PathBuf::from(
+                    argv.next().ok_or("--cache-file needs a PATH")?,
+                ));
+            }
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -65,6 +107,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Option<Args>, St
         config: ServerConfig {
             pool,
             default_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+            max_connections: (max_conns > 0).then_some(max_conns as usize),
+            cache_limits: (cache_limits != CacheLimits::unbounded()).then_some(cache_limits),
+            cache_file,
         },
     }))
 }

@@ -1,0 +1,54 @@
+//! Shared helpers for the `nonrec-serve` integration suites
+//! (`tests/server.rs`, `tests/server_soak.rs`): spawn the real binary,
+//! scrape the `listening on HOST:PORT` banner, connect clients, kill the
+//! process on drop.
+
+#![allow(dead_code)] // each suite uses a subset of the helpers
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+use server::Client;
+
+/// A spawned `nonrec-serve` process bound to an OS-assigned port.
+pub struct ServerProc {
+    child: Child,
+    addr: String,
+}
+
+impl ServerProc {
+    /// Spawn `nonrec-serve --addr 127.0.0.1:0 <extra...>` and wait for its
+    /// listen banner.
+    pub fn spawn(extra: &[&str]) -> ServerProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_nonrec-serve"))
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn nonrec-serve");
+        let stdout = child.stdout.take().expect("captured stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read listen line");
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+            .to_string();
+        ServerProc { child, addr }
+    }
+
+    /// A fresh client connection to the spawned server.
+    pub fn client(&self) -> Client {
+        Client::connect(self.addr.as_str()).expect("connect to nonrec-serve")
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}

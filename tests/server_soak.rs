@@ -1,0 +1,226 @@
+//! Soak test: a bounded-cache `nonrec-serve` under sustained multi-client
+//! churn.
+//!
+//! Spawns the real binary with tiny `--cache-max-*` caps, drives 4 clients
+//! through enough **distinct** requests that the cache must evict
+//! continuously, and watches the `stats` verb from a fifth connection the
+//! whole time.  Asserts the hardening properties the ROADMAP asks for:
+//!
+//! * every request answers `ok` — no `busy` storm (the pool absorbs 4
+//!   synchronous clients without shedding), no decision errors;
+//! * monotone counters: `requests`, `hits`, `misses`, `evictions` never
+//!   move backwards between observations;
+//! * **bounded occupancy**: every observed `CacheSizes` respects the caps
+//!   — the memory bound holds *throughout*, not just at the end;
+//! * evictions actually occur (the workload is genuinely larger than the
+//!   cache), and repeated keys still produce hits under churn.
+//!
+//! Gated: set `NONREC_SOAK_FAST=1` (CI's timed soak stage, a few seconds)
+//! or `NONREC_SOAK=1` (longer) — otherwise the test is a no-op, so plain
+//! `cargo test` stays fast.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use server::json::Value;
+use server::protocol;
+use server::Client;
+
+const DECISION_CAP: u64 = 24;
+const CQ_PAIR_CAP: u64 = 64;
+const CANONICAL_CAP: u64 = 64;
+const CLIENTS: usize = 4;
+
+fn soak_requests_per_client() -> Option<usize> {
+    if std::env::var_os("NONREC_SOAK").is_some() {
+        Some(600)
+    } else if std::env::var_os("NONREC_SOAK_FAST").is_some() {
+        Some(150)
+    } else {
+        None
+    }
+}
+
+mod common;
+use common::ServerProc;
+
+/// One observation of the counters this soak watches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Sample {
+    requests: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    busy: u64,
+    decision_entries: u64,
+    cq_pair_entries: u64,
+    cq_in_program_entries: u64,
+}
+
+fn sample(client: &mut Client) -> Sample {
+    let response = client.request(&protocol::stats_request()).expect("stats");
+    let result = response.get("result").expect("stats result");
+    let server = result.get("server").expect("server block");
+    let cache = result.get("cache").expect("cache block");
+    let get = |v: &Value, key: &str| v.get(key).and_then(Value::as_u64).unwrap_or(0);
+    Sample {
+        requests: get(server, "requests"),
+        hits: get(cache, "hits"),
+        misses: get(cache, "misses"),
+        evictions: get(cache, "evictions"),
+        busy: get(server, "busy_rejected"),
+        decision_entries: get(cache, "decision_entries"),
+        cq_pair_entries: get(cache, "cq_pair_entries"),
+        cq_in_program_entries: get(cache, "cq_in_program_entries"),
+    }
+}
+
+fn assert_bounded(sample: &Sample, context: &str) {
+    assert!(
+        sample.decision_entries <= DECISION_CAP,
+        "{context}: {} decision entries over the cap of {DECISION_CAP}",
+        sample.decision_entries
+    );
+    assert!(
+        sample.cq_pair_entries <= CQ_PAIR_CAP,
+        "{context}: {} cq-pair entries over the cap of {CQ_PAIR_CAP}",
+        sample.cq_pair_entries
+    );
+    assert!(
+        sample.cq_in_program_entries <= CANONICAL_CAP,
+        "{context}: {} canonical-db entries over the cap of {CANONICAL_CAP}",
+        sample.cq_in_program_entries
+    );
+}
+
+fn assert_monotone(previous: &Sample, current: &Sample, context: &str) {
+    for (name, before, after) in [
+        ("requests", previous.requests, current.requests),
+        ("hits", previous.hits, current.hits),
+        ("misses", previous.misses, current.misses),
+        ("evictions", previous.evictions, current.evictions),
+        ("busy_rejected", previous.busy, current.busy),
+    ] {
+        assert!(
+            after >= before,
+            "{context}: counter `{name}` moved backwards ({before} -> {after})"
+        );
+    }
+}
+
+/// The request of client `c` at step `i`: a cheap equivalence decision over
+/// a client-unique predicate.  Every other step revisits an earlier key of
+/// the same client, so the stream has repeats (hit opportunities) inside a
+/// keyspace far wider than the caps (eviction pressure).
+fn request_for(client: usize, step: usize) -> Value {
+    let k = if step.is_multiple_of(2) {
+        step
+    } else {
+        step / 4
+    };
+    let e = format!("e{client}_{k}");
+    protocol::equivalence_request(
+        &format!("b(X, Y) :- {e}(X, Y).\nb(X, Y) :- t(X), b(Z, Y)."),
+        "b",
+        &format!("b(X, Y) :- {e}(X, Y).\nb(X, Y) :- t(X), {e}(Z, Y)."),
+    )
+}
+
+#[test]
+fn bounded_cache_soak_stays_healthy_under_churn() {
+    let Some(per_client) = soak_requests_per_client() else {
+        eprintln!("server_soak: skipped (set NONREC_SOAK_FAST=1 or NONREC_SOAK=1 to run)");
+        return;
+    };
+
+    let server = ServerProc::spawn(&[
+        "--workers",
+        "4",
+        "--queue",
+        "64",
+        "--cache-max-decisions",
+        &DECISION_CAP.to_string(),
+        "--cache-max-cq-pairs",
+        &CQ_PAIR_CAP.to_string(),
+        "--cache-max-canonical",
+        &CANONICAL_CAP.to_string(),
+    ]);
+
+    let done = AtomicBool::new(false);
+    let (outcomes, samples) = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let mut client = server.client();
+                scope.spawn(move || {
+                    let mut ok = 0usize;
+                    let mut errors = Vec::new();
+                    for i in 0..per_client {
+                        let response = client.request(&request_for(c, i)).expect("round-trip");
+                        if response.get("ok").and_then(Value::as_bool) == Some(true) {
+                            ok += 1;
+                        } else if errors.len() < 5 {
+                            errors.push(response.render());
+                        }
+                    }
+                    (ok, errors)
+                })
+            })
+            .collect();
+
+        // The observer: polls `stats` (off-pool, so it works regardless of
+        // load) until the fleet finishes, checking bounds and monotonicity
+        // on every observation.
+        let observer = scope.spawn(|| {
+            let mut client = server.client();
+            let mut samples = vec![sample(&mut client)];
+            while !done.load(Ordering::SeqCst) {
+                let current = sample(&mut client);
+                let previous = samples.last().unwrap();
+                assert_monotone(previous, &current, "mid-soak");
+                assert_bounded(&current, "mid-soak");
+                samples.push(current);
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            samples.push(sample(&mut client));
+            samples
+        });
+
+        let outcomes: Vec<_> = workers
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect();
+        done.store(true, Ordering::SeqCst);
+        (outcomes, observer.join().expect("observer thread"))
+    });
+
+    // Every request of every client answered ok.
+    for (c, (ok, errors)) in outcomes.iter().enumerate() {
+        assert_eq!(
+            *ok,
+            per_client,
+            "client {c}: {} failures, e.g. {:?}",
+            per_client - ok,
+            errors
+        );
+    }
+
+    let first = samples.first().unwrap();
+    let last = samples.last().unwrap();
+    assert!(
+        samples.len() >= 3,
+        "the observer must actually observe the soak"
+    );
+    assert_eq!(last.busy, 0, "no busy storm: {} rejections", last.busy);
+    assert_bounded(last, "final");
+    assert!(
+        last.evictions > 0,
+        "the workload must overflow the caps and evict"
+    );
+    assert!(
+        last.hits > first.hits,
+        "repeated keys must still hit under churn"
+    );
+    assert!(
+        last.requests >= (CLIENTS * per_client) as u64,
+        "the fleet's requests must all be visible in the counters"
+    );
+}

@@ -1,7 +1,15 @@
-//! Experiment E14 ablation: naive vs. semi-naive vs. indexed bottom-up
-//! evaluation of the Datalog substrate on transitive-closure workloads
-//! (chains and cycles).  The shape: semi-naive does asymptotically fewer
-//! join probes than naive, and the indexed engine fewer still.
+//! Experiment E14 ablation: naive vs. semi-naive vs. indexed vs. magic
+//! bottom-up evaluation of the Datalog substrate on transitive-closure
+//! workloads (chains and cycles).  The shape: semi-naive does
+//! asymptotically fewer join probes than naive, the indexed engine fewer
+//! still, and the goal-directed magic rewrite (evaluating the fully bound
+//! goal `p(c0, c_n)` via `evaluate_goal_with`) undercuts indexed on the
+//! chain because its fixpoint derives only the facts the goal's call
+//! pattern reaches (O(n) guarded facts vs the full O(n²) closure).  The
+//! cycle with goal `p(c0, c0)` is the documented counter-shape: every node
+//! is goal-relevant, so magic prunes no facts' worth of joins and its
+//! magic-rule bookkeeping costs a few percent more probes than indexed —
+//! though it still materialises O(n) facts instead of the n² closure.
 //!
 //! Doubles as the probe regression gate for `scripts/verify.sh`: the run
 //! panics if the indexed engine ever does more probes than semi-naive on
@@ -13,8 +21,10 @@ use bench::report_shape;
 use bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use datalog::eval::{evaluate_with, EvalOptions, Strategy};
+use datalog::atom::{Atom, Pred};
+use datalog::eval::{evaluate_goal_with, evaluate_with, EvalOptions, Strategy};
 use datalog::generate::{chain_database, cycle_database, transitive_closure};
+use datalog::term::{Constant, Term};
 
 struct ShapeRow {
     n: usize,
@@ -70,6 +80,51 @@ fn bench_evaluation(c: &mut Criterion) {
                     })
                 });
             }
+
+            // Magic-set row: goal-directed evaluation of the fully bound
+            // pattern `p(c0, c_n)` (chain end) / `p(c0, c0)` (around the
+            // cycle) — the same call shape the canonical-database decision
+            // procedure issues.
+            let target = if db_name == "chain" { n } else { 0 };
+            let pattern = Atom::new(
+                Pred::new("p"),
+                vec![
+                    Term::Const(Constant::from_usize(0)),
+                    Term::Const(Constant::from_usize(target)),
+                ],
+            );
+            let options = EvalOptions {
+                strategy: Strategy::Magic,
+                ..Default::default()
+            };
+            let result = evaluate_goal_with(&program, &db, &pattern, options);
+            rows.push(ShapeRow {
+                n,
+                db: db_name,
+                strategy: "magic",
+                probes: result.stats.probes,
+                facts: result.stats.derived_facts,
+            });
+            report_shape(
+                "E14_evaluation",
+                n,
+                &[
+                    ("db", db_name.to_string()),
+                    ("strategy", "magic".to_string()),
+                    ("probes", result.stats.probes.to_string()),
+                    ("facts", result.stats.derived_facts.to_string()),
+                ],
+            );
+            group.bench_function(format!("{db_name}_magic_{n}"), |b| {
+                b.iter(|| {
+                    black_box(evaluate_goal_with(
+                        black_box(&program),
+                        black_box(&db),
+                        black_box(&pattern),
+                        options,
+                    ))
+                })
+            });
         }
     }
     group.finish();
@@ -82,24 +137,54 @@ fn bench_evaluation(c: &mut Criterion) {
     let shapes: std::collections::BTreeSet<(usize, &str)> =
         rows.iter().map(|r| (r.n, r.db)).collect();
     for (n, db_name) in shapes {
-        let probes_of = |strategy: &str| {
+        let row_of = |strategy: &str| {
             rows.iter()
                 .find(|r| r.n == n && r.db == db_name && r.strategy == strategy)
                 .unwrap_or_else(|| panic!("missing {strategy} row for {db_name} n={n}"))
-                .probes
         };
-        let (naive, semi, indexed) = (
-            probes_of("naive"),
-            probes_of("semi_naive"),
-            probes_of("indexed"),
+        let (naive, semi, indexed, magic) = (
+            row_of("naive"),
+            row_of("semi_naive"),
+            row_of("indexed"),
+            row_of("magic"),
         );
         assert!(
-            semi <= naive,
-            "probe regression on {db_name} n={n}: semi-naive {semi} > naive {naive}"
+            semi.probes <= naive.probes,
+            "probe regression on {db_name} n={n}: semi-naive {} > naive {}",
+            semi.probes,
+            naive.probes
         );
         assert!(
-            indexed <= semi,
-            "probe regression on {db_name} n={n}: indexed {indexed} > semi-naive {semi}"
+            indexed.probes <= semi.probes,
+            "probe regression on {db_name} n={n}: indexed {} > semi-naive {}",
+            indexed.probes,
+            semi.probes
+        );
+        // Magic's win is shape-dependent.  On the chain the bound goal
+        // prunes most of the closure, so its probes must undercut indexed.
+        // On the cycle every node is goal-relevant (the documented
+        // counter-shape — see the module docs): no probe win exists to
+        // gate, but magic must still derive strictly fewer facts than the
+        // full closure and stay under the scan-based semi-naive probes.
+        if db_name == "chain" {
+            assert!(
+                magic.probes <= indexed.probes,
+                "probe regression on {db_name} n={n}: magic {} > indexed {}",
+                magic.probes,
+                indexed.probes
+            );
+        }
+        assert!(
+            magic.probes <= semi.probes,
+            "probe regression on {db_name} n={n}: magic {} > semi-naive {}",
+            magic.probes,
+            semi.probes
+        );
+        assert!(
+            magic.facts < indexed.facts,
+            "goal-directed fact regression on {db_name} n={n}: magic derived {} >= full {}",
+            magic.facts,
+            indexed.facts
         );
     }
 

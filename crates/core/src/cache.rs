@@ -104,9 +104,12 @@ pub struct DecisionKey {
 }
 
 impl DecisionKey {
-    /// Build the key for a decision call.  `CacheLimits` and the unfolding
-    /// budget are deliberately **not** part of the key: neither can change
-    /// a verdict, only whether (and how cheaply) it is remembered.
+    /// Build the key for a decision call.  `CacheLimits`, the unfolding
+    /// budget, and the evaluation strategy are deliberately **not** part of
+    /// the key: none can change a verdict — the limits only govern whether
+    /// (and how cheaply) it is remembered, and every strategy computes the
+    /// same goal relation (the strategy differential suite locks this), so
+    /// verdicts are shared across strategies.
     pub fn new(program: &Program, goal: Pred, ucq: &Ucq, options: DecisionOptions) -> DecisionKey {
         DecisionKey {
             program: ProgramKey::of(program),

@@ -23,6 +23,7 @@ use automata::word::Nfa;
 use cq::{ConjunctiveQuery, Ucq};
 use datalog::atom::Pred;
 use datalog::database::Database;
+use datalog::eval::Strategy;
 use datalog::program::Program;
 use datalog::term::Constant;
 
@@ -110,6 +111,14 @@ pub struct DecisionOptions {
     /// what the cache remembers, never what a decision answers — the
     /// invariant `tests/cache_eviction_differential.rs` locks.
     pub cache_limits: Option<crate::cache::CacheLimits>,
+    /// Evaluation strategy for the canonical-database checks run by the
+    /// `Π' ⊆ Π` direction ([`crate::cq_in_datalog`]).  All strategies
+    /// compute the same goal relation (the strategy differential suite locks
+    /// this), so like `cache_limits` this is **not** part of the cache key —
+    /// it changes how a verdict is computed, never what it is.
+    /// [`datalog::eval::Strategy::Magic`] evaluates goal-directed: the
+    /// fixpoint is restricted to facts relevant to the frozen head tuple.
+    pub strategy: Strategy,
 }
 
 impl Default for DecisionOptions {
@@ -121,6 +130,7 @@ impl Default for DecisionOptions {
             use_cache: true,
             max_unfold: usize::MAX,
             cache_limits: None,
+            strategy: Strategy::Indexed,
         }
     }
 }

@@ -6,26 +6,98 @@
 //! [CK86, CLM81, Sa88b]).  The classical algorithm is the canonical-database
 //! (frozen query) method: `θ ⊆ Π(Q)` iff evaluating Π on the canonical
 //! database of θ derives the frozen head tuple of θ.
+//!
+//! The frozen head tuple is all constants, so the goal pattern handed to the
+//! evaluator is fully bound — the best case for goal-directed evaluation.
+//! Every check goes through [`datalog::eval::evaluate_goal_with`], which
+//! under [`Strategy::Magic`] adorns the program on that pattern and runs the
+//! magic-set rewrite so the fixpoint derives only goal-relevant facts.  The
+//! verdict is strategy-independent; each call is tallied per strategy (see
+//! [`strategy_decision_counts`]) so serve-side adoption is observable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use cq::canonical::canonical_database;
 use cq::{ConjunctiveQuery, Ucq};
-use datalog::atom::Pred;
-use datalog::eval::{evaluate_with, EvalOptions, Strategy};
+use datalog::atom::{Atom, Pred};
+use datalog::eval::{evaluate_goal_with, EvalOptions, Strategy};
 use datalog::program::Program;
+use datalog::term::Term;
+
+/// Process-wide tallies of canonical-database decisions served per strategy.
+static NAIVE_DECISIONS: AtomicU64 = AtomicU64::new(0);
+static SEMI_NAIVE_DECISIONS: AtomicU64 = AtomicU64::new(0);
+static INDEXED_DECISIONS: AtomicU64 = AtomicU64::new(0);
+static MAGIC_DECISIONS: AtomicU64 = AtomicU64::new(0);
+
+/// How many canonical-database decisions each evaluation strategy has served
+/// in this process (cache misses only — a cached verdict re-used by
+/// [`cq_contained_in_datalog_keyed`] runs no evaluation and counts nothing).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StrategyCounts {
+    /// Decisions evaluated with [`Strategy::Naive`].
+    pub naive: u64,
+    /// Decisions evaluated with [`Strategy::SemiNaive`].
+    pub semi_naive: u64,
+    /// Decisions evaluated with [`Strategy::Indexed`].
+    pub indexed: u64,
+    /// Decisions evaluated with [`Strategy::Magic`].
+    pub magic: u64,
+}
+
+impl StrategyCounts {
+    /// Total decisions across all strategies.
+    pub fn total(&self) -> u64 {
+        self.naive + self.semi_naive + self.indexed + self.magic
+    }
+
+    /// Component-wise difference `self - earlier`, for reporting the
+    /// decisions attributable to a bounded span of work (an optimisation
+    /// pass, a server request).  Saturates at zero.
+    pub fn since(&self, earlier: &StrategyCounts) -> StrategyCounts {
+        StrategyCounts {
+            naive: self.naive.saturating_sub(earlier.naive),
+            semi_naive: self.semi_naive.saturating_sub(earlier.semi_naive),
+            indexed: self.indexed.saturating_sub(earlier.indexed),
+            magic: self.magic.saturating_sub(earlier.magic),
+        }
+    }
+}
+
+/// Snapshot the per-strategy decision counters.
+pub fn strategy_decision_counts() -> StrategyCounts {
+    StrategyCounts {
+        naive: NAIVE_DECISIONS.load(Ordering::Relaxed),
+        semi_naive: SEMI_NAIVE_DECISIONS.load(Ordering::Relaxed),
+        indexed: INDEXED_DECISIONS.load(Ordering::Relaxed),
+        magic: MAGIC_DECISIONS.load(Ordering::Relaxed),
+    }
+}
+
+fn record_decision(strategy: Strategy) {
+    let counter = match strategy {
+        Strategy::Naive => &NAIVE_DECISIONS,
+        Strategy::SemiNaive => &SEMI_NAIVE_DECISIONS,
+        Strategy::Indexed => &INDEXED_DECISIONS,
+        Strategy::Magic => &MAGIC_DECISIONS,
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+}
 
 /// Is the conjunctive query contained in the Datalog program's goal
 /// predicate?  Evaluates with the default (indexed) strategy; see
 /// [`cq_contained_in_datalog_with`] to pin a strategy for differential
-/// comparison.
+/// comparison or to opt into goal-directed (magic-set) evaluation.
 pub fn cq_contained_in_datalog(theta: &ConjunctiveQuery, program: &Program, goal: Pred) -> bool {
     cq_contained_in_datalog_with(theta, program, goal, EvalOptions::default().strategy)
 }
 
 /// [`cq_contained_in_datalog`] with an explicit evaluation strategy.  The
-/// decision is strategy-independent (all strategies compute the same
-/// fixpoint — see `tests/strategy_differential.rs`); the knob exists so the
+/// decision is strategy-independent (all strategies compute the same goal
+/// relation — see `tests/strategy_differential.rs`); the knob exists so the
 /// decision procedures can be cross-checked against the naive reference
-/// engine.
+/// engine and so callers can opt into [`Strategy::Magic`], which seeds the
+/// magic predicates from the (fully bound) frozen head tuple.
 pub fn cq_contained_in_datalog_with(
     theta: &ConjunctiveQuery,
     program: &Program,
@@ -33,33 +105,42 @@ pub fn cq_contained_in_datalog_with(
     strategy: Strategy,
 ) -> bool {
     let frozen = canonical_database(theta);
-    let result = evaluate_with(
+    let pattern = Atom::new(
+        goal,
+        frozen.head_tuple.iter().map(|&c| Term::Const(c)).collect(),
+    );
+    let result = evaluate_goal_with(
         program,
         &frozen.database,
+        &pattern,
         EvalOptions {
             strategy,
             ..EvalOptions::default()
         },
     );
+    record_decision(strategy);
     result.relation(goal).contains(&frozen.head_tuple)
 }
 
 /// As [`cq_contained_in_datalog`], memoised in the shared
 /// [`crate::cache::DecisionCache`] under a precomputed program key (so
 /// callers checking many disjuncts against the same program intern the
-/// program once).
+/// program once).  The strategy only governs how a cache miss is computed —
+/// verdicts are strategy-independent, so it is not part of the cache key and
+/// hits are shared across strategies.
 pub fn cq_contained_in_datalog_keyed(
     theta: &ConjunctiveQuery,
     program: &Program,
     program_key: &crate::cache::ProgramKey,
     goal: Pred,
+    strategy: Strategy,
 ) -> bool {
     let cache = crate::cache::DecisionCache::global();
     let key = cq::CqKey::of(theta);
     let (verdict, _) = cache.cq_in_datalog_cached(program_key, goal, &key, || {
         // Containment is invariant under canonicalisation; freeze the
         // canonical form carried by the key.
-        cq_contained_in_datalog(key.as_query(), program, goal)
+        cq_contained_in_datalog_with(key.as_query(), program, goal, strategy)
     });
     verdict
 }
@@ -67,9 +148,20 @@ pub fn cq_contained_in_datalog_keyed(
 /// Is every disjunct of the union contained in the program (i.e. is the
 /// union contained in the program)?
 pub fn ucq_contained_in_datalog(ucq: &Ucq, program: &Program, goal: Pred) -> bool {
+    ucq_contained_in_datalog_with(ucq, program, goal, EvalOptions::default().strategy)
+}
+
+/// As [`ucq_contained_in_datalog`], with an explicit evaluation strategy for
+/// the per-disjunct canonical-database checks.
+pub fn ucq_contained_in_datalog_with(
+    ucq: &Ucq,
+    program: &Program,
+    goal: Pred,
+    strategy: Strategy,
+) -> bool {
     ucq.disjuncts
         .iter()
-        .all(|theta| cq_contained_in_datalog(theta, program, goal))
+        .all(|theta| cq_contained_in_datalog_with(theta, program, goal, strategy))
 }
 
 #[cfg(test)]
@@ -123,7 +215,7 @@ mod tests {
         ];
         for q in &queries {
             let reference = cq_contained_in_datalog_with(q, &tc(), Pred::new("p"), Strategy::Naive);
-            for strategy in [Strategy::SemiNaive, Strategy::Indexed] {
+            for strategy in [Strategy::SemiNaive, Strategy::Indexed, Strategy::Magic] {
                 assert_eq!(
                     reference,
                     cq_contained_in_datalog_with(q, &tc(), Pred::new("p"), strategy),
@@ -153,5 +245,29 @@ mod tests {
         assert!(cq_contained_in_datalog(&q, &program, Pred::new("r")));
         let three = cq::generate::path_query("e", 3);
         assert!(!cq_contained_in_datalog(&three, &program, Pred::new("r")));
+    }
+
+    #[test]
+    fn strategy_counters_tally_decisions() {
+        let q = cq::generate::path_query("e", 2);
+        let before = strategy_decision_counts();
+        assert!(cq_contained_in_datalog_with(
+            &q,
+            &tc(),
+            Pred::new("p"),
+            Strategy::Magic
+        ));
+        assert!(cq_contained_in_datalog_with(
+            &q,
+            &tc(),
+            Pred::new("p"),
+            Strategy::Indexed
+        ));
+        let delta = strategy_decision_counts().since(&before);
+        // Other tests run concurrently, so counters may overshoot; they must
+        // at least account for the two decisions above.
+        assert!(delta.magic >= 1, "magic decisions uncounted: {delta:?}");
+        assert!(delta.indexed >= 1, "indexed decisions uncounted: {delta:?}");
+        assert!(delta.total() >= 2);
     }
 }

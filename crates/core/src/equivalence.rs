@@ -19,8 +19,9 @@ use crate::containment::{
     datalog_contained_in_ucq_with, ContainmentResult, Counterexample, DecisionError,
     DecisionOptions,
 };
-use crate::cq_in_datalog::cq_contained_in_datalog;
+use crate::cq_in_datalog::cq_contained_in_datalog_with;
 use crate::unfold::{unfold_nonrecursive, UnfoldError, UnfoldStats};
+use datalog::eval::Strategy;
 
 /// Errors reported by the recursive-vs-nonrecursive procedures.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -114,27 +115,37 @@ pub fn nonrecursive_contained_in_datalog(
     goal: Pred,
     program: &Program,
 ) -> Result<Result<(), usize>, EquivalenceError> {
-    nonrecursive_contained_in_datalog_with(nonrecursive, goal, program, true, usize::MAX)
+    nonrecursive_contained_in_datalog_with(
+        nonrecursive,
+        goal,
+        program,
+        true,
+        usize::MAX,
+        DecisionOptions::default().strategy,
+    )
 }
 
 /// As [`nonrecursive_contained_in_datalog`], with the per-disjunct
-/// canonical-database checks optionally bypassing the shared cache and the
-/// unfolding bounded by `max_unfold` disjuncts (`usize::MAX`: unbounded).
+/// canonical-database checks optionally bypassing the shared cache, the
+/// unfolding bounded by `max_unfold` disjuncts (`usize::MAX`: unbounded),
+/// and the evaluation strategy pinned (verdicts are strategy-independent;
+/// [`Strategy::Magic`] evaluates each check goal-directed).
 pub fn nonrecursive_contained_in_datalog_with(
     nonrecursive: &Program,
     goal: Pred,
     program: &Program,
     use_cache: bool,
     max_unfold: usize,
+    strategy: Strategy,
 ) -> Result<Result<(), usize>, EquivalenceError> {
     let unfolding = unfold_nonrecursive(nonrecursive, goal, max_unfold)?;
     let program_key = use_cache.then(|| crate::cache::ProgramKey::of(program));
     for (index, disjunct) in unfolding.disjuncts.iter().enumerate() {
         let contained = match &program_key {
-            Some(key) => {
-                crate::cq_in_datalog::cq_contained_in_datalog_keyed(disjunct, program, key, goal)
-            }
-            None => cq_contained_in_datalog(disjunct, program, goal),
+            Some(key) => crate::cq_in_datalog::cq_contained_in_datalog_keyed(
+                disjunct, program, key, goal, strategy,
+            ),
+            None => cq_contained_in_datalog_with(disjunct, program, goal, strategy),
         };
         if !contained {
             return Ok(Err(index));
@@ -196,6 +207,7 @@ pub fn equivalent_to_nonrecursive_with(
         program,
         options.use_cache,
         options.max_unfold,
+        options.strategy,
     )? {
         return Ok(EquivalenceResult {
             verdict: EquivalenceVerdict::NonrecursiveExceeds(index),

@@ -68,7 +68,8 @@ pub use containment::{
     DecisionOptions,
 };
 pub use cq_in_datalog::{
-    cq_contained_in_datalog, cq_contained_in_datalog_with, ucq_contained_in_datalog,
+    cq_contained_in_datalog, cq_contained_in_datalog_with, strategy_decision_counts,
+    ucq_contained_in_datalog, ucq_contained_in_datalog_with, StrategyCounts,
 };
 pub use equivalence::{
     datalog_contained_in_nonrecursive, equivalent_to_nonrecursive, EquivalenceResult,

@@ -378,9 +378,12 @@ impl<'a> Reader<'a> {
     }
 
     /// A decoded key, trusted as canonical: persisted keys store the
-    /// canonical form their live counterparts were computed from, and
-    /// canonicalisation is not idempotent, so re-canonicalising here could
-    /// orphan the entry under a different key.
+    /// canonical form their live counterparts were computed from.
+    /// `canonicalize_names` is idempotent now, so re-canonicalising a key
+    /// written by this build would be merely redundant — but snapshots from
+    /// builds predating the fixpoint iteration may hold non-fixpoint forms,
+    /// and wrapping those verbatim keeps their entries reachable under the
+    /// keys they were saved with instead of orphaning them.
     fn cq_key(&mut self) -> Result<CqKey, SnapshotError> {
         Ok(CqKey::from_canonical(self.cq()?))
     }

@@ -56,12 +56,14 @@ impl CqKey {
     /// obtained from [`CqKey::as_query`]) without re-canonicalising.
     ///
     /// This exists for the decision-cache snapshot decoder: persisted keys
-    /// store their canonical form verbatim, and `canonicalize_names` is not
-    /// idempotent (its existential renaming follows body order, which its
-    /// final sort then changes), so re-canonicalising a stored form could
-    /// produce a *different* key and silently orphan the entry.  Callers
-    /// other than a decoder of previously-persisted keys should use
-    /// [`CqKey::of`].
+    /// store their canonical form verbatim, and wrapping them as-is keeps
+    /// decoding cheap and — crucially — keeps snapshots written by builds
+    /// whose canonicalisation differed (it was not idempotent before the
+    /// fixpoint iteration) loadable without orphaning their entries under
+    /// freshly recomputed keys.  `canonicalize_names` is idempotent now, so
+    /// for keys written by this build `from_canonical` and [`CqKey::of`]
+    /// agree; callers other than a decoder of previously-persisted keys
+    /// should still use [`CqKey::of`].
     pub fn from_canonical(query: ConjunctiveQuery) -> CqKey {
         CqKey(query)
     }

@@ -129,10 +129,40 @@ impl ConjunctiveQuery {
 
     /// Canonicalise the variable names: distinguished variables become
     /// `x1, x2, …` (in head-position order) and existential variables become
-    /// `y1, y2, …` (in first-occurrence order).  Two queries that are equal
-    /// up to variable renaming canonicalise to syntactically equal queries,
-    /// which is how the unfolder deduplicates expansions.
+    /// `y1, y2, …` (in first-occurrence order), then the body is sorted.
+    /// Two queries that are equal up to variable renaming canonicalise to
+    /// syntactically equal queries, which is how the unfolder deduplicates
+    /// expansions and how the decision-cache keys identify variants.
+    ///
+    /// This is **idempotent**: `q.canonicalize_names().canonicalize_names()
+    /// == q.canonicalize_names()`.  A single rename-then-sort pass is not
+    /// (sorting can change the first-occurrence order the renaming keyed
+    /// on), so the pass is iterated until the query stops changing.  Should
+    /// the pass ever cycle instead of converging, the lexicographically
+    /// smallest member of the cycle is returned — also a fixpoint of the
+    /// whole procedure, since re-canonicalising any cycle member walks the
+    /// same cycle and picks the same minimum.
     pub fn canonicalize_names(&self) -> ConjunctiveQuery {
+        let mut seen: Vec<ConjunctiveQuery> = Vec::new();
+        let mut current = self.canonical_pass();
+        loop {
+            let next = current.canonical_pass();
+            if next == current {
+                return current;
+            }
+            if let Some(i) = seen.iter().position(|q| *q == next) {
+                // `seen[i..]` plus `current` is one full lap of the cycle.
+                let mut cycle = seen.split_off(i);
+                cycle.push(current);
+                return cycle.into_iter().min().expect("cycle is non-empty");
+            }
+            seen.push(current);
+            current = next;
+        }
+    }
+
+    /// One rename-then-sort pass of [`canonicalize_names`].
+    fn canonical_pass(&self) -> ConjunctiveQuery {
         let mut subst = Substitution::new();
         let mut next_head = 0usize;
         for v in self.head.variables() {
@@ -231,6 +261,54 @@ mod tests {
     fn canonicalize_is_stable_under_body_reordering() {
         let q1 = ConjunctiveQuery::parse("q(X) :- e(X, Y), f(Y).").unwrap();
         let q2 = ConjunctiveQuery::parse("q(X) :- f(Y), e(X, Y).").unwrap();
+        assert_eq!(q1.canonicalize_names(), q2.canonicalize_names());
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent_on_the_former_counterexample() {
+        // Before the fixpoint iteration, one pass renamed the existentials
+        // in body order and then sorted, which could leave a body whose
+        // first-occurrence order disagreed with the names just assigned —
+        // so a second canonicalisation produced a different query and the
+        // snapshot decoder could not re-canonicalise persisted keys.  Atom
+        // order follows interner ids, so test the swap in both directions;
+        // whichever way `a`/`b` interned, one of these exercises the wart.
+        for text in ["q :- b(Y), a(X).", "q :- a(Y), b(X)."] {
+            let q = ConjunctiveQuery::parse(text).unwrap();
+            let once = q.canonicalize_names();
+            // The result is a true fixpoint of the rename-then-sort pass,
+            // hence idempotent under full canonicalisation too.
+            assert_eq!(once.canonical_pass(), once, "not a pass fixpoint: {text}");
+            assert_eq!(once.canonicalize_names(), once, "not idempotent: {text}");
+        }
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent_on_generated_queries() {
+        let config = crate::generate::RandomCqConfig {
+            body_atoms: 4,
+            variables: 5,
+            distinguished: 2,
+            predicates: vec!["a".into(), "b".into(), "c".into()],
+        };
+        for seed in 0..200u64 {
+            let q = crate::generate::random_cq(&config, seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let once = q.canonicalize_names();
+            let twice = once.canonicalize_names();
+            assert_eq!(
+                once, twice,
+                "seed {seed}: {q} canonicalised to {once}, then {twice}"
+            );
+        }
+    }
+
+    #[test]
+    fn canonicalize_identifies_variants_the_single_pass_missed() {
+        // Alpha-variants whose body orders drive the first-occurrence
+        // renaming apart: one pass canonicalises them differently, the
+        // fixpoint iteration brings them back together.
+        let q1 = ConjunctiveQuery::parse("q :- b(X), a(Y, X).").unwrap();
+        let q2 = ConjunctiveQuery::parse("q :- a(Y, X), b(X).").unwrap();
         assert_eq!(q1.canonicalize_names(), q2.canonicalize_names());
     }
 

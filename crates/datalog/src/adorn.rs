@@ -1,0 +1,369 @@
+//! Bound/free adornments under a sideways-information-passing strategy
+//! (SIPS) — the planning half of goal-directed (magic-set) evaluation.
+//!
+//! Given a goal *pattern* — a goal atom whose constant positions are bound
+//! and whose variable positions are free — [`adorn_program`] propagates
+//! bound/free annotations from the goal through every reachable rule.  A
+//! head adornment records which head argument positions arrive bound from
+//! the caller; the SIPS then orders the rule body and decides, for each
+//! body atom, which of its argument positions are bound at the moment it
+//! is evaluated (a position is bound iff it holds a constant or a variable
+//! already bound by the head or by an earlier body atom — "sideways"
+//! information passing).  Each IDB body atom is annotated with the
+//! resulting adornment, creating new `(predicate, adornment)` obligations
+//! until the reachable set closes.
+//!
+//! Two SIPS are provided.  [`Sips::BoundPreferring`] (the default) greedily
+//! picks, at each step, the not-yet-placed body atom with the most bound
+//! argument positions, breaking ties by textual position — the same
+//! selectivity heuristic [`crate::plan::JoinPlan`] uses at run time, so the
+//! adornments the planner commits to match the join order the indexed
+//! engine would choose.  [`Sips::LeftToRight`] keeps the textual body
+//! order and only computes the adornments, which is the classical
+//! presentation and a useful debugging baseline.
+//!
+//! The output [`AdornedProgram`] is consumed by [`crate::magic`], which
+//! rewrites it into magic + guarded rules whose fixpoint derives only
+//! goal-relevant facts.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+use crate::atom::{Atom, Pred};
+use crate::program::Program;
+use crate::rule::Rule;
+use crate::term::{Term, Var};
+
+/// A bound/free annotation, one flag per argument position (`true` =
+/// bound).  Displayed in the classical string form, e.g. `bf` for a binary
+/// predicate whose first argument is bound.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Adornment(Vec<bool>);
+
+impl Adornment {
+    /// Build an adornment from explicit flags.
+    pub fn new(flags: Vec<bool>) -> Adornment {
+        Adornment(flags)
+    }
+
+    /// The adornment of a goal pattern: constant positions are bound,
+    /// variable positions are free.
+    pub fn from_pattern(pattern: &Atom) -> Adornment {
+        Adornment(
+            pattern
+                .terms
+                .iter()
+                .map(|t| matches!(t, Term::Const(_)))
+                .collect(),
+        )
+    }
+
+    /// The per-position flags (`true` = bound).
+    pub fn flags(&self) -> &[bool] {
+        &self.0
+    }
+
+    /// Number of argument positions.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the adornment of a 0-ary predicate.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of bound positions.
+    pub fn bound_count(&self) -> usize {
+        self.0.iter().filter(|&&b| b).count()
+    }
+
+    /// True if no position is bound (the rewrite degenerates to the plain
+    /// program for such a goal — there is nothing to pass sideways).
+    pub fn is_all_free(&self) -> bool {
+        self.bound_count() == 0
+    }
+}
+
+impl fmt::Display for Adornment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.0 {
+            write!(f, "{}", if b { 'b' } else { 'f' })?;
+        }
+        Ok(())
+    }
+}
+
+/// The sideways-information-passing strategy: how a rule body is ordered
+/// while adornments are propagated through it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Sips {
+    /// Greedy: at each step pick the remaining body atom with the most
+    /// bound argument positions, ties broken by textual position.  Default;
+    /// mirrors the run-time [`crate::plan::JoinPlan`] heuristic.
+    #[default]
+    BoundPreferring,
+    /// Keep the textual body order and only compute adornments — the
+    /// classical left-to-right presentation.
+    LeftToRight,
+}
+
+/// A body atom with its adornment: `Some` for IDB atoms (which the magic
+/// rewrite renames and guards), `None` for EDB atoms (evaluated directly
+/// against the database).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdornedBodyAtom {
+    /// The original body atom.
+    pub atom: Atom,
+    /// Its adornment, if its predicate is an IDB predicate.
+    pub adornment: Option<Adornment>,
+}
+
+/// One rule of the program, adorned for a particular head adornment.  The
+/// body is stored in SIPS order, which is the order the magic rewrite (and
+/// hence the rewritten evaluation) uses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdornedRule {
+    /// The original head atom.
+    pub head: Atom,
+    /// The adornment of the head predicate this version of the rule serves.
+    pub head_adornment: Adornment,
+    /// The body atoms in SIPS order, each with its adornment if IDB.
+    pub body: Vec<AdornedBodyAtom>,
+}
+
+/// An adorned program: for every `(predicate, adornment)` pair reachable
+/// from the goal pattern, one adorned copy of each of the predicate's
+/// rules.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdornedProgram {
+    /// The goal pattern the adornment started from (constants = bound).
+    pub goal_pattern: Atom,
+    /// The goal's adornment, `Adornment::from_pattern(goal_pattern)`.
+    pub goal_adornment: Adornment,
+    /// The adorned rules, in worklist (goal-first, breadth-first) order;
+    /// within one `(predicate, adornment)` obligation, program rule order.
+    pub rules: Vec<AdornedRule>,
+}
+
+impl AdornedProgram {
+    /// The goal predicate.
+    pub fn goal(&self) -> Pred {
+        self.goal_pattern.pred
+    }
+}
+
+/// Adorn `program` for the given goal pattern under `sips`.  Only
+/// `(predicate, adornment)` pairs reachable from the goal are produced, so
+/// rules for predicates the goal never touches are dropped entirely — the
+/// first pruning step of goal-directed evaluation.
+pub fn adorn_program(program: &Program, goal_pattern: &Atom, sips: Sips) -> AdornedProgram {
+    let goal_adornment = Adornment::from_pattern(goal_pattern);
+    let mut seen: BTreeSet<(Pred, Adornment)> = BTreeSet::new();
+    let mut queue: VecDeque<(Pred, Adornment)> = VecDeque::new();
+    seen.insert((goal_pattern.pred, goal_adornment.clone()));
+    queue.push_back((goal_pattern.pred, goal_adornment.clone()));
+    let mut rules = Vec::new();
+    while let Some((pred, adornment)) = queue.pop_front() {
+        for (_, rule) in program.rules_for(pred) {
+            let adorned = adorn_rule(program, rule, &adornment, sips);
+            for body_atom in &adorned.body {
+                if let Some(b) = &body_atom.adornment {
+                    let key = (body_atom.atom.pred, b.clone());
+                    if seen.insert(key.clone()) {
+                        queue.push_back(key);
+                    }
+                }
+            }
+            rules.push(adorned);
+        }
+    }
+    AdornedProgram {
+        goal_pattern: goal_pattern.clone(),
+        goal_adornment,
+        rules,
+    }
+}
+
+/// Adorn one rule for one head adornment: seed the bound-variable set from
+/// the bound head positions, then place body atoms one at a time per the
+/// SIPS, adorning each against the bindings available when it is placed.
+fn adorn_rule(
+    program: &Program,
+    rule: &Rule,
+    head_adornment: &Adornment,
+    sips: Sips,
+) -> AdornedRule {
+    let mut bound: BTreeSet<Var> = BTreeSet::new();
+    for (term, &is_bound) in rule.head.terms.iter().zip(head_adornment.flags()) {
+        if is_bound {
+            if let Term::Var(v) = *term {
+                bound.insert(v);
+            }
+        }
+    }
+    let mut remaining: Vec<usize> = (0..rule.body.len()).collect();
+    let mut body = Vec::with_capacity(rule.body.len());
+    while !remaining.is_empty() {
+        let slot = match sips {
+            Sips::LeftToRight => 0,
+            Sips::BoundPreferring => remaining
+                .iter()
+                .enumerate()
+                .max_by_key(|&(slot, &pos)| {
+                    (
+                        bound_positions(&rule.body[pos], &bound),
+                        std::cmp::Reverse(slot),
+                    )
+                })
+                .map(|(slot, _)| slot)
+                .unwrap(),
+        };
+        let pos = remaining.remove(slot);
+        let atom = &rule.body[pos];
+        let adornment = program.is_idb(atom.pred).then(|| {
+            Adornment::new(
+                atom.terms
+                    .iter()
+                    .map(|t| match *t {
+                        Term::Const(_) => true,
+                        Term::Var(v) => bound.contains(&v),
+                    })
+                    .collect(),
+            )
+        });
+        body.push(AdornedBodyAtom {
+            atom: atom.clone(),
+            adornment,
+        });
+        bound.extend(atom.variables());
+    }
+    AdornedRule {
+        head: rule.head.clone(),
+        head_adornment: head_adornment.clone(),
+        body,
+    }
+}
+
+/// Number of argument positions of `atom` that are bound given the current
+/// bound-variable set (constants are always bound).
+fn bound_positions(atom: &Atom, bound: &BTreeSet<Var>) -> usize {
+    atom.terms
+        .iter()
+        .filter(|t| match **t {
+            Term::Const(_) => true,
+            Term::Var(v) => bound.contains(&v),
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::transitive_closure;
+    use crate::parser::parse_program;
+
+    fn pattern(text: &str) -> Atom {
+        // Parse the pattern as the head of a trivially safe rule.
+        crate::parser::parse_rule(&format!("{text} :- {text}."))
+            .unwrap()
+            .head
+    }
+
+    #[test]
+    fn adornment_display_and_counts() {
+        let a = Adornment::new(vec![true, false, true]);
+        assert_eq!(a.to_string(), "bfb");
+        assert_eq!(a.bound_count(), 2);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_all_free());
+        assert!(Adornment::new(vec![false, false]).is_all_free());
+        assert!(Adornment::new(vec![]).is_empty());
+    }
+
+    #[test]
+    fn pattern_adornment_marks_constants_bound() {
+        let p = pattern("p(c0, Y)");
+        assert_eq!(Adornment::from_pattern(&p).to_string(), "bf");
+        let q = pattern("p(c0, c5)");
+        assert_eq!(Adornment::from_pattern(&q).to_string(), "bb");
+    }
+
+    #[test]
+    fn transitive_closure_bf_reaches_only_bf() {
+        // p(X, Y) :- e(X, Z), p(Z, Y).  With p^bf, e's X is bound, so Z is
+        // bound after e is placed, giving the recursive call p^bf again —
+        // the classic single-adornment closure.
+        let program = transitive_closure("e", "e");
+        let adorned = adorn_program(&program, &pattern("p(c0, Y)"), Sips::default());
+        assert_eq!(adorned.goal_adornment.to_string(), "bf");
+        assert_eq!(adorned.rules.len(), 2, "one adornment, two rules");
+        for rule in &adorned.rules {
+            for body_atom in &rule.body {
+                if let Some(a) = &body_atom.adornment {
+                    assert_eq!(a.to_string(), "bf");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bound_preferring_sips_reorders_the_body() {
+        // q(X) :- e(Y, Z), f(X, Y).  With q^b, f has one bound position and
+        // e has none, so the bound-preferring SIPS places f first; the
+        // left-to-right SIPS keeps e first.
+        let program = parse_program("q(X) :- e(Y, Z), f(X, Y).\nq(X) :- g(X).").unwrap();
+        let goal = pattern("q(c0)");
+        let greedy = adorn_program(&program, &goal, Sips::BoundPreferring);
+        assert_eq!(greedy.rules[0].body[0].atom.pred, Pred::new("f"));
+        assert_eq!(greedy.rules[0].body[1].atom.pred, Pred::new("e"));
+        let textual = adorn_program(&program, &goal, Sips::LeftToRight);
+        assert_eq!(textual.rules[0].body[0].atom.pred, Pred::new("e"));
+    }
+
+    #[test]
+    fn unreachable_predicates_are_dropped() {
+        let program = parse_program(
+            "p(X, Y) :- e(X, Y).\n\
+             r(X, Y) :- e(X, Y), p(X, Y).",
+        )
+        .unwrap();
+        let adorned = adorn_program(&program, &pattern("p(c0, Y)"), Sips::default());
+        // Only p's rule is reachable from the goal; r's rule is dropped.
+        assert_eq!(adorned.rules.len(), 1);
+        assert_eq!(adorned.rules[0].head.pred, Pred::new("p"));
+    }
+
+    #[test]
+    fn distinct_call_patterns_get_distinct_adornments() {
+        // s(X, Y) :- p(X, Z), p(Y, W): under s^bf the first call is p^bf,
+        // the second p^ff (Y free, nothing binds it sideways).
+        let program = parse_program(
+            "s(X, Y) :- p(X, Z), p(Y, W).\n\
+             p(X, Y) :- e(X, Y).",
+        )
+        .unwrap();
+        let adorned = adorn_program(&program, &pattern("s(c0, Y)"), Sips::LeftToRight);
+        let adornments: BTreeSet<String> = adorned
+            .rules
+            .iter()
+            .flat_map(|r| r.body.iter())
+            .filter_map(|b| b.adornment.as_ref().map(|a| a.to_string()))
+            .collect();
+        assert_eq!(adornments, BTreeSet::from(["bf".into(), "ff".into()]));
+        // p gets rules for both adornments: 1 (s rule) + 2 (p under bf/ff).
+        assert_eq!(adorned.rules.len(), 3);
+    }
+
+    #[test]
+    fn repeated_head_variable_is_bound_if_any_occurrence_is() {
+        // p(X, X) under ^bf: X is bound via the first position.
+        let program = parse_program("p(X, X) :- e(X, Y), q(Y).\nq(Y) :- f(Y).").unwrap();
+        let adorned = adorn_program(&program, &pattern("p(c0, Y)"), Sips::LeftToRight);
+        let e_atom = &adorned.rules[0].body[0];
+        assert_eq!(e_atom.atom.pred, Pred::new("e"));
+        assert!(e_atom.adornment.is_none(), "EDB atoms carry no adornment");
+        let q_atom = &adorned.rules[0].body[1];
+        assert_eq!(q_atom.adornment.as_ref().unwrap().to_string(), "b");
+    }
+}

@@ -13,6 +13,16 @@
 //! match attempts) is the machine-independent cost measure the benches
 //! snapshot: scans charge one probe per tuple considered, indexed joins one
 //! probe per index candidate considered.
+//!
+//! A fourth, *goal-directed* strategy — [`Strategy::Magic`] — needs a goal
+//! pattern in addition to the program and enters through
+//! [`evaluate_goal_with`]: it adorns the program ([`crate::adorn`]),
+//! rewrites it with magic predicates ([`crate::magic`]), runs the rewritten
+//! rules through the indexed engine, and projects the guarded goal relation
+//! back onto the goal predicate.  It computes the same goal-pattern answers
+//! as the other strategies but not the same fixpoint (that is the point),
+//! so it is exempt from the iteration-for-iteration guarantee; its
+//! [`EvalStats`] describe the rewritten program's run.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -39,6 +49,46 @@ pub enum Strategy {
     /// ([`crate::index::RelationIndex`]) and join-order selection
     /// ([`crate::plan::JoinPlan`]).  The default.
     Indexed,
+    /// Goal-directed evaluation: adorn the program for a goal pattern
+    /// ([`crate::adorn`]), rewrite it with magic predicates
+    /// ([`crate::magic`]), and run the rewritten rules through the indexed
+    /// engine, deriving only goal-relevant facts.  Needs a goal pattern, so
+    /// it only takes effect through [`evaluate_goal_with`];
+    /// [`evaluate_with`] has no pattern to seed from and falls back to
+    /// [`Strategy::Indexed`].
+    Magic,
+}
+
+impl Strategy {
+    /// Every strategy, in refinement order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::Naive,
+        Strategy::SemiNaive,
+        Strategy::Indexed,
+        Strategy::Magic,
+    ];
+
+    /// The stable wire/CLI name of the strategy.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Naive => "naive",
+            Strategy::SemiNaive => "semi_naive",
+            Strategy::Indexed => "indexed",
+            Strategy::Magic => "magic",
+        }
+    }
+
+    /// Parse a wire/CLI strategy name (the inverse of [`Strategy::name`];
+    /// `semi-naive` is accepted as an alias).
+    pub fn parse(name: &str) -> Option<Strategy> {
+        match name {
+            "naive" => Some(Strategy::Naive),
+            "semi_naive" | "semi-naive" => Some(Strategy::SemiNaive),
+            "indexed" => Some(Strategy::Indexed),
+            "magic" => Some(Strategy::Magic),
+            _ => None,
+        }
+    }
 }
 
 /// Options controlling evaluation.
@@ -99,11 +149,87 @@ pub fn evaluate(program: &Program, edb: &Database) -> EvalResult {
 }
 
 /// Evaluate `program` on `edb` with explicit options.
+///
+/// [`Strategy::Magic`] needs a goal pattern to seed from; without one it
+/// falls back to [`Strategy::Indexed`] here.  Use [`evaluate_goal_with`]
+/// to actually run goal-directed.
 pub fn evaluate_with(program: &Program, edb: &Database, options: EvalOptions) -> EvalResult {
     match options.strategy {
         Strategy::Naive => naive(program, edb, options),
         Strategy::SemiNaive => delta_fixpoint(program, edb, options, JoinMode::Scan),
-        Strategy::Indexed => delta_fixpoint(program, edb, options, JoinMode::Indexed),
+        Strategy::Indexed | Strategy::Magic => {
+            delta_fixpoint(program, edb, options, JoinMode::Indexed)
+        }
+    }
+}
+
+/// Evaluate `program` on `edb` for a goal pattern with default options.
+pub fn evaluate_goal(program: &Program, edb: &Database, goal_pattern: &Atom) -> EvalResult {
+    evaluate_goal_with(program, edb, goal_pattern, EvalOptions::default())
+}
+
+/// Evaluate `program` on `edb` *for a goal pattern*: constant positions of
+/// `goal_pattern` are bound, variable positions free.  The result database
+/// is the EDB plus exactly the goal-predicate facts of the fixpoint that
+/// match the pattern — identical for every strategy, which is what the
+/// magic-vs-indexed differential suite locks.
+///
+/// Under [`Strategy::Magic`] (and when [`crate::magic::magic_applicable`]
+/// holds — otherwise this falls back to the indexed fixpoint with the same
+/// restricted result) the program is adorned and rewritten so the fixpoint
+/// derives only goal-relevant facts; on selective patterns this probes far
+/// fewer tuples than evaluating blind.  The returned [`EvalStats`] then
+/// describe the rewritten program's run: `derived_facts` counts magic +
+/// guarded facts, `iterations` counts the rewritten fixpoint's rounds, and
+/// neither is comparable to the unrewritten `Q^i_Π(D)` prefixes.
+pub fn evaluate_goal_with(
+    program: &Program,
+    edb: &Database,
+    goal_pattern: &Atom,
+    options: EvalOptions,
+) -> EvalResult {
+    let goal = goal_pattern.pred;
+    if options.strategy == Strategy::Magic && crate::magic::magic_applicable(program, goal, edb) {
+        let adorned =
+            crate::adorn::adorn_program(program, goal_pattern, crate::adorn::Sips::default());
+        let magic = crate::magic::magic_rewrite(&adorned);
+        let inner = evaluate_with(&magic.program, edb, options);
+        return restrict_to_goal(edb, &inner, magic.goal, goal, goal_pattern);
+    }
+    let strategy = match options.strategy {
+        Strategy::Magic => Strategy::Indexed,
+        other => other,
+    };
+    let inner = evaluate_with(
+        program,
+        edb,
+        EvalOptions {
+            strategy,
+            ..options
+        },
+    );
+    restrict_to_goal(edb, &inner, goal, goal, goal_pattern)
+}
+
+/// Build the strategy-independent result of [`evaluate_goal_with`]: the
+/// EDB plus the `source` relation's tuples that match the pattern, stored
+/// under `goal`.
+fn restrict_to_goal(
+    edb: &Database,
+    inner: &EvalResult,
+    source: Pred,
+    goal: Pred,
+    goal_pattern: &Atom,
+) -> EvalResult {
+    let mut database = edb.clone();
+    for tuple in inner.database.relation(source).iter() {
+        if Substitution::new().match_tuple(goal_pattern, tuple) {
+            database.insert(Fact::new(goal, tuple.clone()));
+        }
+    }
+    EvalResult {
+        database,
+        stats: inner.stats,
     }
 }
 
@@ -614,5 +740,128 @@ mod tests {
         let db = chain(2);
         let r = evaluate(&tc(), &db);
         assert!(r.database.contains(&Fact::app("e", ["c0", "c1"])));
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for strategy in Strategy::ALL {
+            assert_eq!(Strategy::parse(strategy.name()), Some(strategy));
+        }
+        assert_eq!(Strategy::parse("semi-naive"), Some(Strategy::SemiNaive));
+        assert_eq!(Strategy::parse("nonsense"), None);
+    }
+
+    fn bound_goal(n: usize) -> Atom {
+        Atom::new(
+            Pred::new("p"),
+            vec![
+                Term::Const(Constant::from_usize(0)),
+                Term::Const(Constant::from_usize(n)),
+            ],
+        )
+    }
+
+    #[test]
+    fn goal_directed_strategies_agree_on_the_pattern() {
+        let db = chain(8);
+        let goal = bound_goal(8);
+        let mut results = Strategy::ALL
+            .map(|strategy| evaluate_goal_with(&tc(), &db, &goal, with_strategy(strategy)))
+            .into_iter();
+        let reference = results.next().unwrap();
+        assert!(reference.database.contains(&Fact::app("p", ["c0", "c8"])));
+        // The restricted result is one goal fact plus the EDB, regardless
+        // of strategy.
+        assert_eq!(reference.relation(Pred::new("p")).len(), 1);
+        for other in results {
+            assert_eq!(reference.database, other.database);
+        }
+    }
+
+    #[test]
+    fn magic_probes_beat_indexed_on_a_bound_chain_query() {
+        let db = chain(16);
+        let goal = bound_goal(16);
+        let indexed = evaluate_goal_with(&tc(), &db, &goal, with_strategy(Strategy::Indexed));
+        let magic = evaluate_goal_with(&tc(), &db, &goal, with_strategy(Strategy::Magic));
+        assert_eq!(indexed.database, magic.database);
+        assert!(
+            magic.stats.probes < indexed.stats.probes,
+            "magic {} probes >= indexed {}",
+            magic.stats.probes,
+            indexed.stats.probes
+        );
+        assert!(magic.stats.derived_facts < indexed.stats.derived_facts);
+    }
+
+    #[test]
+    fn magic_without_a_pattern_falls_back_to_indexed() {
+        let db = chain(6);
+        let via_magic = evaluate_with(&tc(), &db, with_strategy(Strategy::Magic));
+        let via_indexed = evaluate_with(&tc(), &db, with_strategy(Strategy::Indexed));
+        assert_eq!(via_magic.database, via_indexed.database);
+        assert_eq!(via_magic.stats, via_indexed.stats);
+    }
+
+    #[test]
+    fn magic_falls_back_when_the_edb_holds_idb_facts() {
+        // Canonical databases of queries that mention the goal predicate
+        // store base facts under it; magic must not lose them.
+        let mut db = chain(4);
+        db.insert(Fact::app("p", ["c4", "c9"]));
+        let goal = Atom::new(
+            Pred::new("p"),
+            vec![
+                Term::Const(Constant::from_usize(0)),
+                Term::Const(Constant::new("c9")),
+            ],
+        );
+        let magic = evaluate_goal_with(&tc(), &db, &goal, with_strategy(Strategy::Magic));
+        let indexed = evaluate_goal_with(&tc(), &db, &goal, with_strategy(Strategy::Indexed));
+        assert_eq!(magic.database, indexed.database);
+        // Reachable only through the seeded IDB fact: c0 →* c4 → c9.
+        assert!(magic.database.contains(&Fact::app("p", ["c0", "c9"])));
+    }
+
+    #[test]
+    fn magic_falls_back_on_nonground_empty_body_rules() {
+        let mut rules = tc().rules().to_vec();
+        rules.push(Rule::fact(Atom::app("p", ["X", "X"])));
+        let program = Program::new(rules);
+        let db = chain(4);
+        let goal = Atom::new(
+            Pred::new("p"),
+            vec![
+                Term::Const(Constant::from_usize(2)),
+                Term::Const(Constant::from_usize(2)),
+            ],
+        );
+        let magic = evaluate_goal_with(&program, &db, &goal, with_strategy(Strategy::Magic));
+        let indexed = evaluate_goal_with(&program, &db, &goal, with_strategy(Strategy::Indexed));
+        assert_eq!(magic.database, indexed.database);
+        // The reflexive fact comes from domain instantiation only.
+        assert!(magic.database.contains(&Fact::app("p", ["c2", "c2"])));
+    }
+
+    #[test]
+    fn free_variable_patterns_restrict_to_matching_tuples() {
+        let db = chain(4);
+        // p(c1, Y): all nodes reachable from c1.
+        let goal = Atom::new(
+            Pred::new("p"),
+            vec![
+                Term::Const(Constant::from_usize(1)),
+                Term::Var(crate::term::Var::new("Y")),
+            ],
+        );
+        for strategy in Strategy::ALL {
+            let r = evaluate_goal_with(&tc(), &db, &goal, with_strategy(strategy));
+            assert_eq!(
+                r.relation(Pred::new("p")).len(),
+                3,
+                "{}: c2, c3, c4 reachable from c1",
+                strategy.name()
+            );
+        }
     }
 }

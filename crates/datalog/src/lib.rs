@@ -14,6 +14,9 @@
 //!   relations ([`index::RelationIndex`]) and naive, semi-naive, and
 //!   indexed-join bottom-up evaluation ([`eval::evaluate`],
 //!   [`plan::JoinPlan`]),
+//! * a goal-directed planning layer: bound/free adornments under a
+//!   configurable SIPS ([`adorn`]) and the magic-set rewrite ([`magic`]),
+//!   surfaced as [`eval::Strategy::Magic`] via [`eval::evaluate_goal`],
 //! * program validation ([`validate`]) and statistics ([`stats`]),
 //! * generators for the paper's program families and for random instances
 //!   ([`generate`]).
@@ -44,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod adorn;
 pub mod atom;
 pub mod database;
 pub mod depgraph;
@@ -53,6 +57,7 @@ pub mod generate;
 pub mod index;
 pub mod intern;
 pub mod lexer;
+pub mod magic;
 pub mod parser;
 pub mod plan;
 pub mod program;

@@ -1,0 +1,308 @@
+//! Magic-set rewriting of an adorned program, in the classic
+//! Beeri–Ramakrishnan style: rewrite the program so that a bottom-up
+//! fixpoint derives only facts relevant to a given goal pattern.
+//!
+//! # The rewrite
+//!
+//! Input: an [`AdornedProgram`] (see [`crate::adorn`]) for a goal pattern
+//! `g(t̄)` whose constant positions are bound.  For every adorned predicate
+//! `p^a` the rewrite introduces two interned predicates whose names contain
+//! `#` — a character the parser rejects in identifiers, so the generated
+//! names can never collide with user predicates (the same trick the
+//! canonical-database freezing uses with its `?`-prefixed constants):
+//!
+//! * the **guarded** predicate `p#a`, with p's arity, holding the facts of
+//!   `p` derived under call pattern `a`;
+//! * the **magic** predicate `m#p#a`, with one position per *bound*
+//!   position of `a`, holding the bindings with which `p^a` is called.
+//!
+//! The rewritten program contains, for the goal adornment `a₀`:
+//!
+//! * the **seed fact** `m#g#a₀(c̄).` where `c̄` are the constants at the
+//!   bound positions of the goal pattern;
+//! * for every adorned rule `p^a(ū) :- B₁, …, Bₙ` (body already in SIPS
+//!   order) the **guarded rule**
+//!   `p#a(ū) :- m#p#a(bound(ū)), B₁', …, Bₙ'`,
+//!   where `Bᵢ'` is `Bᵢ` with IDB atoms `q^b(v̄)` renamed to `q#b(v̄)`;
+//! * for every IDB body atom `Bᵢ = q^b(v̄)` of such a rule the **magic
+//!   rule** `m#q#b(bound(v̄)) :- m#p#a(bound(ū)), B₁', …, B_{i-1}'` —
+//!   "if `p^a` is called with these bindings and the body prefix before
+//!   `Bᵢ` matches, then `q^b` is called with the bindings `b` marks".
+//!
+//! # Goal equivalence
+//!
+//! **Claim.**  Let `D` be a database with no facts for IDB predicates, `Π`
+//! the original program, and `Πᵐ` the rewrite for goal pattern `g(t̄)`.
+//! Then for every tuple `c̄` matching the pattern:
+//! `g(c̄) ∈ Π(D)  ⟺  g#a₀(c̄) ∈ Πᵐ(D)`.
+//!
+//! *Soundness (⇐).*  By induction on the derivation order of `Πᵐ(D)`:
+//! every guarded fact `p#a(c̄) ∈ Πᵐ(D)` satisfies `p(c̄) ∈ Π(D)`.  A
+//! guarded rule is its original rule with IDB atoms renamed and one magic
+//! guard prepended; by the induction hypothesis each guarded body fact
+//! maps to an original fact, EDB body atoms match `D` directly, and
+//! dropping the guard leaves a valid instance of the original rule.
+//!
+//! *Completeness (⇒).*  Call a pair `(p, σ)` of a predicate and a binding
+//! of the bound positions of some adornment `a` *relevant* if `m#p#a(σ) ∈
+//! Πᵐ(D)`.  By induction on the fixpoint stage `i` of `Π(D)` one shows:
+//! for every fact `p(c̄) ∈ Π^i(D)` and every adornment `a` of `p` with
+//! `m#p#a(bound_a(c̄)) ∈ Πᵐ(D)`, also `p#a(c̄) ∈ Πᵐ(D)`.  Take the rule
+//! instance that derived `p(c̄)` at stage `i`.  Its head bindings extend
+//! to the whole rule; walk the body in SIPS order.  The magic rules fire
+//! left to right along exactly this prefix chain: the guard `m#p#a` holds
+//! by assumption, every earlier body atom holds in `Πᵐ(D)` (EDB atoms
+//! directly, IDB atoms by the inner induction — their magic fact is
+//! derived by the magic rule for that position, whose body is the same
+//! already-established prefix), so each IDB body atom `q^b` first becomes
+//! relevant and then, by the stage-(i−1) hypothesis, its guarded fact is
+//! derived.  With the full body available the guarded rule fires and
+//! derives `p#a(c̄)`.  The seed fact makes `(g, bound(t̄))` relevant, so
+//! every `g(c̄) ∈ Π(D)` matching the pattern yields `g#a₀(c̄) ∈ Πᵐ(D)`. ∎
+//!
+//! The two hypotheses of the claim are exactly what
+//! [`magic_applicable`] checks before [`crate::eval::evaluate_goal_with`]
+//! commits to the rewrite:
+//!
+//! * **no EDB facts for IDB predicates** — the rewrite renames IDB body
+//!   atoms to guarded names, so base facts stored under an IDB predicate
+//!   would be invisible to the rewritten program;
+//! * **no non-ground empty-body rules** — `p(X, X).` is evaluated by
+//!   instantiation over the active domain, but its guarded form has a
+//!   non-empty body (the magic guard) and an unsafe head, so the rewrite
+//!   would silently drop its facts.
+//!
+//! When either condition fails the caller falls back to the plain indexed
+//! fixpoint; the verdict is unchanged, only the pruning is lost.
+
+use crate::adorn::{AdornedProgram, Adornment};
+use crate::atom::{Atom, Pred};
+use crate::database::Database;
+use crate::program::Program;
+use crate::rule::Rule;
+use crate::term::Term;
+
+/// The result of the magic rewrite.
+#[derive(Clone, Debug)]
+pub struct MagicProgram {
+    /// The rewritten rules: seed fact, magic rules, guarded rules.
+    pub program: Program,
+    /// The guarded goal predicate `g#a₀`; its relation in the rewritten
+    /// fixpoint carries the goal facts relevant to the pattern.
+    pub goal: Pred,
+    /// The original goal predicate.
+    pub original_goal: Pred,
+}
+
+/// The guarded name `p#a` of an adorned predicate.
+fn guarded_pred(pred: Pred, adornment: &Adornment) -> Pred {
+    Pred::new(&format!("{}#{}", pred.name(), adornment))
+}
+
+/// The magic name `m#p#a` of an adorned predicate.
+fn magic_pred(pred: Pred, adornment: &Adornment) -> Pred {
+    Pred::new(&format!("m#{}#{}", pred.name(), adornment))
+}
+
+/// The terms at the bound positions of `atom` under `adornment`.
+fn bound_terms(atom: &Atom, adornment: &Adornment) -> Vec<Term> {
+    atom.terms
+        .iter()
+        .zip(adornment.flags())
+        .filter(|&(_, &bound)| bound)
+        .map(|(&t, _)| t)
+        .collect()
+}
+
+/// The magic atom `m#p#a(bound(t̄))` for an adorned atom occurrence.
+fn magic_atom(atom: &Atom, adornment: &Adornment) -> Atom {
+    Atom::new(
+        magic_pred(atom.pred, adornment),
+        bound_terms(atom, adornment),
+    )
+}
+
+/// Can the magic rewrite serve this (program, goal, database) triple?
+/// See the module docs for why each condition is required; callers fall
+/// back to the plain fixpoint when this returns `false`.
+pub fn magic_applicable(program: &Program, goal: Pred, edb: &Database) -> bool {
+    program.is_idb(goal)
+        && program
+            .rules()
+            .iter()
+            .all(|r| !r.body.is_empty() || r.head.is_ground())
+        && edb.predicates().all(|p| !program.is_idb(p))
+}
+
+/// Rewrite an adorned program into its magic form.  The returned program
+/// is an ordinary Datalog program evaluable by any [`crate::eval`]
+/// strategy; [`crate::eval::evaluate_goal_with`] runs it through the
+/// indexed engine and projects the guarded goal relation back onto the
+/// original goal predicate.
+pub fn magic_rewrite(adorned: &AdornedProgram) -> MagicProgram {
+    let mut rules: Vec<Rule> = Vec::new();
+
+    // Seed: the goal's bound constants, as an empty-body ground rule.
+    let seed = magic_atom(&adorned.goal_pattern, &adorned.goal_adornment);
+    rules.push(Rule::fact(seed));
+
+    // Magic rules first (deriving call bindings), then guarded rules —
+    // the order is cosmetic (fixpoints are order-independent) but keeps
+    // the rewritten program readable in debug output.
+    let mut guarded: Vec<Rule> = Vec::new();
+    for rule in &adorned.rules {
+        let guard = magic_atom(&rule.head, &rule.head_adornment);
+        let mut prefix: Vec<Atom> = vec![guard.clone()];
+        for body_atom in &rule.body {
+            let rewritten = match &body_atom.adornment {
+                Some(adornment) => Atom::new(
+                    guarded_pred(body_atom.atom.pred, adornment),
+                    body_atom.atom.terms.clone(),
+                ),
+                None => body_atom.atom.clone(),
+            };
+            if let Some(adornment) = &body_atom.adornment {
+                let magic_rule = Rule::new(magic_atom(&body_atom.atom, adornment), prefix.clone());
+                if !rules.contains(&magic_rule) {
+                    rules.push(magic_rule);
+                }
+            }
+            prefix.push(rewritten);
+        }
+        let head = Atom::new(
+            guarded_pred(rule.head.pred, &rule.head_adornment),
+            rule.head.terms.clone(),
+        );
+        let guarded_rule = Rule::new(head, prefix);
+        if !guarded.contains(&guarded_rule) {
+            guarded.push(guarded_rule);
+        }
+    }
+    rules.extend(guarded);
+
+    MagicProgram {
+        program: Program::new(rules),
+        goal: guarded_pred(adorned.goal(), &adorned.goal_adornment),
+        original_goal: adorned.goal(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adorn::{adorn_program, Sips};
+    use crate::atom::Fact;
+    use crate::eval::evaluate;
+    use crate::generate::{chain_database, transitive_closure};
+    use crate::parser::parse_program;
+    use crate::term::Constant;
+
+    fn pattern(text: &str) -> Atom {
+        crate::parser::parse_rule(&format!("{text} :- {text}."))
+            .unwrap()
+            .head
+    }
+
+    fn rewrite(program: &Program, goal: &Atom) -> MagicProgram {
+        magic_rewrite(&adorn_program(program, goal, Sips::default()))
+    }
+
+    #[test]
+    fn rewritten_names_are_unparseable_and_goal_is_guarded() {
+        let program = transitive_closure("e", "e");
+        let magic = rewrite(&program, &pattern("p(c0, c5)"));
+        assert_eq!(magic.goal.name(), "p#bb");
+        assert_eq!(magic.original_goal, Pred::new("p"));
+        assert!(crate::parser::parse_program(&magic.program.to_string()).is_err());
+        // The seed fact is present and ground.
+        let seed = &magic.program.rules()[0];
+        assert!(seed.body.is_empty());
+        assert_eq!(seed.head.pred.name(), "m#p#bb");
+        assert!(seed.head.is_ground());
+    }
+
+    #[test]
+    fn fully_bound_chain_query_derives_a_linear_fixpoint() {
+        // p(c0, c8) over a chain of 8: the full TC fixpoint has 36 p-facts;
+        // the magic fixpoint only walks forward from c0.
+        let program = transitive_closure("e", "e");
+        let db = chain_database("e", 8);
+        let full = evaluate(&program, &db);
+        assert_eq!(full.relation(Pred::new("p")).len(), 36);
+        let magic = rewrite(&program, &pattern("p(c0, c8)"));
+        let result = evaluate(&magic.program, &db);
+        let tuple = vec![Constant::new("c0"), Constant::new("c8")];
+        assert!(result.relation(magic.goal).contains(&tuple));
+        // Only suffixes of the c0-walk are derived: 8 guarded facts.
+        assert_eq!(result.relation(magic.goal).len(), 8);
+        assert!(result.stats.derived_facts < full.stats.derived_facts);
+    }
+
+    #[test]
+    fn magic_agrees_with_full_evaluation_on_the_pattern() {
+        let program = parse_program(
+            "p(X, Y) :- e(X, Z), p(Z, Y).\n\
+             p(X, Y) :- e(X, Y).\n\
+             p(X, Y) :- f(X, Y).",
+        )
+        .unwrap();
+        let mut db = chain_database("e", 5);
+        db.insert(Fact::app("f", ["c2", "c0"]));
+        let full = evaluate(&program, &db);
+        for target in ["c0", "c1", "c3", "c9"] {
+            let goal = pattern(&format!("p(c2, {target})"));
+            let magic = rewrite(&program, &goal);
+            let result = evaluate(&magic.program, &db);
+            let tuple = vec![Constant::new("c2"), Constant::new(target)];
+            assert_eq!(
+                result.relation(magic.goal).contains(&tuple),
+                full.relation(Pred::new("p")).contains(&tuple),
+                "target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn applicability_rejects_the_documented_fallback_cases() {
+        let program = transitive_closure("e", "e");
+        let db = chain_database("e", 3);
+        assert!(magic_applicable(&program, Pred::new("p"), &db));
+        // Goal not an IDB predicate.
+        assert!(!magic_applicable(&program, Pred::new("e"), &db));
+        // EDB facts stored under an IDB predicate (canonical databases of
+        // queries that mention the goal do this).
+        let mut idb_facts = db.clone();
+        idb_facts.insert(Fact::app("p", ["c9", "c9"]));
+        assert!(!magic_applicable(&program, Pred::new("p"), &idb_facts));
+        // Non-ground empty-body rule (domain-instantiated reflexivity).
+        let mut rules = program.rules().to_vec();
+        rules.push(Rule::fact(Atom::app("p", ["X", "X"])));
+        let with_reflexive = Program::new(rules);
+        assert!(!magic_applicable(&with_reflexive, Pred::new("p"), &db));
+        // Ground empty-body rules are fine.
+        let mut rules = program.rules().to_vec();
+        rules.push(Rule::fact(Atom::app("p", ["c7", "c7"])));
+        let with_ground = Program::new(rules);
+        assert!(magic_applicable(&with_ground, Pred::new("p"), &db));
+    }
+
+    #[test]
+    fn duplicate_magic_rules_are_emitted_once() {
+        // Two rules with the same head adornment and the same first body
+        // atom produce the same magic rule for it.
+        let program = parse_program(
+            "p(X, Y) :- q(X, Z), r(Z, Y).\n\
+             p(X, Y) :- q(X, Z), s(Z, Y).\n\
+             q(X, Y) :- e(X, Y).",
+        )
+        .unwrap();
+        let magic = rewrite(&program, &pattern("p(c0, Y)"));
+        let magic_rule_count = magic
+            .program
+            .rules()
+            .iter()
+            .filter(|r| r.head.pred.name().starts_with("m#q"))
+            .count();
+        assert_eq!(magic_rule_count, 1);
+    }
+}

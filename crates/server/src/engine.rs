@@ -50,12 +50,14 @@ pub const DEFAULT_MAX_UNFOLD: usize = 20_000;
 pub const MAX_BOUNDED_DEPTH: usize = 32;
 
 fn decision_options(options: RequestOptions) -> DecisionOptions {
+    let defaults = DecisionOptions::default();
     DecisionOptions {
         allow_word_path: options.allow_word_path,
         use_cache: options.use_cache,
         max_pairs: Some(options.max_pairs.unwrap_or(DEFAULT_MAX_PAIRS)),
         max_unfold: DEFAULT_MAX_UNFOLD,
-        ..DecisionOptions::default()
+        strategy: options.strategy.unwrap_or(defaults.strategy),
+        ..defaults
     }
 }
 
@@ -66,6 +68,18 @@ fn parse_program_field(field: &'static str, text: &str) -> Result<Program, WireE
 fn parse_query_field(field: &'static str, text: &str) -> Result<Ucq, WireError> {
     Ucq::parse_checked(text)
         .map_err(|e| WireError::new(e.code(), format!("in field `{field}`: {e}")))
+}
+
+/// The one wire rendering of [`nonrec_equivalence::StrategyCounts`]: shared
+/// by the `optimize` verb's report and the `stats` verb's
+/// `strategy_decisions` block, so the shape cannot drift between the two.
+pub fn strategy_counts_json(counts: &nonrec_equivalence::StrategyCounts) -> Value {
+    obj(vec![
+        ("naive", Value::num(counts.naive as f64)),
+        ("semi_naive", Value::num(counts.semi_naive as f64)),
+        ("indexed", Value::num(counts.indexed as f64)),
+        ("magic", Value::num(counts.magic as f64)),
+    ])
 }
 
 fn path_name(path: DecisionPath) -> &'static str {
@@ -274,6 +288,10 @@ pub fn execute(command: &Command) -> Result<Value, WireError> {
                     "containment_cache_hits",
                     Value::num(report.containment_cache_hits as f64),
                 ),
+                (
+                    "strategy_decisions",
+                    strategy_counts_json(&report.strategy_decisions),
+                ),
             ]))
         }
         // Batches are unrolled by the pool; `stats` and the admin verbs are
@@ -453,6 +471,25 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.code, "resource_limit");
         assert!(err.message.contains("atoms"));
+    }
+
+    #[test]
+    fn strategy_option_changes_no_verdict() {
+        // The same equivalence request under every strategy name must give
+        // one verdict; `no_cache` keeps each run on the uncached path so
+        // the magic run actually evaluates rather than recalling a verdict
+        // the indexed run stored.
+        for strategy in ["naive", "semi_naive", "indexed", "magic"] {
+            let result = run(&format!(
+                r#"{{"op":"equivalence","program":"buys(X, Y) :- likes(X, Y).\nbuys(X, Y) :- trendy(X), buys(Z, Y).","goal":"buys","candidate":"buys(X, Y) :- likes(X, Y).\nbuys(X, Y) :- trendy(X), likes(Z, Y).","options":{{"no_cache":true,"strategy":"{strategy}"}}}}"#,
+            ))
+            .unwrap();
+            assert_eq!(
+                result.get("equivalent").unwrap().as_bool(),
+                Some(true),
+                "verdict drifted under strategy {strategy}"
+            );
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! `recursive_candidate`, `resource_limit`), and admin-level (`io_error`,
 //! `snapshot_error`).  The README documents every field of every verb.
 
+use datalog::eval::Strategy;
 use nonrec_equivalence::cache::CacheLimits;
 
 use crate::json::{obj, Value};
@@ -68,6 +69,12 @@ pub struct RequestOptions {
     pub max_pairs: Option<usize>,
     /// Per-request deadline override, in milliseconds.
     pub timeout_ms: Option<u64>,
+    /// Evaluation strategy for the canonical-database checks
+    /// (`"strategy": "naive" | "semi_naive" | "indexed" | "magic"`);
+    /// `None` keeps the engine default (indexed).  Verdicts are
+    /// strategy-independent, so this never changes an answer — `magic`
+    /// evaluates goal-directed and is the latency knob.
+    pub strategy: Option<Strategy>,
 }
 
 impl Default for RequestOptions {
@@ -77,6 +84,7 @@ impl Default for RequestOptions {
             allow_word_path: true,
             max_pairs: None,
             timeout_ms: None,
+            strategy: None,
         }
     }
 }
@@ -294,11 +302,20 @@ fn parse_options(value: &Value) -> Result<RequestOptions, WireError> {
         Some(v @ Value::Obj(_)) => v,
         Some(_) => return Err(WireError::bad_request("field `options` must be an object")),
     };
+    let strategy = match optional_str(options, "strategy")? {
+        None => None,
+        Some(name) => Some(Strategy::parse(&name).ok_or_else(|| {
+            WireError::bad_request(format!(
+                "unknown strategy `{name}` (expected naive, semi_naive, indexed, or magic)"
+            ))
+        })?),
+    };
     Ok(RequestOptions {
         use_cache: !optional_bool(options, "no_cache")?,
         allow_word_path: !optional_bool(options, "no_word_path")?,
         max_pairs: optional_u64(options, "max_pairs")?.map(|n| n as usize),
         timeout_ms: optional_u64(options, "timeout_ms")?,
+        strategy,
     })
 }
 
@@ -567,6 +584,41 @@ mod tests {
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn strategy_option_parses_and_rejects_unknown_names() {
+        let v = parse(
+            r#"{"op":"equivalence","program":"p.","goal":"p","candidate":"p.",
+                "options":{"strategy":"magic"}}"#,
+        )
+        .unwrap();
+        match parse_request(&v, true).unwrap().command {
+            Command::Equivalence { options, .. } => {
+                assert_eq!(options.strategy, Some(Strategy::Magic));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // The hyphenated alias is accepted; garbage is a bad_request.
+        let v = parse(
+            r#"{"op":"containment","program":"p.","goal":"p","query":"q.",
+                "options":{"strategy":"semi-naive"}}"#,
+        )
+        .unwrap();
+        match parse_request(&v, true).unwrap().command {
+            Command::Containment { options, .. } => {
+                assert_eq!(options.strategy, Some(Strategy::SemiNaive));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let v = parse(
+            r#"{"op":"containment","program":"p.","goal":"p","query":"q.",
+                "options":{"strategy":"voodoo"}}"#,
+        )
+        .unwrap();
+        let err = parse_request(&v, true).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        assert!(err.message.contains("voodoo"));
     }
 
     #[test]

@@ -264,6 +264,10 @@ impl ServerStats {
                 ]),
             ),
             ("verbs", Value::Obj(verbs)),
+            (
+                "strategy_decisions",
+                crate::engine::strategy_counts_json(&nonrec_equivalence::strategy_decision_counts()),
+            ),
         ])
     }
 }
@@ -305,6 +309,14 @@ mod tests {
         assert_eq!(server.get("invalid_json").unwrap().as_u64(), Some(1));
         let verb = snapshot.get("verbs").unwrap().get("equivalence").unwrap();
         assert_eq!(verb.get("count").unwrap().as_u64(), Some(2));
+        // The per-strategy decision tallies are present for every strategy.
+        let strategies = snapshot.get("strategy_decisions").unwrap();
+        for name in ["naive", "semi_naive", "indexed", "magic"] {
+            assert!(
+                strategies.get(name).unwrap().as_u64().is_some(),
+                "missing strategy counter `{name}`"
+            );
+        }
         assert_eq!(
             snapshot
                 .get("cache")

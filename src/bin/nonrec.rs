@@ -15,6 +15,8 @@
 //!     --no-word-path    disable the word-automata fast path
 //!     --no-cache        bypass the shared decision cache
 //!     --max-pairs <N>   abort tree containment after N product pairs
+//!     --strategy <S>    evaluation strategy for canonical-database checks:
+//!                       naive | semi_naive | indexed (default) | magic
 //!
 //! EXIT CODES:
 //!     0  the programs are equivalent
@@ -41,7 +43,8 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: nonrec --program <FILE> --goal <PRED> --candidate <FILE> \
-     [--stats] [--no-word-path] [--no-cache] [--max-pairs <N>]"
+     [--stats] [--no-word-path] [--no-cache] [--max-pairs <N>] \
+     [--strategy <naive|semi_naive|indexed|magic>]"
 }
 
 /// Why argument parsing stopped without producing an [`Args`].
@@ -78,6 +81,14 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, ArgsError>
                     n.parse()
                         .map_err(|_| ArgsError::Bad(format!("invalid --max-pairs: {n}")))?,
                 );
+            }
+            "--strategy" => {
+                let name = argv.next().ok_or("--strategy needs a name")?;
+                options.strategy = datalog::eval::Strategy::parse(&name).ok_or_else(|| {
+                    ArgsError::Bad(format!(
+                        "invalid --strategy: {name} (expected naive, semi_naive, indexed, or magic)"
+                    ))
+                })?;
             }
             "--help" | "-h" => return Err(ArgsError::Help),
             other => return Err(ArgsError::Bad(format!("unknown argument: {other}"))),
@@ -174,6 +185,12 @@ fn run(args: &Args) -> Result<bool, String> {
         println!(
             "[stats] decision cache: {} hits / {} misses, {} pairs explored, {} pairs saved",
             cache.hits, cache.misses, cache.pairs_explored, cache.pairs_saved
+        );
+        let decisions = nonrec_equivalence::strategy_decision_counts();
+        println!(
+            "[stats] canonical-db decisions by strategy: naive {}, semi_naive {}, \
+             indexed {}, magic {}",
+            decisions.naive, decisions.semi_naive, decisions.indexed, decisions.magic
         );
     }
 

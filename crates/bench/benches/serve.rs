@@ -2,11 +2,16 @@
 //! stack and cache amortisation across requests.
 //!
 //! Starts the real TCP server in-process (same code path as the binary,
-//! minus process spawn), then drives client fleets through two phases:
+//! minus process spawn), then drives client fleets through the phases:
 //!
 //! * **cold** — every request is a fresh decision (disjoint cache keys);
 //! * **warm** — the identical request set again, which must be answered
 //!   from the shared `DecisionCache`;
+//! * **pipelined** — the same cold/warm split, but every client writes its
+//!   whole burst before reading anything (the pipelined protocol): warm
+//!   throughput stops being floored by per-request round-trip syscalls;
+//! * **routed** — the pipelined fleet again, through an in-process
+//!   `nonrec-route` sharding to two in-process shard servers;
 //! * **eviction churn** — the cache capped (via the `cache_limits` admin
 //!   verb) far below a hot-plus-cold request stream, measuring the hit
 //!   rate under memory pressure: the hot set must keep hitting while the
@@ -15,35 +20,64 @@
 //! Doubles as the serving regression gate for `scripts/ci.sh`:
 //!
 //! * every request of every phase must answer `ok` (no `busy`, no errors)
-//!   — the pool is sized for the fleet;
-//! * the warm phase must answer ≥ 90 % of its cache lookups from the
+//!   — the pool and queue are sized for the fleet;
+//! * each warm phase must answer ≥ 90 % of its cache lookups from the
 //!   cache (the amortisation the server exists for);
+//! * single-client pipelined warm throughput must beat the same-run
+//!   single-client round-trip warm throughput ≥ 5× (retiring the
+//!   round-trip floor), pipelined fleets must beat their own fleet size
+//!   ≥ 2×, and the pipelined 4-client fleet must no longer be slower
+//!   than 1 round-trip client (the regression the pipelining work
+//!   fixed);
+//! * the routed phases must forward on **both** shards, pass no `busy`
+//!   through, and requeue nothing (no shard died);
 //! * the churn phase must actually evict, must stay within its cap, and
 //!   must keep the hot set's hit rate up (cost-aware LRU doing its job);
 //! * when `NONREC_BENCH_JSON` names a file, the per-scenario counters are
 //!   written there (`BENCH_serve.json` in CI).  Wall-clock fields (`rps`)
 //!   are informational; the diff gate ignores them.  The churn workload is
 //!   single-client and sequential, so its counters are deterministic and
-//!   diffable.
+//!   diffable; the routed shard split is deterministic too (the route hash
+//!   is structural), so the per-shard forwarded counters are snapshotted.
 
 use bench::report_shape;
 use bench::{criterion_group, criterion_main, Criterion};
 use std::time::Instant;
 
-use server::json::Value;
+use server::json::{self, Value};
 use server::protocol;
+use server::router::{Router, RouterConfig};
 use server::{Client, PoolConfig, Server, ServerConfig};
 
 /// Fixed workload sizing — independent of `NONREC_BENCH_FAST`, so the
 /// snapshot counters are identical between smoke and full runs.
 const PER_CLIENT: usize = 24;
 const FLEETS: [usize; 2] = [1, 4];
+/// Warm round-trip phases replay the request set this many times: one
+/// warm round trip is ~tens of µs, and the ratio gates below divide by
+/// this rate, so the measured window must outlast scheduler jitter.
+const RT_REPLAYS: usize = 4;
+/// Warm phases drive this many bursts and report the fastest one: on a
+/// shared box an unlucky preemption can halve a single burst's apparent
+/// rate, and the ratio gates measure the pipeline, not the noise.  Both
+/// sides of every ratio get the same treatment, so the comparison stays
+/// symmetric.  Counters (requests, hits) accumulate across all bursts
+/// and stay deterministic.
+const WARM_BURSTS: usize = 5;
+/// Warm pipelined bursts replay the request set this many times, so the
+/// per-burst framing cost is amortised over enough requests to measure —
+/// at warm drain rates a small burst finishes in a couple of
+/// milliseconds, inside scheduler jitter.
+const PIPE_REPLAYS: usize = 64;
 
 fn start_server() -> std::net::SocketAddr {
     let config = ServerConfig {
         pool: PoolConfig {
             workers: 4,
-            queue_capacity: 64,
+            // Deep pipelined bursts park hundreds of requests in the queue
+            // at once; `busy` here would be a bench artefact, not a server
+            // property (the backpressure gate lives in the soak).
+            queue_capacity: 2048,
         },
         ..ServerConfig::default()
     };
@@ -85,6 +119,7 @@ fn client_requests(scenario: usize, client: usize) -> Vec<Value> {
 }
 
 struct PhaseRow {
+    kind: &'static str,
     clients: usize,
     phase: &'static str,
     ok: usize,
@@ -146,6 +181,62 @@ fn drive(addr: std::net::SocketAddr, fleets: &[Vec<Value>]) -> (usize, usize, f6
     (ok, errors, seconds)
 }
 
+/// Drive one pipelined phase: every client writes its whole burst
+/// (`replays` copies of its request list, one buffered write) before
+/// reading anything, then drains every response with
+/// [`Client::recv_raw`].  Only the transfer is timed; the verdict parse
+/// runs after the clock stops, because the bench client shares cores
+/// with the server and parsing each response inside the timed window
+/// would measure the harness, not the pipeline.  Responses may arrive
+/// out of order; the bench only counts verdicts — the differential
+/// tests do the id correlation.
+fn drive_pipelined(
+    addr: std::net::SocketAddr,
+    fleets: &[Vec<Value>],
+    replays: usize,
+) -> (usize, usize, f64) {
+    let start = Instant::now();
+    let buffers = std::thread::scope(|scope| {
+        let handles: Vec<_> = fleets
+            .iter()
+            .map(|requests| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect bench client");
+                    let burst: Vec<Value> = std::iter::repeat_with(|| requests.iter().cloned())
+                        .take(replays)
+                        .flatten()
+                        .collect();
+                    client.send_all(&burst).expect("pipelined write");
+                    let mut raw = Vec::with_capacity(burst.len() * 128);
+                    client
+                        .recv_raw(burst.len(), &mut raw)
+                        .expect("pipelined drain");
+                    raw
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect::<Vec<_>>()
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    let mut ok = 0usize;
+    let mut errors = 0usize;
+    for raw in &buffers {
+        for line in raw.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
+            let text = std::str::from_utf8(line).expect("utf-8 response");
+            let response = json::parse(text).expect("well-formed response");
+            if response.get("ok").and_then(Value::as_bool) == Some(true) {
+                ok += 1;
+            } else {
+                errors += 1;
+            }
+        }
+    }
+    (ok, errors, seconds)
+}
+
 fn bench_serve(c: &mut Criterion) {
     let addr = start_server();
     let mut stats_client = Client::connect(addr).expect("connect stats client");
@@ -155,11 +246,31 @@ fn bench_serve(c: &mut Criterion) {
         let fleets: Vec<Vec<Value>> = (0..clients)
             .map(|client| client_requests(scenario, client))
             .collect();
-        let total: usize = fleets.iter().map(Vec::len).sum();
 
         for phase in ["cold", "warm"] {
+            // Cold stays at one pass — fresh keys are only fresh once.
+            let replays = if phase == "warm" { RT_REPLAYS } else { 1 };
+            let phase_fleets: Vec<Vec<Value>> = fleets
+                .iter()
+                .map(|requests| {
+                    std::iter::repeat_with(|| requests.iter().cloned())
+                        .take(replays)
+                        .flatten()
+                        .collect()
+                })
+                .collect();
+            let burst_total: usize = phase_fleets.iter().map(Vec::len).sum();
+            let bursts = if phase == "warm" { WARM_BURSTS } else { 1 };
+            let total = burst_total * bursts;
             let (hits_before, misses_before, _) = cache_counters(&mut stats_client);
-            let (ok, errors, seconds) = drive(addr, &fleets);
+            let (mut ok, mut errors) = (0usize, 0usize);
+            let mut fastest = f64::INFINITY;
+            for _ in 0..bursts {
+                let (burst_ok, burst_errors, seconds) = drive(addr, &phase_fleets);
+                ok += burst_ok;
+                errors += burst_errors;
+                fastest = fastest.min(seconds);
+            }
             let (hits_after, misses_after, busy) = cache_counters(&mut stats_client);
 
             // Serving regression gate #1: the pool must absorb the fleet.
@@ -189,7 +300,7 @@ fn bench_serve(c: &mut Criterion) {
                 // clients; the counter is not stable enough to snapshot.
                 None
             };
-            let rps = (total as f64 / seconds.max(1e-9)) as u64;
+            let rps = (burst_total as f64 / fastest.max(1e-9)) as u64;
             report_shape(
                 "E14_serve",
                 clients,
@@ -204,6 +315,7 @@ fn bench_serve(c: &mut Criterion) {
                 ],
             );
             rows.push(PhaseRow {
+                kind: "throughput",
                 clients,
                 phase,
                 ok,
@@ -214,6 +326,261 @@ fn bench_serve(c: &mut Criterion) {
             });
         }
     }
+
+    // Same-run round-trip warm baselines for the pipelining gates below
+    // (gating against the *committed* snapshot would couple the gate to
+    // whatever machine produced it; same-run ratios are machine-free).
+    let warm_rps = |rows: &[PhaseRow], kind: &str, clients: usize| -> u64 {
+        rows.iter()
+            .find(|r| r.kind == kind && r.clients == clients && r.phase == "warm")
+            .unwrap_or_else(|| panic!("{clients}-client {kind} warm row"))
+            .rps
+    };
+
+    // ---- Pipelined phases: the same fleets, whole burst written before
+    // anything is read.  The warm phase replays the request set
+    // `PIPE_REPLAYS` times in a single burst, so per-request cost is what
+    // the server can *drain*, not what a round trip costs.
+    for (i, clients) in FLEETS.into_iter().enumerate() {
+        // Fresh keyspace per scenario so this cold phase is genuinely cold.
+        let scenario = FLEETS.len() + i;
+        let fleets: Vec<Vec<Value>> = (0..clients)
+            .map(|client| client_requests(scenario, client))
+            .collect();
+
+        for phase in ["cold", "warm"] {
+            let replays = if phase == "warm" { PIPE_REPLAYS } else { 1 };
+            let burst_total: usize = fleets.iter().map(Vec::len).sum::<usize>() * replays;
+            let bursts = if phase == "warm" { WARM_BURSTS } else { 1 };
+            let total = burst_total * bursts;
+            let (hits_before, misses_before, _) = cache_counters(&mut stats_client);
+            let (mut ok, mut errors) = (0usize, 0usize);
+            let mut fastest = f64::INFINITY;
+            for _ in 0..bursts {
+                let (burst_ok, burst_errors, seconds) = drive_pipelined(addr, &fleets, replays);
+                ok += burst_ok;
+                errors += burst_errors;
+                fastest = fastest.min(seconds);
+            }
+            let (hits_after, misses_after, busy) = cache_counters(&mut stats_client);
+
+            assert_eq!(
+                (ok, errors),
+                (total, 0),
+                "{clients}-client pipelined {phase}: {ok} ok / {errors} errors of {total}"
+            );
+            assert_eq!(
+                busy, 0,
+                "{clients}-client pipelined {phase} saw busy rejections"
+            );
+
+            let hits = hits_after - hits_before;
+            let misses = misses_after - misses_before;
+            let hit_rate_pct = if phase == "warm" {
+                let rate = 100 * hits / (hits + misses).max(1);
+                assert!(
+                    rate >= 90,
+                    "{clients}-client pipelined warm hit rate {rate}% \
+                     ({hits} hits / {misses} misses)"
+                );
+                Some(rate)
+            } else {
+                None
+            };
+            let rps = (burst_total as f64 / fastest.max(1e-9)) as u64;
+            report_shape(
+                "E14_serve",
+                clients,
+                &[
+                    ("kind", "pipelined".to_string()),
+                    ("phase", phase.to_string()),
+                    ("requests", total.to_string()),
+                    ("ok", ok.to_string()),
+                    ("busy", busy.to_string()),
+                    ("rps", rps.to_string()),
+                ],
+            );
+            rows.push(PhaseRow {
+                kind: "pipelined",
+                clients,
+                phase,
+                ok,
+                errors,
+                busy,
+                hit_rate_pct,
+                rps,
+            });
+        }
+
+        // Serving regression gate: pipelining must actually pay.  The old
+        // one-request-per-round-trip loop floored warm throughput at the
+        // syscall round trip; draining bursts must beat that floor ≥ 5×.
+        // The floor is the *single* round-trip client — a round-trip
+        // fleet is not a single-round-trip baseline (its round trips
+        // already overlap across connections, keeping the server busy
+        // between syscalls), and the bench clients share the machine
+        // with the server, so fleets gate at the weaker "still pays ≥ 2×
+        // over their own fleet size"; the fleet-vs-one-client regression
+        // is asserted separately below.
+        let rt = warm_rps(&rows, "throughput", clients);
+        let pipe = warm_rps(&rows, "pipelined", clients);
+        if clients == 1 {
+            assert!(
+                pipe >= 5 * rt,
+                "single-client pipelined warm rps {pipe} is under 5x the \
+                 round-trip warm rps {rt}"
+            );
+        } else {
+            assert!(
+                pipe >= 2 * rt,
+                "{clients}-client pipelined warm rps {pipe} is under 2x the \
+                 round-trip warm rps {rt}"
+            );
+        }
+    }
+
+    // The regression this PR retires: the 4-client warm fleet used to be
+    // *slower* than a single client (head-of-line blocking in the old
+    // serial loop).  Pipelined, the fleet must at least match one
+    // round-trip client — and in practice dwarf it.
+    assert!(
+        warm_rps(&rows, "pipelined", 4) >= warm_rps(&rows, "throughput", 1),
+        "the 4-client pipelined warm fleet ({} rps) is still slower than \
+         one round-trip client ({} rps)",
+        warm_rps(&rows, "pipelined", 4),
+        warm_rps(&rows, "throughput", 1),
+    );
+
+    // ---- Routed: the pipelined fleet again, through the sharding router.
+    //
+    // Two fresh in-process shard servers plus an in-process `Router` — the
+    // same objects the `nonrec-serve` / `nonrec-route` binaries wrap.  All
+    // servers in this process share the global `DecisionCache`, so the
+    // warm phase still measures cache amortisation; what this scenario
+    // adds is the routing layer itself: structural hashing, id rewriting,
+    // per-shard pipelining, and the merge of out-of-order shard replies.
+    let routed_rows: Vec<String> = {
+        const ROUTED_CLIENTS: usize = 2;
+        let shard_a = start_server();
+        let shard_b = start_server();
+        let router = Router::bind(
+            "127.0.0.1:0",
+            RouterConfig::new(vec![shard_a.to_string(), shard_b.to_string()]),
+        )
+        .expect("bind bench router");
+        let router_addr = router.local_addr().expect("router addr");
+        std::thread::spawn(move || {
+            let _ = router.run();
+        });
+        let mut router_stats = Client::connect(router_addr).expect("connect router stats");
+
+        // Per-shard (forwarded, busy, requeued) from the router's own
+        // `stats` verb (answered by the router, so it never perturbs the
+        // forwarded counters it reports).
+        let shard_counters = |client: &mut Client| -> Vec<(u64, u64, u64)> {
+            let response = client.request(&protocol::stats_request()).expect("stats");
+            let result = response.get("result").expect("stats result");
+            result
+                .get("shards")
+                .and_then(Value::as_arr)
+                .expect("per-shard counters")
+                .iter()
+                .map(|s| {
+                    let n = |k: &str| s.get(k).and_then(Value::as_u64).unwrap();
+                    (n("forwarded"), n("busy"), n("requeued"))
+                })
+                .collect()
+        };
+
+        let scenario = 2 * FLEETS.len();
+        let fleets: Vec<Vec<Value>> = (0..ROUTED_CLIENTS)
+            .map(|client| client_requests(scenario, client))
+            .collect();
+        let mut out = Vec::new();
+        for phase in ["cold", "warm"] {
+            let replays = if phase == "warm" { PIPE_REPLAYS } else { 1 };
+            let burst_total: usize = fleets.iter().map(Vec::len).sum::<usize>() * replays;
+            let bursts = if phase == "warm" { WARM_BURSTS } else { 1 };
+            let total = burst_total * bursts;
+            let before = shard_counters(&mut router_stats);
+            let (hits_before, misses_before, _) = cache_counters(&mut stats_client);
+            let (mut ok, mut errors) = (0usize, 0usize);
+            let mut fastest = f64::INFINITY;
+            for _ in 0..bursts {
+                let (burst_ok, burst_errors, seconds) =
+                    drive_pipelined(router_addr, &fleets, replays);
+                ok += burst_ok;
+                errors += burst_errors;
+                fastest = fastest.min(seconds);
+            }
+            let (hits_after, misses_after, _) = cache_counters(&mut stats_client);
+            let after = shard_counters(&mut router_stats);
+
+            assert_eq!(
+                (ok, errors),
+                (total, 0),
+                "routed {phase}: {ok} ok / {errors} errors of {total}"
+            );
+            let forwarded: Vec<u64> = after.iter().zip(&before).map(|(a, b)| a.0 - b.0).collect();
+            let busy: u64 = after.iter().zip(&before).map(|(a, b)| a.1 - b.1).sum();
+            let requeued: u64 = after.iter().zip(&before).map(|(a, b)| a.2 - b.2).sum();
+            // The structural hash must actually split this workload, the
+            // shards must absorb it without shedding, and nothing may have
+            // been requeued (no shard died — that path is the soak's job).
+            assert_eq!(forwarded.iter().sum::<u64>(), total as u64);
+            assert!(
+                forwarded.iter().all(|&f| f > 0),
+                "routed {phase} left a shard idle: {forwarded:?}"
+            );
+            assert_eq!(busy, 0, "routed {phase} passed busy through");
+            assert_eq!(requeued, 0, "routed {phase} requeued with no shard death");
+
+            let hits = hits_after - hits_before;
+            let misses = misses_after - misses_before;
+            let hit_rate = if phase == "warm" {
+                let rate = 100 * hits / (hits + misses).max(1);
+                assert!(rate >= 90, "routed warm hit rate {rate}%");
+                Value::num(rate as f64)
+            } else {
+                Value::Null
+            };
+            let rps = (burst_total as f64 / fastest.max(1e-9)) as u64;
+            report_shape(
+                "E14_serve",
+                ROUTED_CLIENTS,
+                &[
+                    ("kind", "routed".to_string()),
+                    ("phase", phase.to_string()),
+                    ("requests", total.to_string()),
+                    ("ok", ok.to_string()),
+                    ("shard0", forwarded[0].to_string()),
+                    ("shard1", forwarded[1].to_string()),
+                    ("rps", rps.to_string()),
+                ],
+            );
+            // The route hash is structural and the request set is fixed, so
+            // the per-shard split is deterministic — snapshot it.
+            out.push(
+                server::json::obj(vec![
+                    ("group", Value::str("serve")),
+                    ("kind", Value::str("routed")),
+                    ("clients", Value::num(ROUTED_CLIENTS as f64)),
+                    ("phase", Value::str(phase)),
+                    ("requests", Value::num(total as f64)),
+                    ("ok", Value::num(ok as f64)),
+                    ("errors", Value::num(errors as f64)),
+                    ("busy", Value::num(busy as f64)),
+                    ("requeued", Value::num(requeued as f64)),
+                    ("shard0_forwarded", Value::num(forwarded[0] as f64)),
+                    ("shard1_forwarded", Value::num(forwarded[1] as f64)),
+                    ("hit_rate_pct", hit_rate),
+                    ("rps", Value::num(rps as f64)),
+                ])
+                .render(),
+            );
+        }
+        out
+    };
 
     // ---- Eviction churn: hit rate under memory pressure.
     //
@@ -396,7 +763,7 @@ fn bench_serve(c: &mut Criterion) {
             .map(|r| {
                 server::json::obj(vec![
                     ("group", Value::str("serve")),
-                    ("kind", Value::str("throughput")),
+                    ("kind", Value::str(r.kind)),
                     ("clients", Value::num(r.clients as f64)),
                     ("phase", Value::str(r.phase)),
                     ("requests", Value::num((r.ok + r.errors) as f64)),
@@ -412,6 +779,7 @@ fn bench_serve(c: &mut Criterion) {
                 .render()
             })
             .collect();
+        json_rows.extend(routed_rows);
         json_rows.push(churn_row);
         bench::write_json_rows(&path, &json_rows).expect("writing serve snapshot");
         println!("[snapshot] wrote {}", path.to_string_lossy());

@@ -482,6 +482,17 @@ impl DecisionCache {
         }
     }
 
+    /// Count a recall that a layer **above** this cache answered from its
+    /// own memo of a decision that lives here (the server's text-level
+    /// response memo fronts this cache and answers byte-identical repeats
+    /// without re-canonicalising the key).  The decision was genuinely
+    /// recalled rather than recomputed, so it is a hit in every sense this
+    /// counter promises — recording it here keeps hit-rate observability
+    /// truthful regardless of which layer short-circuited the work.
+    pub fn record_memoised_hit(&self) {
+        self.lock().stats.hits += 1;
+    }
+
     /// Store a freshly computed full decision, evicting if the segment
     /// overflows its cap.
     pub fn store_decision(&self, key: DecisionKey, result: &ContainmentResult) {

@@ -13,10 +13,26 @@
 //! identifiers is bounded by the input programs plus a bounded number of
 //! generated variables (`var(Π)` in the paper is at most twice the largest
 //! rule), so memory usage stays proportional to the input size.
+//!
+//! **Concurrency.**  The server runs many decisions in parallel, and every
+//! one of them resolves and interns symbols constantly (parsing,
+//! canonicalisation, rendering).  Both hot paths are therefore designed to
+//! scale across threads:
+//!
+//! * [`Sym::as_str`] is **lock-free** — the reverse table is an
+//!   append-only array of chunks behind `OnceLock`s, so resolving is two
+//!   atomic loads and an index;
+//! * interning an **already-known** string takes only a read lock; the
+//!   write lock is reached exclusively by the first thread to see a new
+//!   identifier.
+//!
+//! (These used to be plain `Mutex`es, which serialised every worker of the
+//! server through two global locks and capped warm-cache throughput at a
+//! single core.)
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{OnceLock, PoisonError, RwLock};
 
 /// An interned string.
 ///
@@ -52,46 +68,84 @@ impl fmt::Display for Sym {
     }
 }
 
+/// Chunk sizing of the lock-free reverse table: chunk `k` holds
+/// `FIRST_CHUNK << k` entries, so 23 chunks cover every possible `u32` id
+/// while the first allocation stays small.
+const FIRST_CHUNK: usize = 1024;
+const CHUNK_COUNT: usize = 23;
+
+/// The chunk and intra-chunk offset of symbol id `index`.
+#[inline]
+fn locate(index: usize) -> (usize, usize) {
+    let chunk = ((index / FIRST_CHUNK) + 1).ilog2() as usize;
+    let start = FIRST_CHUNK * ((1usize << chunk) - 1);
+    (chunk, index - start)
+}
+
 /// Process-wide interner state.
 struct Interner {
-    /// Map from string to symbol id.
-    map: Mutex<HashMap<&'static str, u32>>,
-    /// Reverse table: symbol id to string.
+    /// Map from string to symbol id.  Read-locked on the (overwhelmingly
+    /// common) already-interned path; the write lock is only reached by
+    /// the first thread to intern a given string.
+    map: RwLock<HashMap<&'static str, u32>>,
+    /// Reverse table: symbol id to string, as an append-only sequence of
+    /// geometrically growing chunks.  Never moves an entry once written,
+    /// so resolving is lock-free: two `OnceLock` reads (atomic loads) and
+    /// an index.  A slot's `OnceLock` is set before the id is published in
+    /// `map`, so any `Sym` a caller can hold resolves successfully.
     ///
     /// Strings are leaked deliberately (see module docs); the number of
     /// distinct identifiers is bounded by the input.
-    rev: Mutex<Vec<&'static str>>,
+    rev: [OnceLock<Box<[OnceLock<&'static str>]>>; CHUNK_COUNT],
 }
 
 fn interner() -> &'static Interner {
     static INTERNER: OnceLock<Interner> = OnceLock::new();
     INTERNER.get_or_init(|| Interner {
-        map: Mutex::new(HashMap::new()),
-        rev: Mutex::new(Vec::new()),
+        map: RwLock::new(HashMap::new()),
+        rev: std::array::from_fn(|_| OnceLock::new()),
     })
 }
 
 impl Interner {
     fn intern(&self, s: &str) -> Sym {
-        let mut map = self.map.lock().expect("interner poisoned");
+        {
+            let map = self.map.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(&id) = map.get(s) {
+                return Sym(id);
+            }
+        }
+        let mut map = self.map.write().unwrap_or_else(PoisonError::into_inner);
+        // Another thread may have interned `s` between the locks.
         if let Some(&id) = map.get(s) {
             return Sym(id);
         }
         let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-        let mut rev = self.rev.lock().expect("interner poisoned");
-        let id = u32::try_from(rev.len()).expect("interner overflow");
-        rev.push(leaked);
+        let id = u32::try_from(map.len()).expect("interner overflow");
+        let (chunk, offset) = locate(id as usize);
+        let slots = self.rev[chunk]
+            .get_or_init(|| (0..FIRST_CHUNK << chunk).map(|_| OnceLock::new()).collect());
+        slots[offset]
+            .set(leaked)
+            .expect("fresh reverse-table slot already filled");
         map.insert(leaked, id);
         Sym(id)
     }
 
     fn resolve(&self, sym: Sym) -> &'static str {
-        let rev = self.rev.lock().expect("interner poisoned");
-        rev[sym.0 as usize]
+        let (chunk, offset) = locate(sym.0 as usize);
+        self.rev[chunk]
+            .get()
+            .expect("symbol from an unallocated chunk")[offset]
+            .get()
+            .expect("unpublished symbol")
     }
 
     fn len(&self) -> usize {
-        self.rev.lock().expect("interner poisoned").len()
+        self.map
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 }
 
@@ -109,19 +163,14 @@ pub fn intern(s: &str) -> Sym {
 pub fn fresh(prefix: &str) -> Sym {
     // A dedicated counter avoids quadratic rescans for the common case where
     // all fresh symbols share a prefix.
-    static COUNTER: OnceLock<Mutex<u64>> = OnceLock::new();
-    let counter = COUNTER.get_or_init(|| Mutex::new(0));
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
     loop {
-        let n = {
-            let mut guard = counter.lock().expect("fresh counter poisoned");
-            let n = *guard;
-            *guard += 1;
-            n
-        };
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
         let candidate = format!("{prefix}#{n}");
         let inner = interner();
         let already = {
-            let map = inner.map.lock().expect("interner poisoned");
+            let map = inner.map.read().unwrap_or_else(PoisonError::into_inner);
             map.contains_key(candidate.as_str())
         };
         if !already {
@@ -180,6 +229,64 @@ mod tests {
         let s = intern("likes");
         assert_eq!(format!("{s}"), "likes");
         assert_eq!(format!("{s:?}"), "likes");
+    }
+
+    #[test]
+    fn chunk_arithmetic_covers_every_id() {
+        // Boundaries of the geometric chunks, plus the extremes.
+        for (index, expected) in [
+            (0, (0, 0)),
+            (FIRST_CHUNK - 1, (0, FIRST_CHUNK - 1)),
+            (FIRST_CHUNK, (1, 0)),
+            (3 * FIRST_CHUNK - 1, (1, 2 * FIRST_CHUNK - 1)),
+            (3 * FIRST_CHUNK, (2, 0)),
+            (
+                u32::MAX as usize,
+                (22, u32::MAX as usize - FIRST_CHUNK * ((1 << 22) - 1)),
+            ),
+        ] {
+            assert_eq!(locate(index), expected, "index {index}");
+            let (chunk, offset) = locate(index);
+            assert!(chunk < CHUNK_COUNT);
+            assert!(offset < FIRST_CHUNK << chunk);
+        }
+        // Consecutive ids walk the chunks without gaps or overlaps.
+        let mut previous = locate(0);
+        for index in 1..4 * FIRST_CHUNK {
+            let current = locate(index);
+            if current.0 == previous.0 {
+                assert_eq!(current.1, previous.1 + 1);
+            } else {
+                assert_eq!(current.0, previous.0 + 1);
+                assert_eq!(current.1, 0);
+            }
+            previous = current;
+        }
+    }
+
+    #[test]
+    fn concurrent_interning_of_new_and_old_symbols_is_consistent() {
+        // Many threads interning an overlapping mix of fresh and known
+        // strings must agree on every id, and every id must resolve.
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..200)
+                        .map(|i| {
+                            let name = format!("race_sym_{}", (t + i) % 50);
+                            (name.clone(), intern(&name))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut by_name: HashMap<String, Sym> = HashMap::new();
+        for handle in handles {
+            for (name, sym) in handle.join().unwrap() {
+                assert_eq!(sym.as_str(), name);
+                assert_eq!(*by_name.entry(name).or_insert(sym), sym);
+            }
+        }
     }
 
     #[test]

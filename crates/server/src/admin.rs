@@ -125,8 +125,18 @@ pub fn execute_admin(
     let cache = DecisionCache::global();
     Some(match command {
         Command::ClearCache => {
+            // "Forget everything" covers the text-level memos too: a
+            // repeated request after a clear must recompute, not replay.
+            let memoised = crate::memo::ResponseMemo::global().len();
+            crate::memo::ResponseMemo::global().clear();
+            let lines = crate::memo::LineMemo::global().len();
+            crate::memo::LineMemo::global().clear();
             let dropped = cache.clear();
-            Ok(obj(vec![("dropped", sizes_json(dropped))]))
+            Ok(obj(vec![
+                ("dropped", sizes_json(dropped)),
+                ("dropped_memo", Value::num(memoised as f64)),
+                ("dropped_memo_lines", Value::num(lines as f64)),
+            ]))
         }
         Command::CacheLimits { set } => {
             if let Some(limits) = set {

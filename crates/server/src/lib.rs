@@ -19,8 +19,14 @@
 //! * [`stats`] — request counters and per-verb latency histograms;
 //! * [`pool`] — bounded worker pool: backpressure (`busy`) and
 //!   per-request deadlines;
-//! * [`server`] — TCP accept loop and stdio loop, line framing;
-//! * [`client`] — a small synchronous client for tests and benches.
+//! * [`server`] — TCP accept loop and stdio loop, pipelined line framing
+//!   (reader drains every complete line per wakeup; a writer thread
+//!   answers out of order by id echo, coalescing completed responses into
+//!   one write);
+//! * [`router`] — the `nonrec-route` front end: shards requests across N
+//!   `nonrec-serve` backends by `ProgramKey` hash, with requeue-on-death;
+//! * [`client`] — a small synchronous client (round-trip and pipelined)
+//!   for tests and benches.
 //!
 //! The wire protocol is documented verb by verb in the repository README.
 
@@ -31,13 +37,16 @@ pub mod admin;
 pub mod client;
 pub mod engine;
 pub mod json;
+pub mod memo;
 pub mod pool;
 pub mod protocol;
+pub mod router;
 pub mod server;
 pub mod stats;
 
 pub use client::Client;
 pub use pool::{PoolConfig, WorkerPool};
 pub use protocol::{Request, WireError};
+pub use router::{Router, RouterConfig};
 pub use server::{serve_stdio, Server, ServerConfig};
 pub use stats::ServerStats;

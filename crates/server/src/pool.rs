@@ -54,8 +54,16 @@ pub struct Job {
     pub request: Request,
     /// When the job stops being worth starting (`None`: no deadline).
     pub deadline: Option<Instant>,
-    /// Where the rendered response value is sent.
-    pub reply: mpsc::Sender<Value>,
+    /// The response-memo key of the request (`None`: not memoisable).  A
+    /// successful result is stored under it so byte-identical repeats are
+    /// answered on the reader thread without re-entering the pool.
+    pub memo_key: Option<String>,
+    /// The raw request line, carried only when the request is memoisable:
+    /// a successful response line is stored in the line memo under it so
+    /// byte-identical repeats skip even the frame parse.
+    pub line: Option<String>,
+    /// Where the rendered response line is sent.
+    pub reply: mpsc::Sender<String>,
 }
 
 struct State {
@@ -112,6 +120,9 @@ impl WorkerPool {
         }
         state.queue.push_back(job);
         drop(state);
+        // In-flight depth: dispatched here, retired by the worker after the
+        // reply is sent — the gauge the pipelined protocol surfaces.
+        self.shared.stats.record_dispatched();
         self.shared.available.notify_one();
         Ok(())
     }
@@ -188,8 +199,27 @@ fn worker_loop(shared: &Shared) {
                 )
             })
         };
+        // Only a successful decision is worth replaying verbatim: errors
+        // (deadline expiries, resource limits) may resolve differently on
+        // retry, and the memo key is `None` for everything non-memoisable.
+        let rendered = response.render();
+        if let Some(key) = job.memo_key {
+            if response.get("ok").and_then(Value::as_bool) == Some(true) {
+                if let Some(result) = response.get("result") {
+                    crate::memo::ResponseMemo::global().store(key, result);
+                }
+                if let Some(line) = job.line {
+                    crate::memo::LineMemo::global().store(
+                        line,
+                        job.request.command.verb(),
+                        rendered.clone(),
+                    );
+                }
+            }
+        }
         // A closed reply channel just means the client went away.
-        let _ = job.reply.send(response);
+        let _ = job.reply.send(rendered);
+        shared.stats.record_retired();
     }
 }
 
@@ -261,15 +291,21 @@ mod tests {
     use super::*;
     use std::time::Duration;
 
-    fn stats_job(reply: mpsc::Sender<Value>, deadline: Option<Instant>) -> Job {
+    fn stats_job(reply: mpsc::Sender<String>, deadline: Option<Instant>) -> Job {
         Job {
             request: Request {
                 id: None,
                 command: Command::Stats,
             },
             deadline,
+            memo_key: None,
+            line: None,
             reply,
         }
+    }
+
+    fn parse_response(line: &str) -> Value {
+        crate::json::parse(line).expect("worker sends well-formed JSON")
     }
 
     #[test]
@@ -284,7 +320,7 @@ mod tests {
         );
         let (tx, rx) = mpsc::channel();
         pool.submit(stats_job(tx, None)).unwrap();
-        let response = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        let response = parse_response(&rx.recv_timeout(Duration::from_secs(10)).unwrap());
         assert_eq!(response.get("ok").unwrap().as_bool(), Some(true));
         assert_eq!(response.get("verb").unwrap().as_str(), Some("stats"));
     }
@@ -371,7 +407,7 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         let expired = Instant::now() - Duration::from_millis(10);
         pool.submit(stats_job(tx, Some(expired))).unwrap();
-        let response = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        let response = parse_response(&rx.recv_timeout(Duration::from_secs(10)).unwrap());
         assert_eq!(response.get("ok").unwrap().as_bool(), Some(false));
         assert_eq!(
             response.get("error").unwrap().get("code").unwrap().as_str(),

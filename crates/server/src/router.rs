@@ -1,0 +1,744 @@
+//! `nonrec-route`: a sharding front end over N `nonrec-serve` backends.
+//!
+//! One decision cache per process is the scaling unit — so to scale out,
+//! run N `nonrec-serve` shards (each with its own `--cache-file`) and put
+//! this router in front.  The router speaks the same pipelined
+//! line-delimited JSON protocol on both sides:
+//!
+//! * each client request's **program** is hashed to a shard via
+//!   [`nonrec_equivalence::ProgramKey`] — structurally equivalent programs
+//!   land on the same shard, so each shard's cache (and snapshot file)
+//!   stays hot for its own keyspace slice across fleet restarts;
+//! * requests are forwarded over one **persistent pipelined connection**
+//!   per backend, shared by every client, with the request `id` rewritten
+//!   to a router-global token and restored on the way back (responses
+//!   merge by id, so out-of-order completion is fine);
+//! * when a backend dies, its in-flight requests are **requeued** to a
+//!   live shard — the client sees a slower answer, not a lost one.  Only
+//!   when *no* shard can take a request does the router answer with its
+//!   own stable `shard_unavailable` code; a backend's `busy` is forwarded
+//!   verbatim, so clients can tell which tier to back off from.
+//!
+//! The router answers `stats` itself (router + per-shard counters) and
+//! rejects the cache-admin verbs with `bad_request`: admin is per-shard
+//! state, so operators address shards directly.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use datalog::parser::parse_program;
+use nonrec_equivalence::ProgramKey;
+
+use crate::json::{self, obj, Value};
+use crate::protocol::{error_response, ok_response, WireError};
+use crate::server::{read_line_limited, write_loop, LineRead, MAX_LINE_BYTES};
+
+/// The router's own stable error code: no shard could take the request.
+/// Distinct from `busy` (a *backend's* queue is full — forwarded verbatim):
+/// `busy` means back off and retry the same tier, `shard_unavailable` means
+/// the fleet itself is degraded.
+pub const SHARD_UNAVAILABLE: &str = "shard_unavailable";
+
+/// Router configuration.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Backend `nonrec-serve` addresses, one per shard.  Shard numbering
+    /// follows this order.
+    pub backends: Vec<String>,
+    /// Minimum wait between reconnection attempts to a dead backend, so a
+    /// downed shard costs one failed `connect` per cooldown instead of one
+    /// per request.
+    pub reconnect_cooldown: Duration,
+}
+
+impl RouterConfig {
+    /// A config for the given backends with the default cooldown.
+    pub fn new(backends: Vec<String>) -> RouterConfig {
+        RouterConfig {
+            backends,
+            reconnect_cooldown: Duration::from_millis(250),
+        }
+    }
+}
+
+/// A request forwarded to a backend and not yet answered.
+struct Pending {
+    /// Where the (id-restored) response goes: the owning client
+    /// connection's writer channel.
+    client: mpsc::Sender<String>,
+    /// The client's original `id`, restored on the way back.
+    original_id: Option<Value>,
+    /// The full request with the router id installed — kept so a backend
+    /// death can replay it on another shard.
+    request: Value,
+    /// Shard the request is currently in flight on.
+    shard: usize,
+    /// Connection generation it was written on (`u64::MAX` until written):
+    /// a death sweep requeues exactly the entries written on the dead
+    /// connection, never ones already re-sent on its successor.
+    generation: u64,
+    /// Dispatch attempts so far; bounded by the shard count so two flapping
+    /// backends cannot bounce one request forever.
+    attempts: usize,
+}
+
+/// One backend connection slot.
+#[derive(Default)]
+struct Slot {
+    /// Write half of the persistent connection (`None`: not connected).
+    writer: Option<TcpStream>,
+    /// Bumped on every successful connect; the matching reader thread and
+    /// every in-flight entry carry the generation they belong to.
+    generation: u64,
+    /// Last connect attempt, for the reconnect cooldown.
+    last_attempt: Option<Instant>,
+}
+
+struct Backend {
+    addr: String,
+    slot: Mutex<Slot>,
+}
+
+#[derive(Clone, Default)]
+struct ShardCounters {
+    forwarded: u64,
+    replies: u64,
+    busy: u64,
+    requeued: u64,
+    disconnects: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: u64,
+    invalid_json: u64,
+    bad_request: u64,
+    unavailable: u64,
+    shards: Vec<ShardCounters>,
+}
+
+struct Shared {
+    backends: Vec<Backend>,
+    pending: Mutex<HashMap<u64, Pending>>,
+    next_id: AtomicU64,
+    round_robin: AtomicUsize,
+    cooldown: Duration,
+    counters: Mutex<Counters>,
+}
+
+// Lock order: a thread holding `pending` never takes a `slot` lock (the
+// reverse — slot, then pending — happens in `send_on_shard`).  `counters`
+// is a leaf: taken last, never held across another acquisition.
+impl Shared {
+    fn pending(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Pending>> {
+        self.pending
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn counters(&self) -> std::sync::MutexGuard<'_, Counters> {
+        self.counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn slot(&self, shard: usize) -> std::sync::MutexGuard<'_, Slot> {
+        self.backends[shard]
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// A bound router (see the module docs for the protocol).
+pub struct Router {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Router {
+    /// Bind to `addr` (use port 0 for an OS-assigned port).  Backends are
+    /// connected lazily, on first demand — the router comes up even while
+    /// the fleet is still starting.
+    pub fn bind(addr: impl ToSocketAddrs, config: RouterConfig) -> std::io::Result<Router> {
+        if config.backends.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a router needs at least one backend",
+            ));
+        }
+        let shards = config.backends.len();
+        Ok(Router {
+            listener: TcpListener::bind(addr)?,
+            shared: Arc::new(Shared {
+                backends: config
+                    .backends
+                    .into_iter()
+                    .map(|addr| Backend {
+                        addr,
+                        slot: Mutex::new(Slot::default()),
+                    })
+                    .collect(),
+                pending: Mutex::new(HashMap::new()),
+                next_id: AtomicU64::new(1),
+                round_robin: AtomicUsize::new(0),
+                cooldown: config.reconnect_cooldown,
+                counters: Mutex::new(Counters {
+                    shards: vec![ShardCounters::default(); shards],
+                    ..Counters::default()
+                }),
+            }),
+        })
+    }
+
+    /// The bound address (to recover the OS-assigned port).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept client connections forever, one thread per connection.  Only
+    /// returns on an accept error.
+    pub fn run(self) -> std::io::Result<()> {
+        loop {
+            let (stream, _peer) = self.listener.accept()?;
+            stream.set_nodelay(true)?;
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name("nonrec-route-conn".to_string())
+                .spawn(move || {
+                    let _ = handle_client(stream, &shared);
+                })
+                .expect("spawn router connection thread");
+        }
+    }
+}
+
+/// FNV-1a over the *rendered canonical forms* of the program's rule keys.
+///
+/// [`ProgramKey`]'s derived `Hash` goes through interner indices, which
+/// depend on interning order and so differ between processes; hashing the
+/// rendered canonical queries instead gives every router process — across
+/// restarts — the same shard assignment, which is what keeps a shard's
+/// snapshot file hot for its slice of the keyspace.
+fn route_hash(program_text: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let eat = |hash: &mut u64, bytes: &[u8]| {
+        for &b in bytes {
+            *hash = (*hash ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    };
+    match parse_program(program_text) {
+        Ok(program) => {
+            for key in ProgramKey::of(&program).rule_keys() {
+                eat(&mut hash, key.as_query().to_string().as_bytes());
+                eat(&mut hash, b"\n");
+            }
+        }
+        // Unparseable programs still get a deterministic shard; the backend
+        // will answer `parse_error` with full details.
+        Err(_) => eat(&mut hash, program_text.as_bytes()),
+    }
+    hash
+}
+
+/// The program text that decides the shard: a single request's `program`,
+/// or the first program-bearing item of a batch (a batch stays on one
+/// shard so its response remains a single frame).
+fn route_text(value: &Value) -> Option<&str> {
+    if let Some(text) = value.get("program").and_then(Value::as_str) {
+        return Some(text);
+    }
+    value
+        .get("requests")
+        .and_then(Value::as_arr)
+        .and_then(|items| {
+            items
+                .iter()
+                .find_map(|item| item.get("program").and_then(Value::as_str))
+        })
+}
+
+/// Replace (or insert) the request's `id` field, returning the old value.
+fn swap_id(value: &mut Value, new_id: Value) -> Option<Value> {
+    let Value::Obj(fields) = value else {
+        return None;
+    };
+    if let Some(slot) = fields.iter_mut().find(|(key, _)| key == "id") {
+        return Some(std::mem::replace(&mut slot.1, new_id));
+    }
+    fields.push(("id".to_string(), new_id));
+    None
+}
+
+const ADMIN_OPS: [&str; 4] = ["clear_cache", "cache_limits", "save_cache", "load_cache"];
+
+fn handle_client(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let (reply, responses) = mpsc::channel::<String>();
+    let writer_alive = AtomicBool::new(true);
+    std::thread::scope(|scope| {
+        let alive = &writer_alive;
+        let writer = scope.spawn(move || write_loop(stream, &responses, alive));
+        let read_result = client_read_loop(&mut reader, &reply, &writer_alive, shared);
+        drop(reply);
+        // In-flight entries owned by this client: their responses will find
+        // a disconnected channel and be dropped, which is correct — the
+        // client is gone.
+        let write_result = writer.join().expect("router writer thread never panics");
+        read_result.and(write_result)
+    })
+}
+
+fn client_read_loop(
+    reader: &mut impl BufRead,
+    reply: &mpsc::Sender<String>,
+    writer_alive: &AtomicBool,
+    shared: &Arc<Shared>,
+) -> std::io::Result<()> {
+    loop {
+        if !writer_alive.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let line = match read_line_limited(reader, MAX_LINE_BYTES)? {
+            LineRead::Eof => return Ok(()),
+            LineRead::TooLongResynced => {
+                shared.counters().bad_request += 1;
+                let _ = reply.send(
+                    error_response(
+                        &None,
+                        &WireError::bad_request(format!(
+                            "request line exceeds the size limit; the line was discarded \
+                             (limit {MAX_LINE_BYTES} bytes)"
+                        )),
+                    )
+                    .render(),
+                );
+                continue;
+            }
+            LineRead::TooLongAbandoned => {
+                let _ = reply.send(
+                    error_response(
+                        &None,
+                        &WireError::bad_request(format!(
+                            "request line exceeds the size limit with no terminator; \
+                             closing the connection (limit {MAX_LINE_BYTES} bytes)"
+                        )),
+                    )
+                    .render(),
+                );
+                return Ok(());
+            }
+            LineRead::Line(line) => line,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        route_line(&line, reply, shared);
+    }
+}
+
+/// Route one request line: answer `stats` and malformed input locally,
+/// reject admin verbs, forward everything else to a shard.
+fn route_line(line: &str, reply: &mpsc::Sender<String>, shared: &Arc<Shared>) {
+    shared.counters().requests += 1;
+    let mut value = match json::parse(line) {
+        Ok(value) => value,
+        Err(e) => {
+            shared.counters().invalid_json += 1;
+            let _ = reply.send(
+                error_response(&None, &WireError::new("invalid_json", e.to_string())).render(),
+            );
+            return;
+        }
+    };
+    let id = crate::protocol::request_id(&value);
+    let Some(op) = value.get("op").and_then(Value::as_str) else {
+        shared.counters().bad_request += 1;
+        let _ = reply.send(
+            error_response(
+                &id,
+                &WireError::bad_request("missing or non-string field `op`"),
+            )
+            .render(),
+        );
+        return;
+    };
+    if op == "stats" {
+        let _ = reply.send(ok_response(&id, "stats", stats_json(shared)).render());
+        return;
+    }
+    if ADMIN_OPS.contains(&op) {
+        shared.counters().bad_request += 1;
+        let _ = reply.send(
+            error_response(
+                &id,
+                &WireError::bad_request(format!(
+                    "`{op}` is per-shard state; address the shard's nonrec-serve directly"
+                )),
+            )
+            .render(),
+        );
+        return;
+    }
+    let shard = match route_text(&value) {
+        Some(text) => (route_hash(text) % shared.backends.len() as u64) as usize,
+        // Keyless requests (nothing program-bearing) round-robin: any shard
+        // can answer them, so spread the load.
+        None => shared.round_robin.fetch_add(1, Ordering::Relaxed) % shared.backends.len(),
+    };
+    let router_id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    let original_id = swap_id(&mut value, Value::num(router_id as f64));
+    dispatch(
+        shared,
+        router_id,
+        Pending {
+            client: reply.clone(),
+            original_id,
+            request: value,
+            shard,
+            generation: u64::MAX,
+            attempts: 0,
+        },
+    );
+}
+
+/// Try to forward `pending`, starting at its preferred shard and walking
+/// the ring.  Answers `shard_unavailable` when every shard refuses.
+fn dispatch(shared: &Arc<Shared>, router_id: u64, mut pending: Pending) {
+    let shards = shared.backends.len();
+    if pending.attempts > shards {
+        // Bounced around the whole ring already (backends flapping):
+        // answering beats bouncing forever.
+        answer_unavailable(shared, &pending);
+        return;
+    }
+    pending.attempts += 1;
+    let start = pending.shard;
+    let mut line = pending.request.render();
+    line.push('\n');
+    for offset in 0..shards {
+        let shard = (start + offset) % shards;
+        // The entry must be in the table *before* the write: the backend's
+        // response can race back before `send_on_shard` returns.
+        shared.pending().insert(router_id, pending);
+        match send_on_shard(shared, shard, router_id, &line) {
+            Ok(()) => {
+                shared.counters().shards[shard].forwarded += 1;
+                return;
+            }
+            Err(()) => {
+                match shared.pending().remove(&router_id) {
+                    // Still ours: try the next shard.
+                    Some(entry) => pending = entry,
+                    // A death sweep got there first and re-owns the entry.
+                    None => return,
+                }
+            }
+        }
+    }
+    answer_unavailable(shared, &pending);
+}
+
+fn answer_unavailable(shared: &Arc<Shared>, pending: &Pending) {
+    shared.counters().unavailable += 1;
+    let _ = pending.client.send(
+        error_response(
+            &pending.original_id,
+            &WireError::new(
+                SHARD_UNAVAILABLE,
+                format!(
+                    "no shard can take this request ({} configured)",
+                    shared.backends.len()
+                ),
+            ),
+        )
+        .render(),
+    );
+}
+
+/// Write one framed request on a shard's persistent connection, connecting
+/// (and spawning the connection's reader thread) if necessary.  On a write
+/// failure the slot is cleared and the generation swept, so every entry
+/// written on the dead connection — including this one — is requeued
+/// exactly once.
+fn send_on_shard(shared: &Arc<Shared>, shard: usize, router_id: u64, line: &str) -> Result<(), ()> {
+    let mut slot = shared.slot(shard);
+    if slot.writer.is_none() {
+        connect_backend(shared, shard, &mut slot)?;
+    }
+    let generation = slot.generation;
+    // Stamp the entry with the generation it is about to be written on,
+    // while holding the slot lock so the stamp and the write cannot be
+    // split by a concurrent death sweep.
+    if let Some(entry) = shared.pending().get_mut(&router_id) {
+        entry.shard = shard;
+        entry.generation = generation;
+    } else {
+        // Swept (and re-dispatched) between insert and here; nothing to
+        // write on this connection.
+        return Ok(());
+    }
+    let writer = slot.writer.as_mut().expect("connected above");
+    match writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.flush())
+    {
+        Ok(()) => Ok(()),
+        Err(_) => {
+            slot.writer = None;
+            drop(slot);
+            // Requeue everything written on this generation (the reader
+            // thread will also notice the death, but its sweep of the same
+            // generation then finds nothing left — entries are requeued
+            // exactly once).
+            sweep_generation(shared, shard, generation);
+            Err(())
+        }
+    }
+}
+
+/// Connect a backend slot and spawn the reader thread that owns the read
+/// half for this generation.  Caller holds the slot lock.
+fn connect_backend(shared: &Arc<Shared>, shard: usize, slot: &mut Slot) -> Result<(), ()> {
+    if let Some(last) = slot.last_attempt {
+        if last.elapsed() < shared.cooldown {
+            return Err(());
+        }
+    }
+    slot.last_attempt = Some(Instant::now());
+    let stream = TcpStream::connect(&shared.backends[shard].addr).map_err(|_| ())?;
+    let _ = stream.set_nodelay(true);
+    let read_half = stream.try_clone().map_err(|_| ())?;
+    slot.generation += 1;
+    let generation = slot.generation;
+    slot.writer = Some(stream);
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("nonrec-route-shard-{shard}"))
+        .spawn(move || backend_read_loop(&shared, shard, generation, read_half))
+        .map_err(|_| ())?;
+    Ok(())
+}
+
+/// The per-backend-connection reader: match responses to pending entries by
+/// router id, restore the client id, forward to the owning client.  On EOF
+/// or error, clear the slot (if this generation still owns it) and requeue
+/// everything written on this generation.
+fn backend_read_loop(shared: &Arc<Shared>, shard: usize, generation: u64, stream: TcpStream) {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let Ok(mut value) = json::parse(trimmed) else {
+            // A backend speaking garbage is indistinguishable from a dead
+            // one for the requests in flight; drop the connection and let
+            // the sweep requeue them.
+            break;
+        };
+        let Some(router_id) = value.get("id").and_then(Value::as_u64) else {
+            // Unattributable frame (e.g. the backend's one-line
+            // connection-limit rejection carries id null); skip it — if the
+            // backend then closes, the sweep handles the fallout.
+            continue;
+        };
+        let Some(pending) = shared.pending().remove(&router_id) else {
+            continue;
+        };
+        let busy = value
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Value::as_str)
+            == Some("busy");
+        {
+            let mut counters = shared.counters();
+            counters.shards[shard].replies += 1;
+            if busy {
+                // Forwarded verbatim — the client must see `busy` (backend
+                // queue pressure) as distinct from `shard_unavailable`
+                // (fleet degradation).
+                counters.shards[shard].busy += 1;
+            }
+        }
+        swap_id(&mut value, pending.original_id.unwrap_or(Value::Null));
+        let _ = pending.client.send(value.render());
+    }
+    shared.counters().shards[shard].disconnects += 1;
+    {
+        let mut slot = shared.slot(shard);
+        if slot.generation == generation {
+            slot.writer = None;
+        }
+    }
+    sweep_generation(shared, shard, generation);
+}
+
+/// Requeue every pending entry written on `(shard, generation)` — the
+/// requests a dead connection took down with it.  Re-dispatch starts at the
+/// next shard on the ring (the dead one would only cost a cooldown probe).
+fn sweep_generation(shared: &Arc<Shared>, shard: usize, generation: u64) {
+    let orphans: Vec<(u64, Pending)> = {
+        let mut pending = shared.pending();
+        let ids: Vec<u64> = pending
+            .iter()
+            .filter(|(_, entry)| entry.shard == shard && entry.generation == generation)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.into_iter()
+            .filter_map(|id| pending.remove(&id).map(|entry| (id, entry)))
+            .collect()
+    };
+    if orphans.is_empty() {
+        return;
+    }
+    {
+        let mut counters = shared.counters();
+        counters.shards[shard].requeued += orphans.len() as u64;
+    }
+    for (router_id, mut entry) in orphans {
+        entry.shard = (shard + 1) % shared.backends.len();
+        entry.generation = u64::MAX;
+        dispatch(shared, router_id, entry);
+    }
+}
+
+/// The router's own `stats` payload: router-level counters plus a per-shard
+/// block (liveness, forwarded/replies/busy/requeued/disconnects).
+fn stats_json(shared: &Arc<Shared>) -> Value {
+    let inflight = shared.pending().len();
+    let alive: Vec<bool> = (0..shared.backends.len())
+        .map(|shard| shared.slot(shard).writer.is_some())
+        .collect();
+    let counters = shared.counters();
+    let shards: Vec<Value> = counters
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            obj(vec![
+                ("addr", Value::str(shared.backends[i].addr.clone())),
+                ("alive", Value::Bool(alive[i])),
+                ("forwarded", Value::num(s.forwarded as f64)),
+                ("replies", Value::num(s.replies as f64)),
+                ("busy", Value::num(s.busy as f64)),
+                ("requeued", Value::num(s.requeued as f64)),
+                ("disconnects", Value::num(s.disconnects as f64)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        (
+            "router",
+            obj(vec![
+                ("requests", Value::num(counters.requests as f64)),
+                ("invalid_json", Value::num(counters.invalid_json as f64)),
+                ("bad_request", Value::num(counters.bad_request as f64)),
+                ("shard_unavailable", Value::num(counters.unavailable as f64)),
+                ("inflight", Value::num(inflight as f64)),
+            ]),
+        ),
+        ("shards", Value::Arr(shards)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_hash_is_structural_and_deterministic() {
+        // Variable names and whitespace do not change the shard; the
+        // predicate structure does.
+        let a = route_hash("p(X, Y) :- e(X, Z), e(Z, Y).");
+        let b = route_hash("p(U, V)  :-  e(U, W),  e(W, V).");
+        let c = route_hash("p(X, Y) :- f(X, Z), e(Z, Y).");
+        assert_eq!(a, b, "alpha-equivalent programs must share a shard");
+        assert_ne!(a, c, "structurally different programs should split");
+        // Stable across calls (and, by construction, across processes:
+        // the hash never sees interner indices).
+        assert_eq!(a, route_hash("p(X, Y) :- e(X, Z), e(Z, Y)."));
+    }
+
+    #[test]
+    fn swap_id_replaces_and_restores() {
+        let mut value = json::parse(r#"{"op":"stats","id":"mine"}"#).unwrap();
+        let old = swap_id(&mut value, Value::num(42.0));
+        assert_eq!(old.as_ref().and_then(Value::as_str), Some("mine"));
+        assert_eq!(value.get("id").unwrap().as_u64(), Some(42));
+        // And a request without an id gains one.
+        let mut value = json::parse(r#"{"op":"stats"}"#).unwrap();
+        assert!(swap_id(&mut value, Value::num(7.0)).is_none());
+        assert_eq!(value.get("id").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn batches_route_by_their_first_program() {
+        let value = json::parse(
+            r#"{"op":"batch","requests":[{"op":"stats"},{"op":"optimize","program":"p(X) :- e(X, X).","goal":"p"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(route_text(&value), Some("p(X) :- e(X, X)."));
+        let keyless = json::parse(r#"{"op":"stats"}"#).unwrap();
+        assert_eq!(route_text(&keyless), None);
+    }
+
+    #[test]
+    fn all_backends_down_answers_shard_unavailable() {
+        // Bind-then-drop a listener to get a port with nothing behind it.
+        let dead = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dead_addr = dead.local_addr().unwrap().to_string();
+        drop(dead);
+        let router = Router::bind(
+            "127.0.0.1:0",
+            RouterConfig::new(vec![dead_addr.clone(), dead_addr]),
+        )
+        .unwrap();
+        let addr = router.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let _ = router.run();
+        });
+        let mut client = crate::client::Client::connect(addr).unwrap();
+        let response = client
+            .request(&crate::protocol::equivalence_request(
+                "p(X) :- e(X, X).",
+                "p",
+                "p(X) :- e(X, X).",
+            ))
+            .unwrap();
+        assert_eq!(response.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            response.get("error").unwrap().get("code").unwrap().as_str(),
+            Some(SHARD_UNAVAILABLE)
+        );
+        // Admin verbs are rejected at the router, not forwarded.
+        let rejected = client
+            .request(&crate::protocol::clear_cache_request())
+            .unwrap();
+        assert_eq!(
+            rejected.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("bad_request")
+        );
+        // The router's own stats reflect what happened.
+        let stats = client.request(&crate::protocol::stats_request()).unwrap();
+        let router_block = stats.get("result").unwrap().get("router").unwrap();
+        assert_eq!(
+            router_block.get("shard_unavailable").unwrap().as_u64(),
+            Some(1)
+        );
+        let shards = stats.get("result").unwrap().get("shards").unwrap();
+        assert_eq!(shards.as_arr().unwrap().len(), 2);
+    }
+}

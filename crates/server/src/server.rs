@@ -1,25 +1,39 @@
 //! The long-running server: line-delimited JSON over TCP and stdio.
 //!
-//! Framing: one request per line, one response per line, in order, per
-//! connection.  Responses to different connections interleave freely; all
-//! connections share one [`WorkerPool`] and one process-wide
+//! Framing: one request per line, one response per line, per connection.
+//! The protocol is **pipelined**: a client may write any number of request
+//! lines before reading anything, and responses to queued decisions come
+//! back **out of order** — correlate by the echoed `id` (a client that
+//! pipelines without ids cannot tell its responses apart).  Responses to
+//! different connections interleave freely; all connections share one
+//! [`WorkerPool`] and one process-wide
 //! [`nonrec_equivalence::cache::DecisionCache`] — the cache amortisation
 //! the ROADMAP's serving track asks for.
 //!
-//! Flow control per line:
+//! Per connection there are two loops:
 //!
-//! 1. invalid JSON or a malformed request is answered on the connection
-//!    thread (`invalid_json` / `bad_request`) — no queue slot spent;
-//! 2. a `stats` request is answered on the connection thread too, so
-//!    observability still works while the pool is saturated;
-//! 3. everything else is submitted to the bounded pool.  A full queue is
-//!    answered immediately with `busy` (backpressure; the client decides
-//!    whether to retry), otherwise the connection thread blocks until its
-//!    reply arrives, preserving per-connection response order.
+//! * the **reader** (the connection thread) drains every complete request
+//!   line per wakeup.  Invalid JSON and malformed requests are answered
+//!   without spending a queue slot; `stats` and the admin verbs execute
+//!   right here, **in stream order relative to each other**, so an
+//!   operator's `save_cache` after `cache_limits` happens in the order
+//!   written even while decisions are in flight; everything else is
+//!   submitted to the bounded pool without waiting for the reply (a full
+//!   queue still answers `busy` immediately — backpressure is unchanged);
+//! * the **writer** (a scoped thread) receives completed responses from
+//!   the reader and from the pool workers, in completion order, and
+//!   coalesces every response ready at a wakeup into one buffered
+//!   `write_all` — under pipelining the per-response syscall, not the
+//!   decision, is the throughput floor this removes.
+//!
+//! At EOF the reader stops contributing, and the writer drains until the
+//! last in-flight job has answered (each job holds a clone of the reply
+//! sender; the channel disconnects only when all clones drop), so a
+//! pipelined client that half-closes still receives every response.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -27,7 +41,7 @@ use std::time::{Duration, Instant};
 use nonrec_equivalence::cache::{CacheLimits, DecisionCache};
 
 use crate::admin::{execute_admin, AdminContext};
-use crate::json;
+use crate::json::{self, Value};
 use crate::pool::{Job, PoolConfig, WorkerPool};
 use crate::protocol::{error_response, ok_response, parse_request, request_id, Command, WireError};
 use crate::stats::ServerStats;
@@ -164,8 +178,17 @@ impl Server {
                 .render();
                 response.push('\n');
                 let mut stream = stream;
-                let _ = stream.write_all(response.as_bytes());
-                let _ = stream.flush();
+                // The rejection line is best-effort (the peer may already be
+                // gone), but a failed delivery is still worth counting: a
+                // fleet of clients hanging with no error line in hand looks
+                // exactly like a wedged server unless this counter moves.
+                if let Err(e) = stream
+                    .write_all(response.as_bytes())
+                    .and_then(|()| stream.flush())
+                {
+                    self.stats.record_conn_limit_reject_write_error();
+                    eprintln!("warning: connection-limit rejection line not delivered: {e}");
+                }
                 continue;
             }
             let pool = Arc::clone(&pool);
@@ -199,16 +222,26 @@ impl Drop for ConnGuard {
 /// the bounded-queue backpressure story.
 pub const MAX_LINE_BYTES: usize = 4 << 20;
 
-enum LineRead {
+pub(crate) enum LineRead {
     Line(String),
-    TooLong,
+    /// The line exceeded the cap, but its `\n` terminator was found and
+    /// consumed — the stream is back in sync, so the caller answers
+    /// `bad_request` and keeps reading.
+    TooLongResynced,
+    /// The cap was exceeded with no terminator in sight.  The only way to
+    /// resynchronise would be to buffer (what we refuse to) or to scan an
+    /// attacker-controlled amount of input; the caller must close.
+    TooLongAbandoned,
     Eof,
 }
 
-/// Read one `\n`-terminated line, giving up once it exceeds `max` bytes
-/// (the connection cannot be resynchronised after that — the caller must
-/// close it).
-fn read_line_limited(reader: &mut impl BufRead, max: usize) -> std::io::Result<LineRead> {
+/// Read one `\n`-terminated line, giving up once it exceeds `max` bytes.
+/// [`LineRead::TooLongResynced`] vs [`LineRead::TooLongAbandoned`] tells
+/// the caller whether the connection is still usable.
+pub(crate) fn read_line_limited(
+    reader: &mut impl BufRead,
+    max: usize,
+) -> std::io::Result<LineRead> {
     let mut buf = Vec::new();
     loop {
         let chunk = reader.fill_buf()?;
@@ -223,7 +256,7 @@ fn read_line_limited(reader: &mut impl BufRead, max: usize) -> std::io::Result<L
             buf.extend_from_slice(&chunk[..pos]);
             reader.consume(pos + 1);
             return Ok(if buf.len() > max {
-                LineRead::TooLong
+                LineRead::TooLongResynced
             } else {
                 LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
             });
@@ -232,21 +265,160 @@ fn read_line_limited(reader: &mut impl BufRead, max: usize) -> std::io::Result<L
         let consumed = chunk.len();
         reader.consume(consumed);
         if buf.len() > max {
-            return Ok(LineRead::TooLong);
+            return Ok(LineRead::TooLongAbandoned);
         }
     }
 }
 
-fn line_too_long_response(stats: &ServerStats) -> String {
+fn line_too_long_response(stats: &ServerStats, resynced: bool) -> Value {
     stats.record_request();
-    stats.record_completion("", 0, false);
+    // Counted like an unparseable line — a framing failure, not a verb —
+    // so no per-verb latency sample is fabricated.
+    stats.record_line_too_long();
+    let detail = if resynced {
+        "request line exceeds the size limit; the line was discarded"
+    } else {
+        "request line exceeds the size limit with no terminator; closing the connection"
+    };
     error_response(
         &None,
-        &WireError::bad_request(format!(
-            "request line exceeds {MAX_LINE_BYTES} bytes; closing the connection"
-        )),
+        &WireError::bad_request(format!("{detail} (limit {MAX_LINE_BYTES} bytes)")),
     )
-    .render()
+}
+
+/// The per-connection writer: receive completed, already-rendered response
+/// lines (from the reader thread and the pool workers alike) and coalesce
+/// everything ready at each wakeup into one buffered `write_all` + flush.  Returns when every sender
+/// clone has dropped (reader done **and** no job in flight) or on the first
+/// write error, which also flags `alive` so the reader stops accepting work
+/// for a peer that is gone.
+pub(crate) fn write_loop(
+    mut writer: impl Write,
+    responses: &mpsc::Receiver<String>,
+    alive: &AtomicBool,
+) -> std::io::Result<()> {
+    let mut buf = String::new();
+    loop {
+        let Ok(first) = responses.recv() else {
+            return Ok(());
+        };
+        buf.clear();
+        buf.push_str(&first);
+        buf.push('\n');
+        // Coalescing is bounded by what is already complete (at most the
+        // pool queue plus in-flight count), so the buffer cannot grow
+        // without bound.
+        while let Ok(next) = responses.try_recv() {
+            buf.push_str(&next);
+            buf.push('\n');
+        }
+        if let Err(e) = writer
+            .write_all(buf.as_bytes())
+            .and_then(|()| writer.flush())
+        {
+            alive.store(false, Ordering::Relaxed);
+            return Err(e);
+        }
+    }
+}
+
+/// The per-connection reader: drain request lines, answering framing errors
+/// and admin verbs in stream order and dispatching decisions to the pool
+/// without waiting.  Returns at EOF, on an abandoned over-long line, or
+/// once the writer has died.
+fn read_loop(
+    reader: &mut impl BufRead,
+    reply: &mpsc::Sender<String>,
+    writer_alive: &AtomicBool,
+    pool: &WorkerPool,
+    stats: &ServerStats,
+    config: &ServerConfig,
+) -> std::io::Result<()> {
+    loop {
+        if !writer_alive.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        // Fast path: dispatch every complete line already sitting in the
+        // reader's buffer as a borrowed slice — no per-line allocation, no
+        // copy.  This is the drain that makes a deep pipelined burst cheap:
+        // one `fill_buf` wakeup hands us dozens of requests.
+        let mut consumed = 0;
+        {
+            let chunk = reader.fill_buf()?;
+            if chunk.is_empty() {
+                return Ok(());
+            }
+            while let Some(pos) = chunk[consumed..].iter().position(|&b| b == b'\n') {
+                let line_bytes = &chunk[consumed..consumed + pos];
+                consumed += pos + 1;
+                // A complete in-buffer line can still breach the cap when
+                // the buffer is larger than the limit; the connection stays
+                // usable either way (the terminator was seen).
+                if line_bytes.len() > MAX_LINE_BYTES {
+                    let _ = reply.send(line_too_long_response(stats, true).render());
+                    continue;
+                }
+                match std::str::from_utf8(line_bytes) {
+                    Ok(line) if line.trim().is_empty() => {}
+                    Ok(line) => dispatch_line(line, reply, pool, stats, config),
+                    // Invalid UTF-8 takes the copying route and fails JSON
+                    // parsing with the same `invalid_json` answer a lossy
+                    // read would have produced.
+                    Err(_) => {
+                        let line = String::from_utf8_lossy(line_bytes).into_owned();
+                        dispatch_line(&line, reply, pool, stats, config);
+                    }
+                }
+            }
+        }
+        if consumed > 0 {
+            reader.consume(consumed);
+            continue;
+        }
+        // No complete line in the buffer: fall back to the accumulating
+        // reader, which handles lines spanning buffer refills and enforces
+        // the length cap while a terminator is still outstanding.
+        let line = match read_line_limited(reader, MAX_LINE_BYTES)? {
+            LineRead::Eof => return Ok(()),
+            LineRead::TooLongResynced => {
+                let _ = reply.send(line_too_long_response(stats, true).render());
+                continue;
+            }
+            LineRead::TooLongAbandoned => {
+                let _ = reply.send(line_too_long_response(stats, false).render());
+                return Ok(());
+            }
+            LineRead::Line(line) => line,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        dispatch_line(&line, reply, pool, stats, config);
+    }
+}
+
+/// Run the pipelined protocol over an arbitrary reader/writer pair: the
+/// calling thread becomes the reader, a scoped thread becomes the writer,
+/// and at EOF the writer drains every in-flight response before returning.
+fn serve_pipelined<W: Write + Send>(
+    reader: &mut impl BufRead,
+    writer: W,
+    pool: &WorkerPool,
+    stats: &ServerStats,
+    config: &ServerConfig,
+) -> std::io::Result<()> {
+    let (reply, responses) = mpsc::channel::<String>();
+    let writer_alive = AtomicBool::new(true);
+    std::thread::scope(|scope| {
+        let alive = &writer_alive;
+        let writer = scope.spawn(move || write_loop(writer, &responses, alive));
+        let read_result = read_loop(reader, &reply, &writer_alive, pool, stats, config);
+        // Stop contributing responses; the writer drains until the last
+        // in-flight job (each holds a sender clone) has answered.
+        drop(reply);
+        let write_result = writer.join().expect("writer thread never panics");
+        read_result.and(write_result)
+    })
 }
 
 fn handle_connection(
@@ -255,116 +427,123 @@ fn handle_connection(
     stats: &ServerStats,
     config: &ServerConfig,
 ) -> std::io::Result<()> {
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    loop {
-        let line = match read_line_limited(&mut reader, MAX_LINE_BYTES)? {
-            LineRead::Eof => return Ok(()),
-            LineRead::TooLong => {
-                let mut response = line_too_long_response(stats);
-                response.push('\n');
-                writer.write_all(response.as_bytes())?;
-                writer.flush()?;
-                return Ok(());
-            }
-            LineRead::Line(line) => line,
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        // One write per response: with TCP_NODELAY a separate newline write
-        // would emit its own segment on every round-trip of the hot path.
-        let mut response = process_line(&line, pool, stats, config);
-        response.push('\n');
-        writer.write_all(response.as_bytes())?;
-        writer.flush()?;
-    }
+    // A large read buffer means one `fill_buf` wakeup drains a deep
+    // pipelined burst in one pass of the zero-copy fast path.
+    let mut reader = BufReader::with_capacity(64 * 1024, stream.try_clone()?);
+    serve_pipelined(&mut reader, stream, pool, stats, config)
 }
 
 /// Serve requests from stdin to stdout (the `--stdio` mode of
-/// `nonrec-serve`): same protocol, same pool, same shared cache; ends
-/// cleanly at EOF.
+/// `nonrec-serve`): same pipelined protocol, same pool, same shared cache;
+/// ends cleanly at EOF once every in-flight response has been written.
 pub fn serve_stdio(config: ServerConfig) -> std::io::Result<()> {
     config.apply_cache_config();
     let stats = Arc::new(ServerStats::new());
     let pool = WorkerPool::new(config.pool, Arc::clone(&stats));
     let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
     let mut reader = stdin.lock();
-    loop {
-        let line = match read_line_limited(&mut reader, MAX_LINE_BYTES)? {
-            LineRead::Eof => return Ok(()),
-            LineRead::TooLong => {
-                let mut response = line_too_long_response(&stats);
-                response.push('\n');
-                let mut out = stdout.lock();
-                out.write_all(response.as_bytes())?;
-                out.flush()?;
-                return Ok(());
-            }
-            LineRead::Line(line) => line,
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let mut response = process_line(&line, &pool, &stats, &config);
-        response.push('\n');
-        let mut out = stdout.lock();
-        out.write_all(response.as_bytes())?;
-        out.flush()?;
-    }
+    serve_pipelined(&mut reader, std::io::stdout(), &pool, &stats, &config)
 }
 
-/// Handle one request line end to end; always returns exactly one
-/// single-line response.
-fn process_line(
+/// Handle one request line: framing errors, `stats`, and admin verbs are
+/// answered synchronously on this thread (preserving stream order among
+/// them); decisions are submitted to the pool, which sends the response
+/// through `reply` when done.  Exactly one response per line, always.
+fn dispatch_line(
     line: &str,
+    reply: &mpsc::Sender<String>,
     pool: &WorkerPool,
     stats: &ServerStats,
     config: &ServerConfig,
-) -> String {
+) {
     stats.record_request();
+    // Byte-identical repeats of proven-memoisable request lines are
+    // answered before the frame is even parsed: the line memo only ever
+    // holds lines whose parse, key, and successful execution happened on
+    // an earlier pass (see `memo::LineMemo`), so replaying the stored
+    // response is sound — and it is what lets a pipelined warm drain run
+    // at hash-lookup speed.
+    {
+        let start = Instant::now();
+        if let Some((verb, response)) = crate::memo::LineMemo::global().lookup(line) {
+            stats.record_memo_hit();
+            DecisionCache::global().record_memoised_hit();
+            stats.record_completion(verb, start.elapsed().as_micros(), true);
+            let _ = reply.send(response);
+            return;
+        }
+    }
     let value = match json::parse(line) {
         Ok(value) => value,
         Err(e) => {
             stats.record_invalid_json();
-            stats.record_completion("", 0, false);
-            return error_response(&None, &WireError::new("invalid_json", e.to_string())).render();
+            stats.record_rejected_response();
+            let _ = reply.send(
+                error_response(&None, &WireError::new("invalid_json", e.to_string())).render(),
+            );
+            return;
         }
     };
     let id = request_id(&value);
     let request = match parse_request(&value, true) {
         Ok(request) => request,
         Err(e) => {
-            stats.record_completion("", 0, false);
-            return error_response(&id, &e).render();
+            stats.record_rejected_response();
+            let _ = reply.send(error_response(&id, &e).render());
+            return;
         }
     };
-    // Stats stays on the connection thread: observability must survive a
+    // Stats stays on the reader thread: observability must survive a
     // saturated pool.
     if matches!(request.command, Command::Stats) {
         let start = Instant::now();
         let snapshot = stats.snapshot_json(DecisionCache::global());
         stats.record_completion("stats", start.elapsed().as_micros(), true);
-        return ok_response(&request.id, "stats", snapshot).render();
+        let _ = reply.send(ok_response(&request.id, "stats", snapshot).render());
+        return;
     }
     // So do the admin verbs: an operator shrinking or persisting the cache
-    // must not queue behind the load they are managing.
+    // must not queue behind the load they are managing — and running them
+    // here is what gives pipelined admin verbs their in-order guarantee.
     if request.command.is_admin() {
         let start = Instant::now();
         let outcome = execute_admin(&request.command, &config.admin_context())
             .expect("is_admin and execute_admin agree on the admin verb set");
         let verb = request.command.verb();
-        return match outcome {
+        let response = match outcome {
             Ok(result) => {
                 stats.record_completion(verb, start.elapsed().as_micros(), true);
-                ok_response(&request.id, verb, result).render()
+                ok_response(&request.id, verb, result)
             }
             Err(error) => {
                 stats.record_completion(verb, start.elapsed().as_micros(), false);
-                error_response(&request.id, &error).render()
+                error_response(&request.id, &error)
             }
         };
+        let _ = reply.send(response.render());
+        return;
+    }
+    // Repeats of pure decision requests that differ only in framing (a new
+    // id, re-ordered fields) still hit the command-keyed response memo
+    // right here on the reader thread: no pool dispatch, no re-parse of
+    // the programs, no canonicalisation.  The recall is credited to the
+    // decision cache's hit counter, since the decision was genuinely
+    // remembered rather than recomputed — and the rendered response seeds
+    // the line memo so the *next* byte-identical repeat skips the frame
+    // parse too.
+    let memo_key = crate::memo::memo_key(&request.command);
+    if let Some(key) = &memo_key {
+        let start = Instant::now();
+        if let Some(result) = crate::memo::ResponseMemo::global().lookup(key) {
+            stats.record_memo_hit();
+            DecisionCache::global().record_memoised_hit();
+            let verb = request.command.verb();
+            stats.record_completion(verb, start.elapsed().as_micros(), true);
+            let rendered = ok_response(&request.id, verb, result).render();
+            crate::memo::LineMemo::global().store(line.to_string(), verb, rendered.clone());
+            let _ = reply.send(rendered);
+            return;
+        }
     }
     let deadline = request
         .command
@@ -372,22 +551,15 @@ fn process_line(
         .map(Duration::from_millis)
         .or(config.default_deadline)
         .map(|timeout| Instant::now() + timeout);
-    let (reply, receive) = mpsc::channel();
-    match pool.submit(Job {
+    if let Err(_job) = pool.submit(Job {
+        line: memo_key.as_ref().map(|_| line.to_string()),
         request,
         deadline,
-        reply,
+        memo_key,
+        reply: reply.clone(),
     }) {
-        Ok(()) => match receive.recv() {
-            Ok(response) => response.render(),
-            Err(_) => error_response(
-                &id,
-                &WireError::new("internal", "worker dropped the reply channel"),
-            )
-            .render(),
-        },
-        Err(_job) => {
-            stats.record_busy();
+        stats.record_busy();
+        let _ = reply.send(
             error_response(
                 &id,
                 &WireError::new(
@@ -395,8 +567,31 @@ fn process_line(
                     "request queue is full; retry later or reduce concurrency",
                 ),
             )
-            .render()
-        }
+            .render(),
+        );
+    }
+}
+
+/// Handle one request line end to end, blocking until its response is
+/// ready; always returns exactly one single-line response.  The one-shot
+/// wrapper around [`dispatch_line`] the unit tests drive.
+#[cfg(test)]
+fn process_line(
+    line: &str,
+    pool: &WorkerPool,
+    stats: &ServerStats,
+    config: &ServerConfig,
+) -> String {
+    let (reply, receive) = mpsc::channel();
+    dispatch_line(line, &reply, pool, stats, config);
+    drop(reply);
+    match receive.recv() {
+        Ok(response) => response,
+        Err(_) => error_response(
+            &None,
+            &WireError::new("internal", "worker dropped the reply channel"),
+        )
+        .render(),
     }
 }
 
@@ -475,12 +670,24 @@ mod tests {
     }
 
     #[test]
-    fn oversized_lines_are_cut_off() {
+    fn oversized_lines_distinguish_resynced_from_abandoned() {
         use std::io::Cursor;
+        // Terminator found: the oversized line is discarded but the stream
+        // is back in sync — the next line reads normally.
         let mut reader = Cursor::new([&[b'a'; 64][..], b"\nshort\n"].concat());
         assert!(matches!(
             read_line_limited(&mut reader, 16).unwrap(),
-            LineRead::TooLong
+            LineRead::TooLongResynced
+        ));
+        assert!(matches!(
+            read_line_limited(&mut reader, 16).unwrap(),
+            LineRead::Line(line) if line == "short"
+        ));
+        // No terminator before the cap: abandoned mid-stream.
+        let mut reader = Cursor::new(vec![b'a'; 64]);
+        assert!(matches!(
+            read_line_limited(&mut reader, 16).unwrap(),
+            LineRead::TooLongAbandoned
         ));
         // Within the limit, lines and EOF behave normally.
         let mut reader = Cursor::new(b"one\ntwo".to_vec());
@@ -496,6 +703,41 @@ mod tests {
             read_line_limited(&mut reader, 16).unwrap(),
             LineRead::Eof
         ));
+    }
+
+    #[test]
+    fn resynced_over_long_line_keeps_the_connection_open() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let _ = server.run();
+        });
+        let mut client = crate::client::Client::connect(addr).unwrap();
+        // A terminated line over the cap: answered with bad_request, and
+        // the connection survives to serve the next request.
+        let oversized = "x".repeat(MAX_LINE_BYTES + 1);
+        let rejection = client.request_line(&oversized).unwrap();
+        assert!(rejection.contains("\"bad_request\""), "got: {rejection}");
+        assert!(
+            rejection.contains("discarded"),
+            "the resynced branch must not claim it is closing: {rejection}"
+        );
+        let response = client.request(&crate::protocol::stats_request()).unwrap();
+        assert_eq!(response.get("ok").unwrap().as_bool(), Some(true));
+        let server_stats = response.get("result").unwrap().get("server").unwrap();
+        assert_eq!(
+            server_stats.get("line_too_long").unwrap().as_u64(),
+            Some(1),
+            "framing failures get their own counter, not a fabricated verb sample"
+        );
+        // No per-verb histogram gained a sample from the framing failure
+        // (the snapshot is rendered before the stats verb's own completion
+        // is recorded, so every histogram is empty here).
+        let verbs = response.get("result").unwrap().get("verbs").unwrap();
+        for verb in crate::stats::VERBS {
+            let count = verbs.get(verb).unwrap().get("count").unwrap().as_u64();
+            assert_eq!(count, Some(0), "verb {verb}");
+        }
     }
 
     /// Serialises the unit tests that clear the process-global cache (or

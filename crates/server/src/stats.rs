@@ -115,7 +115,12 @@ struct Inner {
     busy_rejected: u64,
     deadline_expired: u64,
     invalid_json: u64,
+    line_too_long: u64,
     conn_limit_rejected: u64,
+    conn_limit_reject_write_errors: u64,
+    memo_hits: u64,
+    inflight: u64,
+    max_inflight: u64,
     per_verb: [LatencyHistogram; 10],
 }
 
@@ -140,6 +145,41 @@ impl ServerStats {
     /// Count a line that was not valid JSON.
     pub fn record_invalid_json(&self) {
         self.lock().invalid_json += 1;
+    }
+
+    /// Count a request rejected before any verb could be identified
+    /// (unparseable JSON, malformed request object).  Bumps the error
+    /// response counter only — there is no verb to attribute a latency
+    /// sample to, and fabricating one under an empty-string key would
+    /// quietly skew whatever aggregation consumes the histograms.
+    pub fn record_rejected_response(&self) {
+        self.lock().responses_err += 1;
+    }
+
+    /// Count a request line that exceeded [`crate::server::MAX_LINE_BYTES`].
+    /// A framing failure like `invalid_json`: its own counter, an error
+    /// response, and **no** per-verb latency sample.
+    pub fn record_line_too_long(&self) {
+        let mut inner = self.lock();
+        inner.line_too_long += 1;
+        inner.responses_err += 1;
+    }
+
+    /// Count a job entering the worker pool.  Together with
+    /// [`ServerStats::record_retired`] this tracks the pipelining depth: how
+    /// many decisions are queued or running right now, and the deepest that
+    /// backlog has ever been.
+    pub fn record_dispatched(&self) {
+        let mut inner = self.lock();
+        inner.inflight += 1;
+        inner.max_inflight = inner.max_inflight.max(inner.inflight);
+    }
+
+    /// Count a job leaving the worker pool (answered, expired, or panicked
+    /// — every dispatched job retires exactly once).
+    pub fn record_retired(&self) {
+        let mut inner = self.lock();
+        inner.inflight = inner.inflight.saturating_sub(1);
     }
 
     /// Count a request rejected with `busy` (queue full).
@@ -172,6 +212,20 @@ impl ServerStats {
     /// Total connections rejected at the accept loop so far.
     pub fn conn_limit_rejected(&self) -> u64 {
         self.lock().conn_limit_rejected
+    }
+
+    /// Count a connection-limit rejection line that could not be written
+    /// (the peer vanished first).  Previously discarded silently, which
+    /// made "clients hang with no error line" indistinguishable from a
+    /// wedged server.
+    pub fn record_conn_limit_reject_write_error(&self) {
+        self.lock().conn_limit_reject_write_errors += 1;
+    }
+
+    /// A request answered from the text-level response memo on the reader
+    /// thread — no pool dispatch, no decision work.
+    pub fn record_memo_hit(&self) {
+        self.lock().memo_hits += 1;
     }
 
     /// Record a completed execution of `verb` (success or error response),
@@ -224,10 +278,26 @@ impl ServerStats {
                         Value::num(inner.deadline_expired as f64),
                     ),
                     ("invalid_json", Value::num(inner.invalid_json as f64)),
+                    ("line_too_long", Value::num(inner.line_too_long as f64)),
                     (
                         "conn_limit_rejected",
                         Value::num(inner.conn_limit_rejected as f64),
                     ),
+                    (
+                        "conn_limit_reject_write_errors",
+                        Value::num(inner.conn_limit_reject_write_errors as f64),
+                    ),
+                    ("memo_hits", Value::num(inner.memo_hits as f64)),
+                    (
+                        "memo_entries",
+                        Value::num(crate::memo::ResponseMemo::global().len() as f64),
+                    ),
+                    (
+                        "memo_line_entries",
+                        Value::num(crate::memo::LineMemo::global().len() as f64),
+                    ),
+                    ("inflight", Value::num(inner.inflight as f64)),
+                    ("max_inflight", Value::num(inner.max_inflight as f64)),
                 ]),
             ),
             (

@@ -1,0 +1,123 @@
+//! `nonrec-route` — a sharding front end over N `nonrec-serve` backends.
+//!
+//! Speaks the same pipelined line-delimited JSON protocol as
+//! `nonrec-serve`, hashes each request's program to a shard by its
+//! structural `ProgramKey` (alpha-equivalent programs land on the same
+//! shard, stably across restarts), forwards over persistent pipelined
+//! backend connections, merges responses by id, and requeues in-flight
+//! requests to a live shard when a backend dies.  Only when no shard can
+//! take a request does the client see the router's `shard_unavailable`; a
+//! backend's `busy` is forwarded verbatim.  See the README's
+//! "Scaling out: nonrec-route" section.
+//!
+//! ```text
+//! USAGE:
+//!     nonrec-route --backend HOST:PORT [--backend HOST:PORT ...] [OPTIONS]
+//!
+//! OPTIONS:
+//!     --addr <HOST:PORT>       TCP listen address (default 127.0.0.1:7470;
+//!                              port 0 picks a free port, printed on stdout)
+//!     --backend <HOST:PORT>    a `nonrec-serve` shard; repeat per shard
+//!                              (shard numbering follows flag order)
+//!     --backends <LIST>        comma-separated shorthand for the above
+//!     --reconnect-ms <N>       cooldown between reconnection attempts to a
+//!                              dead backend (default 250)
+//!
+//! EXIT CODES:
+//!     0  --help
+//!     2  usage or I/O error
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use server::{Router, RouterConfig};
+
+struct Args {
+    addr: String,
+    config: RouterConfig,
+}
+
+fn usage() -> &'static str {
+    "usage: nonrec-route --backend HOST:PORT [--backend HOST:PORT ...] \
+     [--backends LIST] [--addr HOST:PORT] [--reconnect-ms <N>]"
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Option<Args>, String> {
+    let mut addr = "127.0.0.1:7470".to_string();
+    let mut backends: Vec<String> = Vec::new();
+    let mut reconnect_ms: u64 = 250;
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--addr" => addr = argv.next().ok_or("--addr needs HOST:PORT")?,
+            "--backend" => backends.push(argv.next().ok_or("--backend needs HOST:PORT")?),
+            "--backends" => {
+                let list = argv
+                    .next()
+                    .ok_or("--backends needs a comma-separated list")?;
+                backends.extend(
+                    list.split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string),
+                );
+            }
+            "--reconnect-ms" => {
+                let text = argv.next().ok_or("--reconnect-ms needs a number")?;
+                reconnect_ms = text
+                    .parse()
+                    .map_err(|_| format!("invalid --reconnect-ms: {text}"))?;
+            }
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if backends.is_empty() {
+        return Err("at least one --backend is required".to_string());
+    }
+    Ok(Some(Args {
+        addr,
+        config: RouterConfig {
+            backends,
+            reconnect_cooldown: Duration::from_millis(reconnect_ms),
+        },
+    }))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let result = match Router::bind(&args.addr, args.config) {
+        Ok(router) => {
+            match router.local_addr() {
+                Ok(addr) => {
+                    // The one line tools scrape for the bound port; keep
+                    // the format stable (same shape as nonrec-serve).
+                    println!("listening on {addr}");
+                }
+                Err(e) => eprintln!("warning: cannot report local addr: {e}"),
+            }
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+            router.run()
+        }
+        Err(e) => Err(e),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Shared helpers for the `nonrec-serve` integration suites
-//! (`tests/server.rs`, `tests/server_soak.rs`): spawn the real binary,
-//! scrape the `listening on HOST:PORT` banner, connect clients, kill the
-//! process on drop.
+//! (`tests/server.rs`, `tests/server_soak.rs`): spawn the real binaries
+//! (`nonrec-serve`, `nonrec-route`), scrape the `listening on HOST:PORT`
+//! banner, connect clients, kill the processes on drop.
 
 #![allow(dead_code)] // each suite uses a subset of the helpers
 
@@ -9,6 +9,26 @@ use std::io::{BufRead, BufReader};
 use std::process::{Child, Command, Stdio};
 
 use server::Client;
+
+fn spawn_banner_process(binary: &str, args: &[&str]) -> (Child, String) {
+    let mut child = Command::new(binary)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap_or_else(|e| panic!("spawn {binary}: {e}"));
+    let stdout = child.stdout.take().expect("captured stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read listen line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .to_string();
+    (child, addr)
+}
 
 /// A spawned `nonrec-serve` process bound to an OS-assigned port.
 pub struct ServerProc {
@@ -20,23 +40,11 @@ impl ServerProc {
     /// Spawn `nonrec-serve --addr 127.0.0.1:0 <extra...>` and wait for its
     /// listen banner.
     pub fn spawn(extra: &[&str]) -> ServerProc {
-        let mut child = Command::new(env!("CARGO_BIN_EXE_nonrec-serve"))
-            .args(["--addr", "127.0.0.1:0"])
-            .args(extra)
-            .stdout(Stdio::piped())
-            .stderr(Stdio::null())
-            .spawn()
-            .expect("spawn nonrec-serve");
-        let stdout = child.stdout.take().expect("captured stdout");
-        let mut line = String::new();
-        BufReader::new(stdout)
-            .read_line(&mut line)
-            .expect("read listen line");
-        let addr = line
-            .trim()
-            .strip_prefix("listening on ")
-            .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
-            .to_string();
+        let args: Vec<&str> = ["--addr", "127.0.0.1:0"]
+            .into_iter()
+            .chain(extra.iter().copied())
+            .collect();
+        let (child, addr) = spawn_banner_process(env!("CARGO_BIN_EXE_nonrec-serve"), &args);
         ServerProc { child, addr }
     }
 
@@ -44,9 +52,54 @@ impl ServerProc {
     pub fn client(&self) -> Client {
         Client::connect(self.addr.as_str()).expect("connect to nonrec-serve")
     }
+
+    /// The server's bound address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Kill the server now (SIGKILL — in-flight requests die with it),
+    /// simulating a shard crash for the requeue scenarios.
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
 }
 
 impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// A spawned `nonrec-route` process fronting the given backends.
+pub struct RouterProc {
+    child: Child,
+    addr: String,
+}
+
+impl RouterProc {
+    /// Spawn `nonrec-route --addr 127.0.0.1:0 --backend <b> ...` and wait
+    /// for its listen banner.
+    pub fn spawn(backends: &[&str], extra: &[&str]) -> RouterProc {
+        let mut args: Vec<&str> = vec!["--addr", "127.0.0.1:0"];
+        for backend in backends {
+            args.push("--backend");
+            args.push(backend);
+        }
+        args.extend(extra.iter().copied());
+        let (child, addr) = spawn_banner_process(env!("CARGO_BIN_EXE_nonrec-route"), &args);
+        RouterProc { child, addr }
+    }
+
+    /// A fresh client connection to the spawned router.
+    pub fn client(&self) -> Client {
+        Client::connect(self.addr.as_str()).expect("connect to nonrec-route")
+    }
+}
+
+impl Drop for RouterProc {
     fn drop(&mut self) {
         let _ = self.child.kill();
         let _ = self.child.wait();

@@ -533,8 +533,17 @@ fn stdio_mode_answers_and_exits_cleanly() {
         .lines()
         .collect();
     assert_eq!(lines.len(), 2, "one response line per request line");
-    let bounded = server::json::parse(lines[0]).expect("valid JSON response");
-    assert_eq!(bounded.get("id").and_then(Value::as_u64), Some(1));
+    // The protocol is pipelined: the inline-answered `stats` may complete
+    // before the pooled `bounded` decision, so match responses by id
+    // instead of arrival order.
+    let by_id = |want: u64| {
+        lines
+            .iter()
+            .map(|line| server::json::parse(line).expect("valid JSON response"))
+            .find(|v| v.get("id").and_then(Value::as_u64) == Some(want))
+            .unwrap_or_else(|| panic!("no response with id {want}"))
+    };
+    let bounded = by_id(1);
     assert_eq!(
         bounded
             .get("result")
@@ -542,7 +551,7 @@ fn stdio_mode_answers_and_exits_cleanly() {
             .and_then(Value::as_bool),
         Some(true)
     );
-    let stats = server::json::parse(lines[1]).expect("valid JSON stats");
+    let stats = by_id(2);
     assert_eq!(
         stats
             .get("result")
@@ -550,5 +559,203 @@ fn stdio_mode_answers_and_exits_cleanly() {
             .and_then(|s| s.get("requests"))
             .and_then(Value::as_u64),
         Some(2)
+    );
+}
+
+/// The pipelining differential (acceptance criterion): one client writes
+/// every request before reading anything; all responses arrive, match by
+/// id, and carry verdicts identical to the in-process oracle — regardless
+/// of the (completion-determined) arrival order.
+#[test]
+fn pipelined_client_gets_every_response_matched_by_id() {
+    let goal = Pred::new("q0");
+    let mut instances: Vec<(u64, Value, Oracle)> = Vec::new();
+    for seed in 0..40u64 {
+        let program = random_program(&program_config(), seed);
+        let ucq = random_ucq(seed);
+        let oracle = match datalog_contained_in_ucq_with(&program, goal, &ucq, oracle_options()) {
+            Ok(result) => Oracle::Verdict(result.contained),
+            Err(e) => Oracle::Error(e.code()),
+        };
+        let request = with_budget(
+            protocol::containment_request(&program.to_string(), "q0", &ucq_text(&ucq)),
+            seed,
+        );
+        instances.push((seed, request, oracle));
+    }
+
+    let server = ServerProc::spawn(&[]);
+    let mut client = server.client();
+    let requests: Vec<Value> = instances.iter().map(|(_, r, _)| r.clone()).collect();
+    // The whole burst goes out in one buffered write, before any read.
+    client.send_all(&requests).expect("pipelined write");
+
+    let mut responses: std::collections::HashMap<u64, Value> = std::collections::HashMap::new();
+    for _ in 0..instances.len() {
+        let response = client.recv().expect("pipelined read");
+        let id = response
+            .get("id")
+            .and_then(Value::as_u64)
+            .expect("every response echoes its id");
+        assert!(
+            responses.insert(id, response).is_none(),
+            "duplicate response for id {id}"
+        );
+    }
+    assert_eq!(responses.len(), instances.len(), "every request answered");
+
+    for (id, _, oracle) in &instances {
+        let response = responses
+            .get(id)
+            .unwrap_or_else(|| panic!("no response for id {id}"));
+        check_against_oracle(response, oracle, "contained", &format!("pipelined id {id}"));
+    }
+
+    // The connection still works round-trip, and the server observed real
+    // pipelining depth (many decisions simultaneously queued or running).
+    let stats = client.request(&protocol::stats_request()).expect("stats");
+    let server_block = stats
+        .get("result")
+        .and_then(|r| r.get("server"))
+        .expect("stats carries server counters");
+    let max_inflight = server_block
+        .get("max_inflight")
+        .and_then(Value::as_u64)
+        .expect("max_inflight is reported");
+    assert!(
+        max_inflight >= 2,
+        "a 40-deep pipelined burst should overlap decisions, max_inflight = {max_inflight}"
+    );
+}
+
+/// The router front end: decisions forwarded to shards answer with the
+/// oracle's verdicts (pipelined, matched by id), structurally identical
+/// programs land on one shard, admin verbs are rejected at the router, and
+/// the router's `stats` exposes per-shard counters.
+#[test]
+fn router_shards_requests_and_answers_like_the_oracle() {
+    let goal = Pred::new("q0");
+    let mut instances: Vec<(u64, Value, Oracle)> = Vec::new();
+    for seed in 0..24u64 {
+        let program = random_program(&program_config(), seed);
+        let ucq = random_ucq(seed);
+        let oracle = match datalog_contained_in_ucq_with(&program, goal, &ucq, oracle_options()) {
+            Ok(result) => Oracle::Verdict(result.contained),
+            Err(e) => Oracle::Error(e.code()),
+        };
+        let request = with_budget(
+            protocol::containment_request(&program.to_string(), "q0", &ucq_text(&ucq)),
+            seed,
+        );
+        instances.push((seed, request, oracle));
+    }
+
+    let shard_a = ServerProc::spawn(&[]);
+    let shard_b = ServerProc::spawn(&[]);
+    let router = common::RouterProc::spawn(&[shard_a.addr(), shard_b.addr()], &[]);
+    let mut client = router.client();
+
+    let requests: Vec<Value> = instances.iter().map(|(_, r, _)| r.clone()).collect();
+    client.send_all(&requests).expect("pipelined write");
+    let mut responses: std::collections::HashMap<u64, Value> = std::collections::HashMap::new();
+    for _ in 0..instances.len() {
+        let response = client.recv().expect("pipelined read");
+        let id = response
+            .get("id")
+            .and_then(Value::as_u64)
+            .expect("the router restores the client id");
+        assert!(
+            responses.insert(id, response).is_none(),
+            "duplicate id {id}"
+        );
+    }
+    for (id, _, oracle) in &instances {
+        let response = responses
+            .get(id)
+            .unwrap_or_else(|| panic!("no response for id {id}"));
+        check_against_oracle(response, oracle, "contained", &format!("routed id {id}"));
+    }
+
+    // Admin verbs are per-shard state; the router refuses to pick a shard
+    // for them.
+    let rejected = client
+        .request(&protocol::clear_cache_request())
+        .expect("admin rejection");
+    assert_eq!(
+        rejected
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Value::as_str),
+        Some("bad_request")
+    );
+
+    // Router stats: every request forwarded and replied, no requeues (no
+    // shard died), both shards visible.
+    let stats = client.request(&protocol::stats_request()).expect("stats");
+    let result = stats.get("result").expect("stats result");
+    let shards = result
+        .get("shards")
+        .and_then(Value::as_arr)
+        .expect("per-shard counters");
+    assert_eq!(shards.len(), 2);
+    let total = |field: &str| -> u64 {
+        shards
+            .iter()
+            .map(|s| s.get(field).and_then(Value::as_u64).unwrap())
+            .sum()
+    };
+    assert_eq!(total("forwarded"), instances.len() as u64);
+    assert_eq!(total("replies"), instances.len() as u64);
+    assert_eq!(total("requeued"), 0);
+    assert_eq!(total("busy"), 0);
+    assert_eq!(
+        result
+            .get("router")
+            .and_then(|r| r.get("inflight"))
+            .and_then(Value::as_u64),
+        Some(0),
+        "everything answered — nothing may remain pending"
+    );
+
+    // Shard affinity: re-sending a structurally identical program (alpha
+    // renamed) moves exactly one shard's forwarded counter.
+    let warm = protocol::containment_request(
+        "p(A, B) :- e0(A, C), e0(C, B).",
+        "p",
+        "q(X, Y) :- e0(X, Y).",
+    );
+    let renamed = protocol::containment_request(
+        "p(U, V) :- e0(U, W), e0(W, V).",
+        "p",
+        "q(R, S) :- e0(R, S).",
+    );
+    let before: Vec<u64> = {
+        let stats = client.request(&protocol::stats_request()).expect("stats");
+        let result = stats.get("result").unwrap().clone();
+        result
+            .get("shards")
+            .and_then(Value::as_arr)
+            .unwrap()
+            .iter()
+            .map(|s| s.get("forwarded").and_then(Value::as_u64).unwrap())
+            .collect()
+    };
+    client.request(&warm).expect("warm request");
+    client.request(&renamed).expect("renamed request");
+    let after: Vec<u64> = {
+        let stats = client.request(&protocol::stats_request()).expect("stats");
+        let result = stats.get("result").unwrap().clone();
+        result
+            .get("shards")
+            .and_then(Value::as_arr)
+            .unwrap()
+            .iter()
+            .map(|s| s.get("forwarded").and_then(Value::as_u64).unwrap())
+            .collect()
+    };
+    let deltas: Vec<u64> = before.iter().zip(&after).map(|(b, a)| a - b).collect();
+    assert!(
+        deltas.contains(&2) && deltas.contains(&0),
+        "alpha-equivalent programs must land on one shard; deltas {deltas:?}"
     );
 }

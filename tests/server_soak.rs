@@ -41,7 +41,7 @@ fn soak_requests_per_client() -> Option<usize> {
 }
 
 mod common;
-use common::ServerProc;
+use common::{RouterProc, ServerProc};
 
 /// One observation of the counters this soak watches.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -222,5 +222,113 @@ fn bounded_cache_soak_stays_healthy_under_churn() {
     assert!(
         last.requests >= (CLIENTS * per_client) as u64,
         "the fleet's requests must all be visible in the counters"
+    );
+}
+
+/// Give a request an `id` (the pipelined correlation token).
+fn with_id(mut request: Value, id: u64) -> Value {
+    if let Value::Obj(fields) = &mut request {
+        fields.push(("id".into(), Value::num(id as f64)));
+    }
+    request
+}
+
+/// The kill-one-shard requeue scenario (acceptance criterion): a 2-shard
+/// routed fleet under a deep pipelined burst loses a shard mid-flight and
+/// still answers **every** request ok — the router requeues the dead
+/// shard's in-flight work to the survivor; zero lost requests.
+///
+/// Gated like the churn soak: `NONREC_SOAK_FAST=1` / `NONREC_SOAK=1`.
+#[test]
+fn routed_fleet_requeues_in_flight_work_when_a_shard_dies() {
+    let Some(total) = soak_requests_per_client() else {
+        eprintln!("server_soak: skipped (set NONREC_SOAK_FAST=1 or NONREC_SOAK=1 to run)");
+        return;
+    };
+
+    // Deep pipelining: each shard may have hundreds of requests queued at
+    // once, so the shard queues must absorb the whole burst (`busy` would
+    // be a test artefact, not a router property).
+    let shard_args = ["--workers", "2", "--queue", "2048"];
+    let mut shard_a = ServerProc::spawn(&shard_args);
+    let shard_b = ServerProc::spawn(&shard_args);
+    let router = RouterProc::spawn(&[shard_a.addr(), shard_b.addr()], &[]);
+    let mut client = router.client();
+
+    // All-distinct decisions (every predicate unique): nothing is answered
+    // from a warm cache instantly, so work is genuinely in flight on both
+    // shards when the kill lands.
+    let requests: Vec<Value> = (0..total as u64)
+        .map(|i| {
+            with_id(
+                protocol::equivalence_request(
+                    &format!("b(X, Y) :- r{i}(X, Y).\nb(X, Y) :- t(X), b(Z, Y)."),
+                    "b",
+                    &format!("b(X, Y) :- r{i}(X, Y).\nb(X, Y) :- t(X), r{i}(Z, Y)."),
+                ),
+                i,
+            )
+        })
+        .collect();
+    client.send_all(&requests).expect("pipelined burst");
+
+    // Read a quarter of the fleet's answers, then crash one shard with the
+    // other three quarters still in flight.
+    let mut seen = std::collections::HashMap::new();
+    let mut read_one = |client: &mut Client| {
+        let response = client.recv().expect("zero lost requests");
+        let id = response
+            .get("id")
+            .and_then(Value::as_u64)
+            .expect("echoed id");
+        let ok = response.get("ok").and_then(Value::as_bool) == Some(true);
+        assert!(ok, "request {id} failed: {}", response.render());
+        assert!(seen.insert(id, ()).is_none(), "duplicate response for {id}");
+    };
+    for _ in 0..total / 4 {
+        read_one(&mut client);
+    }
+    shard_a.kill();
+    for _ in total / 4..total {
+        read_one(&mut client);
+    }
+    assert_eq!(seen.len(), total, "every request answered exactly once");
+
+    // The router observed the death and moved the dead shard's in-flight
+    // work to the survivor.
+    let stats = client.request(&protocol::stats_request()).expect("stats");
+    let result = stats.get("result").expect("stats result");
+    let shards: Vec<&Value> = result
+        .get("shards")
+        .and_then(Value::as_arr)
+        .expect("per-shard counters")
+        .iter()
+        .collect();
+    assert_eq!(shards.len(), 2);
+    let alive: Vec<bool> = shards
+        .iter()
+        .map(|s| s.get("alive").and_then(Value::as_bool).unwrap())
+        .collect();
+    assert_eq!(
+        alive.iter().filter(|a| !**a).count(),
+        1,
+        "exactly one shard is down: {alive:?}"
+    );
+    let requeued: u64 = shards
+        .iter()
+        .map(|s| s.get("requeued").and_then(Value::as_u64).unwrap())
+        .sum();
+    assert!(
+        requeued >= 1,
+        "the killed shard held in-flight work; the router must have requeued it"
+    );
+    let unavailable = result
+        .get("router")
+        .and_then(|r| r.get("shard_unavailable"))
+        .and_then(Value::as_u64)
+        .unwrap();
+    assert_eq!(
+        unavailable, 0,
+        "a live shard remained; nothing may have been refused"
     );
 }

@@ -42,13 +42,47 @@
 //! violation detection and for propagation.  This is the standard antichain
 //! technique for automata inclusion and is one of the ablations called out
 //! in DESIGN.md.
+//!
+//! **Scheduling** decides how much the antichain actually prunes.  The
+//! original engine drained its worklist FIFO, which derives transient
+//! dominated pairs that a ⊆-minimal pair discovered later retroactively
+//! kills — work the rounds engine's level order never does.  The default
+//! schedule ([`Schedule::MinSubset`]) therefore holds *candidate* pairs in
+//! a priority frontier ordered by subset size (smallest first, state id
+//! then arrival order as deterministic tie-breaks) and admits a candidate
+//! into the antichain only when it is popped: by then every ⊆-smaller
+//! subset has already been established, so a dominated candidate is
+//! discarded at the pop ([`EngineStats::pops_skipped_dead`]) instead of
+//! being expanded.  This is the antichain-checking insight of De Wulf /
+//! Doyen / Henzinger / Raskin: establish minimal elements first and the
+//! dominated ones are never explored at all.  [`Schedule::Fifo`] keeps the
+//! PR-3 behaviour as an in-tree comparator for the bench ablation.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, VecDeque};
 
 use super::emptiness::is_empty;
 use super::ops::{complement, intersection, BottomUpDeterministic};
 use super::subset::{SubsetArena, SubsetId};
 use super::{State, Tree, TreeAutomaton};
+
+/// How the worklist engine orders the pairs it has derived but not yet
+/// expanded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Schedule {
+    /// Drain the worklist first-in-first-out.  Pairs are admitted into the
+    /// antichain the moment they are derived, so a ⊆-minimal subset found
+    /// late retroactively kills pairs that were already counted and maybe
+    /// already expanded.  Kept as the ablation comparator.
+    Fifo,
+    /// Priority frontier ordered by subset size — smallest `A2`-subsets
+    /// first, state id then arrival order as tie-breaks.  Candidates join
+    /// the antichain only at pop time, after every ⊆-smaller subset has
+    /// been established, so dominated pairs are skipped instead of
+    /// expanded.  The default.
+    #[default]
+    MinSubset,
+}
 
 /// Options for the containment check.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,6 +92,8 @@ pub struct ContainmentOptions {
     /// Safety valve: abort (conservatively reporting `Unknown`) after this
     /// many derived pairs.  `None` = no limit.
     pub max_pairs: Option<usize>,
+    /// Worklist order; see [`Schedule`].
+    pub schedule: Schedule,
 }
 
 impl Default for ContainmentOptions {
@@ -65,6 +101,7 @@ impl Default for ContainmentOptions {
         ContainmentOptions {
             antichain: true,
             max_pairs: None,
+            schedule: Schedule::MinSubset,
         }
     }
 }
@@ -88,6 +125,16 @@ pub struct EngineStats {
     pub propagate_misses: usize,
     /// Number of distinct subsets interned in the arena.
     pub subsets_interned: usize,
+    /// Antichain kills: previously admitted pairs retired because a later
+    /// ⊆-smaller subset dominated them.  Under the min-subset schedule this
+    /// stays at (or near) zero — dominators are established first.
+    pub pairs_dominated: usize,
+    /// Worklist pops discarded at pop time: FIFO entries killed while
+    /// queued, or scheduled candidates that became dominated (or duplicate)
+    /// between push and pop.
+    pub pops_skipped_dead: usize,
+    /// High-water mark of the pending worklist / priority frontier.
+    pub max_frontier: usize,
 }
 
 /// The outcome of a tree-language containment check.
@@ -164,6 +211,62 @@ struct Entry {
     derivation: (usize, Vec<(State, usize)>),
 }
 
+/// A pair awaiting admission under the min-subset schedule: the propagated
+/// subset plus the derivation that produced it.  Ordered by `(subset size,
+/// state, arrival)`, so the frontier pops the smallest subset first and
+/// ties resolve deterministically.
+struct Candidate {
+    size: usize,
+    state: State,
+    seq: usize,
+    subset: SubsetId,
+    derivation: (usize, Vec<(State, usize)>),
+}
+
+impl Candidate {
+    fn key(&self) -> (usize, State, usize) {
+        (self.size, self.state, self.seq)
+    }
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for Candidate {}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// One pop of the min-subset frontier, as recorded by
+/// [`contained_in_with_trace`].  The scheduling invariant — a pop is always
+/// a minimum of the current frontier — is observable as
+/// `size <= next_size` on every record; popped sizes as a *sequence* are
+/// not monotone, because propagation is contracting and pushes smaller
+/// subsets behind larger queued ones.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrontierPop {
+    /// Subset size of the popped candidate.
+    pub size: usize,
+    /// Subset size of the next candidate still queued after this pop
+    /// (`None` if the pop emptied the frontier).
+    pub next_size: Option<usize>,
+    /// False when the candidate was discarded at pop time (dominated or
+    /// duplicate by the time it surfaced).
+    pub admitted: bool,
+}
+
 /// Mutable state of the worklist engine, bundled so the helper methods can
 /// split-borrow its fields.
 struct Engine<'b, L: Ord> {
@@ -171,10 +274,15 @@ struct Engine<'b, L: Ord> {
     /// `label id → child subset ids → propagated subset id`.  Nested so the
     /// hot hit path can look up by borrowed slice without allocating a key.
     propagate_cache: HashMap<u32, HashMap<Vec<SubsetId>, SubsetId>>,
-    /// Derived pairs per `A1` state.
+    /// Derived pairs per `A1` state.  Append-only: dominated entries are
+    /// marked dead but stay put, because derivation pointers and queued
+    /// worklist keys reference them by index.
     entries: Vec<Vec<Entry>>,
-    /// Newly inserted pairs whose combinations are still to be enumerated.
-    queue: VecDeque<(State, usize)>,
+    /// Per-state indices of the *live* entries, sorted by (subset size,
+    /// entry index).  Dominance probes and combination enumeration walk
+    /// this list, so dead entries cost nothing after their kill — the
+    /// previous engine rescanned every dead entry on every insert.
+    live: Vec<Vec<usize>>,
     stats: EngineStats,
     /// `A2` transitions indexed by label.
     b_by_label: BTreeMap<&'b L, Vec<(State, &'b Vec<State>)>>,
@@ -217,6 +325,9 @@ impl<'b, L: Ord + Clone> Engine<'b, L> {
 
     /// Insert a pair, honouring the antichain option.  Returns the index of
     /// the new entry, or `None` when the pair is a duplicate or dominated.
+    /// Killed entries leave the live index immediately (and count as
+    /// `pairs_dominated`); only their slots survive, for the derivation
+    /// pointers that may still reference them.
     fn insert(
         &mut self,
         state: State,
@@ -224,29 +335,72 @@ impl<'b, L: Ord + Clone> Engine<'b, L> {
         derivation: (usize, Vec<(State, usize)>),
         antichain: bool,
     ) -> Option<usize> {
-        let arena = &self.arena;
-        let list = &mut self.entries[state];
+        let size = self.arena.size(subset);
         if antichain {
-            if list
-                .iter()
-                .any(|e| e.alive && arena.is_subset(e.subset, subset))
-            {
-                return None; // dominated by an existing smaller subset
-            }
-            for e in list.iter_mut() {
-                if e.alive && arena.is_subset(subset, e.subset) {
-                    e.alive = false;
+            let mut kills: Vec<usize> = Vec::new();
+            let arena = &self.arena;
+            let entries = &self.entries[state];
+            for (pos, &i) in self.live[state].iter().enumerate() {
+                let existing = entries[i].subset;
+                // The live list is size-sorted: entries no larger than the
+                // candidate can only dominate it, strictly larger ones can
+                // only be dominated by it.
+                if arena.size(existing) <= size {
+                    if arena.is_subset(existing, subset) {
+                        return None; // dominated by an existing smaller subset
+                    }
+                } else if arena.is_subset(subset, existing) {
+                    kills.push(pos);
                 }
             }
-        } else if list.iter().any(|e| e.subset == subset) {
-            return None;
+            for &pos in kills.iter().rev() {
+                let i = self.live[state].remove(pos);
+                self.entries[state][i].alive = false;
+                self.stats.pairs_dominated += 1;
+            }
+        } else {
+            let entries = &self.entries[state];
+            if self.live[state]
+                .iter()
+                .any(|&i| entries[i].subset == subset)
+            {
+                return None;
+            }
         }
-        list.push(Entry {
+        let index = self.entries[state].len();
+        self.entries[state].push(Entry {
             subset,
             alive: true,
             derivation,
         });
-        Some(list.len() - 1)
+        let at = {
+            let arena = &self.arena;
+            let entries = &self.entries[state];
+            self.live[state].partition_point(|&i| arena.size(entries[i].subset) <= size)
+        };
+        self.live[state].insert(at, index);
+        Some(index)
+    }
+
+    /// Would [`Engine::insert`] reject this pair right now?  The push-side
+    /// pre-filter of the min-subset schedule: candidates already dominated
+    /// (or, without the antichain, already present) never enter the
+    /// frontier.  Pop-side re-checks still happen — the frontier can hold
+    /// candidates that were viable at push time and were covered since.
+    fn already_covered(&self, state: State, subset: SubsetId, antichain: bool) -> bool {
+        let arena = &self.arena;
+        let entries = &self.entries[state];
+        if antichain {
+            let size = arena.size(subset);
+            self.live[state]
+                .iter()
+                .take_while(|&&i| arena.size(entries[i].subset) <= size)
+                .any(|&i| arena.is_subset(entries[i].subset, subset))
+        } else {
+            self.live[state]
+                .iter()
+                .any(|&i| entries[i].subset == subset)
+        }
     }
 
     /// Rebuild the witness tree of an entry from its derivation pointers.
@@ -272,12 +426,47 @@ impl<'b, L: Ord + Clone> Engine<'b, L> {
     }
 }
 
-/// Decide whether `T(a) ⊆ T(b)` with the interned, memoised worklist engine.
+/// Decide whether `T(a) ⊆ T(b)` with the interned, memoised worklist
+/// engine, draining the worklist per `options.schedule` (min-subset
+/// priority order by default; see [`Schedule`]).
 pub fn contained_in_with<L: Ord + Clone>(
     a: &TreeAutomaton<L>,
     b: &TreeAutomaton<L>,
     options: ContainmentOptions,
 ) -> TreeContainment<L> {
+    match options.schedule {
+        Schedule::Fifo => contained_in_fifo(a, b, options),
+        Schedule::MinSubset => contained_in_scheduled(a, b, options, None),
+    }
+}
+
+/// Decide containment under the min-subset schedule *and* record every
+/// frontier pop — the observability hook the monotone-frontier property
+/// test drives.  `options.schedule` is ignored (the FIFO schedule has no
+/// priority frontier to trace).
+pub fn contained_in_with_trace<L: Ord + Clone>(
+    a: &TreeAutomaton<L>,
+    b: &TreeAutomaton<L>,
+    options: ContainmentOptions,
+) -> (TreeContainment<L>, Vec<FrontierPop>) {
+    let mut trace = Vec::new();
+    let result = contained_in_scheduled(a, b, options, Some(&mut trace));
+    (result, trace)
+}
+
+/// Shared setup of both worklist schedules: the `A1` transition table with
+/// dense label ids, the child-occurrence index, and a fresh engine.
+struct Prepared<'x, L: Ord> {
+    a_transitions: Vec<(State, &'x L, &'x Vec<State>)>,
+    trans_label: Vec<u32>,
+    occurrences: Vec<Vec<(usize, usize)>>,
+    engine: Engine<'x, L>,
+}
+
+fn prepare<'x, L: Ord + Clone>(
+    a: &'x TreeAutomaton<L>,
+    b: &'x TreeAutomaton<L>,
+) -> Prepared<'x, L> {
     let a_transitions: Vec<(State, &L, &Vec<State>)> = a.transitions().collect();
     let mut b_by_label: BTreeMap<&L, Vec<(State, &Vec<State>)>> = BTreeMap::new();
     for (q, label, tuple) in b.transitions() {
@@ -303,16 +492,39 @@ pub fn contained_in_with<L: Ord + Clone>(
         }
     }
 
-    let mut engine: Engine<'_, L> = Engine {
+    let engine: Engine<'_, L> = Engine {
         arena: SubsetArena::new(),
         propagate_cache: HashMap::new(),
         entries: (0..a.state_count()).map(|_| Vec::new()).collect(),
-        queue: VecDeque::new(),
+        live: (0..a.state_count()).map(|_| Vec::new()).collect(),
         stats: EngineStats::default(),
         b_by_label,
     };
+    Prepared {
+        a_transitions,
+        trans_label,
+        occurrences,
+        engine,
+    }
+}
+
+/// The FIFO schedule: pairs join the antichain the moment they are derived
+/// and are expanded in derivation order.  This is the PR-3 engine (modulo
+/// the live-index bookkeeping), kept as the scheduling-ablation comparator.
+fn contained_in_fifo<L: Ord + Clone>(
+    a: &TreeAutomaton<L>,
+    b: &TreeAutomaton<L>,
+    options: ContainmentOptions,
+) -> TreeContainment<L> {
+    let Prepared {
+        a_transitions,
+        trans_label,
+        occurrences,
+        mut engine,
+    } = prepare(a, b);
     let a_initial = a.initial();
     let b_initial = b.initial();
+    let mut queue: VecDeque<(State, usize)> = VecDeque::new();
 
     // A freshly inserted pair either reports a violation immediately, trips
     // the pair limit, or joins the worklist.
@@ -337,7 +549,8 @@ pub fn contained_in_with<L: Ord + Clone>(
                     };
                 }
             }
-            engine.queue.push_back(($state, $index));
+            queue.push_back(($state, $index));
+            engine.stats.max_frontier = engine.stats.max_frontier.max(queue.len());
         }};
     }
 
@@ -356,13 +569,15 @@ pub fn contained_in_with<L: Ord + Clone>(
     // transitions in which its state occurs, with the popped pair pinned to
     // that occurrence and the other positions ranging over the currently
     // live pairs of their states.
-    while let Some((changed_state, changed_index)) = engine.queue.pop_front() {
+    while let Some((changed_state, changed_index)) = queue.pop_front() {
         if !engine.entries[changed_state][changed_index].alive {
+            engine.stats.pops_skipped_dead += 1;
             continue; // dominated while queued; its dominator covers it
         }
         for &(t, pin) in &occurrences[changed_state] {
             let (s, label, tuple) = a_transitions[t];
-            // Candidate entry indices per child position.
+            // Candidate entry indices per child position, straight from the
+            // live index (dead entries are never scanned).
             let mut candidates: Vec<Vec<usize>> = Vec::with_capacity(tuple.len());
             let mut feasible = true;
             for (j, &child_state) in tuple.iter().enumerate() {
@@ -370,17 +585,11 @@ pub fn contained_in_with<L: Ord + Clone>(
                     candidates.push(vec![changed_index]);
                     continue;
                 }
-                let live: Vec<usize> = engine.entries[child_state]
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, e)| e.alive)
-                    .map(|(i, _)| i)
-                    .collect();
-                if live.is_empty() {
+                if engine.live[child_state].is_empty() {
                     feasible = false;
                     break;
                 }
-                candidates.push(live);
+                candidates.push(engine.live[child_state].clone());
             }
             if !feasible {
                 continue;
@@ -406,6 +615,159 @@ pub fn contained_in_with<L: Ord + Clone>(
                 if let Some(index) = engine.insert(s, subset, derivation, options.antichain) {
                     admit!(s, index);
                 }
+                // Odometer over candidate indices.
+                let mut carry = true;
+                for (slot, cands) in combo.iter_mut().zip(&candidates) {
+                    if carry {
+                        *slot += 1;
+                        if *slot == cands.len() {
+                            *slot = 0;
+                        } else {
+                            carry = false;
+                        }
+                    }
+                }
+                if carry {
+                    break;
+                }
+            }
+        }
+    }
+
+    engine.stats.subsets_interned = engine.arena.len();
+    TreeContainment::Contained {
+        stats: engine.stats,
+    }
+}
+
+/// The min-subset schedule: derivations are *offered* to a priority
+/// frontier and only admitted into the antichain when popped, by which
+/// point every ⊆-smaller subset has been established — dominated pairs are
+/// discarded at the pop instead of being counted and expanded.  On the
+/// `nested` bench family this restores exact pair parity with the rounds
+/// engine's level order.
+fn contained_in_scheduled<L: Ord + Clone>(
+    a: &TreeAutomaton<L>,
+    b: &TreeAutomaton<L>,
+    options: ContainmentOptions,
+    mut trace: Option<&mut Vec<FrontierPop>>,
+) -> TreeContainment<L> {
+    let Prepared {
+        a_transitions,
+        trans_label,
+        occurrences,
+        mut engine,
+    } = prepare(a, b);
+    let a_initial = a.initial();
+    let b_initial = b.initial();
+    let mut frontier: BinaryHeap<Reverse<Candidate>> = BinaryHeap::new();
+    let mut seq = 0usize;
+
+    // Push a candidate unless the antichain already covers it.  Admission —
+    // and with it the pair count, the violation check, and the pair limit —
+    // happens at pop time.
+    macro_rules! offer {
+        ($state:expr, $subset:expr, $derivation:expr) => {{
+            if !engine.already_covered($state, $subset, options.antichain) {
+                frontier.push(Reverse(Candidate {
+                    size: engine.arena.size($subset),
+                    state: $state,
+                    seq,
+                    subset: $subset,
+                    derivation: $derivation,
+                }));
+                seq += 1;
+                engine.stats.max_frontier = engine.stats.max_frontier.max(frontier.len());
+            }
+        }};
+    }
+
+    // Seed: leaf transitions derive their candidates unconditionally.
+    for (t, &(s, label, tuple)) in a_transitions.iter().enumerate() {
+        if !tuple.is_empty() {
+            continue;
+        }
+        let subset = engine.propagate(trans_label[t], label, &[]);
+        offer!(s, subset, (t, Vec::new()));
+    }
+
+    while let Some(Reverse(candidate)) = frontier.pop() {
+        let Candidate {
+            size,
+            state,
+            subset,
+            derivation,
+            ..
+        } = candidate;
+        let admitted = engine.insert(state, subset, derivation, options.antichain);
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(FrontierPop {
+                size,
+                next_size: frontier.peek().map(|Reverse(c)| c.size),
+                admitted: admitted.is_some(),
+            });
+        }
+        let Some(index) = admitted else {
+            engine.stats.pops_skipped_dead += 1;
+            continue; // covered since it was pushed
+        };
+        engine.stats.pairs += 1;
+        if a_initial.contains(&state) && engine.violates(subset, b_initial) {
+            let witness = engine.reconstruct((state, index), &a_transitions);
+            engine.stats.subsets_interned = engine.arena.len();
+            return TreeContainment::NotContained {
+                witness,
+                stats: engine.stats,
+            };
+        }
+        if let Some(limit) = options.max_pairs {
+            if engine.stats.pairs >= limit {
+                engine.stats.subsets_interned = engine.arena.len();
+                return TreeContainment::Unknown {
+                    stats: engine.stats,
+                };
+            }
+        }
+        // Expand: combinations of transitions in which `state` occurs, the
+        // fresh entry pinned to the occurrence and the other positions
+        // ranging over the live entries of their states.
+        for &(t, pin) in &occurrences[state] {
+            let (s, label, tuple) = a_transitions[t];
+            let mut candidates: Vec<Vec<usize>> = Vec::with_capacity(tuple.len());
+            let mut feasible = true;
+            for (j, &child_state) in tuple.iter().enumerate() {
+                if j == pin {
+                    candidates.push(vec![index]);
+                    continue;
+                }
+                if engine.live[child_state].is_empty() {
+                    feasible = false;
+                    break;
+                }
+                candidates.push(engine.live[child_state].clone());
+            }
+            if !feasible {
+                continue;
+            }
+            let mut combo = vec![0usize; tuple.len()];
+            loop {
+                let child_ids: Vec<SubsetId> = combo
+                    .iter()
+                    .zip(&candidates)
+                    .zip(tuple)
+                    .map(|((&i, slot), &child_state)| engine.entries[child_state][slot[i]].subset)
+                    .collect();
+                let subset = engine.propagate(trans_label[t], label, &child_ids);
+                let derivation = (
+                    t,
+                    combo
+                        .iter()
+                        .zip(&candidates)
+                        .zip(tuple)
+                        .map(|((&i, slot), &child_state)| (child_state, slot[i]))
+                        .collect(),
+                );
+                offer!(s, subset, derivation);
                 // Odometer over candidate indices.
                 let mut carry = true;
                 for (slot, cands) in combo.iter_mut().zip(&candidates) {
@@ -738,35 +1100,45 @@ mod tests {
 
     #[test]
     fn antichain_and_full_mode_agree() {
-        for (a, b) in &fixture_pairs() {
-            let with = contained_in_with(
-                a,
-                b,
-                ContainmentOptions {
-                    antichain: true,
-                    max_pairs: None,
-                },
-            );
-            let without = contained_in_with(
-                a,
-                b,
-                ContainmentOptions {
-                    antichain: false,
-                    max_pairs: None,
-                },
-            );
-            assert_eq!(with.is_contained(), without.is_contained());
-            // The antichain never explores more pairs than the full mode.
-            assert!(with.explored() <= without.explored());
+        for schedule in [Schedule::MinSubset, Schedule::Fifo] {
+            for (a, b) in &fixture_pairs() {
+                let with = contained_in_with(
+                    a,
+                    b,
+                    ContainmentOptions {
+                        antichain: true,
+                        max_pairs: None,
+                        schedule,
+                    },
+                );
+                let without = contained_in_with(
+                    a,
+                    b,
+                    ContainmentOptions {
+                        antichain: false,
+                        max_pairs: None,
+                        schedule,
+                    },
+                );
+                assert_eq!(with.is_contained(), without.is_contained());
+                // The antichain never explores more pairs than the full mode.
+                assert!(with.explored() <= without.explored());
+            }
         }
     }
 
     #[test]
     fn worklist_and_rounds_engines_agree_on_the_fixtures() {
-        for antichain in [true, false] {
+        for (antichain, schedule) in [
+            (true, Schedule::MinSubset),
+            (false, Schedule::MinSubset),
+            (true, Schedule::Fifo),
+            (false, Schedule::Fifo),
+        ] {
             let options = ContainmentOptions {
                 antichain,
                 max_pairs: None,
+                schedule,
             };
             for (a, b) in &fixture_pairs() {
                 let worklist = contained_in_with(a, b, options);
@@ -835,15 +1207,91 @@ mod tests {
     #[test]
     fn pair_limit_reports_unknown() {
         for engine in [contained_in_with, contained_in_rounds_with] {
-            let r = engine(
-                &ab_trees(),
-                &ab_trees_with_c(),
-                ContainmentOptions {
-                    antichain: true,
-                    max_pairs: Some(1),
-                },
+            for schedule in [Schedule::MinSubset, Schedule::Fifo] {
+                let r = engine(
+                    &ab_trees(),
+                    &ab_trees_with_c(),
+                    ContainmentOptions {
+                        antichain: true,
+                        max_pairs: Some(1),
+                        schedule,
+                    },
+                );
+                assert!(matches!(r, TreeContainment::Unknown { .. }) || r.is_not_contained());
+            }
+        }
+    }
+
+    #[test]
+    fn min_subset_schedule_matches_rounds_pair_count_on_nested_heights() {
+        // The motivating shape: bounded-height trees against a one-higher
+        // bound.  FIFO order admits every height-9 leaf subset before any
+        // refinement arrives; the min-subset schedule establishes the
+        // ⊆-minimal chain first and skips the dominated seeds at pop time.
+        for h in [2, 4, 6, 8] {
+            let a = ab_trees_of_height(h);
+            let b = ab_trees_of_height(h + 1);
+            let scheduled = contained_in_with(&a, &b, ContainmentOptions::default());
+            let rounds = contained_in_rounds_with(&a, &b, ContainmentOptions::default());
+            assert!(scheduled.is_contained());
+            assert_eq!(
+                scheduled.explored(),
+                rounds.explored(),
+                "height {h}: scheduled pairs {} != rounds pairs {}",
+                scheduled.explored(),
+                rounds.explored()
             );
-            assert!(matches!(r, TreeContainment::Unknown { .. }) || r.is_not_contained());
+            let stats = scheduled.stats();
+            assert_eq!(stats.pairs_dominated, 0, "dominators established first");
+            assert!(stats.pops_skipped_dead > 0, "dominated seeds are skipped");
+        }
+    }
+
+    #[test]
+    fn fifo_schedule_retires_dominated_pairs_late() {
+        // Same shape under FIFO: the dominated seed pairs are admitted
+        // (inflating the pair count) and then killed by later refinements.
+        let a = ab_trees_of_height(8);
+        let b = ab_trees_of_height(9);
+        let fifo = contained_in_with(
+            &a,
+            &b,
+            ContainmentOptions {
+                schedule: Schedule::Fifo,
+                ..ContainmentOptions::default()
+            },
+        );
+        let scheduled = contained_in_with(&a, &b, ContainmentOptions::default());
+        assert!(fifo.is_contained());
+        assert!(fifo.stats().pairs_dominated > 0);
+        assert!(
+            scheduled.explored() < fifo.explored(),
+            "scheduling must strictly reduce pair exploration here"
+        );
+    }
+
+    #[test]
+    fn frontier_pops_are_minima_of_the_frontier() {
+        for (a, b) in &fixture_pairs() {
+            let (result, trace) = contained_in_with_trace(a, b, ContainmentOptions::default());
+            assert_eq!(
+                result.is_contained(),
+                contained_in_rounds(a, b).is_contained()
+            );
+            for pop in &trace {
+                if let Some(next) = pop.next_size {
+                    assert!(
+                        pop.size <= next,
+                        "popped size {} exceeds queued size {next}",
+                        pop.size
+                    );
+                }
+            }
+            // Admitted pops are exactly the counted pairs.
+            assert_eq!(
+                trace.iter().filter(|p| p.admitted).count(),
+                result.stats().pairs
+            );
         }
     }
 }

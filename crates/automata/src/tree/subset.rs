@@ -70,15 +70,24 @@ impl SubsetArena {
         self.sets.len()
     }
 
+    /// Cardinality of an interned subset.  The priority-scheduled
+    /// containment engine keys its frontier on this, so it must stay O(1)-ish
+    /// (`BTreeSet::len` is cached).
+    #[inline]
+    pub fn size(&self, id: SubsetId) -> usize {
+        self.sets[id.index()].len()
+    }
+
     /// True if nothing has been interned yet.
     pub fn is_empty(&self) -> bool {
         self.sets.is_empty()
     }
 
     /// Is the subset `a` included in the subset `b`?  Id equality is the
-    /// O(1) fast path; otherwise the interned sets are compared.
+    /// O(1) fast path, a cardinality comparison the second; only then are
+    /// the interned sets compared element-wise.
     pub fn is_subset(&self, a: SubsetId, b: SubsetId) -> bool {
-        a == b || self.get(a).is_subset(self.get(b))
+        a == b || (self.size(a) <= self.size(b) && self.get(a).is_subset(self.get(b)))
     }
 
     /// Does the subset contain the state?
@@ -125,5 +134,14 @@ mod tests {
         assert!(arena.contains(large, 2));
         assert!(!arena.contains(small, 2));
         assert!(!arena.is_empty());
+    }
+
+    #[test]
+    fn sizes_resolve_through_the_arena() {
+        let mut arena = SubsetArena::new();
+        let empty = arena.intern(BTreeSet::new());
+        let two = arena.intern(BTreeSet::from([3, 7]));
+        assert_eq!(arena.size(empty), 0);
+        assert_eq!(arena.size(two), 2);
     }
 }

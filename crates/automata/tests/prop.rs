@@ -22,6 +22,9 @@ use automata::word::Nfa;
 const SIGMA: [char; 2] = ['a', 'b'];
 const CASES: u64 = 64;
 const TREE_CASES: u64 = 48;
+/// The containment differentials run more instances than the structural
+/// properties: they are the lock on the priority-scheduled engine.
+const CONTAINMENT_CASES: u64 = 200;
 
 fn alphabet() -> BTreeSet<char> {
     SIGMA.iter().copied().collect()
@@ -274,44 +277,85 @@ fn tree_union_and_intersection_are_boolean() {
 }
 
 /// The interned/memoised worklist containment engine agrees with the
-/// plain-rounds reference oracle on random automaton pairs, in both
-/// antichain modes, and every reported witness is a genuine separator.
+/// plain-rounds reference oracle on random automaton pairs, under both
+/// schedules and both antichain modes, and every reported witness is a
+/// genuine separator (brute-force validated against both automata).
 #[test]
 fn tree_containment_worklist_agrees_with_rounds_oracle() {
     use automata::tree::containment::{
-        contained_in_rounds_with, contained_in_with, ContainmentOptions,
+        contained_in_rounds_with, contained_in_with, ContainmentOptions, Schedule,
     };
-    for case in 0..TREE_CASES {
+    for case in 0..CONTAINMENT_CASES {
         let mut rng = StdRng::seed_from_u64(case ^ 0xC0_07A1);
         let a = random_tree_automaton(&mut rng);
         let b = random_tree_automaton(&mut rng);
-        for antichain in [true, false] {
-            let options = ContainmentOptions {
-                antichain,
-                max_pairs: None,
-            };
-            let worklist = contained_in_with(&a, &b, options);
-            let rounds = contained_in_rounds_with(&a, &b, options);
-            assert_eq!(
-                worklist.is_contained(),
-                rounds.is_contained(),
-                "case {case}, antichain {antichain}"
-            );
-            for witness in [worklist.witness(), rounds.witness()].into_iter().flatten() {
-                assert!(a.accepts(witness), "case {case}: witness not in T(A1)");
-                assert!(!b.accepts(witness), "case {case}: witness in T(A2)");
-            }
-            // Containment verdicts must also survive the materialised
-            // complement cross-check on contained cases (cheap here: the
-            // generated automata are tiny).
-            if worklist.is_contained() {
-                for tree in small_trees().into_iter().take(40) {
-                    if a.accepts(&tree) {
-                        assert!(b.accepts(&tree), "case {case}: containment lied");
+        for schedule in [Schedule::MinSubset, Schedule::Fifo] {
+            for antichain in [true, false] {
+                let options = ContainmentOptions {
+                    antichain,
+                    max_pairs: None,
+                    schedule,
+                };
+                let worklist = contained_in_with(&a, &b, options);
+                let rounds = contained_in_rounds_with(&a, &b, options);
+                assert_eq!(
+                    worklist.is_contained(),
+                    rounds.is_contained(),
+                    "case {case}, antichain {antichain}, schedule {schedule:?}"
+                );
+                for witness in [worklist.witness(), rounds.witness()].into_iter().flatten() {
+                    assert!(a.accepts(witness), "case {case}: witness not in T(A1)");
+                    assert!(!b.accepts(witness), "case {case}: witness in T(A2)");
+                }
+                // Containment verdicts must also survive the brute-force
+                // cross-check on contained cases (cheap here: the generated
+                // automata are tiny).
+                if worklist.is_contained() {
+                    for tree in small_trees().into_iter().take(40) {
+                        if a.accepts(&tree) {
+                            assert!(b.accepts(&tree), "case {case}: containment lied");
+                        }
                     }
                 }
             }
         }
+    }
+}
+
+/// Scheduling invariant of the default (min-subset) engine: every frontier
+/// pop is a minimum of the frontier at that moment — the popped subset is
+/// never larger than anything still queued.  (Popped sizes as a sequence
+/// are *not* monotone: propagation is contracting, so smaller subsets are
+/// pushed behind larger queued ones; the per-pop minimality plus the
+/// dead-skip accounting is the checkable form of "non-decreasing modulo
+/// dead skips".)  The antichain also never retires an admitted pair late on
+/// these runs' motivating shapes: dominators are established first.
+#[test]
+fn tree_containment_scheduled_pops_are_frontier_minima() {
+    use automata::tree::containment::{contained_in_with_trace, ContainmentOptions};
+    for case in 0..CONTAINMENT_CASES {
+        let mut rng = StdRng::seed_from_u64(case ^ 0x5C_4EDC);
+        let a = random_tree_automaton(&mut rng);
+        let b = random_tree_automaton(&mut rng);
+        let (result, trace) = contained_in_with_trace(&a, &b, ContainmentOptions::default());
+        for (i, pop) in trace.iter().enumerate() {
+            if let Some(next) = pop.next_size {
+                assert!(
+                    pop.size <= next,
+                    "case {case}, pop {i}: popped size {} exceeds queued size {next}",
+                    pop.size
+                );
+            }
+        }
+        // Every admitted pop is a counted pair; skipped pops are counted as
+        // dead skips and nothing else.
+        let admitted = trace.iter().filter(|p| p.admitted).count();
+        assert_eq!(admitted, result.stats().pairs, "case {case}");
+        assert_eq!(
+            trace.len() - admitted,
+            result.stats().pops_skipped_dead,
+            "case {case}"
+        );
     }
 }
 

@@ -71,7 +71,7 @@ fn bench_automata(c: &mut Criterion) {
         for (name, antichain) in [("antichain", true), ("exhaustive", false)] {
             let options = ContainmentOptions {
                 antichain,
-                max_pairs: None,
+                ..ContainmentOptions::default()
             };
             let result = contained_in_with(&bounded, &all, options);
             report_shape(

@@ -18,7 +18,7 @@ use bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use automata::tree::containment::{
-    contained_in_rounds_with, contained_in_with, ContainmentOptions, EngineStats,
+    contained_in_rounds_with, contained_in_with, ContainmentOptions, EngineStats, Schedule,
 };
 use automata::tree::TreeAutomaton;
 use datalog::atom::Pred;
@@ -71,6 +71,9 @@ fn bench_containment(c: &mut Criterion) {
     // Two families: `height ≤ h ⊆ all ab-trees` (the original E13 shape, a
     // trivial right-hand automaton) and `height ≤ h ⊆ height ≤ h+1` (a
     // growing right-hand automaton, so subsets and the antichain matter).
+    // Three engines per shape: the priority-scheduled worklist (the default,
+    // reported as `worklist`), the FIFO ablation comparator (`fifo`), and
+    // the rounds oracle (`rounds`).
     let mut engine_rows: Vec<EngineRow> = Vec::new();
     for h in [2usize, 4, 6, 8] {
         for (family, bounded, all) in [
@@ -78,18 +81,29 @@ fn bench_containment(c: &mut Criterion) {
             ("nested", bounded_height(h), bounded_height(h + 1)),
         ] {
             for (mode, antichain) in [("antichain", true), ("exhaustive", false)] {
-                let options = ContainmentOptions {
+                let options = |schedule| ContainmentOptions {
                     antichain,
                     max_pairs: None,
+                    schedule,
                 };
-                let worklist = contained_in_with(&bounded, &all, options);
-                let rounds = contained_in_rounds_with(&bounded, &all, options);
+                let worklist = contained_in_with(&bounded, &all, options(Schedule::MinSubset));
+                let fifo = contained_in_with(&bounded, &all, options(Schedule::Fifo));
+                let rounds = contained_in_rounds_with(&bounded, &all, options(Schedule::MinSubset));
                 assert_eq!(
                     worklist.is_contained(),
                     rounds.is_contained(),
                     "verdict mismatch on h={h} ({family}, {mode})"
                 );
-                for (engine, result) in [("worklist", &worklist), ("rounds", &rounds)] {
+                assert_eq!(
+                    fifo.is_contained(),
+                    rounds.is_contained(),
+                    "fifo verdict mismatch on h={h} ({family}, {mode})"
+                );
+                for (engine, result) in [
+                    ("worklist", &worklist),
+                    ("fifo", &fifo),
+                    ("rounds", &rounds),
+                ] {
                     let stats = *result.stats();
                     report_shape(
                         "E13_tree_containment",
@@ -101,6 +115,9 @@ fn bench_containment(c: &mut Criterion) {
                             ("propagate_hits", stats.propagate_hits.to_string()),
                             ("propagate_misses", stats.propagate_misses.to_string()),
                             ("subsets", stats.subsets_interned.to_string()),
+                            ("pairs_dominated", stats.pairs_dominated.to_string()),
+                            ("pops_skipped_dead", stats.pops_skipped_dead.to_string()),
+                            ("max_frontier", stats.max_frontier.to_string()),
                         ],
                     );
                     engine_rows.push(EngineRow {
@@ -110,16 +127,53 @@ fn bench_containment(c: &mut Criterion) {
                         stats,
                     });
                 }
-                // Pair-work regression gate: the memoised worklist engine must
-                // not rescan δ2 more often than the rounds oracle enumerates
+                // Pair-work regression gate: neither worklist engine may
+                // rescan δ2 more often than the rounds oracle enumerates
                 // combinations on any saturating shape.
-                assert!(
-                worklist.stats().propagate_misses <= rounds.stats().combinations,
-                "containment work regression on h={h} ({family}, {mode}): worklist misses {} > \
-                 rounds combinations {}",
-                worklist.stats().propagate_misses,
-                rounds.stats().combinations
-            );
+                for (engine, result) in [("worklist", &worklist), ("fifo", &fifo)] {
+                    assert!(
+                        result.stats().propagate_misses <= rounds.stats().combinations,
+                        "containment work regression on h={h} ({family}, {mode}): {engine} \
+                         misses {} > rounds combinations {}",
+                        result.stats().propagate_misses,
+                        rounds.stats().combinations
+                    );
+                }
+                // Scheduling gate (the point of the MinSubset frontier): with
+                // the antichain on, the scheduled engine must match the
+                // rounds oracle's pair count exactly — establishing
+                // ⊆-minimal subsets first means no transient dominated pair
+                // is ever admitted.  On the nested family at h=8 that is the
+                // 24 → 8 collapse the FIFO engine cannot achieve.
+                if antichain {
+                    assert_eq!(
+                        worklist.stats().pairs,
+                        rounds.stats().pairs,
+                        "scheduled pair count diverged from rounds on h={h} ({family})"
+                    );
+                    assert_eq!(
+                        worklist.stats().pairs_dominated,
+                        0,
+                        "scheduled engine admitted a dominated pair on h={h} ({family})"
+                    );
+                    if family == "nested" && h == 8 {
+                        assert!(
+                            worklist.stats().pairs <= 8,
+                            "nested h=8 scheduled pairs {} > 8",
+                            worklist.stats().pairs
+                        );
+                    }
+                }
+                // The scheduled engine must not regress combination work
+                // against the FIFO comparator on the vs_all family.
+                if family == "vs_all" {
+                    assert!(
+                        worklist.stats().combinations <= fifo.stats().combinations,
+                        "scheduled combinations regressed vs fifo on h={h} ({mode}): {} > {}",
+                        worklist.stats().combinations,
+                        fifo.stats().combinations
+                    );
+                }
             }
         }
     }
@@ -133,6 +187,19 @@ fn bench_containment(c: &mut Criterion) {
                     black_box(&bounded),
                     black_box(&larger),
                     options,
+                ))
+            })
+        });
+        group.bench_function(format!("fifo_antichain_h{h}"), |b| {
+            let fifo = ContainmentOptions {
+                schedule: Schedule::Fifo,
+                ..options
+            };
+            b.iter(|| {
+                black_box(contained_in_with(
+                    black_box(&bounded),
+                    black_box(&larger),
+                    fifo,
                 ))
             })
         });
@@ -226,7 +293,8 @@ fn bench_containment(c: &mut Criterion) {
                 format!(
                     "{{\"group\": \"containment\", \"kind\": \"tree_containment\", \"h\": {}, \
                      \"variant\": \"{}\", \"contained\": {}, \"pairs\": {}, \"combinations\": {}, \
-                     \"propagate_hits\": {}, \"propagate_misses\": {}, \"subsets\": {}}}",
+                     \"propagate_hits\": {}, \"propagate_misses\": {}, \"subsets\": {}, \
+                     \"pairs_dominated\": {}, \"pops_skipped_dead\": {}, \"max_frontier\": {}}}",
                     r.h,
                     r.variant,
                     r.contained,
@@ -234,7 +302,10 @@ fn bench_containment(c: &mut Criterion) {
                     r.stats.combinations,
                     r.stats.propagate_hits,
                     r.stats.propagate_misses,
-                    r.stats.subsets_interned
+                    r.stats.subsets_interned,
+                    r.stats.pairs_dominated,
+                    r.stats.pops_skipped_dead,
+                    r.stats.max_frontier
                 )
             })
             .chain(cache_rows.iter().map(|r| {

@@ -125,6 +125,60 @@ fn bench_evaluation(c: &mut Criterion) {
                     ))
                 })
             });
+
+            // Auto row: the planner must pick the winner for this shape —
+            // magic on the chain (acyclic demand region, the binding
+            // prunes), indexed on the cycle (demand saturates) — and its
+            // evaluation must be probe-for-probe the strategy it resolved
+            // to.
+            let expected = if db_name == "chain" {
+                Strategy::Magic
+            } else {
+                Strategy::Indexed
+            };
+            assert_eq!(
+                datalog::eval::resolve_auto_strategy(&program, &db, &pattern),
+                expected,
+                "auto planner picked the wrong strategy on {db_name} n={n}"
+            );
+            let goal_options = |strategy| EvalOptions {
+                strategy,
+                ..Default::default()
+            };
+            let auto = evaluate_goal_with(&program, &db, &pattern, goal_options(Strategy::Auto));
+            let resolved = evaluate_goal_with(&program, &db, &pattern, goal_options(expected));
+            assert_eq!(
+                (auto.stats.probes, auto.stats.derived_facts),
+                (resolved.stats.probes, resolved.stats.derived_facts),
+                "auto did not match its resolved strategy on {db_name} n={n}"
+            );
+            rows.push(ShapeRow {
+                n,
+                db: db_name,
+                strategy: "auto",
+                probes: auto.stats.probes,
+                facts: auto.stats.derived_facts,
+            });
+            report_shape(
+                "E14_evaluation",
+                n,
+                &[
+                    ("db", db_name.to_string()),
+                    ("strategy", "auto".to_string()),
+                    ("probes", auto.stats.probes.to_string()),
+                    ("facts", auto.stats.derived_facts.to_string()),
+                ],
+            );
+            group.bench_function(format!("{db_name}_auto_{n}"), |b| {
+                b.iter(|| {
+                    black_box(evaluate_goal_with(
+                        black_box(&program),
+                        black_box(&db),
+                        black_box(&pattern),
+                        goal_options(Strategy::Auto),
+                    ))
+                })
+            });
         }
     }
     group.finish();
@@ -185,6 +239,23 @@ fn bench_evaluation(c: &mut Criterion) {
             "goal-directed fact regression on {db_name} n={n}: magic derived {} >= full {}",
             magic.facts,
             indexed.facts
+        );
+        // The auto planner row must track the winner it resolved to: on the
+        // chain that is magic (probe-identical); on the cycle it falls back
+        // to indexed, which at worst matches the scan-based semi-naive
+        // bound every goal-directed run is held to.
+        let auto = row_of("auto");
+        if db_name == "chain" {
+            assert_eq!(
+                auto.probes, magic.probes,
+                "auto probes diverged from magic on {db_name} n={n}"
+            );
+        }
+        assert!(
+            auto.probes <= semi.probes,
+            "probe regression on {db_name} n={n}: auto {} > semi-naive {}",
+            auto.probes,
+            semi.probes
         );
     }
 

@@ -15,6 +15,7 @@
 
 use std::time::Instant;
 
+use automata::tree::containment::Schedule;
 use automata::tree::containment::{contained_in_with, ContainmentOptions, TreeContainment};
 use automata::tree::ops::union as tree_union;
 use automata::tree::TreeAutomaton;
@@ -54,6 +55,15 @@ pub struct ContainmentStats {
     pub queries: AutomatonStats,
     /// Number of product states explored by the containment check.
     pub explored: usize,
+    /// Antichain entries retired because a later, smaller subset dominated
+    /// them (tree path only; the word path reports zero).
+    pub pairs_dominated: usize,
+    /// Scheduled candidates discarded at pop time because a dominating pair
+    /// was admitted first (tree path only; the word path reports zero).
+    pub pops_skipped_dead: usize,
+    /// High-water mark of the scheduler frontier (tree path only; the word
+    /// path reports zero).
+    pub max_frontier: usize,
     /// Wall-clock time of the whole decision, in microseconds.
     pub micros: u128,
 }
@@ -118,6 +128,10 @@ pub struct DecisionOptions {
     /// it changes how a verdict is computed, never what it is.
     /// [`datalog::eval::Strategy::Magic`] evaluates goal-directed: the
     /// fixpoint is restricted to facts relevant to the frozen head tuple.
+    /// The default is [`datalog::eval::Strategy::Auto`]: a per-check planner
+    /// pass resolves to magic when the adorned goal can prune the fixpoint
+    /// and to indexed otherwise (see
+    /// [`datalog::eval::resolve_auto_strategy`]).
     pub strategy: Strategy,
 }
 
@@ -130,7 +144,7 @@ impl Default for DecisionOptions {
             use_cache: true,
             max_unfold: usize::MAX,
             cache_limits: None,
-            strategy: Strategy::Indexed,
+            strategy: Strategy::Auto,
         }
     }
 }
@@ -288,6 +302,9 @@ fn decide_uncached(
                 ptrees: ptrees_stats,
                 queries: query_stats,
                 explored,
+                pairs_dominated: 0,
+                pops_skipped_dead: 0,
+                max_frontier: 0,
                 micros: start.elapsed().as_micros(),
             },
         });
@@ -300,9 +317,11 @@ fn decide_uncached(
         ContainmentOptions {
             antichain: options.antichain,
             max_pairs: options.max_pairs,
+            schedule: Schedule::MinSubset,
         },
     );
-    let explored = outcome.explored();
+    let engine_stats = *outcome.stats();
+    let explored = engine_stats.pairs;
     let (contained, counterexample) = match outcome {
         TreeContainment::Contained { .. } => (true, None),
         TreeContainment::NotContained { witness, .. } => {
@@ -318,6 +337,9 @@ fn decide_uncached(
             ptrees: ptrees_stats,
             queries: query_stats,
             explored,
+            pairs_dominated: engine_stats.pairs_dominated,
+            pops_skipped_dead: engine_stats.pops_skipped_dead,
+            max_frontier: engine_stats.max_frontier,
             micros: start.elapsed().as_micros(),
         },
     })

@@ -29,26 +29,44 @@ static NAIVE_DECISIONS: AtomicU64 = AtomicU64::new(0);
 static SEMI_NAIVE_DECISIONS: AtomicU64 = AtomicU64::new(0);
 static INDEXED_DECISIONS: AtomicU64 = AtomicU64::new(0);
 static MAGIC_DECISIONS: AtomicU64 = AtomicU64::new(0);
+static AUTO_MAGIC_DECISIONS: AtomicU64 = AtomicU64::new(0);
+static AUTO_INDEXED_DECISIONS: AtomicU64 = AtomicU64::new(0);
 
 /// How many canonical-database decisions each evaluation strategy has served
 /// in this process (cache misses only — a cached verdict re-used by
 /// [`cq_contained_in_datalog_keyed`] runs no evaluation and counts nothing).
+///
+/// [`Strategy::Auto`] decisions are tallied separately from explicit
+/// magic/indexed requests, split by what the planner resolved them to, so a
+/// routed deployment can see both that the heuristic is in use and which
+/// way it is deciding.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StrategyCounts {
     /// Decisions evaluated with [`Strategy::Naive`].
     pub naive: u64,
     /// Decisions evaluated with [`Strategy::SemiNaive`].
     pub semi_naive: u64,
-    /// Decisions evaluated with [`Strategy::Indexed`].
+    /// Decisions evaluated with an explicitly requested
+    /// [`Strategy::Indexed`].
     pub indexed: u64,
-    /// Decisions evaluated with [`Strategy::Magic`].
+    /// Decisions evaluated with an explicitly requested
+    /// [`Strategy::Magic`].
     pub magic: u64,
+    /// [`Strategy::Auto`] decisions the planner resolved to magic.
+    pub auto_magic: u64,
+    /// [`Strategy::Auto`] decisions the planner resolved to indexed.
+    pub auto_indexed: u64,
 }
 
 impl StrategyCounts {
     /// Total decisions across all strategies.
     pub fn total(&self) -> u64 {
-        self.naive + self.semi_naive + self.indexed + self.magic
+        self.naive
+            + self.semi_naive
+            + self.indexed
+            + self.magic
+            + self.auto_magic
+            + self.auto_indexed
     }
 
     /// Component-wise difference `self - earlier`, for reporting the
@@ -60,6 +78,8 @@ impl StrategyCounts {
             semi_naive: self.semi_naive.saturating_sub(earlier.semi_naive),
             indexed: self.indexed.saturating_sub(earlier.indexed),
             magic: self.magic.saturating_sub(earlier.magic),
+            auto_magic: self.auto_magic.saturating_sub(earlier.auto_magic),
+            auto_indexed: self.auto_indexed.saturating_sub(earlier.auto_indexed),
         }
     }
 }
@@ -71,15 +91,21 @@ pub fn strategy_decision_counts() -> StrategyCounts {
         semi_naive: SEMI_NAIVE_DECISIONS.load(Ordering::Relaxed),
         indexed: INDEXED_DECISIONS.load(Ordering::Relaxed),
         magic: MAGIC_DECISIONS.load(Ordering::Relaxed),
+        auto_magic: AUTO_MAGIC_DECISIONS.load(Ordering::Relaxed),
+        auto_indexed: AUTO_INDEXED_DECISIONS.load(Ordering::Relaxed),
     }
 }
 
-fn record_decision(strategy: Strategy) {
-    let counter = match strategy {
-        Strategy::Naive => &NAIVE_DECISIONS,
-        Strategy::SemiNaive => &SEMI_NAIVE_DECISIONS,
-        Strategy::Indexed => &INDEXED_DECISIONS,
-        Strategy::Magic => &MAGIC_DECISIONS,
+/// Tally one decision under the strategy the caller *requested*; auto
+/// decisions carry the strategy the planner resolved them to.
+fn record_decision(requested: Strategy, resolved: Strategy) {
+    let counter = match (requested, resolved) {
+        (Strategy::Auto, Strategy::Magic) => &AUTO_MAGIC_DECISIONS,
+        (Strategy::Auto, _) => &AUTO_INDEXED_DECISIONS,
+        (Strategy::Naive, _) => &NAIVE_DECISIONS,
+        (Strategy::SemiNaive, _) => &SEMI_NAIVE_DECISIONS,
+        (Strategy::Indexed, _) => &INDEXED_DECISIONS,
+        (Strategy::Magic, _) => &MAGIC_DECISIONS,
     };
     counter.fetch_add(1, Ordering::Relaxed);
 }
@@ -97,7 +123,9 @@ pub fn cq_contained_in_datalog(theta: &ConjunctiveQuery, program: &Program, goal
 /// relation — see `tests/strategy_differential.rs`); the knob exists so the
 /// decision procedures can be cross-checked against the naive reference
 /// engine and so callers can opt into [`Strategy::Magic`], which seeds the
-/// magic predicates from the (fully bound) frozen head tuple.
+/// magic predicates from the (fully bound) frozen head tuple, or
+/// [`Strategy::Auto`], which lets the planner pick magic exactly when the
+/// adorned goal can prune the fixpoint on this frozen database.
 pub fn cq_contained_in_datalog_with(
     theta: &ConjunctiveQuery,
     program: &Program,
@@ -109,16 +137,23 @@ pub fn cq_contained_in_datalog_with(
         goal,
         frozen.head_tuple.iter().map(|&c| Term::Const(c)).collect(),
     );
+    // Resolve the planner's choice here rather than inside the evaluator so
+    // the tally can distinguish auto-resolved-to-magic from
+    // auto-resolved-to-indexed.
+    let resolved = match strategy {
+        Strategy::Auto => datalog::eval::resolve_auto_strategy(program, &frozen.database, &pattern),
+        explicit => explicit,
+    };
     let result = evaluate_goal_with(
         program,
         &frozen.database,
         &pattern,
         EvalOptions {
-            strategy,
+            strategy: resolved,
             ..EvalOptions::default()
         },
     );
-    record_decision(strategy);
+    record_decision(strategy, resolved);
     result.relation(goal).contains(&frozen.head_tuple)
 }
 
@@ -215,7 +250,12 @@ mod tests {
         ];
         for q in &queries {
             let reference = cq_contained_in_datalog_with(q, &tc(), Pred::new("p"), Strategy::Naive);
-            for strategy in [Strategy::SemiNaive, Strategy::Indexed, Strategy::Magic] {
+            for strategy in [
+                Strategy::SemiNaive,
+                Strategy::Indexed,
+                Strategy::Magic,
+                Strategy::Auto,
+            ] {
                 assert_eq!(
                     reference,
                     cq_contained_in_datalog_with(q, &tc(), Pred::new("p"), strategy),
@@ -269,5 +309,43 @@ mod tests {
         assert!(delta.magic >= 1, "magic decisions uncounted: {delta:?}");
         assert!(delta.indexed >= 1, "indexed decisions uncounted: {delta:?}");
         assert!(delta.total() >= 2);
+    }
+
+    #[test]
+    fn auto_decisions_are_tallied_by_what_the_planner_resolved() {
+        // The frozen head tuple of a path query is fully bound and the
+        // canonical database of a path is acyclic, so on TC the planner
+        // resolves auto to magic — and the tally must land in the auto
+        // bucket, not in the explicit-magic one attributed to callers who
+        // pinned the strategy themselves.
+        let q = cq::generate::path_query("e", 2);
+        let before = strategy_decision_counts();
+        assert!(cq_contained_in_datalog_with(
+            &q,
+            &tc(),
+            Pred::new("p"),
+            Strategy::Auto
+        ));
+        let delta = strategy_decision_counts().since(&before);
+        assert!(
+            delta.auto_magic >= 1,
+            "auto-resolved-to-magic decision uncounted: {delta:?}"
+        );
+
+        // A self-loop query freezes to a cyclic canonical database: demand
+        // saturates, the planner resolves auto to indexed.
+        let looped = ConjunctiveQuery::parse("q(X, X) :- e(X, X).").unwrap();
+        let before = strategy_decision_counts();
+        assert!(cq_contained_in_datalog_with(
+            &looped,
+            &tc(),
+            Pred::new("p"),
+            Strategy::Auto
+        ));
+        let delta = strategy_decision_counts().since(&before);
+        assert!(
+            delta.auto_indexed >= 1,
+            "auto-resolved-to-indexed decision uncounted: {delta:?}"
+        );
     }
 }

@@ -60,7 +60,7 @@ pub const SNAPSHOT_MAGIC: [u8; 4] = *b"NRDC";
 /// The current snapshot format version.  Bump on any encoding change; the
 /// decoder refuses other versions with
 /// [`SnapshotError::UnsupportedVersion`] instead of misreading them.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Nesting bound for decoded proof trees, so a hostile snapshot cannot
 /// overflow the decoder's stack.  Genuine witnesses are orders of magnitude
@@ -259,6 +259,9 @@ fn put_result(out: &mut Vec<u8>, result: &ContainmentResult) {
     put_automaton_stats(out, result.stats.ptrees);
     put_automaton_stats(out, result.stats.queries);
     put_u64(out, result.stats.explored as u64);
+    put_u64(out, result.stats.pairs_dominated as u64);
+    put_u64(out, result.stats.pops_skipped_dead as u64);
+    put_u64(out, result.stats.max_frontier as u64);
     put_u64(out, result.stats.micros.min(u64::MAX as u128) as u64);
 }
 
@@ -467,6 +470,9 @@ impl<'a> Reader<'a> {
         let ptrees = self.automaton_stats()?;
         let queries = self.automaton_stats()?;
         let explored = self.usize64()?;
+        let pairs_dominated = self.usize64()?;
+        let pops_skipped_dead = self.usize64()?;
+        let max_frontier = self.usize64()?;
         let micros = self.u64()? as u128;
         Ok(ContainmentResult {
             contained,
@@ -476,6 +482,9 @@ impl<'a> Reader<'a> {
                 ptrees,
                 queries,
                 explored,
+                pairs_dominated,
+                pops_skipped_dead,
+                max_frontier,
                 micros,
             },
         })
@@ -772,10 +781,10 @@ mod tests {
             Err(SnapshotError::BadMagic)
         );
         let mut bumped = bytes.clone();
-        bumped[4] = 2;
+        bumped[4] = (SNAPSHOT_VERSION + 1) as u8;
         assert_eq!(
             fresh.load_snapshot_bytes(&bumped),
-            Err(SnapshotError::UnsupportedVersion(2))
+            Err(SnapshotError::UnsupportedVersion(SNAPSHOT_VERSION + 1))
         );
         let truncated = &bytes[..bytes.len() - 3];
         assert!(matches!(

@@ -23,6 +23,14 @@
 //! as the other strategies but not the same fixpoint (that is the point),
 //! so it is exempt from the iteration-for-iteration guarantee; its
 //! [`EvalStats`] describe the rewritten program's run.
+//!
+//! [`Strategy::Auto`] closes the loop: a planner heuristic
+//! ([`resolve_auto_strategy`]) inspects the adorned dependency graph and
+//! the goal-reachable region of the EDB constant graph and resolves each
+//! goal evaluation to `Magic` when the goal bindings can actually prune
+//! (acyclic demand region, bindings reaching the recursive calls) and to
+//! `Indexed` when they cannot (all-free goals, saturating cyclic regions,
+//! inapplicable programs).
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -57,15 +65,22 @@ pub enum Strategy {
     /// [`evaluate_with`] has no pattern to seed from and falls back to
     /// [`Strategy::Indexed`].
     Magic,
+    /// Let the planner decide between [`Strategy::Magic`] and
+    /// [`Strategy::Indexed`] per goal: magic only when the heuristic
+    /// ([`resolve_auto_strategy`]) concludes the goal bindings can actually
+    /// prune the fixpoint, indexed otherwise.  Like `Magic`, it needs a
+    /// goal pattern; [`evaluate_with`] falls back to `Indexed`.
+    Auto,
 }
 
 impl Strategy {
     /// Every strategy, in refinement order.
-    pub const ALL: [Strategy; 4] = [
+    pub const ALL: [Strategy; 5] = [
         Strategy::Naive,
         Strategy::SemiNaive,
         Strategy::Indexed,
         Strategy::Magic,
+        Strategy::Auto,
     ];
 
     /// The stable wire/CLI name of the strategy.
@@ -75,6 +90,7 @@ impl Strategy {
             Strategy::SemiNaive => "semi_naive",
             Strategy::Indexed => "indexed",
             Strategy::Magic => "magic",
+            Strategy::Auto => "auto",
         }
     }
 
@@ -86,6 +102,7 @@ impl Strategy {
             "semi_naive" | "semi-naive" => Some(Strategy::SemiNaive),
             "indexed" => Some(Strategy::Indexed),
             "magic" => Some(Strategy::Magic),
+            "auto" => Some(Strategy::Auto),
             _ => None,
         }
     }
@@ -157,7 +174,7 @@ pub fn evaluate_with(program: &Program, edb: &Database, options: EvalOptions) ->
     match options.strategy {
         Strategy::Naive => naive(program, edb, options),
         Strategy::SemiNaive => delta_fixpoint(program, edb, options, JoinMode::Scan),
-        Strategy::Indexed | Strategy::Magic => {
+        Strategy::Indexed | Strategy::Magic | Strategy::Auto => {
             delta_fixpoint(program, edb, options, JoinMode::Indexed)
         }
     }
@@ -188,6 +205,10 @@ pub fn evaluate_goal_with(
     goal_pattern: &Atom,
     options: EvalOptions,
 ) -> EvalResult {
+    let mut options = options;
+    if options.strategy == Strategy::Auto {
+        options.strategy = resolve_auto_strategy(program, edb, goal_pattern);
+    }
     let goal = goal_pattern.pred;
     if options.strategy == Strategy::Magic && crate::magic::magic_applicable(program, goal, edb) {
         let adorned =
@@ -209,6 +230,134 @@ pub fn evaluate_goal_with(
         },
     );
     restrict_to_goal(edb, &inner, goal, goal, goal_pattern)
+}
+
+/// The [`Strategy::Auto`] planner: decide, for one goal pattern, whether
+/// the magic-set rewrite can actually prune the fixpoint ([`Strategy::
+/// Magic`]) or would only add rewrite overhead ([`Strategy::Indexed`]).
+///
+/// Magic wins exactly when the demand set it seeds from the goal's bound
+/// constants stays a *strict* frontier of the database.  The heuristic
+/// checks, in order:
+///
+/// 1. **Applicability** — [`crate::magic::magic_applicable`] must hold
+///    (otherwise [`evaluate_goal_with`] would silently fall back anyway).
+/// 2. **Goal bindings** — the goal adornment must bind at least one
+///    position; an all-free goal passes nothing sideways and the rewrite
+///    degenerates to the plain program plus guard bookkeeping.
+/// 3. **Binding propagation** — over the adorned dependency graph
+///    ([`crate::adorn::adorn_program`], which already restricts to the
+///    rules reachable from the goal), some reachable IDB call must receive
+///    a binding.  If every reachable call site is all-free, each recursive
+///    step drops the goal's bindings on the floor and the magic predicates
+///    degenerate to "everything".
+/// 4. **Demand saturation** — the data-level check that separates workloads
+///    the program-level analysis cannot (chain and cycle databases adorn
+///    identically): walk the directed constant graph induced by the binary
+///    EDB relations the reachable rules join over, starting from the goal's
+///    bound constants.  If that reachable region contains a cycle, the
+///    demand frontier saturates — every fact becomes goal-relevant, magic
+///    derives the same facts *plus* the magic relations, and indexed
+///    evaluation is cheaper.  Acyclic regions keep the frontier strict and
+///    magic prunes.
+///
+/// The result is what [`evaluate_goal_with`] resolves `Auto` to; it is
+/// exported so decision-procedure layers can resolve (and count) the
+/// choice themselves.
+pub fn resolve_auto_strategy(program: &Program, edb: &Database, goal_pattern: &Atom) -> Strategy {
+    if !crate::magic::magic_applicable(program, goal_pattern.pred, edb) {
+        return Strategy::Indexed;
+    }
+    let adorned = crate::adorn::adorn_program(program, goal_pattern, crate::adorn::Sips::default());
+    if adorned.goal_adornment.is_all_free() {
+        return Strategy::Indexed;
+    }
+    let idb_calls: Vec<&crate::adorn::Adornment> = adorned
+        .rules
+        .iter()
+        .flat_map(|rule| rule.body.iter())
+        .filter_map(|body_atom| body_atom.adornment.as_ref())
+        .collect();
+    if !idb_calls.is_empty() && idb_calls.iter().all(|a| a.is_all_free()) {
+        return Strategy::Indexed;
+    }
+    // The EDB relations the reachable rules actually join over.
+    let edb_preds: BTreeSet<Pred> = adorned
+        .rules
+        .iter()
+        .flat_map(|rule| rule.body.iter())
+        .filter(|body_atom| body_atom.adornment.is_none())
+        .map(|body_atom| body_atom.atom.pred)
+        .collect();
+    let seeds: Vec<crate::term::Constant> = goal_pattern
+        .terms
+        .iter()
+        .filter_map(|t| match *t {
+            Term::Const(c) => Some(c),
+            Term::Var(_) => None,
+        })
+        .collect();
+    if demand_region_has_cycle(edb, &edb_preds, &seeds) {
+        Strategy::Indexed
+    } else {
+        Strategy::Magic
+    }
+}
+
+/// Is there a cycle in the portion of the EDB constant graph reachable
+/// from `seeds`?  Edges come from the binary relations in `edb_preds`
+/// (first column → second column); wider or narrower relations induce no
+/// traversal edges and are ignored.  Iterative colour DFS, so deep chains
+/// cannot overflow the stack.
+fn demand_region_has_cycle(
+    edb: &Database,
+    edb_preds: &BTreeSet<Pred>,
+    seeds: &[crate::term::Constant],
+) -> bool {
+    use crate::term::Constant;
+    let mut adjacency: std::collections::BTreeMap<Constant, Vec<Constant>> =
+        std::collections::BTreeMap::new();
+    for &pred in edb_preds {
+        for tuple in edb.relation(pred).iter() {
+            if let [from, to] = tuple.as_slice() {
+                adjacency.entry(*from).or_default().push(*to);
+            }
+        }
+    }
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        OnPath,
+        Done,
+    }
+    let mut colour: std::collections::BTreeMap<Constant, Colour> =
+        std::collections::BTreeMap::new();
+    for &seed in seeds {
+        if colour.contains_key(&seed) {
+            continue;
+        }
+        // Stack of (node, next child position) frames.
+        let mut stack: Vec<(Constant, usize)> = vec![(seed, 0)];
+        colour.insert(seed, Colour::OnPath);
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let children = adjacency.get(&node).map(Vec::as_slice).unwrap_or(&[]);
+            if *next < children.len() {
+                let child = children[*next];
+                *next += 1;
+                match colour.get(&child) {
+                    Some(Colour::OnPath) => return true, // back edge
+                    Some(Colour::Done) => {}
+                    None => {
+                        colour.insert(child, Colour::OnPath);
+                        stack.push((child, 0));
+                    }
+                }
+            } else {
+                colour.insert(node, Colour::Done);
+                stack.pop();
+            }
+        }
+    }
+    false
 }
 
 /// Build the strategy-independent result of [`evaluate_goal_with`]: the
@@ -841,6 +990,57 @@ mod tests {
         assert_eq!(magic.database, indexed.database);
         // The reflexive fact comes from domain instantiation only.
         assert!(magic.database.contains(&Fact::app("p", ["c2", "c2"])));
+    }
+
+    #[test]
+    fn auto_resolves_to_magic_only_when_pruning_is_possible() {
+        use crate::generate::{chain_database, cycle_database};
+        // Chain data, bound goal: the demand region is acyclic, magic prunes.
+        assert_eq!(
+            resolve_auto_strategy(&tc(), &chain_database("e", 8), &bound_goal(8)),
+            Strategy::Magic
+        );
+        // Cycle data, same program and adornments: the demand region
+        // saturates, indexed wins.
+        assert_eq!(
+            resolve_auto_strategy(&tc(), &cycle_database("e", 8), &bound_goal(0)),
+            Strategy::Indexed
+        );
+        // All-free goal: nothing to pass sideways.
+        assert_eq!(
+            resolve_auto_strategy(&tc(), &chain_database("e", 8), &Atom::app("p", ["X", "Y"])),
+            Strategy::Indexed
+        );
+        // Magic-inapplicable input (IDB facts in the EDB): indexed.
+        let mut db = chain(4);
+        db.insert(Fact::app("p", ["c0", "c9"]));
+        assert_eq!(
+            resolve_auto_strategy(&tc(), &db, &bound_goal(4)),
+            Strategy::Indexed
+        );
+    }
+
+    #[test]
+    fn auto_evaluation_matches_its_resolved_strategy_probe_for_probe() {
+        use crate::generate::{chain_database, cycle_database};
+        let chain_db = chain_database("e", 16);
+        let goal = bound_goal(16);
+        let auto = evaluate_goal_with(&tc(), &chain_db, &goal, with_strategy(Strategy::Auto));
+        let magic = evaluate_goal_with(&tc(), &chain_db, &goal, with_strategy(Strategy::Magic));
+        assert_eq!(auto.database, magic.database);
+        assert_eq!(auto.stats, magic.stats, "auto must *be* magic here");
+
+        let cycle_db = cycle_database("e", 16);
+        let cyc_goal = bound_goal(0);
+        let auto = evaluate_goal_with(&tc(), &cycle_db, &cyc_goal, with_strategy(Strategy::Auto));
+        let indexed = evaluate_goal_with(
+            &tc(),
+            &cycle_db,
+            &cyc_goal,
+            with_strategy(Strategy::Indexed),
+        );
+        assert_eq!(auto.database, indexed.database);
+        assert_eq!(auto.stats, indexed.stats, "auto must *be* indexed here");
     }
 
     #[test]

@@ -79,6 +79,8 @@ pub fn strategy_counts_json(counts: &nonrec_equivalence::StrategyCounts) -> Valu
         ("semi_naive", Value::num(counts.semi_naive as f64)),
         ("indexed", Value::num(counts.indexed as f64)),
         ("magic", Value::num(counts.magic as f64)),
+        ("auto_magic", Value::num(counts.auto_magic as f64)),
+        ("auto_indexed", Value::num(counts.auto_indexed as f64)),
     ])
 }
 
@@ -93,6 +95,12 @@ fn stats_json(stats: &ContainmentStats) -> Value {
     obj(vec![
         ("path", Value::str(path_name(stats.path))),
         ("explored", Value::num(stats.explored as f64)),
+        ("pairs_dominated", Value::num(stats.pairs_dominated as f64)),
+        (
+            "pops_skipped_dead",
+            Value::num(stats.pops_skipped_dead as f64),
+        ),
+        ("max_frontier", Value::num(stats.max_frontier as f64)),
         ("micros", Value::num(stats.micros as f64)),
     ])
 }
@@ -479,7 +487,7 @@ mod tests {
         // one verdict; `no_cache` keeps each run on the uncached path so
         // the magic run actually evaluates rather than recalling a verdict
         // the indexed run stored.
-        for strategy in ["naive", "semi_naive", "indexed", "magic"] {
+        for strategy in ["naive", "semi_naive", "indexed", "magic", "auto"] {
             let result = run(&format!(
                 r#"{{"op":"equivalence","program":"buys(X, Y) :- likes(X, Y).\nbuys(X, Y) :- trendy(X), buys(Z, Y).","goal":"buys","candidate":"buys(X, Y) :- likes(X, Y).\nbuys(X, Y) :- trendy(X), likes(Z, Y).","options":{{"no_cache":true,"strategy":"{strategy}"}}}}"#,
             ))

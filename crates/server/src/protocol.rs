@@ -70,10 +70,11 @@ pub struct RequestOptions {
     /// Per-request deadline override, in milliseconds.
     pub timeout_ms: Option<u64>,
     /// Evaluation strategy for the canonical-database checks
-    /// (`"strategy": "naive" | "semi_naive" | "indexed" | "magic"`);
-    /// `None` keeps the engine default (indexed).  Verdicts are
-    /// strategy-independent, so this never changes an answer — `magic`
-    /// evaluates goal-directed and is the latency knob.
+    /// (`"strategy": "naive" | "semi_naive" | "indexed" | "magic" |
+    /// "auto"`); `None` keeps the engine default (auto: a planner pass
+    /// picks magic when the adorned goal can prune, indexed otherwise).
+    /// Verdicts are strategy-independent, so this never changes an answer —
+    /// the strategy is the latency knob.
     pub strategy: Option<Strategy>,
 }
 
@@ -306,7 +307,7 @@ fn parse_options(value: &Value) -> Result<RequestOptions, WireError> {
         None => None,
         Some(name) => Some(Strategy::parse(&name).ok_or_else(|| {
             WireError::bad_request(format!(
-                "unknown strategy `{name}` (expected naive, semi_naive, indexed, or magic)"
+                "unknown strategy `{name}` (expected naive, semi_naive, indexed, magic, or auto)"
             ))
         })?),
     };
@@ -608,6 +609,17 @@ mod tests {
         match parse_request(&v, true).unwrap().command {
             Command::Containment { options, .. } => {
                 assert_eq!(options.strategy, Some(Strategy::SemiNaive));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let v = parse(
+            r#"{"op":"containment","program":"p.","goal":"p","query":"q.",
+                "options":{"strategy":"auto"}}"#,
+        )
+        .unwrap();
+        match parse_request(&v, true).unwrap().command {
+            Command::Containment { options, .. } => {
+                assert_eq!(options.strategy, Some(Strategy::Auto));
             }
             other => panic!("wrong command {other:?}"),
         }

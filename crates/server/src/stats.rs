@@ -381,7 +381,14 @@ mod tests {
         assert_eq!(verb.get("count").unwrap().as_u64(), Some(2));
         // The per-strategy decision tallies are present for every strategy.
         let strategies = snapshot.get("strategy_decisions").unwrap();
-        for name in ["naive", "semi_naive", "indexed", "magic"] {
+        for name in [
+            "naive",
+            "semi_naive",
+            "indexed",
+            "magic",
+            "auto_magic",
+            "auto_indexed",
+        ] {
             assert!(
                 strategies.get(name).unwrap().as_u64().is_some(),
                 "missing strategy counter `{name}`"

@@ -100,6 +100,10 @@ run_gated_bench() {
 
 stage_bench_gates() {
     mkdir -p target/ci
+    # The diff gate guards every snapshot below; prove the gate itself
+    # still catches drift, dropped rows, and zero baselines before
+    # trusting its verdicts.
+    python3 scripts/bench_diff --self-test || return 1
     # The evaluation target is the join-probe regression gate, containment
     # the pair-work gate, serve the throughput/backpressure/cache gate;
     # each panics on an in-bench invariant violation and snapshots its

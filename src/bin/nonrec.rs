@@ -16,7 +16,9 @@
 //!     --no-cache        bypass the shared decision cache
 //!     --max-pairs <N>   abort tree containment after N product pairs
 //!     --strategy <S>    evaluation strategy for canonical-database checks:
-//!                       naive | semi_naive | indexed (default) | magic
+//!                       naive | semi_naive | indexed | magic | auto
+//!                       (default: auto — a planner pass picks magic when
+//!                       the adorned goal can prune, indexed otherwise)
 //!
 //! EXIT CODES:
 //!     0  the programs are equivalent
@@ -44,7 +46,7 @@ struct Args {
 fn usage() -> &'static str {
     "usage: nonrec --program <FILE> --goal <PRED> --candidate <FILE> \
      [--stats] [--no-word-path] [--no-cache] [--max-pairs <N>] \
-     [--strategy <naive|semi_naive|indexed|magic>]"
+     [--strategy <naive|semi_naive|indexed|magic|auto>]"
 }
 
 /// Why argument parsing stopped without producing an [`Args`].
@@ -86,7 +88,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, ArgsError>
                 let name = argv.next().ok_or("--strategy needs a name")?;
                 options.strategy = datalog::eval::Strategy::parse(&name).ok_or_else(|| {
                     ArgsError::Bad(format!(
-                        "invalid --strategy: {name} (expected naive, semi_naive, indexed, or magic)"
+                        "invalid --strategy: {name} (expected naive, semi_naive, indexed, magic, or auto)"
                     ))
                 })?;
             }
@@ -177,6 +179,11 @@ fn run(args: &Args) -> Result<bool, String> {
                 s.micros
             );
             println!(
+                "[stats] scheduler: {} pairs dominated, {} dead pops skipped, \
+                 frontier high-water {}",
+                s.pairs_dominated, s.pops_skipped_dead, s.max_frontier
+            );
+            println!(
                 "[stats] unfolding: {} disjuncts, max disjunct size {}",
                 containment.unfold_stats.disjuncts, containment.unfold_stats.max_disjunct_size
             );
@@ -189,8 +196,13 @@ fn run(args: &Args) -> Result<bool, String> {
         let decisions = nonrec_equivalence::strategy_decision_counts();
         println!(
             "[stats] canonical-db decisions by strategy: naive {}, semi_naive {}, \
-             indexed {}, magic {}",
-            decisions.naive, decisions.semi_naive, decisions.indexed, decisions.magic
+             indexed {}, magic {}, auto→magic {}, auto→indexed {}",
+            decisions.naive,
+            decisions.semi_naive,
+            decisions.indexed,
+            decisions.magic,
+            decisions.auto_magic,
+            decisions.auto_indexed
         );
     }
 

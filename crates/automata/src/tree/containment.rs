@@ -60,6 +60,9 @@
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, VecDeque};
+use std::time::Instant;
+
+use metrics::{Event, FieldValue, GlobalSink, MetricsLevel, MetricsSink};
 
 use super::emptiness::is_empty;
 use super::ops::{complement, intersection, BottomUpDeterministic};
@@ -429,15 +432,93 @@ impl<'b, L: Ord + Clone> Engine<'b, L> {
 /// Decide whether `T(a) ⊆ T(b)` with the interned, memoised worklist
 /// engine, draining the worklist per `options.schedule` (min-subset
 /// priority order by default; see [`Schedule`]).
+///
+/// ```
+/// use automata::tree::containment::{contained_in_with, ContainmentOptions};
+/// use automata::tree::TreeAutomaton;
+///
+/// // All binary 'a'-trees over 'b' leaves, versus those of height ≤ 2.
+/// let mut all = TreeAutomaton::new(1);
+/// all.add_initial(0);
+/// all.add_transition(0, 'a', vec![0, 0]);
+/// all.add_transition(0, 'b', vec![]);
+/// let mut bounded = TreeAutomaton::new(2);
+/// bounded.add_initial(1);
+/// bounded.add_transition(0, 'b', vec![]);
+/// bounded.add_transition(1, 'b', vec![]);
+/// bounded.add_transition(1, 'a', vec![0, 0]);
+///
+/// let r = contained_in_with(&bounded, &all, ContainmentOptions::default());
+/// assert!(r.is_contained());
+/// let r = contained_in_with(&all, &bounded, ContainmentOptions::default());
+/// assert!(r.is_not_contained());
+/// assert!(r.witness().unwrap().height() > 2);
+/// ```
 pub fn contained_in_with<L: Ord + Clone>(
     a: &TreeAutomaton<L>,
     b: &TreeAutomaton<L>,
     options: ContainmentOptions,
 ) -> TreeContainment<L> {
-    match options.schedule {
-        Schedule::Fifo => contained_in_fifo(a, b, options),
-        Schedule::MinSubset => contained_in_scheduled(a, b, options, None),
+    contained_in_with_sink(a, b, options, &mut GlobalSink)
+}
+
+/// [`contained_in_with`], emitting structured events into `sink`.
+///
+/// At [`MetricsLevel::Counters`] one `containment` summary event (the
+/// [`EngineStats`] counters plus the verdict) is emitted per run;
+/// [`MetricsLevel::Debug`] adds `phase` timings for preparation and
+/// saturation; [`MetricsLevel::Trace`] adds one `pop` event per worklist pop
+/// (subset size, antichain admission, dominated kills) and one `propagate`
+/// event per combination (memo hit/miss, resulting subset size).  Every
+/// emission is level-guarded, so a [`metrics::NoMetrics`] sink monomorphizes
+/// to the uninstrumented engine.
+pub fn contained_in_with_sink<L: Ord + Clone, S: MetricsSink>(
+    a: &TreeAutomaton<L>,
+    b: &TreeAutomaton<L>,
+    options: ContainmentOptions,
+    sink: &mut S,
+) -> TreeContainment<L> {
+    let phase_start = (sink.level() >= MetricsLevel::Debug).then(Instant::now);
+    let result = match options.schedule {
+        Schedule::Fifo => contained_in_fifo(a, b, options, sink),
+        Schedule::MinSubset => contained_in_scheduled(a, b, options, None, sink),
+    };
+    if let Some(start) = phase_start {
+        emit_phase(sink, "total", start);
     }
+    if sink.level() >= MetricsLevel::Counters {
+        let stats = result.stats();
+        sink.emit(Event::new(
+            "containment",
+            vec![
+                ("contained", FieldValue::Flag(result.is_contained())),
+                ("pairs", FieldValue::Num(stats.pairs as u64)),
+                ("combinations", FieldValue::Num(stats.combinations as u64)),
+                (
+                    "propagate_hits",
+                    FieldValue::Num(stats.propagate_hits as u64),
+                ),
+                (
+                    "propagate_misses",
+                    FieldValue::Num(stats.propagate_misses as u64),
+                ),
+                (
+                    "subsets_interned",
+                    FieldValue::Num(stats.subsets_interned as u64),
+                ),
+                (
+                    "pairs_dominated",
+                    FieldValue::Num(stats.pairs_dominated as u64),
+                ),
+                (
+                    "pops_skipped_dead",
+                    FieldValue::Num(stats.pops_skipped_dead as u64),
+                ),
+                ("max_frontier", FieldValue::Num(stats.max_frontier as u64)),
+            ],
+        ));
+    }
+    result
 }
 
 /// Decide containment under the min-subset schedule *and* record every
@@ -450,7 +531,7 @@ pub fn contained_in_with_trace<L: Ord + Clone>(
     options: ContainmentOptions,
 ) -> (TreeContainment<L>, Vec<FrontierPop>) {
     let mut trace = Vec::new();
-    let result = contained_in_scheduled(a, b, options, Some(&mut trace));
+    let result = contained_in_scheduled(a, b, options, Some(&mut trace), &mut GlobalSink);
     (result, trace)
 }
 
@@ -508,20 +589,64 @@ fn prepare<'x, L: Ord + Clone>(
     }
 }
 
+/// Emit a Debug-level `phase` timing event.  Callers guard the `Instant`
+/// capture behind the level check, so `Off` runs never read the clock.
+fn emit_phase<S: MetricsSink>(sink: &mut S, name: &'static str, start: Instant) {
+    sink.emit(Event::new(
+        "phase",
+        vec![
+            ("name", FieldValue::Text(name.to_string())),
+            (
+                "micros",
+                FieldValue::Num(start.elapsed().as_micros() as u64),
+            ),
+        ],
+    ));
+}
+
+/// Emit a Trace-level `propagate` event for one combination.  The hit/miss
+/// outcome is recovered from the stats delta so the hot `Engine::propagate`
+/// path stays sink-free.
+fn emit_propagate<L: Ord, S: MetricsSink>(
+    sink: &mut S,
+    engine: &Engine<'_, L>,
+    hits_before: usize,
+    subset: SubsetId,
+) {
+    sink.emit(Event::new(
+        "propagate",
+        vec![
+            (
+                "hit",
+                FieldValue::Flag(engine.stats.propagate_hits > hits_before),
+            ),
+            (
+                "subset_size",
+                FieldValue::Num(engine.arena.size(subset) as u64),
+            ),
+        ],
+    ));
+}
+
 /// The FIFO schedule: pairs join the antichain the moment they are derived
 /// and are expanded in derivation order.  This is the PR-3 engine (modulo
 /// the live-index bookkeeping), kept as the scheduling-ablation comparator.
-fn contained_in_fifo<L: Ord + Clone>(
+fn contained_in_fifo<L: Ord + Clone, S: MetricsSink>(
     a: &TreeAutomaton<L>,
     b: &TreeAutomaton<L>,
     options: ContainmentOptions,
+    sink: &mut S,
 ) -> TreeContainment<L> {
+    let phase_start = (sink.level() >= MetricsLevel::Debug).then(Instant::now);
     let Prepared {
         a_transitions,
         trans_label,
         occurrences,
         mut engine,
     } = prepare(a, b);
+    if let Some(start) = phase_start {
+        emit_phase(sink, "prepare", start);
+    }
     let a_initial = a.initial();
     let b_initial = b.initial();
     let mut queue: VecDeque<(State, usize)> = VecDeque::new();
@@ -559,7 +684,11 @@ fn contained_in_fifo<L: Ord + Clone>(
         if !tuple.is_empty() {
             continue;
         }
+        let hits_before = engine.stats.propagate_hits;
         let subset = engine.propagate(trans_label[t], label, &[]);
+        if sink.level() >= MetricsLevel::Trace {
+            emit_propagate(sink, &engine, hits_before, subset);
+        }
         if let Some(index) = engine.insert(s, subset, (t, Vec::new()), options.antichain) {
             admit!(s, index);
         }
@@ -570,7 +699,18 @@ fn contained_in_fifo<L: Ord + Clone>(
     // that occurrence and the other positions ranging over the currently
     // live pairs of their states.
     while let Some((changed_state, changed_index)) = queue.pop_front() {
-        if !engine.entries[changed_state][changed_index].alive {
+        let alive = engine.entries[changed_state][changed_index].alive;
+        if sink.level() >= MetricsLevel::Trace {
+            let subset = engine.entries[changed_state][changed_index].subset;
+            sink.emit(Event::new(
+                "pop",
+                vec![
+                    ("size", FieldValue::Num(engine.arena.size(subset) as u64)),
+                    ("admitted", FieldValue::Flag(alive)),
+                ],
+            ));
+        }
+        if !alive {
             engine.stats.pops_skipped_dead += 1;
             continue; // dominated while queued; its dominator covers it
         }
@@ -602,7 +742,11 @@ fn contained_in_fifo<L: Ord + Clone>(
                     .zip(tuple)
                     .map(|((&i, slot), &child_state)| engine.entries[child_state][slot[i]].subset)
                     .collect();
+                let hits_before = engine.stats.propagate_hits;
                 let subset = engine.propagate(trans_label[t], label, &child_ids);
+                if sink.level() >= MetricsLevel::Trace {
+                    emit_propagate(sink, &engine, hits_before, subset);
+                }
                 let derivation = (
                     t,
                     combo
@@ -646,18 +790,23 @@ fn contained_in_fifo<L: Ord + Clone>(
 /// discarded at the pop instead of being counted and expanded.  On the
 /// `nested` bench family this restores exact pair parity with the rounds
 /// engine's level order.
-fn contained_in_scheduled<L: Ord + Clone>(
+fn contained_in_scheduled<L: Ord + Clone, S: MetricsSink>(
     a: &TreeAutomaton<L>,
     b: &TreeAutomaton<L>,
     options: ContainmentOptions,
     mut trace: Option<&mut Vec<FrontierPop>>,
+    sink: &mut S,
 ) -> TreeContainment<L> {
+    let phase_start = (sink.level() >= MetricsLevel::Debug).then(Instant::now);
     let Prepared {
         a_transitions,
         trans_label,
         occurrences,
         mut engine,
     } = prepare(a, b);
+    if let Some(start) = phase_start {
+        emit_phase(sink, "prepare", start);
+    }
     let a_initial = a.initial();
     let b_initial = b.initial();
     let mut frontier: BinaryHeap<Reverse<Candidate>> = BinaryHeap::new();
@@ -687,7 +836,11 @@ fn contained_in_scheduled<L: Ord + Clone>(
         if !tuple.is_empty() {
             continue;
         }
+        let hits_before = engine.stats.propagate_hits;
         let subset = engine.propagate(trans_label[t], label, &[]);
+        if sink.level() >= MetricsLevel::Trace {
+            emit_propagate(sink, &engine, hits_before, subset);
+        }
         offer!(s, subset, (t, Vec::new()));
     }
 
@@ -699,6 +852,7 @@ fn contained_in_scheduled<L: Ord + Clone>(
             derivation,
             ..
         } = candidate;
+        let dominated_before = engine.stats.pairs_dominated;
         let admitted = engine.insert(state, subset, derivation, options.antichain);
         if let Some(t) = trace.as_deref_mut() {
             t.push(FrontierPop {
@@ -706,6 +860,19 @@ fn contained_in_scheduled<L: Ord + Clone>(
                 next_size: frontier.peek().map(|Reverse(c)| c.size),
                 admitted: admitted.is_some(),
             });
+        }
+        if sink.level() >= MetricsLevel::Trace {
+            sink.emit(Event::new(
+                "pop",
+                vec![
+                    ("size", FieldValue::Num(size as u64)),
+                    ("admitted", FieldValue::Flag(admitted.is_some())),
+                    (
+                        "dominated_killed",
+                        FieldValue::Num((engine.stats.pairs_dominated - dominated_before) as u64),
+                    ),
+                ],
+            ));
         }
         let Some(index) = admitted else {
             engine.stats.pops_skipped_dead += 1;
@@ -757,7 +924,11 @@ fn contained_in_scheduled<L: Ord + Clone>(
                     .zip(tuple)
                     .map(|((&i, slot), &child_state)| engine.entries[child_state][slot[i]].subset)
                     .collect();
+                let hits_before = engine.stats.propagate_hits;
                 let subset = engine.propagate(trans_label[t], label, &child_ids);
+                if sink.level() >= MetricsLevel::Trace {
+                    emit_propagate(sink, &engine, hits_before, subset);
+                }
                 let derivation = (
                     t,
                     combo
@@ -1268,6 +1439,54 @@ mod tests {
             scheduled.explored() < fifo.explored(),
             "scheduling must strictly reduce pair exploration here"
         );
+    }
+
+    #[test]
+    fn sinks_observe_without_perturbing_the_engine() {
+        use metrics::{MetricsLevel, NoMetrics, RecordingSink};
+        let a = ab_trees_of_height(4);
+        let b = ab_trees_of_height(5);
+        for schedule in [Schedule::MinSubset, Schedule::Fifo] {
+            let options = ContainmentOptions {
+                schedule,
+                ..ContainmentOptions::default()
+            };
+            let plain = contained_in_with(&a, &b, options);
+            let off = contained_in_with_sink(&a, &b, options, &mut NoMetrics);
+            assert_eq!(plain.stats(), off.stats());
+
+            let mut sink = RecordingSink::new(MetricsLevel::Trace, usize::MAX);
+            let traced = contained_in_with_sink(&a, &b, options, &mut sink);
+            assert_eq!(
+                plain.stats(),
+                traced.stats(),
+                "tracing must be observational"
+            );
+            let kinds: BTreeSet<&str> = sink.events.iter().map(|e| e.kind).collect();
+            for kind in ["phase", "pop", "propagate", "containment"] {
+                assert!(
+                    kinds.contains(kind),
+                    "missing event kind {kind} ({schedule:?})"
+                );
+            }
+            let summary = sink
+                .events
+                .iter()
+                .find(|e| e.kind == "containment")
+                .unwrap();
+            assert_eq!(summary.flag("contained"), Some(true));
+            assert_eq!(summary.num("pairs"), Some(traced.stats().pairs as u64));
+            if schedule == Schedule::MinSubset {
+                // Under the min-subset schedule admission happens at the pop,
+                // so admitted pops are exactly the counted pairs.
+                let admitted = sink
+                    .events
+                    .iter()
+                    .filter(|e| e.kind == "pop" && e.flag("admitted") == Some(true))
+                    .count();
+                assert_eq!(admitted, traced.stats().pairs);
+            }
+        }
     }
 
     #[test]

@@ -134,7 +134,7 @@ impl<L: Ord + Clone> BottomUpDeterministic<L> {
 ///
 /// Subset construction: the state reached at a node is the set of original
 /// states from which the subtree admits a run.  Exponential in the worst
-/// case ([MF71] for words; the same holds for trees).
+/// case (\[MF71] for words; the same holds for trees).
 pub fn determinize<L: Ord + Clone>(
     automaton: &TreeAutomaton<L>,
     alphabet: &BTreeMap<L, BTreeSet<usize>>,

@@ -2,7 +2,7 @@
 //!
 //! Union and intersection are polynomial (disjoint union / product);
 //! complementation goes through the subset construction and may be
-//! exponential, exactly as the paper notes ([MF71]).
+//! exponential, exactly as the paper notes (\[MF71]).
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 

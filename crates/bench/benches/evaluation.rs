@@ -22,9 +22,12 @@ use bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use datalog::atom::{Atom, Pred};
-use datalog::eval::{evaluate_goal_with, evaluate_with, EvalOptions, Strategy};
+use datalog::eval::{
+    evaluate_goal_with, evaluate_goal_with_sink, evaluate_with, EvalOptions, Strategy,
+};
 use datalog::generate::{chain_database, cycle_database, transitive_closure};
 use datalog::term::{Constant, Term};
+use metrics::{MetricsLevel, NoMetrics, RecordingSink};
 
 struct ShapeRow {
     n: usize,
@@ -181,6 +184,91 @@ fn bench_evaluation(c: &mut Criterion) {
             });
         }
     }
+
+    // Observability gate: `MetricsLevel::Off` must be free, and a
+    // `Trace`-level recording must not perturb the computation it
+    // records.  Both sink runs are asserted counter-identical to the
+    // sink-less magic run on the chain n=32 shape, and the traced run's
+    // event count is written to the snapshot as its own gated row
+    // (`strategy: "magic_trace"`) so the trace vocabulary cannot silently
+    // grow or shrink.  The `_off`/`_trace` timing rows put the overhead
+    // of the recording sink next to the sink-less baseline above.
+    let trace_row = {
+        let n = 32usize;
+        let db = chain_database("e", n);
+        let pattern = Atom::new(
+            Pred::new("p"),
+            vec![
+                Term::Const(Constant::from_usize(0)),
+                Term::Const(Constant::from_usize(n)),
+            ],
+        );
+        let options = EvalOptions {
+            strategy: Strategy::Magic,
+            ..Default::default()
+        };
+        let baseline = evaluate_goal_with(&program, &db, &pattern, options);
+        let mut off = NoMetrics;
+        let off_run = evaluate_goal_with_sink(&program, &db, &pattern, options, &mut off);
+        assert_eq!(
+            (off_run.stats.probes, off_run.stats.derived_facts),
+            (baseline.stats.probes, baseline.stats.derived_facts),
+            "an Off-level sink perturbed the evaluation it should be absent from"
+        );
+        let mut recording = RecordingSink::new(MetricsLevel::Trace, usize::MAX);
+        let traced = evaluate_goal_with_sink(&program, &db, &pattern, options, &mut recording);
+        assert_eq!(
+            (traced.stats.probes, traced.stats.derived_facts),
+            (baseline.stats.probes, baseline.stats.derived_facts),
+            "a Trace-level sink perturbed the evaluation it records"
+        );
+        assert!(
+            !recording.events.is_empty() && recording.dropped == 0,
+            "a Trace-level run of the magic engine must record events"
+        );
+        group.bench_function(format!("chain_magic_off_{n}"), |b| {
+            b.iter(|| {
+                let mut off = NoMetrics;
+                black_box(evaluate_goal_with_sink(
+                    black_box(&program),
+                    black_box(&db),
+                    black_box(&pattern),
+                    options,
+                    &mut off,
+                ))
+            })
+        });
+        group.bench_function(format!("chain_magic_trace_{n}"), |b| {
+            b.iter(|| {
+                let mut sink = RecordingSink::new(MetricsLevel::Trace, usize::MAX);
+                black_box(evaluate_goal_with_sink(
+                    black_box(&program),
+                    black_box(&db),
+                    black_box(&pattern),
+                    options,
+                    &mut sink,
+                ))
+            })
+        });
+        report_shape(
+            "E14_evaluation",
+            n,
+            &[
+                ("db", "chain".to_string()),
+                ("strategy", "magic_trace".to_string()),
+                ("probes", traced.stats.probes.to_string()),
+                ("facts", traced.stats.derived_facts.to_string()),
+                ("events", recording.events.len().to_string()),
+            ],
+        );
+        format!(
+            "{{\"group\": \"evaluation\", \"n\": {n}, \"db\": \"chain\", \
+             \"strategy\": \"magic_trace\", \"probes\": {}, \"facts\": {}, \"events\": {}}}",
+            traced.stats.probes,
+            traced.stats.derived_facts,
+            recording.events.len()
+        )
+    };
     group.finish();
 
     // Probe regression gate: within every measured (db, n) shape, each
@@ -260,7 +348,7 @@ fn bench_evaluation(c: &mut Criterion) {
     }
 
     if let Some(path) = std::env::var_os("NONREC_BENCH_JSON") {
-        let rendered: Vec<String> = rows
+        let mut rendered: Vec<String> = rows
             .iter()
             .map(|r| {
                 format!(
@@ -270,6 +358,7 @@ fn bench_evaluation(c: &mut Criterion) {
                 )
             })
             .collect();
+        rendered.push(trace_row);
         bench::write_json_rows(&path, &rendered).expect("writing bench snapshot");
         println!("[snapshot] wrote {}", path.to_string_lossy());
     }

@@ -3,7 +3,7 @@
 //! The paper's motivating optimisation (Example 1.1) is recursion
 //! elimination: replace a recursive program by a nonrecursive one when the
 //! two are equivalent.  Whether *some* equivalent nonrecursive program
-//! exists (boundedness) is undecidable [GMSV93], but two practically useful
+//! exists (boundedness) is undecidable \[GMSV93], but two practically useful
 //! variants are decidable with the machinery of this crate:
 //!
 //! * Is Π equivalent to its own depth-`k` unfolding, for a given `k`?

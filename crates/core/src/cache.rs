@@ -398,6 +398,16 @@ impl DecisionCache {
     /// exists as the reset hook (also surfaced as the server's
     /// `clear_cache` admin verb).
     ///
+    /// ```
+    /// use nonrec_equivalence::cache::DecisionCache;
+    ///
+    /// let cache = DecisionCache::global();
+    /// // The same instance every time: stats accumulate process-wide.
+    /// assert!(std::ptr::eq(cache, DecisionCache::global()));
+    /// let sizes = cache.sizes();
+    /// assert!(sizes.decisions <= sizes.total());
+    /// ```
+    ///
     /// [`clear`]: DecisionCache::clear
     pub fn global() -> &'static DecisionCache {
         static GLOBAL: OnceLock<DecisionCache> = OnceLock::new();

@@ -15,8 +15,9 @@
 
 use std::time::Instant;
 
-use automata::tree::containment::Schedule;
-use automata::tree::containment::{contained_in_with, ContainmentOptions, TreeContainment};
+pub use automata::tree::containment::Schedule;
+
+use automata::tree::containment::{contained_in_with_sink, ContainmentOptions, TreeContainment};
 use automata::tree::ops::union as tree_union;
 use automata::tree::TreeAutomaton;
 use automata::word::containment::{contained_in as word_contained_in, WordContainment};
@@ -27,6 +28,7 @@ use datalog::database::Database;
 use datalog::eval::Strategy;
 use datalog::program::Program;
 use datalog::term::Constant;
+use metrics::{Event, FieldValue, GlobalSink, MetricsLevel, MetricsSink, RecordingSink};
 
 use crate::cq_automaton::CqAutomaton;
 use crate::labels::ProofLabel;
@@ -203,7 +205,7 @@ pub fn datalog_contained_in_ucq(
 /// shared [`crate::cache::DecisionCache`] keyed on the interned program
 /// structure, goal, query key, and options: repeated calls (from
 /// [`crate::bounded::find_bound`], [`crate::equivalence`], or the
-/// [`crate::optimize`] passes) recall the stored verdict, counterexample,
+/// [`mod@crate::optimize`] passes) recall the stored verdict, counterexample,
 /// and instrumentation instead of rebuilding the automata.
 pub fn datalog_contained_in_ucq_with(
     program: &Program,
@@ -234,33 +236,191 @@ pub fn datalog_contained_in_ucq_in(
     ucq: &Ucq,
     options: DecisionOptions,
 ) -> Result<ContainmentResult, DecisionError> {
+    decide_with_sink(
+        cache,
+        program,
+        goal,
+        ucq,
+        options,
+        Schedule::MinSubset,
+        &mut GlobalSink,
+    )
+}
+
+/// Options for a traced decision ([`datalog_contained_in_ucq_traced`]).
+#[derive(Clone, Copy, Debug)]
+pub struct TraceOptions {
+    /// How much detail to record; see [`MetricsLevel`].
+    pub level: MetricsLevel,
+    /// Keep at most this many events; the rest are counted as dropped.
+    pub max_events: usize,
+    /// Worklist schedule for the tree-containment engine.  Verdicts are
+    /// schedule-independent (the scheduling differential tests lock this),
+    /// so exposing it here lets a trace compare the two orders.
+    pub schedule: Schedule,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions {
+            level: MetricsLevel::Debug,
+            max_events: 512,
+            schedule: Schedule::MinSubset,
+        }
+    }
+}
+
+/// A containment decision together with the structured events recorded
+/// while it ran.
+#[derive(Clone, Debug)]
+pub struct TracedDecision {
+    /// The decision itself, identical to the untraced result.
+    pub result: ContainmentResult,
+    /// The recorded events, at most `max_events` of them, in emission order.
+    pub events: Vec<Event>,
+    /// True when the event budget was exhausted.
+    pub truncated: bool,
+    /// How many events were discarded after the budget was exhausted.
+    pub dropped: usize,
+}
+
+/// Decide `Π(goal) ⊆ Θ` while recording structured trace events — the
+/// engine behind the server's `trace` verb.
+///
+/// The decision is computed exactly as [`datalog_contained_in_ucq_with`]
+/// would (including cache consultation, unless `options.use_cache` is off —
+/// note a cache hit short-circuits the engines, so only the `decision` span
+/// event is recorded for it).  At [`MetricsLevel::Debug`] and above, a
+/// produced counterexample is additionally *verified*: the program is
+/// re-evaluated goal-directed on the counterexample's canonical database,
+/// which is where per-iteration fixpoint events (and the strategy-planner
+/// decision) enter a containment trace.
+pub fn datalog_contained_in_ucq_traced(
+    program: &Program,
+    goal: Pred,
+    ucq: &Ucq,
+    options: DecisionOptions,
+    trace: TraceOptions,
+) -> Result<TracedDecision, DecisionError> {
+    let mut sink = RecordingSink::new(trace.level, trace.max_events);
+    let result = decide_with_sink(
+        crate::cache::DecisionCache::global(),
+        program,
+        goal,
+        ucq,
+        options,
+        trace.schedule,
+        &mut sink,
+    )?;
+    if sink.level() >= MetricsLevel::Debug {
+        if let Some(cex) = &result.counterexample {
+            let pattern = datalog::atom::Atom::new(
+                goal,
+                cex.goal_tuple
+                    .iter()
+                    .map(|&c| datalog::term::Term::Const(c))
+                    .collect(),
+            );
+            let eval = datalog::eval::evaluate_goal_with_sink(
+                program,
+                &cex.database,
+                &pattern,
+                datalog::eval::EvalOptions {
+                    strategy: options.strategy,
+                    ..Default::default()
+                },
+                &mut sink,
+            );
+            sink.emit(Event::new(
+                "witness_check",
+                vec![("derived", FieldValue::Flag(!eval.relation(goal).is_empty()))],
+            ));
+        }
+    }
+    Ok(TracedDecision {
+        truncated: sink.truncated(),
+        dropped: sink.dropped,
+        events: sink.events,
+        result,
+    })
+}
+
+/// The shared cached path: validation, cache consultation, and the
+/// `Counters`-level `decision` span event around [`decide_uncached`].
+fn decide_with_sink<S: MetricsSink>(
+    cache: &crate::cache::DecisionCache,
+    program: &Program,
+    goal: Pred,
+    ucq: &Ucq,
+    options: DecisionOptions,
+    schedule: Schedule,
+    sink: &mut S,
+) -> Result<ContainmentResult, DecisionError> {
     if !program.predicates().contains(&goal) {
         return Err(DecisionError::UnknownGoal(goal));
     }
     if !ucq.consistent_arity() {
         return Err(DecisionError::InconsistentUcq);
     }
+    let start = (sink.level() >= MetricsLevel::Counters).then(Instant::now);
     if options.use_cache {
         if let Some(limits) = options.cache_limits {
             cache.set_limits(limits);
         }
         let key = crate::cache::DecisionKey::new(program, goal, ucq, options);
         if let Some(result) = cache.lookup_decision(&key) {
+            emit_decision(sink, &result, true, options, start);
             return Ok(result);
         }
-        let result = decide_uncached(program, goal, ucq, options)?;
+        let result = decide_uncached(program, goal, ucq, options, schedule, sink)?;
         cache.store_decision(key, &result);
+        emit_decision(sink, &result, false, options, start);
         return Ok(result);
     }
-    decide_uncached(program, goal, ucq, options)
+    let result = decide_uncached(program, goal, ucq, options, schedule, sink)?;
+    emit_decision(sink, &result, false, options, start);
+    Ok(result)
+}
+
+/// Emit the `decision` span event closing a containment decision.
+fn emit_decision<S: MetricsSink>(
+    sink: &mut S,
+    result: &ContainmentResult,
+    cache_hit: bool,
+    options: DecisionOptions,
+    start: Option<Instant>,
+) {
+    if sink.level() < MetricsLevel::Counters {
+        return;
+    }
+    let path = match result.stats.path {
+        DecisionPath::WordAutomata => "word",
+        DecisionPath::TreeAutomata => "tree",
+    };
+    let mut fields = vec![
+        ("cache_hit", FieldValue::Flag(cache_hit)),
+        ("contained", FieldValue::Flag(result.contained)),
+        ("path", FieldValue::Text(path.to_string())),
+        ("explored", FieldValue::Num(result.stats.explored as u64)),
+        ("max_unfold", FieldValue::Num(options.max_unfold as u64)),
+    ];
+    if let Some(start) = start {
+        fields.push((
+            "micros",
+            FieldValue::Num(start.elapsed().as_micros() as u64),
+        ));
+    }
+    sink.emit(Event::new("decision", fields));
 }
 
 /// The uncached decision path (the reference oracle).
-fn decide_uncached(
+fn decide_uncached<S: MetricsSink>(
     program: &Program,
     goal: Pred,
     ucq: &Ucq,
     options: DecisionOptions,
+    schedule: Schedule,
+    sink: &mut S,
 ) -> Result<ContainmentResult, DecisionError> {
     let start = Instant::now();
 
@@ -311,14 +471,15 @@ fn decide_uncached(
     }
 
     // General path: tree-automata containment.
-    let outcome = contained_in_with(
+    let outcome = contained_in_with_sink(
         &ptrees.automaton,
         &query_automaton,
         ContainmentOptions {
             antichain: options.antichain,
             max_pairs: options.max_pairs,
-            schedule: Schedule::MinSubset,
+            schedule,
         },
+        sink,
     );
     let engine_stats = *outcome.stats();
     let explored = engine_stats.pairs;
@@ -644,5 +805,111 @@ mod tests {
         assert!(result.stats.ptrees.states > 0);
         assert!(result.stats.queries.states > 0);
         assert!(result.stats.explored > 0);
+    }
+
+    #[test]
+    fn traced_decision_matches_untraced_and_records_events() {
+        use std::collections::BTreeSet;
+        let ucq = bounded_path_ucq_binary("e", 3);
+        // Force the tree path (per-pop events) and skip the cache so the
+        // engines actually run.
+        let options = DecisionOptions {
+            use_cache: false,
+            allow_word_path: false,
+            ..DecisionOptions::default()
+        };
+        let plain = datalog_contained_in_ucq_with(&tc(), Pred::new("p"), &ucq, options).unwrap();
+        let traced = datalog_contained_in_ucq_traced(
+            &tc(),
+            Pred::new("p"),
+            &ucq,
+            options,
+            TraceOptions {
+                level: MetricsLevel::Trace,
+                max_events: usize::MAX,
+                ..TraceOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.contained, traced.result.contained);
+        assert_eq!(plain.stats.explored, traced.result.stats.explored);
+        assert!(!traced.truncated);
+        let kinds: BTreeSet<&str> = traced.events.iter().map(|e| e.kind).collect();
+        for kind in [
+            "pop",
+            "propagate",
+            "containment",
+            "decision",
+            "strategy",
+            "iteration",
+            "eval",
+            "witness_check",
+        ] {
+            assert!(kinds.contains(kind), "missing event kind {kind}");
+        }
+        // The witness check must re-derive the counterexample's goal tuple.
+        let check = traced
+            .events
+            .iter()
+            .find(|e| e.kind == "witness_check")
+            .unwrap();
+        assert_eq!(check.flag("derived"), Some(true));
+        let span = traced.events.iter().find(|e| e.kind == "decision").unwrap();
+        assert_eq!(span.flag("cache_hit"), Some(false));
+        assert_eq!(span.text("path"), Some("tree"));
+    }
+
+    #[test]
+    fn traced_decision_honours_the_event_budget() {
+        let ucq = bounded_path_ucq_binary("e", 3);
+        let options = DecisionOptions {
+            use_cache: false,
+            allow_word_path: false,
+            ..DecisionOptions::default()
+        };
+        let small = datalog_contained_in_ucq_traced(
+            &tc(),
+            Pred::new("p"),
+            &ucq,
+            options,
+            TraceOptions {
+                level: MetricsLevel::Trace,
+                max_events: 3,
+                ..TraceOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(small.truncated);
+        assert_eq!(small.events.len(), 3);
+        assert!(small.dropped > 0);
+    }
+
+    #[test]
+    fn traced_decision_is_schedule_independent() {
+        let ucq = bounded_path_ucq_binary("e", 3);
+        let options = DecisionOptions {
+            use_cache: false,
+            allow_word_path: false,
+            ..DecisionOptions::default()
+        };
+        let verdicts: Vec<bool> = [Schedule::MinSubset, Schedule::Fifo]
+            .into_iter()
+            .map(|schedule| {
+                datalog_contained_in_ucq_traced(
+                    &tc(),
+                    Pred::new("p"),
+                    &ucq,
+                    options,
+                    TraceOptions {
+                        schedule,
+                        ..TraceOptions::default()
+                    },
+                )
+                .unwrap()
+                .result
+                .contained
+            })
+            .collect();
+        assert_eq!(verdicts[0], verdicts[1]);
     }
 }

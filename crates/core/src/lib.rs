@@ -15,11 +15,11 @@
 //! | `A_ptrees(Q,Π)` (Prop. 5.9) | [`ptrees_automaton`] |
 //! | `A_θ(Q,Π)` (Prop. 5.10) | [`cq_automaton`] |
 //! | Π ⊆ UCQ via automata containment (Thms. 5.11, 5.12) | [`containment`] |
-//! | UCQ ⊆ Π via canonical databases ([CK86]) | [`cq_in_datalog`] |
+//! | UCQ ⊆ Π via canonical databases (\[CK86]) | [`cq_in_datalog`] |
 //! | Π vs. nonrecursive Π′: containment and equivalence (Thms. 3.2, 6.4, 6.5, 6.7) | [`equivalence`] |
-//! | Equivalence to the own depth-k unfolding (recursion elimination) | [`bounded`], [`optimize`] |
+//! | Equivalence to the own depth-k unfolding (recursion elimination) | [`bounded`], [`mod@optimize`] |
 //! | First-order properties of expansions, e.g. strong non-redundancy (§3) | [`properties`] |
-//! | Semantics-preserving program rewrites built on containment (§1 motivation) | [`optimize`] |
+//! | Semantics-preserving program rewrites built on containment (§1 motivation) | [`mod@optimize`] |
 //!
 //! ## Quick start
 //!
@@ -64,8 +64,8 @@ pub mod unify;
 
 pub use cache::{CacheLimits, CacheSizes, CacheStats, DecisionCache, ProgramKey};
 pub use containment::{
-    datalog_contained_in_cq, datalog_contained_in_ucq, ContainmentResult, Counterexample,
-    DecisionOptions,
+    datalog_contained_in_cq, datalog_contained_in_ucq, datalog_contained_in_ucq_traced,
+    ContainmentResult, Counterexample, DecisionOptions, Schedule, TraceOptions, TracedDecision,
 };
 pub use cq_in_datalog::{
     cq_contained_in_datalog, cq_contained_in_datalog_with, strategy_decision_counts,

@@ -2,12 +2,12 @@
 //! restarted server warms from disk instead of re-deciding its whole
 //! working set ("persisted-cache warm start", the ROADMAP hardening item).
 //!
-//! # Format (version 1)
+//! # Format (version 2)
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"NRDC"
-//! 4       4     format version, u32 LE (currently 1)
+//! 4       4     format version, u32 LE (currently 2)
 //! 8       8     payload length in bytes, u64 LE
 //! 16      8     FNV-1a 64 checksum of the payload, u64 LE
 //! 24      …     payload
@@ -22,6 +22,9 @@
 //! are).  Within each segment, entries are sorted by their encoded bytes:
 //! saving is **deterministic**, and `save → load → save` round-trips
 //! byte-identically (locked by `tests/cache_snapshot_prop.rs`).
+//! Version 2 extended the per-decision [`ContainmentStats`] encoding with
+//! the scheduler fields (`pairs_dominated`, `pops_skipped_dead`,
+//! `max_frontier`); version-1 files are refused, not migrated.
 //!
 //! What is *not* persisted: [`crate::cache::CacheStats`] (counters describe
 //! one process's traffic), LRU recency (a loaded entry is as good as fresh),

@@ -32,8 +32,10 @@
 //! `Indexed` when they cannot (all-free goals, saturating cyclic regions,
 //! inapplicable programs).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+
+use metrics::{Event, FieldValue, GlobalSink, MetricsLevel, MetricsSink};
 
 use crate::atom::{Atom, Fact, Pred};
 use crate::database::Database;
@@ -171,11 +173,28 @@ pub fn evaluate(program: &Program, edb: &Database) -> EvalResult {
 /// falls back to [`Strategy::Indexed`] here.  Use [`evaluate_goal_with`]
 /// to actually run goal-directed.
 pub fn evaluate_with(program: &Program, edb: &Database, options: EvalOptions) -> EvalResult {
+    evaluate_with_sink(program, edb, options, &mut GlobalSink)
+}
+
+/// [`evaluate_with`], emitting structured events into `sink`.
+///
+/// The engine is generic over the sink and guards every emission with a
+/// level check, so a [`metrics::NoMetrics`] sink monomorphizes to the
+/// uninstrumented loop.  At [`MetricsLevel::Counters`] one `eval` summary
+/// event is emitted per run; [`MetricsLevel::Debug`] adds per-`iteration`
+/// events and per-predicate `delta` sizes; [`MetricsLevel::Trace`] adds one
+/// `join` event per rule derivation carrying its probe delta.
+pub fn evaluate_with_sink<S: MetricsSink>(
+    program: &Program,
+    edb: &Database,
+    options: EvalOptions,
+    sink: &mut S,
+) -> EvalResult {
     match options.strategy {
-        Strategy::Naive => naive(program, edb, options),
-        Strategy::SemiNaive => delta_fixpoint(program, edb, options, JoinMode::Scan),
+        Strategy::Naive => naive(program, edb, options, sink),
+        Strategy::SemiNaive => delta_fixpoint(program, edb, options, JoinMode::Scan, sink),
         Strategy::Indexed | Strategy::Magic | Strategy::Auto => {
-            delta_fixpoint(program, edb, options, JoinMode::Indexed)
+            delta_fixpoint(program, edb, options, JoinMode::Indexed, sink)
         }
     }
 }
@@ -199,35 +218,107 @@ pub fn evaluate_goal(program: &Program, edb: &Database, goal_pattern: &Atom) -> 
 /// describe the rewritten program's run: `derived_facts` counts magic +
 /// guarded facts, `iterations` counts the rewritten fixpoint's rounds, and
 /// neither is comparable to the unrewritten `Q^i_Π(D)` prefixes.
+///
+/// ```
+/// use datalog::atom::{Atom, Fact, Pred};
+/// use datalog::eval::{evaluate_goal_with, EvalOptions, Strategy};
+/// use datalog::generate::chain_database;
+/// use datalog::program::Program;
+/// use datalog::rule::Rule;
+/// use datalog::term::{Constant, Term};
+///
+/// // Transitive closure of a 4-edge chain, asked only for p(c0, c4).
+/// let tc = Program::new(vec![
+///     Rule::new(
+///         Atom::app("p", ["X", "Y"]),
+///         vec![Atom::app("e", ["X", "Z"]), Atom::app("p", ["Z", "Y"])],
+///     ),
+///     Rule::new(Atom::app("p", ["X", "Y"]), vec![Atom::app("e", ["X", "Y"])]),
+/// ]);
+/// let db = chain_database("e", 4);
+/// let goal = Atom::new(
+///     Pred::new("p"),
+///     vec![
+///         Term::Const(Constant::from_usize(0)),
+///         Term::Const(Constant::from_usize(4)),
+///     ],
+/// );
+/// let result = evaluate_goal_with(
+///     &tc,
+///     &db,
+///     &goal,
+///     EvalOptions { strategy: Strategy::Auto, ..EvalOptions::default() },
+/// );
+/// assert!(result.database.contains(&Fact::app("p", ["c0", "c4"])));
+/// assert_eq!(result.relation(Pred::new("p")).len(), 1);
+/// ```
 pub fn evaluate_goal_with(
     program: &Program,
     edb: &Database,
     goal_pattern: &Atom,
     options: EvalOptions,
 ) -> EvalResult {
+    evaluate_goal_with_sink(program, edb, goal_pattern, options, &mut GlobalSink)
+}
+
+/// [`evaluate_goal_with`], emitting structured events into `sink`.
+///
+/// In addition to the fixpoint events of [`evaluate_with_sink`], at
+/// [`MetricsLevel::Counters`] and above this emits one `strategy` event per
+/// goal evaluation recording the requested strategy, what it resolved to,
+/// and the planner's reason (for [`Strategy::Auto`], which of the four
+/// [`resolve_auto_strategy`] conditions decided).
+pub fn evaluate_goal_with_sink<S: MetricsSink>(
+    program: &Program,
+    edb: &Database,
+    goal_pattern: &Atom,
+    options: EvalOptions,
+    sink: &mut S,
+) -> EvalResult {
     let mut options = options;
+    let requested = options.strategy;
+    let mut reason = "strategy requested explicitly";
     if options.strategy == Strategy::Auto {
-        options.strategy = resolve_auto_strategy(program, edb, goal_pattern);
+        let (resolved, why) = resolve_auto_strategy_explained(program, edb, goal_pattern);
+        options.strategy = resolved;
+        reason = why;
     }
     let goal = goal_pattern.pred;
-    if options.strategy == Strategy::Magic && crate::magic::magic_applicable(program, goal, edb) {
+    let magic_path =
+        options.strategy == Strategy::Magic && crate::magic::magic_applicable(program, goal, edb);
+    let effective = match options.strategy {
+        Strategy::Magic if !magic_path => {
+            reason = "magic requested but inapplicable; indexed fallback";
+            Strategy::Indexed
+        }
+        other => other,
+    };
+    if sink.level() >= MetricsLevel::Counters {
+        sink.emit(Event::new(
+            "strategy",
+            vec![
+                ("goal", FieldValue::Text(goal.name().to_string())),
+                ("requested", FieldValue::Text(requested.name().to_string())),
+                ("resolved", FieldValue::Text(effective.name().to_string())),
+                ("reason", FieldValue::Text(reason.to_string())),
+            ],
+        ));
+    }
+    if magic_path {
         let adorned =
             crate::adorn::adorn_program(program, goal_pattern, crate::adorn::Sips::default());
         let magic = crate::magic::magic_rewrite(&adorned);
-        let inner = evaluate_with(&magic.program, edb, options);
+        let inner = evaluate_with_sink(&magic.program, edb, options, sink);
         return restrict_to_goal(edb, &inner, magic.goal, goal, goal_pattern);
     }
-    let strategy = match options.strategy {
-        Strategy::Magic => Strategy::Indexed,
-        other => other,
-    };
-    let inner = evaluate_with(
+    let inner = evaluate_with_sink(
         program,
         edb,
         EvalOptions {
-            strategy,
+            strategy: effective,
             ..options
         },
+        sink,
     );
     restrict_to_goal(edb, &inner, goal, goal, goal_pattern)
 }
@@ -265,12 +356,27 @@ pub fn evaluate_goal_with(
 /// exported so decision-procedure layers can resolve (and count) the
 /// choice themselves.
 pub fn resolve_auto_strategy(program: &Program, edb: &Database, goal_pattern: &Atom) -> Strategy {
+    resolve_auto_strategy_explained(program, edb, goal_pattern).0
+}
+
+/// [`resolve_auto_strategy`] plus a stable one-line reason naming which of
+/// the four planner conditions decided.  The reason strings are wire
+/// vocabulary: the `trace` verb reports them verbatim in its `strategy`
+/// event.
+pub fn resolve_auto_strategy_explained(
+    program: &Program,
+    edb: &Database,
+    goal_pattern: &Atom,
+) -> (Strategy, &'static str) {
     if !crate::magic::magic_applicable(program, goal_pattern.pred, edb) {
-        return Strategy::Indexed;
+        return (
+            Strategy::Indexed,
+            "magic rewrite inapplicable to this program/database",
+        );
     }
     let adorned = crate::adorn::adorn_program(program, goal_pattern, crate::adorn::Sips::default());
     if adorned.goal_adornment.is_all_free() {
-        return Strategy::Indexed;
+        return (Strategy::Indexed, "goal adornment binds no position");
     }
     let idb_calls: Vec<&crate::adorn::Adornment> = adorned
         .rules
@@ -279,7 +385,10 @@ pub fn resolve_auto_strategy(program: &Program, edb: &Database, goal_pattern: &A
         .filter_map(|body_atom| body_atom.adornment.as_ref())
         .collect();
     if !idb_calls.is_empty() && idb_calls.iter().all(|a| a.is_all_free()) {
-        return Strategy::Indexed;
+        return (
+            Strategy::Indexed,
+            "no reachable IDB call receives a binding",
+        );
     }
     // The EDB relations the reachable rules actually join over.
     let edb_preds: BTreeSet<Pred> = adorned
@@ -298,9 +407,15 @@ pub fn resolve_auto_strategy(program: &Program, edb: &Database, goal_pattern: &A
         })
         .collect();
     if demand_region_has_cycle(edb, &edb_preds, &seeds) {
-        Strategy::Indexed
+        (
+            Strategy::Indexed,
+            "demand region is cyclic; the frontier saturates",
+        )
     } else {
-        Strategy::Magic
+        (
+            Strategy::Magic,
+            "bound goal with an acyclic demand region; magic prunes",
+        )
     }
 }
 
@@ -392,9 +507,56 @@ enum JoinMode {
     Indexed,
 }
 
+/// Emit the per-iteration `iteration` + per-predicate `delta` events shared
+/// by both fixpoint loops.  Callers guard at [`MetricsLevel::Debug`].
+fn emit_iteration_events<S: MetricsSink>(
+    sink: &mut S,
+    iteration: usize,
+    inserted: &BTreeMap<Pred, u64>,
+    probes: usize,
+) {
+    let new_facts: u64 = inserted.values().sum();
+    sink.emit(Event::new(
+        "iteration",
+        vec![
+            ("index", FieldValue::Num(iteration as u64)),
+            ("new_facts", FieldValue::Num(new_facts)),
+            ("probes", FieldValue::Num(probes as u64)),
+        ],
+    ));
+    for (&pred, &count) in inserted {
+        sink.emit(Event::new(
+            "delta",
+            vec![
+                ("iteration", FieldValue::Num(iteration as u64)),
+                ("pred", FieldValue::Text(pred.name().to_string())),
+                ("facts", FieldValue::Num(count)),
+            ],
+        ));
+    }
+}
+
+/// Emit the `Counters`-level `eval` summary event for a finished run.
+fn emit_eval_summary<S: MetricsSink>(sink: &mut S, strategy: &'static str, stats: &EvalStats) {
+    sink.emit(Event::new(
+        "eval",
+        vec![
+            ("strategy", FieldValue::Text(strategy.to_string())),
+            ("iterations", FieldValue::Num(stats.iterations as u64)),
+            ("derived_facts", FieldValue::Num(stats.derived_facts as u64)),
+            ("probes", FieldValue::Num(stats.probes as u64)),
+        ],
+    ));
+}
+
 /// Naive evaluation: repeat "apply every rule to the full database" until no
 /// new facts appear.
-fn naive(program: &Program, edb: &Database, options: EvalOptions) -> EvalResult {
+fn naive<S: MetricsSink>(
+    program: &Program,
+    edb: &Database,
+    options: EvalOptions,
+    sink: &mut S,
+) -> EvalResult {
     let mut db = edb.clone();
     let mut stats = EvalStats::default();
     loop {
@@ -406,7 +568,8 @@ fn naive(program: &Program, edb: &Database, options: EvalOptions) -> EvalResult 
         }
         stats.iterations += 1;
         let mut new_facts: Vec<Fact> = Vec::new();
-        for rule in program.rules() {
+        for (rule_index, rule) in program.rules().iter().enumerate() {
+            let probes_before = stats.probes;
             derive_rule(
                 rule.head.clone(),
                 &rule.body,
@@ -416,13 +579,34 @@ fn naive(program: &Program, edb: &Database, options: EvalOptions) -> EvalResult 
                 &mut new_facts,
                 &mut stats.probes,
             );
+            if sink.level() >= MetricsLevel::Trace {
+                sink.emit(Event::new(
+                    "join",
+                    vec![
+                        ("iteration", FieldValue::Num(stats.iterations as u64)),
+                        ("rule", FieldValue::Num(rule_index as u64)),
+                        (
+                            "probes",
+                            FieldValue::Num((stats.probes - probes_before) as u64),
+                        ),
+                    ],
+                ));
+            }
         }
         let mut changed = false;
+        let mut inserted: BTreeMap<Pred, u64> = BTreeMap::new();
         for fact in new_facts {
+            let pred = fact.pred;
             if db.insert(fact) {
                 stats.derived_facts += 1;
                 changed = true;
+                if sink.level() >= MetricsLevel::Debug {
+                    *inserted.entry(pred).or_insert(0) += 1;
+                }
             }
+        }
+        if sink.level() >= MetricsLevel::Debug {
+            emit_iteration_events(sink, stats.iterations, &inserted, stats.probes);
         }
         if options
             .max_facts
@@ -433,6 +617,9 @@ fn naive(program: &Program, edb: &Database, options: EvalOptions) -> EvalResult 
         if !changed {
             break;
         }
+    }
+    if sink.level() >= MetricsLevel::Counters {
+        emit_eval_summary(sink, "naive", &stats);
     }
     EvalResult {
         database: db,
@@ -446,11 +633,12 @@ fn naive(program: &Program, edb: &Database, options: EvalOptions) -> EvalResult 
 /// in the previous iteration.  Iteration `i` derives exactly the new facts
 /// of naive iteration `i`, so bounded prefixes `Q^i_Π(D)` agree across all
 /// strategies.
-fn delta_fixpoint(
+fn delta_fixpoint<S: MetricsSink>(
     program: &Program,
     edb: &Database,
     options: EvalOptions,
     mode: JoinMode,
+    sink: &mut S,
 ) -> EvalResult {
     let mut db = edb.clone();
     let mut stats = EvalStats::default();
@@ -460,7 +648,8 @@ fn delta_fixpoint(
     if options.max_iterations != Some(0) {
         stats.iterations += 1;
         let mut new_facts = Vec::new();
-        for rule in program.rules() {
+        for (rule_index, rule) in program.rules().iter().enumerate() {
+            let probes_before = stats.probes;
             derive_rule(
                 rule.head.clone(),
                 &rule.body,
@@ -470,12 +659,29 @@ fn delta_fixpoint(
                 &mut new_facts,
                 &mut stats.probes,
             );
+            if sink.level() >= MetricsLevel::Trace {
+                sink.emit(Event::new(
+                    "join",
+                    vec![
+                        ("iteration", FieldValue::Num(stats.iterations as u64)),
+                        ("rule", FieldValue::Num(rule_index as u64)),
+                        (
+                            "probes",
+                            FieldValue::Num((stats.probes - probes_before) as u64),
+                        ),
+                    ],
+                ));
+            }
         }
         for fact in new_facts {
             if db.insert(fact.clone()) {
                 stats.derived_facts += 1;
                 delta.insert(fact);
             }
+        }
+        if sink.level() >= MetricsLevel::Debug {
+            let inserted = count_by_pred(&delta);
+            emit_iteration_events(sink, stats.iterations, &inserted, stats.probes);
         }
     }
 
@@ -495,13 +701,14 @@ fn delta_fixpoint(
         stats.iterations += 1;
         let mut new_facts: Vec<Fact> = Vec::new();
         let delta_db = Database::from_facts(delta.iter().cloned());
-        for rule in program.rules() {
+        for (rule_index, rule) in program.rules().iter().enumerate() {
             // For each body position holding a predicate present in the
             // delta, require that position to match a delta fact.
             for (pos, atom) in rule.body.iter().enumerate() {
                 if delta_db.relation(atom.pred).is_empty() {
                     continue;
                 }
+                let probes_before = stats.probes;
                 derive_rule(
                     rule.head.clone(),
                     &rule.body,
@@ -511,6 +718,20 @@ fn delta_fixpoint(
                     &mut new_facts,
                     &mut stats.probes,
                 );
+                if sink.level() >= MetricsLevel::Trace {
+                    sink.emit(Event::new(
+                        "join",
+                        vec![
+                            ("iteration", FieldValue::Num(stats.iterations as u64)),
+                            ("rule", FieldValue::Num(rule_index as u64)),
+                            ("delta_pos", FieldValue::Num(pos as u64)),
+                            (
+                                "probes",
+                                FieldValue::Num((stats.probes - probes_before) as u64),
+                            ),
+                        ],
+                    ));
+                }
             }
             // Rules with empty bodies fire once, in the first iteration,
             // which the full pass above already handled.
@@ -522,13 +743,33 @@ fn delta_fixpoint(
                 next_delta.insert(fact);
             }
         }
+        if sink.level() >= MetricsLevel::Debug {
+            let inserted = count_by_pred(&next_delta);
+            emit_iteration_events(sink, stats.iterations, &inserted, stats.probes);
+        }
         delta = next_delta;
     }
 
+    if sink.level() >= MetricsLevel::Counters {
+        let strategy = match mode {
+            JoinMode::Scan => "semi_naive",
+            JoinMode::Indexed => "indexed",
+        };
+        emit_eval_summary(sink, strategy, &stats);
+    }
     EvalResult {
         database: db,
         stats,
     }
+}
+
+/// Count a delta set's facts per predicate (for the Debug `delta` events).
+fn count_by_pred(delta: &BTreeSet<Fact>) -> BTreeMap<Pred, u64> {
+    let mut counts = BTreeMap::new();
+    for fact in delta {
+        *counts.entry(fact.pred).or_insert(0) += 1;
+    }
+    counts
 }
 
 /// Enumerate all instantiations of `body` against `db` (with the atom at
@@ -1063,5 +1304,58 @@ mod tests {
                 strategy.name()
             );
         }
+    }
+
+    #[test]
+    fn sinks_observe_without_perturbing_the_run() {
+        use metrics::{MetricsLevel, NoMetrics, RecordingSink};
+        let db = chain(8);
+        let goal = bound_goal(8);
+        let plain = evaluate_goal_with(&tc(), &db, &goal, with_strategy(Strategy::Auto));
+        let off = evaluate_goal_with_sink(
+            &tc(),
+            &db,
+            &goal,
+            with_strategy(Strategy::Auto),
+            &mut NoMetrics,
+        );
+        assert_eq!(plain.stats, off.stats);
+
+        let mut sink = RecordingSink::new(MetricsLevel::Trace, usize::MAX);
+        let traced =
+            evaluate_goal_with_sink(&tc(), &db, &goal, with_strategy(Strategy::Auto), &mut sink);
+        assert_eq!(plain.stats, traced.stats, "tracing must be observational");
+        assert_eq!(plain.database, traced.database);
+        let kinds: BTreeSet<&str> = sink.events.iter().map(|e| e.kind).collect();
+        for kind in ["strategy", "iteration", "delta", "join", "eval"] {
+            assert!(kinds.contains(kind), "missing event kind {kind}");
+        }
+        let strategy = sink.events.iter().find(|e| e.kind == "strategy").unwrap();
+        assert_eq!(strategy.text("requested"), Some("auto"));
+        assert_eq!(strategy.text("resolved"), Some("magic"));
+        assert_eq!(
+            strategy.text("reason"),
+            Some("bound goal with an acyclic demand region; magic prunes")
+        );
+        let summary = sink.events.iter().find(|e| e.kind == "eval").unwrap();
+        assert_eq!(summary.num("probes"), Some(plain.stats.probes as u64));
+    }
+
+    #[test]
+    fn counters_level_skips_per_iteration_detail() {
+        use metrics::{MetricsLevel, RecordingSink};
+        let mut sink = RecordingSink::new(MetricsLevel::Counters, usize::MAX);
+        evaluate_goal_with_sink(
+            &tc(),
+            &chain(4),
+            &bound_goal(4),
+            with_strategy(Strategy::Auto),
+            &mut sink,
+        );
+        let kinds: BTreeSet<&str> = sink.events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains("strategy"));
+        assert!(kinds.contains("eval"));
+        assert!(!kinds.contains("iteration"));
+        assert!(!kinds.contains("join"));
     }
 }

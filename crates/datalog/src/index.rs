@@ -122,7 +122,7 @@ impl RelationIndex {
 
     /// Candidate rows for matching `atom` under the bindings of `subst`:
     /// the rows of the most selective bound-column posting list
-    /// ([`Self::best_postings`]), or all rows with no bound column.  Every
+    /// (`best_postings`), or all rows with no bound column.  Every
     /// returned row still has to pass a full
     /// [`Substitution::match_tuple`]; the index only prunes.
     pub fn candidates<'a>(&'a self, atom: &Atom, subst: &Substitution) -> Candidates<'a> {

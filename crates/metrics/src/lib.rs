@@ -1,0 +1,445 @@
+//! Leveled observability shared by the evaluation and containment engines.
+//!
+//! The crate is dependency-free so that every layer of the workspace —
+//! `datalog`, `automata`, `core`, and `server` — can speak one vocabulary of
+//! levels and events without coupling the engines to each other.
+//!
+//! The design has three parts:
+//!
+//! * [`MetricsSink`] — a trait the hot loops are generic over. Call sites
+//!   guard every emission with `if sink.level() >= MetricsLevel::Debug { .. }`
+//!   so the [`NoMetrics`] zero-sized sink (level [`MetricsLevel::Off`])
+//!   monomorphizes to nothing: the instrumented code compiles to the same
+//!   loop as before the trait existed. A bench gate holds this to account by
+//!   asserting probe counts are byte-identical to the pre-trait baseline.
+//! * [`RecordingSink`] — buffers structured [`Event`]s up to a `max_events`
+//!   budget with an explicit truncation flag; backs the wire-level `trace`
+//!   verb.
+//! * [`GlobalSink`] and [`global`] — a `Counters`-level sink that folds
+//!   per-run summary events into process-wide relaxed atomics; the server's
+//!   `stats` verb and `metrics_text` exposition scrape the [`global::snapshot`].
+//!
+//! Level semantics, from cheapest to most verbose:
+//!
+//! | level | emits |
+//! |---|---|
+//! | `Off` | nothing |
+//! | `Counters` | one summary event per evaluation / containment / decision |
+//! | `Debug` | + per-iteration fixpoint events, per-predicate deltas, phase timings |
+//! | `Trace` | + per-pop, per-propagate, and per-join probe-delta events |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How much instrumentation an engine should emit.
+///
+/// Levels are totally ordered: a sink at `Debug` receives everything a
+/// `Counters` sink would, plus the per-iteration detail.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MetricsLevel {
+    /// No events at all; the [`NoMetrics`] sink compiles away.
+    #[default]
+    Off,
+    /// One summary event per run: evaluation, containment, decision.
+    Counters,
+    /// Per-iteration fixpoint events, per-predicate deltas, phase timings.
+    Debug,
+    /// Everything: per-pop, per-propagate-lookup, per-join probe deltas.
+    Trace,
+}
+
+impl MetricsLevel {
+    /// Every level, cheapest first.
+    pub const ALL: [MetricsLevel; 4] = [
+        MetricsLevel::Off,
+        MetricsLevel::Counters,
+        MetricsLevel::Debug,
+        MetricsLevel::Trace,
+    ];
+
+    /// The wire name of the level.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricsLevel::Off => "off",
+            MetricsLevel::Counters => "counters",
+            MetricsLevel::Debug => "debug",
+            MetricsLevel::Trace => "trace",
+        }
+    }
+
+    /// Parse a wire name back into a level.
+    ///
+    /// ```
+    /// use metrics::MetricsLevel;
+    /// assert_eq!(MetricsLevel::parse("debug"), Some(MetricsLevel::Debug));
+    /// assert_eq!(MetricsLevel::parse("verbose"), None);
+    /// ```
+    pub fn parse(name: &str) -> Option<MetricsLevel> {
+        MetricsLevel::ALL.iter().copied().find(|l| l.name() == name)
+    }
+}
+
+/// One field of a structured [`Event`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FieldValue {
+    /// An unsigned counter or size.
+    Num(u64),
+    /// A short name: a predicate, a strategy, a reason.
+    Text(String),
+    /// A boolean outcome: admitted, cache hit, contained.
+    Flag(bool),
+}
+
+/// A structured trace event: a static kind plus named fields.
+///
+/// Kinds are stable wire vocabulary (`"iteration"`, `"pop"`, `"decision"`, …);
+/// field names are static so events allocate only for text payloads.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// The event kind; stable across releases, documented per emitter.
+    pub kind: &'static str,
+    /// Named field values, in emission order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    /// Build an event from a kind and its fields.
+    pub fn new(kind: &'static str, fields: Vec<(&'static str, FieldValue)>) -> Event {
+        Event { kind, fields }
+    }
+
+    /// Look up a numeric field by name.
+    pub fn num(&self, name: &str) -> Option<u64> {
+        self.fields.iter().find_map(|(n, v)| match v {
+            FieldValue::Num(x) if *n == name => Some(*x),
+            _ => None,
+        })
+    }
+
+    /// Look up a text field by name.
+    pub fn text(&self, name: &str) -> Option<&str> {
+        self.fields.iter().find_map(|(n, v)| match v {
+            FieldValue::Text(s) if *n == name => Some(s.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Look up a flag field by name.
+    pub fn flag(&self, name: &str) -> Option<bool> {
+        self.fields.iter().find_map(|(n, v)| match v {
+            FieldValue::Flag(b) if *n == name => Some(*b),
+            _ => None,
+        })
+    }
+}
+
+/// A destination for structured events.
+///
+/// Implementors advertise a [`MetricsLevel`]; emitters must guard each
+/// emission with a level check so that low-level sinks never pay for
+/// high-level detail. The idiom at every call site is:
+///
+/// ```ignore
+/// if sink.level() >= MetricsLevel::Debug {
+///     sink.emit(Event::new("iteration", vec![("index", FieldValue::Num(i))]));
+/// }
+/// ```
+pub trait MetricsSink {
+    /// The most verbose level this sink wants to receive.
+    fn level(&self) -> MetricsLevel;
+    /// Accept one event. Only called when the emitter's guard passed.
+    fn emit(&mut self, event: Event);
+}
+
+impl<S: MetricsSink + ?Sized> MetricsSink for &mut S {
+    #[inline]
+    fn level(&self) -> MetricsLevel {
+        (**self).level()
+    }
+    #[inline]
+    fn emit(&mut self, event: Event) {
+        (**self).emit(event);
+    }
+}
+
+/// The zero-sized no-op sink: level [`MetricsLevel::Off`], discards nothing
+/// because it is never offered anything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoMetrics;
+
+impl MetricsSink for NoMetrics {
+    #[inline(always)]
+    fn level(&self) -> MetricsLevel {
+        MetricsLevel::Off
+    }
+    #[inline(always)]
+    fn emit(&mut self, _event: Event) {}
+}
+
+/// Buffers events up to a budget; backs the wire-level `trace` verb.
+#[derive(Clone, Debug)]
+pub struct RecordingSink {
+    level: MetricsLevel,
+    max_events: usize,
+    /// The recorded events, in emission order, at most `max_events` of them.
+    pub events: Vec<Event>,
+    /// How many events arrived after the budget was exhausted.
+    pub dropped: usize,
+}
+
+impl RecordingSink {
+    /// A sink that records at `level`, keeping at most `max_events` events.
+    pub fn new(level: MetricsLevel, max_events: usize) -> RecordingSink {
+        RecordingSink {
+            level,
+            max_events,
+            events: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// True when at least one event was discarded for exceeding the budget.
+    pub fn truncated(&self) -> bool {
+        self.dropped > 0
+    }
+}
+
+impl MetricsSink for RecordingSink {
+    fn level(&self) -> MetricsLevel {
+        self.level
+    }
+    fn emit(&mut self, event: Event) {
+        if self.events.len() < self.max_events {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
+/// Process-wide counters aggregated from `Counters`-level summary events.
+///
+/// All loads and stores are `Relaxed`: the counters are monotone telemetry,
+/// not synchronization.
+pub mod global {
+    use super::{AtomicU64, Ordering};
+
+    macro_rules! counters {
+        ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
+            $(#[allow(non_upper_case_globals)]
+            static $name: AtomicU64 = AtomicU64::new(0);)+
+
+            /// A point-in-time copy of every process-wide counter.
+            #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+            pub struct MetricsSnapshot {
+                $($(#[$doc])* pub $name: u64,)+
+            }
+
+            /// Read every counter at once (each individually `Relaxed`).
+            pub fn snapshot() -> MetricsSnapshot {
+                MetricsSnapshot {
+                    $($name: $name.load(Ordering::Relaxed),)+
+                }
+            }
+        };
+    }
+
+    counters! {
+        /// Datalog fixpoint runs completed.
+        evals,
+        /// Fixpoint iterations summed over all runs.
+        eval_iterations,
+        /// Join candidate probes summed over all runs.
+        eval_probes,
+        /// Facts derived, summed over all runs.
+        eval_facts,
+        /// Tree-automata containment runs completed.
+        containments,
+        /// (state, subset) pairs admitted to frontiers, summed.
+        containment_pairs,
+        /// Propagate-cache hits, summed.
+        propagate_hits,
+        /// Propagate-cache misses, summed.
+        propagate_misses,
+        /// Frontier pairs dominated away by the antichain, summed.
+        pairs_dominated,
+        /// Dead frontier pops skipped by the scheduler, summed.
+        pops_skipped_dead,
+        /// Containment decisions completed at the `core` layer.
+        decisions,
+        /// Decisions answered from the `DecisionCache`.
+        decision_cache_hits,
+        /// Decisions computed fresh.
+        decision_cache_misses,
+        /// Decisions routed through the word-automata fast path.
+        decisions_word_path,
+        /// Decisions routed through the tree-automata path.
+        decisions_tree_path,
+    }
+
+    pub(super) fn add(counter: &AtomicU64, value: u64) {
+        counter.fetch_add(value, Ordering::Relaxed);
+    }
+
+    pub(super) fn record_eval(iterations: u64, probes: u64, facts: u64) {
+        add(&evals, 1);
+        add(&eval_iterations, iterations);
+        add(&eval_probes, probes);
+        add(&eval_facts, facts);
+    }
+
+    pub(super) fn record_containment(
+        pairs: u64,
+        hits: u64,
+        misses: u64,
+        dominated: u64,
+        skipped_dead: u64,
+    ) {
+        add(&containments, 1);
+        add(&containment_pairs, pairs);
+        add(&propagate_hits, hits);
+        add(&propagate_misses, misses);
+        add(&pairs_dominated, dominated);
+        add(&pops_skipped_dead, skipped_dead);
+    }
+
+    pub(super) fn record_decision(cache_hit: bool, path: Option<&str>) {
+        add(&decisions, 1);
+        if cache_hit {
+            add(&decision_cache_hits, 1);
+        } else {
+            add(&decision_cache_misses, 1);
+        }
+        match path {
+            Some("word") => add(&decisions_word_path, 1),
+            Some("tree") => add(&decisions_tree_path, 1),
+            _ => {}
+        }
+    }
+}
+
+pub use global::MetricsSnapshot;
+
+/// A `Counters`-level sink that folds summary events into the [`global`]
+/// registry. Zero-sized; the default sink for the non-traced entry points.
+///
+/// Recognized summary kinds: `"eval"` (fields `iterations`, `probes`,
+/// `derived_facts`), `"containment"` (fields `pairs`, `propagate_hits`,
+/// `propagate_misses`, `pairs_dominated`, `pops_skipped_dead`), and
+/// `"decision"` (fields `cache_hit`, `path`). Anything else is ignored.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GlobalSink;
+
+impl MetricsSink for GlobalSink {
+    fn level(&self) -> MetricsLevel {
+        MetricsLevel::Counters
+    }
+
+    fn emit(&mut self, event: Event) {
+        match event.kind {
+            "eval" => global::record_eval(
+                event.num("iterations").unwrap_or(0),
+                event.num("probes").unwrap_or(0),
+                event.num("derived_facts").unwrap_or(0),
+            ),
+            "containment" => global::record_containment(
+                event.num("pairs").unwrap_or(0),
+                event.num("propagate_hits").unwrap_or(0),
+                event.num("propagate_misses").unwrap_or(0),
+                event.num("pairs_dominated").unwrap_or(0),
+                event.num("pops_skipped_dead").unwrap_or(0),
+            ),
+            "decision" => global::record_decision(
+                event.flag("cache_hit").unwrap_or(false),
+                event.text("path"),
+            ),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered_and_round_trip_through_names() {
+        assert!(MetricsLevel::Off < MetricsLevel::Counters);
+        assert!(MetricsLevel::Counters < MetricsLevel::Debug);
+        assert!(MetricsLevel::Debug < MetricsLevel::Trace);
+        for level in MetricsLevel::ALL {
+            assert_eq!(MetricsLevel::parse(level.name()), Some(level));
+        }
+        assert_eq!(MetricsLevel::parse("TRACE"), None);
+        assert_eq!(MetricsLevel::parse(""), None);
+    }
+
+    #[test]
+    fn recording_sink_respects_the_budget_and_reports_truncation() {
+        let mut sink = RecordingSink::new(MetricsLevel::Trace, 2);
+        for i in 0..5 {
+            sink.emit(Event::new("pop", vec![("size", FieldValue::Num(i))]));
+        }
+        assert_eq!(sink.events.len(), 2);
+        assert_eq!(sink.dropped, 3);
+        assert!(sink.truncated());
+        assert_eq!(sink.events[1].num("size"), Some(1));
+    }
+
+    #[test]
+    fn no_metrics_is_off_and_zero_sized() {
+        assert_eq!(NoMetrics.level(), MetricsLevel::Off);
+        assert_eq!(std::mem::size_of::<NoMetrics>(), 0);
+        assert_eq!(std::mem::size_of::<GlobalSink>(), 0);
+    }
+
+    #[test]
+    fn global_sink_folds_summary_events_into_the_snapshot() {
+        let before = global::snapshot();
+        let mut sink = GlobalSink;
+        sink.emit(Event::new(
+            "eval",
+            vec![
+                ("iterations", FieldValue::Num(3)),
+                ("probes", FieldValue::Num(100)),
+                ("derived_facts", FieldValue::Num(7)),
+            ],
+        ));
+        sink.emit(Event::new(
+            "decision",
+            vec![
+                ("cache_hit", FieldValue::Flag(false)),
+                ("path", FieldValue::Text("tree".to_string())),
+            ],
+        ));
+        sink.emit(Event::new("unknown_kind", Vec::new()));
+        let after = global::snapshot();
+        assert_eq!(after.evals, before.evals + 1);
+        assert_eq!(after.eval_probes, before.eval_probes + 100);
+        assert_eq!(after.decisions, before.decisions + 1);
+        assert_eq!(
+            after.decision_cache_misses,
+            before.decision_cache_misses + 1
+        );
+        assert_eq!(after.decisions_tree_path, before.decisions_tree_path + 1);
+    }
+
+    #[test]
+    fn event_field_lookups_distinguish_types() {
+        let event = Event::new(
+            "decision",
+            vec![
+                ("cache_hit", FieldValue::Flag(true)),
+                ("path", FieldValue::Text("word".to_string())),
+                ("micros", FieldValue::Num(12)),
+            ],
+        );
+        assert_eq!(event.flag("cache_hit"), Some(true));
+        assert_eq!(event.text("path"), Some("word"));
+        assert_eq!(event.num("micros"), Some(12));
+        assert_eq!(event.num("path"), None);
+        assert_eq!(event.flag("missing"), None);
+    }
+}

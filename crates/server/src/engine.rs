@@ -15,7 +15,8 @@ use datalog::parser::parse_program;
 use datalog::program::Program;
 use nonrec_equivalence::bounded::find_bound_with;
 use nonrec_equivalence::containment::{
-    datalog_contained_in_ucq_with, ContainmentStats, Counterexample, DecisionOptions, DecisionPath,
+    datalog_contained_in_ucq_traced, datalog_contained_in_ucq_with, ContainmentStats,
+    Counterexample, DecisionOptions, DecisionPath, TraceOptions,
 };
 use nonrec_equivalence::equivalence::{equivalent_to_nonrecursive_with, EquivalenceVerdict};
 use nonrec_equivalence::optimize::{optimize, OptimizeOptions};
@@ -148,6 +149,48 @@ pub fn execute(command: &Command) -> Result<Value, WireError> {
                 ("stats", stats_json(&result.stats)),
             ];
             if let Some(cex) = &result.counterexample {
+                fields.push(("counterexample", counterexample_json(cex)));
+            }
+            Ok(obj(fields))
+        }
+        Command::Trace {
+            program,
+            goal,
+            query,
+            level,
+            max_events,
+            schedule,
+            options,
+        } => {
+            let program = parse_program_field("program", program)?;
+            let ucq = parse_query_field("query", query)?;
+            let trace = TraceOptions {
+                level: *level,
+                max_events: *max_events,
+                schedule: schedule.unwrap_or_default(),
+            };
+            let traced = datalog_contained_in_ucq_traced(
+                &program,
+                Pred::new(goal),
+                &ucq,
+                decision_options(*options),
+                trace,
+            )
+            .map_err(|e| WireError::new(e.code(), e.to_string()))?;
+            let events: Vec<Value> = traced
+                .events
+                .iter()
+                .map(crate::metrics::event_json)
+                .collect();
+            let mut fields = vec![
+                ("contained", Value::Bool(traced.result.contained)),
+                ("level", Value::str(level.name())),
+                ("stats", stats_json(&traced.result.stats)),
+                ("events", Value::Arr(events)),
+                ("truncated", Value::Bool(traced.truncated)),
+                ("dropped", Value::num(traced.dropped as f64)),
+            ];
+            if let Some(cex) = &traced.result.counterexample {
                 fields.push(("counterexample", counterexample_json(cex)));
             }
             Ok(obj(fields))
@@ -302,11 +345,13 @@ pub fn execute(command: &Command) -> Result<Value, WireError> {
                 ),
             ]))
         }
-        // Batches are unrolled by the pool; `stats` and the admin verbs are
-        // answered on the connection thread (see `crate::server` and
-        // `crate::admin`) — none of them may reach the engine.
+        // Batches are unrolled by the pool; `stats`, `metrics_text`, and
+        // the admin verbs are answered on the connection thread (see
+        // `crate::server` and `crate::admin`) — none of them may reach the
+        // engine.
         Command::Batch { .. }
         | Command::Stats
+        | Command::MetricsText
         | Command::ClearCache
         | Command::CacheLimits { .. }
         | Command::SaveCache { .. }
@@ -343,6 +388,42 @@ mod tests {
             result.get("stats").unwrap().get("path").unwrap().as_str(),
             Some("word")
         );
+    }
+
+    #[test]
+    fn trace_verb_returns_structured_events() {
+        // Force the tree path so the trace has per-pop events; the
+        // counterexample then adds a goal-directed evaluation (iteration
+        // events) plus its `witness_check` verdict.
+        let result = run(&format!(
+            r#"{{"op":"trace","program":"{TC}","goal":"p","query":"q(X, Y) :- e(X, Y).","level":"trace","options":{{"no_cache":true,"no_word_path":true}}}}"#
+        ))
+        .unwrap();
+        assert_eq!(result.get("contained").unwrap().as_bool(), Some(false));
+        assert_eq!(result.get("truncated").unwrap().as_bool(), Some(false));
+        assert_eq!(result.get("dropped").unwrap().as_u64(), Some(0));
+        assert_eq!(result.get("level").unwrap().as_str(), Some("trace"));
+        let events = result.get("events").unwrap().as_arr().unwrap();
+        let kinds: Vec<_> = events
+            .iter()
+            .filter_map(|e| e.get("kind").unwrap().as_str())
+            .collect();
+        for kind in [
+            "pop",
+            "containment",
+            "decision",
+            "strategy",
+            "witness_check",
+        ] {
+            assert!(kinds.contains(&kind), "no `{kind}` event in {kinds:?}");
+        }
+        // The decision span carries the path and the cache verdict.
+        let decision = events
+            .iter()
+            .find(|e| e.get("kind").unwrap().as_str() == Some("decision"))
+            .unwrap();
+        assert_eq!(decision.get("path").unwrap().as_str(), Some("tree"));
+        assert_eq!(decision.get("cache_hit").unwrap().as_bool(), Some(false));
     }
 
     #[test]

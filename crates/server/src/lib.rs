@@ -17,6 +17,9 @@
 //! * [`admin`] — the cache-admin verbs (`clear_cache`, `cache_limits`,
 //!   `save_cache`, `load_cache`), answered off-pool;
 //! * [`stats`] — request counters and per-verb latency histograms;
+//! * [`metrics`] — renders the engine metrics three ways: the `stats`
+//!   verb's `metrics` block, the `metrics_text` Prometheus-style text
+//!   exposition, and the `trace` verb's event objects;
 //! * [`pool`] — bounded worker pool: backpressure (`busy`) and
 //!   per-request deadlines;
 //! * [`server`] — TCP accept loop and stdio loop, pipelined line framing
@@ -28,7 +31,8 @@
 //! * [`client`] — a small synchronous client (round-trip and pipelined)
 //!   for tests and benches.
 //!
-//! The wire protocol is documented verb by verb in the repository README.
+//! The wire protocol is documented verb by verb in
+//! `docs/WIRE_PROTOCOL.md` at the repository root.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -38,6 +42,7 @@ pub mod client;
 pub mod engine;
 pub mod json;
 pub mod memo;
+pub mod metrics;
 pub mod pool;
 pub mod protocol;
 pub mod router;

@@ -59,7 +59,13 @@ pub fn memo_key(command: &Command) -> Option<String> {
         | Command::Equivalence { options, .. }
         | Command::Bounded { options, .. }
         | Command::Optimize { options, .. } => options,
-        Command::Batch { .. }
+        // `trace` is excluded deliberately: its payload is the *events* of
+        // an actual run, and replaying a stored event list would report a
+        // run that never happened (a cached repeat legitimately traces as a
+        // single cache-hit decision span instead).
+        Command::Trace { .. }
+        | Command::MetricsText
+        | Command::Batch { .. }
         | Command::Stats
         | Command::ClearCache
         | Command::CacheLimits { .. }
@@ -294,6 +300,8 @@ mod tests {
             r#"{"op":"stats"}"#,
             r#"{"op":"clear_cache"}"#,
             r#"{"op":"batch","requests":[{"op":"stats"}]}"#,
+            r#"{"op":"trace","program":"p(X) :- e(X, X).","goal":"p","query":"q(X) :- e(X, X)."}"#,
+            r#"{"op":"metrics_text"}"#,
         ] {
             assert_eq!(memo_key(&command_of(text)), None, "{text}");
         }

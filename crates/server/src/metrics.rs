@@ -1,0 +1,375 @@
+//! Rendering of the engine metrics: the `stats` verb's `metrics` block,
+//! the `metrics_text` verb's Prometheus-style text exposition, and the
+//! `trace` verb's event objects.
+//!
+//! All three surfaces read the same sources — the process-wide
+//! [`metrics::global::snapshot`] counters (folded in by the
+//! `Counters`-level [`metrics::GlobalSink`] every decision runs with) and
+//! the per-verb latency histograms of [`ServerStats`] — through the one
+//! renderer each, so a JSON consumer and a scrape pipeline can never see
+//! shapes that drifted apart (the same lesson the `cache_limits` and
+//! `strategy_decisions` shared renderers encode).
+//!
+//! The text exposition follows the Prometheus conventions: every metric
+//! gets `# HELP` and `# TYPE` lines; counters are plain
+//! `name value` samples; the latency histograms render as cumulative
+//! `_bucket{le="..."}` series with `_sum` and `_count`, one labelled
+//! family across all verbs.  Bucket `i` of a [`LatencyHistogram`] counts
+//! latencies in `[2^i, 2^(i+1))` µs, so the `le` upper bound of bucket `i`
+//! is `2^(i+1)`, and the last bucket renders as `+Inf`.
+
+use metrics::{Event, FieldValue, MetricsSnapshot};
+use nonrec_equivalence::cache::DecisionCache;
+
+use crate::json::{obj, Value};
+use crate::stats::{LatencyHistogram, ServerStats};
+
+fn num(n: u64) -> Value {
+    Value::num(n as f64)
+}
+
+/// The JSON rendering of the process-wide metrics counters — the `stats`
+/// verb's `metrics` block.  Grouped by layer: the Datalog fixpoint, the
+/// tree-containment engine, and the decision procedure above both.
+pub fn metrics_json() -> Value {
+    snapshot_json(&metrics::global::snapshot())
+}
+
+fn snapshot_json(snap: &MetricsSnapshot) -> Value {
+    obj(vec![
+        (
+            "eval",
+            obj(vec![
+                ("runs", num(snap.evals)),
+                ("iterations", num(snap.eval_iterations)),
+                ("probes", num(snap.eval_probes)),
+                ("derived_facts", num(snap.eval_facts)),
+            ]),
+        ),
+        (
+            "containment",
+            obj(vec![
+                ("runs", num(snap.containments)),
+                ("pairs", num(snap.containment_pairs)),
+                ("propagate_hits", num(snap.propagate_hits)),
+                ("propagate_misses", num(snap.propagate_misses)),
+                ("pairs_dominated", num(snap.pairs_dominated)),
+                ("pops_skipped_dead", num(snap.pops_skipped_dead)),
+            ]),
+        ),
+        (
+            "decision",
+            obj(vec![
+                ("runs", num(snap.decisions)),
+                ("cache_hits", num(snap.decision_cache_hits)),
+                ("cache_misses", num(snap.decision_cache_misses)),
+                ("word_path", num(snap.decisions_word_path)),
+                ("tree_path", num(snap.decisions_tree_path)),
+            ]),
+        ),
+    ])
+}
+
+/// The JSON rendering of one trace [`Event`]: its kind plus every field,
+/// flattened into one object (the `trace` verb's `events` elements).
+pub fn event_json(event: &Event) -> Value {
+    let mut fields = vec![("kind", Value::str(event.kind))];
+    for (name, value) in &event.fields {
+        fields.push((
+            *name,
+            match value {
+                FieldValue::Num(n) => num(*n),
+                FieldValue::Text(s) => Value::str(s),
+                FieldValue::Flag(b) => Value::Bool(*b),
+            },
+        ));
+    }
+    obj(fields)
+}
+
+fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(help);
+    out.push_str("\n# TYPE ");
+    out.push_str(name);
+    out.push_str(" counter\n");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+fn gauge(out: &mut String, name: &str, help: &str, value: u64) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(help);
+    out.push_str("\n# TYPE ");
+    out.push_str(name);
+    out.push_str(" gauge\n");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+fn histogram_series(out: &mut String, verb: &str, histogram: &LatencyHistogram) {
+    let buckets = histogram.bucket_counts();
+    let mut cumulative = 0u64;
+    for (i, count) in buckets.iter().enumerate() {
+        cumulative += count;
+        let le = if i + 1 == buckets.len() {
+            "+Inf".to_string()
+        } else {
+            (1u128 << (i + 1)).to_string()
+        };
+        out.push_str(&format!(
+            "nonrec_request_duration_micros_bucket{{verb=\"{verb}\",le=\"{le}\"}} {cumulative}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "nonrec_request_duration_micros_sum{{verb=\"{verb}\"}} {}\n",
+        histogram.total_micros()
+    ));
+    out.push_str(&format!(
+        "nonrec_request_duration_micros_count{{verb=\"{verb}\"}} {}\n",
+        histogram.count()
+    ));
+}
+
+/// The Prometheus-style text exposition — the `metrics_text` verb's
+/// payload.  Engine counters, cache occupancy, and the per-verb latency
+/// histograms (verbs that have never completed a request are omitted to
+/// keep the scrape compact; their series would be all zero).
+pub fn metrics_text(stats: &ServerStats, cache: &DecisionCache) -> String {
+    let snap = metrics::global::snapshot();
+    let mut out = String::new();
+    counter(
+        &mut out,
+        "nonrec_eval_runs_total",
+        "Datalog fixpoint evaluations completed.",
+        snap.evals,
+    );
+    counter(
+        &mut out,
+        "nonrec_eval_iterations_total",
+        "Fixpoint iterations summed over all evaluations.",
+        snap.eval_iterations,
+    );
+    counter(
+        &mut out,
+        "nonrec_eval_probes_total",
+        "Join candidate probes summed over all evaluations.",
+        snap.eval_probes,
+    );
+    counter(
+        &mut out,
+        "nonrec_eval_derived_facts_total",
+        "Facts derived, summed over all evaluations.",
+        snap.eval_facts,
+    );
+    counter(
+        &mut out,
+        "nonrec_containment_runs_total",
+        "Tree-automata containment runs completed.",
+        snap.containments,
+    );
+    counter(
+        &mut out,
+        "nonrec_containment_pairs_total",
+        "Product pairs admitted to containment frontiers.",
+        snap.containment_pairs,
+    );
+    counter(
+        &mut out,
+        "nonrec_containment_propagate_hits_total",
+        "Propagate-cache hits in the containment engines.",
+        snap.propagate_hits,
+    );
+    counter(
+        &mut out,
+        "nonrec_containment_propagate_misses_total",
+        "Propagate-cache misses in the containment engines.",
+        snap.propagate_misses,
+    );
+    counter(
+        &mut out,
+        "nonrec_containment_pairs_dominated_total",
+        "Frontier pairs dominated away by the antichain.",
+        snap.pairs_dominated,
+    );
+    counter(
+        &mut out,
+        "nonrec_containment_pops_skipped_dead_total",
+        "Dead frontier pops skipped by the scheduler.",
+        snap.pops_skipped_dead,
+    );
+    counter(
+        &mut out,
+        "nonrec_decision_runs_total",
+        "Containment decisions completed.",
+        snap.decisions,
+    );
+    counter(
+        &mut out,
+        "nonrec_decision_cache_hits_total",
+        "Decisions answered from the shared decision cache.",
+        snap.decision_cache_hits,
+    );
+    counter(
+        &mut out,
+        "nonrec_decision_cache_misses_total",
+        "Decisions computed fresh.",
+        snap.decision_cache_misses,
+    );
+    counter(
+        &mut out,
+        "nonrec_decision_word_path_total",
+        "Decisions routed through the word-automata fast path.",
+        snap.decisions_word_path,
+    );
+    counter(
+        &mut out,
+        "nonrec_decision_tree_path_total",
+        "Decisions routed through the tree-automata path.",
+        snap.decisions_tree_path,
+    );
+    gauge(
+        &mut out,
+        "nonrec_decision_cache_entries",
+        "Entries currently held by the shared decision cache.",
+        cache.sizes().total() as u64,
+    );
+    let histograms: Vec<_> = stats
+        .verb_histograms()
+        .into_iter()
+        .filter(|(_, h)| h.count() > 0)
+        .collect();
+    if !histograms.is_empty() {
+        out.push_str(
+            "# HELP nonrec_request_duration_micros Request service latency by verb, in microseconds.\n\
+             # TYPE nonrec_request_duration_micros histogram\n",
+        );
+        for (verb, histogram) in &histograms {
+            histogram_series(&mut out, verb, histogram);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_json_exposes_every_layer() {
+        let rendered = metrics_json();
+        for (block, keys) in [
+            (
+                "eval",
+                vec!["runs", "iterations", "probes", "derived_facts"],
+            ),
+            (
+                "containment",
+                vec![
+                    "runs",
+                    "pairs",
+                    "propagate_hits",
+                    "propagate_misses",
+                    "pairs_dominated",
+                    "pops_skipped_dead",
+                ],
+            ),
+            (
+                "decision",
+                vec![
+                    "runs",
+                    "cache_hits",
+                    "cache_misses",
+                    "word_path",
+                    "tree_path",
+                ],
+            ),
+        ] {
+            let section = rendered.get(block).unwrap();
+            for key in keys {
+                assert!(
+                    section.get(key).unwrap().as_u64().is_some(),
+                    "{block}.{key} must be a counter"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn event_json_renders_every_field_type() {
+        let event = Event::new(
+            "pop",
+            vec![
+                ("size", FieldValue::Num(3)),
+                ("pred", FieldValue::Text("p".into())),
+                ("admitted", FieldValue::Flag(true)),
+            ],
+        );
+        let rendered = event_json(&event);
+        assert_eq!(rendered.get("kind").unwrap().as_str(), Some("pop"));
+        assert_eq!(rendered.get("size").unwrap().as_u64(), Some(3));
+        assert_eq!(rendered.get("pred").unwrap().as_str(), Some("p"));
+        assert_eq!(rendered.get("admitted").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn text_exposition_is_well_formed() {
+        let stats = ServerStats::new();
+        stats.record_completion("containment", 7, true);
+        stats.record_completion("containment", 4000, true);
+        let cache = DecisionCache::new();
+        let text = metrics_text(&stats, &cache);
+        // Every non-comment sample line is `name{labels} value` or
+        // `name value`, every family has HELP and TYPE, and the histogram
+        // bucket counts are cumulative and end at +Inf == _count.
+        let mut cumulative_ok = true;
+        let mut last = 0u64;
+        let mut inf = None;
+        let mut count = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().unwrap();
+                assert!(
+                    text.contains(&format!("# HELP {name} ")),
+                    "missing HELP for {name}"
+                );
+                assert!(matches!(
+                    parts.next(),
+                    Some("counter" | "gauge" | "histogram")
+                ));
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample lines split on space");
+            assert!(!series.is_empty());
+            let value: u64 = value.parse().expect("sample values are integers");
+            if series.starts_with("nonrec_request_duration_micros_bucket{verb=\"containment\"") {
+                cumulative_ok &= value >= last;
+                last = value;
+                if series.contains("+Inf") {
+                    inf = Some(value);
+                }
+            }
+            if series == "nonrec_request_duration_micros_count{verb=\"containment\"}" {
+                count = Some(value);
+            }
+        }
+        assert!(cumulative_ok, "bucket counts must be cumulative");
+        assert_eq!(inf, Some(2), "+Inf bucket holds every observation");
+        assert_eq!(count, inf, "_count equals the +Inf bucket");
+        assert!(text.contains("nonrec_request_duration_micros_sum{verb=\"containment\"} 4007\n"));
+        // Verbs with no completions are omitted entirely.
+        assert!(!text.contains("verb=\"optimize\""));
+    }
+}

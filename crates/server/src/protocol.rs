@@ -12,18 +12,23 @@
 //! ```
 //!
 //! Verbs: `containment`, `equivalence`, `bounded`, `optimize`, `batch`,
-//! `stats`, plus the admin family `clear_cache`, `cache_limits`,
-//! `save_cache`, `load_cache` (executed off-pool, see [`crate::admin`]).
-//! Error `code`s are stable strings: transport-level (`invalid_json`,
-//! `bad_request`, `busy`, `deadline_exceeded`,
-//! `connection_limit_exceeded`), parse-level (`parse_error`,
-//! `mixed_arity`, `empty_query`), decision-level (the
+//! `stats`, the observability pair `trace` (a containment decision run at
+//! an explicit [`MetricsLevel`], returning its recorded events) and
+//! `metrics_text` (Prometheus-style text exposition), plus the admin
+//! family `clear_cache`, `cache_limits`, `save_cache`, `load_cache`
+//! (executed off-pool, see [`crate::admin`]).  Error `code`s are stable
+//! strings: transport-level (`invalid_json`, `bad_request`, `busy`,
+//! `deadline_exceeded`, `connection_limit_exceeded`), parse-level
+//! (`parse_error`, `mixed_arity`, `empty_query`), decision-level (the
 //! [`nonrec_equivalence`] error codes such as `unknown_goal`,
 //! `recursive_candidate`, `resource_limit`), and admin-level (`io_error`,
-//! `snapshot_error`).  The README documents every field of every verb.
+//! `snapshot_error`).  `docs/WIRE_PROTOCOL.md` documents every field of
+//! every verb, with one request/response example each.
 
 use datalog::eval::Strategy;
+use metrics::MetricsLevel;
 use nonrec_equivalence::cache::CacheLimits;
+use nonrec_equivalence::containment::Schedule;
 
 use crate::json::{obj, Value};
 
@@ -31,6 +36,13 @@ use crate::json::{obj, Value};
 /// slot and one worker, so its size must be bounded for the queue bound to
 /// mean anything.
 pub const MAX_BATCH_REQUESTS: usize = 256;
+
+/// Largest `max_events` a `trace` request may ask for.  Every retained
+/// event becomes JSON in a single response line, so an unbounded budget
+/// would let one request ask the server to render an arbitrarily large
+/// line; past this cap the `truncated`/`dropped` fields tell the client
+/// what the run would have emitted.
+pub const MAX_TRACE_EVENTS: usize = 65_536;
 
 /// A transportable error: a stable machine-readable code plus a
 /// human-readable message.  The protocol layer speaks only these; library
@@ -145,6 +157,34 @@ pub enum Command {
         /// `max_pairs`, see [`crate::engine`]).
         options: RequestOptions,
     },
+    /// Run a containment decision at an explicit metrics level and return
+    /// the structured events it recorded (the observability verb; see
+    /// [`nonrec_equivalence::containment::datalog_contained_in_ucq_traced`]).
+    Trace {
+        /// Datalog program text.
+        program: String,
+        /// Goal predicate name.
+        goal: String,
+        /// UCQ text, one rule per line.
+        query: String,
+        /// How much detail to record (`"off"`, `"counters"`, `"debug"`,
+        /// `"trace"`).
+        level: MetricsLevel,
+        /// Keep at most this many events; the rest are counted in the
+        /// response's `dropped` field and flagged by `truncated`.
+        max_events: usize,
+        /// Worklist schedule for the tree engine (`"min_subset"` or
+        /// `"fifo"`); verdicts are schedule-independent, so this only
+        /// reorders the trace.  `None` keeps the engine default.
+        schedule: Option<Schedule>,
+        /// Decision knobs.
+        options: RequestOptions,
+    },
+    /// Render the process-wide metrics counters and the per-verb latency
+    /// histograms as Prometheus-style text exposition.  Answered on the
+    /// connection thread like `stats` (scrapes must survive a saturated
+    /// pool).
+    MetricsText,
     /// Answer a list of sub-requests in order (one queue slot, one worker).
     Batch {
         /// The sub-requests; at most [`MAX_BATCH_REQUESTS`], nesting
@@ -189,6 +229,8 @@ impl Command {
             Command::Equivalence { .. } => "equivalence",
             Command::Bounded { .. } => "bounded",
             Command::Optimize { .. } => "optimize",
+            Command::Trace { .. } => "trace",
+            Command::MetricsText => "metrics_text",
             Command::Batch { .. } => "batch",
             Command::Stats => "stats",
             Command::ClearCache => "clear_cache",
@@ -204,9 +246,11 @@ impl Command {
             Command::Containment { options, .. }
             | Command::Equivalence { options, .. }
             | Command::Bounded { options, .. }
-            | Command::Optimize { options, .. } => options.timeout_ms,
+            | Command::Optimize { options, .. }
+            | Command::Trace { options, .. } => options.timeout_ms,
             Command::Batch { timeout_ms, .. } => *timeout_ms,
             Command::Stats
+            | Command::MetricsText
             | Command::ClearCache
             | Command::CacheLimits { .. }
             | Command::SaveCache { .. }
@@ -297,6 +341,33 @@ fn parse_cache_limits(value: &Value) -> Result<Option<CacheLimits>, WireError> {
     }))
 }
 
+/// Parse the `level` field of a `trace` request (default: `debug`, the
+/// level at which per-iteration and per-pop detail appears).
+fn parse_level(value: &Value) -> Result<MetricsLevel, WireError> {
+    match optional_str(value, "level")? {
+        None => Ok(MetricsLevel::Debug),
+        Some(name) => MetricsLevel::parse(&name).ok_or_else(|| {
+            WireError::bad_request(format!(
+                "unknown level `{name}` (expected off, counters, debug, or trace)"
+            ))
+        }),
+    }
+}
+
+/// Parse the optional `schedule` field of a `trace` request.
+fn parse_schedule(value: &Value) -> Result<Option<Schedule>, WireError> {
+    match optional_str(value, "schedule")? {
+        None => Ok(None),
+        Some(name) => match name.as_str() {
+            "min_subset" => Ok(Some(Schedule::MinSubset)),
+            "fifo" => Ok(Some(Schedule::Fifo)),
+            _ => Err(WireError::bad_request(format!(
+                "unknown schedule `{name}` (expected min_subset or fifo)"
+            ))),
+        },
+    }
+}
+
 fn parse_options(value: &Value) -> Result<RequestOptions, WireError> {
     let options = match value.get("options") {
         None | Some(Value::Null) => return Ok(RequestOptions::default()),
@@ -355,6 +426,24 @@ pub fn parse_request(value: &Value, allow_batch: bool) -> Result<Request, WireEr
             inline_nonrecursive: optional_bool(value, "inline_nonrecursive")?,
             options: parse_options(value)?,
         },
+        "trace" => {
+            let max_events = optional_u64(value, "max_events")?.unwrap_or(512) as usize;
+            if max_events > MAX_TRACE_EVENTS {
+                return Err(WireError::bad_request(format!(
+                    "max_events {max_events} exceeds the limit of {MAX_TRACE_EVENTS}"
+                )));
+            }
+            Command::Trace {
+                program: required_str(value, "program")?,
+                goal: required_str(value, "goal")?,
+                query: required_str(value, "query")?,
+                level: parse_level(value)?,
+                max_events,
+                schedule: parse_schedule(value)?,
+                options: parse_options(value)?,
+            }
+        }
+        "metrics_text" => Command::MetricsText,
         "batch" => {
             if !allow_batch {
                 return Err(WireError::bad_request("batches cannot be nested"));
@@ -381,6 +470,19 @@ pub fn parse_request(value: &Value, allow_batch: bool) -> Result<Request, WireEr
                 return Err(WireError::bad_request(format!(
                     "admin verb `{}` cannot appear inside a batch",
                     admin.command.verb()
+                )));
+            }
+            if let Some(unbatchable) = requests
+                .iter()
+                .find(|r| matches!(r.command, Command::Trace { .. } | Command::MetricsText))
+            {
+                // `metrics_text` is answered on the connection thread like
+                // the admin verbs; `trace` responses can be enormous, and a
+                // batch's single response line must not smuggle an
+                // unbounded number of them past the per-line budget.
+                return Err(WireError::bad_request(format!(
+                    "verb `{}` cannot appear inside a batch",
+                    unbatchable.command.verb()
                 )));
             }
             Command::Batch {
@@ -474,6 +576,22 @@ pub fn optimize_request(program: &str, goal: &str) -> Value {
         ("program", Value::str(program)),
         ("goal", Value::str(goal)),
     ])
+}
+
+/// Build a `trace` request value at an explicit level.
+pub fn trace_request(program: &str, goal: &str, query: &str, level: &str) -> Value {
+    obj(vec![
+        ("op", Value::str("trace")),
+        ("program", Value::str(program)),
+        ("goal", Value::str(goal)),
+        ("query", Value::str(query)),
+        ("level", Value::str(level)),
+    ])
+}
+
+/// Build a `metrics_text` request value.
+pub fn metrics_text_request() -> Value {
+    obj(vec![("op", Value::str("metrics_text"))])
 }
 
 /// Build a `batch` request value from sub-request values.
@@ -631,6 +749,65 @@ mod tests {
         let err = parse_request(&v, true).unwrap_err();
         assert_eq!(err.code, "bad_request");
         assert!(err.message.contains("voodoo"));
+    }
+
+    #[test]
+    fn trace_parses_levels_and_refuses_batching() {
+        let v = parse(
+            r#"{"op":"trace","program":"p(X) :- e(X, X).","goal":"p","query":"q(X) :- e(X, X).","level":"trace","max_events":9,"schedule":"fifo"}"#,
+        )
+        .unwrap();
+        match parse_request(&v, true).unwrap().command {
+            Command::Trace {
+                level,
+                max_events,
+                schedule,
+                ..
+            } => {
+                assert_eq!(level, MetricsLevel::Trace);
+                assert_eq!(max_events, 9);
+                assert_eq!(schedule, Some(Schedule::Fifo));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Defaults: debug level, 512-event budget, engine-default schedule.
+        let v = parse(r#"{"op":"trace","program":"p.","goal":"p","query":"q."}"#).unwrap();
+        match parse_request(&v, true).unwrap().command {
+            Command::Trace {
+                level,
+                max_events,
+                schedule,
+                ..
+            } => {
+                assert_eq!(level, MetricsLevel::Debug);
+                assert_eq!(max_events, 512);
+                assert_eq!(schedule, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Unknown level / schedule / oversized budget are bad_request.
+        for bad in [
+            r#"{"op":"trace","program":"p.","goal":"p","query":"q.","level":"verbose"}"#,
+            r#"{"op":"trace","program":"p.","goal":"p","query":"q.","schedule":"lifo"}"#,
+        ] {
+            let err = parse_request(&parse(bad).unwrap(), true).unwrap_err();
+            assert_eq!(err.code, "bad_request", "for {bad}");
+        }
+        let oversized = format!(
+            r#"{{"op":"trace","program":"p.","goal":"p","query":"q.","max_events":{}}}"#,
+            MAX_TRACE_EVENTS + 1
+        );
+        let err = parse_request(&parse(&oversized).unwrap(), true).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        // Neither observability verb may hide inside a batch.
+        for sub in [
+            trace_request("p.", "p", "q.", "debug"),
+            metrics_text_request(),
+        ] {
+            let err = parse_request(&batch_request(vec![sub]), true).unwrap_err();
+            assert_eq!(err.code, "bad_request");
+            assert!(err.message.contains("batch"), "{}", err.message);
+        }
     }
 
     #[test]

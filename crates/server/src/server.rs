@@ -502,6 +502,23 @@ fn dispatch_line(
         let _ = reply.send(ok_response(&request.id, "stats", snapshot).render());
         return;
     }
+    // So does `metrics_text`: a scrape must survive a saturated pool too,
+    // and the per-verb histograms it renders live in this server's
+    // `ServerStats`, which the pool's engine cannot reach.
+    if matches!(request.command, Command::MetricsText) {
+        let start = Instant::now();
+        let text = crate::metrics::metrics_text(stats, DecisionCache::global());
+        stats.record_completion("metrics_text", start.elapsed().as_micros(), true);
+        let _ = reply.send(
+            ok_response(
+                &request.id,
+                "metrics_text",
+                json::obj(vec![("text", Value::str(text))]),
+            )
+            .render(),
+        );
+        return;
+    }
     // So do the admin verbs: an operator shrinking or persisting the cache
     // must not queue behind the load they are managing — and running them
     // here is what gives pipelined admin verbs their in-order guarantee.

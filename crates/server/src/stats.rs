@@ -71,6 +71,18 @@ impl LatencyHistogram {
         self.max_micros
     }
 
+    /// The raw bucket counts: bucket `i` counts latencies in
+    /// `[2^i, 2^(i+1))` µs, except the last, which absorbs everything
+    /// above it (so a text exposition renders it as `+Inf`).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Sum of every observed latency, in µs (a Prometheus `_sum`).
+    pub fn total_micros(&self) -> u128 {
+        self.total_micros
+    }
+
     fn to_json(&self) -> Value {
         let mean = if self.count == 0 {
             0
@@ -94,13 +106,15 @@ impl LatencyHistogram {
 }
 
 /// The verbs with their own histogram, in render order.
-pub const VERBS: [&str; 10] = [
+pub const VERBS: [&str; 12] = [
     "containment",
     "equivalence",
     "bounded",
     "optimize",
+    "trace",
     "batch",
     "stats",
+    "metrics_text",
     "clear_cache",
     "cache_limits",
     "save_cache",
@@ -121,7 +135,7 @@ struct Inner {
     memo_hits: u64,
     inflight: u64,
     max_inflight: u64,
-    per_verb: [LatencyHistogram; 10],
+    per_verb: [LatencyHistogram; 12],
 }
 
 /// Shared counters and histograms; one instance per server, updated by the
@@ -247,6 +261,17 @@ impl ServerStats {
         self.lock().busy_rejected
     }
 
+    /// The per-verb latency histograms, cloned, in [`VERBS`] order — the
+    /// text exposition renders them outside the stats lock.
+    pub fn verb_histograms(&self) -> Vec<(&'static str, LatencyHistogram)> {
+        let inner = self.lock();
+        VERBS
+            .iter()
+            .copied()
+            .zip(inner.per_verb.iter().cloned())
+            .collect()
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
         self.inner
             .lock()
@@ -333,6 +358,10 @@ impl ServerStats {
                     ("limits", limits),
                 ]),
             ),
+            // The engine metrics (fixpoint, containment, decision layers)
+            // through the same renderer the text exposition's JSON sibling
+            // uses, so the two surfaces cannot drift.
+            ("metrics", crate::metrics::metrics_json()),
             ("verbs", Value::Obj(verbs)),
             (
                 "strategy_decisions",

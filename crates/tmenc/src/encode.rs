@@ -14,7 +14,8 @@
 //!   rule for universal configurations — lives in [`crate::encode_alt`].
 //! * The interior relation `R_M` and the boundary relations `R^l_M`,
 //!   `R^r_M` (transition constraints at the two tape ends) are all
-//!   generated ([`transition_queries`], [`boundary_queries`]).
+//!   generated (the crate-internal `transition_queries` and
+//!   `boundary_queries` builders).
 //! * Running the generated instances through the full containment decision
 //!   is infeasible by design (they are hardness gadgets); instead
 //!   [`trace_database`] materialises the computation encoding that an

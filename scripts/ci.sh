@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Staged CI pipeline: fmt -> build -> test -> clippy -> examples -> bench-gates.
+# Staged CI pipeline: fmt -> build -> test -> clippy -> doc -> examples -> bench-gates.
 #
 # One stage, one responsibility; per-stage timing; a clean summary at the
 # end; non-zero exit if anything failed.  `scripts/verify.sh` delegates
@@ -18,6 +18,8 @@
 #                  release so it reuses the build stage's artifacts and
 #                  finishes in seconds)
 #     clippy       cargo clippy --all-targets -- -D warnings
+#     doc          RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+#                  (broken intra-doc links and malformed rustdoc fail CI)
 #     examples     run all examples/ binaries (a runtime panic must not ship)
 #     bench-gates  run the gating benches (NONREC_BENCH_FAST=1), write fresh
 #                  snapshots under target/ci/, diff them against the
@@ -31,7 +33,7 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES=(fmt build test soak clippy examples bench-gates)
+ALL_STAGES=(fmt build test soak clippy doc examples bench-gates)
 STAGES=("${@:-${ALL_STAGES[@]}}")
 
 SUMMARY_NAMES=()
@@ -75,6 +77,10 @@ stage_soak() {
 
 stage_clippy() {
     cargo clippy --all-targets -- -D warnings
+}
+
+stage_doc() {
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 }
 
 stage_examples() {
@@ -121,6 +127,7 @@ for stage in "${STAGES[@]}"; do
         test) run_stage test stage_test ;;
         soak) run_stage soak stage_soak ;;
         clippy) run_stage clippy stage_clippy ;;
+        doc) run_stage doc stage_doc ;;
         examples) run_stage examples stage_examples ;;
         bench-gates) run_stage bench-gates stage_bench_gates ;;
         *) echo "ci.sh: unknown stage: $stage (known: ${ALL_STAGES[*]})" >&2; exit 2 ;;

@@ -19,6 +19,9 @@
 //!                       naive | semi_naive | indexed | magic | auto
 //!                       (default: auto — a planner pass picks magic when
 //!                       the adorned goal can prune, indexed otherwise)
+//!     --trace-level <L> re-run the program ⊆ candidate direction with a
+//!                       recording metrics sink and print its events:
+//!                       off | counters | debug | trace (default: off)
 //!
 //! EXIT CODES:
 //!     0  the programs are equivalent
@@ -31,8 +34,11 @@ use std::process::ExitCode;
 use datalog::atom::Pred;
 use datalog::parser::parse_program;
 use datalog::program::Program;
+use metrics::{FieldValue, MetricsLevel};
 use nonrec_equivalence::cache::DecisionCache;
-use nonrec_equivalence::containment::DecisionOptions;
+use nonrec_equivalence::containment::{
+    datalog_contained_in_ucq_traced, DecisionOptions, TraceOptions,
+};
 use nonrec_equivalence::equivalence::{equivalent_to_nonrecursive_with, EquivalenceVerdict};
 
 struct Args {
@@ -40,13 +46,15 @@ struct Args {
     goal: String,
     candidate: String,
     stats: bool,
+    trace_level: MetricsLevel,
     options: DecisionOptions,
 }
 
 fn usage() -> &'static str {
     "usage: nonrec --program <FILE> --goal <PRED> --candidate <FILE> \
      [--stats] [--no-word-path] [--no-cache] [--max-pairs <N>] \
-     [--strategy <naive|semi_naive|indexed|magic|auto>]"
+     [--strategy <naive|semi_naive|indexed|magic|auto>] \
+     [--trace-level <off|counters|debug|trace>]"
 }
 
 /// Why argument parsing stopped without producing an [`Args`].
@@ -68,6 +76,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, ArgsError>
     let mut goal = None;
     let mut candidate = None;
     let mut stats = false;
+    let mut trace_level = MetricsLevel::Off;
     let mut options = DecisionOptions::default();
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -92,6 +101,14 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, ArgsError>
                     ))
                 })?;
             }
+            "--trace-level" => {
+                let name = argv.next().ok_or("--trace-level needs a level")?;
+                trace_level = MetricsLevel::parse(&name).ok_or_else(|| {
+                    ArgsError::Bad(format!(
+                        "invalid --trace-level: {name} (expected off, counters, debug, or trace)"
+                    ))
+                })?;
+            }
             "--help" | "-h" => return Err(ArgsError::Help),
             other => return Err(ArgsError::Bad(format!("unknown argument: {other}"))),
         }
@@ -101,6 +118,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, ArgsError>
         goal: goal.ok_or("missing --goal")?,
         candidate: candidate.ok_or("missing --candidate")?,
         stats,
+        trace_level,
         options,
     })
 }
@@ -108,6 +126,47 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, ArgsError>
 fn load_program(path: &str) -> Result<Program, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse_program(&text).map_err(|e| format!("parse error in {path}: {e}"))
+}
+
+/// Re-runs the program ⊆ candidate direction with a recording sink at the
+/// requested level and prints the events one per line — the CLI face of
+/// the server's `trace` verb.
+fn print_trace(
+    program: &Program,
+    goal: Pred,
+    candidate: &Program,
+    args: &Args,
+) -> Result<(), String> {
+    let ucq = nonrec_equivalence::unfold::unfold_nonrecursive(candidate, goal, usize::MAX)
+        .map_err(|e| format!("unfold failed: {e}"))?;
+    let trace = TraceOptions {
+        level: args.trace_level,
+        ..TraceOptions::default()
+    };
+    let traced = datalog_contained_in_ucq_traced(program, goal, &ucq, args.options, trace)
+        .map_err(|e| format!("trace failed: {e}"))?;
+    println!(
+        "\n[trace] program \u{2286} candidate at level {}: {} events{}",
+        args.trace_level.name(),
+        traced.events.len(),
+        if traced.truncated {
+            format!(" ({} dropped over the budget)", traced.dropped)
+        } else {
+            String::new()
+        }
+    );
+    for event in &traced.events {
+        print!("[trace] {}", event.kind);
+        for (name, value) in &event.fields {
+            match value {
+                FieldValue::Num(n) => print!(" {name}={n}"),
+                FieldValue::Text(s) => print!(" {name}={s}"),
+                FieldValue::Flag(b) => print!(" {name}={b}"),
+            }
+        }
+        println!();
+    }
+    Ok(())
 }
 
 fn run(args: &Args) -> Result<bool, String> {
@@ -163,6 +222,10 @@ fn run(args: &Args) -> Result<bool, String> {
             false
         }
     };
+
+    if args.trace_level > MetricsLevel::Off {
+        print_trace(&program, goal, &candidate, args)?;
+    }
 
     if args.stats {
         if let Some(containment) = &result.containment {

@@ -759,3 +759,438 @@ fn router_shards_requests_and_answers_like_the_oracle() {
         "alpha-equivalent programs must land on one shard; deltas {deltas:?}"
     );
 }
+
+// ---- Observability: the `trace` and `metrics_text` verbs, and the
+// golden shape of `stats`.
+
+/// A chain transitive-closure program: the decision the ISSUE's
+/// observability acceptance criterion traces.
+const CHAIN_TC: &str = "p(X, Y) :- e(X, Y).\np(X, Y) :- e(X, Z), p(Z, Y).";
+
+/// Build a `trace` request over the chain program.  `no_word_path` forces
+/// the tree engine (a chain decision would otherwise take the word path,
+/// whose trace has no pops); `no_cache` keeps repeats on the uncached path
+/// so every run records a full trace.
+fn chain_trace_request(level: &str, max_events: Option<u64>, schedule: Option<&str>) -> Value {
+    let mut fields = vec![
+        ("op", Value::str("trace")),
+        ("program", Value::str(CHAIN_TC)),
+        ("goal", Value::str("p")),
+        ("query", Value::str("q(X, Y) :- e(X, Y).")),
+        ("level", Value::str(level)),
+        (
+            "options",
+            obj(vec![
+                ("no_cache", Value::Bool(true)),
+                ("no_word_path", Value::Bool(true)),
+            ]),
+        ),
+    ];
+    if let Some(n) = max_events {
+        fields.push(("max_events", Value::num(n as f64)));
+    }
+    if let Some(s) = schedule {
+        fields.push(("schedule", Value::str(s)));
+    }
+    obj(fields)
+}
+
+fn event_kinds(result: &Value) -> Vec<String> {
+    result
+        .get("events")
+        .and_then(Value::as_arr)
+        .expect("trace result carries events")
+        .iter()
+        .map(|e| {
+            e.get("kind")
+                .and_then(Value::as_str)
+                .expect("every event has a kind")
+                .to_string()
+        })
+        .collect()
+}
+
+/// The `trace` verb end to end: structured per-pop and per-iteration
+/// events over the wire, the event budget with its explicit `truncated`
+/// flag, level validation, and batch rejection.
+#[test]
+fn trace_verb_streams_events_and_enforces_its_budget() {
+    let server = ServerProc::spawn(&[]);
+    let mut client = server.client();
+
+    // A full-detail trace of a chain containment decision.
+    let response = client
+        .request(&chain_trace_request("trace", None, None))
+        .expect("trace request");
+    assert_eq!(
+        response.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "got {}",
+        response.render()
+    );
+    let result = response.get("result").unwrap();
+    assert_eq!(
+        result.get("contained").and_then(Value::as_bool),
+        Some(false)
+    );
+    assert_eq!(
+        result.get("truncated").and_then(Value::as_bool),
+        Some(false)
+    );
+    assert_eq!(result.get("dropped").and_then(Value::as_u64), Some(0));
+    let kinds = event_kinds(result);
+    // Per-pop events from the tree engine, per-iteration events from the
+    // counterexample's goal-directed verification, the planner's strategy
+    // decision, and the enclosing decision span.
+    for kind in ["pop", "iteration", "strategy", "decision", "witness_check"] {
+        assert!(
+            kinds.iter().any(|k| k == kind),
+            "no `{kind}` event in {kinds:?}"
+        );
+    }
+
+    // The budget truncates and says so.
+    let response = client
+        .request(&chain_trace_request("trace", Some(4), None))
+        .expect("budgeted trace");
+    let result = response.get("result").unwrap();
+    assert_eq!(result.get("truncated").and_then(Value::as_bool), Some(true));
+    assert!(result.get("dropped").and_then(Value::as_u64).unwrap() > 0);
+    assert_eq!(
+        result.get("events").and_then(Value::as_arr).unwrap().len(),
+        4
+    );
+
+    // An unknown level is a bad_request, with the connection surviving.
+    let response = client
+        .request(&chain_trace_request("verbose", None, None))
+        .expect("bad-level trace");
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        response
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Value::as_str),
+        Some("bad_request")
+    );
+
+    // `trace` may not hide inside a batch.
+    let response = client
+        .request(&protocol::batch_request(vec![chain_trace_request(
+            "counters", None, None,
+        )]))
+        .expect("batched trace");
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        response
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Value::as_str),
+        Some("bad_request")
+    );
+}
+
+/// Verdict (and counterexample) identity across the two worklist
+/// schedules: the trace is allowed to reorder, the decision is not.
+#[test]
+fn trace_verdicts_are_schedule_independent() {
+    let server = ServerProc::spawn(&[]);
+    let mut client = server.client();
+    let min_subset = client
+        .request(&chain_trace_request("debug", None, Some("min_subset")))
+        .expect("min_subset trace");
+    let fifo = client
+        .request(&chain_trace_request("debug", None, Some("fifo")))
+        .expect("fifo trace");
+    for response in [&min_subset, &fifo] {
+        assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+    }
+    let verdict = |r: &Value| {
+        (
+            r.get("result")
+                .and_then(|v| v.get("contained"))
+                .and_then(Value::as_bool),
+            r.get("result")
+                .and_then(|v| v.get("counterexample"))
+                .and_then(|c| c.get("expansion"))
+                .and_then(Value::as_str)
+                .map(str::to_string),
+        )
+    };
+    assert_eq!(
+        verdict(&min_subset),
+        verdict(&fifo),
+        "verdicts must not depend on the worklist schedule"
+    );
+}
+
+/// Pipelined traces interleaved with decisions: every response correlates
+/// by id echo, and the trace responses carry their events regardless of
+/// arrival order.
+#[test]
+fn pipelined_trace_responses_correlate_by_id() {
+    let server = ServerProc::spawn(&[]);
+    let mut client = server.client();
+    let mut requests = Vec::new();
+    for id in 0..12u64 {
+        let mut request = if id % 2 == 0 {
+            chain_trace_request("debug", None, None)
+        } else {
+            protocol::containment_request(CHAIN_TC, "p", "q(X, Y) :- e(X, Y).")
+        };
+        if let Value::Obj(fields) = &mut request {
+            fields.push(("id".into(), Value::num(id as f64)));
+        }
+        requests.push(request);
+    }
+    client.send_all(&requests).expect("pipelined write");
+    let mut seen = std::collections::HashMap::new();
+    for _ in 0..requests.len() {
+        let response = client.recv().expect("pipelined read");
+        let id = response
+            .get("id")
+            .and_then(Value::as_u64)
+            .expect("every response echoes its id");
+        assert!(seen.insert(id, response).is_none(), "duplicate id {id}");
+    }
+    for (id, response) in &seen {
+        assert_eq!(
+            response.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "id {id}: {}",
+            response.render()
+        );
+        let result = response.get("result").unwrap();
+        assert_eq!(
+            result.get("contained").and_then(Value::as_bool),
+            Some(false),
+            "id {id}"
+        );
+        if id % 2 == 0 {
+            assert!(
+                !event_kinds(result).is_empty(),
+                "id {id}: trace responses carry events"
+            );
+        } else {
+            assert!(
+                result.get("events").is_none(),
+                "id {id}: containment responses carry no events"
+            );
+        }
+    }
+}
+
+/// The `metrics_text` verb returns parseable Prometheus text exposition:
+/// HELP/TYPE for every family, integer samples, cumulative buckets.
+#[test]
+fn metrics_text_is_valid_prometheus_exposition() {
+    let server = ServerProc::spawn(&[]);
+    let mut client = server.client();
+    // Run one decision so the counters and at least one histogram move.
+    client
+        .request(&protocol::containment_request(
+            CHAIN_TC,
+            "p",
+            "q(X, Y) :- e(X, Y).",
+        ))
+        .expect("warm decision");
+    let response = client
+        .request(&protocol::metrics_text_request())
+        .expect("metrics_text");
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+    let text = response
+        .get("result")
+        .and_then(|r| r.get("text"))
+        .and_then(Value::as_str)
+        .expect("metrics_text returns a text field");
+
+    let mut typed = std::collections::HashMap::new();
+    let mut helped = std::collections::HashSet::new();
+    let mut bucket_last: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    for line in text.lines() {
+        assert!(!line.trim().is_empty(), "no blank lines in the exposition");
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("TYPE names a metric").to_string();
+            let kind = parts.next().expect("TYPE carries a kind").to_string();
+            assert!(
+                matches!(kind.as_str(), "counter" | "gauge" | "histogram"),
+                "unknown TYPE {kind}"
+            );
+            typed.insert(name, kind);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().expect("HELP names a metric");
+            helped.insert(name.to_string());
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unknown comment line {line}");
+        // A sample: `name value` or `name{labels} value`.
+        let (series, value) = line.rsplit_once(' ').expect("samples split on a space");
+        let value: u64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("non-integer sample `{line}`"));
+        let family = series
+            .split('{')
+            .next()
+            .unwrap()
+            .trim_end_matches("_bucket")
+            .trim_end_matches("_sum")
+            .trim_end_matches("_count")
+            .to_string();
+        assert!(
+            typed.contains_key(&family),
+            "sample `{series}` has no TYPE line"
+        );
+        if series.contains("_bucket{") {
+            // Cumulative within one labelled series.
+            let key = series.split("le=").next().unwrap().to_string();
+            let last = bucket_last.entry(key).or_insert(0);
+            assert!(value >= *last, "bucket counts must be cumulative: {line}");
+            *last = value;
+        }
+    }
+    for name in typed.keys() {
+        assert!(helped.contains(name), "metric {name} has TYPE but no HELP");
+    }
+    // The decision above must be visible in the counters and histograms.
+    assert!(typed.contains_key("nonrec_decision_runs_total"));
+    assert_eq!(
+        typed
+            .get("nonrec_request_duration_micros")
+            .map(String::as_str),
+        Some("histogram")
+    );
+    assert!(text.contains("verb=\"containment\""));
+}
+
+/// The golden shape of the `stats` payload: the exact key set of every
+/// block, including the new `metrics` block (the shared-renderer lesson —
+/// a drifted shape fails here, not in a consumer).
+#[test]
+fn stats_payload_has_the_golden_shape() {
+    fn keys(value: &Value) -> Vec<&str> {
+        match value {
+            Value::Obj(fields) => fields.iter().map(|(k, _)| k.as_str()).collect(),
+            other => panic!("expected an object, got {other:?}"),
+        }
+    }
+
+    let server = ServerProc::spawn(&[]);
+    let mut client = server.client();
+    let response = client.request(&protocol::stats_request()).expect("stats");
+    let result = response.get("result").expect("stats result");
+    assert_eq!(
+        keys(result),
+        vec!["server", "cache", "metrics", "verbs", "strategy_decisions"]
+    );
+    assert_eq!(
+        keys(result.get("server").unwrap()),
+        vec![
+            "requests",
+            "responses_ok",
+            "responses_err",
+            "busy_rejected",
+            "deadline_expired",
+            "invalid_json",
+            "line_too_long",
+            "conn_limit_rejected",
+            "conn_limit_reject_write_errors",
+            "memo_hits",
+            "memo_entries",
+            "memo_line_entries",
+            "inflight",
+            "max_inflight",
+        ]
+    );
+    assert_eq!(
+        keys(result.get("cache").unwrap()),
+        vec![
+            "hits",
+            "misses",
+            "pairs_explored",
+            "pairs_saved",
+            "entries",
+            "decision_entries",
+            "cq_pair_entries",
+            "cq_in_program_entries",
+            "evictions",
+            "evicted_decisions",
+            "evicted_cq_pairs",
+            "evicted_cq_in_program",
+            "limits",
+        ]
+    );
+    let metrics = result.get("metrics").unwrap();
+    assert_eq!(keys(metrics), vec!["eval", "containment", "decision"]);
+    assert_eq!(
+        keys(metrics.get("eval").unwrap()),
+        vec!["runs", "iterations", "probes", "derived_facts"]
+    );
+    assert_eq!(
+        keys(metrics.get("containment").unwrap()),
+        vec![
+            "runs",
+            "pairs",
+            "propagate_hits",
+            "propagate_misses",
+            "pairs_dominated",
+            "pops_skipped_dead",
+        ]
+    );
+    assert_eq!(
+        keys(metrics.get("decision").unwrap()),
+        vec![
+            "runs",
+            "cache_hits",
+            "cache_misses",
+            "word_path",
+            "tree_path"
+        ]
+    );
+    let verbs = result.get("verbs").unwrap();
+    assert_eq!(
+        keys(verbs),
+        vec![
+            "containment",
+            "equivalence",
+            "bounded",
+            "optimize",
+            "trace",
+            "batch",
+            "stats",
+            "metrics_text",
+            "clear_cache",
+            "cache_limits",
+            "save_cache",
+            "load_cache",
+        ]
+    );
+    for (_, histogram) in match verbs {
+        Value::Obj(fields) => fields.iter(),
+        _ => unreachable!(),
+    } {
+        assert_eq!(
+            keys(histogram),
+            vec![
+                "count",
+                "mean_micros",
+                "p50_micros",
+                "p99_micros",
+                "max_micros"
+            ]
+        );
+    }
+    assert_eq!(
+        keys(result.get("strategy_decisions").unwrap()),
+        vec![
+            "naive",
+            "semi_naive",
+            "indexed",
+            "magic",
+            "auto_magic",
+            "auto_indexed",
+        ]
+    );
+}

@@ -15,7 +15,11 @@
 //! * **eviction churn** — the cache capped (via the `cache_limits` admin
 //!   verb) far below a hot-plus-cold request stream, measuring the hit
 //!   rate under memory pressure: the hot set must keep hitting while the
-//!   cold stream churns through the cap.
+//!   cold stream churns through the cap;
+//! * **skewed workload** — the `workload` crate's seeded zipfian traffic
+//!   (multi-tenant, mixed verbs) at uniform vs hot-ranked popularity over
+//!   the same catalog, each variant from a cleared cache, plus a pipelined
+//!   burst replay of the skewed stream against the warm server.
 //!
 //! Doubles as the serving regression gate for `scripts/ci.sh`:
 //!
@@ -33,6 +37,12 @@
 //!   through, and requeue nothing (no shard died);
 //! * the churn phase must actually evict, must stay within its cap, and
 //!   must keep the hot set's hit rate up (cost-aware LRU doing its job);
+//! * the skewed workload must be *more* cache-amortisable than the uniform
+//!   one (hot-rank hit rate strictly above the uniform baseline), neither
+//!   variant may shed load (`busy` stays zero under the bursts), and two
+//!   pipelined replays of the skewed stream against the warm server must
+//!   agree byte-for-byte on the response multiset (the bench-level
+//!   statement of the replay-determinism soak);
 //! * when `NONREC_BENCH_JSON` names a file, the per-scenario counters are
 //!   written there (`BENCH_serve.json` in CI).  Wall-clock fields (`rps`)
 //!   are informational; the diff gate ignores them.  The churn workload is
@@ -733,6 +743,215 @@ fn bench_serve(c: &mut Criterion) {
         .render()
     };
 
+    // ---- Skewed workload: the seeded traffic generator, uniform vs hot.
+    //
+    // Two sequential single-client passes over `workload::generate` streams
+    // that differ only in the zipf exponent (0.0 = uniform, 1.2 = hot
+    // ranks), each started from a cache cleared via the admin verb so the
+    // measured hit rate is that variant's own amortisation, not the other
+    // variant's warmup.  Sequential round-trip driving keeps every counter
+    // deterministic and diffable (a pipelined pass would race identical
+    // in-flight decisions and make the hit split timing-dependent).
+    //
+    // A third pass replays the skewed stream pipelined — the burst shape
+    // its pacing models — against the now-warm server, twice: everything
+    // must be absorbed by the memo layers (100 % hit rate, zero `busy`),
+    // and both passes must agree byte-for-byte on the response multiset.
+    const SKEW_REQUESTS: usize = 192;
+    const SKEW_PROGRAMS: usize = 24;
+    const SKEW_SEED: u64 = 42;
+    let skew_spec = |zipf_s: f64| workload::WorkloadSpec {
+        requests: SKEW_REQUESTS,
+        tenants: 3,
+        programs: SKEW_PROGRAMS,
+        zipf_s,
+        ..workload::WorkloadSpec::default()
+    };
+    let skew_rows: Vec<String> = {
+        let mut out = Vec::new();
+        let mut uniform_rate = None;
+        for (phase, zipf_s) in [("uniform", 0.0), ("skewed", 1.2)] {
+            let response = stats_client
+                .request(&protocol::clear_cache_request())
+                .expect("clear_cache between workload variants");
+            assert_eq!(
+                response.get("ok").and_then(Value::as_bool),
+                Some(true),
+                "clear_cache must succeed: {}",
+                response.render()
+            );
+            let requests: Vec<Value> = workload::generate(&skew_spec(zipf_s), SKEW_SEED)
+                .iter()
+                .map(|r| json::parse(&r.line).expect("generated line is valid JSON"))
+                .collect();
+            let (hits_before, misses_before, busy_before) = cache_counters(&mut stats_client);
+            let mut client = Client::connect(addr).expect("connect workload client");
+            let start = Instant::now();
+            let mut ok = 0usize;
+            let mut errors = 0usize;
+            for request in &requests {
+                let response = client.request(request).expect("workload round-trip");
+                if response.get("ok").and_then(Value::as_bool) == Some(true) {
+                    ok += 1;
+                } else {
+                    errors += 1;
+                }
+            }
+            let seconds = start.elapsed().as_secs_f64();
+            let (hits_after, misses_after, busy_after) = cache_counters(&mut stats_client);
+
+            assert_eq!(
+                (ok, errors),
+                (SKEW_REQUESTS, 0),
+                "{phase} workload: {ok} ok / {errors} errors of {SKEW_REQUESTS}"
+            );
+            assert_eq!(
+                busy_after - busy_before,
+                0,
+                "{phase} workload saw busy rejections"
+            );
+            let hits = hits_after - hits_before;
+            let misses = misses_after - misses_before;
+            let rate = 100 * hits / (hits + misses).max(1);
+            match uniform_rate {
+                None => uniform_rate = Some(rate),
+                Some(uniform) => {
+                    // Serving regression gate #4: zipfian popularity must be
+                    // *more* cache-amortisable than uniform popularity over
+                    // the same catalog — the skew the memo layers exist to
+                    // absorb.  Both rates come from the same seed and a
+                    // sequential stream, so the comparison is deterministic.
+                    assert!(
+                        rate > uniform,
+                        "skewed hit rate {rate}% does not beat the uniform \
+                         baseline {uniform}% ({hits} hits / {misses} misses)"
+                    );
+                }
+            }
+            let rps = (SKEW_REQUESTS as f64 / seconds.max(1e-9)) as u64;
+            report_shape(
+                "E14_serve",
+                1,
+                &[
+                    ("kind", "workload".to_string()),
+                    ("phase", phase.to_string()),
+                    ("requests", SKEW_REQUESTS.to_string()),
+                    ("ok", ok.to_string()),
+                    ("hits", hits.to_string()),
+                    ("misses", misses.to_string()),
+                    ("hit_rate_pct", rate.to_string()),
+                    ("rps", rps.to_string()),
+                ],
+            );
+            out.push(
+                server::json::obj(vec![
+                    ("group", Value::str("serve")),
+                    ("kind", Value::str("workload")),
+                    ("clients", Value::num(1.0)),
+                    ("phase", Value::str(phase)),
+                    ("requests", Value::num(SKEW_REQUESTS as f64)),
+                    ("ok", Value::num(ok as f64)),
+                    ("errors", Value::num(errors as f64)),
+                    ("busy", Value::num((busy_after - busy_before) as f64)),
+                    ("hits", Value::num(hits as f64)),
+                    ("misses", Value::num(misses as f64)),
+                    ("hit_rate_pct", Value::num(rate as f64)),
+                    ("rps", Value::num(rps as f64)),
+                ])
+                .render(),
+            );
+        }
+
+        // The burst replay: the identical skewed stream, pipelined, twice.
+        // Every command key is warm from the sequential pass, so both
+        // replays must be answered entirely from the memo layers — which is
+        // also why the counters below stay deterministic even pipelined.
+        let records: Vec<server::replay::CaptureRecord> =
+            workload::generate(&skew_spec(1.2), SKEW_SEED)
+                .into_iter()
+                .map(|r| server::replay::CaptureRecord {
+                    offset_micros: r.offset_micros,
+                    line: r.line,
+                })
+                .collect();
+        let (hits_before, misses_before, busy_before) = cache_counters(&mut stats_client);
+        let start = Instant::now();
+        let first = server::replay::replay(addr, &records, false).expect("first burst replay");
+        let seconds = start.elapsed().as_secs_f64();
+        let second = server::replay::replay(addr, &records, false).expect("second burst replay");
+        let (hits_after, misses_after, busy_after) = cache_counters(&mut stats_client);
+
+        let mut ok = 0usize;
+        let mut errors = 0usize;
+        for line in first.iter().chain(&second) {
+            let response = json::parse(line).expect("well-formed replay response");
+            if response.get("ok").and_then(Value::as_bool) == Some(true) {
+                ok += 1;
+            } else {
+                errors += 1;
+            }
+        }
+        let total = 2 * SKEW_REQUESTS;
+        assert_eq!(
+            (ok, errors),
+            (total, 0),
+            "burst replay: {ok} ok / {errors} errors of {total}"
+        );
+        assert_eq!(
+            busy_after - busy_before,
+            0,
+            "burst replay saw busy rejections"
+        );
+        // Serving regression gate #5: replaying a capture of decision verbs
+        // against a warm server is byte-deterministic (the soak pins this
+        // end-to-end through a real capture file; this pins it in-process).
+        assert_eq!(
+            server::replay::response_digest(&first),
+            server::replay::response_digest(&second),
+            "two pipelined replays of the warm skewed stream disagree"
+        );
+        let hits = hits_after - hits_before;
+        let misses = misses_after - misses_before;
+        let rate = 100 * hits / (hits + misses).max(1);
+        assert_eq!(
+            (hits, misses),
+            (total as u64, 0),
+            "the warm burst must be answered entirely from the memo layers"
+        );
+        let rps = (SKEW_REQUESTS as f64 / seconds.max(1e-9)) as u64;
+        report_shape(
+            "E14_serve",
+            1,
+            &[
+                ("kind", "workload".to_string()),
+                ("phase", "skewed_burst".to_string()),
+                ("requests", total.to_string()),
+                ("ok", ok.to_string()),
+                ("hits", hits.to_string()),
+                ("misses", misses.to_string()),
+                ("rps", rps.to_string()),
+            ],
+        );
+        out.push(
+            server::json::obj(vec![
+                ("group", Value::str("serve")),
+                ("kind", Value::str("workload")),
+                ("clients", Value::num(1.0)),
+                ("phase", Value::str("skewed_burst")),
+                ("requests", Value::num(total as f64)),
+                ("ok", Value::num(ok as f64)),
+                ("errors", Value::num(errors as f64)),
+                ("busy", Value::num((busy_after - busy_before) as f64)),
+                ("hits", Value::num(hits as f64)),
+                ("misses", Value::num(misses as f64)),
+                ("hit_rate_pct", Value::num(rate as f64)),
+                ("rps", Value::num(rps as f64)),
+            ])
+            .render(),
+        );
+        out
+    };
+
     // Wall-clock rows via the harness: one warm round-trip, and one warm
     // 8-request batch (amortising the framing).
     let mut group = c.benchmark_group("serve");
@@ -781,6 +1000,7 @@ fn bench_serve(c: &mut Criterion) {
             .collect();
         json_rows.extend(routed_rows);
         json_rows.push(churn_row);
+        json_rows.extend(skew_rows);
         bench::write_json_rows(&path, &json_rows).expect("writing serve snapshot");
         println!("[snapshot] wrote {}", path.to_string_lossy());
     }

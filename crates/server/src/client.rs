@@ -119,6 +119,13 @@ impl Client {
         Ok(())
     }
 
+    /// A second handle to the write half of the connection, so a replay
+    /// harness can stream requests from one thread while this client's
+    /// reader drains responses on another.
+    pub fn writer_clone(&self) -> std::io::Result<TcpStream> {
+        self.writer.try_clone()
+    }
+
     fn send_line(&mut self, line: &str) -> std::io::Result<()> {
         // One write per request: a separate newline write would emit its
         // own TCP segment under TCP_NODELAY.

@@ -9,18 +9,20 @@
 //! Datalog parsing happens here (on a worker thread), not on the
 //! connection threads, so a slow parse cannot stall the read loop.
 
-use cq::Ucq;
+use cq::minimize::minimize_cq_with;
+use cq::{ConjunctiveQuery, CqKey, Ucq};
 use datalog::atom::Pred;
 use datalog::parser::parse_program;
 use datalog::program::Program;
 use nonrec_equivalence::bounded::find_bound_with;
+use nonrec_equivalence::cache::DecisionCache;
 use nonrec_equivalence::containment::{
     datalog_contained_in_ucq_traced, datalog_contained_in_ucq_with, ContainmentStats,
     Counterexample, DecisionOptions, DecisionPath, TraceOptions,
 };
 use nonrec_equivalence::equivalence::{equivalent_to_nonrecursive_with, EquivalenceVerdict};
-use nonrec_equivalence::optimize::{optimize, OptimizeOptions};
-use nonrec_equivalence::proof_tree::render_proof_tree;
+use nonrec_equivalence::optimize::{eliminate_recursion_with, optimize, OptimizeOptions};
+use nonrec_equivalence::proof_tree::{render_proof_tree, ProofTree};
 
 use crate::json::{obj, Value};
 use crate::protocol::{Command, RequestOptions, WireError};
@@ -106,7 +108,24 @@ fn stats_json(stats: &ContainmentStats) -> Value {
     ])
 }
 
-fn counterexample_json(cex: &Counterexample) -> Value {
+/// One proof-tree node as structured JSON: the goal atom it derives, the
+/// originating rule index, the full rule instance, and the child subtrees
+/// (one per IDB body atom, in order).  This is the `options.provenance`
+/// payload — machine-readable where the flat `proof_tree` rendering is for
+/// humans.
+fn proof_tree_json(tree: &ProofTree) -> Value {
+    obj(vec![
+        ("atom", Value::str(tree.label.atom().to_string())),
+        ("rule_index", Value::num(tree.label.rule_index as f64)),
+        ("rule", Value::str(tree.label.instance.to_string())),
+        (
+            "children",
+            Value::Arr(tree.children.iter().map(proof_tree_json).collect()),
+        ),
+    ])
+}
+
+fn counterexample_json(cex: &Counterexample, provenance: bool) -> Value {
     let facts: Vec<Value> = cex
         .database
         .facts()
@@ -117,12 +136,56 @@ fn counterexample_json(cex: &Counterexample) -> Value {
         .iter()
         .map(|c| Value::str(c.name()))
         .collect();
-    obj(vec![
+    let mut fields = vec![
         ("expansion", Value::str(cex.expansion.to_string())),
         ("database", Value::Arr(facts)),
         ("goal_tuple", Value::Arr(tuple)),
         ("proof_tree", Value::str(render_proof_tree(&cex.proof_tree))),
-    ])
+    ];
+    if provenance {
+        fields.push(("provenance", proof_tree_json(&cex.proof_tree)));
+    }
+    obj(fields)
+}
+
+/// The CQ-containment oracle behind the `minimize` verb: every call counts,
+/// and with `use_cache` the verdict goes through the shared
+/// [`DecisionCache`] (recording hits), mirroring the optimisation passes'
+/// memoising oracle.  Without it, the classical containment test runs
+/// directly — the uncached reference path the differential suites compare
+/// against.
+struct MinimizeOracle {
+    use_cache: bool,
+    calls: u64,
+    hits: u64,
+}
+
+impl MinimizeOracle {
+    fn new(use_cache: bool) -> MinimizeOracle {
+        MinimizeOracle {
+            use_cache,
+            calls: 0,
+            hits: 0,
+        }
+    }
+
+    fn contained(&mut self, theta: &ConjunctiveQuery, psi: &ConjunctiveQuery) -> bool {
+        self.calls += 1;
+        if self.use_cache {
+            let (verdict, hit) =
+                DecisionCache::global().cq_contained_keyed(&CqKey::of(theta), &CqKey::of(psi));
+            if hit {
+                self.hits += 1;
+            }
+            verdict
+        } else {
+            cq::containment::cq_contained_in(theta, psi)
+        }
+    }
+
+    fn equivalent(&mut self, a: &ConjunctiveQuery, b: &ConjunctiveQuery) -> bool {
+        self.contained(a, b) && self.contained(b, a)
+    }
 }
 
 /// Execute one non-batch, non-stats command, producing the `result` payload
@@ -149,7 +212,10 @@ pub fn execute(command: &Command) -> Result<Value, WireError> {
                 ("stats", stats_json(&result.stats)),
             ];
             if let Some(cex) = &result.counterexample {
-                fields.push(("counterexample", counterexample_json(cex)));
+                fields.push((
+                    "counterexample",
+                    counterexample_json(cex, options.provenance),
+                ));
             }
             Ok(obj(fields))
         }
@@ -191,7 +257,10 @@ pub fn execute(command: &Command) -> Result<Value, WireError> {
                 ("dropped", Value::num(traced.dropped as f64)),
             ];
             if let Some(cex) = &traced.result.counterexample {
-                fields.push(("counterexample", counterexample_json(cex)));
+                fields.push((
+                    "counterexample",
+                    counterexample_json(cex, options.provenance),
+                ));
             }
             Ok(obj(fields))
         }
@@ -221,7 +290,10 @@ pub fn execute(command: &Command) -> Result<Value, WireError> {
             ];
             match &result.verdict {
                 EquivalenceVerdict::RecursiveExceeds(cex) => {
-                    fields.push(("counterexample", counterexample_json(cex)));
+                    fields.push((
+                        "counterexample",
+                        counterexample_json(cex, options.provenance),
+                    ));
                 }
                 EquivalenceVerdict::NonrecursiveExceeds(index) => {
                     fields.push(("violating_disjunct", Value::num(*index as f64)));
@@ -344,6 +416,146 @@ pub fn execute(command: &Command) -> Result<Value, WireError> {
                     strategy_counts_json(&report.strategy_decisions),
                 ),
             ]))
+        }
+        Command::Minimize { query, options } => {
+            let ucq = parse_query_field("query", query)?;
+            // Like `optimize`, the containment oracle is a homomorphism
+            // search bounded by input-size caps, not `max_pairs` — reuse
+            // the optimize caps so one request cannot pin a worker.
+            let atoms: usize = ucq.disjuncts.iter().map(|d| d.body.len()).sum();
+            if atoms > MAX_OPTIMIZE_ATOMS {
+                return Err(WireError::new(
+                    "resource_limit",
+                    format!(
+                        "minimize input has {atoms} atoms; at most {MAX_OPTIMIZE_ATOMS} \
+                         are allowed"
+                    ),
+                ));
+            }
+            if let Some(oversized) = ucq
+                .disjuncts
+                .iter()
+                .find(|d| d.body.len() > MAX_OPTIMIZE_BODY_ATOMS)
+            {
+                return Err(WireError::new(
+                    "resource_limit",
+                    format!(
+                        "minimize input disjunct `{oversized}` has {} body atoms; \
+                         at most {MAX_OPTIMIZE_BODY_ATOMS} are allowed",
+                        oversized.body.len()
+                    ),
+                ));
+            }
+            let mut oracle = MinimizeOracle::new(options.use_cache);
+            // Mirror `cq::minimize::minimize_ucq` exactly (the differential
+            // oracle), but decide containment through `oracle`: minimise
+            // every disjunct to its core, then drop a disjunct contained in
+            // another kept disjunct, breaking equivalence ties by index.
+            let minimized: Vec<ConjunctiveQuery> = ucq
+                .disjuncts
+                .iter()
+                .map(|d| minimize_cq_with(d, &mut |a, b| oracle.equivalent(a, b)))
+                .collect();
+            let mut keep = vec![true; minimized.len()];
+            for i in 0..minimized.len() {
+                if !keep[i] {
+                    continue;
+                }
+                for j in 0..minimized.len() {
+                    if i == j || !keep[j] {
+                        continue;
+                    }
+                    if oracle.contained(&minimized[i], &minimized[j]) {
+                        let equivalent = oracle.contained(&minimized[j], &minimized[i]);
+                        if !equivalent || j < i {
+                            keep[i] = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            let kept: Vec<String> = minimized
+                .iter()
+                .zip(&keep)
+                .filter(|(_, k)| **k)
+                .map(|(q, _)| q.to_string())
+                .collect();
+            let atoms_after: usize = minimized
+                .iter()
+                .zip(&keep)
+                .filter(|(_, k)| **k)
+                .map(|(q, _)| q.body.len())
+                .sum();
+            Ok(obj(vec![
+                ("query", Value::str(kept.join("\n"))),
+                ("disjuncts_before", Value::num(ucq.len() as f64)),
+                (
+                    "disjuncts_after",
+                    Value::num(keep.iter().filter(|k| **k).count() as f64),
+                ),
+                ("atoms_before", Value::num(atoms as f64)),
+                ("atoms_after", Value::num(atoms_after as f64)),
+                ("containment_calls", Value::num(oracle.calls as f64)),
+                ("containment_cache_hits", Value::num(oracle.hits as f64)),
+            ]))
+        }
+        Command::Rewrite {
+            program,
+            goal,
+            max_depth,
+            options,
+        } => {
+            // The rewrite is a boundedness probe plus an unfolding dump, so
+            // it shares the `bounded` verb's depth cap.
+            if *max_depth > MAX_BOUNDED_DEPTH {
+                return Err(WireError::bad_request(format!(
+                    "max_depth {max_depth} exceeds the limit of {MAX_BOUNDED_DEPTH}"
+                )));
+            }
+            let program = parse_program_field("program", program)?;
+            let rules_before = program.len();
+            let rewritten = eliminate_recursion_with(
+                &program,
+                Pred::new(goal),
+                *max_depth,
+                decision_options(*options),
+            )
+            .map_err(|e| WireError::new(e.code(), e.to_string()))?;
+            let mut fields = vec![
+                ("nonrecursive", Value::Bool(rewritten.is_some())),
+                ("max_depth", Value::num(*max_depth as f64)),
+                ("rules_before", Value::num(rules_before as f64)),
+            ];
+            match rewritten {
+                Some(nonrecursive) => {
+                    // The unfolding introduces fresh internal variables whose
+                    // names (`u#12`) the wire parser rejects; rename each
+                    // rule's variables to `V1, V2, …` in first-occurrence
+                    // order so the returned text round-trips through `parse`.
+                    let rules = nonrecursive
+                        .rules()
+                        .iter()
+                        .map(|rule| {
+                            let mut subst = datalog::Substitution::new();
+                            for (i, v) in rule.variables().into_iter().enumerate() {
+                                subst.bind_var(
+                                    v,
+                                    datalog::Term::Var(datalog::Var::new(&format!("V{}", i + 1))),
+                                );
+                            }
+                            rule.apply(&subst)
+                        })
+                        .collect();
+                    let renamed = datalog::Program::new(rules);
+                    fields.push(("rules_after", Value::num(renamed.len() as f64)));
+                    fields.push(("program", Value::str(renamed.to_string())));
+                }
+                None => {
+                    fields.push(("rules_after", Value::Null));
+                    fields.push(("program", Value::Null));
+                }
+            }
+            Ok(obj(fields))
         }
         // Batches are unrolled by the pool; `stats`, `metrics_text`, and
         // the admin verbs are answered on the connection thread (see
@@ -496,6 +708,130 @@ mod tests {
             result.get("rules_after").unwrap().as_u64()
                 <= result.get("rules_before").unwrap().as_u64()
         );
+    }
+
+    #[test]
+    fn minimize_verb_agrees_with_the_library() {
+        let result =
+            run(r#"{"op":"minimize","query":"q(X, Y) :- e(X, Y), e(X, Z).\nq(A, B) :- e(A, B)."}"#)
+                .unwrap();
+        let text = result.get("query").unwrap().as_str().unwrap();
+        let served = Ucq::parse_checked(text).unwrap();
+        let expected = cq::minimize::minimize_ucq(
+            &Ucq::parse_checked("q(X, Y) :- e(X, Y), e(X, Z).\nq(A, B) :- e(A, B).").unwrap(),
+        );
+        assert_eq!(served.len(), expected.len());
+        assert!(cq::containment::ucq_equivalent(&served, &expected));
+        assert_eq!(result.get("disjuncts_before").unwrap().as_u64(), Some(2));
+        assert_eq!(result.get("disjuncts_after").unwrap().as_u64(), Some(1));
+        assert_eq!(result.get("atoms_before").unwrap().as_u64(), Some(3));
+        assert_eq!(result.get("atoms_after").unwrap().as_u64(), Some(1));
+        assert!(result.get("containment_calls").unwrap().as_u64().unwrap() > 0);
+
+        // The uncached path answers identically with zero reported hits.
+        let uncached = run(
+            r#"{"op":"minimize","query":"q(X, Y) :- e(X, Y), e(X, Z).\nq(A, B) :- e(A, B).","options":{"no_cache":true}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            uncached.get("query").unwrap().as_str(),
+            result.get("query").unwrap().as_str()
+        );
+        assert_eq!(
+            uncached.get("containment_cache_hits").unwrap().as_u64(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn minimize_rejects_oversized_inputs() {
+        let body = (0..=MAX_OPTIMIZE_BODY_ATOMS)
+            .map(|i| format!("e(X{i}, X{})", i + 1))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let err = run(&format!(
+            r#"{{"op":"minimize","query":"q(X0) :- {body}."}}"#
+        ))
+        .unwrap_err();
+        assert_eq!(err.code, "resource_limit");
+        assert!(err.message.contains("body atoms"));
+    }
+
+    #[test]
+    fn rewrite_verb_eliminates_recursion_when_bounded() {
+        // Example 1.1: the trendy-buys program is bounded, so the rewrite
+        // returns a nonrecursive program equivalent to it.
+        let result = run(
+            r#"{"op":"rewrite","program":"buys(X, Y) :- likes(X, Y).\nbuys(X, Y) :- trendy(X), buys(Z, Y).","goal":"buys","max_depth":4}"#,
+        )
+        .unwrap();
+        assert_eq!(result.get("nonrecursive").unwrap().as_bool(), Some(true));
+        let text = result.get("program").unwrap().as_str().unwrap();
+        let rewritten = datalog::parser::parse_program(text).unwrap();
+        assert!(rewritten.is_nonrecursive());
+        assert_eq!(
+            rewritten.len() as u64,
+            result.get("rules_after").unwrap().as_u64().unwrap()
+        );
+
+        // Transitive closure is unbounded: no rewrite exists at any depth.
+        let none = run(&format!(
+            r#"{{"op":"rewrite","program":"{TC}","goal":"p","max_depth":3}}"#
+        ))
+        .unwrap();
+        assert_eq!(none.get("nonrecursive").unwrap().as_bool(), Some(false));
+        assert_eq!(none.get("program"), Some(&Value::Null));
+        assert_eq!(none.get("rules_after"), Some(&Value::Null));
+
+        // The depth cap matches the `bounded` verb's.
+        let err = run(&format!(
+            r#"{{"op":"rewrite","program":"p(X) :- e(X, X).","goal":"p","max_depth":{}}}"#,
+            MAX_BOUNDED_DEPTH + 1
+        ))
+        .unwrap_err();
+        assert_eq!(err.code, "bad_request");
+    }
+
+    #[test]
+    fn provenance_flag_attaches_a_structured_proof_tree() {
+        let with = run(&format!(
+            r#"{{"op":"containment","program":"{TC}","goal":"p","query":"q(X, Y) :- e(X, Y).","options":{{"provenance":true,"no_cache":true}}}}"#
+        ))
+        .unwrap();
+        let cex = with.get("counterexample").unwrap();
+        let tree = cex.get("provenance").unwrap();
+        // The structured tree mirrors the flat rendering: same node count,
+        // every node naming its goal atom and an in-range rule index.
+        let rendered_nodes = cex
+            .get("proof_tree")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .lines()
+            .count();
+        fn walk(node: &Value, count: &mut usize) {
+            *count += 1;
+            assert!(node.get("atom").unwrap().as_str().unwrap().contains('('));
+            assert!(node.get("rule_index").unwrap().as_u64().unwrap() < 2);
+            assert!(node.get("rule").unwrap().as_str().unwrap().contains(":-"));
+            for child in node.get("children").unwrap().as_arr().unwrap() {
+                walk(child, count);
+            }
+        }
+        let mut nodes = 0;
+        walk(tree, &mut nodes);
+        assert_eq!(nodes, rendered_nodes);
+
+        // Without the flag the counterexample carries no provenance field.
+        let without = run(&format!(
+            r#"{{"op":"containment","program":"{TC}","goal":"p","query":"q(X, Y) :- e(X, Y).","options":{{"no_cache":true}}}}"#
+        ))
+        .unwrap();
+        assert!(without
+            .get("counterexample")
+            .unwrap()
+            .get("provenance")
+            .is_none());
     }
 
     #[test]

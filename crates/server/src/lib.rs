@@ -26,6 +26,9 @@
 //!   (reader drains every complete line per wakeup; a writer thread
 //!   answers out of order by id echo, coalescing completed responses into
 //!   one write);
+//! * [`replay`] — wire-traffic record/replay: the versioned capture-file
+//!   format, the live [`replay::Recorder`] hook, and the deterministic
+//!   replay harness behind the `nonrec-replay` bin;
 //! * [`router`] — the `nonrec-route` front end: shards requests across N
 //!   `nonrec-serve` backends by `ProgramKey` hash, with requeue-on-death;
 //! * [`client`] — a small synchronous client (round-trip and pipelined)
@@ -45,6 +48,7 @@ pub mod memo;
 pub mod metrics;
 pub mod pool;
 pub mod protocol;
+pub mod replay;
 pub mod router;
 pub mod server;
 pub mod stats;

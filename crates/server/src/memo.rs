@@ -20,8 +20,9 @@
 //! Soundness boundaries, enforced by [`memo_key`]:
 //!
 //! * only the pure decision verbs (`containment`, `equivalence`, `bounded`,
-//!   `optimize`) are memoised — never `stats`, the admin verbs, or batches
-//!   (batch items re-enter the pool individually and carry their own ids);
+//!   `optimize`, `minimize`, `rewrite`) are memoised — never `trace`,
+//!   `stats`, `metrics_text`, the admin verbs, or batches (batch items
+//!   re-enter the pool individually and carry their own ids);
 //! * a request with `"no_cache": true` never touches the memo, matching
 //!   the decision layer's own contract for that flag;
 //! * the key is the complete debug rendering of the parsed command —
@@ -58,7 +59,9 @@ pub fn memo_key(command: &Command) -> Option<String> {
         Command::Containment { options, .. }
         | Command::Equivalence { options, .. }
         | Command::Bounded { options, .. }
-        | Command::Optimize { options, .. } => options,
+        | Command::Optimize { options, .. }
+        | Command::Minimize { options, .. }
+        | Command::Rewrite { options, .. } => options,
         // `trace` is excluded deliberately: its payload is the *events* of
         // an actual run, and replaying a stored event list would report a
         // run that never happened (a cached repeat legitimately traces as a
@@ -296,9 +299,22 @@ mod tests {
             r#"{"op":"containment","program":"p(X) :- e(X, X).","goal":"p","query":"q(X) :- e(X, X)."}"#,
         );
         assert!(memo_key(&containment).is_some());
+        // The new decision verbs are memoisable like the original four.
+        for text in [
+            r#"{"op":"minimize","query":"q(X) :- e(X, X)."}"#,
+            r#"{"op":"rewrite","program":"p(X) :- e(X, X).","goal":"p"}"#,
+        ] {
+            assert!(memo_key(&command_of(text)).is_some(), "{text}");
+        }
+        // The observability and admin surfaces must never be: a memoised
+        // `trace` would report a run that never happened, and a memoised
+        // `stats`/`metrics_text`/admin response would freeze a live gauge.
         for text in [
             r#"{"op":"stats"}"#,
             r#"{"op":"clear_cache"}"#,
+            r#"{"op":"cache_limits"}"#,
+            r#"{"op":"save_cache","path":"x.nrdc"}"#,
+            r#"{"op":"load_cache"}"#,
             r#"{"op":"batch","requests":[{"op":"stats"}]}"#,
             r#"{"op":"trace","program":"p(X) :- e(X, X).","goal":"p","query":"q(X) :- e(X, X)."}"#,
             r#"{"op":"metrics_text"}"#,

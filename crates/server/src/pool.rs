@@ -394,6 +394,60 @@ mod tests {
         }
     }
 
+    /// The between-item re-check takes the *tightest* of the batch deadline
+    /// and the item's own `options.timeout_ms`, in both directions: a loose
+    /// item timeout cannot revive an expired batch, and a tight item
+    /// timeout expires its item even under a generous batch budget.
+    #[test]
+    fn batch_item_deadlines_take_the_tightest_of_batch_and_item() {
+        let stats = ServerStats::new();
+        let parse = |line: &str| {
+            crate::protocol::parse_request(&crate::json::parse(line).unwrap(), true).unwrap()
+        };
+        // Direction 1: the batch deadline is already expired; an item
+        // declaring a one-hour `timeout_ms` must NOT win it a slot.
+        let request = parse(
+            r#"{"op":"batch","requests":[{"op":"containment","program":"p(X) :- e(X, X).","goal":"p","query":"q(X) :- e(X, X).","options":{"timeout_ms":3600000}}]}"#,
+        );
+        let expired = Some(Instant::now() - Duration::from_millis(5));
+        let response = respond(&request, &stats, expired);
+        let results = response.get("result").unwrap().as_arr().unwrap();
+        assert_eq!(
+            results[0]
+                .get("error")
+                .unwrap()
+                .get("code")
+                .unwrap()
+                .as_str(),
+            Some("deadline_exceeded"),
+            "a loose item timeout must not override the expired batch deadline"
+        );
+        // Direction 2: a generous batch deadline; an item with
+        // `timeout_ms: 0` expires on its own, while its untimed sibling
+        // still answers normally.
+        let request = parse(
+            r#"{"op":"batch","requests":[{"op":"containment","program":"p(X) :- e(X, X).","goal":"p","query":"q(X) :- e(X, X).","options":{"timeout_ms":0}},{"op":"containment","program":"p(X) :- e(X, X).","goal":"p","query":"q(X) :- e(X, X)."}]}"#,
+        );
+        let generous = Some(Instant::now() + Duration::from_secs(3600));
+        let response = respond(&request, &stats, generous);
+        let results = response.get("result").unwrap().as_arr().unwrap();
+        assert_eq!(
+            results[0]
+                .get("error")
+                .unwrap()
+                .get("code")
+                .unwrap()
+                .as_str(),
+            Some("deadline_exceeded"),
+            "the item's own tighter timeout must win under a loose batch budget"
+        );
+        assert_eq!(
+            results[1].get("ok").unwrap().as_bool(),
+            Some(true),
+            "the untimed sibling still answers under the batch deadline"
+        );
+    }
+
     #[test]
     fn expired_deadlines_answer_without_computing() {
         let stats = Arc::new(ServerStats::new());

@@ -11,12 +11,17 @@
 //! {"id":1,"ok":false,"error":{"code":"parse_error","message":"..."}}
 //! ```
 //!
-//! Verbs: `containment`, `equivalence`, `bounded`, `optimize`, `batch`,
-//! `stats`, the observability pair `trace` (a containment decision run at
-//! an explicit [`MetricsLevel`], returning its recorded events) and
-//! `metrics_text` (Prometheus-style text exposition), plus the admin
-//! family `clear_cache`, `cache_limits`, `save_cache`, `load_cache`
-//! (executed off-pool, see [`crate::admin`]).  Error `code`s are stable
+//! Verbs: `containment`, `equivalence`, `bounded`, `optimize`, `minimize`
+//! (CQ/UCQ minimisation through the shared decision cache), `rewrite`
+//! (recursion elimination, returning the equivalent nonrecursive program
+//! when one exists within the probed depth), `batch`, `stats`, the
+//! observability pair `trace` (a containment decision run at an explicit
+//! [`MetricsLevel`], returning its recorded events) and `metrics_text`
+//! (Prometheus-style text exposition), plus the admin family
+//! `clear_cache`, `cache_limits`, `save_cache`, `load_cache` (executed
+//! off-pool, see [`crate::admin`]).  The `containment`, `trace`, and
+//! `equivalence` verbs accept `options.provenance`, which attaches the
+//! witness proof tree as structured JSON to any counterexample.  Error `code`s are stable
 //! strings: transport-level (`invalid_json`, `bad_request`, `busy`,
 //! `deadline_exceeded`, `connection_limit_exceeded`), parse-level
 //! (`parse_error`, `mixed_arity`, `empty_query`), decision-level (the
@@ -88,6 +93,11 @@ pub struct RequestOptions {
     /// Verdicts are strategy-independent, so this never changes an answer —
     /// the strategy is the latency knob.
     pub strategy: Option<Strategy>,
+    /// Attach the witness proof tree as structured JSON to any
+    /// counterexample (`"provenance": true`).  Only the `containment`,
+    /// `trace`, and `equivalence` verbs produce counterexamples; elsewhere
+    /// the flag is accepted and ignored.
+    pub provenance: bool,
 }
 
 impl Default for RequestOptions {
@@ -98,6 +108,7 @@ impl Default for RequestOptions {
             max_pairs: None,
             timeout_ms: None,
             strategy: None,
+            provenance: false,
         }
     }
 }
@@ -155,6 +166,28 @@ pub enum Command {
         /// Decision knobs (only `timeout_ms` applies to this verb; the
         /// optimisation passes are bounded by input-size caps instead of
         /// `max_pairs`, see [`crate::engine`]).
+        options: RequestOptions,
+    },
+    /// Minimise a UCQ: compute the core of every disjunct and drop
+    /// subsumed disjuncts, deciding CQ containment through the shared
+    /// decision cache.
+    Minimize {
+        /// UCQ text, one rule per line.
+        query: String,
+        /// Decision knobs (only `timeout_ms` applies; the containment
+        /// oracle is bounded by input-size caps, see [`crate::engine`]).
+        options: RequestOptions,
+    },
+    /// Eliminate recursion: find the least depth at which the program is
+    /// bounded and return the equivalent nonrecursive program, if any.
+    Rewrite {
+        /// Datalog program text.
+        program: String,
+        /// Goal predicate name.
+        goal: String,
+        /// Largest unfolding depth to probe.
+        max_depth: usize,
+        /// Decision knobs.
         options: RequestOptions,
     },
     /// Run a containment decision at an explicit metrics level and return
@@ -229,6 +262,8 @@ impl Command {
             Command::Equivalence { .. } => "equivalence",
             Command::Bounded { .. } => "bounded",
             Command::Optimize { .. } => "optimize",
+            Command::Minimize { .. } => "minimize",
+            Command::Rewrite { .. } => "rewrite",
             Command::Trace { .. } => "trace",
             Command::MetricsText => "metrics_text",
             Command::Batch { .. } => "batch",
@@ -247,6 +282,8 @@ impl Command {
             | Command::Equivalence { options, .. }
             | Command::Bounded { options, .. }
             | Command::Optimize { options, .. }
+            | Command::Minimize { options, .. }
+            | Command::Rewrite { options, .. }
             | Command::Trace { options, .. } => options.timeout_ms,
             Command::Batch { timeout_ms, .. } => *timeout_ms,
             Command::Stats
@@ -388,6 +425,7 @@ fn parse_options(value: &Value) -> Result<RequestOptions, WireError> {
         max_pairs: optional_u64(options, "max_pairs")?.map(|n| n as usize),
         timeout_ms: optional_u64(options, "timeout_ms")?,
         strategy,
+        provenance: optional_bool(options, "provenance")?,
     })
 }
 
@@ -424,6 +462,16 @@ pub fn parse_request(value: &Value, allow_batch: bool) -> Result<Request, WireEr
             minimize_bodies: !optional_bool(value, "no_minimize_bodies")?,
             remove_subsumed: !optional_bool(value, "no_remove_subsumed")?,
             inline_nonrecursive: optional_bool(value, "inline_nonrecursive")?,
+            options: parse_options(value)?,
+        },
+        "minimize" => Command::Minimize {
+            query: required_str(value, "query")?,
+            options: parse_options(value)?,
+        },
+        "rewrite" => Command::Rewrite {
+            program: required_str(value, "program")?,
+            goal: required_str(value, "goal")?,
+            max_depth: optional_u64(value, "max_depth")?.unwrap_or(8) as usize,
             options: parse_options(value)?,
         },
         "trace" => {
@@ -575,6 +623,24 @@ pub fn optimize_request(program: &str, goal: &str) -> Value {
         ("op", Value::str("optimize")),
         ("program", Value::str(program)),
         ("goal", Value::str(goal)),
+    ])
+}
+
+/// Build a `minimize` request value.
+pub fn minimize_request(query: &str) -> Value {
+    obj(vec![
+        ("op", Value::str("minimize")),
+        ("query", Value::str(query)),
+    ])
+}
+
+/// Build a `rewrite` request value.
+pub fn rewrite_request(program: &str, goal: &str, max_depth: usize) -> Value {
+    obj(vec![
+        ("op", Value::str("rewrite")),
+        ("program", Value::str(program)),
+        ("goal", Value::str(goal)),
+        ("max_depth", Value::num(max_depth as f64)),
     ])
 }
 
@@ -749,6 +815,77 @@ mod tests {
         let err = parse_request(&v, true).unwrap_err();
         assert_eq!(err.code, "bad_request");
         assert!(err.message.contains("voodoo"));
+    }
+
+    #[test]
+    fn minimize_and_rewrite_parse_and_stay_batchable() {
+        let v = parse(r#"{"op":"minimize","query":"q(X) :- e(X, Y), e(X, Z)."}"#).unwrap();
+        let req = parse_request(&v, true).unwrap();
+        assert_eq!(req.command.verb(), "minimize");
+        assert!(!req.command.is_admin());
+        match req.command {
+            Command::Minimize { options, .. } => assert_eq!(options, RequestOptions::default()),
+            other => panic!("wrong command {other:?}"),
+        }
+        // A missing `query` is a bad_request.
+        let err = parse_request(&parse(r#"{"op":"minimize"}"#).unwrap(), true).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+
+        let v = parse(
+            r#"{"op":"rewrite","program":"p(X) :- e(X, X).","goal":"p","max_depth":3,
+                "options":{"timeout_ms":90}}"#,
+        )
+        .unwrap();
+        match parse_request(&v, true).unwrap().command {
+            Command::Rewrite {
+                max_depth, options, ..
+            } => {
+                assert_eq!(max_depth, 3);
+                assert_eq!(options.timeout_ms, Some(90));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // `max_depth` defaults to 8, matching `bounded`.
+        let v = parse(r#"{"op":"rewrite","program":"p(X) :- e(X, X).","goal":"p"}"#).unwrap();
+        assert!(matches!(
+            parse_request(&v, true).unwrap().command,
+            Command::Rewrite { max_depth: 8, .. }
+        ));
+
+        // Both verbs are batchable (neither admin nor oversized-response).
+        let batched = batch_request(vec![
+            minimize_request("q(X) :- e(X, Y)."),
+            rewrite_request("p(X) :- e(X, X).", "p", 4),
+        ]);
+        match parse_request(&batched, true).unwrap().command {
+            Command::Batch { requests, .. } => assert_eq!(requests.len(), 2),
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn provenance_option_parses_and_defaults_off() {
+        let v = parse(
+            r#"{"op":"containment","program":"p.","goal":"p","query":"q.",
+                "options":{"provenance":true}}"#,
+        )
+        .unwrap();
+        match parse_request(&v, true).unwrap().command {
+            Command::Containment { options, .. } => assert!(options.provenance),
+            other => panic!("wrong command {other:?}"),
+        }
+        let v = parse(r#"{"op":"containment","program":"p.","goal":"p","query":"q."}"#).unwrap();
+        match parse_request(&v, true).unwrap().command {
+            Command::Containment { options, .. } => assert!(!options.provenance),
+            other => panic!("wrong command {other:?}"),
+        }
+        // Non-boolean provenance is rejected.
+        let v = parse(
+            r#"{"op":"containment","program":"p.","goal":"p","query":"q.",
+                "options":{"provenance":"yes"}}"#,
+        )
+        .unwrap();
+        assert_eq!(parse_request(&v, true).unwrap_err().code, "bad_request");
     }
 
     #[test]

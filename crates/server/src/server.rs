@@ -67,6 +67,11 @@ pub struct ServerConfig {
     /// (a corrupt or stale-version snapshot is logged and skipped — a bad
     /// file must not keep the server down).
     pub cache_file: Option<std::path::PathBuf>,
+    /// When set, every dispatched request line is appended to this capture
+    /// recorder (see [`crate::replay`]) with its arrival offset — the
+    /// record half of record/replay.  Shared across connections and across
+    /// the TCP/stdio modes alike.
+    pub record: Option<Arc<crate::replay::Recorder>>,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +82,7 @@ impl Default for ServerConfig {
             max_connections: None,
             cache_limits: None,
             cache_file: None,
+            record: None,
         }
     }
 }
@@ -457,6 +463,11 @@ fn dispatch_line(
     config: &ServerConfig,
 ) {
     stats.record_request();
+    // Record *before* the memo lookup: the capture is the traffic the
+    // server received, not the subset it had to compute.
+    if let Some(recorder) = &config.record {
+        recorder.record(line);
+    }
     // Byte-identical repeats of proven-memoisable request lines are
     // answered before the frame is even parsed: the line memo only ever
     // holds lines whose parse, key, and successful execution happened on

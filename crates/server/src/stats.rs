@@ -45,7 +45,9 @@ impl LatencyHistogram {
         let bucket = (128 - micros.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
         self.buckets[bucket] += 1;
         self.count += 1;
-        self.total_micros += micros;
+        // Saturating: one absurd observation (the clock stepping, a u128
+        // cast gone wrong) must pin the running total, not panic the worker.
+        self.total_micros = self.total_micros.saturating_add(micros);
         self.max_micros = self.max_micros.max(micros);
     }
 
@@ -65,7 +67,16 @@ impl LatencyHistogram {
         for (i, n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return 1u128 << (i + 1);
+                // The last bucket is open-ended (it absorbs everything from
+                // 2^(BUCKETS-1) µs up), so `2^(i+1)` would *understate* a
+                // quantile landing there — an 18-hour outlier would report
+                // as ~36 minutes.  The observed maximum is the honest upper
+                // bound for that bucket.
+                return if i + 1 == BUCKETS {
+                    self.max_micros
+                } else {
+                    1u128 << (i + 1)
+                };
             }
         }
         self.max_micros
@@ -106,11 +117,13 @@ impl LatencyHistogram {
 }
 
 /// The verbs with their own histogram, in render order.
-pub const VERBS: [&str; 12] = [
+pub const VERBS: [&str; 14] = [
     "containment",
     "equivalence",
     "bounded",
     "optimize",
+    "minimize",
+    "rewrite",
     "trace",
     "batch",
     "stats",
@@ -135,7 +148,7 @@ struct Inner {
     memo_hits: u64,
     inflight: u64,
     max_inflight: u64,
-    per_verb: [LatencyHistogram; 12],
+    per_verb: [LatencyHistogram; 14],
 }
 
 /// Shared counters and histograms; one instance per server, updated by the
@@ -387,6 +400,64 @@ mod tests {
         // bucket [2,4) whose upper bound is 4.
         assert_eq!(h.quantile_upper_bound(0.5), 4);
         assert!(h.quantile_upper_bound(1.0) >= 1000);
+    }
+
+    #[test]
+    fn histogram_boundaries_land_in_stable_buckets() {
+        // 0 µs records like 1 µs: bucket 0, the [1, 2) bucket.
+        let mut h = LatencyHistogram::default();
+        h.record(0);
+        assert_eq!(h.bucket_counts()[0], 1);
+        assert_eq!(h.quantile_upper_bound(1.0), 2);
+
+        // Exact powers of two open their own bucket: 2^i lands in bucket i
+        // (the [2^i, 2^(i+1)) bucket), never the one below.
+        for i in 0..(BUCKETS - 1) {
+            let mut h = LatencyHistogram::default();
+            h.record(1u128 << i);
+            assert_eq!(h.bucket_counts()[i], 1, "2^{i} must land in bucket {i}");
+            // And one less than a power of two stays below the boundary.
+            if i > 0 {
+                let mut h = LatencyHistogram::default();
+                h.record((1u128 << i) - 1);
+                assert_eq!(h.bucket_counts()[i - 1], 1, "2^{i}-1 in bucket {}", i - 1);
+            }
+        }
+
+        // Everything from 2^(BUCKETS-1) up clamps into the last bucket.
+        let mut h = LatencyHistogram::default();
+        h.record(1u128 << (BUCKETS - 1));
+        h.record(u64::MAX as u128);
+        h.record(u128::MAX);
+        assert_eq!(h.bucket_counts()[BUCKETS - 1], 3);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), h.count());
+    }
+
+    #[test]
+    fn quantiles_in_the_overflow_bucket_report_the_observed_max() {
+        // A quantile landing in the open-ended last bucket must answer the
+        // observed maximum, not the bucket's nominal 2^BUCKETS bound (which
+        // would *understate* the latency the operator is chasing).
+        let mut h = LatencyHistogram::default();
+        let outlier = (u64::MAX as u128) / 2;
+        h.record(outlier);
+        assert_eq!(h.quantile_upper_bound(0.5), outlier);
+        assert_eq!(h.quantile_upper_bound(1.0), outlier);
+        // Mixed: the median stays in a closed bucket with its 2^(i+1)
+        // bound, while the tail quantile reports the true max.
+        let mut h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(3);
+        }
+        h.record(outlier);
+        assert_eq!(h.quantile_upper_bound(0.5), 4);
+        assert_eq!(h.quantile_upper_bound(1.0), outlier);
+        // Monotonicity across the boundary: p(q) never decreases in q.
+        let quantiles: Vec<u128> = [0.1, 0.5, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|q| h.quantile_upper_bound(*q))
+            .collect();
+        assert!(quantiles.windows(2).all(|w| w[0] <= w[1]), "{quantiles:?}");
     }
 
     #[test]

@@ -1,0 +1,401 @@
+//! Seeded wire-level traffic generator for the serve layer.
+//!
+//! Every serve-layer number the benches gate comes from uniform synthetic
+//! batches, but real deployments hit the decision service with **skewed,
+//! bursty, multi-tenant** mixes.  This crate turns a seed plus a
+//! [`WorkloadSpec`] into a deterministic stream of [`TimedRequest`]s —
+//! framed request lines with arrival offsets — ready to drive a server or
+//! router directly, to feed the serve bench's `skewed` phase, or to be
+//! written to a capture file for `server::replay`.
+//!
+//! Three axes of realism, each independently configurable:
+//!
+//! * **Zipfian program popularity** — programs are drawn from a catalog of
+//!   `programs` structurally distinct parametric families; rank `r` is
+//!   chosen with probability proportional to `1/(r+1)^s` (inverse-CDF over
+//!   the truncated harmonic weights; `s = 0` degenerates to uniform).
+//!   Distinct catalog entries use distinct EDB predicate names, so a
+//!   `ProgramKey`-sharding router spreads them while a hot rank hammers one
+//!   shard — exactly the skew the memo layers are supposed to absorb.
+//! * **Per-tenant interleaving** — each request carries a tenant drawn
+//!   uniformly, embedded in its unique id (`t3-00017`), so a capture can be
+//!   sliced per tenant and an exactly-once check can treat ids as a
+//!   ground-truth multiset.
+//! * **Burst/lull pacing** — arrival offsets advance by `gap_micros` within
+//!   a burst and by `lull_micros` between bursts, modelling the thundering
+//!   herds that uniform pacing never produces.
+//!
+//! Determinism is a hard requirement: the same seed and spec produce the
+//! same byte-for-byte request lines on every platform, because the replay
+//! soak asserts byte-identical response multisets across runs.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use rng::rngs::StdRng;
+use rng::{Rng, SeedableRng};
+use server::json::Value;
+use server::protocol;
+
+/// How arrival offsets advance along the stream.
+#[derive(Clone, Copy, Debug)]
+pub struct Pacing {
+    /// Requests per burst; offsets within a burst advance by
+    /// [`Pacing::gap_micros`].
+    pub burst_len: usize,
+    /// Inter-arrival gap inside a burst, in microseconds.
+    pub gap_micros: u64,
+    /// Extra pause inserted between bursts, in microseconds.
+    pub lull_micros: u64,
+}
+
+impl Default for Pacing {
+    fn default() -> Self {
+        Pacing {
+            burst_len: 32,
+            gap_micros: 50,
+            lull_micros: 20_000,
+        }
+    }
+}
+
+/// Relative weights of the decision verbs in the generated stream.
+///
+/// Only pure decision verbs appear: they are the memoisable surface whose
+/// byte-identical replays the determinism soak depends on (admin and
+/// observability verbs would perturb the very state being measured).
+#[derive(Clone, Copy, Debug)]
+pub struct VerbMix {
+    /// Weight of `containment` requests.
+    pub containment: u32,
+    /// Weight of `equivalence` requests.
+    pub equivalence: u32,
+    /// Weight of `bounded` requests.
+    pub bounded: u32,
+    /// Weight of `optimize` requests.
+    pub optimize: u32,
+    /// Weight of `minimize` requests.
+    pub minimize: u32,
+    /// Weight of `rewrite` requests.
+    pub rewrite: u32,
+}
+
+impl Default for VerbMix {
+    fn default() -> Self {
+        VerbMix {
+            containment: 4,
+            equivalence: 2,
+            bounded: 1,
+            optimize: 1,
+            minimize: 1,
+            rewrite: 1,
+        }
+    }
+}
+
+impl VerbMix {
+    fn weights(&self) -> [(Verb, u32); 6] {
+        [
+            (Verb::Containment, self.containment),
+            (Verb::Equivalence, self.equivalence),
+            (Verb::Bounded, self.bounded),
+            (Verb::Optimize, self.optimize),
+            (Verb::Minimize, self.minimize),
+            (Verb::Rewrite, self.rewrite),
+        ]
+    }
+
+    fn total(&self) -> u32 {
+        self.weights().iter().map(|(_, w)| w).sum()
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Verb {
+    Containment,
+    Equivalence,
+    Bounded,
+    Optimize,
+    Minimize,
+    Rewrite,
+}
+
+/// The full description of a workload; [`generate`] turns it plus a seed
+/// into the concrete stream.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadSpec {
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Number of tenants interleaved in the stream.
+    pub tenants: usize,
+    /// Catalog size: number of structurally distinct program families.
+    pub programs: usize,
+    /// Zipf exponent `s` for program popularity; `0.0` is uniform, and the
+    /// classic web-caching skew is around `1.0`.
+    pub zipf_s: f64,
+    /// Relative verb weights.
+    pub verb_mix: VerbMix,
+    /// Burst/lull arrival pacing.
+    pub pacing: Pacing,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            requests: 256,
+            tenants: 4,
+            programs: 16,
+            zipf_s: 1.0,
+            verb_mix: VerbMix::default(),
+            pacing: Pacing::default(),
+        }
+    }
+}
+
+/// One generated request: a framed wire line plus its arrival offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimedRequest {
+    /// Arrival time relative to the start of the stream, in microseconds.
+    pub offset_micros: u64,
+    /// The tenant this request belongs to (also embedded in the id).
+    pub tenant: usize,
+    /// The rendered single-line JSON request, unique `id` included, no
+    /// trailing newline.
+    pub line: String,
+}
+
+/// The parametric program family at catalog rank `k`.
+///
+/// Every family uses EDB names suffixed with `k`, so distinct ranks are
+/// structurally distinct programs (distinct `ProgramKey`s for the router)
+/// while repeats of one rank are byte-identical (memoisable).
+#[derive(Clone, Debug)]
+pub struct CatalogEntry {
+    /// The recursive transitive-closure program over `e{k}`.
+    pub recursive: String,
+    /// A recursive-but-bounded program over `e{k}`/`t{k}` (the paper's
+    /// trendy-buys shape), used by `rewrite` so the rewrite succeeds.
+    pub bounded: String,
+    /// A conjunctive query contained in the recursive program's goal.
+    pub query: String,
+    /// A redundant UCQ over `e{k}` that `minimize` can shrink.
+    pub redundant_ucq: String,
+    /// A nonrecursive candidate for `equivalence` probes.
+    pub candidate: String,
+}
+
+/// Build the catalog entry for rank `k`.
+pub fn catalog_entry(k: usize) -> CatalogEntry {
+    CatalogEntry {
+        recursive: format!("p(X, Y) :- e{k}(X, Y).\np(X, Y) :- e{k}(X, Z), p(Z, Y)."),
+        bounded: format!("b(X, Y) :- e{k}(X, Y).\nb(X, Y) :- t{k}(X), b(Z, Y)."),
+        query: format!("q(X, Y) :- e{k}(X, Z), e{k}(Z, Y)."),
+        redundant_ucq: format!("q(X, Y) :- e{k}(X, Y), e{k}(X, Z).\nq(A, B) :- e{k}(A, B)."),
+        candidate: format!("p(X, Y) :- e{k}(X, Y).\np(X, Y) :- e{k}(X, Z), e{k}(Z, Y)."),
+    }
+}
+
+/// Inverse-CDF sampler over truncated zipf weights `1/(r+1)^s`.
+///
+/// Precomputes the cumulative weights once; each draw is a uniform sample
+/// plus a linear scan (catalogs are small — tens of entries — so a binary
+/// search would buy nothing).
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// A sampler over ranks `0..n` with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> ZipfSampler {
+        assert!(n > 0, "zipf catalog must be non-empty");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "zipf exponent must be finite and >= 0"
+        );
+        let mut total = 0.0;
+        let cumulative = (0..n)
+            .map(|r| {
+                total += 1.0 / ((r + 1) as f64).powf(s);
+                total
+            })
+            .collect();
+        ZipfSampler { cumulative }
+    }
+
+    /// Draw one rank (0-based; rank 0 is the most popular).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        // `random_range` over a huge integer span gives a deterministic,
+        // platform-stable uniform value; map it into [0, total).
+        let u = rng.random_range(0..u64::MAX) as f64 / u64::MAX as f64 * total;
+        self.cumulative
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.cumulative.len() - 1)
+    }
+}
+
+fn sample_verb(mix: &VerbMix, rng: &mut StdRng) -> Verb {
+    let total = mix.total().max(1);
+    let mut pick = rng.random_range(0..total);
+    for (verb, weight) in mix.weights() {
+        if pick < weight {
+            return verb;
+        }
+        pick -= weight;
+    }
+    Verb::Containment
+}
+
+/// Attach a unique id as the first field of a request object.
+fn with_id(mut request: Value, id: &str) -> Value {
+    if let Value::Obj(fields) = &mut request {
+        fields.insert(0, ("id".to_string(), Value::str(id)));
+    }
+    request
+}
+
+/// Generate the full stream for `spec`, deterministically from `seed`.
+///
+/// Requests are returned in arrival order with non-decreasing offsets; ids
+/// are unique across the stream (`t{tenant}-{index:05}`), so the stream
+/// doubles as a ground-truth multiset for exactly-once delivery checks.
+pub fn generate(spec: &WorkloadSpec, seed: u64) -> Vec<TimedRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = ZipfSampler::new(spec.programs.max(1), spec.zipf_s);
+    let tenants = spec.tenants.max(1);
+    let mut offset: u64 = 0;
+    let mut out = Vec::with_capacity(spec.requests);
+    for i in 0..spec.requests {
+        if i > 0 {
+            let burst_len = spec.pacing.burst_len.max(1);
+            offset += if i % burst_len == 0 {
+                spec.pacing.lull_micros
+            } else {
+                spec.pacing.gap_micros
+            };
+        }
+        let rank = zipf.sample(&mut rng);
+        let tenant = rng.random_range(0..tenants);
+        let verb = sample_verb(&spec.verb_mix, &mut rng);
+        let entry = catalog_entry(rank);
+        let id = format!("t{tenant}-{i:05}");
+        let request = match verb {
+            Verb::Containment => protocol::containment_request(&entry.recursive, "p", &entry.query),
+            Verb::Equivalence => {
+                protocol::equivalence_request(&entry.recursive, "p", &entry.candidate)
+            }
+            Verb::Bounded => protocol::bounded_request(&entry.bounded, "b", 4),
+            Verb::Optimize => protocol::optimize_request(&entry.bounded, "b"),
+            Verb::Minimize => protocol::minimize_request(&entry.redundant_ucq),
+            Verb::Rewrite => protocol::rewrite_request(&entry.bounded, "b", 4),
+        };
+        out.push(TimedRequest {
+            offset_micros: offset,
+            tenant,
+            line: with_id(request, &id).render(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use server::json;
+    use server::protocol::parse_request;
+
+    #[test]
+    fn generation_is_deterministic_across_runs() {
+        let spec = WorkloadSpec::default();
+        assert_eq!(generate(&spec, 7), generate(&spec, 7));
+        assert_ne!(generate(&spec, 7), generate(&spec, 8));
+    }
+
+    #[test]
+    fn every_line_parses_as_a_valid_decision_request_with_a_unique_id() {
+        let spec = WorkloadSpec {
+            requests: 400,
+            ..WorkloadSpec::default()
+        };
+        let stream = generate(&spec, 11);
+        let mut ids = std::collections::HashSet::new();
+        for req in &stream {
+            let value = json::parse(&req.line).expect("generated line is valid JSON");
+            let parsed = parse_request(&value, false).expect("generated line parses");
+            assert!(
+                matches!(
+                    parsed.command.verb(),
+                    "containment" | "equivalence" | "bounded" | "optimize" | "minimize" | "rewrite"
+                ),
+                "only decision verbs appear: {}",
+                parsed.command.verb()
+            );
+            let id = value.get("id").unwrap().as_str().unwrap().to_string();
+            assert!(id.starts_with(&format!("t{}-", req.tenant)));
+            assert!(ids.insert(id), "ids must be unique across the stream");
+        }
+        assert_eq!(ids.len(), 400);
+    }
+
+    #[test]
+    fn zipf_skews_the_popular_rank_above_uniform() {
+        let n = 16;
+        let zipf = ZipfSampler::new(n, 1.1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0usize; n];
+        let draws = 4000;
+        for _ in 0..draws {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        let uniform_share = draws / n;
+        assert!(
+            counts[0] > 2 * uniform_share,
+            "rank 0 must be hot: {} vs uniform {}",
+            counts[0],
+            uniform_share
+        );
+        // With s = 0 the sampler degenerates to uniform: no rank may hog.
+        let uniform = ZipfSampler::new(n, 0.0);
+        let mut counts = vec![0usize; n];
+        for _ in 0..draws {
+            counts[uniform.sample(&mut rng)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c < 2 * uniform_share));
+    }
+
+    #[test]
+    fn pacing_inserts_lulls_between_bursts() {
+        let spec = WorkloadSpec {
+            requests: 96,
+            pacing: Pacing {
+                burst_len: 32,
+                gap_micros: 10,
+                lull_micros: 5_000,
+            },
+            ..WorkloadSpec::default()
+        };
+        let stream = generate(&spec, 1);
+        for pair in stream.windows(2) {
+            let delta = pair[1].offset_micros - pair[0].offset_micros;
+            assert!(delta == 10 || delta == 5_000, "delta {delta}");
+        }
+        let lulls = stream
+            .windows(2)
+            .filter(|p| p[1].offset_micros - p[0].offset_micros == 5_000)
+            .count();
+        assert_eq!(lulls, 2, "96 requests in bursts of 32 have two lulls");
+    }
+
+    #[test]
+    fn distinct_ranks_use_distinct_edb_names() {
+        let a = catalog_entry(0);
+        let b = catalog_entry(1);
+        assert!(a.recursive.contains("e0("));
+        assert!(b.recursive.contains("e1("));
+        assert_ne!(a.recursive, b.recursive);
+    }
+}

@@ -14,9 +14,12 @@
 #     test         cargo test -q
 #     soak         NONREC_SOAK_FAST=1 cargo test --release --test server_soak
 #                  (bounded-cache server under 4-client eviction churn:
-#                  monotone counters, capped occupancy, no busy storm;
-#                  release so it reuses the build stage's artifacts and
-#                  finishes in seconds)
+#                  monotone counters, capped occupancy, no busy storm —
+#                  plus the replay-determinism gates: a recorded workload
+#                  capture replayed twice must answer byte-identically,
+#                  and a routed replay across a shard death must answer
+#                  every captured id exactly once; release so it reuses
+#                  the build stage's artifacts)
 #     clippy       cargo clippy --all-targets -- -D warnings
 #     doc          RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 #                  (broken intra-doc links and malformed rustdoc fail CI)
@@ -111,7 +114,7 @@ stage_bench_gates() {
     # trusting its verdicts.
     python3 scripts/bench_diff --self-test || return 1
     # The evaluation target is the join-probe regression gate, containment
-    # the pair-work gate, serve the throughput/backpressure/cache gate;
+    # the pair-work gate, serve the throughput/backpressure/cache/skew gate;
     # each panics on an in-bench invariant violation and snapshots its
     # counters for the diff below.  datalog_in_ucq stays a smoke run.
     run_gated_bench evaluation BENCH_evaluation.json || return 1

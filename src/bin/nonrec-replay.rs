@@ -1,0 +1,123 @@
+//! `nonrec-replay` — replay a recorded wire capture against a live server.
+//!
+//! Reads a version-1 capture file (written by `nonrec-serve --record` or by
+//! `server::replay::write_capture`), streams its request lines pipelined at
+//! the target address, and prints one summary line per pass:
+//!
+//! ```text
+//! pass 1: 256 responses, digest 4f2a90cc01e37a1b
+//! ```
+//!
+//! The digest is the order-insensitive FNV-1a fingerprint of the response
+//! multiset ([`server::replay::response_digest`]).  With `--passes N`
+//! greater than one, every pass must produce the same digest; a mismatch
+//! exits with code 3 — the determinism check the CI soak stage scripts.
+//!
+//! ```text
+//! USAGE:
+//!     nonrec-replay --addr HOST:PORT FILE [OPTIONS]
+//!
+//! OPTIONS:
+//!     --addr <HOST:PORT>    server or router to replay against (required)
+//!     --passes <N>          replay the capture N times (default 1); all
+//!                           passes must agree on the response digest
+//!     --pace                honour the recorded inter-arrival offsets
+//!                           (default: stream as fast as the socket accepts)
+//!
+//! EXIT CODES:
+//!     0  all passes completed (and agreed, when N > 1)
+//!     2  usage or I/O error
+//!     3  determinism violation: two passes produced different digests
+//! ```
+
+use std::process::ExitCode;
+
+use server::replay::{load_capture, replay, response_digest};
+
+struct Args {
+    addr: String,
+    file: String,
+    passes: usize,
+    pace: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: nonrec-replay --addr HOST:PORT FILE [--passes <N>] [--pace]"
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Option<Args>, String> {
+    let mut addr = None;
+    let mut file = None;
+    let mut passes = 1usize;
+    let mut pace = false;
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(argv.next().ok_or("--addr needs HOST:PORT")?),
+            "--passes" => {
+                let text = argv.next().ok_or("--passes needs a number")?;
+                passes = text
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid --passes: {text}"))?
+                    .max(1);
+            }
+            "--pace" => pace = true,
+            "--help" | "-h" => return Ok(None),
+            other if file.is_none() && !other.starts_with('-') => file = Some(arg),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(Some(Args {
+        addr: addr.ok_or("--addr is required")?,
+        file: file.ok_or("a capture FILE is required")?,
+        passes,
+        pace,
+    }))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let records = match load_capture(&args.file) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("error: cannot load capture {}: {e}", args.file);
+            return ExitCode::from(2);
+        }
+    };
+    let mut first_digest = None;
+    for pass in 1..=args.passes {
+        let responses = match replay(&args.addr, &records, args.pace) {
+            Ok(responses) => responses,
+            Err(e) => {
+                eprintln!("error: replay pass {pass} failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let digest = response_digest(&responses);
+        println!(
+            "pass {pass}: {} responses, digest {digest:016x}",
+            responses.len()
+        );
+        match first_digest {
+            None => first_digest = Some(digest),
+            Some(expected) if expected != digest => {
+                eprintln!(
+                    "error: pass {pass} digest {digest:016x} differs from pass 1's {expected:016x}"
+                );
+                return ExitCode::from(3);
+            }
+            Some(_) => {}
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,10 +1,10 @@
 //! `nonrec-serve` — the decision procedures as a long-running server.
 //!
 //! Accepts line-delimited JSON requests (`containment`, `equivalence`,
-//! `bounded`, `optimize`, `batch`, `stats`, and the admin verbs
-//! `clear_cache`, `cache_limits`, `save_cache`, `load_cache`) over TCP or
-//! stdio and answers them through one process-wide decision cache.  See
-//! the README for the wire protocol.
+//! `bounded`, `optimize`, `minimize`, `rewrite`, `batch`, `stats`, and the
+//! admin verbs `clear_cache`, `cache_limits`, `save_cache`, `load_cache`)
+//! over TCP or stdio and answers them through one process-wide decision
+//! cache.  See docs/WIRE_PROTOCOL.md for the full wire protocol.
 //!
 //! ```text
 //! USAGE:
@@ -29,6 +29,9 @@
 //!     --cache-file <PATH>   snapshot path: warm-start from it when it
 //!                           exists, and the default for the `save_cache`
 //!                           / `load_cache` admin verbs
+//!     --record <PATH>       append every request line to a versioned
+//!                           capture file (see docs/WIRE_PROTOCOL.md) for
+//!                           later `nonrec-replay`
 //!
 //! EXIT CODES:
 //!     0  clean shutdown (stdio mode reached EOF)
@@ -51,7 +54,7 @@ fn usage() -> &'static str {
     "usage: nonrec-serve [--addr HOST:PORT | --stdio] [--workers <N>] \
      [--queue <N>] [--deadline-ms <N>] [--max-conns <N>] \
      [--cache-max-decisions <N>] [--cache-max-cq-pairs <N>] \
-     [--cache-max-canonical <N>] [--cache-file <PATH>]"
+     [--cache-max-canonical <N>] [--cache-file <PATH>] [--record <PATH>]"
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Option<Args>, String> {
@@ -62,6 +65,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Option<Args>, St
     let mut max_conns: u64 = 0;
     let mut cache_limits = CacheLimits::unbounded();
     let mut cache_file = None;
+    let mut record_file: Option<std::path::PathBuf> = None;
     fn number(argv: &mut impl Iterator<Item = String>, flag: &str) -> Result<u64, String> {
         let text = argv.next().ok_or(format!("{flag} needs a number"))?;
         text.parse().map_err(|_| format!("invalid {flag}: {text}"))
@@ -97,10 +101,22 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Option<Args>, St
                     argv.next().ok_or("--cache-file needs a PATH")?,
                 ));
             }
+            "--record" => {
+                record_file = Some(std::path::PathBuf::from(
+                    argv.next().ok_or("--record needs a PATH")?,
+                ));
+            }
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument: {other}")),
         }
     }
+    let record = match record_file {
+        Some(path) => Some(std::sync::Arc::new(
+            server::replay::Recorder::create(&path)
+                .map_err(|e| format!("cannot create capture file {}: {e}", path.display()))?,
+        )),
+        None => None,
+    };
     Ok(Some(Args {
         addr,
         stdio,
@@ -110,6 +126,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Option<Args>, St
             max_connections: (max_conns > 0).then_some(max_conns as usize),
             cache_limits: (cache_limits != CacheLimits::unbounded()).then_some(cache_limits),
             cache_file,
+            record,
         },
     }))
 }

@@ -1157,6 +1157,8 @@ fn stats_payload_has_the_golden_shape() {
             "equivalence",
             "bounded",
             "optimize",
+            "minimize",
+            "rewrite",
             "trace",
             "batch",
             "stats",
@@ -1192,5 +1194,264 @@ fn stats_payload_has_the_golden_shape() {
             "auto_magic",
             "auto_indexed",
         ]
+    );
+}
+
+/// Satellite: the text-level memo layers must never capture or serve
+/// `trace`, `stats`, `metrics_text`, or admin responses — a memoised trace
+/// would report a run that never happened.  The positive control first
+/// proves the layers are live (a repeated decision IS served byte-for-byte
+/// from the memo), so the "no growth" assertions below cannot pass
+/// vacuously.
+#[test]
+fn observability_and_admin_verbs_are_never_served_from_the_text_memos() {
+    let server = ServerProc::spawn(&[]);
+    let mut client = server.client();
+
+    fn memo_state(client: &mut Client) -> (u64, u64, u64) {
+        let response = client.request(&protocol::stats_request()).expect("stats");
+        let server = response
+            .get("result")
+            .and_then(|r| r.get("server"))
+            .expect("server block");
+        let read = |key: &str| server.get(key).and_then(Value::as_u64).expect("counter");
+        (
+            read("memo_hits"),
+            read("memo_entries"),
+            read("memo_line_entries"),
+        )
+    }
+
+    // Positive control: a byte-identical repeat of a decision line is
+    // answered from the memo, byte-for-byte.
+    let decision = r#"{"op":"containment","program":"p(X, Y) :- e(X, Y).","goal":"p","query":"q(X, Y) :- e(X, Y)."}"#;
+    let first = client.request_line(decision).expect("first decision");
+    let second = client.request_line(decision).expect("repeat decision");
+    assert_eq!(first, second, "memoised repeat must be byte-identical");
+    let (hits, entries, line_entries) = memo_state(&mut client);
+    assert!(hits >= 1, "the decision repeat must register a memo hit");
+    assert!(entries >= 1 && line_entries >= 1, "the memos must be live");
+
+    // Now repeat byte-identical observability and admin lines.  None of
+    // them may be captured (no entry growth) or served (no hit growth).
+    let trace_line =
+        protocol::trace_request(CHAIN_TC, "p", "q(X, Y) :- e(X, Y).", "trace").render();
+    let non_memoisable = [
+        trace_line.as_str(),
+        r#"{"op":"metrics_text"}"#,
+        r#"{"op":"cache_limits"}"#,
+        r#"{"op":"save_cache","path":"/nonexistent-dir/nope.snapshot"}"#,
+        r#"{"op":"stats"}"#,
+    ];
+    for line in non_memoisable {
+        let first = client.request_line(line).expect("first pass");
+        let _second = client.request_line(line).expect("repeat pass");
+        // `save_cache` to an unwritable path errors; everything else is ok.
+        // Either way the repeat must be a fresh execution.
+        assert!(first.contains("\"ok\""), "got: {first}");
+    }
+    let (hits_after, entries_after, line_entries_after) = memo_state(&mut client);
+    assert_eq!(
+        hits_after, hits,
+        "no observability/admin repeat may be served from a memo"
+    );
+    assert_eq!(
+        entries_after, entries,
+        "no observability/admin response may enter the command memo"
+    );
+    assert_eq!(
+        line_entries_after, line_entries,
+        "no observability/admin line may enter the line memo"
+    );
+}
+
+/// The acceptance-criterion differential for the three new surfaces:
+/// `minimize`, `rewrite`, and `options.provenance` each agree with their
+/// in-process oracles across a 200-seed sweep (100 + 60 + 40).
+#[test]
+fn minimize_rewrite_and_provenance_agree_with_in_process_oracles() {
+    let server = ServerProc::spawn(&[]);
+    let mut client = server.client();
+    let goal = Pred::new("q0");
+
+    // `minimize` against `cq::minimize::minimize_ucq`: identical kept
+    // disjuncts (string-identical — the engine transcribes the library's
+    // greedy loop) and exact before/after counts.
+    let mut shrunk = 0;
+    for seed in 0..100u64 {
+        let ucq = random_ucq(seed);
+        let oracle = cq::minimize::minimize_ucq(&ucq);
+        let response = client
+            .request(&protocol::minimize_request(&ucq_text(&ucq)))
+            .expect("minimize round-trip");
+        assert_eq!(
+            response.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "minimize seed {seed}: {}",
+            response.render()
+        );
+        let result = response.get("result").unwrap();
+        assert_eq!(
+            result.get("query").and_then(Value::as_str),
+            Some(ucq_text(&oracle).as_str()),
+            "minimize seed {seed}: minimized text diverges from the library"
+        );
+        assert_eq!(
+            result.get("disjuncts_before").and_then(Value::as_u64),
+            Some(ucq.len() as u64)
+        );
+        assert_eq!(
+            result.get("disjuncts_after").and_then(Value::as_u64),
+            Some(oracle.len() as u64)
+        );
+        let atoms_after: usize = oracle.disjuncts.iter().map(|d| d.body.len()).sum();
+        assert_eq!(
+            result.get("atoms_after").and_then(Value::as_u64),
+            Some(atoms_after as u64)
+        );
+        if result.get("atoms_before").and_then(Value::as_u64) != Some(atoms_after as u64) {
+            shrunk += 1;
+        }
+    }
+    assert!(
+        shrunk > 0,
+        "the sweep must contain queries that actually shrink"
+    );
+
+    // `rewrite` against `eliminate_recursion_with`: same existence verdict,
+    // same rule count, and the returned text reparses to a nonrecursive
+    // program.
+    let (mut rewrites, mut refusals) = (0, 0);
+    for seed in 0..60u64 {
+        let program = random_program(&program_config(), seed);
+        let oracle = nonrec_equivalence::optimize::eliminate_recursion_with(
+            &program,
+            goal,
+            2,
+            oracle_options(),
+        );
+        let response = client
+            .request(&with_budget(
+                protocol::rewrite_request(&program.to_string(), "q0", 2),
+                2000 + seed,
+            ))
+            .expect("rewrite round-trip");
+        match oracle {
+            Ok(rewritten) => {
+                assert_eq!(
+                    response.get("ok").and_then(Value::as_bool),
+                    Some(true),
+                    "rewrite seed {seed}: {}",
+                    response.render()
+                );
+                let result = response.get("result").unwrap();
+                assert_eq!(
+                    result.get("nonrecursive").and_then(Value::as_bool),
+                    Some(rewritten.is_some()),
+                    "rewrite seed {seed}: existence verdict diverges"
+                );
+                match rewritten {
+                    Some(oracle_program) => {
+                        rewrites += 1;
+                        assert_eq!(
+                            result.get("rules_after").and_then(Value::as_u64),
+                            Some(oracle_program.len() as u64),
+                            "rewrite seed {seed}: rule count diverges"
+                        );
+                        let text = result.get("program").and_then(Value::as_str).unwrap();
+                        let reparsed = datalog::parser::parse_program(text)
+                            .unwrap_or_else(|e| panic!("rewrite seed {seed}: unparseable: {e:?}"));
+                        assert!(reparsed.is_nonrecursive(), "rewrite seed {seed}");
+                    }
+                    None => {
+                        refusals += 1;
+                        assert_eq!(result.get("program"), Some(&Value::Null));
+                    }
+                }
+            }
+            Err(e) => {
+                assert_eq!(
+                    response
+                        .get("error")
+                        .and_then(|err| err.get("code"))
+                        .and_then(Value::as_str),
+                    Some(e.code()),
+                    "rewrite seed {seed}: error code diverges"
+                );
+            }
+        }
+    }
+    assert!(
+        rewrites > 0 && refusals > 0,
+        "the rewrite sweep must exercise both outcomes ({rewrites} rewrites, {refusals} refusals)"
+    );
+
+    // `options.provenance` against the containment oracle: the verdict
+    // matches, and every not-contained response carries a structured proof
+    // tree that mirrors the flat rendering node for node, with in-range
+    // rule indices.
+    fn walk_tree(node: &Value, rules: u64, count: &mut usize) {
+        *count += 1;
+        assert!(node.get("atom").and_then(Value::as_str).is_some());
+        assert!(node.get("rule_index").and_then(Value::as_u64).unwrap() < rules);
+        assert!(node
+            .get("rule")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains(":-"));
+        for child in node.get("children").and_then(Value::as_arr).unwrap_or(&[]) {
+            walk_tree(child, rules, count);
+        }
+    }
+    let mut witnessed = 0;
+    for seed in 0..40u64 {
+        let program = random_program(&program_config(), seed);
+        let ucq = random_ucq(seed);
+        let oracle = match datalog_contained_in_ucq_with(&program, goal, &ucq, oracle_options()) {
+            Ok(result) => result.contained,
+            Err(_) => continue,
+        };
+        let mut request =
+            protocol::containment_request(&program.to_string(), "q0", &ucq_text(&ucq));
+        if let Value::Obj(fields) = &mut request {
+            fields.push((
+                "options".into(),
+                obj(vec![
+                    ("max_pairs", Value::num(MAX_PAIRS as f64)),
+                    ("provenance", Value::Bool(true)),
+                ]),
+            ));
+        }
+        let response = client.request(&request).expect("containment round-trip");
+        let result = response.get("result").unwrap();
+        assert_eq!(
+            result.get("contained").and_then(Value::as_bool),
+            Some(oracle),
+            "provenance seed {seed}: verdict diverges"
+        );
+        if !oracle {
+            let cex = result.get("counterexample").unwrap();
+            let rendered_nodes = cex
+                .get("proof_tree")
+                .and_then(Value::as_str)
+                .unwrap()
+                .lines()
+                .count();
+            let mut nodes = 0;
+            walk_tree(
+                cex.get("provenance").unwrap(),
+                program.len() as u64,
+                &mut nodes,
+            );
+            assert_eq!(
+                nodes, rendered_nodes,
+                "provenance seed {seed}: structured tree diverges from the rendering"
+            );
+            witnessed += 1;
+        }
+    }
+    assert!(
+        witnessed > 0,
+        "the provenance sweep must contain not-contained instances"
     );
 }

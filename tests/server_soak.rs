@@ -332,3 +332,235 @@ fn routed_fleet_requeues_in_flight_work_when_a_shard_dies() {
         "a live shard remained; nothing may have been refused"
     );
 }
+
+/// Tentpole acceptance criterion: two replays of the same capture produce
+/// **byte-identical** response multisets.  The flow exercises the whole
+/// record/replay surface: a seeded `workload` stream is driven through a
+/// `--record`ing server, the capture on disk is checked against the sent
+/// lines byte-for-byte, and the capture is then replayed twice — the first
+/// replay is answered through the text memos warmed by the recording pass,
+/// and the second replay's byte-identical request lines recall the exact
+/// stored bytes, wall-clock `micros` fields and all.
+///
+/// Gated like the churn soak: `NONREC_SOAK_FAST=1` / `NONREC_SOAK=1`.
+#[test]
+fn replaying_one_capture_twice_is_byte_identical() {
+    let Some(total) = soak_requests_per_client() else {
+        eprintln!("server_soak: skipped (set NONREC_SOAK_FAST=1 or NONREC_SOAK=1 to run)");
+        return;
+    };
+    use server::replay::{load_capture, replay, response_digest, CaptureRecord};
+
+    let dir = std::env::temp_dir().join(format!("nonrec-replay-soak-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let capture_path = dir.join("capture.log");
+
+    let server = ServerProc::spawn(&[
+        "--workers",
+        "4",
+        "--queue",
+        "2048",
+        "--record",
+        capture_path.to_str().expect("utf-8 temp path"),
+    ]);
+
+    // A skewed, bursty, multi-tenant mix over the six decision verbs —
+    // every line memoisable, every id unique.
+    let spec = workload::WorkloadSpec {
+        requests: total,
+        tenants: 3,
+        programs: 8,
+        zipf_s: 1.1,
+        ..workload::WorkloadSpec::default()
+    };
+    let stream = workload::generate(&spec, 42);
+    let records: Vec<CaptureRecord> = stream
+        .iter()
+        .map(|r| CaptureRecord {
+            offset_micros: r.offset_micros,
+            line: r.line.clone(),
+        })
+        .collect();
+
+    // Recording pass: drive the traffic through the recording server.
+    let responses = replay(server.addr(), &records, false).expect("recording pass");
+    assert_eq!(responses.len(), total);
+    for response in &responses {
+        assert!(
+            response.contains("\"ok\":true"),
+            "recording pass must be all-ok: {response}"
+        );
+    }
+
+    // The capture on disk holds every sent line byte-for-byte, in arrival
+    // order — the ground truth the replays run from.
+    let captured = load_capture(&capture_path).expect("load capture");
+    let sent: Vec<&str> = stream.iter().map(|r| r.line.as_str()).collect();
+    let recorded: Vec<&str> = captured.iter().map(|r| r.line.as_str()).collect();
+    assert_eq!(recorded, sent, "capture must store the lines byte-for-byte");
+
+    // Two replays of the same capture: byte-identical response multisets,
+    // id-matched.
+    let first = replay(server.addr(), &captured, false).expect("replay 1");
+    let second = replay(server.addr(), &captured, false).expect("replay 2");
+    assert_eq!(response_digest(&first), response_digest(&second));
+    let ids = |responses: &[String]| -> Vec<String> {
+        let mut ids: Vec<String> = responses
+            .iter()
+            .map(|line| {
+                let value = server::json::parse(line).expect("response is JSON");
+                value
+                    .get("id")
+                    .and_then(Value::as_str)
+                    .expect("echoed id")
+                    .to_string()
+            })
+            .collect();
+        ids.sort_unstable();
+        ids
+    };
+    assert_eq!(
+        ids(&first),
+        ids(&second),
+        "same ids answered in both replays"
+    );
+    let mut first = first;
+    let mut second = second;
+    first.sort_unstable();
+    second.sort_unstable();
+    assert_eq!(
+        first, second,
+        "two replays of one capture must answer byte-identically"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite: exactly-once delivery under replayed traffic across a shard
+/// death.  The capture file is the ground-truth request multiset: its raw
+/// lines are streamed byte-for-byte at a 2-shard routed fleet, one shard is
+/// killed mid-replay, and every captured id must come back exactly once —
+/// no lost ids (the router requeued the dead shard's in-flight work), no
+/// duplicated ids (nothing was delivered twice).
+///
+/// Gated like the churn soak: `NONREC_SOAK_FAST=1` / `NONREC_SOAK=1`.
+#[test]
+fn routed_replay_answers_every_captured_id_exactly_once_across_a_shard_death() {
+    let Some(total) = soak_requests_per_client() else {
+        eprintln!("server_soak: skipped (set NONREC_SOAK_FAST=1 or NONREC_SOAK=1 to run)");
+        return;
+    };
+    use server::replay::{load_capture, write_capture, CaptureRecord};
+    use std::io::Write;
+
+    // Near-distinct programs (catalog as wide as the stream, uniform
+    // popularity), so the burst is genuinely in flight on both shards when
+    // the kill lands instead of being answered from warm memos.
+    let spec = workload::WorkloadSpec {
+        requests: total,
+        tenants: 4,
+        programs: total,
+        zipf_s: 0.0,
+        ..workload::WorkloadSpec::default()
+    };
+    let stream = workload::generate(&spec, 7);
+    let dir = std::env::temp_dir().join(format!("nonrec-requeue-soak-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let capture_path = dir.join("capture.log");
+    let records: Vec<CaptureRecord> = stream
+        .iter()
+        .map(|r| CaptureRecord {
+            offset_micros: r.offset_micros,
+            line: r.line.clone(),
+        })
+        .collect();
+    write_capture(
+        std::fs::File::create(&capture_path).expect("create capture"),
+        &records,
+    )
+    .expect("write capture");
+    let captured = load_capture(&capture_path).expect("load capture");
+    let mut expected_ids: Vec<String> = captured
+        .iter()
+        .map(|record| {
+            let value = server::json::parse(&record.line).expect("captured line is JSON");
+            value
+                .get("id")
+                .and_then(Value::as_str)
+                .expect("workload lines carry ids")
+                .to_string()
+        })
+        .collect();
+
+    let shard_args = ["--workers", "2", "--queue", "2048"];
+    let mut shard_a = ServerProc::spawn(&shard_args);
+    let shard_b = ServerProc::spawn(&shard_args);
+    let router = RouterProc::spawn(&[shard_a.addr(), shard_b.addr()], &[]);
+    let mut client = router.client();
+
+    // Stream the captured lines raw (byte-for-byte) in one pipelined burst.
+    {
+        let mut writer = client.writer_clone().expect("writer handle");
+        let mut framed = String::new();
+        for record in &captured {
+            framed.push_str(&record.line);
+            framed.push('\n');
+        }
+        writer.write_all(framed.as_bytes()).expect("stream capture");
+        writer.flush().expect("flush capture");
+    }
+
+    // Read a quarter of the answers, then crash one shard with the rest
+    // still in flight.
+    let mut seen: Vec<String> = Vec::with_capacity(total);
+    let read_one = |client: &mut Client| {
+        let response = client.recv().expect("zero lost requests");
+        let id = response
+            .get("id")
+            .and_then(Value::as_str)
+            .expect("echoed id")
+            .to_string();
+        assert!(
+            response.get("ok").and_then(Value::as_bool) == Some(true),
+            "request {id} failed: {}",
+            response.render()
+        );
+        id
+    };
+    for _ in 0..total / 4 {
+        let id = read_one(&mut client);
+        seen.push(id);
+    }
+    shard_a.kill();
+    for _ in total / 4..total {
+        let id = read_one(&mut client);
+        seen.push(id);
+    }
+
+    // Exactly-once: the answered-id multiset equals the captured-id
+    // multiset — nothing lost, nothing duplicated.
+    seen.sort_unstable();
+    expected_ids.sort_unstable();
+    assert_eq!(
+        seen, expected_ids,
+        "every captured id answered exactly once"
+    );
+
+    // And the router really did requeue the dead shard's in-flight work.
+    let stats = client.request(&protocol::stats_request()).expect("stats");
+    let result = stats.get("result").expect("stats result");
+    let shards: Vec<&Value> = result
+        .get("shards")
+        .and_then(Value::as_arr)
+        .expect("per-shard counters")
+        .iter()
+        .collect();
+    let requeued: u64 = shards
+        .iter()
+        .map(|s| s.get("requeued").and_then(Value::as_u64).unwrap())
+        .sum();
+    assert!(
+        requeued >= 1,
+        "the killed shard held in-flight work; the router must have requeued it"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
